@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation study for the design choices DESIGN.md calls out:
+ *
+ *  1. the automaton optimizer (prefix merging + parallel-STE fusion)
+ *     — how many device STEs it saves per benchmark;
+ *  2. folding the top-level whenever guard into start kinds vs the
+ *     literal Fig. 8d star STE;
+ *  3. placement refinement effort vs routing quality (mean BR
+ *     allocation) and time.
+ */
+#include <cstdio>
+
+#include "ap/placement.h"
+#include "apps/benchmarks.h"
+#include "automata/optimizer.h"
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace rapid;
+
+    std::printf("Ablation 1: optimizer passes (raw -> per-component -> "
+                "cross-component STEs)\n");
+    bench::printRule(72);
+    for (auto &bench : apps::allBenchmarks()) {
+        lang::CompileOptions raw;
+        raw.optimize = false;
+        auto unoptimized = bench::compile(bench->rapidSource(),
+                                          bench->networkArgs(), raw);
+        auto optimized = bench::compile(bench->rapidSource(),
+                                        bench->networkArgs());
+        automata::Automaton global = unoptimized.automaton;
+        automata::OptimizeOptions across;
+        across.acrossComponents = true;
+        automata::optimize(global, across);
+        auto before = unoptimized.automaton.stats();
+        auto after = optimized.automaton.stats();
+        auto shared = global.stats();
+        std::printf("%-10s STEs %5zu -> %5zu -> %5zu "
+                    "(cross-component saves %.0f%%)\n",
+                    bench->name().c_str(), before.stes, after.stes,
+                    shared.stes,
+                    before.stes
+                        ? 100.0 *
+                              (double)(before.stes - shared.stes) /
+                              (double)before.stes
+                        : 0.0);
+    }
+    bench::printRule(72);
+
+    std::printf("\nAblation 2: whenever folding (fold vs Fig. 8d star "
+                "STE)\n");
+    bench::printRule(64);
+    for (auto &bench : apps::allBenchmarks()) {
+        lang::CompileOptions folded;
+        lang::CompileOptions literal;
+        literal.foldStartWhenever = false;
+        auto with_fold = bench::compile(bench->rapidSource(),
+                                        bench->networkArgs(), folded);
+        auto without = bench::compile(bench->rapidSource(),
+                                      bench->networkArgs(), literal);
+        std::printf("%-10s folded %5zu elements, literal %5zu\n",
+                    bench->name().c_str(),
+                    with_fold.automaton.stats().total(),
+                    without.automaton.stats().total());
+    }
+    bench::printRule(64);
+
+    std::printf("\nAblation 3: counter lowering — Table-2 counters vs "
+                "positional encoding (S5.3)\n");
+    bench::printRule(72);
+    for (auto &bench : apps::allBenchmarks()) {
+        auto counters = bench::compile(bench->rapidSource(),
+                                       bench->networkArgs());
+        lang::CompileOptions positional;
+        positional.positionalCounters = true;
+        auto banded = bench::compile(bench->rapidSource(),
+                                     bench->networkArgs(), positional);
+        auto c_stats = counters.automaton.stats();
+        auto b_stats = banded.automaton.stats();
+        std::printf("%-10s counters: %4zu STE %2zu cnt %2zu gate "
+                    "(div %d) | positional: %4zu STE %2zu cnt (div %d)\n",
+                    bench->name().c_str(), c_stats.stes,
+                    c_stats.counters, c_stats.gates,
+                    ap::PlacementEngine::clockDivisor(
+                        counters.automaton),
+                    b_stats.stes, b_stats.counters,
+                    ap::PlacementEngine::clockDivisor(
+                        banded.automaton));
+    }
+    bench::printRule(72);
+
+    std::printf("\nAblation 4: placement refinement effort "
+                "(MOTOMATA x256 instances)\n");
+    bench::printRule(64);
+    auto motomata = apps::makeMotomata();
+    auto compiled = bench::compile(motomata->rapidSource(),
+                                   motomata->scaledArgs(256));
+    for (double effort : {0.0, 1.0, 4.0, 16.0}) {
+        ap::PlacementOptions options;
+        options.refineEffort = effort;
+        ap::PlacementEngine engine({}, options);
+        auto result = engine.place(compiled.automaton);
+        std::printf("effort %5.1f: blocks %4zu, mean BR %5.1f%%, "
+                    "moves %6zu, %8.3f s\n",
+                    effort, result.totalBlocks,
+                    result.meanBrAllocation * 100.0, result.refineMoves,
+                    result.placeRouteSeconds);
+    }
+    bench::printRule(64);
+    return 0;
+}

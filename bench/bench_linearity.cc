@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The §7 runtime claim: "Due to the lock-step execution of automata on
+ * the AP, runtime performance of loaded designs is linear in the length
+ * of a given input stream."  This bench streams growing inputs through
+ * the full Brill design and reports throughput at each length — the
+ * symbols/second column should be flat (linear total time).
+ */
+#include <cstdio>
+
+#include "apps/benchmarks.h"
+#include "automata/simulator.h"
+#include "bench/bench_util.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+int
+main()
+{
+    using namespace rapid;
+    auto brill = apps::makeBrill();
+    auto compiled =
+        bench::compile(brill->rapidSource(), brill->networkArgs());
+    automata::Simulator sim(compiled.automaton);
+
+    Rng rng(2026);
+    std::printf("Lock-step runtime linearity (Brill, %zu elements)\n",
+                compiled.automaton.stats().total());
+    bench::printRule(64);
+    std::printf("%12s %12s %16s %12s\n", "symbols", "seconds",
+                "symbols/sec", "reports");
+    bench::printRule(64);
+    double first_rate = 0;
+    double last_rate = 0;
+    for (size_t length : {1u << 14, 1u << 15, 1u << 16, 1u << 17}) {
+        std::string stream = rng.string(
+            length, "abcdefghijklmnopqrstuvwxyz/ NVBDTJ");
+        Timer timer;
+        auto reports = sim.run(stream);
+        double seconds = timer.seconds();
+        double rate = static_cast<double>(length) / seconds;
+        if (first_rate == 0)
+            first_rate = rate;
+        last_rate = rate;
+        std::printf("%12zu %12.4f %16.0f %12zu\n", length, seconds,
+                    rate, reports.size());
+    }
+    bench::printRule(64);
+    std::printf("rate drift across 8x length growth: %.1f%% "
+                "(flat = linear runtime)\n",
+                100.0 * (last_rate - first_rate) / first_rate);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The §2 motivating measurement: hand-written ANML for Hamming
+ * distance vs the RAPID macro.
+ *
+ * The paper reports the Micron cookbook design at 62 lines of ANML for
+ * a 5-character comparison, with ~65 % of lines changing when the
+ * string grows to 12 characters — while the RAPID program (Fig. 1)
+ * changes only its argument.
+ */
+#include <cstdio>
+
+#include "apps/hamming_cookbook.h"
+#include "bench/bench_util.h"
+#include "support/strings.h"
+
+int
+main()
+{
+    using namespace rapid;
+    const int d = 2; // cookbook example distance band
+
+    std::string five = "HELLO";
+    std::string twelve = "HELLOHELLOHI";
+
+    std::string anml5 = apps::cookbookHammingAnml(five, d);
+    std::string anml12 = apps::cookbookHammingAnml(twelve, d);
+    double churn = apps::cookbookChangeFraction(five, twelve, d);
+
+    std::printf("Hamming-distance programming effort (Section 2 case "
+                "study)\n");
+    bench::printRule(66);
+    std::printf("ANML lines, 5-char cookbook design:   %zu\n",
+                countLines(anml5));
+    std::printf("ANML lines, 12-char cookbook design:  %zu\n",
+                countLines(anml12));
+    std::printf("Lines changed growing 5 -> 12 chars:  %.0f%%\n",
+                churn * 100.0);
+    std::printf("RAPID program lines (any length):     %zu\n",
+                bench::locOf(apps::rapidHammingSource()));
+    std::printf("RAPID lines changed growing 5 -> 12:  1 (the macro "
+                "argument)\n");
+    bench::printRule(66);
+    std::printf("Paper: 62 lines of ANML for 5 characters; ~65%% of "
+                "lines modified to reach 12 characters.\n");
+    return 0;
+}

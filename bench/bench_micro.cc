@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): component throughput numbers —
+ * compiler speed, simulator symbol rate, ANML round-trip, placement —
+ * useful for tracking regressions in the toolchain itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include "anml/anml.h"
+#include "ap/placement.h"
+#include "apps/benchmarks.h"
+#include "automata/simulator.h"
+#include "bench/bench_util.h"
+#include "re/regex.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rapid;
+
+const apps::Benchmark &
+motomata()
+{
+    static auto bench = apps::makeMotomata();
+    return *bench;
+}
+
+void
+BM_CompileRapidHamming(benchmark::State &state)
+{
+    auto source = motomata().rapidSource();
+    auto args = motomata().networkArgs();
+    for (auto _ : state) {
+        auto compiled = bench::compile(source, args);
+        benchmark::DoNotOptimize(compiled.automaton.size());
+    }
+}
+BENCHMARK(BM_CompileRapidHamming);
+
+void
+BM_CompileRapidScaled(benchmark::State &state)
+{
+    auto source = motomata().rapidSource();
+    auto args = motomata().scaledArgs(
+        static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto compiled = bench::compile(source, args);
+        benchmark::DoNotOptimize(compiled.automaton.size());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileRapidScaled)->Range(8, 512)->Complexity();
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    auto bench = apps::makeBrill();
+    auto compiled =
+        rapid::bench::compile(bench->rapidSource(), bench->networkArgs());
+    automata::Simulator sim(compiled.automaton);
+    Rng rng(42);
+    std::string stream = rng.string(1 << 16,
+                                    "abcdefghijklmnop/ NNVBDT");
+    for (auto _ : state) {
+        auto reports = sim.run(stream);
+        benchmark::DoNotOptimize(reports.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void
+BM_RegexCompile(benchmark::State &state)
+{
+    auto bench = apps::makeBrill();
+    auto regexes = bench->regexes();
+    for (auto _ : state) {
+        automata::Automaton merged;
+        size_t index = 0;
+        for (const std::string &pattern : regexes) {
+            automata::Automaton one = re::compileRegex(pattern, true);
+            merged.merge(one, "r" + std::to_string(index++) + "_");
+        }
+        benchmark::DoNotOptimize(merged.size());
+    }
+}
+BENCHMARK(BM_RegexCompile);
+
+void
+BM_AnmlRoundTrip(benchmark::State &state)
+{
+    auto compiled = rapid::bench::compile(motomata().rapidSource(),
+                                          motomata().scaledArgs(64));
+    for (auto _ : state) {
+        std::string text = anml::emitAnml(compiled.automaton);
+        automata::Automaton parsed = anml::parseAnml(text);
+        benchmark::DoNotOptimize(parsed.size());
+    }
+}
+BENCHMARK(BM_AnmlRoundTrip);
+
+void
+BM_Placement(benchmark::State &state)
+{
+    auto compiled = rapid::bench::compile(
+        motomata().rapidSource(),
+        motomata().scaledArgs(static_cast<size_t>(state.range(0))));
+    ap::PlacementEngine engine;
+    for (auto _ : state) {
+        auto result = engine.place(compiled.automaton);
+        benchmark::DoNotOptimize(result.totalBlocks);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Placement)->Range(8, 512)->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 3: the benchmark inventory — name, description, generation
+ * method of the hand-crafted baseline, and sample instance size.
+ */
+#include <cstdio>
+
+#include "apps/benchmarks.h"
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace rapid;
+    std::printf("Table 3: Description of benchmarks\n");
+    bench::printRule(78);
+    std::printf("%-10s %-40s %-20s\n", "Benchmark", "Description",
+                "Instance");
+    bench::printRule(78);
+
+    struct Row {
+        const char *name;
+        const char *description;
+    };
+    const Row descriptions[] = {
+        {"ARM", "Association rule mining"},
+        {"Brill", "Rule re-writing for Brill POS tagging"},
+        {"Exact", "Exact match DNA sequence search"},
+        {"Gappy", "DNA search with gaps between characters"},
+        {"MOTOMATA", "Fuzzy matching for planted motif search"},
+    };
+
+    auto benchmarks = apps::allBenchmarks();
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        std::printf("%-10s %-40s %-20s\n", benchmarks[i]->name().c_str(),
+                    descriptions[i].description,
+                    benchmarks[i]->instanceDescription().c_str());
+    }
+    bench::printRule(78);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration benches.
+ *
+ * Each bench binary regenerates one table of the paper's evaluation and
+ * prints it in a fixed-width layout alongside the paper's published
+ * values where useful.  Binaries exit non-zero on internal errors so
+ * CI treats them as smoke tests.
+ */
+#ifndef RAPID_BENCH_BENCH_UTIL_H
+#define RAPID_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/strings.h"
+
+namespace rapid::bench {
+
+/** Count non-empty source lines (the paper's LoC metric). */
+inline size_t
+locOf(const std::string &source)
+{
+    size_t lines = 0;
+    for (const std::string &line : split(source, '\n')) {
+        if (!trim(line).empty())
+            ++lines;
+    }
+    return lines;
+}
+
+/** Compile a RAPID source against arguments. */
+inline lang::CompiledProgram
+compile(const std::string &source,
+        const std::vector<lang::Value> &args,
+        const lang::CompileOptions &options = {})
+{
+    lang::Program program = lang::parseProgram(source);
+    return lang::compileProgram(program, args, options);
+}
+
+/**
+ * Scale factor for board-filling experiments.  Full paper sizes place
+ * millions of elements; the default runs at 1/10 scale so the bench
+ * suite completes in minutes.  Set RAPID_BENCH_SCALE=1.0 to reproduce
+ * the full problem sizes.
+ */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("RAPID_BENCH_SCALE")) {
+        double scale = std::atof(env);
+        if (scale > 0)
+            return scale;
+    }
+    return 0.1;
+}
+
+inline void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace rapid::bench
+
+#endif // RAPID_BENCH_BENCH_UTIL_H

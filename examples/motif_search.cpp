@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bioinformatics motif search with fuzzy matching and tessellation.
+ *
+ * Generates a synthetic genome sliced into candidate windows, compiles
+ * the (l, d) planted-motif RAPID program, reports candidates within
+ * Hamming distance d, and then demonstrates the §6 tessellation
+ * auto-tuner on a board-scale version of the same search: compile one
+ * tile, pack a block, and report how the full problem tiles across the
+ * device — in milliseconds instead of a monolithic place-and-route.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ap/tessellation.h"
+#include "host/device.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/rng.h"
+
+int
+main()
+{
+    using namespace rapid;
+
+    const char *source = R"(
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] motifs, int d) {
+    some (String s : motifs)
+        hamming_distance(s, d);
+}
+)";
+
+    const std::string motif = "ACGTACGTACGTACGTA"; // l = 17
+    const int d = 6;
+
+    // Candidate windows from a synthetic genome.
+    Rng rng(2026);
+    std::vector<std::string> candidates;
+    for (int i = 0; i < 200; ++i) {
+        std::string candidate = rng.string(motif.size(), "ACGT");
+        if (i % 7 == 0) {
+            // Plant a near-motif.
+            candidate = motif;
+            for (int s = 0; s < 5; ++s)
+                candidate[rng.below(candidate.size())] =
+                    rng.pick("ACGT");
+        }
+        candidates.push_back(candidate);
+    }
+
+    lang::Program program = lang::parseProgram(source);
+    lang::CompiledProgram compiled = lang::compileProgram(
+        program,
+        {lang::Value::strArray({motif}), lang::Value::integer(d)});
+
+    host::InputTransformer transformer;
+    std::string stream = transformer.frame(candidates);
+    host::Device device(automata::Automaton(compiled.automaton));
+    auto reports = device.run(stream);
+    std::printf("motif (l=%zu, d=%d): %zu of %zu candidates within "
+                "distance\n",
+                motif.size(), d, reports.size(), candidates.size());
+
+    // Board-scale tessellation: how would 1,500 motifs tile the AP?
+    ap::Tessellator tessellator;
+    ap::TiledDesign tiled =
+        tessellator.tessellate(compiled.tile, 1500);
+    std::printf("tessellation: %zu tiles/block, %zu blocks for 1500 "
+                "motifs, block STE util %.1f%%, tuned in %.3f ms\n",
+                tiled.tilesPerBlock, tiled.totalBlocks,
+                tiled.blockPlacement.steUtilization * 100.0,
+                tiled.tessellateSeconds * 1e3);
+    return reports.empty() ? 1 : 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deep packet inspection with a *restricted* sliding window.
+ *
+ * §3.3: "an application searching through HTTP transactions might use
+ * the predicate matching 'GET' before matching specific URLs."  This
+ * example uses a whenever statement whose guard is a multi-symbol
+ * input predicate: URL patterns are only matched after a "GET "
+ * trigger, not at every stream position, showing how the guard prunes
+ * the search space compared to an unconditional window.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+int
+main()
+{
+    using namespace rapid;
+
+    const char *source = R"(
+macro url(String path) {
+    foreach (char c : path)
+        c == input();
+    report;
+}
+network (String[] watchlist) {
+    some (String path : watchlist) {
+        whenever ('G' == input() && 'E' == input() &&
+                  'T' == input() && ' ' == input()) {
+            url(path);
+        }
+    }
+}
+)";
+
+    std::vector<std::string> watchlist = {
+        "/admin", "/wp-login.php", "/etc/passwd",
+    };
+
+    lang::Program program = lang::parseProgram(source);
+    lang::CompiledProgram compiled = lang::compileProgram(
+        program, {lang::Value::strArray(watchlist)});
+
+    std::string traffic =
+        "GET /index.html HTTP/1.1 | POST /admin HTTP/1.1 | "
+        "GET /admin HTTP/1.1 | GET /static/wp-login.php.png | "
+        "GET /wp-login.php HTTP/1.1 | HEAD /etc/passwd | "
+        "GET /etc/passwd HTTP/1.0";
+
+    host::Device device(std::move(compiled.automaton));
+    auto reports = device.run(traffic);
+
+    std::printf("inspected %zu bytes; %zu suspicious GET(s)\n",
+                traffic.size(), reports.size());
+    for (const host::HostReport &report : reports) {
+        std::printf("  offset %3llu: %s\n",
+                    static_cast<unsigned long long>(report.offset),
+                    report.code.c_str());
+    }
+    // Expected: /admin, /wp-login.php, /etc/passwd — each exactly once,
+    // only on GET requests (the POST/HEAD and substring hits are
+    // filtered by the guard and match position).
+    return reports.size() == 3 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spam filtering: many black-listed subject lines checked in tandem.
+ *
+ * The paper's §3.3 motivates parallel control structures with "a spam
+ * filter may wish to check for many black-listed subject lines
+ * simultaneously."  This example compiles one RAPID network that
+ * watches for every blacklist phrase at every stream position
+ * (sliding-window `whenever` + `some`), streams a mailbox through it,
+ * and prints which phrase fired where — demonstrating MISD parallelism
+ * across patterns.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+int
+main()
+{
+    using namespace rapid;
+
+    const char *source = R"(
+macro phrase(String p) {
+    foreach (char c : p)
+        c == input();
+    report;
+}
+network (String[] blacklist) {
+    some (String p : blacklist) {
+        whenever (ALL_INPUT == input()) {
+            phrase(p);
+        }
+    }
+}
+)";
+
+    std::vector<std::string> blacklist = {
+        "act now", "free money", "winner!", "limited offer",
+        "wire transfer",
+    };
+
+    lang::Program program = lang::parseProgram(source);
+    lang::CompiledProgram compiled = lang::compileProgram(
+        program, {lang::Value::strArray(blacklist)});
+
+    std::string mailbox =
+        "subject: you are a winner! claim your free money today | "
+        "subject: meeting notes | "
+        "subject: limited offer - act now for a wire transfer";
+
+    host::Device device(std::move(compiled.automaton));
+    auto reports = device.run(mailbox);
+
+    std::printf("scanned %zu bytes against %zu phrases; %zu hits\n",
+                mailbox.size(), blacklist.size(), reports.size());
+    for (const host::HostReport &report : reports) {
+        // The report code names the macro instance; map it back to the
+        // blacklist entry via the instance number.
+        std::printf("  offset %4llu: %s\n",
+                    static_cast<unsigned long long>(report.offset),
+                    report.code.c_str());
+    }
+    return reports.empty() ? 1 : 0;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full verification sweep: configure, build, test, and run every bench.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+    echo "== $b"
+    "$b"
+done

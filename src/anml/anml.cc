@@ -1,0 +1,273 @@
+#include "anml/anml.h"
+
+#include <unordered_map>
+
+#include "anml/xml.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::anml {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::CounterMode;
+using automata::Edge;
+using automata::Element;
+using automata::ElementId;
+using automata::ElementKind;
+using automata::GateOp;
+using automata::kNoElement;
+using automata::Port;
+using automata::StartKind;
+
+namespace {
+
+const char *
+startName(StartKind kind)
+{
+    switch (kind) {
+      case StartKind::None:
+        return "none";
+      case StartKind::AllInput:
+        return "all-input";
+      case StartKind::StartOfData:
+        return "start-of-data";
+    }
+    return "none";
+}
+
+StartKind
+parseStart(const std::string &name)
+{
+    if (name.empty() || name == "none")
+        return StartKind::None;
+    if (name == "all-input")
+        return StartKind::AllInput;
+    if (name == "start-of-data")
+        return StartKind::StartOfData;
+    throw CompileError("ANML: unknown start kind '" + name + "'");
+}
+
+const char *
+modeName(CounterMode mode)
+{
+    switch (mode) {
+      case CounterMode::Latch:
+        return "latch";
+      case CounterMode::Pulse:
+        return "pulse";
+      case CounterMode::Roll:
+        return "roll";
+    }
+    return "latch";
+}
+
+CounterMode
+parseMode(const std::string &name)
+{
+    if (name.empty() || name == "latch")
+        return CounterMode::Latch;
+    if (name == "pulse")
+        return CounterMode::Pulse;
+    if (name == "roll")
+        return CounterMode::Roll;
+    throw CompileError("ANML: unknown counter mode '" + name + "'");
+}
+
+/** Activation child element name appropriate for a source kind. */
+const char *
+activateTag(ElementKind kind)
+{
+    switch (kind) {
+      case ElementKind::Ste:
+        return "activate-on-match";
+      case ElementKind::Counter:
+        return "activate-on-target";
+      case ElementKind::Gate:
+        return "activate-on-high";
+    }
+    return "activate-on-match";
+}
+
+const char *
+reportTag(ElementKind kind)
+{
+    switch (kind) {
+      case ElementKind::Ste:
+        return "report-on-match";
+      case ElementKind::Counter:
+        return "report-on-target";
+      case ElementKind::Gate:
+        return "report-on-high";
+    }
+    return "report-on-match";
+}
+
+/** Render an edge target as "id", "id:cnt", or "id:rst". */
+std::string
+edgeTarget(const Automaton &automaton, const Edge &edge)
+{
+    const std::string &id = automaton[edge.to].id;
+    switch (edge.port) {
+      case Port::Activate:
+        return id;
+      case Port::Count:
+        return id + ":cnt";
+      case Port::Reset:
+        return id + ":rst";
+    }
+    return id;
+}
+
+} // namespace
+
+std::string
+emitAnml(const Automaton &automaton, const std::string &network_id)
+{
+    XmlNode root;
+    root.name = "anml";
+    root.attributes["version"] = "1.0";
+
+    auto network = std::make_unique<XmlNode>();
+    network->name = "automata-network";
+    network->attributes["id"] = network_id;
+
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        auto node = std::make_unique<XmlNode>();
+        node->attributes["id"] = element.id;
+        switch (element.kind) {
+          case ElementKind::Ste:
+            node->name = "state-transition-element";
+            node->attributes["symbol-set"] = element.symbols.str();
+            if (element.start != StartKind::None)
+                node->attributes["start"] = startName(element.start);
+            break;
+          case ElementKind::Counter:
+            node->name = "counter";
+            node->attributes["target"] = std::to_string(element.target);
+            node->attributes["mode"] = modeName(element.mode);
+            break;
+          case ElementKind::Gate:
+            node->name = automata::gateOpName(element.op);
+            break;
+        }
+        if (element.report) {
+            auto report = std::make_unique<XmlNode>();
+            report->name = reportTag(element.kind);
+            if (!element.reportCode.empty())
+                report->attributes["reportcode"] = element.reportCode;
+            node->children.push_back(std::move(report));
+        }
+        for (const Edge &edge : element.outputs) {
+            auto activation = std::make_unique<XmlNode>();
+            activation->name = activateTag(element.kind);
+            activation->attributes["element"] =
+                edgeTarget(automaton, edge);
+            node->children.push_back(std::move(activation));
+        }
+        network->children.push_back(std::move(node));
+    }
+
+    root.children.push_back(std::move(network));
+    return writeXml(root);
+}
+
+Automaton
+parseAnml(const std::string &text)
+{
+    auto root = parseXml(text);
+    const XmlNode *network = nullptr;
+    if (root->name == "anml")
+        network = root->child("automata-network");
+    else if (root->name == "automata-network")
+        network = root.get();
+    if (network == nullptr)
+        throw CompileError("ANML: no <automata-network> element");
+
+    Automaton automaton;
+
+    // Pass 1: create elements.
+    for (const auto &node : network->children) {
+        if (node->name == "description")
+            continue;
+        const std::string &id = node->attr("id");
+        if (id.empty()) {
+            throw CompileError("ANML: element <" + node->name +
+                               "> missing id");
+        }
+        ElementId element = kNoElement;
+        if (node->name == "state-transition-element") {
+            CharSet symbols = CharSet::parse(node->attr("symbol-set"));
+            element = automaton.addSte(
+                symbols, parseStart(node->attr("start")), id);
+        } else if (node->name == "counter") {
+            const std::string &target = node->attr("target");
+            if (target.empty())
+                throw CompileError("ANML: counter missing target");
+            element = automaton.addCounter(
+                static_cast<uint32_t>(std::stoul(target)),
+                parseMode(node->attr("mode")), id);
+        } else if (node->name == "and") {
+            element = automaton.addGate(GateOp::And, id);
+        } else if (node->name == "or") {
+            element = automaton.addGate(GateOp::Or, id);
+        } else if (node->name == "inverter" || node->name == "not") {
+            element = automaton.addGate(GateOp::Not, id);
+        } else if (node->name == "nand") {
+            element = automaton.addGate(GateOp::Nand, id);
+        } else if (node->name == "nor") {
+            element = automaton.addGate(GateOp::Nor, id);
+        } else if (node->name == "description") {
+            continue;
+        } else {
+            throw CompileError("ANML: unknown element <" + node->name +
+                               ">");
+        }
+        for (const auto &childNode : node->children) {
+            if (startsWith(childNode->name, "report-on")) {
+                automaton.setReport(element,
+                                    childNode->attr("reportcode"));
+            }
+        }
+    }
+
+    // Pass 2: connections.
+    for (const auto &node : network->children) {
+        if (node->name == "description")
+            continue;
+        ElementId from = automaton.findId(node->attr("id"));
+        for (const auto &childNode : node->children) {
+            if (!startsWith(childNode->name, "activate-on"))
+                continue;
+            std::string target = childNode->attr("element");
+            Port port = Port::Activate;
+            if (target.size() > 4 &&
+                target.compare(target.size() - 4, 4, ":cnt") == 0) {
+                port = Port::Count;
+                target.resize(target.size() - 4);
+            } else if (target.size() > 4 &&
+                       target.compare(target.size() - 4, 4, ":rst") == 0) {
+                port = Port::Reset;
+                target.resize(target.size() - 4);
+            }
+            ElementId to = automaton.findId(target);
+            if (to == kNoElement) {
+                throw CompileError("ANML: activation targets unknown "
+                                   "element '" +
+                                   target + "'");
+            }
+            automaton.connect(from, to, port);
+        }
+    }
+
+    return automaton;
+}
+
+size_t
+anmlLineCount(const Automaton &automaton)
+{
+    return countLines(emitAnml(automaton));
+}
+
+} // namespace rapid::anml

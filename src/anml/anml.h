@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ANML (Automata Network Markup Language) serialization.
+ *
+ * ANML is the XML design language consumed by the AP tool-chain; the
+ * RAPID compiler of the paper emits it (§5).  This module converts
+ * between Automaton values and ANML documents:
+ *
+ *   <anml version="1.0">
+ *     <automata-network id="...">
+ *       <state-transition-element id="s0" symbol-set="[ab]"
+ *                                 start="all-input">
+ *         <report-on-match reportcode="m"/>
+ *         <activate-on-match element="s1"/>
+ *       </state-transition-element>
+ *       <counter id="c0" target="5" mode="latch">
+ *         <activate-on-target element="s2"/>
+ *       </counter>
+ *       <and id="g0">...</and>
+ *     </automata-network>
+ *   </anml>
+ *
+ * Counter input ports use the AP convention of port-suffixed element
+ * references: "c0:cnt" (count enable) and "c0:rst" (reset).
+ */
+#ifndef RAPID_ANML_ANML_H
+#define RAPID_ANML_ANML_H
+
+#include <string>
+
+#include "automata/automaton.h"
+
+namespace rapid::anml {
+
+/** Serialize @p automaton as an ANML document. */
+std::string emitAnml(const automata::Automaton &automaton,
+                     const std::string &network_id = "network");
+
+/**
+ * Parse an ANML document into an Automaton.
+ *
+ * Accepts everything emitAnml() produces plus hand-written documents
+ * using the same element vocabulary.  @throws rapid::CompileError on
+ * malformed documents or dangling element references.
+ */
+automata::Automaton parseAnml(const std::string &text);
+
+/** Line count of a serialized design (the paper's "ANML LOC" metric). */
+size_t anmlLineCount(const automata::Automaton &automaton);
+
+} // namespace rapid::anml
+
+#endif // RAPID_ANML_ANML_H

@@ -1,0 +1,294 @@
+#include "anml/xml.h"
+
+#include <cctype>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::anml {
+
+const std::string &
+XmlNode::attr(const std::string &key, const std::string &fallback) const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second;
+}
+
+bool
+XmlNode::hasAttr(const std::string &key) const
+{
+    return attributes.count(key) != 0;
+}
+
+const XmlNode *
+XmlNode::child(const std::string &name) const
+{
+    for (const auto &node : children) {
+        if (node->name == name)
+            return node.get();
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode *>
+XmlNode::childrenNamed(const std::string &name) const
+{
+    std::vector<const XmlNode *> out;
+    for (const auto &node : children) {
+        if (node->name == name)
+            out.push_back(node.get());
+    }
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent XML scanner over a string buffer. */
+class XmlParser {
+  public:
+    explicit XmlParser(const std::string &text) : _text(text) {}
+
+    std::unique_ptr<XmlNode>
+    parseDocument()
+    {
+        skipMisc();
+        auto root = parseElement();
+        skipMisc();
+        if (_pos != _text.size())
+            fail("trailing content after root element");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw CompileError("XML: " + msg + " (at byte " +
+                           std::to_string(_pos) + ")");
+    }
+
+    bool atEnd() const { return _pos >= _text.size(); }
+    char peek() const { return atEnd() ? '\0' : _text[_pos]; }
+
+    bool
+    consume(const std::string &token)
+    {
+        if (_text.compare(_pos, token.size(), token) == 0) {
+            _pos += token.size();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    /** Skip whitespace, comments, PIs, and the XML declaration. */
+    void
+    skipMisc()
+    {
+        while (true) {
+            skipSpace();
+            if (consume("<!--")) {
+                size_t end = _text.find("-->", _pos);
+                if (end == std::string::npos)
+                    fail("unterminated comment");
+                _pos = end + 3;
+            } else if (consume("<?")) {
+                size_t end = _text.find("?>", _pos);
+                if (end == std::string::npos)
+                    fail("unterminated processing instruction");
+                _pos = end + 2;
+            } else if (consume("<!DOCTYPE")) {
+                size_t end = _text.find('>', _pos);
+                if (end == std::string::npos)
+                    fail("unterminated DOCTYPE");
+                _pos = end + 1;
+            } else {
+                return;
+            }
+        }
+    }
+
+    static bool
+    isNameChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '_' || c == ':' || c == '.';
+    }
+
+    std::string
+    parseName()
+    {
+        size_t start = _pos;
+        while (!atEnd() && isNameChar(_text[_pos]))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a name");
+        return _text.substr(start, _pos - start);
+    }
+
+    std::string
+    decodeEntities(const std::string &raw)
+    {
+        std::string out;
+        out.reserve(raw.size());
+        for (size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] != '&') {
+                out.push_back(raw[i]);
+                continue;
+            }
+            size_t semi = raw.find(';', i);
+            if (semi == std::string::npos)
+                fail("unterminated entity reference");
+            std::string entity = raw.substr(i + 1, semi - i - 1);
+            if (entity == "amp")
+                out.push_back('&');
+            else if (entity == "lt")
+                out.push_back('<');
+            else if (entity == "gt")
+                out.push_back('>');
+            else if (entity == "quot")
+                out.push_back('"');
+            else if (entity == "apos")
+                out.push_back('\'');
+            else if (!entity.empty() && entity[0] == '#') {
+                int code = 0;
+                if (entity.size() > 1 && entity[1] == 'x')
+                    code = std::stoi(entity.substr(2), nullptr, 16);
+                else
+                    code = std::stoi(entity.substr(1));
+                out.push_back(static_cast<char>(code));
+            } else {
+                fail("unknown entity &" + entity + ";");
+            }
+            i = semi;
+        }
+        return out;
+    }
+
+    std::string
+    parseAttrValue()
+    {
+        char quote = peek();
+        if (quote != '"' && quote != '\'')
+            fail("expected quoted attribute value");
+        ++_pos;
+        size_t end = _text.find(quote, _pos);
+        if (end == std::string::npos)
+            fail("unterminated attribute value");
+        std::string raw = _text.substr(_pos, end - _pos);
+        _pos = end + 1;
+        return decodeEntities(raw);
+    }
+
+    std::unique_ptr<XmlNode>
+    parseElement()
+    {
+        if (!consume("<"))
+            fail("expected element start");
+        auto node = std::make_unique<XmlNode>();
+        node->name = parseName();
+        while (true) {
+            skipSpace();
+            if (consume("/>"))
+                return node;
+            if (consume(">"))
+                break;
+            std::string key = parseName();
+            skipSpace();
+            if (!consume("="))
+                fail("expected '=' after attribute name");
+            skipSpace();
+            node->attributes[key] = parseAttrValue();
+        }
+        // Content.
+        while (true) {
+            size_t lt = _text.find('<', _pos);
+            if (lt == std::string::npos)
+                fail("unterminated element <" + node->name + ">");
+            node->text +=
+                decodeEntities(_text.substr(_pos, lt - _pos));
+            _pos = lt;
+            if (consume("<!--")) {
+                size_t end = _text.find("-->", _pos);
+                if (end == std::string::npos)
+                    fail("unterminated comment");
+                _pos = end + 3;
+            } else if (_text.compare(_pos, 2, "</") == 0) {
+                _pos += 2;
+                std::string closing = parseName();
+                if (closing != node->name) {
+                    fail("mismatched closing tag </" + closing +
+                         "> for <" + node->name + ">");
+                }
+                skipSpace();
+                if (!consume(">"))
+                    fail("malformed closing tag");
+                return node;
+            } else {
+                node->children.push_back(parseElement());
+            }
+        }
+    }
+
+    const std::string &_text;
+    size_t _pos = 0;
+};
+
+void
+writeNode(const XmlNode &node, std::string &out, int depth)
+{
+    std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    out += indent;
+    out.push_back('<');
+    out += node.name;
+    for (const auto &[key, value] : node.attributes) {
+        out.push_back(' ');
+        out += key;
+        out += "=\"";
+        out += xmlEscape(value);
+        out.push_back('"');
+    }
+    std::string_view text = trim(node.text);
+    if (node.children.empty() && text.empty()) {
+        out += "/>\n";
+        return;
+    }
+    out += ">";
+    if (!text.empty())
+        out += xmlEscape(text);
+    if (!node.children.empty()) {
+        out.push_back('\n');
+        for (const auto &childNode : node.children)
+            writeNode(*childNode, out, depth + 1);
+        out += indent;
+    }
+    out += "</";
+    out += node.name;
+    out += ">\n";
+}
+
+} // namespace
+
+std::unique_ptr<XmlNode>
+parseXml(const std::string &text)
+{
+    return XmlParser(text).parseDocument();
+}
+
+std::string
+writeXml(const XmlNode &root)
+{
+    std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    writeNode(root, out, 0);
+    return out;
+}
+
+} // namespace rapid::anml

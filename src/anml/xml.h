@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A minimal XML reader/writer sufficient for ANML documents.
+ *
+ * Supports elements, attributes, character data, comments, processing
+ * instructions, and XML declarations.  It does not implement DTDs,
+ * namespaces (prefixes are kept verbatim in names), or external
+ * entities — none of which appear in ANML files.  Implemented here to
+ * keep the repository dependency-free.
+ */
+#ifndef RAPID_ANML_XML_H
+#define RAPID_ANML_XML_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rapid::anml {
+
+/** One XML element node. */
+struct XmlNode {
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    std::vector<std::unique_ptr<XmlNode>> children;
+    /** Concatenated character data directly inside this element. */
+    std::string text;
+
+    /** Attribute value, or @p fallback when absent. */
+    const std::string &attr(const std::string &key,
+                            const std::string &fallback = "") const;
+
+    /** True when the attribute is present. */
+    bool hasAttr(const std::string &key) const;
+
+    /** First child with the given element name; nullptr when absent. */
+    const XmlNode *child(const std::string &name) const;
+
+    /** All children with the given element name. */
+    std::vector<const XmlNode *> childrenNamed(const std::string &name)
+        const;
+};
+
+/**
+ * Parse an XML document; returns the root element.
+ *
+ * @throws rapid::CompileError on malformed input.
+ */
+std::unique_ptr<XmlNode> parseXml(const std::string &text);
+
+/** Serialize a node tree with 2-space indentation. */
+std::string writeXml(const XmlNode &root);
+
+} // namespace rapid::anml
+
+#endif // RAPID_ANML_XML_H

@@ -1,0 +1,355 @@
+#include "ap/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace rapid::ap {
+
+using automata::Automaton;
+using automata::Edge;
+using automata::Element;
+using automata::ElementId;
+using automata::ElementKind;
+
+ResourceVector
+PlacementEngine::demand(const Automaton &automaton)
+{
+    ResourceVector vec;
+    for (const Element &element : automaton.elements()) {
+        switch (element.kind) {
+          case ElementKind::Ste:
+            ++vec.stes;
+            break;
+          case ElementKind::Counter:
+            ++vec.counters;
+            break;
+          case ElementKind::Gate:
+            ++vec.bools;
+            break;
+        }
+    }
+    return vec;
+}
+
+int
+PlacementEngine::clockDivisor(const Automaton &automaton)
+{
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        for (const Edge &edge : element.outputs) {
+            ElementKind a = element.kind;
+            ElementKind b = automaton[edge.to].kind;
+            bool counter_gate =
+                (a == ElementKind::Counter && b == ElementKind::Gate) ||
+                (a == ElementKind::Gate && b == ElementKind::Counter);
+            if (counter_gate)
+                return 2;
+        }
+    }
+    return 1;
+}
+
+namespace {
+
+/** Mutable per-block capacity tracking during packing. */
+struct BlockState {
+    uint32_t stes = 0;
+    uint32_t counters = 0;
+    uint32_t bools = 0;
+    uint32_t rows = 0;
+};
+
+/** BFS ordering of one component from its start elements. */
+std::vector<ElementId>
+bfsOrder(const Automaton &automaton,
+         const std::vector<ElementId> &component)
+{
+    std::vector<ElementId> order;
+    order.reserve(component.size());
+    std::vector<char> seen_lookup;
+    // Component ids are sparse in the automaton; use a local set.
+    std::vector<char> in_component(automaton.size(), 0);
+    for (ElementId id : component)
+        in_component[id] = 1;
+    std::vector<char> visited(automaton.size(), 0);
+    std::queue<ElementId> frontier;
+
+    auto enqueue = [&](ElementId id) {
+        if (!visited[id] && in_component[id]) {
+            visited[id] = 1;
+            frontier.push(id);
+        }
+    };
+
+    for (ElementId id : component) {
+        const Element &element = automaton[id];
+        if (element.kind == ElementKind::Ste &&
+            element.start != automata::StartKind::None) {
+            enqueue(id);
+        }
+    }
+    // Components with no start element (fragments under test) seed from
+    // their first element.
+    if (frontier.empty() && !component.empty())
+        enqueue(component.front());
+
+    while (!frontier.empty()) {
+        ElementId id = frontier.front();
+        frontier.pop();
+        order.push_back(id);
+        for (const Edge &edge : automaton[id].outputs)
+            enqueue(edge.to);
+    }
+    // Elements unreachable forward from the seeds (e.g. pure fan-in
+    // sources) are appended in index order.
+    for (ElementId id : component) {
+        if (!visited[id])
+            order.push_back(id);
+    }
+    (void)seen_lookup;
+    return order;
+}
+
+} // namespace
+
+PlacementResult
+PlacementEngine::place(const Automaton &automaton) const
+{
+    Timer timer;
+    PlacementResult result;
+    result.clockDivisor = clockDivisor(automaton);
+    if (automaton.empty()) {
+        result.placeRouteSeconds = timer.seconds();
+        return result;
+    }
+
+    const uint32_t block_stes = _config.stesPerBlock();
+
+    // --- Pack components into blocks (next-fit over BFS order). -------
+    auto components = automaton.components();
+    // Largest first improves packing and is deterministic.
+    std::sort(components.begin(), components.end(),
+              [](const auto &a, const auto &b) {
+                  return a.size() != b.size() ? a.size() > b.size()
+                                              : a.front() < b.front();
+              });
+
+    result.blockOf.assign(automaton.size(), 0);
+    std::vector<BlockState> blocks;
+    blocks.emplace_back();
+
+    auto fits = [&](const BlockState &block, const Element &element) {
+        switch (element.kind) {
+          case ElementKind::Ste:
+            return block.stes < block_stes;
+          case ElementKind::Counter:
+            return block.counters < _config.countersPerBlock;
+          case ElementKind::Gate:
+            return block.bools < _config.boolsPerBlock;
+        }
+        return false;
+    };
+    auto add = [&](BlockState &block, const Element &element) {
+        switch (element.kind) {
+          case ElementKind::Ste:
+            ++block.stes;
+            break;
+          case ElementKind::Counter:
+            ++block.counters;
+            break;
+          case ElementKind::Gate:
+            ++block.bools;
+            break;
+        }
+    };
+
+    const size_t half_core_blocks = _config.blocksPerHalfCore;
+    for (const auto &component : components) {
+        std::vector<ElementId> order = bfsOrder(automaton, component);
+        // A component must not be split across a half-core boundary;
+        // conservatively reject components spanning more blocks than a
+        // half-core holds.
+        size_t min_blocks =
+            (component.size() + block_stes - 1) / block_stes;
+        if (min_blocks > half_core_blocks) {
+            throw CompileError(
+                "connected component with " +
+                std::to_string(component.size()) +
+                " elements exceeds a half-core; the routing matrix "
+                "cannot split it");
+        }
+
+        // Components are packed at row granularity, matching the SDK:
+        // a fresh component starts on a fresh row.
+        BlockState &tail = blocks.back();
+        uint32_t rounded =
+            (tail.stes + _config.stesPerRow - 1) / _config.stesPerRow *
+            _config.stesPerRow;
+        blocks.back().stes = std::min(rounded, block_stes);
+
+        for (ElementId id : order) {
+            const Element &element = automaton[id];
+            if (!fits(blocks.back(), element))
+                blocks.emplace_back();
+            add(blocks.back(), element);
+            result.blockOf[id] =
+                static_cast<uint32_t>(blocks.size() - 1);
+        }
+    }
+
+    if (blocks.size() > _config.blocksPerBoard()) {
+        throw CapacityError(
+            "design needs " + std::to_string(blocks.size()) +
+            " blocks; the board has " +
+            std::to_string(_config.blocksPerBoard()));
+    }
+
+    // --- Refinement: hill-climb the routing cut. -----------------------
+    // Move an element to a random neighbor's block when that reduces
+    // the number of block-crossing edges and capacity allows.
+    if (_options.refineEffort > 0 && blocks.size() > 1) {
+        // Undirected adjacency for cut evaluation.
+        std::vector<std::vector<ElementId>> adjacent(automaton.size());
+        for (ElementId i = 0; i < automaton.size(); ++i) {
+            for (const Edge &edge : automaton[i].outputs) {
+                if (edge.to == i)
+                    continue;
+                adjacent[i].push_back(edge.to);
+                adjacent[edge.to].push_back(i);
+            }
+        }
+        // Exact per-block occupancy (independent of row rounding).
+        std::vector<BlockState> live(blocks.size());
+        for (ElementId i = 0; i < automaton.size(); ++i)
+            add(live[result.blockOf[i]], automaton[i]);
+
+        const size_t n = automaton.size();
+        const size_t iterations = static_cast<size_t>(
+            _options.refineEffort * static_cast<double>(n) *
+            std::log2(static_cast<double>(n) + 2.0));
+        Rng rng(_options.seed);
+        for (size_t iter = 0; iter < iterations; ++iter) {
+            ElementId elem =
+                static_cast<ElementId>(rng.below(n));
+            const auto &neighbors = adjacent[elem];
+            if (neighbors.empty())
+                continue;
+            ElementId peer =
+                neighbors[rng.below(neighbors.size())];
+            uint32_t from = result.blockOf[elem];
+            uint32_t to = result.blockOf[peer];
+            if (from == to)
+                continue;
+            const Element &element = automaton[elem];
+            if (!fits(live[to], element))
+                continue;
+            int delta = 0;
+            for (ElementId other : adjacent[elem]) {
+                uint32_t ob = result.blockOf[other];
+                delta += (ob != to) - (ob != from);
+            }
+            if (delta >= 0)
+                continue;
+            // Accept the move.
+            result.blockOf[elem] = to;
+            add(live[to], element);
+            switch (element.kind) {
+              case ElementKind::Ste:
+                --live[from].stes;
+                break;
+              case ElementKind::Counter:
+                --live[from].counters;
+                break;
+              case ElementKind::Gate:
+                --live[from].bools;
+                break;
+            }
+            ++result.refineMoves;
+        }
+    }
+
+    // --- Metrics. -------------------------------------------------------
+    result.blocks.assign(blocks.size(), BlockUsage{});
+    size_t total_stes = 0;
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        BlockUsage &usage = result.blocks[result.blockOf[i]];
+        const Element &element = automaton[i];
+        switch (element.kind) {
+          case ElementKind::Ste:
+            ++usage.stes;
+            ++total_stes;
+            break;
+          case ElementKind::Counter:
+            ++usage.counters;
+            break;
+          case ElementKind::Gate:
+            ++usage.bools;
+            break;
+        }
+        for (const Edge &edge : element.outputs) {
+            uint32_t a = result.blockOf[i];
+            uint32_t b = result.blockOf[edge.to];
+            if (a == b) {
+                ++result.blocks[a].internalEdges;
+            } else {
+                ++result.blocks[a].crossingEdges;
+                ++result.blocks[b].crossingEdges;
+            }
+        }
+    }
+
+    // Drop blocks that ended up empty after refinement, remapping the
+    // per-element block indices accordingly.
+    std::vector<uint32_t> block_remap(result.blocks.size(), 0);
+    std::vector<BlockUsage> occupied;
+    for (size_t b = 0; b < result.blocks.size(); ++b) {
+        const BlockUsage &usage = result.blocks[b];
+        block_remap[b] = static_cast<uint32_t>(occupied.size());
+        if (usage.stes + usage.counters + usage.bools > 0)
+            occupied.push_back(usage);
+    }
+    for (uint32_t &block : result.blockOf)
+        block = block_remap[block];
+    result.blocks = std::move(occupied);
+    result.totalBlocks = result.blocks.size();
+
+    double br_sum = 0.0;
+    for (BlockUsage &usage : result.blocks) {
+        usage.rowsUsed =
+            (usage.stes + _config.stesPerRow - 1) / _config.stesPerRow;
+        // Routing-line occupancy: intra-block nets are cheap (row
+        // routing), crossing nets and special elements consume block
+        // drive lines.
+        double lines = 0.5 * usage.internalEdges +
+                       3.0 * usage.crossingEdges +
+                       4.0 * (usage.counters + usage.bools);
+        usage.brAllocation =
+            std::min(1.0, lines / _config.routingLinesPerBlock);
+        br_sum += usage.brAllocation;
+    }
+    result.meanBrAllocation =
+        result.totalBlocks ? br_sum / result.totalBlocks : 0.0;
+    result.steUtilization =
+        result.totalBlocks
+            ? static_cast<double>(total_stes) /
+                  (static_cast<double>(result.totalBlocks) * block_stes)
+            : 0.0;
+    result.placeRouteSeconds = timer.seconds();
+    logDebug("ap", strprintf(
+        "placed %zu elements into %zu blocks (util %.1f%%, BR %.1f%%, "
+        "%zu refine moves) in %.3fs",
+        automaton.size(), result.totalBlocks,
+        result.steUtilization * 100.0,
+        result.meanBrAllocation * 100.0, result.refineMoves,
+        result.placeRouteSeconds));
+    return result;
+}
+
+} // namespace rapid::ap

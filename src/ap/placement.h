@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Placement and routing for the AP device model.
+ *
+ * Substitutes for the proprietary AP SDK compiler.  The engine maps an
+ * automaton onto the block hierarchy of resources.h and reports the
+ * metrics the paper's Tables 5 and 6 are built from:
+ *
+ *  - total blocks occupied;
+ *  - STE utilization (placed STEs / STE capacity of occupied blocks);
+ *  - mean BR allocation (per-block routing-line occupancy, averaged
+ *    over occupied blocks);
+ *  - clock divisor (2 when counters and boolean elements are adjacent,
+ *    the signal-propagation limitation noted for MOTOMATA in Table 5);
+ *  - wall-clock placement/routing time.
+ *
+ * Pipeline: weakly-connected components are ordered breadth-first from
+ * their start elements, packed greedily into blocks (largest component
+ * first; components never share a row with another component, matching
+ * the SDK's row granularity), then refined by a hill-climbing pass that
+ * moves elements between blocks to reduce the routing cut.  Refinement
+ * effort grows n·log n with design size — this is what makes whole-board
+ * baseline compiles expensive and block-level tessellation cheap, the
+ * §6 effect Table 6 quantifies.
+ */
+#ifndef RAPID_AP_PLACEMENT_H
+#define RAPID_AP_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ap/resources.h"
+#include "automata/automaton.h"
+
+namespace rapid::ap {
+
+/** Per-block occupancy after placement. */
+struct BlockUsage {
+    uint32_t stes = 0;
+    uint32_t counters = 0;
+    uint32_t bools = 0;
+    uint32_t rowsUsed = 0;
+    /** Edges with exactly one endpoint in this block. */
+    uint32_t crossingEdges = 0;
+    /** Edges with both endpoints in this block. */
+    uint32_t internalEdges = 0;
+    /** Routing-line occupancy in [0, 1]. */
+    double brAllocation = 0.0;
+};
+
+/** The result of placing one design. */
+struct PlacementResult {
+    size_t totalBlocks = 0;
+    double steUtilization = 0.0;
+    double meanBrAllocation = 0.0;
+    int clockDivisor = 1;
+    /** Wall-clock seconds spent placing and routing. */
+    double placeRouteSeconds = 0.0;
+    /** Block index per element (parallel to the automaton). */
+    std::vector<uint32_t> blockOf;
+    std::vector<BlockUsage> blocks;
+    /** Hill-climbing moves accepted during refinement. */
+    size_t refineMoves = 0;
+};
+
+/** Placement effort knobs (mainly for tests and benches). */
+struct PlacementOptions {
+    /**
+     * Refinement effort multiplier; iterations ≈ effort · n · log2(n).
+     * 0 disables refinement (used by the tessellation replication path,
+     * which refines only the tile).
+     */
+    double refineEffort = 4.0;
+    /** Deterministic seed for the refinement pass. */
+    uint64_t seed = 0x5eed;
+};
+
+/** Placement and routing engine for one device configuration. */
+class PlacementEngine {
+  public:
+    explicit PlacementEngine(const DeviceConfig &config = {},
+                             const PlacementOptions &options = {})
+        : _config(config), _options(options)
+    {
+    }
+
+    /**
+     * Place @p automaton onto the device.
+     *
+     * @throws rapid::CapacityError when the design exceeds the board.
+     * @throws rapid::CompileError when a single connected component
+     *         exceeds a half-core (the routing matrix cannot split it).
+     */
+    PlacementResult place(const automata::Automaton &automaton) const;
+
+    /** Resource demand of a whole automaton. */
+    static ResourceVector demand(const automata::Automaton &automaton);
+
+    /**
+     * Clock divisor rule: 2 when any edge connects a counter and a
+     * boolean element (in either direction), else 1.
+     */
+    static int clockDivisor(const automata::Automaton &automaton);
+
+    const DeviceConfig &config() const { return _config; }
+
+  private:
+    DeviceConfig _config;
+    PlacementOptions _options;
+};
+
+} // namespace rapid::ap
+
+#endif // RAPID_AP_PLACEMENT_H

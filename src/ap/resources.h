@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Resource model of the first-generation Automata Processor board.
+ *
+ * Mirrors Table 1 of the paper and the §4 hierarchy: STEs pair into
+ * GoTs; eight GoTs plus a special-purpose element form a row; rows form
+ * blocks; blocks form half-cores; two half-cores per chip (with no
+ * routing between them); 32 chips per board.
+ */
+#ifndef RAPID_AP_RESOURCES_H
+#define RAPID_AP_RESOURCES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rapid::ap {
+
+/** Device geometry; defaults reproduce Table 1 exactly. */
+struct DeviceConfig {
+    uint32_t stesPerRow = 16;
+    uint32_t rowsPerBlock = 16;
+    uint32_t countersPerBlock = 4;
+    uint32_t boolsPerBlock = 12;
+    uint32_t blocksPerHalfCore = 96;
+    uint32_t halfCoresPerChip = 2;
+    uint32_t chipsPerBoard = 32;
+
+    /**
+     * Block-routing signal budget used by the BR-allocation metric: the
+     * share of a block's routing-matrix drive lines a design occupies.
+     */
+    uint32_t routingLinesPerBlock = 256;
+
+    uint32_t stesPerBlock() const { return stesPerRow * rowsPerBlock; }
+
+    size_t
+    blocksPerBoard() const
+    {
+        return static_cast<size_t>(blocksPerHalfCore) * halfCoresPerChip *
+               chipsPerBoard;
+    }
+
+    size_t stesPerBoard() const { return blocksPerBoard() * stesPerBlock(); }
+
+    size_t
+    countersPerBoard() const
+    {
+        return blocksPerBoard() * countersPerBlock;
+    }
+
+    size_t boolsPerBoard() const { return blocksPerBoard() * boolsPerBlock; }
+};
+
+/** Resource demand of a design or design fragment. */
+struct ResourceVector {
+    size_t stes = 0;
+    size_t counters = 0;
+    size_t bools = 0;
+
+    ResourceVector &
+    operator+=(const ResourceVector &other)
+    {
+        stes += other.stes;
+        counters += other.counters;
+        bools += other.bools;
+        return *this;
+    }
+
+    /** True when this demand fits a single block of @p config. */
+    bool
+    fitsBlock(const DeviceConfig &config) const
+    {
+        return stes <= config.stesPerBlock() &&
+               counters <= config.countersPerBlock &&
+               bools <= config.boolsPerBlock;
+    }
+};
+
+} // namespace rapid::ap
+
+#endif // RAPID_AP_RESOURCES_H

@@ -1,0 +1,84 @@
+#include "ap/tessellation.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace rapid::ap {
+
+using automata::Automaton;
+
+Automaton
+replicate(const Automaton &tile, size_t copies)
+{
+    Automaton out;
+    for (size_t i = 0; i < copies; ++i)
+        out.merge(tile, strprintf("t%zu_", i));
+    return out;
+}
+
+size_t
+Tessellator::tilesPerBlock(const Automaton &tile) const
+{
+    ResourceVector need = PlacementEngine::demand(tile);
+    if (!need.fitsBlock(_config)) {
+        throw CapacityError(
+            "tile does not fit a single block (needs " +
+            std::to_string(need.stes) + " STEs, " +
+            std::to_string(need.counters) + " counters, " +
+            std::to_string(need.bools) + " boolean elements)");
+    }
+    // Add copies until the next one would spill out of the block.
+    // Components are placed at row granularity (each automaton starts
+    // on a fresh row), so the STE budget is counted in rows.
+    const size_t rows_per_tile =
+        (need.stes + _config.stesPerRow - 1) / _config.stesPerRow;
+    size_t count = 0;
+    while (true) {
+        size_t next = count + 1;
+        bool fits =
+            next * std::max<size_t>(rows_per_tile, 1) <=
+                _config.rowsPerBlock &&
+            next * need.counters <= _config.countersPerBlock &&
+            next * need.bools <= _config.boolsPerBlock;
+        if (!fits)
+            break;
+        count = next;
+    }
+    internalCheck(count >= 1, "tile fits a block but not one row set");
+    return count;
+}
+
+TiledDesign
+Tessellator::tessellate(const Automaton &tile, size_t instances) const
+{
+    Timer timer;
+    TiledDesign design;
+    design.instances = instances;
+    design.tilesPerBlock = tilesPerBlock(tile);
+    design.blockImage = replicate(tile, design.tilesPerBlock);
+
+    PlacementEngine engine(_config, _options);
+    design.blockPlacement = engine.place(design.blockImage);
+    internalCheck(design.blockPlacement.totalBlocks <= 1,
+                  "tessellation tile image spilled out of one block");
+
+    design.totalBlocks =
+        design.tilesPerBlock
+            ? (instances + design.tilesPerBlock - 1) /
+                  design.tilesPerBlock
+            : 0;
+    if (design.totalBlocks > _config.blocksPerBoard()) {
+        throw CapacityError(
+            "tessellated design needs " +
+            std::to_string(design.totalBlocks) + " blocks; the board "
+            "has " +
+            std::to_string(_config.blocksPerBoard()));
+    }
+    design.tessellateSeconds = timer.seconds();
+    return design;
+}
+
+} // namespace rapid::ap

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Auto-tuning tessellation (§6).
+ *
+ * Instead of placing and routing a board-scale design, tessellation
+ * places a single *block-level tile*: the auto-tuner packs as many
+ * copies of the repeated automaton (the §6 heuristic: the body of a
+ * top-level `some` over a network parameter) as fit one block, places
+ * and routes that one block, and then fills the board by replicating
+ * the block image at load time.  Compile cost is therefore independent
+ * of the problem size — the orders-of-magnitude speedups of Table 6.
+ */
+#ifndef RAPID_AP_TESSELLATION_H
+#define RAPID_AP_TESSELLATION_H
+
+#include <cstddef>
+
+#include "ap/placement.h"
+#include "automata/automaton.h"
+
+namespace rapid::ap {
+
+/** A tessellated (block-replicated) design. */
+struct TiledDesign {
+    /** The placed block image: `tilesPerBlock` merged tile copies. */
+    automata::Automaton blockImage;
+    /** Tile copies embedded in each block by the auto-tuner. */
+    size_t tilesPerBlock = 0;
+    /** Problem size: total tile instances required. */
+    size_t instances = 0;
+    /** Blocks the tiled design occupies: ceil(instances / tilesPerBlock). */
+    size_t totalBlocks = 0;
+    /** Placement of the single block image. */
+    PlacementResult blockPlacement;
+    /** Wall-clock seconds for auto-tuning + block placement. */
+    double tessellateSeconds = 0.0;
+};
+
+/** Auto-tuning tessellator for one device configuration. */
+class Tessellator {
+  public:
+    explicit Tessellator(const DeviceConfig &config = {},
+                         const PlacementOptions &options = {})
+        : _config(config), _options(options)
+    {
+    }
+
+    /**
+     * Tessellate @p instances copies of @p tile across the board.
+     *
+     * @throws rapid::CapacityError when one tile exceeds a block (the
+     *         design is not tileable at block granularity) or the tiled
+     *         design exceeds the board.
+     */
+    TiledDesign tessellate(const automata::Automaton &tile,
+                           size_t instances) const;
+
+    /**
+     * Maximum tile copies per block under the resource vector — the
+     * §6 "iteratively add copies until just before device utilization
+     * increases" auto-tuning step.
+     */
+    size_t tilesPerBlock(const automata::Automaton &tile) const;
+
+  private:
+    DeviceConfig _config;
+    PlacementOptions _options;
+};
+
+/**
+ * Expand @p copies instances of @p tile into one flat automaton (the
+ * runtime block-replication step, used to execute tiled designs on the
+ * simulator).
+ */
+automata::Automaton replicate(const automata::Automaton &tile,
+                              size_t copies);
+
+} // namespace rapid::ap
+
+#endif // RAPID_AP_TESSELLATION_H

@@ -1,0 +1,17 @@
+#include "apps/benchmarks.h"
+
+namespace rapid::apps {
+
+std::vector<std::unique_ptr<Benchmark>>
+allBenchmarks()
+{
+    std::vector<std::unique_ptr<Benchmark>> out;
+    out.push_back(makeArm());
+    out.push_back(makeBrill());
+    out.push_back(makeExact());
+    out.push_back(makeGappy());
+    out.push_back(makeMotomata());
+    return out;
+}
+
+} // namespace rapid::apps

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ARM: association rule mining (Wang, Stan, Skadron [21]).
+ *
+ * Table 3 instance: a candidate item-set of 24 items.  Transactions are
+ * sorted item sequences framed as records; a candidate matches when all
+ * of its items occur (as a subsequence) within one transaction.  The
+ * published design is an item chain with self-looping "skip other
+ * items" states and a saturating counter that latches when all items
+ * have been seen — the counter output reports directly, which is why
+ * ARM keeps clock divisor 1 in Table 5.  Support counting happens on
+ * the host by counting report events.
+ */
+#include "apps/benchmarks.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::CounterMode;
+using automata::ElementId;
+using automata::Port;
+using automata::StartKind;
+
+namespace {
+
+constexpr size_t kItemsetSize = 24;
+/** Item universe: printable symbols, large enough for 24-item sets. */
+constexpr const char *kItems =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+std::vector<std::string>
+randomItemsets(size_t count, size_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::string universe = kItems;
+    std::vector<std::string> sets;
+    sets.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<char> items(universe.begin(), universe.end());
+        rng.shuffle(items);
+        std::string set(items.begin(),
+                        items.begin() + static_cast<long>(size));
+        std::sort(set.begin(), set.end());
+        sets.push_back(std::move(set));
+    }
+    return sets;
+}
+
+class ArmBenchmark : public Benchmark {
+  public:
+    std::string name() const override { return "ARM"; }
+
+    std::string
+    instanceDescription() const override
+    {
+        return "24 item-set";
+    }
+
+    std::string
+    rapidSource() const override
+    {
+        return R"(// Association rule mining: a candidate item-set matches a
+// transaction (one record) when every item occurs in order.  The
+// skip loop consumes unrelated items; it cannot cross the record
+// separator, so partial matches die at transaction boundaries.
+macro itemset(String items, int k) {
+    Counter cnt;
+    foreach (char c : items) {
+        while (c != input());
+        cnt.count();
+    }
+    cnt >= k;
+    report;
+}
+network (String[] candidates, int k) {
+    some (String items : candidates)
+        itemset(items, 24);
+}
+)";
+    }
+
+    std::vector<lang::Value>
+    networkArgs() const override
+    {
+        return {lang::Value::strArray(
+                    randomItemsets(1, kItemsetSize, 0xA53)),
+                lang::Value::integer(static_cast<int64_t>(kItemsetSize))};
+    }
+
+    std::vector<lang::Value>
+    scaledArgs(size_t instances) const override
+    {
+        return {lang::Value::strArray(
+                    randomItemsets(instances, kItemsetSize, 0xA53)),
+                lang::Value::integer(static_cast<int64_t>(kItemsetSize))};
+    }
+
+    /** The published skip-chain + counter design. */
+    static Automaton
+    buildChain(const std::vector<std::string> &candidates)
+    {
+        Automaton design;
+        for (size_t n = 0; n < candidates.size(); ++n) {
+            const std::string &items = candidates[n];
+            ElementId guard = design.addSte(
+                CharSet::single('\xFF'), StartKind::AllInput,
+                strprintf("a%zu_start", n));
+            ElementId counter = design.addCounter(
+                static_cast<uint32_t>(items.size()),
+                CounterMode::Latch, strprintf("a%zu_cnt", n));
+            design.connect(guard, counter, Port::Reset);
+            ElementId prev = guard;
+            for (size_t i = 0; i < items.size(); ++i) {
+                CharSet skip_set = ~CharSet::single(items[i]);
+                skip_set.remove(0xFF);
+                ElementId skip = design.addSte(
+                    skip_set, StartKind::None,
+                    strprintf("a%zu_skip%zu", n, i));
+                ElementId item = design.addSte(
+                    CharSet::single(items[i]), StartKind::None,
+                    strprintf("a%zu_item%zu", n, i));
+                design.connect(prev, skip);
+                design.connect(prev, item);
+                design.connect(skip, skip);
+                design.connect(skip, item);
+                design.connect(item, counter, Port::Count);
+                prev = item;
+            }
+            design.setReport(counter, strprintf("arm_%zu", n));
+        }
+        return design;
+    }
+
+    Automaton
+    handcrafted() const override
+    {
+        return buildChain(randomItemsets(1, kItemsetSize, 0xA53));
+    }
+
+    size_t handcraftedGeneratorLoc() const override { return 31; }
+
+    Workload
+    workload(uint64_t seed) const override
+    {
+        std::string candidate =
+            randomItemsets(1, kItemsetSize, 0xA53).front();
+        Rng rng(seed);
+        Workload load;
+        const std::string universe = kItems;
+        for (size_t t = 0; t < 600; ++t) {
+            // A sorted transaction: a random subset of the universe,
+            // sometimes guaranteed to contain the candidate.
+            std::vector<char> transaction;
+            bool force = rng.chance(0.2);
+            for (char item : universe) {
+                bool in_candidate =
+                    candidate.find(item) != std::string::npos;
+                double p = in_candidate ? (force ? 1.0 : 0.55) : 0.3;
+                if (rng.chance(p))
+                    transaction.push_back(item);
+            }
+            uint64_t record_start = load.stream.size();
+            load.stream.push_back(static_cast<char>(0xFF));
+            load.stream.append(transaction.begin(), transaction.end());
+            // Ground truth: greedy subsequence match; report offset is
+            // where the final item is consumed.
+            size_t matched = 0;
+            uint64_t last_pos = 0;
+            for (size_t j = 0;
+                 j < transaction.size() && matched < candidate.size();
+                 ++j) {
+                if (transaction[j] == candidate[matched]) {
+                    ++matched;
+                    last_pos = record_start + 1 + j;
+                }
+            }
+            if (matched == candidate.size())
+                load.truth.push_back(last_pos);
+        }
+        return load;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeArm()
+{
+    return std::make_unique<ArmBenchmark>();
+}
+
+} // namespace rapid::apps

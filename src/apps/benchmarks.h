@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The five benchmark applications of the paper's evaluation (Table 3).
+ *
+ * Each benchmark supplies, for one instance of its Table-3 problem
+ * size:
+ *
+ *  - the RAPID program and concrete network arguments;
+ *  - a *handcrafted* design: a C++ port of the published ANML
+ *    generator / Workbench design the paper compared against
+ *    (positional-encoding lattice for MOTOMATA, skip-chain for ARM,
+ *    gap ladders for Gappy, plain chains for Exact and Brill);
+ *  - for Brill, the regular-expression formulation (Table 4 "Re");
+ *  - a deterministic synthetic workload with ground-truth report
+ *    offsets, used by the correctness cross-checks;
+ *  - scaled argument lists for the board-filling Table-6 experiments.
+ */
+#ifndef RAPID_APPS_BENCHMARKS_H
+#define RAPID_APPS_BENCHMARKS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "lang/value.h"
+
+namespace rapid::apps {
+
+/** A synthetic input stream with ground truth. */
+struct Workload {
+    /** The device input stream (already framed / transformed). */
+    std::string stream;
+    /**
+     * Ground-truth report offsets (0-based positions in `stream` at
+     * which a correct implementation reports), sorted and unique.
+     */
+    std::vector<uint64_t> truth;
+};
+
+/** One evaluation application. */
+class Benchmark {
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Short name as used in the paper's tables ("ARM", "Exact", ...). */
+    virtual std::string name() const = 0;
+
+    /** Table 3 instance description. */
+    virtual std::string instanceDescription() const = 0;
+
+    /** The RAPID program text. */
+    virtual std::string rapidSource() const = 0;
+
+    /** Network arguments for the default (Table 3) instance. */
+    virtual std::vector<lang::Value> networkArgs() const = 0;
+
+    /** The published hand-crafted design for the same instance. */
+    virtual automata::Automaton handcrafted() const = 0;
+
+    /**
+     * Size of the hand-crafted design's *generator* in lines of code
+     * (the paper's Table-4 "LOC" column for H rows counts the custom
+     * Java/Python/Workbench effort).  Measured over the C++ port in
+     * this repository's apps module.
+     */
+    virtual size_t handcraftedGeneratorLoc() const = 0;
+
+    /**
+     * Regular-expression formulation, one pattern per line (empty for
+     * benchmarks the paper gives no regex variant for).
+     */
+    virtual std::vector<std::string> regexes() const { return {}; }
+
+    /** Deterministic workload with ground truth. */
+    virtual Workload workload(uint64_t seed) const = 0;
+
+    /**
+     * Arguments for a board-scale instance with @p instances parallel
+     * patterns (Table 6).  Returns an empty vector for benchmarks that
+     * do not scale this way (Brill is fixed-size, §7).
+     */
+    virtual std::vector<lang::Value>
+    scaledArgs(size_t instances) const
+    {
+        (void)instances;
+        return {};
+    }
+};
+
+std::unique_ptr<Benchmark> makeExact();
+std::unique_ptr<Benchmark> makeGappy();
+std::unique_ptr<Benchmark> makeMotomata();
+std::unique_ptr<Benchmark> makeArm();
+std::unique_ptr<Benchmark> makeBrill();
+
+/** All five, in the paper's table order (ARM, Brill, Exact, Gappy, MOTOMATA). */
+std::vector<std::unique_ptr<Benchmark>> allBenchmarks();
+
+} // namespace rapid::apps
+
+#endif // RAPID_APPS_BENCHMARKS_H

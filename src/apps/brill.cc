@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Brill tagging rule rewriting (Zhou et al. [23]).
+ *
+ * Table 3 instance: 219 contextual re-write rules over a tagged-token
+ * stream ("word/TAG word/TAG ...").  The authors' original rule file is
+ * not public; we synthesize a 219-rule population from Penn-style tags
+ * using the Brill contextual templates (previous-tag, next-tag, and
+ * current-word triggers), which preserves the structural mix the
+ * automata sizes depend on.  Three formulations are provided, matching
+ * Table 4's three Brill rows: the RAPID program (R), the hand-crafted
+ * chain generator (H), and regular expressions (Re).
+ */
+#include "apps/benchmarks.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::StartKind;
+
+namespace {
+
+constexpr size_t kRuleCount = 219;
+
+const std::vector<std::string> &
+tagSet()
+{
+    static const std::vector<std::string> tags = {
+        "CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "MD",
+        "NN", "NNS", "NNP", "PDT", "POS", "PRP", "RB", "RBR", "RBS",
+        "RP", "TO", "UH", "VB", "VBD", "VBG", "VBN", "VBP", "VBZ",
+        "WDT", "WP", "WRB",
+    };
+    return tags;
+}
+
+/**
+ * One contextual rule: match token "…/prev <word>/cur " — re-write
+ * triggers when a token tagged `cur` follows a token tagged `prev`.
+ * When `word` is non-empty the rule additionally pins the second
+ * token's word (the current-word template).
+ */
+struct BrillRule {
+    std::string prev;
+    std::string cur;
+    std::string word; // empty = any word
+};
+
+std::vector<BrillRule>
+synthesizeRules(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto &tags = tagSet();
+    std::vector<BrillRule> rules;
+    rules.reserve(count);
+    while (rules.size() < count) {
+        BrillRule rule;
+        rule.prev = tags[rng.below(tags.size())];
+        rule.cur = tags[rng.below(tags.size())];
+        if (rule.prev == rule.cur)
+            continue;
+        if (rng.chance(0.25))
+            rule.word = rng.string(3 + rng.below(5),
+                                   "abcdefghijklmnopqrstuvwxyz");
+        // Avoid duplicates so every rule contributes distinct automata.
+        bool duplicate = false;
+        for (const BrillRule &existing : rules) {
+            if (existing.prev == rule.prev &&
+                existing.cur == rule.cur &&
+                existing.word == rule.word) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate)
+            rules.push_back(std::move(rule));
+    }
+    return rules;
+}
+
+class BrillBenchmark : public Benchmark {
+  public:
+    std::string name() const override { return "Brill"; }
+
+    std::string
+    instanceDescription() const override
+    {
+        return "219 rules";
+    }
+
+    std::string
+    rapidSource() const override
+    {
+        return R"(// Brill contextual rule matching over a "word/TAG " token
+// stream.  Each rule fires where a token tagged `cur` (optionally
+// with a specific word) follows a token tagged `prev`.
+macro brill_rule(String prev, String word, String cur) {
+    '/' == input();
+    foreach (char c : prev) c == input();
+    ' ' == input();
+    if (word == "") {
+        while ('/' != input());
+    } else {
+        foreach (char c : word) c == input();
+        '/' == input();
+    }
+    foreach (char c : cur) c == input();
+    ' ' == input();
+    report;
+}
+network (String[][] rules) {
+    some (String[] r : rules) {
+        whenever (ALL_INPUT == input()) {
+            brill_rule(r[0], r[1], r[2]);
+        }
+    }
+}
+)";
+    }
+
+    std::vector<lang::Value>
+    networkArgs() const override
+    {
+        auto rules = synthesizeRules(kRuleCount, 0xB9111);
+        lang::ValueList encoded;
+        encoded.reserve(rules.size());
+        for (const BrillRule &rule : rules) {
+            encoded.push_back(lang::Value::strArray(
+                {rule.prev, rule.word, rule.cur}));
+        }
+        return {lang::Value::array(lang::Type(lang::BaseType::String, 1),
+                                   std::move(encoded))};
+    }
+
+    std::vector<std::string>
+    regexes() const override
+    {
+        auto rules = synthesizeRules(kRuleCount, 0xB9111);
+        std::vector<std::string> patterns;
+        patterns.reserve(rules.size());
+        for (const BrillRule &rule : rules) {
+            std::string word =
+                rule.word.empty() ? "[^/]*" : rule.word;
+            patterns.push_back("/" + rule.prev + " " + word + "/" +
+                               rule.cur + " ");
+        }
+        return patterns;
+    }
+
+    /** Hand-crafted chain generator (port of the authors' Java). */
+    static Automaton
+    buildChains(const std::vector<BrillRule> &rules)
+    {
+        Automaton design;
+        for (size_t n = 0; n < rules.size(); ++n) {
+            const BrillRule &rule = rules[n];
+            std::string head = "/" + rule.prev + " ";
+            ElementId prev = automata::kNoElement;
+            size_t serial = 0;
+            auto chain = [&](char symbol, StartKind start) {
+                ElementId ste = design.addSte(
+                    CharSet::single(symbol), start,
+                    strprintf("b%zu_%zu", n, serial++));
+                if (prev != automata::kNoElement)
+                    design.connect(prev, ste);
+                prev = ste;
+            };
+            for (size_t i = 0; i < head.size(); ++i) {
+                chain(head[i],
+                      i == 0 ? StartKind::AllInput : StartKind::None);
+            }
+            if (rule.word.empty()) {
+                // Word wildcard: a self-looping [^/] skip plus the '/'
+                // delimiter.
+                CharSet skip_set = ~CharSet::single('/');
+                skip_set.remove(0xFF);
+                ElementId skip = design.addSte(
+                    skip_set, StartKind::None,
+                    strprintf("b%zu_skip", n));
+                ElementId delim = design.addSte(
+                    CharSet::single('/'), StartKind::None,
+                    strprintf("b%zu_delim", n));
+                design.connect(prev, skip);
+                design.connect(prev, delim);
+                design.connect(skip, skip);
+                design.connect(skip, delim);
+                prev = delim;
+            } else {
+                for (char c : rule.word)
+                    chain(c, StartKind::None);
+                chain('/', StartKind::None);
+            }
+            for (char c : rule.cur)
+                chain(c, StartKind::None);
+            chain(' ', StartKind::None);
+            design.setReport(prev, strprintf("brill_%zu", n));
+        }
+        return design;
+    }
+
+    Automaton
+    handcrafted() const override
+    {
+        return buildChains(synthesizeRules(kRuleCount, 0xB9111));
+    }
+
+    size_t handcraftedGeneratorLoc() const override { return 47; }
+
+    Workload
+    workload(uint64_t seed) const override
+    {
+        auto rules = synthesizeRules(kRuleCount, 0xB9111);
+        Rng rng(seed);
+        const auto &tags = tagSet();
+        Workload load;
+        // A tagged corpus; occasionally force a rule-trigger bigram.
+        size_t tokens = 4000;
+        std::string pending_tag;
+        std::string pending_word;
+        for (size_t t = 0; t < tokens; ++t) {
+            std::string word =
+                rng.string(2 + rng.below(6),
+                           "abcdefghijklmnopqrstuvwxyz");
+            std::string tag = tags[rng.below(tags.size())];
+            if (!pending_tag.empty()) {
+                tag = pending_tag;
+                if (!pending_word.empty())
+                    word = pending_word;
+                pending_tag.clear();
+                pending_word.clear();
+            } else if (rng.chance(0.1)) {
+                const BrillRule &rule = rules[rng.below(rules.size())];
+                tag = rule.prev;
+                pending_tag = rule.cur;
+                pending_word = rule.word;
+            }
+            load.stream += word;
+            load.stream.push_back('/');
+            load.stream += tag;
+            load.stream.push_back(' ');
+        }
+        load.truth = groundTruth(rules, load.stream);
+        return load;
+    }
+
+  private:
+    /** Scan the corpus with each rule pattern (reference matcher). */
+    static std::vector<uint64_t>
+    groundTruth(const std::vector<BrillRule> &rules,
+                const std::string &stream)
+    {
+        std::vector<uint64_t> truth;
+        for (const BrillRule &rule : rules) {
+            std::string head = "/" + rule.prev + " ";
+            for (size_t pos = 0;
+                 pos + head.size() <= stream.size(); ++pos) {
+                if (stream.compare(pos, head.size(), head) != 0)
+                    continue;
+                size_t word_start = pos + head.size();
+                // The word: shortest run to the next '/'.
+                size_t slash = stream.find('/', word_start);
+                if (slash == std::string::npos)
+                    continue;
+                if (!rule.word.empty() &&
+                    stream.substr(word_start, slash - word_start) !=
+                        rule.word) {
+                    continue;
+                }
+                std::string tail = rule.cur + " ";
+                if (stream.compare(slash + 1, tail.size(), tail) != 0)
+                    continue;
+                truth.push_back(slash + tail.size());
+            }
+        }
+        std::sort(truth.begin(), truth.end());
+        truth.erase(std::unique(truth.begin(), truth.end()),
+                    truth.end());
+        return truth;
+    }
+
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeBrill()
+{
+    return std::make_unique<BrillBenchmark>();
+}
+
+} // namespace rapid::apps

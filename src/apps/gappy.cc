@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Gappy DNA string search (Bo et al. [4]).
+ *
+ * Table 3 instance: 25-bp patterns with up to 3 arbitrary gap symbols
+ * allowed between consecutive pattern characters.  The hand-crafted
+ * design is the published "gap ladder": after each pattern character, a
+ * ladder of star STEs feeds the next character at every allowed gap
+ * length.
+ */
+#include "apps/benchmarks.h"
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::StartKind;
+
+namespace {
+
+constexpr size_t kPatternLength = 25;
+constexpr int kMaxGap = 3;
+constexpr size_t kDefaultPatterns = 8;
+constexpr const char *kDna = "ACGT";
+
+std::vector<std::string>
+randomPatterns(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> patterns;
+    patterns.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        patterns.push_back(rng.string(kPatternLength, kDna));
+    return patterns;
+}
+
+class GappyBenchmark : public Benchmark {
+  public:
+    std::string name() const override { return "Gappy"; }
+
+    std::string
+    instanceDescription() const override
+    {
+        return "25-bp, gaps <= 3";
+    }
+
+    std::string
+    rapidSource() const override
+    {
+        return R"(// Gappy DNA search: pattern characters may be separated by up
+// to `maxGap` arbitrary symbols.  Each gap length is explored in
+// parallel via `some` over the allowed lengths.
+macro gappy(String p, int[] gaps) {
+    p[0] == input();
+    int i = 1;
+    while (i < p.length()) {
+        some (int k : gaps) {
+            int j = 0;
+            while (j < k) {
+                ALL_INPUT == input();
+                j = j + 1;
+            }
+            p[i] == input();
+        }
+        i = i + 1;
+    }
+    report;
+}
+network (String[] patterns, int[] gaps) {
+    some (String p : patterns) {
+        whenever (ALL_INPUT == input()) {
+            gappy(p, gaps);
+        }
+    }
+}
+)";
+    }
+
+    std::vector<lang::Value>
+    gapsArg() const
+    {
+        std::vector<int64_t> gaps;
+        for (int k = 0; k <= kMaxGap; ++k)
+            gaps.push_back(k);
+        return {lang::Value::intArray(gaps)};
+    }
+
+    std::vector<lang::Value>
+    networkArgs() const override
+    {
+        return {lang::Value::strArray(
+                    randomPatterns(kDefaultPatterns, 0x6A99)),
+                gapsArg().front()};
+    }
+
+    std::vector<lang::Value>
+    scaledArgs(size_t instances) const override
+    {
+        return {lang::Value::strArray(randomPatterns(instances, 0x6A99)),
+                gapsArg().front()};
+    }
+
+    // Hand-crafted gap-ladder generator, as published.
+    static Automaton
+    buildLadder(const std::vector<std::string> &patterns)
+    {
+        Automaton design;
+        for (size_t p = 0; p < patterns.size(); ++p) {
+            const std::string &pattern = patterns[p];
+            ElementId prev = design.addSte(
+                CharSet::single(pattern[0]), StartKind::AllInput,
+                strprintf("g%zu_c0", p));
+            for (size_t i = 1; i < pattern.size(); ++i) {
+                ElementId next = design.addSte(
+                    CharSet::single(pattern[i]), StartKind::None,
+                    strprintf("g%zu_c%zu", p, i));
+                design.connect(prev, next);
+                ElementId hop = prev;
+                for (int k = 1; k <= kMaxGap; ++k) {
+                    ElementId star = design.addSte(
+                        CharSet::all(), StartKind::None,
+                        strprintf("g%zu_c%zu_s%d", p, i, k));
+                    design.connect(hop, star);
+                    design.connect(star, next);
+                    hop = star;
+                }
+                prev = next;
+            }
+            design.setReport(prev, strprintf("gappy_%zu", p));
+        }
+        return design;
+    }
+
+    Automaton
+    handcrafted() const override
+    {
+        return buildLadder(randomPatterns(kDefaultPatterns, 0x6A99));
+    }
+
+    size_t handcraftedGeneratorLoc() const override { return 27; }
+
+    Workload
+    workload(uint64_t seed) const override
+    {
+        auto patterns = randomPatterns(kDefaultPatterns, 0x6A99);
+        Rng rng(seed);
+        Workload load;
+        load.stream = rng.string(6000, kDna);
+        // Plant gapped occurrences of pattern 0.
+        const std::string &pattern = patterns[0];
+        for (size_t base = 300; base + 4 * pattern.size() <
+                                    load.stream.size();
+             base += 1431) {
+            size_t pos = base;
+            Rng gap_rng(base);
+            for (char c : pattern) {
+                pos += gap_rng.below(kMaxGap + 1); // gap before char
+                load.stream[pos++] = c;
+            }
+        }
+        // Ground truth by dynamic programming over all patterns: ends[i]
+        // = offsets at which a prefix of length i+1 can end.
+        std::vector<char> seen(load.stream.size(), 0);
+        for (const std::string &p : patterns) {
+            std::vector<std::vector<char>> ends(
+                p.size(),
+                std::vector<char>(load.stream.size(), 0));
+            for (size_t j = 0; j < load.stream.size(); ++j)
+                ends[0][j] = load.stream[j] == p[0];
+            for (size_t i = 1; i < p.size(); ++i) {
+                for (size_t j = 1; j < load.stream.size(); ++j) {
+                    if (load.stream[j] != p[i])
+                        continue;
+                    for (int k = 0; k <= kMaxGap; ++k) {
+                        if (j < static_cast<size_t>(k) + 1)
+                            break;
+                        if (ends[i - 1][j - 1 - k]) {
+                            ends[i][j] = 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            for (size_t j = 0; j < load.stream.size(); ++j) {
+                if (ends[p.size() - 1][j])
+                    seen[j] = 1;
+            }
+        }
+        for (size_t j = 0; j < seen.size(); ++j) {
+            if (seen[j])
+                load.truth.push_back(j);
+        }
+        return load;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeGappy()
+{
+    return std::make_unique<GappyBenchmark>();
+}
+
+} // namespace rapid::apps

@@ -1,0 +1,114 @@
+#include "apps/hamming_cookbook.h"
+
+#include <algorithm>
+#include <set>
+
+#include "anml/anml.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::kNoElement;
+using automata::StartKind;
+
+Automaton
+cookbookHamming(const std::string &pattern, int d)
+{
+    // The cookbook band construction: positions i (consumed symbols)
+    // by mismatch counts r (0..d).  match STE consumes pattern[i] and
+    // stays in band r; mismatch STE consumes anything else and falls to
+    // band r+1.
+    Automaton design;
+    const int length = static_cast<int>(pattern.size());
+    std::vector<std::vector<ElementId>> match(length);
+    std::vector<std::vector<ElementId>> miss(length);
+    for (int i = 0; i < length; ++i) {
+        int bands = std::min(i, d);
+        match[i].assign(bands + 1, kNoElement);
+        miss[i].assign(bands + 1, kNoElement);
+        for (int r = 0; r <= bands; ++r) {
+            match[i][r] = design.addSte(
+                CharSet::single(pattern[i]),
+                i == 0 ? StartKind::StartOfData : StartKind::None,
+                strprintf("m_%d_%d", i, r));
+            if (r < d) {
+                miss[i][r] = design.addSte(
+                    ~CharSet::single(pattern[i]),
+                    i == 0 ? StartKind::StartOfData : StartKind::None,
+                    strprintf("x_%d_%d", i, r));
+            }
+            if (i == length - 1) {
+                design.setReport(match[i][r], "hamming");
+                if (miss[i][r] != kNoElement)
+                    design.setReport(miss[i][r], "hamming");
+            }
+        }
+    }
+    for (int i = 0; i + 1 < length; ++i) {
+        int bands = std::min(i, d);
+        for (int r = 0; r <= bands; ++r) {
+            design.connect(match[i][r], match[i + 1][r]);
+            if (miss[i + 1][r] != kNoElement)
+                design.connect(match[i][r], miss[i + 1][r]);
+            if (miss[i][r] != kNoElement) {
+                design.connect(miss[i][r], match[i + 1][r + 1]);
+                if (miss[i + 1][r + 1] != kNoElement)
+                    design.connect(miss[i][r], miss[i + 1][r + 1]);
+            }
+        }
+    }
+    return design;
+}
+
+std::string
+cookbookHammingAnml(const std::string &pattern, int d)
+{
+    return anml::emitAnml(cookbookHamming(pattern, d),
+                          "hamming_" + std::to_string(pattern.size()));
+}
+
+double
+cookbookChangeFraction(const std::string &from, const std::string &to,
+                       int d)
+{
+    std::vector<std::string> a = split(cookbookHammingAnml(from, d), '\n');
+    std::vector<std::string> b = split(cookbookHammingAnml(to, d), '\n');
+    // Lines of the larger design that do not appear verbatim in the
+    // smaller one must be written or modified.
+    std::multiset<std::string> original(a.begin(), a.end());
+    size_t unchanged = 0;
+    for (const std::string &line : b) {
+        auto it = original.find(line);
+        if (it != original.end()) {
+            ++unchanged;
+            original.erase(it);
+        }
+    }
+    size_t total = b.size();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(total - unchanged) /
+                     static_cast<double>(total);
+}
+
+std::string
+rapidHammingSource()
+{
+    return R"(macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] comparisons) {
+    some (String s : comparisons)
+        hamming_distance(s, 5);
+}
+)";
+}
+
+} // namespace rapid::apps

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * MOTOMATA: planted-motif search (Roy and Aluru [18]).
+ *
+ * Table 3 instance: (l, d) = (17, 6) — report candidates within Hamming
+ * distance 6 of a 17-character motif.  Candidates arrive as framed
+ * records.  The RAPID program is the Fig. 1 Hamming macro (saturating
+ * counter + inverter); the hand-crafted baseline is the published
+ * *positional-encoding* lattice, which trades roughly twice the STEs
+ * for counter-free operation — exactly the contrast Table 4 reports
+ * (R 53 vs H 150 STEs) and the reason the R row pays a clock divisor
+ * of 2 in Table 5.
+ */
+#include "apps/benchmarks.h"
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::kNoElement;
+using automata::StartKind;
+
+namespace {
+
+constexpr size_t kMotifLength = 17;
+constexpr int kDistance = 6;
+constexpr const char *kDna = "ACGT";
+
+std::vector<std::string>
+randomMotifs(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> motifs;
+    motifs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        motifs.push_back(rng.string(kMotifLength, kDna));
+    return motifs;
+}
+
+class MotomataBenchmark : public Benchmark {
+  public:
+    std::string name() const override { return "MOTOMATA"; }
+
+    std::string
+    instanceDescription() const override
+    {
+        return "(17,6) motifs";
+    }
+
+    std::string
+    rapidSource() const override
+    {
+        return R"(// Planted-motif search: report candidate records within
+// Hamming distance d of any motif (the Fig. 1 program).
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] motifs, int d) {
+    some (String s : motifs)
+        hamming_distance(s, d);
+}
+)";
+    }
+
+    std::vector<lang::Value>
+    networkArgs() const override
+    {
+        return {lang::Value::strArray(randomMotifs(1, 0x307031)),
+                lang::Value::integer(kDistance)};
+    }
+
+    std::vector<lang::Value>
+    scaledArgs(size_t instances) const override
+    {
+        return {lang::Value::strArray(randomMotifs(instances, 0x307031)),
+                lang::Value::integer(kDistance)};
+    }
+
+    /**
+     * The published positional-encoding design: STE m(i,r) consumes
+     * motif character i having seen r mismatches; x(i,r) consumes a
+     * mismatching character.  The mismatch count is encoded in the
+     * lattice position, so no counter (and no clock division) is
+     * needed, at the cost of ~2x the states.
+     */
+    static Automaton
+    buildLattice(const std::vector<std::string> &motifs, int d)
+    {
+        Automaton design;
+        for (size_t m = 0; m < motifs.size(); ++m) {
+            const std::string &motif = motifs[m];
+            const int length = static_cast<int>(motif.size());
+            ElementId guard = design.addSte(
+                CharSet::single('\xFF'), StartKind::AllInput,
+                strprintf("m%zu_start", m));
+            // match[i][r] / miss[i][r], r <= min(i, d).
+            std::vector<std::vector<ElementId>> match(length);
+            std::vector<std::vector<ElementId>> miss(length);
+            for (int i = 0; i < length; ++i) {
+                int max_r = std::min(i, d);
+                match[i].assign(max_r + 1, kNoElement);
+                miss[i].assign(max_r + 1, kNoElement);
+                for (int r = 0; r <= max_r; ++r) {
+                    match[i][r] = design.addSte(
+                        CharSet::single(motif[i]), StartKind::None,
+                        strprintf("m%zu_m_%d_%d", m, i, r));
+                    if (r < d) {
+                        miss[i][r] = design.addSte(
+                            ~CharSet::single(motif[i]) &
+                                ~CharSet::single('\xFF'),
+                            StartKind::None,
+                            strprintf("m%zu_x_%d_%d", m, i, r));
+                    }
+                    bool last = i == length - 1;
+                    if (last) {
+                        design.setReport(match[i][r],
+                                         strprintf("motomata_%zu", m));
+                        if (miss[i][r] != kNoElement) {
+                            design.setReport(
+                                miss[i][r],
+                                strprintf("motomata_%zu", m));
+                        }
+                    }
+                }
+            }
+            design.connect(guard, match[0][0]);
+            if (miss[0][0] != kNoElement)
+                design.connect(guard, miss[0][0]);
+            for (int i = 0; i + 1 < length; ++i) {
+                int max_r = std::min(i, d);
+                for (int r = 0; r <= max_r; ++r) {
+                    if (match[i][r] != kNoElement) {
+                        design.connect(match[i][r], match[i + 1][r]);
+                        if (miss[i + 1][r] != kNoElement) {
+                            design.connect(match[i][r],
+                                           miss[i + 1][r]);
+                        }
+                    }
+                    if (miss[i][r] != kNoElement) {
+                        design.connect(miss[i][r], match[i + 1][r + 1]);
+                        if (r + 1 <= std::min(i + 1, d) &&
+                            miss[i + 1][r + 1] != kNoElement) {
+                            design.connect(miss[i][r],
+                                           miss[i + 1][r + 1]);
+                        }
+                    }
+                }
+            }
+        }
+        return design;
+    }
+
+    Automaton
+    handcrafted() const override
+    {
+        return buildLattice(randomMotifs(1, 0x307031), kDistance);
+    }
+
+    size_t handcraftedGeneratorLoc() const override { return 58; }
+
+    Workload
+    workload(uint64_t seed) const override
+    {
+        std::string motif = randomMotifs(1, 0x307031).front();
+        Rng rng(seed);
+        Workload load;
+        // Candidate records of motif length, framed by START_OF_INPUT.
+        size_t candidates = 400;
+        for (size_t i = 0; i < candidates; ++i) {
+            std::string candidate;
+            if (rng.chance(0.3)) {
+                // A planted near-motif with 0..8 substitutions.
+                candidate = motif;
+                int subs = static_cast<int>(rng.below(9));
+                for (int s = 0; s < subs; ++s) {
+                    size_t pos = rng.below(candidate.size());
+                    candidate[pos] = rng.pick(kDna);
+                }
+            } else {
+                candidate = rng.string(kMotifLength, kDna);
+            }
+            uint64_t record_start = load.stream.size();
+            load.stream.push_back(static_cast<char>(0xFF));
+            load.stream += candidate;
+            int distance = 0;
+            for (size_t i2 = 0; i2 < motif.size(); ++i2) {
+                if (candidate[i2] != motif[i2])
+                    ++distance;
+            }
+            if (distance <= kDistance) {
+                load.truth.push_back(record_start + candidate.size());
+            }
+        }
+        return load;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeMotomata()
+{
+    return std::make_unique<MotomataBenchmark>();
+}
+
+} // namespace rapid::apps

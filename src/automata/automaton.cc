@@ -1,0 +1,394 @@
+#include "automata/automaton.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::automata {
+
+const char *
+kindName(ElementKind kind)
+{
+    switch (kind) {
+      case ElementKind::Ste:
+        return "ste";
+      case ElementKind::Counter:
+        return "counter";
+      case ElementKind::Gate:
+        return "gate";
+    }
+    return "?";
+}
+
+const char *
+gateOpName(GateOp op)
+{
+    switch (op) {
+      case GateOp::And:
+        return "and";
+      case GateOp::Or:
+        return "or";
+      case GateOp::Not:
+        return "inverter";
+      case GateOp::Nand:
+        return "nand";
+      case GateOp::Nor:
+        return "nor";
+    }
+    return "?";
+}
+
+std::string
+Automaton::freshId(const char *stem)
+{
+    std::string id;
+    do {
+        id = strprintf("__%s%llu", stem,
+                       static_cast<unsigned long long>(_nextAuto++));
+    } while (_byId.count(id));
+    return id;
+}
+
+ElementId
+Automaton::addSte(const CharSet &symbols, StartKind start,
+                  const std::string &id)
+{
+    Element element;
+    element.kind = ElementKind::Ste;
+    element.symbols = symbols;
+    element.start = start;
+    element.id = id.empty() ? freshId("ste") : id;
+    internalCheck(!_byId.count(element.id),
+                  "duplicate element id: " + element.id);
+    ElementId index = static_cast<ElementId>(_elements.size());
+    _byId.emplace(element.id, index);
+    _elements.push_back(std::move(element));
+    return index;
+}
+
+ElementId
+Automaton::addCounter(uint32_t target, CounterMode mode,
+                      const std::string &id)
+{
+    Element element;
+    element.kind = ElementKind::Counter;
+    element.target = target;
+    element.mode = mode;
+    element.id = id.empty() ? freshId("cnt") : id;
+    internalCheck(!_byId.count(element.id),
+                  "duplicate element id: " + element.id);
+    ElementId index = static_cast<ElementId>(_elements.size());
+    _byId.emplace(element.id, index);
+    _elements.push_back(std::move(element));
+    return index;
+}
+
+ElementId
+Automaton::addGate(GateOp op, const std::string &id)
+{
+    Element element;
+    element.kind = ElementKind::Gate;
+    element.op = op;
+    element.id = id.empty() ? freshId("gate") : id;
+    internalCheck(!_byId.count(element.id),
+                  "duplicate element id: " + element.id);
+    ElementId index = static_cast<ElementId>(_elements.size());
+    _byId.emplace(element.id, index);
+    _elements.push_back(std::move(element));
+    return index;
+}
+
+void
+Automaton::connect(ElementId from, ElementId to, Port port)
+{
+    internalCheck(from < _elements.size() && to < _elements.size(),
+                  "connect: element index out of range");
+    const Element &target = _elements[to];
+    if (port == Port::Count || port == Port::Reset) {
+        internalCheck(target.kind == ElementKind::Counter,
+                      "count/reset port on non-counter element " +
+                          target.id);
+    } else {
+        internalCheck(target.kind != ElementKind::Counter,
+                      "activate port on counter " + target.id +
+                          " (use Count or Reset)");
+    }
+    Edge edge{to, port};
+    auto &outputs = _elements[from].outputs;
+    if (std::find(outputs.begin(), outputs.end(), edge) == outputs.end())
+        outputs.push_back(edge);
+}
+
+void
+Automaton::setReport(ElementId element, const std::string &code)
+{
+    internalCheck(element < _elements.size(), "setReport: bad element");
+    _elements[element].report = true;
+    _elements[element].reportCode = code;
+}
+
+void
+Automaton::clearReport(ElementId element)
+{
+    internalCheck(element < _elements.size(), "clearReport: bad element");
+    _elements[element].report = false;
+    _elements[element].reportCode.clear();
+}
+
+ElementId
+Automaton::findId(const std::string &id) const
+{
+    auto it = _byId.find(id);
+    return it == _byId.end() ? kNoElement : it->second;
+}
+
+AutomatonStats
+Automaton::stats() const
+{
+    AutomatonStats out;
+    for (const Element &element : _elements) {
+        switch (element.kind) {
+          case ElementKind::Ste:
+            ++out.stes;
+            if (element.start != StartKind::None)
+                ++out.startStes;
+            break;
+          case ElementKind::Counter:
+            ++out.counters;
+            break;
+          case ElementKind::Gate:
+            ++out.gates;
+            break;
+        }
+        if (element.report)
+            ++out.reporting;
+        out.edges += element.outputs.size();
+    }
+    return out;
+}
+
+std::vector<std::vector<std::pair<ElementId, Port>>>
+Automaton::fanIn() const
+{
+    std::vector<std::vector<std::pair<ElementId, Port>>> in(
+        _elements.size());
+    for (ElementId from = 0; from < _elements.size(); ++from) {
+        for (const Edge &edge : _elements[from].outputs)
+            in[edge.to].emplace_back(from, edge.port);
+    }
+    return in;
+}
+
+void
+Automaton::validate() const
+{
+    auto in = fanIn();
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        const Element &element = _elements[i];
+        switch (element.kind) {
+          case ElementKind::Ste:
+            if (element.symbols.empty()) {
+                throw CompileError("STE " + element.id +
+                                   " has an empty character class");
+            }
+            break;
+          case ElementKind::Counter: {
+            if (element.target == 0) {
+                throw CompileError("counter " + element.id +
+                                   " has target 0");
+            }
+            bool has_count = false;
+            for (auto &[src, port] : in[i]) {
+                (void)src;
+                if (port == Port::Count)
+                    has_count = true;
+            }
+            if (!has_count) {
+                throw CompileError("counter " + element.id +
+                                   " has no count input");
+            }
+            break;
+          }
+          case ElementKind::Gate: {
+            size_t operands = in[i].size();
+            if (operands == 0) {
+                throw CompileError("gate " + element.id +
+                                   " has no operands");
+            }
+            if (element.op == GateOp::Not && operands != 1) {
+                throw CompileError("inverter " + element.id +
+                                   " must have exactly one operand");
+            }
+            break;
+          }
+        }
+        for (const Edge &edge : element.outputs) {
+            if (edge.to >= _elements.size()) {
+                throw CompileError("edge from " + element.id +
+                                   " targets a missing element");
+            }
+        }
+    }
+
+    // The combinational subnetwork (gates + counters) must be acyclic;
+    // STEs break cycles because their activation crosses a symbol cycle.
+    // Kahn's algorithm restricted to combinational nodes.
+    std::vector<int> degree(_elements.size(), 0);
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        if (_elements[i].kind == ElementKind::Ste)
+            continue;
+        for (auto &[src, port] : in[i]) {
+            (void)port;
+            if (_elements[src].kind != ElementKind::Ste)
+                ++degree[i];
+        }
+    }
+    std::queue<ElementId> ready;
+    size_t combinational = 0;
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        if (_elements[i].kind == ElementKind::Ste)
+            continue;
+        ++combinational;
+        if (degree[i] == 0)
+            ready.push(i);
+    }
+    size_t processed = 0;
+    while (!ready.empty()) {
+        ElementId node = ready.front();
+        ready.pop();
+        ++processed;
+        for (const Edge &edge : _elements[node].outputs) {
+            if (_elements[edge.to].kind == ElementKind::Ste)
+                continue;
+            if (--degree[edge.to] == 0)
+                ready.push(edge.to);
+        }
+    }
+    if (processed != combinational) {
+        throw CompileError(
+            "combinational cycle through gates/counters detected");
+    }
+}
+
+ElementId
+Automaton::merge(const Automaton &other, const std::string &prefix)
+{
+    const ElementId offset = static_cast<ElementId>(_elements.size());
+    _elements.reserve(_elements.size() + other._elements.size());
+    for (const Element &element : other._elements) {
+        Element copy = element;
+        copy.id = prefix + element.id;
+        internalCheck(!_byId.count(copy.id),
+                      "merge would duplicate id: " + copy.id);
+        for (Edge &edge : copy.outputs)
+            edge.to += offset;
+        _byId.emplace(copy.id, static_cast<ElementId>(_elements.size()));
+        _elements.push_back(std::move(copy));
+    }
+    return offset;
+}
+
+std::vector<std::vector<ElementId>>
+Automaton::components() const
+{
+    // Union-find over undirected connectivity.
+    std::vector<ElementId> parent(_elements.size());
+    for (ElementId i = 0; i < parent.size(); ++i)
+        parent[i] = i;
+    auto find = [&](ElementId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](ElementId a, ElementId b) {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[b] = a;
+    };
+    for (ElementId from = 0; from < _elements.size(); ++from) {
+        for (const Edge &edge : _elements[from].outputs)
+            unite(from, edge.to);
+    }
+    std::unordered_map<ElementId, size_t> slot;
+    std::vector<std::vector<ElementId>> out;
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        ElementId root = find(i);
+        auto it = slot.find(root);
+        if (it == slot.end()) {
+            slot.emplace(root, out.size());
+            out.emplace_back();
+            out.back().push_back(i);
+        } else {
+            out[it->second].push_back(i);
+        }
+    }
+    return out;
+}
+
+size_t
+Automaton::removeDeadElements()
+{
+    // Reachability from start STEs over activation edges, treating
+    // combinational fan-in as reverse reachability requirements too:
+    // a gate is live when any of its inputs is live; a counter likewise.
+    std::vector<char> live(_elements.size(), 0);
+    std::queue<ElementId> frontier;
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        if (_elements[i].kind == ElementKind::Ste &&
+            _elements[i].start != StartKind::None) {
+            live[i] = 1;
+            frontier.push(i);
+        }
+    }
+    while (!frontier.empty()) {
+        ElementId node = frontier.front();
+        frontier.pop();
+        for (const Edge &edge : _elements[node].outputs) {
+            if (!live[edge.to]) {
+                live[edge.to] = 1;
+                frontier.push(edge.to);
+            }
+        }
+    }
+
+    size_t removed = 0;
+    for (char flag : live) {
+        if (!flag)
+            ++removed;
+    }
+    if (removed == 0)
+        return 0;
+
+    std::vector<ElementId> remap(_elements.size(), kNoElement);
+    std::vector<Element> kept;
+    kept.reserve(_elements.size() - removed);
+    for (ElementId i = 0; i < _elements.size(); ++i) {
+        if (live[i]) {
+            remap[i] = static_cast<ElementId>(kept.size());
+            kept.push_back(std::move(_elements[i]));
+        }
+    }
+    for (Element &element : kept) {
+        std::vector<Edge> outputs;
+        outputs.reserve(element.outputs.size());
+        for (Edge edge : element.outputs) {
+            if (remap[edge.to] != kNoElement) {
+                edge.to = remap[edge.to];
+                outputs.push_back(edge);
+            }
+        }
+        element.outputs = std::move(outputs);
+    }
+    _elements = std::move(kept);
+    _byId.clear();
+    for (ElementId i = 0; i < _elements.size(); ++i)
+        _byId.emplace(_elements[i].id, i);
+    return removed;
+}
+
+} // namespace rapid::automata

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The Automaton container: a homogeneous NFA with counters and gates.
+ *
+ * This is the central IR of the toolchain.  The RAPID compiler and the
+ * regex front end produce Automaton values; the ANML module serializes
+ * them; the simulator executes them; the AP placement engine maps them
+ * onto device resources.
+ */
+#ifndef RAPID_AUTOMATA_AUTOMATON_H
+#define RAPID_AUTOMATA_AUTOMATON_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/element.h"
+
+namespace rapid::automata {
+
+/** Aggregate element counts for a design. */
+struct AutomatonStats {
+    size_t stes = 0;
+    size_t counters = 0;
+    size_t gates = 0;
+    size_t edges = 0;
+    size_t reporting = 0;
+    size_t startStes = 0;
+
+    size_t total() const { return stes + counters + gates; }
+};
+
+/**
+ * A mutable homogeneous-NFA design.
+ *
+ * Elements are identified by dense indices (ElementId) assigned in
+ * creation order; ids (names) must be unique and are auto-generated when
+ * omitted.  The builder API performs local sanity checks; validate()
+ * performs whole-graph checks and must pass before simulation or
+ * placement.
+ */
+class Automaton {
+  public:
+    Automaton() = default;
+
+    /// @name Construction
+    /// @{
+
+    /** Add an STE with the given character class and start behaviour. */
+    ElementId addSte(const CharSet &symbols,
+                     StartKind start = StartKind::None,
+                     const std::string &id = "");
+
+    /** Add a saturating counter with threshold @p target. */
+    ElementId addCounter(uint32_t target,
+                         CounterMode mode = CounterMode::Latch,
+                         const std::string &id = "");
+
+    /** Add a boolean gate. */
+    ElementId addGate(GateOp op, const std::string &id = "");
+
+    /**
+     * Connect @p from to @p to's input @p port.
+     *
+     * Duplicate edges are ignored.  @throws InternalError for port/kind
+     * mismatches (e.g. Count port on an STE).
+     */
+    void connect(ElementId from, ElementId to, Port port = Port::Activate);
+
+    /** Mark an element as reporting, with optional report metadata. */
+    void setReport(ElementId element, const std::string &code = "");
+
+    /** Clear the reporting flag. */
+    void clearReport(ElementId element);
+
+    /// @}
+
+    /// @name Access
+    /// @{
+
+    size_t size() const { return _elements.size(); }
+    bool empty() const { return _elements.empty(); }
+
+    const Element &operator[](ElementId i) const { return _elements[i]; }
+    Element &operator[](ElementId i) { return _elements[i]; }
+
+    const std::vector<Element> &elements() const { return _elements; }
+
+    /** Look up an element by name; kNoElement when absent. */
+    ElementId findId(const std::string &id) const;
+
+    /** Element counts. */
+    AutomatonStats stats() const;
+
+    /**
+     * Incoming edges per element (recomputed on call).
+     *
+     * Entry i lists (source, port) pairs targeting element i.
+     */
+    std::vector<std::vector<std::pair<ElementId, Port>>> fanIn() const;
+
+    /// @}
+
+    /// @name Whole-graph operations
+    /// @{
+
+    /**
+     * Verify structural invariants.
+     *
+     * Checks: unique ids; STEs have non-empty classes; counters have a
+     * positive target, at least one Count input and no Activate inputs;
+     * gates have operands (exactly one for NOT); the combinational
+     * subgraph (gates and counters) is acyclic; edge targets are in
+     * range.
+     *
+     * @throws CompileError describing the first violation.
+     */
+    void validate() const;
+
+    /**
+     * Append a copy of @p other, prefixing its element ids.
+     *
+     * Used to assemble multi-instance designs (e.g. one automaton per
+     * network macro instantiation, or tessellation tiles).
+     *
+     * @return the ElementId offset added to @p other's indices.
+     */
+    ElementId merge(const Automaton &other, const std::string &prefix);
+
+    /**
+     * Weakly-connected components, each a sorted list of ElementIds.
+     *
+     * Components are the unit of placement: the AP routing matrix cannot
+     * split a connected design across half-cores.
+     */
+    std::vector<std::vector<ElementId>> components() const;
+
+    /** Remove elements unreachable from any start STE. */
+    size_t removeDeadElements();
+
+    /// @}
+
+  private:
+    std::string freshId(const char *stem);
+
+    std::vector<Element> _elements;
+    std::unordered_map<std::string, ElementId> _byId;
+    uint64_t _nextAuto = 0;
+};
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_AUTOMATON_H

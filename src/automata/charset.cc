@@ -1,0 +1,161 @@
+#include "automata/charset.h"
+
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/** Append one symbol in bracket-expression syntax. */
+void
+appendSymbol(std::string &out, unsigned char c)
+{
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        return;
+      case ']':
+        out += "\\]";
+        return;
+      case '[':
+        out += "\\[";
+        return;
+      case '^':
+        out += "\\^";
+        return;
+      case '-':
+        out += "\\-";
+        return;
+      default:
+        break;
+    }
+    if (c >= 0x20 && c < 0x7F) {
+        out.push_back(static_cast<char>(c));
+        return;
+    }
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+    out += buf;
+}
+
+/** Append the body (between brackets) for the given membership test. */
+void
+appendBody(std::string &out, const CharSet &set, bool membership)
+{
+    int c = 0;
+    while (c < 256) {
+        if (set.test(static_cast<unsigned char>(c)) != membership) {
+            ++c;
+            continue;
+        }
+        int run_end = c;
+        while (run_end + 1 < 256 &&
+               set.test(static_cast<unsigned char>(run_end + 1)) ==
+                   membership) {
+            ++run_end;
+        }
+        appendSymbol(out, static_cast<unsigned char>(c));
+        if (run_end > c + 1) {
+            out.push_back('-');
+            appendSymbol(out, static_cast<unsigned char>(run_end));
+        } else if (run_end == c + 1) {
+            appendSymbol(out, static_cast<unsigned char>(run_end));
+        }
+        c = run_end + 1;
+    }
+}
+
+} // namespace
+
+std::string
+CharSet::str() const
+{
+    const int population = count();
+    if (population == 256)
+        return "*";
+    if (population > 128) {
+        std::string out = "[^";
+        appendBody(out, *this, false);
+        out.push_back(']');
+        return out;
+    }
+    std::string out = "[";
+    appendBody(out, *this, true);
+    out.push_back(']');
+    return out;
+}
+
+CharSet
+CharSet::parse(const std::string &text)
+{
+    if (text == "*")
+        return CharSet::all();
+    if (text.size() < 2 || text.front() != '[' || text.back() != ']')
+        throw CompileError("malformed symbol set: " + text);
+
+    size_t pos = 1;
+    const size_t end = text.size() - 1;
+    bool negate = false;
+    if (pos < end && text[pos] == '^') {
+        negate = true;
+        ++pos;
+    }
+
+    auto next_symbol = [&]() -> unsigned char {
+        char c = text[pos++];
+        if (c != '\\')
+            return static_cast<unsigned char>(c);
+        if (pos >= end)
+            throw CompileError("dangling escape in symbol set: " + text);
+        char esc = text[pos++];
+        switch (esc) {
+          case 'n':
+            return '\n';
+          case 't':
+            return '\t';
+          case 'r':
+            return '\r';
+          case '0':
+            return '\0';
+          case 'x': {
+            if (pos + 1 >= end + 1 || pos + 1 > text.size() - 1)
+                throw CompileError("truncated \\x escape: " + text);
+            auto hex = [&](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                throw CompileError("bad hex digit in symbol set: " + text);
+            };
+            int hi = hex(text[pos]);
+            int lo = hex(text[pos + 1]);
+            pos += 2;
+            return static_cast<unsigned char>(hi * 16 + lo);
+          }
+          default:
+            return static_cast<unsigned char>(esc);
+        }
+    };
+
+    CharSet set;
+    while (pos < end) {
+        unsigned char lo = next_symbol();
+        if (pos < end && text[pos] == '-' && pos + 1 < end) {
+            ++pos; // consume '-'
+            unsigned char hi = next_symbol();
+            if (hi < lo)
+                throw CompileError("inverted range in symbol set: " + text);
+            for (unsigned c = lo; c <= hi; ++c)
+                set.add(static_cast<unsigned char>(c));
+        } else {
+            set.add(lo);
+        }
+    }
+    return negate ? ~set : set;
+}
+
+} // namespace rapid::automata

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * 256-way character classes for state transition elements (STEs).
+ *
+ * On the Automata Processor an STE's label is a column of SDRAM with one
+ * row per input symbol; the STE matches a symbol exactly when that row's
+ * bit is set.  CharSet models the column as a 256-bit bitmap and provides
+ * the set algebra the compiler needs (union for OR-fusion, complement for
+ * De Morgan negation, ...).
+ */
+#ifndef RAPID_AUTOMATA_CHARSET_H
+#define RAPID_AUTOMATA_CHARSET_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rapid::automata {
+
+/** A set of 8-bit input symbols, stored as a 256-bit bitmap. */
+class CharSet {
+  public:
+    /** The empty set. */
+    constexpr CharSet() : _words{} {}
+
+    /** The singleton set {symbol}. */
+    static CharSet
+    single(unsigned char symbol)
+    {
+        CharSet set;
+        set.add(symbol);
+        return set;
+    }
+
+    /** The universal set matching every symbol (a "star" STE). */
+    static CharSet
+    all()
+    {
+        CharSet set;
+        for (auto &word : set._words)
+            word = ~0ull;
+        return set;
+    }
+
+    /** The inclusive symbol range [lo, hi]. */
+    static CharSet
+    range(unsigned char lo, unsigned char hi)
+    {
+        CharSet set;
+        for (unsigned c = lo; c <= hi; ++c)
+            set.add(static_cast<unsigned char>(c));
+        return set;
+    }
+
+    /** The set of symbols occurring in @p chars. */
+    static CharSet
+    of(const std::string &chars)
+    {
+        CharSet set;
+        for (char c : chars)
+            set.add(static_cast<unsigned char>(c));
+        return set;
+    }
+
+    void
+    add(unsigned char symbol)
+    {
+        _words[symbol >> 6] |= 1ull << (symbol & 63);
+    }
+
+    void
+    remove(unsigned char symbol)
+    {
+        _words[symbol >> 6] &= ~(1ull << (symbol & 63));
+    }
+
+    bool
+    test(unsigned char symbol) const
+    {
+        return (_words[symbol >> 6] >> (symbol & 63)) & 1;
+    }
+
+    /** Number of symbols in the set. */
+    int
+    count() const
+    {
+        int total = 0;
+        for (auto word : _words)
+            total += __builtin_popcountll(word);
+        return total;
+    }
+
+    bool
+    empty() const
+    {
+        for (auto word : _words) {
+            if (word)
+                return false;
+        }
+        return true;
+    }
+
+    /** Complement (for negated character comparisons). */
+    CharSet
+    operator~() const
+    {
+        CharSet out;
+        for (size_t i = 0; i < _words.size(); ++i)
+            out._words[i] = ~_words[i];
+        return out;
+    }
+
+    CharSet
+    operator|(const CharSet &other) const
+    {
+        CharSet out;
+        for (size_t i = 0; i < _words.size(); ++i)
+            out._words[i] = _words[i] | other._words[i];
+        return out;
+    }
+
+    CharSet
+    operator&(const CharSet &other) const
+    {
+        CharSet out;
+        for (size_t i = 0; i < _words.size(); ++i)
+            out._words[i] = _words[i] & other._words[i];
+        return out;
+    }
+
+    CharSet &
+    operator|=(const CharSet &other)
+    {
+        for (size_t i = 0; i < _words.size(); ++i)
+            _words[i] |= other._words[i];
+        return *this;
+    }
+
+    bool
+    operator==(const CharSet &other) const
+    {
+        return _words == other._words;
+    }
+
+    bool operator!=(const CharSet &other) const { return !(*this == other); }
+
+    /**
+     * Render in ANML symbol-set syntax, e.g. "[ab]", "[^a]", "*".
+     *
+     * Runs of consecutive symbols are collapsed to ranges ("[a-z]"); sets
+     * denser than 128 symbols are rendered complemented.
+     */
+    std::string str() const;
+
+    /**
+     * Parse ANML symbol-set syntax produced by str().
+     *
+     * Accepts "*", "[...]" and "[^...]" with ranges and \xHH escapes.
+     * @throws rapid::CompileError on malformed input.
+     */
+    static CharSet parse(const std::string &text);
+
+  private:
+    std::array<uint64_t, 4> _words;
+};
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_CHARSET_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Element descriptors for homogeneous-NFA designs.
+ *
+ * An automaton is a graph of three element kinds, mirroring the hardware
+ * resources of the Automata Processor (Dlugosch et al. [10]):
+ *
+ *  - STE: a state transition element — a homogeneous NFA state labelled
+ *    with a character class.  An STE that is *enabled* for the current
+ *    symbol and whose class contains that symbol becomes *active* and
+ *    drives its output connections.
+ *  - Counter: a saturating up-counter with count-enable and reset input
+ *    ports and a threshold ("target").  In Latch mode the output stays
+ *    asserted once the target is reached; in Pulse mode it is asserted
+ *    only on the cycle the target is reached.
+ *  - Gate: an n-ary combinational boolean element (AND / OR / NOT / NOR /
+ *    NAND) over the activation signals of its inputs.
+ *
+ * Connections between elements carry the *target port*: activation edges
+ * enable a downstream STE on the next symbol cycle, whereas edges into
+ * gates and counter ports are combinational within the current cycle.
+ */
+#ifndef RAPID_AUTOMATA_ELEMENT_H
+#define RAPID_AUTOMATA_ELEMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/charset.h"
+
+namespace rapid::automata {
+
+/** Index of an element within its Automaton. */
+using ElementId = uint32_t;
+
+/** Sentinel for "no element". */
+constexpr ElementId kNoElement = UINT32_MAX;
+
+enum class ElementKind : uint8_t {
+    Ste,
+    Counter,
+    Gate,
+};
+
+/** When an STE is enabled independently of incoming activations. */
+enum class StartKind : uint8_t {
+    /** Enabled only by incoming activation edges. */
+    None,
+    /** Enabled on every symbol cycle (the self-activating "star" form). */
+    AllInput,
+    /** Enabled only for the very first symbol of the stream. */
+    StartOfData,
+};
+
+/** Boolean element operation. */
+enum class GateOp : uint8_t {
+    And,
+    Or,
+    Not,
+    Nand,
+    Nor,
+};
+
+/** Counter output behaviour once the target is reached. */
+enum class CounterMode : uint8_t {
+    /** Output stays asserted (used by all RAPID lowerings). */
+    Latch,
+    /** Output asserted only on the cycle the target is reached. */
+    Pulse,
+    /** As Pulse, but the internal value also resets to zero. */
+    Roll,
+};
+
+/** Input port designator on a connection's target element. */
+enum class Port : uint8_t {
+    /** STE enable / gate operand input. */
+    Activate,
+    /** Counter count-enable input. */
+    Count,
+    /** Counter reset input. */
+    Reset,
+};
+
+/** A directed connection to a target element's input port. */
+struct Edge {
+    ElementId to = kNoElement;
+    Port port = Port::Activate;
+
+    friend bool
+    operator==(const Edge &a, const Edge &b)
+    {
+        return a.to == b.to && a.port == b.port;
+    }
+};
+
+/**
+ * One element of an automaton.
+ *
+ * Stored by value inside Automaton; fields not applicable to the
+ * element's kind are left at their defaults.
+ */
+struct Element {
+    ElementKind kind = ElementKind::Ste;
+
+    /** Unique name, used by ANML output and report events. */
+    std::string id;
+
+    /** True when activation of this element generates a report event. */
+    bool report = false;
+
+    /** Free-form metadata attached to report events (e.g. macro name). */
+    std::string reportCode;
+
+    /// @name STE fields
+    /// @{
+    CharSet symbols;
+    StartKind start = StartKind::None;
+    /// @}
+
+    /// @name Counter fields
+    /// @{
+    uint32_t target = 1;
+    CounterMode mode = CounterMode::Latch;
+    /// @}
+
+    /// @name Gate fields
+    /// @{
+    GateOp op = GateOp::And;
+    /// @}
+
+    /** Outgoing connections. */
+    std::vector<Edge> outputs;
+};
+
+/** Human-readable element kind name. */
+const char *kindName(ElementKind kind);
+
+/** Human-readable gate operation name ("and", "or", ...). */
+const char *gateOpName(GateOp op);
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_ELEMENT_H

@@ -1,0 +1,175 @@
+#include "automata/nfa.h"
+
+#include <queue>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::automata {
+
+StateId
+Nfa::addState(bool accepting)
+{
+    _transitions.emplace_back();
+    _epsilons.emplace_back();
+    _accepting.push_back(accepting ? 1 : 0);
+    return static_cast<StateId>(_accepting.size() - 1);
+}
+
+void
+Nfa::addTransition(StateId from, const CharSet &label, StateId to)
+{
+    internalCheck(from < size() && to < size(), "addTransition: bad state");
+    internalCheck(!label.empty(), "addTransition: empty label");
+    _transitions[from].push_back(Transition{label, to});
+}
+
+void
+Nfa::addEpsilon(StateId from, StateId to)
+{
+    internalCheck(from < size() && to < size(), "addEpsilon: bad state");
+    _epsilons[from].push_back(to);
+}
+
+void
+Nfa::setAccepting(StateId state, bool accepting)
+{
+    internalCheck(state < size(), "setAccepting: bad state");
+    _accepting[state] = accepting ? 1 : 0;
+}
+
+void
+Nfa::setInitial(StateId state)
+{
+    internalCheck(state < size(), "setInitial: bad state");
+    _initial = state;
+}
+
+std::vector<char>
+Nfa::epsilonClosure(StateId state) const
+{
+    std::vector<char> in_closure(size(), 0);
+    std::queue<StateId> frontier;
+    in_closure[state] = 1;
+    frontier.push(state);
+    while (!frontier.empty()) {
+        StateId current = frontier.front();
+        frontier.pop();
+        for (StateId next : _epsilons[current]) {
+            if (!in_closure[next]) {
+                in_closure[next] = 1;
+                frontier.push(next);
+            }
+        }
+    }
+    return in_closure;
+}
+
+std::vector<uint64_t>
+Nfa::matchEnds(std::string_view input) const
+{
+    std::vector<uint64_t> ends;
+    if (size() == 0)
+        return ends;
+
+    std::vector<char> active = epsilonClosure(_initial);
+    std::vector<char> next(size());
+    for (uint64_t offset = 0; offset < input.size(); ++offset) {
+        auto symbol = static_cast<unsigned char>(input[offset]);
+        std::fill(next.begin(), next.end(), 0);
+        for (StateId state = 0; state < size(); ++state) {
+            if (!active[state])
+                continue;
+            for (const Transition &t : _transitions[state]) {
+                if (!t.label.test(symbol) || next[t.to])
+                    continue;
+                auto closure = epsilonClosure(t.to);
+                for (StateId s = 0; s < size(); ++s)
+                    next[s] |= closure[s];
+            }
+        }
+        active = next;
+        for (StateId state = 0; state < size(); ++state) {
+            if (active[state] && _accepting[state]) {
+                ends.push_back(offset);
+                break;
+            }
+        }
+    }
+    return ends;
+}
+
+bool
+Nfa::accepts(std::string_view input) const
+{
+    if (size() == 0)
+        return false;
+    auto ends = matchEnds(input);
+    if (input.empty()) {
+        auto closure = epsilonClosure(_initial);
+        for (StateId state = 0; state < size(); ++state) {
+            if (closure[state] && _accepting[state])
+                return true;
+        }
+        return false;
+    }
+    return !ends.empty() && ends.back() == input.size() - 1;
+}
+
+Automaton
+Nfa::toHomogeneous(StartKind start_kind,
+                   const std::string &id_prefix) const
+{
+    internalCheck(size() > 0, "toHomogeneous: empty NFA");
+
+    // Effective (epsilon-free) transition relation: state -> transitions
+    // reachable through its closure.  Effective acceptance likewise.
+    std::vector<std::vector<Transition>> effective(size());
+    std::vector<char> accepts_effective(size(), 0);
+    for (StateId state = 0; state < size(); ++state) {
+        auto closure = epsilonClosure(state);
+        for (StateId member = 0; member < size(); ++member) {
+            if (!closure[member])
+                continue;
+            if (_accepting[member])
+                accepts_effective[state] = 1;
+            for (const Transition &t : _transitions[member])
+                effective[state].push_back(t);
+        }
+    }
+
+    if (accepts_effective[_initial]) {
+        throw CompileError(
+            "NFA accepts the empty string; homogeneous automata report "
+            "only on symbol consumption");
+    }
+
+    // One STE per effective transition (Fig. 5 construction).
+    Automaton out;
+    std::vector<std::vector<ElementId>> ste_of(size());
+    uint64_t serial = 0;
+    for (StateId state = 0; state < size(); ++state) {
+        ste_of[state].reserve(effective[state].size());
+        for (const Transition &t : effective[state]) {
+            StartKind kind =
+                state == _initial ? start_kind : StartKind::None;
+            ElementId ste = out.addSte(
+                t.label, kind,
+                strprintf("%s%llu", id_prefix.c_str(),
+                          static_cast<unsigned long long>(serial++)));
+            if (accepts_effective[t.to])
+                out.setReport(ste);
+            ste_of[state].push_back(ste);
+        }
+    }
+    for (StateId state = 0; state < size(); ++state) {
+        for (size_t i = 0; i < effective[state].size(); ++i) {
+            StateId target = effective[state][i].to;
+            for (ElementId next : ste_of[target])
+                out.connect(ste_of[state][i], next);
+        }
+    }
+    return out;
+}
+
+} // namespace rapid::automata

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Classic (edge-labelled) NFAs and conversion to homogeneous form.
+ *
+ * The AP executes *homogeneous* NFAs: every incoming transition to a
+ * state carries the same label, so labels move onto the states (STEs).
+ * This module provides the textbook NFA representation with
+ * epsilon-transitions, a reference simulator, and the conversion of
+ * Fig. 5 / §4 of the paper (epsilon removal followed by per-transition
+ * state splitting).  The regex front end builds on it.
+ */
+#ifndef RAPID_AUTOMATA_NFA_H
+#define RAPID_AUTOMATA_NFA_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/charset.h"
+
+namespace rapid::automata {
+
+/** Index of a classic-NFA state. */
+using StateId = uint32_t;
+
+/** A classic NFA with CharSet-labelled edges and epsilon edges. */
+class Nfa {
+  public:
+    /** Add a state; the first state added becomes the initial state. */
+    StateId addState(bool accepting = false);
+
+    /** Add a transition consuming one symbol of @p label. */
+    void addTransition(StateId from, const CharSet &label, StateId to);
+
+    /** Add an epsilon transition (no symbol consumed). */
+    void addEpsilon(StateId from, StateId to);
+
+    void setAccepting(StateId state, bool accepting = true);
+    void setInitial(StateId state);
+
+    size_t size() const { return _accepting.size(); }
+    StateId initial() const { return _initial; }
+    bool accepting(StateId state) const { return _accepting[state]; }
+
+    /**
+     * Reference subset simulation.
+     *
+     * @return the 0-based offsets at which an accepting state is active
+     * immediately after consuming the symbol at that offset — i.e. the
+     * AP's relaxed "report any time an accept state is active"
+     * semantics.
+     */
+    std::vector<uint64_t> matchEnds(std::string_view input) const;
+
+    /** Classic whole-string acceptance. */
+    bool accepts(std::string_view input) const;
+
+    /**
+     * Convert to a behaviourally equivalent homogeneous automaton.
+     *
+     * Epsilon transitions are removed by closure; each surviving
+     * transition becomes one STE labelled with the transition's symbol
+     * set (the Fig. 5 construction).  Transitions leaving the initial
+     * state's closure produce STEs with @p start_kind.  STEs whose
+     * target state is accepting report.
+     *
+     * Matching the empty string cannot be expressed (the AP reports only
+     * on symbol consumption); conversion of such NFAs throws
+     * CompileError.
+     */
+    Automaton toHomogeneous(StartKind start_kind = StartKind::StartOfData,
+                            const std::string &id_prefix = "q") const;
+
+  private:
+    struct Transition {
+        CharSet label;
+        StateId to;
+    };
+
+    std::vector<char> epsilonClosure(StateId state) const;
+
+    std::vector<std::vector<Transition>> _transitions;
+    std::vector<std::vector<StateId>> _epsilons;
+    std::vector<char> _accepting;
+    StateId _initial = 0;
+};
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_NFA_H

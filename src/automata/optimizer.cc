@@ -1,0 +1,212 @@
+#include "automata/optimizer.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/** Sorted, canonical rendering of (element, port) pair lists. */
+std::string
+portListKey(std::vector<std::pair<ElementId, Port>> items)
+{
+    std::sort(items.begin(), items.end());
+    std::string key;
+    for (auto &[id, port] : items) {
+        key += std::to_string(id);
+        key.push_back('/');
+        key += std::to_string(static_cast<int>(port));
+        key.push_back(';');
+    }
+    return key;
+}
+
+std::string
+edgeListKey(const std::vector<Edge> &edges)
+{
+    std::vector<std::pair<ElementId, Port>> items;
+    items.reserve(edges.size());
+    for (const Edge &edge : edges)
+        items.emplace_back(edge.to, edge.port);
+    return portListKey(std::move(items));
+}
+
+/**
+ * Rebuild @p automaton keeping only elements with remap[i] == i and
+ * redirecting edges through the remap.  Preserves element order and ids.
+ */
+Automaton
+rebuild(const Automaton &automaton, const std::vector<ElementId> &remap)
+{
+    // Resolve chains (a merged into b merged into c).
+    std::vector<ElementId> resolved(remap);
+    for (ElementId i = 0; i < resolved.size(); ++i) {
+        ElementId root = i;
+        while (resolved[root] != root)
+            root = resolved[root];
+        resolved[i] = root;
+    }
+
+    std::vector<ElementId> new_index(automaton.size(), kNoElement);
+    Automaton out;
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        if (resolved[i] != i)
+            continue;
+        const Element &element = automaton[i];
+        ElementId fresh = kNoElement;
+        switch (element.kind) {
+          case ElementKind::Ste:
+            fresh = out.addSte(element.symbols, element.start, element.id);
+            break;
+          case ElementKind::Counter:
+            fresh = out.addCounter(element.target, element.mode,
+                                   element.id);
+            break;
+          case ElementKind::Gate:
+            fresh = out.addGate(element.op, element.id);
+            break;
+        }
+        if (element.report)
+            out.setReport(fresh, element.reportCode);
+        new_index[i] = fresh;
+    }
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        if (resolved[i] != i)
+            continue;
+        for (const Edge &edge : automaton[i].outputs) {
+            ElementId target = new_index[resolved[edge.to]];
+            internalCheck(target != kNoElement, "rebuild: dangling edge");
+            out.connect(new_index[i], target, edge.port);
+        }
+    }
+    return out;
+}
+
+/**
+ * Component id per element.  Rewrites must stay within one weakly-
+ * connected component: merging identical start STEs of *separate*
+ * automata (e.g. the per-instance window guards of a multi-pattern
+ * design) would weld the instances into one placement component,
+ * which the AP's per-automaton placement model forbids.
+ */
+std::vector<size_t>
+componentIds(const Automaton &automaton)
+{
+    std::vector<size_t> ids(automaton.size(), 0);
+    auto components = automaton.components();
+    for (size_t c = 0; c < components.size(); ++c) {
+        for (ElementId id : components[c])
+            ids[id] = c;
+    }
+    return ids;
+}
+
+} // namespace
+
+size_t
+fuseParallelStes(Automaton &automaton, const OptimizeOptions &options)
+{
+    auto fan_in = automaton.fanIn();
+    std::vector<size_t> component;
+    if (!options.acrossComponents)
+        component = componentIds(automaton);
+    std::unordered_map<std::string, ElementId> keeper_by_signature;
+    std::vector<ElementId> remap(automaton.size());
+    size_t fused = 0;
+
+    for (ElementId i = 0; i < automaton.size(); ++i)
+        remap[i] = i;
+
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (element.kind != ElementKind::Ste)
+            continue;
+        std::string signature = strprintf(
+            "%zu|%d|%d|%s|", component.empty() ? 0 : component[i],
+            static_cast<int>(element.start),
+            element.report ? 1 : 0, element.reportCode.c_str());
+        signature += portListKey(fan_in[i]);
+        signature.push_back('#');
+        signature += edgeListKey(element.outputs);
+
+        auto [it, inserted] = keeper_by_signature.emplace(signature, i);
+        if (!inserted) {
+            automaton[it->second].symbols |= element.symbols;
+            remap[i] = it->second;
+            ++fused;
+        }
+    }
+
+    if (fused)
+        automaton = rebuild(automaton, remap);
+    return fused;
+}
+
+size_t
+mergeCommonPrefixes(Automaton &automaton, const OptimizeOptions &options)
+{
+    auto fan_in = automaton.fanIn();
+    std::vector<size_t> component;
+    if (!options.acrossComponents)
+        component = componentIds(automaton);
+    std::unordered_map<std::string, ElementId> keeper_by_signature;
+    std::vector<ElementId> remap(automaton.size());
+    size_t merged = 0;
+
+    for (ElementId i = 0; i < automaton.size(); ++i)
+        remap[i] = i;
+
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (element.kind != ElementKind::Ste)
+            continue;
+        // STEs with no fan-in and no start kind are dead; skip them so
+        // they do not get merged into live start elements.
+        if (fan_in[i].empty() && element.start == StartKind::None)
+            continue;
+        std::string signature = strprintf(
+            "%zu|%d|%d|%s|", component.empty() ? 0 : component[i],
+            static_cast<int>(element.start),
+            element.report ? 1 : 0, element.reportCode.c_str());
+        signature += element.symbols.str();
+        signature.push_back('|');
+        signature += portListKey(fan_in[i]);
+
+        auto [it, inserted] = keeper_by_signature.emplace(signature, i);
+        if (!inserted) {
+            // Union fan-out into the keeper.
+            for (const Edge &edge : element.outputs)
+                automaton.connect(it->second, edge.to, edge.port);
+            remap[i] = it->second;
+            ++merged;
+        }
+    }
+
+    if (merged)
+        automaton = rebuild(automaton, remap);
+    return merged;
+}
+
+OptimizeStats
+optimize(Automaton &automaton, const OptimizeOptions &options)
+{
+    OptimizeStats stats;
+    // Prefix merging exposes new parallel-fusion opportunities and vice
+    // versa; iterate to a (bounded) fixed point.
+    for (int round = 0; round < 16; ++round) {
+        size_t before = stats.total();
+        stats.mergedPrefixes += mergeCommonPrefixes(automaton, options);
+        stats.fusedParallel += fuseParallelStes(automaton, options);
+        if (stats.total() == before)
+            break;
+    }
+    stats.removedDead += automaton.removeDeadElements();
+    return stats;
+}
+
+} // namespace rapid::automata

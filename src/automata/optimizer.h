@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Automaton optimization passes.
+ *
+ * These run between code generation and placement.  They matter for the
+ * paper's Table 4 "Device STEs" comparison: the AP SDK's compiler also
+ * rewrites designs to better match the hardware, and RAPID leans on such
+ * rewrites to compete with hand-tuned ANML.
+ *
+ *  - fuseParallelStes: merge sibling STEs that are behaviourally a
+ *    single STE with a wider character class (the Fig. 7 OR special
+ *    case, applied globally).
+ *  - mergeCommonPrefixes: trie-style sharing of identical chain heads,
+ *    the dominant saving for multi-pattern designs.
+ *  - removeDeadElements: drop elements unreachable from any start STE
+ *    (exposed on Automaton, re-exported here for pipeline use).
+ */
+#ifndef RAPID_AUTOMATA_OPTIMIZER_H
+#define RAPID_AUTOMATA_OPTIMIZER_H
+
+#include <cstddef>
+
+#include "automata/automaton.h"
+
+namespace rapid::automata {
+
+/** Optimizer configuration. */
+struct OptimizeOptions {
+    /**
+     * Allow rewrites that merge STEs of *different* connected
+     * components (trie-style sharing across separate automata, as the
+     * AP SDK's global design rewriting does).  Off by default: merged
+     * components place as one unit, which defeats per-instance
+     * tessellation and can exceed the half-core limit for
+     * board-scale designs — the paper's ARM baseline "not able to
+     * support placement and routing" failure mode.
+     */
+    bool acrossComponents = false;
+};
+
+/** Per-pass and total rewrite counts from optimize(). */
+struct OptimizeStats {
+    size_t fusedParallel = 0;
+    size_t mergedPrefixes = 0;
+    size_t removedDead = 0;
+
+    size_t
+    total() const
+    {
+        return fusedParallel + mergedPrefixes + removedDead;
+    }
+};
+
+/**
+ * Merge STE siblings with identical fan-in, fan-out, start, and report
+ * configuration by unioning their character classes.
+ *
+ * @return number of STEs eliminated.
+ */
+size_t fuseParallelStes(Automaton &automaton,
+                        const OptimizeOptions &options = {});
+
+/**
+ * Merge STEs with identical character class, start kind, and fan-in
+ * whose behaviour differs only in fan-out (classic prefix sharing).
+ * Reporting STEs are only merged with identically-reporting ones.
+ *
+ * @return number of STEs eliminated.
+ */
+size_t mergeCommonPrefixes(Automaton &automaton,
+                           const OptimizeOptions &options = {});
+
+/** Run all passes to a fixed point (bounded); returns rewrite counts. */
+OptimizeStats optimize(Automaton &automaton,
+                       const OptimizeOptions &options = {});
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_OPTIMIZER_H

@@ -1,0 +1,372 @@
+#include "automata/positional.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/** Analysis of one expandable counter. */
+struct CounterPlan {
+    ElementId counter = kNoElement;
+    uint32_t target = 0;
+    /** STEs driving the count port. */
+    std::set<ElementId> countSources;
+    /** Elements deleted by the expansion (counter, gates, guards' reset
+     * edges are dropped implicitly). */
+    std::set<ElementId> removed;
+    /** Activate consumers of the counter (STEs). */
+    std::vector<ElementId> directTargets;
+    bool counterReports = false;
+    std::string counterReportCode;
+    /**
+     * Inverted-check consumers: for each AND gate fed by the counter's
+     * inverter — its control STEs, its STE targets, and its report
+     * setting.
+     */
+    struct InvertedCheck {
+        std::vector<ElementId> controls;
+        std::vector<ElementId> targets;
+        bool reports = false;
+        std::string reportCode;
+    };
+    std::vector<InvertedCheck> invertedChecks;
+};
+
+/** Is this STE a record-window guard ([\xFF], always enabled)? */
+bool
+isWindowGuard(const Element &element)
+{
+    return element.kind == ElementKind::Ste &&
+           element.start == StartKind::AllInput &&
+           element.symbols == CharSet::single(0xFF);
+}
+
+/** Collect the STE operands of a control signal (STE or OR of STEs). */
+bool
+controlStes(const Automaton &automaton,
+            const std::vector<std::vector<std::pair<ElementId, Port>>>
+                &fan_in,
+            ElementId control, std::vector<ElementId> &out,
+            std::set<ElementId> &removed)
+{
+    const Element &element = automaton[control];
+    if (element.kind == ElementKind::Ste) {
+        out.push_back(control);
+        return true;
+    }
+    if (element.kind == ElementKind::Gate && element.op == GateOp::Or) {
+        for (auto &[src, port] : fan_in[control]) {
+            (void)port;
+            if (automaton[src].kind != ElementKind::Ste)
+                return false;
+            out.push_back(src);
+        }
+        removed.insert(control);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Try to build an expansion plan for @p counter; nullopt when the
+ * counter's shape is unsupported.
+ */
+std::optional<CounterPlan>
+analyze(const Automaton &automaton,
+        const std::vector<std::vector<std::pair<ElementId, Port>>>
+            &fan_in,
+        const std::vector<size_t> &component_of, ElementId counter)
+{
+    const Element &element = automaton[counter];
+    if (element.mode != CounterMode::Latch || element.target == 0)
+        return std::nullopt;
+
+    CounterPlan plan;
+    plan.counter = counter;
+    plan.target = element.target;
+    plan.removed.insert(counter);
+    plan.counterReports = element.report;
+    plan.counterReportCode = element.reportCode;
+
+    // Exactly one counter per component.
+    size_t component = component_of[counter];
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        if (i != counter && component_of[i] == component &&
+            automaton[i].kind == ElementKind::Counter) {
+            return std::nullopt;
+        }
+    }
+
+    // Inputs: counts from STEs; resets only from window guards.
+    for (auto &[src, port] : fan_in[counter]) {
+        if (port == Port::Count) {
+            if (automaton[src].kind != ElementKind::Ste)
+                return std::nullopt;
+            plan.countSources.insert(src);
+        } else if (port == Port::Reset) {
+            if (!isWindowGuard(automaton[src]))
+                return std::nullopt;
+        }
+    }
+    if (plan.countSources.empty())
+        return std::nullopt;
+
+    // Consumers.
+    for (const Edge &edge : element.outputs) {
+        const Element &consumer = automaton[edge.to];
+        if (consumer.kind == ElementKind::Ste) {
+            plan.directTargets.push_back(edge.to);
+            continue;
+        }
+        if (consumer.kind == ElementKind::Gate &&
+            consumer.op == GateOp::Not) {
+            // Inverter: all of its consumers must be AND gates whose
+            // other operands are control STEs (or ORs of STEs) and
+            // whose consumers are STEs / reports.
+            plan.removed.insert(edge.to);
+            for (const Edge &inv_edge : consumer.outputs) {
+                const Element &gate = automaton[inv_edge.to];
+                if (gate.kind != ElementKind::Gate ||
+                    gate.op != GateOp::And) {
+                    return std::nullopt;
+                }
+                CounterPlan::InvertedCheck check;
+                for (auto &[src, port] : fan_in[inv_edge.to]) {
+                    (void)port;
+                    if (src == edge.to)
+                        continue; // the inverter itself
+                    if (!controlStes(automaton, fan_in, src,
+                                     check.controls, plan.removed)) {
+                        return std::nullopt;
+                    }
+                }
+                if (check.controls.empty())
+                    return std::nullopt;
+                for (const Edge &out_edge : gate.outputs) {
+                    if (automaton[out_edge.to].kind !=
+                        ElementKind::Ste) {
+                        return std::nullopt;
+                    }
+                    check.targets.push_back(out_edge.to);
+                }
+                check.reports = gate.report;
+                check.reportCode = gate.reportCode;
+                plan.removed.insert(inv_edge.to);
+                plan.invertedChecks.push_back(std::move(check));
+            }
+            continue;
+        }
+        return std::nullopt;
+    }
+
+    // Every element this plan removes must not be used elsewhere: its
+    // remaining consumers must themselves be removed or rewired.  The
+    // shapes above guarantee it for codegen output; double-check that
+    // no removed gate feeds anything outside the plan.
+    for (ElementId removed : plan.removed) {
+        if (removed == counter)
+            continue;
+        for (const Edge &edge : automaton[removed].outputs) {
+            const Element &consumer = automaton[edge.to];
+            bool accounted =
+                plan.removed.count(edge.to) != 0 ||
+                consumer.kind == ElementKind::Ste;
+            if (!accounted)
+                return std::nullopt;
+        }
+    }
+    return plan;
+}
+
+/** Expand one planned counter; returns the rewritten automaton. */
+Automaton
+expand(const Automaton &automaton,
+       const std::vector<size_t> &component_of, const CounterPlan &plan)
+{
+    const size_t component = component_of[plan.counter];
+    // Bands 0..target-1 count below the threshold; band `target` is the
+    // *entry* band (the latch event — counter rising edge); band
+    // target+1 is the silent saturated state, so a thread that keeps
+    // counting past the target does not re-report the way a banded
+    // copy of the entry band would.
+    const uint32_t saturated = plan.target + 1;
+    const uint32_t bands = saturated + 1; // 0..target+1
+
+    Automaton out;
+    // (old element, band) -> new id; non-banded elements use band 0.
+    std::map<std::pair<ElementId, uint32_t>, ElementId> placed;
+
+    auto banded = [&](ElementId id) {
+        return component_of[id] == component &&
+               automaton[id].kind == ElementKind::Ste &&
+               plan.removed.count(id) == 0;
+    };
+
+    // Pass 1: create elements.
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (plan.removed.count(i))
+            continue;
+        if (!banded(i)) {
+            ElementId fresh = kNoElement;
+            switch (element.kind) {
+              case ElementKind::Ste:
+                fresh = out.addSte(element.symbols, element.start,
+                                   element.id);
+                break;
+              case ElementKind::Counter:
+                fresh = out.addCounter(element.target, element.mode,
+                                       element.id);
+                break;
+              case ElementKind::Gate:
+                fresh = out.addGate(element.op, element.id);
+                break;
+            }
+            if (element.report)
+                out.setReport(fresh, element.reportCode);
+            placed[{i, 0}] = fresh;
+            continue;
+        }
+        for (uint32_t r = 0; r < bands; ++r) {
+            std::string id =
+                r == 0 ? element.id
+                       : strprintf("%s__b%u", element.id.c_str(), r);
+            // Start kinds apply to band 0 only: a thread begins with
+            // zero counted.
+            StartKind start =
+                r == 0 ? element.start : StartKind::None;
+            ElementId fresh = out.addSte(element.symbols, start, id);
+            if (element.report)
+                out.setReport(fresh, element.reportCode);
+            placed[{i, r}] = fresh;
+        }
+    }
+
+    auto band_of_target = [&](ElementId target, uint32_t from) {
+        uint32_t pulse = plan.countSources.count(target) ? 1 : 0;
+        return std::min(from + pulse, saturated);
+    };
+
+    // Pass 2: edges.
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (plan.removed.count(i))
+            continue;
+        uint32_t source_bands = banded(i) ? bands : 1;
+        for (const Edge &edge : element.outputs) {
+            if (plan.removed.count(edge.to))
+                continue; // count/reset/check wiring handled below
+            for (uint32_t r = 0; r < source_bands; ++r) {
+                ElementId from = placed[{i, r}];
+                if (!banded(edge.to)) {
+                    out.connect(from, placed[{edge.to, 0}], edge.port);
+                    continue;
+                }
+                // Banded target: entering a count source increments
+                // the band.  Non-banded sources (e.g. window guards in
+                // other... same component but removed? guards are
+                // banded unless removed) enter at their own band r.
+                uint32_t target_band = band_of_target(edge.to, r);
+                out.connect(from, placed[{edge.to, target_band}],
+                            edge.port);
+            }
+        }
+    }
+
+    // Pass 3: the counter's consumers.
+    // (a) Counter reporting: a count pulse into the entry band is the
+    // latch event (the counter's rising edge) — entry-band copies of
+    // count sources report; saturated-band copies stay silent.
+    if (plan.counterReports) {
+        for (ElementId src : plan.countSources) {
+            out.setReport(placed[{src, plan.target}],
+                          plan.counterReportCode);
+        }
+    }
+    // (b) Direct continuation: the latched output keeps the consumer
+    // enabled, so both the entry and saturated bands drive it.
+    for (ElementId target : plan.directTargets) {
+        for (ElementId src : plan.countSources) {
+            for (uint32_t r : {plan.target, saturated}) {
+                ElementId from = placed[{src, r}];
+                ElementId to = banded(target)
+                                   ? placed[{target, r}]
+                                   : placed[{target, 0}];
+                out.connect(from, to);
+            }
+        }
+    }
+    // (c) Inverted checks: control copies below the threshold band
+    // carry the check; the AND/inverter/OR scaffolding disappears.
+    for (const CounterPlan::InvertedCheck &check :
+         plan.invertedChecks) {
+        for (ElementId ctrl : check.controls) {
+            for (uint32_t r = 0; r < plan.target; ++r) {
+                ElementId from = placed[{ctrl, r}];
+                for (ElementId target : check.targets) {
+                    ElementId to =
+                        banded(target)
+                            ? placed[{target,
+                                      band_of_target(target, r)}]
+                            : placed[{target, 0}];
+                    out.connect(from, to);
+                }
+                if (check.reports)
+                    out.setReport(from, check.reportCode);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+size_t
+expandPositional(Automaton &automaton, const PositionalOptions &options)
+{
+    size_t expanded = 0;
+    // Re-analyze after each expansion (ids shift).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        auto fan_in = automaton.fanIn();
+        auto components = automaton.components();
+        std::vector<size_t> component_of(automaton.size(), 0);
+        std::vector<size_t> component_stes(components.size(), 0);
+        for (size_t c = 0; c < components.size(); ++c) {
+            for (ElementId id : components[c]) {
+                component_of[id] = c;
+                if (automaton[id].kind == ElementKind::Ste)
+                    ++component_stes[c];
+            }
+        }
+        for (ElementId i = 0; i < automaton.size(); ++i) {
+            if (automaton[i].kind != ElementKind::Counter)
+                continue;
+            auto plan =
+                analyze(automaton, fan_in, component_of, i);
+            if (!plan)
+                continue;
+            size_t banded_stes =
+                component_stes[component_of[i]] *
+                (static_cast<size_t>(plan->target) + 1);
+            if (banded_stes > options.maxBandedStes)
+                continue;
+            automaton = expand(automaton, component_of, *plan);
+            automaton.removeDeadElements();
+            ++expanded;
+            progress = true;
+            break;
+        }
+    }
+    return expanded;
+}
+
+} // namespace rapid::automata

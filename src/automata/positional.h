@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Positional-encoding expansion of counters (§5.3's alternate
+ * solution).
+ *
+ * The paper: "An alternate solution would be to use positional
+ * encodings, which duplicate an automaton for each value a counter
+ * might have, encoding the count in the position of states within an
+ * automaton. … We chose not to implement this technique in our initial
+ * compiler."  This pass implements it: a latching counter is replaced
+ * by banded copies of its component's STEs — copy (s, r) means "control
+ * is at s having counted r" — producing counter- and boolean-free
+ * designs like the published hand-crafted MOTOMATA lattice (Table 4 H),
+ * at the cost of roughly (target+1)× the states.
+ *
+ * Why one would want this despite the size: no special elements (more
+ * portable placement), no clock division (Table 5's MOTOMATA R paid
+ * divisor 2 for its counter+inverter), and per-thread counting
+ * semantics under overlapping windows.
+ *
+ * Supported counters (others are left untouched):
+ *  - Latch mode with a positive target;
+ *  - count pulses come directly from STEs in the counter's component;
+ *  - reset pulses only from record-window guards (STEs matching exactly
+ *    the START_OF_INPUT symbol) — dropped, since banded threads restart
+ *    at band 0 with each record and cannot survive a separator;
+ *  - consumers are (a) the counter reporting directly, (b) Activate
+ *    edges to STEs (non-inverted continuation), or (c) a single
+ *    inverter feeding AND gates whose other operands are STEs in the
+ *    component (the Table-2 inverted-check shape);
+ *  - no other counter shares the component.
+ */
+#ifndef RAPID_AUTOMATA_POSITIONAL_H
+#define RAPID_AUTOMATA_POSITIONAL_H
+
+#include <cstddef>
+
+#include "automata/automaton.h"
+
+namespace rapid::automata {
+
+/** Expansion limits. */
+struct PositionalOptions {
+    /** Skip counters whose expansion would exceed this many STEs. */
+    size_t maxBandedStes = 100000;
+};
+
+/**
+ * Expand every supported counter in @p automaton into positional
+ * encoding.  Unsupported counters are left as-is.
+ *
+ * @return the number of counters expanded.
+ */
+size_t expandPositional(Automaton &automaton,
+                        const PositionalOptions &options = {});
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_POSITIONAL_H

@@ -1,0 +1,267 @@
+#include "automata/simulator.h"
+
+#include <queue>
+
+#include "support/error.h"
+
+namespace rapid::automata {
+
+Simulator::Simulator(const Automaton &automaton) : _automaton(automaton)
+{
+    _automaton.validate();
+    _fanIn = _automaton.fanIn();
+
+    // Topologically order the combinational nodes (Kahn).
+    std::vector<int> degree(_automaton.size(), 0);
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        if (_automaton[i].kind == ElementKind::Ste)
+            continue;
+        for (auto &[src, port] : _fanIn[i]) {
+            (void)port;
+            if (_automaton[src].kind != ElementKind::Ste)
+                ++degree[i];
+        }
+    }
+    std::queue<ElementId> ready;
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        if (_automaton[i].kind != ElementKind::Ste && degree[i] == 0)
+            ready.push(i);
+    }
+    while (!ready.empty()) {
+        ElementId node = ready.front();
+        ready.pop();
+        _comb.push_back(node);
+        for (const Edge &edge : _automaton[node].outputs) {
+            if (_automaton[edge.to].kind == ElementKind::Ste)
+                continue;
+            if (--degree[edge.to] == 0)
+                ready.push(edge.to);
+        }
+    }
+
+    _counterSlot.assign(_automaton.size(), UINT32_MAX);
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        const Element &element = _automaton[i];
+        if (element.kind == ElementKind::Counter) {
+            _counterSlot[i] = static_cast<uint32_t>(_counters.size());
+            _counters.emplace_back();
+        } else if (element.kind == ElementKind::Ste) {
+            if (element.start == StartKind::AllInput)
+                _alwaysEnabled.push_back(i);
+            else if (element.start == StartKind::StartOfData)
+                _startOfData.push_back(i);
+        }
+    }
+
+    _enabled.assign(_automaton.size(), 0);
+    _signal.assign(_automaton.size(), 0);
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    for (ElementId id : _enabledList)
+        _enabled[id] = 0;
+    _enabledList.clear();
+    for (ElementId id : _signalList)
+        _signal[id] = 0;
+    _signalList.clear();
+    for (CounterState &state : _counters)
+        state = CounterState{};
+    _risingCounters.clear();
+    _reports.clear();
+    _cycle = 0;
+}
+
+void
+Simulator::setSignal(ElementId element)
+{
+    if (!_signal[element]) {
+        _signal[element] = 1;
+        _signalList.push_back(element);
+    }
+}
+
+void
+Simulator::enableNext(std::vector<uint8_t> &next_enabled,
+                      std::vector<ElementId> &next_list, ElementId target)
+{
+    if (!next_enabled[target]) {
+        next_enabled[target] = 1;
+        next_list.push_back(target);
+    }
+}
+
+void
+Simulator::step(unsigned char symbol)
+{
+    // Phase 1: STE matching.  An STE is enabled when it received an
+    // activation last cycle, is always-enabled, or is a start-of-data
+    // STE at offset 0.
+    auto consider = [&](ElementId ste) {
+        if (_automaton[ste].symbols.test(symbol))
+            setSignal(ste);
+    };
+    for (ElementId ste : _enabledList)
+        consider(ste);
+    for (ElementId ste : _alwaysEnabled) {
+        if (!_enabled[ste]) // avoid double evaluation
+            consider(ste);
+    }
+    if (_cycle == 0) {
+        for (ElementId ste : _startOfData) {
+            if (!_enabled[ste])
+                consider(ste);
+        }
+    }
+
+    // Phase 2: combinational settle.
+    for (ElementId node : _comb) {
+        const Element &element = _automaton[node];
+        if (element.kind == ElementKind::Counter) {
+            bool count_pulse = false;
+            bool reset_pulse = false;
+            for (auto &[src, port] : _fanIn[node]) {
+                if (!_signal[src])
+                    continue;
+                if (port == Port::Count)
+                    count_pulse = true;
+                else if (port == Port::Reset)
+                    reset_pulse = true;
+            }
+            CounterState &state = _counters[_counterSlot[node]];
+            bool out = false;
+            if (reset_pulse) {
+                state.value = 0;
+                state.latched = false;
+            } else if (count_pulse) {
+                if (state.value < element.target)
+                    ++state.value;
+                if (state.value >= element.target) {
+                    switch (element.mode) {
+                      case CounterMode::Latch:
+                        state.latched = true;
+                        break;
+                      case CounterMode::Pulse:
+                        out = true;
+                        break;
+                      case CounterMode::Roll:
+                        out = true;
+                        state.value = 0;
+                        break;
+                    }
+                }
+            }
+            if (element.mode == CounterMode::Latch && state.latched)
+                out = true;
+            if (out && !state.prevOut)
+                _risingCounters.push_back(node);
+            state.prevOut = out;
+            if (out)
+                setSignal(node);
+        } else { // Gate
+            bool all = true;
+            bool any = false;
+            for (auto &[src, port] : _fanIn[node]) {
+                (void)port;
+                if (_signal[src])
+                    any = true;
+                else
+                    all = false;
+            }
+            bool out = false;
+            switch (element.op) {
+              case GateOp::And:
+                out = all;
+                break;
+              case GateOp::Or:
+                out = any;
+                break;
+              case GateOp::Not:
+                out = !any;
+                break;
+              case GateOp::Nand:
+                out = !all;
+                break;
+              case GateOp::Nor:
+                out = !any;
+                break;
+            }
+            if (out)
+                setSignal(node);
+        }
+    }
+
+    // Phase 3: reports.  STEs and gates report on every active cycle
+    // (the AP's relaxed acceptance); counters report on the cycle their
+    // output rises — a latched counter generates one target event, not
+    // one per remaining cycle.
+    for (ElementId active : _signalList) {
+        if (_automaton[active].report &&
+            _automaton[active].kind != ElementKind::Counter) {
+            _reports.push_back(ReportEvent{_cycle, active});
+        }
+    }
+    for (ElementId counter : _risingCounters) {
+        if (_automaton[counter].report)
+            _reports.push_back(ReportEvent{_cycle, counter});
+    }
+    _risingCounters.clear();
+
+    // Phase 4: compute next-cycle enables from activation edges.  The
+    // scratch buffers persist across steps (flags are cleared lazily via
+    // the id lists) so a step costs O(active + combinational), not O(n).
+    std::vector<uint8_t> &next_enabled = _scratchEnabled;
+    std::vector<ElementId> &next_list = _scratchList;
+    if (next_enabled.size() != _automaton.size())
+        next_enabled.assign(_automaton.size(), 0);
+    next_list.clear();
+    for (ElementId active : _signalList) {
+        for (const Edge &edge : _automaton[active].outputs) {
+            if (edge.port == Port::Activate &&
+                _automaton[edge.to].kind == ElementKind::Ste) {
+                enableNext(next_enabled, next_list, edge.to);
+            }
+        }
+    }
+
+    for (ElementId id : _signalList)
+        _signal[id] = 0;
+    _signalList.clear();
+    for (ElementId id : _enabledList)
+        _enabled[id] = 0;
+    _enabledList.clear();
+    _enabled.swap(_scratchEnabled);
+    _enabledList.swap(_scratchList);
+    ++_cycle;
+}
+
+std::vector<ReportEvent>
+Simulator::run(std::string_view input)
+{
+    reset();
+    for (char c : input)
+        step(static_cast<unsigned char>(c));
+    return _reports;
+}
+
+uint32_t
+Simulator::counterValue(ElementId element) const
+{
+    internalCheck(element < _counterSlot.size() &&
+                      _counterSlot[element] != UINT32_MAX,
+                  "counterValue: not a counter");
+    return _counters[_counterSlot[element]].value;
+}
+
+bool
+Simulator::counterLatched(ElementId element) const
+{
+    internalCheck(element < _counterSlot.size() &&
+                      _counterSlot[element] != UINT32_MAX,
+                  "counterLatched: not a counter");
+    return _counters[_counterSlot[element]].latched;
+}
+
+} // namespace rapid::automata

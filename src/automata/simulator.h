@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Lock-step functional simulator for homogeneous-NFA designs.
+ *
+ * This is the repository's stand-in for the Automata Processor hardware
+ * (and for tools like VASim): it executes an Automaton symbol-by-symbol
+ * against an input stream, with the same per-cycle phase structure as
+ * the device:
+ *
+ *   1. every *enabled* STE compares the current symbol against its
+ *      character class; matching STEs become *active*;
+ *   2. the combinational network of counters and boolean gates settles
+ *      (evaluated in topological order — validate() guarantees
+ *      acyclicity);
+ *   3. active reporting elements emit report events carrying the current
+ *      stream offset;
+ *   4. activation edges out of every active element compute the STE
+ *      enable set for the next symbol.
+ *
+ * Reset semantics: a counter that sees both a reset and a count pulse in
+ * the same cycle resets (reset has priority).
+ */
+#ifndef RAPID_AUTOMATA_SIMULATOR_H
+#define RAPID_AUTOMATA_SIMULATOR_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+
+namespace rapid::automata {
+
+/** One report: a reporting element was active while consuming offset. */
+struct ReportEvent {
+    /** 0-based index of the consumed symbol that triggered the report. */
+    uint64_t offset = 0;
+    /** The reporting element. */
+    ElementId element = kNoElement;
+
+    friend bool
+    operator==(const ReportEvent &a, const ReportEvent &b)
+    {
+        return a.offset == b.offset && a.element == b.element;
+    }
+
+    friend bool
+    operator<(const ReportEvent &a, const ReportEvent &b)
+    {
+        return a.offset != b.offset ? a.offset < b.offset
+                                    : a.element < b.element;
+    }
+};
+
+/**
+ * Executes one Automaton against symbol streams.
+ *
+ * The simulator borrows the Automaton, which must outlive it and must
+ * not be mutated while simulations run.  Construction performs one-time
+ * analysis (validation, topological ordering of the combinational
+ * network, start-state indexing); individual runs are cheap.
+ */
+class Simulator {
+  public:
+    /** @throws CompileError when the design fails validation. */
+    explicit Simulator(const Automaton &automaton);
+
+    /** The simulator borrows the design; temporaries would dangle. */
+    explicit Simulator(Automaton &&) = delete;
+
+    /** Restore power-on state: no enables, counters at zero. */
+    void reset();
+
+    /** Consume one symbol; report events accumulate in reports(). */
+    void step(unsigned char symbol);
+
+    /** reset(), consume every byte of @p input, return the reports. */
+    std::vector<ReportEvent> run(std::string_view input);
+
+    /** Reports accumulated since the last reset(). */
+    const std::vector<ReportEvent> &reports() const { return _reports; }
+
+    /** Number of symbols consumed since the last reset(). */
+    uint64_t cycle() const { return _cycle; }
+
+    /** Current value of a counter element (for tests). */
+    uint32_t counterValue(ElementId element) const;
+
+    /** Whether a latch-mode counter has latched (for tests). */
+    bool counterLatched(ElementId element) const;
+
+  private:
+    struct CounterState {
+        uint32_t value = 0;
+        bool latched = false;
+        /** Output signal on the previous cycle (for edge detection). */
+        bool prevOut = false;
+    };
+
+    const Automaton &_automaton;
+
+    /** Combinational nodes (gates/counters) in evaluation order. */
+    std::vector<ElementId> _comb;
+    /** Fan-in (source, port) lists, indexed by element. */
+    std::vector<std::vector<std::pair<ElementId, Port>>> _fanIn;
+    /** STEs enabled on every cycle (StartKind::AllInput). */
+    std::vector<ElementId> _alwaysEnabled;
+    /** STEs enabled only at offset 0 (StartKind::StartOfData). */
+    std::vector<ElementId> _startOfData;
+    /** Dense per-counter state slot; kNoElement-free mapping. */
+    std::vector<uint32_t> _counterSlot;
+    std::vector<CounterState> _counters;
+
+    /** Enable flags for the current symbol, plus a unique id list. */
+    std::vector<uint8_t> _enabled;
+    std::vector<ElementId> _enabledList;
+    /** Activation signal per element for the cycle being evaluated. */
+    std::vector<uint8_t> _signal;
+    /** Elements whose signal is set this cycle (for cheap clearing). */
+    std::vector<ElementId> _signalList;
+
+    /** Scratch buffers for the next-cycle enable set (see step()). */
+    std::vector<uint8_t> _scratchEnabled;
+    std::vector<ElementId> _scratchList;
+
+    /** Counters whose output rose this cycle (they report on edges). */
+    std::vector<ElementId> _risingCounters;
+
+    std::vector<ReportEvent> _reports;
+    uint64_t _cycle = 0;
+
+    void setSignal(ElementId element);
+    void enableNext(std::vector<uint8_t> &next_enabled,
+                    std::vector<ElementId> &next_list, ElementId target);
+};
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_SIMULATOR_H

@@ -1,0 +1,284 @@
+#include "automata/witness.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "automata/simulator.h"
+#include "support/error.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/** First symbol of a class, preferring printable characters. */
+unsigned char
+pickSymbol(const CharSet &set)
+{
+    for (int c = 0x61; c <= 0x7A; ++c) { // a-z first
+        if (set.test(static_cast<unsigned char>(c)))
+            return static_cast<unsigned char>(c);
+    }
+    for (int c = 0x20; c < 0x7F; ++c) {
+        if (set.test(static_cast<unsigned char>(c)))
+            return static_cast<unsigned char>(c);
+    }
+    for (int c = 0; c < 256; ++c) {
+        if (set.test(static_cast<unsigned char>(c)))
+            return static_cast<unsigned char>(c);
+    }
+    return 0;
+}
+
+/** Does this element drive any counter count port? */
+bool
+pulsesCounter(const Automaton &automaton, ElementId element)
+{
+    for (const Edge &edge : automaton[element].outputs) {
+        if (edge.port == Port::Count)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Dijkstra over the activation graph.  Cost is dominated by symbols
+ * consumed, with a small penalty for STEs that pulse counters so
+ * mismatch arms are avoided when an equal-length clean path exists.
+ *
+ * dist[e] = cost of a shortest input prefix after which e is active
+ * (STEs) or outputs high through pure fan-in (OR gates, counters are
+ * handled by the caller).
+ */
+struct SearchResult {
+    std::vector<uint64_t> dist;
+    std::vector<ElementId> parent;
+};
+
+constexpr uint64_t kUnreached = UINT64_MAX;
+constexpr uint64_t kSymbolCost = 1000;
+
+/**
+ * AND gates pass the search through when exactly one input needs a
+ * driving path and every other input is an initially-high inverter
+ * (NOT/NOR over a not-yet-latched counter) — the shape counter checks
+ * lower to.
+ */
+bool
+andTraversableVia(const Automaton &automaton,
+                  const std::vector<std::vector<
+                      std::pair<ElementId, Port>>> &fan_in,
+                  ElementId gate, ElementId via)
+{
+    size_t driven = 0;
+    bool via_driven = false;
+    for (auto &[src, port] : fan_in[gate]) {
+        (void)port;
+        const Element &input = automaton[src];
+        bool initially_high =
+            input.kind == ElementKind::Gate &&
+            (input.op == GateOp::Not || input.op == GateOp::Nor);
+        if (!initially_high) {
+            ++driven;
+            via_driven |= src == via;
+        }
+    }
+    return driven == 1 && via_driven;
+}
+
+SearchResult
+search(const Automaton &automaton)
+{
+    SearchResult result;
+    result.dist.assign(automaton.size(), kUnreached);
+    result.parent.assign(automaton.size(), kNoElement);
+    auto fan_in = automaton.fanIn();
+
+    using Entry = std::pair<uint64_t, ElementId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+
+    auto relax = [&](ElementId node, uint64_t cost, ElementId parent) {
+        if (cost < result.dist[node]) {
+            result.dist[node] = cost;
+            result.parent[node] = parent;
+            queue.emplace(cost, node);
+        }
+    };
+
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (element.kind == ElementKind::Ste &&
+            element.start != StartKind::None) {
+            uint64_t cost =
+                kSymbolCost + (pulsesCounter(automaton, i) ? 1 : 0);
+            relax(i, cost, kNoElement);
+        }
+    }
+
+    while (!queue.empty()) {
+        auto [cost, node] = queue.top();
+        queue.pop();
+        if (cost != result.dist[node])
+            continue;
+        for (const Edge &edge : automaton[node].outputs) {
+            const Element &target = automaton[edge.to];
+            if (edge.port != Port::Activate)
+                continue;
+            if (target.kind == ElementKind::Ste) {
+                uint64_t extra =
+                    kSymbolCost +
+                    (pulsesCounter(automaton, edge.to) ? 1 : 0);
+                relax(edge.to, cost + extra, node);
+            } else if (target.kind == ElementKind::Gate &&
+                       target.op == GateOp::Or) {
+                // OR gates are combinational: no extra symbol.
+                relax(edge.to, cost, node);
+            } else if (target.kind == ElementKind::Gate &&
+                       target.op == GateOp::And &&
+                       andTraversableVia(automaton, fan_in, edge.to,
+                                         node)) {
+                relax(edge.to, cost, node);
+            }
+        }
+    }
+    return result;
+}
+
+/** Rebuild the symbol string along the parent chain ending at @p end. */
+std::string
+pathString(const Automaton &automaton, const SearchResult &result,
+           ElementId end)
+{
+    std::string symbols;
+    for (ElementId node = end; node != kNoElement;
+         node = result.parent[node]) {
+        if (automaton[node].kind == ElementKind::Ste)
+            symbols.push_back(
+                static_cast<char>(pickSymbol(automaton[node].symbols)));
+    }
+    std::reverse(symbols.begin(), symbols.end());
+    return symbols;
+}
+
+/** Verify a candidate by simulation on a report-instrumented copy. */
+bool
+verify(const Automaton &automaton, ElementId element,
+       const std::string &input)
+{
+    if (input.empty())
+        return false;
+    Automaton probe = automaton;
+    probe.setReport(element, "__witness");
+    Simulator sim(probe);
+    for (const ReportEvent &event : sim.run(input)) {
+        if (event.element == element &&
+            event.offset == input.size() - 1) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<Witness>
+witnessFor(const Automaton &automaton, ElementId element)
+{
+    internalCheck(element < automaton.size(), "witnessFor: bad element");
+    SearchResult result = search(automaton);
+
+    std::vector<std::string> candidates;
+    const Element &target = automaton[element];
+
+    auto pathTo = [&](ElementId node) -> std::optional<std::string> {
+        if (result.dist[node] == kUnreached)
+            return std::nullopt;
+        return pathString(automaton, result, node);
+    };
+
+    switch (target.kind) {
+      case ElementKind::Ste: {
+        if (auto path = pathTo(element))
+            candidates.push_back(*path);
+        break;
+      }
+      case ElementKind::Gate: {
+        // OR: any input path.  NOT/NOR over a quiet design are high
+        // immediately: any symbol.  AND: supported when exactly one
+        // input needs a path and the rest are initially-high inverters.
+        auto fan_in = automaton.fanIn();
+        if (target.op == GateOp::Or) {
+            for (auto &[src, port] : fan_in[element]) {
+                (void)port;
+                if (auto path = pathTo(src))
+                    candidates.push_back(*path);
+            }
+        } else if (target.op == GateOp::Not ||
+                   target.op == GateOp::Nor) {
+            candidates.push_back("a");
+        } else if (target.op == GateOp::And) {
+            std::vector<ElementId> driven;
+            for (auto &[src, port] : fan_in[element]) {
+                (void)port;
+                const Element &input = automaton[src];
+                bool initially_high =
+                    input.kind == ElementKind::Gate &&
+                    (input.op == GateOp::Not ||
+                     input.op == GateOp::Nor);
+                if (!initially_high)
+                    driven.push_back(src);
+            }
+            if (driven.size() == 1) {
+                if (auto path = pathTo(driven.front()))
+                    candidates.push_back(*path);
+            }
+        }
+        break;
+      }
+      case ElementKind::Counter: {
+        // Reach a count source, then extend with repeats of the last
+        // symbol until the target is plausibly reached.
+        auto fan_in = automaton.fanIn();
+        for (auto &[src, port] : fan_in[element]) {
+            if (port != Port::Count)
+                continue;
+            auto path = pathTo(src);
+            if (!path || path->empty())
+                continue;
+            for (uint32_t repeats = 0; repeats < target.target * 2;
+                 ++repeats) {
+                std::string candidate =
+                    *path +
+                    std::string(repeats, path->back());
+                candidates.push_back(std::move(candidate));
+            }
+        }
+        break;
+      }
+    }
+
+    for (const std::string &candidate : candidates) {
+        if (verify(automaton, element, candidate)) {
+            Witness witness;
+            witness.element = element;
+            witness.input = candidate;
+            witness.offset = candidate.size() - 1;
+            return witness;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<Witness>
+allWitnesses(const Automaton &automaton)
+{
+    std::vector<Witness> out;
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        if (!automaton[i].report)
+            continue;
+        if (auto witness = witnessFor(automaton, i))
+            out.push_back(std::move(*witness));
+    }
+    return out;
+}
+
+} // namespace rapid::automata

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Witness-input generation — the paper's §8 future-work debugging aid
+ * ("tools aiding developers to generate short input sequences to test
+ * corner cases of their applications").
+ *
+ * Given a design, witnessFor() synthesizes a shortest input string that
+ * makes a chosen reporting element fire, by breadth-first search over
+ * the STE activation graph (each step picks one concrete symbol from an
+ * STE's character class).  Counters are handled by unrolling: a path
+ * through a counter's count port must be traversed `target` times
+ * before the counter's output continues, which the search approximates
+ * by repeating the shortest count-pulse cycle.
+ *
+ * Boolean AND gates require several simultaneously active inputs and
+ * are not covered by single-path search; witnesses are generated for
+ * designs whose reports are reachable through STEs, OR gates, and
+ * counters (ANDs are reported as unsupported).
+ */
+#ifndef RAPID_AUTOMATA_WITNESS_H
+#define RAPID_AUTOMATA_WITNESS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+
+namespace rapid::automata {
+
+/** A generated test input for one reporting element. */
+struct Witness {
+    ElementId element = kNoElement;
+    /** Input string that triggers the report. */
+    std::string input;
+    /** Offset at which the report fires (== input.size() - 1). */
+    uint64_t offset = 0;
+};
+
+/**
+ * Shortest witness for @p element, or nullopt when the element is
+ * unreachable by single-path search (dead code or AND-gated).
+ */
+std::optional<Witness> witnessFor(const Automaton &automaton,
+                                  ElementId element);
+
+/** Witnesses for every reporting element (unreachable ones omitted). */
+std::vector<Witness> allWitnesses(const Automaton &automaton);
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_WITNESS_H

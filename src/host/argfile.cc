@@ -1,0 +1,199 @@
+#include "host/argfile.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::host {
+
+using lang::Value;
+
+namespace {
+
+[[noreturn]] void
+fail(size_t line, const std::string &msg)
+{
+    throw CompileError("argument file line " + std::to_string(line) +
+                       ": " + msg);
+}
+
+std::string
+unescape(std::string_view text, size_t line)
+{
+    std::string out;
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            out.push_back(text[i]);
+            continue;
+        }
+        if (i + 1 >= text.size())
+            fail(line, "dangling escape");
+        char c = text[++i];
+        switch (c) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case ',':
+            out.push_back(',');
+            break;
+          case ';':
+            out.push_back(';');
+            break;
+          case 'x': {
+            if (i + 2 >= text.size())
+                fail(line, "truncated \\x escape");
+            auto hex = [&](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                fail(line, "bad hex digit");
+            };
+            int hi = hex(text[i + 1]);
+            int lo = hex(text[i + 2]);
+            i += 2;
+            out.push_back(static_cast<char>(hi * 16 + lo));
+            break;
+          }
+          default:
+            fail(line, std::string("unknown escape '\\") + c + "'");
+        }
+    }
+    return out;
+}
+
+int64_t
+parseInt(std::string_view text, size_t line)
+{
+    try {
+        size_t used = 0;
+        std::string spelled(trim(text));
+        int64_t value = std::stoll(spelled, &used);
+        if (used != spelled.size())
+            fail(line, "malformed integer '" + spelled + "'");
+        return value;
+    } catch (const std::logic_error &) {
+        fail(line, "malformed integer '" + std::string(trim(text)) +
+                       "'");
+    }
+}
+
+/** Split on @p sep, honouring backslash escapes (\\, stays literal). */
+std::vector<std::string>
+splitEscaped(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '\\' && i + 1 < text.size()) {
+            current.push_back(c);
+            current.push_back(text[++i]);
+            continue;
+        }
+        if (c == sep) {
+            out.push_back(std::move(current));
+            current.clear();
+            continue;
+        }
+        current.push_back(c);
+    }
+    out.push_back(std::move(current));
+    return out;
+}
+
+std::vector<std::string>
+splitTrimmed(std::string_view text, char sep, size_t line)
+{
+    std::vector<std::string> out;
+    for (const std::string &field : splitEscaped(text, sep))
+        out.push_back(unescape(trim(field), line));
+    // A single empty field means an empty list.
+    if (out.size() == 1 && out[0].empty())
+        out.clear();
+    return out;
+}
+
+} // namespace
+
+std::vector<Value>
+parseArgFile(const std::string &text)
+{
+    std::vector<Value> args;
+    size_t line_number = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_number;
+        std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        size_t colon = line.find(':');
+        if (colon == std::string_view::npos)
+            fail(line_number, "expected 'type: value'");
+        std::string kind(trim(line.substr(0, colon)));
+        std::string_view payload = trim(line.substr(colon + 1));
+
+        if (kind == "int") {
+            args.push_back(Value::integer(parseInt(payload,
+                                                   line_number)));
+        } else if (kind == "bool") {
+            if (payload == "true")
+                args.push_back(Value::boolean(true));
+            else if (payload == "false")
+                args.push_back(Value::boolean(false));
+            else
+                fail(line_number, "expected true or false");
+        } else if (kind == "char") {
+            std::string decoded = unescape(payload, line_number);
+            if (decoded.size() != 1)
+                fail(line_number, "expected a single character");
+            args.push_back(Value::character(decoded[0]));
+        } else if (kind == "string") {
+            args.push_back(Value::str(unescape(payload, line_number)));
+        } else if (kind == "ints") {
+            std::vector<int64_t> items;
+            for (const std::string &field :
+                 splitTrimmed(payload, ',', line_number)) {
+                items.push_back(parseInt(field, line_number));
+            }
+            args.push_back(Value::intArray(items));
+        } else if (kind == "strings") {
+            args.push_back(Value::strArray(
+                splitTrimmed(payload, ',', line_number)));
+        } else if (kind == "stringss") {
+            lang::ValueList rows;
+            for (const std::string &row : splitEscaped(payload, ';')) {
+                rows.push_back(Value::strArray(
+                    splitTrimmed(trim(row), ',', line_number)));
+            }
+            args.push_back(Value::array(
+                lang::Type(lang::BaseType::String, 1),
+                std::move(rows)));
+        } else {
+            fail(line_number, "unknown argument kind '" + kind + "'");
+        }
+    }
+    return args;
+}
+
+std::vector<Value>
+loadArgFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw CompileError("cannot open argument file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseArgFile(buffer.str());
+}
+
+} // namespace rapid::host

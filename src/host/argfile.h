@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Network-argument annotation files.
+ *
+ * §5: "Our technique takes two files as input: the RAPID program and a
+ * file annotating properties of the arguments to the network
+ * parameters."  This module defines that second file.  Format: one
+ * argument per line, in network-parameter order:
+ *
+ *     # comment / blank lines ignored
+ *     int: 5
+ *     bool: true
+ *     char: x            (or a \xHH escape)
+ *     string: ATCGAC
+ *     ints: 1, 2, 3
+ *     strings: ACGT, TTTT, CCCC
+ *     stringss: NN, foo, VB; DT, , JJ     (String[][]: ';' rows)
+ *
+ * Values are checked positionally against the network's declared
+ * parameter types at compile time.
+ */
+#ifndef RAPID_HOST_ARGFILE_H
+#define RAPID_HOST_ARGFILE_H
+
+#include <string>
+#include <vector>
+
+#include "lang/value.h"
+
+namespace rapid::host {
+
+/** Parse annotation text into network argument values. */
+std::vector<lang::Value> parseArgFile(const std::string &text);
+
+/** Read and parse an annotation file from disk. */
+std::vector<lang::Value> loadArgFile(const std::string &path);
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_ARGFILE_H

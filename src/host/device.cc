@@ -1,0 +1,31 @@
+#include "host/device.h"
+
+namespace rapid::host {
+
+Device::Device(automata::Automaton design) : _design(std::move(design))
+{
+    _simulator = std::make_unique<automata::Simulator>(_design);
+}
+
+Device::Device(const ap::TiledDesign &tiled)
+{
+    size_t blocks = tiled.totalBlocks;
+    _design = ap::replicate(tiled.blockImage, blocks);
+    _simulator = std::make_unique<automata::Simulator>(_design);
+}
+
+std::vector<HostReport>
+Device::run(std::string_view input)
+{
+    std::vector<HostReport> out;
+    for (const automata::ReportEvent &event : _simulator->run(input)) {
+        HostReport report;
+        report.offset = event.offset;
+        report.element = _design[event.element].id;
+        report.code = _design[event.element].reportCode;
+        out.push_back(std::move(report));
+    }
+    return out;
+}
+
+} // namespace rapid::host

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host driver: the runtime side of the paper's generated "driver code".
+ *
+ * The driver loads a configured design (a flat automaton or a
+ * tessellated block image), streams symbols through the device (here:
+ * the functional simulator), and collects report events enriched with
+ * the reporting element's identity and RAPID-level report code (§3.1
+ * "the offset ... and additional identifying meta data, such as the
+ * reporting macro").
+ */
+#ifndef RAPID_HOST_DEVICE_H
+#define RAPID_HOST_DEVICE_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ap/tessellation.h"
+#include "automata/automaton.h"
+#include "automata/simulator.h"
+
+namespace rapid::host {
+
+/** A report event as delivered to the host application. */
+struct HostReport {
+    /** 0-based offset in the streamed input. */
+    uint64_t offset = 0;
+    /** ANML id of the reporting element. */
+    std::string element;
+    /** RAPID report code (e.g. "hamming_distance#3"). */
+    std::string code;
+};
+
+/** A loaded device ready to process streams. */
+class Device {
+  public:
+    /** Load a flat design. */
+    explicit Device(automata::Automaton design);
+
+    /**
+     * Load a tessellated design: the block image is replicated
+     * `ceil(instances / tilesPerBlock)` times — block-level
+     * configuration (§6) — before execution.
+     */
+    explicit Device(const ap::TiledDesign &tiled);
+
+    /** Stream @p input from power-on state; returns all reports. */
+    std::vector<HostReport> run(std::string_view input);
+
+    /** The loaded (possibly replicated) design. */
+    const automata::Automaton &design() const { return _design; }
+
+  private:
+    automata::Automaton _design;
+    std::unique_ptr<automata::Simulator> _simulator;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_DEVICE_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host-side report aggregation.
+ *
+ * The AP delivers raw report events; applications usually want them
+ * aggregated — ARM counts *support* (how many transactions matched each
+ * candidate item-set), Brill collects rule firings per rule, motif
+ * search wants per-motif candidate lists.  ReportSummary groups a
+ * report stream by report code and exposes the common queries.
+ */
+#ifndef RAPID_HOST_REPORTS_H
+#define RAPID_HOST_REPORTS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/device.h"
+
+namespace rapid::host {
+
+/** Aggregated view of a report stream. */
+class ReportSummary {
+  public:
+    ReportSummary() = default;
+
+    /** Build from a device run's report stream. */
+    explicit ReportSummary(const std::vector<HostReport> &reports)
+    {
+        for (const HostReport &report : reports)
+            add(report);
+    }
+
+    /** Incorporate one report. */
+    void
+    add(const HostReport &report)
+    {
+        _byCode[report.code].push_back(report.offset);
+        ++_total;
+    }
+
+    /** Total report events seen. */
+    size_t total() const { return _total; }
+
+    /** Distinct report codes seen. */
+    size_t
+    distinctCodes() const
+    {
+        return _byCode.size();
+    }
+
+    /**
+     * Support of one code: the number of report events carrying it
+     * (for record-per-transaction framings, the number of matching
+     * records — ARM's support count).
+     */
+    size_t
+    support(const std::string &code) const
+    {
+        auto it = _byCode.find(code);
+        return it == _byCode.end() ? 0 : it->second.size();
+    }
+
+    /** Offsets at which a code reported (in stream order). */
+    const std::vector<uint64_t> &
+    offsets(const std::string &code) const
+    {
+        static const std::vector<uint64_t> kEmpty;
+        auto it = _byCode.find(code);
+        return it == _byCode.end() ? kEmpty : it->second;
+    }
+
+    /**
+     * Codes with support >= @p min_support, most frequent first —
+     * ARM's frequent-item-set query.
+     */
+    std::vector<std::pair<std::string, size_t>>
+    frequent(size_t min_support) const
+    {
+        std::vector<std::pair<std::string, size_t>> out;
+        for (const auto &[code, hits] : _byCode) {
+            if (hits.size() >= min_support)
+                out.emplace_back(code, hits.size());
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second
+                                 ? a.second > b.second
+                                 : a.first < b.first;
+                  });
+        return out;
+    }
+
+  private:
+    std::map<std::string, std::vector<uint64_t>> _byCode;
+    size_t _total = 0;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_REPORTS_H

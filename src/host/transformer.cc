@@ -1,0 +1,70 @@
+#include "host/transformer.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace rapid::host {
+
+void
+InputTransformer::setPeriod(const std::string &counter_name,
+                            uint64_t period)
+{
+    for (lang::SymbolInjection &injection : _injections) {
+        if (injection.counterName == counter_name) {
+            injection.period = period;
+            return;
+        }
+    }
+    throw CompileError("no reserved-symbol injection for counter '" +
+                       counter_name + "'");
+}
+
+std::string
+InputTransformer::transformRecord(const std::string &record) const
+{
+    // Sort insertions by position so one pass suffices.
+    std::vector<lang::SymbolInjection> pending = _injections;
+    for (const lang::SymbolInjection &injection : pending) {
+        if (injection.period == 0) {
+            throw CompileError(
+                "injection period for counter '" + injection.counterName +
+                "' was not inferable; call setPeriod() (§5.3)");
+        }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const auto &a, const auto &b) {
+                  return a.period < b.period;
+              });
+
+    std::string out;
+    out.reserve(record.size() + pending.size());
+    size_t next = 0;
+    for (uint64_t consumed = 0; consumed < record.size(); ++consumed) {
+        while (next < pending.size() &&
+               pending[next].period == consumed) {
+            out.push_back(static_cast<char>(pending[next].symbol));
+            ++next;
+        }
+        out.push_back(record[consumed]);
+    }
+    while (next < pending.size()) {
+        // Checks positioned at or past the record end.
+        out.push_back(static_cast<char>(pending[next].symbol));
+        ++next;
+    }
+    return out;
+}
+
+std::string
+InputTransformer::frame(const std::vector<std::string> &records) const
+{
+    std::string out;
+    for (const std::string &record : records) {
+        out.push_back(static_cast<char>(0xFF));
+        out += transformRecord(record);
+    }
+    return out;
+}
+
+} // namespace rapid::host

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Host-side input-stream transformation.
+ *
+ * The AP consumes a raw symbol stream; the host driver prepares it
+ * (§3.2, §5.3):
+ *
+ *  - record framing: records are concatenated with the reserved
+ *    START_OF_INPUT symbol (0xFF) preceding each record, which the
+ *    compiled program's implicit sliding window keys on;
+ *  - reserved-symbol injection: when the compiler lowered counter
+ *    checks through the §5.3 scheme, the corresponding reserved symbol
+ *    is inserted after a fixed number of data symbols in every record
+ *    (the compiler-inferred period), or at caller-specified positions
+ *    when the compiler could not infer one.
+ */
+#ifndef RAPID_HOST_TRANSFORMER_H
+#define RAPID_HOST_TRANSFORMER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/codegen.h"
+
+namespace rapid::host {
+
+/** Builds device input streams from host-side records. */
+class InputTransformer {
+  public:
+    InputTransformer() = default;
+
+    /** Use the injection plan recorded by the compiler. */
+    explicit InputTransformer(
+        const std::vector<lang::SymbolInjection> &injections)
+        : _injections(injections)
+    {
+    }
+
+    /**
+     * Supply the insertion period for an injection the compiler could
+     * not infer (its recorded period is 0) — the §5.3 "rely on the
+     * developer to provide the pattern" escape hatch.
+     */
+    void setPeriod(const std::string &counter_name, uint64_t period);
+
+    /**
+     * Frame @p records into one device stream: each record is preceded
+     * by START_OF_INPUT and carries its reserved-symbol insertions.
+     *
+     * @throws rapid::CompileError if an injection still has no period.
+     */
+    std::string frame(const std::vector<std::string> &records) const;
+
+    /** Transform a single record (no leading separator). */
+    std::string transformRecord(const std::string &record) const;
+
+  private:
+    std::vector<lang::SymbolInjection> _injections;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_TRANSFORMER_H

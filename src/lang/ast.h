@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Abstract syntax for RAPID programs.
+ *
+ * A program is a list of macros plus one network (§3.1).  Expressions
+ * and statements use tagged structs (one node type per syntactic class,
+ * discriminated by a kind enum) rather than a class hierarchy; the
+ * compiler passes switch over kinds, which keeps the staged evaluator
+ * compact.
+ */
+#ifndef RAPID_LANG_AST_H
+#define RAPID_LANG_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/types.h"
+#include "support/error.h"
+
+namespace rapid::lang {
+
+/** A character value: a literal byte or one of the special constants. */
+struct CharSpec {
+    enum class Kind {
+        Literal,
+        /** ALL_INPUT — matches any symbol. */
+        AllInput,
+        /** START_OF_INPUT — the reserved 0xFF start-of-data symbol. */
+        StartOfInput,
+    };
+    Kind kind = Kind::Literal;
+    unsigned char value = 0;
+
+    friend bool
+    operator==(const CharSpec &a, const CharSpec &b)
+    {
+        if (a.kind != b.kind)
+            return false;
+        return a.kind != Kind::Literal || a.value == b.value;
+    }
+};
+
+/** The reserved START_OF_INPUT symbol (§3.2: character 0xFF). */
+constexpr unsigned char kStartOfInputSymbol = 0xFF;
+
+enum class ExprKind {
+    IntLit,
+    CharLit,
+    BoolLit,
+    StringLit,
+    /** { e1, e2, ... } — allowed in initializers. */
+    ArrayLit,
+    Var,
+    /** args[0] is the base, args[1] the index. */
+    Index,
+    /** args[0] is the operand. */
+    Unary,
+    /** args[0] and args[1] are the operands. */
+    Binary,
+    /** A free function call (input(), or a macro used as a statement). */
+    Call,
+    /** A method call; args[0] is the receiver, the rest are arguments. */
+    Method,
+};
+
+enum class UnaryOp { Not, Neg };
+
+enum class BinaryOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    ExprKind kind = ExprKind::IntLit;
+    SourceLoc loc;
+    /** Filled in by the type checker. */
+    Type type = Type::errorT();
+
+    int64_t intValue = 0;
+    bool boolValue = false;
+    CharSpec charValue;
+    /** Variable name, call target, method name, or string literal. */
+    std::string text;
+    UnaryOp uop = UnaryOp::Not;
+    BinaryOp bop = BinaryOp::Eq;
+    std::vector<ExprPtr> args;
+};
+
+enum class StmtKind {
+    VarDecl,
+    Assign,
+    /** An expression statement — including the boolean-expression-as-
+     *  statement assertions of §3.1 and macro/method calls. */
+    Expr,
+    Report,
+    If,
+    While,
+    Foreach,
+    Some,
+    Either,
+    Whenever,
+    Block,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    StmtKind kind = StmtKind::Block;
+    SourceLoc loc;
+
+    /** VarDecl / Foreach / Some: declared type. */
+    Type declType = Type::errorT();
+    /** VarDecl / Assign / Foreach / Some: variable name. */
+    std::string name;
+    /** Condition / guard / iterable / initializer / expression. */
+    ExprPtr expr;
+    /** Assign: the left-hand side (Var or Index expression). */
+    ExprPtr target;
+    /**
+     * Body statements.  If/While/Foreach/Some/Whenever bodies are a
+     * statement list; Either arms are stored as one Block per arm.
+     */
+    std::vector<StmtPtr> body;
+    /** If: the else branch (empty when absent). */
+    std::vector<StmtPtr> orelse;
+};
+
+/** A macro or network parameter. */
+struct Param {
+    Type type;
+    std::string name;
+    SourceLoc loc;
+};
+
+/** A macro definition; the network reuses this shape. */
+struct MacroDecl {
+    std::string name;
+    std::vector<Param> params;
+    std::vector<StmtPtr> body;
+    SourceLoc loc;
+};
+
+/** A parsed RAPID program: macros plus exactly one network. */
+struct Program {
+    std::vector<MacroDecl> macros;
+    MacroDecl network;
+
+    /** Find a macro by name; nullptr when absent. */
+    const MacroDecl *
+    findMacro(const std::string &name) const
+    {
+        for (const MacroDecl &macro : macros) {
+            if (macro.name == name)
+                return &macro;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_AST_H

@@ -1,0 +1,1742 @@
+#include "lang/codegen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "automata/optimizer.h"
+#include "automata/positional.h"
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace rapid::lang {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::CounterMode;
+using automata::ElementId;
+using automata::GateOp;
+using automata::kNoElement;
+using automata::Port;
+using automata::StartKind;
+
+namespace {
+
+/**
+ * A normalized runtime ("automata") expression after compile-time
+ * folding: the comparison structure that actually reaches the device.
+ */
+struct ATree {
+    enum class Kind {
+        /** Consume one symbol of the set. */
+        Match,
+        /** Children in sequence (&& is concatenation, Fig. 7). */
+        Seq,
+        /** Children in parallel (||). */
+        Alt,
+        /** Trivially true; consumes nothing. */
+        Epsilon,
+        /** Trivially false; kills the thread. */
+        Fail,
+    };
+
+    Kind kind = Kind::Epsilon;
+    CharSet set;
+    std::vector<ATree> children;
+
+    /** Symbols consumed; -1 when branches disagree. */
+    int
+    length() const
+    {
+        switch (kind) {
+          case Kind::Match:
+            return 1;
+          case Kind::Epsilon:
+          case Kind::Fail:
+            return 0;
+          case Kind::Seq: {
+            int total = 0;
+            for (const ATree &child : children) {
+                int len = child.length();
+                if (len < 0)
+                    return -1;
+                total += len;
+            }
+            return total;
+          }
+          case Kind::Alt: {
+            int common = -2;
+            for (const ATree &child : children) {
+                int len = child.length();
+                if (len < 0)
+                    return -1;
+                if (common == -2)
+                    common = len;
+                else if (common != len)
+                    return -1;
+            }
+            return common == -2 ? 0 : common;
+          }
+        }
+        return -1;
+    }
+
+    static ATree
+    match(const CharSet &set)
+    {
+        ATree t;
+        t.kind = Kind::Match;
+        t.set = set;
+        return t;
+    }
+
+    static ATree
+    epsilon()
+    {
+        return ATree{};
+    }
+
+    static ATree
+    fail()
+    {
+        ATree t;
+        t.kind = Kind::Fail;
+        return t;
+    }
+};
+
+/** The compiled form of an automata expression (a fragment). */
+struct Chain {
+    /** STEs to enable from the predecessor. */
+    std::vector<ElementId> entries;
+    /** Elements whose activation means the expression matched. */
+    std::vector<ElementId> exits;
+    /** The expression can also match consuming nothing. */
+    bool passthrough = false;
+    /** The expression can never match. */
+    bool fail = false;
+};
+
+/**
+ * Where control currently sits during staged evaluation.
+ *
+ * `start` means control is at the beginning of a parallel branch and no
+ * symbol has been consumed: the next attached STEs either receive the
+ * implicit START_OF_INPUT window guard (guard == true) or are marked
+ * with `startKind` directly (a folded top-level whenever).  `elems`
+ * lists already-created elements control may also be sitting on.
+ */
+struct Frontier {
+    bool start = false;
+    StartKind startKind = StartKind::AllInput;
+    bool guard = false;
+    std::vector<ElementId> elems;
+    /** Data symbols consumed since the record start; -1 = unknown. */
+    int64_t consumed = 0;
+
+    bool dead() const { return !start && elems.empty(); }
+
+    static Frontier
+    deadFrontier()
+    {
+        Frontier f;
+        f.consumed = -1;
+        return f;
+    }
+
+    static Frontier
+    programStart()
+    {
+        Frontier f;
+        f.start = true;
+        f.guard = true;
+        f.startKind = StartKind::AllInput;
+        return f;
+    }
+};
+
+Frontier
+unionFrontiers(const Frontier &a, const Frontier &b)
+{
+    if (a.dead())
+        return b;
+    if (b.dead())
+        return a;
+    Frontier out;
+    out.start = a.start || b.start;
+    out.guard = a.guard || b.guard;
+    out.startKind = a.start ? a.startKind : b.startKind;
+    out.elems = a.elems;
+    for (ElementId e : b.elems) {
+        if (std::find(out.elems.begin(), out.elems.end(), e) ==
+            out.elems.end()) {
+            out.elems.push_back(e);
+        }
+    }
+    out.consumed = (a.consumed == b.consumed) ? a.consumed : -1;
+    return out;
+}
+
+/** One lexical environment frame (macro activation). */
+class Scope {
+  public:
+    void push() { _scopes.emplace_back(); }
+    void pop() { _scopes.pop_back(); }
+
+    void
+    declare(const std::string &name, Value value)
+    {
+        _scopes.back()[name] = std::move(value);
+    }
+
+    Value *
+    find(const std::string &name)
+    {
+        for (auto it = _scopes.rbegin(); it != _scopes.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::vector<std::unordered_map<std::string, Value>> _scopes;
+};
+
+/** The staged evaluator / code generator. */
+class CodeGen {
+  public:
+    CodeGen(Program &program, const std::vector<Value> &network_args,
+            const CompileOptions &options)
+        : _program(program), _networkArgs(network_args), _options(options)
+    {
+    }
+
+    CompiledProgram
+    run()
+    {
+        CompiledProgram out;
+        if (!_options.tileOnly) {
+            compileNetwork(/*tile_only=*/false);
+            finishCounters();
+            if (!_out.injections.empty())
+                excludeReservedSymbols();
+            if (_options.positionalCounters)
+                automata::expandPositional(_automaton);
+            if (_options.optimize)
+                automata::optimize(_automaton);
+            _automaton.validate();
+            auto stats = _automaton.stats();
+            logDebug("lang", strprintf(
+                "compiled network: %zu STEs, %zu counters, %zu gates, "
+                "%zu reporting",
+                stats.stes, stats.counters, stats.gates,
+                stats.reporting));
+        }
+        out = std::move(_out);
+        out.automaton = std::move(_automaton);
+
+        // Tessellation tile: re-run restricted to one iteration of the
+        // first qualifying top-level some (§6 heuristic).
+        CodeGen tiler(_program, _networkArgs, _options);
+        tiler._tileOnly = true;
+        tiler.compileNetwork(/*tile_only=*/true);
+        if (tiler._tileInstances > 0) {
+            tiler.finishCounters();
+            if (_options.positionalCounters)
+                automata::expandPositional(tiler._automaton);
+            if (_options.optimize)
+                automata::optimize(tiler._automaton);
+            tiler._automaton.validate();
+            out.tile = std::move(tiler._automaton);
+            out.tileInstances = tiler._tileInstances;
+        }
+        return out;
+    }
+
+  private:
+    [[noreturn]] static void
+    fail(const std::string &msg, SourceLoc loc)
+    {
+        throw CompileError(msg, loc);
+    }
+
+    /// Counter registry ---------------------------------------------------
+
+    struct CounterInfo {
+        std::string name;
+        ElementId primary = kNoElement;
+        ElementId secondary = kNoElement;
+        /** Cached inverter over the primary counter's output. */
+        ElementId primaryInverter = kNoElement;
+        bool thresholdSet = false;
+        uint32_t primaryTarget = 1;
+        uint32_t secondaryTarget = 0;
+        /** Recorded (source, port) feeding the logical counter. */
+        std::vector<std::pair<ElementId, Port>> inputs;
+    };
+
+    CounterInfo &
+    counterInfo(const Value &value, SourceLoc loc)
+    {
+        if (value.counter >= _counters.size())
+            fail("invalid Counter reference", loc);
+        return _counters[value.counter];
+    }
+
+    ElementId
+    ensurePrimary(CounterInfo &info)
+    {
+        if (info.primary == kNoElement) {
+            info.primary = _automaton.addCounter(
+                info.primaryTarget, CounterMode::Latch,
+                freshElementId(info.name));
+            for (auto &[src, port] : info.inputs)
+                _automaton.connect(src, info.primary, port);
+            // Counters restart with their thread: the window-guard STE
+            // (the START_OF_INPUT separator, or an explicit whenever
+            // guard) pulses the reset port, so per-record state does
+            // not leak across records.  Recorded in `inputs` so a
+            // later secondary counter receives the same wiring.
+            for (ElementId entry : _threadEntry) {
+                _automaton.connect(entry, info.primary, Port::Reset);
+                info.inputs.emplace_back(entry, Port::Reset);
+            }
+        }
+        return info.primary;
+    }
+
+    ElementId
+    ensureSecondary(CounterInfo &info, uint32_t target)
+    {
+        if (info.secondary == kNoElement) {
+            info.secondary = _automaton.addCounter(
+                target, CounterMode::Latch,
+                freshElementId(info.name + "_hi"));
+            info.secondaryTarget = target;
+            for (auto &[src, port] : info.inputs)
+                _automaton.connect(src, info.secondary, port);
+        } else if (info.secondaryTarget != target) {
+            throw CompileError("counter '" + info.name +
+                               "' is checked against conflicting "
+                               "thresholds (one threshold per counter)");
+        }
+        return info.secondary;
+    }
+
+    void
+    setPrimaryTarget(CounterInfo &info, uint32_t target, SourceLoc loc)
+    {
+        if (target == 0) {
+            fail("counter check against threshold 0 is trivially "
+                 "true or false; use a compile-time bool",
+                 loc);
+        }
+        if (info.thresholdSet && info.primaryTarget != target) {
+            fail("counter '" + info.name +
+                     "' is checked against conflicting thresholds (one "
+                     "threshold per counter, §5.3)",
+                 loc);
+        }
+        info.thresholdSet = true;
+        info.primaryTarget = target;
+        ensurePrimary(info);
+        _automaton[info.primary].target = target;
+    }
+
+    /** Drop counters that were declared but never used. */
+    void
+    finishCounters()
+    {
+        for (CounterInfo &info : _counters) {
+            if (info.primary != kNoElement && info.inputs.empty()) {
+                throw CompileError("counter '" + info.name +
+                                   "' is checked but never counted");
+            }
+        }
+    }
+
+    std::string
+    freshElementId(const std::string &stem)
+    {
+        return strprintf("%s_%llu", stem.c_str(),
+                         static_cast<unsigned long long>(_nameSerial++));
+    }
+
+    /// Compile-time evaluation --------------------------------------------
+
+    Value
+    evalExpr(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::IntLit:
+            return Value::integer(expr.intValue);
+          case ExprKind::BoolLit:
+            return Value::boolean(expr.boolValue);
+          case ExprKind::CharLit:
+            return Value::character(expr.charValue);
+          case ExprKind::StringLit:
+            return Value::str(expr.text);
+          case ExprKind::ArrayLit: {
+            ValueList items;
+            items.reserve(expr.args.size());
+            for (const ExprPtr &item : expr.args)
+                items.push_back(evalExpr(*item));
+            return Value::array(expr.type.element(), std::move(items));
+          }
+          case ExprKind::Var: {
+            Value *value = _env.find(expr.text);
+            if (value == nullptr)
+                fail("undefined variable '" + expr.text + "'", expr.loc);
+            return *value;
+          }
+          case ExprKind::Index: {
+            Value base = evalExpr(*expr.args[0]);
+            Value index = evalExpr(*expr.args[1]);
+            if (base.type == Type::stringT()) {
+                if (index.i < 0 ||
+                    index.i >= static_cast<int64_t>(base.s.size())) {
+                    fail("string index " + std::to_string(index.i) +
+                             " out of range",
+                         expr.loc);
+                }
+                return Value::character(base.s[index.i]);
+            }
+            if (!base.arr || index.i < 0 ||
+                index.i >= static_cast<int64_t>(base.arr->size())) {
+                fail("array index " + std::to_string(index.i) +
+                         " out of range",
+                     expr.loc);
+            }
+            return (*base.arr)[index.i];
+          }
+          case ExprKind::Unary: {
+            Value operand = evalExpr(*expr.args[0]);
+            if (expr.uop == UnaryOp::Neg)
+                return Value::integer(-operand.i);
+            return Value::boolean(!operand.b);
+          }
+          case ExprKind::Binary:
+            return evalBinary(expr);
+          case ExprKind::Call:
+            fail("call to '" + expr.text +
+                     "' is not a compile-time expression",
+                 expr.loc);
+          case ExprKind::Method: {
+            Value receiver = evalExpr(*expr.args[0]);
+            if (expr.text == "length") {
+                if (receiver.type == Type::stringT()) {
+                    return Value::integer(
+                        static_cast<int64_t>(receiver.s.size()));
+                }
+                return Value::integer(static_cast<int64_t>(
+                    receiver.arr ? receiver.arr->size() : 0));
+            }
+            fail("method '" + expr.text +
+                     "' is not a compile-time expression",
+                 expr.loc);
+          }
+        }
+        fail("unhandled expression", expr.loc);
+    }
+
+    Value
+    evalBinary(const Expr &expr)
+    {
+        Value lhs = evalExpr(*expr.args[0]);
+        Value rhs = evalExpr(*expr.args[1]);
+        switch (expr.bop) {
+          case BinaryOp::And:
+            return Value::boolean(lhs.b && rhs.b);
+          case BinaryOp::Or:
+            return Value::boolean(lhs.b || rhs.b);
+          case BinaryOp::Eq:
+            return Value::boolean(lhs.equals(rhs));
+          case BinaryOp::Ne:
+            return Value::boolean(!lhs.equals(rhs));
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge: {
+            int64_t a;
+            int64_t b;
+            if (lhs.type == Type::charT()) {
+                if (lhs.c.kind != CharSpec::Kind::Literal ||
+                    rhs.c.kind != CharSpec::Kind::Literal) {
+                    fail("special character constants cannot be ordered",
+                         expr.loc);
+                }
+                a = lhs.c.value;
+                b = rhs.c.value;
+            } else {
+                a = lhs.i;
+                b = rhs.i;
+            }
+            switch (expr.bop) {
+              case BinaryOp::Lt:
+                return Value::boolean(a < b);
+              case BinaryOp::Le:
+                return Value::boolean(a <= b);
+              case BinaryOp::Gt:
+                return Value::boolean(a > b);
+              default:
+                return Value::boolean(a >= b);
+            }
+          }
+          case BinaryOp::Add:
+            if (lhs.type == Type::stringT())
+                return Value::str(lhs.s + rhs.s);
+            return Value::integer(lhs.i + rhs.i);
+          case BinaryOp::Sub:
+            return Value::integer(lhs.i - rhs.i);
+          case BinaryOp::Mul:
+            return Value::integer(lhs.i * rhs.i);
+          case BinaryOp::Div:
+            if (rhs.i == 0)
+                fail("division by zero", expr.loc);
+            return Value::integer(lhs.i / rhs.i);
+          case BinaryOp::Mod:
+            if (rhs.i == 0)
+                fail("modulo by zero", expr.loc);
+            return Value::integer(lhs.i % rhs.i);
+        }
+        fail("unhandled binary operator", expr.loc);
+    }
+
+    /// Automata expression folding (Fig. 7) -------------------------------
+
+    /**
+     * Negated character classes exclude the reserved START_OF_INPUT
+     * symbol: a mismatch arm or skip loop must not survive across a
+     * record boundary (§5.1's "complex STE character classes can
+     * handle such reserved symbols").
+     */
+    static CharSet
+    withoutStartSymbol(const CharSet &set)
+    {
+        CharSet out = set;
+        out.remove(kStartOfInputSymbol);
+        return out;
+    }
+
+    CharSet
+    charToSet(const Value &value, SourceLoc loc)
+    {
+        if (!(value.type == Type::charT()))
+            fail("expected a char value", loc);
+        switch (value.c.kind) {
+          case CharSpec::Kind::AllInput:
+            return CharSet::all();
+          case CharSpec::Kind::StartOfInput:
+            return CharSet::single(kStartOfInputSymbol);
+          case CharSpec::Kind::Literal:
+            return CharSet::single(value.c.value);
+        }
+        return CharSet{};
+    }
+
+    ATree
+    foldAutomata(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::Unary:
+            if (expr.uop == UnaryOp::Not) {
+                // Double negation cancels syntactically; the general
+                // negation of an alternation of sequences is not
+                // expressible with star padding.
+                const Expr &inner = *expr.args[0];
+                if (inner.kind == ExprKind::Unary &&
+                    inner.uop == UnaryOp::Not) {
+                    return foldAutomata(*inner.args[0]);
+                }
+                return negate(foldAutomata(inner), expr.loc);
+            }
+            break;
+          case ExprKind::Binary: {
+            const Expr &lhs = *expr.args[0];
+            const Expr &rhs = *expr.args[1];
+            if (expr.bop == BinaryOp::Eq || expr.bop == BinaryOp::Ne) {
+                bool lhs_stream = lhs.type == Type::streamT();
+                const Expr &other = lhs_stream ? rhs : lhs;
+                CharSet set = charToSet(evalExpr(other), other.loc);
+                if (expr.bop == BinaryOp::Ne)
+                    set = withoutStartSymbol(~set);
+                if (set.empty()) {
+                    // != ALL_INPUT: can never match, but still must
+                    // consume the symbol the comparison reads.
+                    return ATree::fail();
+                }
+                return ATree::match(set);
+            }
+            if (expr.bop == BinaryOp::And || expr.bop == BinaryOp::Or) {
+                bool is_and = expr.bop == BinaryOp::And;
+                auto side = [&](const Expr &e) -> ATree {
+                    if (e.type == Type::boolT()) {
+                        return evalExpr(e).b ? ATree::epsilon()
+                                             : ATree::fail();
+                    }
+                    return foldAutomata(e);
+                };
+                ATree left = side(lhs);
+                ATree right = side(rhs);
+                ATree out;
+                out.kind =
+                    is_and ? ATree::Kind::Seq : ATree::Kind::Alt;
+                auto push = [&](ATree &&t) {
+                    // Flatten nested nodes of the same kind so De
+                    // Morgan expansion sees the full operand list.
+                    if (t.kind == out.kind) {
+                        for (ATree &child : t.children)
+                            out.children.push_back(std::move(child));
+                    } else {
+                        out.children.push_back(std::move(t));
+                    }
+                };
+                if (is_and) {
+                    // Fail sequences can never match.
+                    if (left.kind == ATree::Kind::Fail ||
+                        right.kind == ATree::Kind::Fail) {
+                        return ATree::fail();
+                    }
+                    if (left.kind != ATree::Kind::Epsilon)
+                        push(std::move(left));
+                    if (right.kind != ATree::Kind::Epsilon)
+                        push(std::move(right));
+                    if (out.children.empty())
+                        return ATree::epsilon();
+                    if (out.children.size() == 1)
+                        return std::move(out.children.front());
+                    return out;
+                }
+                if (left.kind != ATree::Kind::Fail)
+                    push(std::move(left));
+                if (right.kind != ATree::Kind::Fail)
+                    push(std::move(right));
+                if (out.children.empty())
+                    return ATree::fail();
+                if (out.children.size() == 1)
+                    return std::move(out.children.front());
+                return out;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        fail("expression cannot be compiled to automata", expr.loc);
+    }
+
+    /**
+     * De Morgan negation (Fig. 7).  An expression and its negation
+     * consume the same number of symbols; mismatch alternatives are
+     * padded with star states.
+     */
+    ATree
+    negate(const ATree &tree, SourceLoc loc)
+    {
+        switch (tree.kind) {
+          case ATree::Kind::Epsilon:
+            return ATree::fail();
+          case ATree::Kind::Fail:
+            return ATree::epsilon();
+          case ATree::Kind::Match: {
+            CharSet flipped = withoutStartSymbol(~tree.set);
+            if (flipped.empty()) {
+                // !(ALL_INPUT == input()): never true, one symbol.
+                return ATree::fail();
+            }
+            return ATree::match(flipped);
+          }
+          case ATree::Kind::Alt: {
+            // All alternatives are single symbol matches: complement
+            // the union.  Anything richer is not expressible with
+            // fixed-length padding.
+            CharSet united;
+            for (const ATree &child : tree.children) {
+                if (child.kind != ATree::Kind::Match) {
+                    fail("cannot negate an alternation of multi-symbol "
+                         "expressions",
+                         loc);
+                }
+                united |= child.set;
+            }
+            CharSet flipped = withoutStartSymbol(~united);
+            if (flipped.empty())
+                return ATree::fail();
+            return ATree::match(flipped);
+          }
+          case ATree::Kind::Seq: {
+            // !(e1 && ... && en) = OR over i of
+            //   e1 .. e_{i-1}  !e_i  *^(len after i)
+            ATree out;
+            out.kind = ATree::Kind::Alt;
+            std::vector<int> lengths;
+            for (const ATree &child : tree.children) {
+                int len = child.length();
+                if (len < 0) {
+                    fail("cannot negate a variable-length expression",
+                         loc);
+                }
+                lengths.push_back(len);
+            }
+            for (size_t i = 0; i < tree.children.size(); ++i) {
+                ATree arm;
+                arm.kind = ATree::Kind::Seq;
+                for (size_t j = 0; j < i; ++j)
+                    arm.children.push_back(tree.children[j]);
+                ATree negated = negate(tree.children[i], loc);
+                if (negated.kind == ATree::Kind::Fail)
+                    continue; // this position can never mismatch
+                arm.children.push_back(std::move(negated));
+                int pad = 0;
+                for (size_t j = i + 1; j < tree.children.size(); ++j)
+                    pad += lengths[j];
+                for (int j = 0; j < pad; ++j) {
+                    arm.children.push_back(ATree::match(
+                        withoutStartSymbol(CharSet::all())));
+                }
+                out.children.push_back(std::move(arm));
+            }
+            if (out.children.empty())
+                return ATree::fail();
+            if (out.children.size() == 1)
+                return std::move(out.children.front());
+            return out;
+          }
+        }
+        fail("unhandled negation", loc);
+    }
+
+    /// Chain emission -----------------------------------------------------
+
+    Chain
+    emit(const ATree &tree)
+    {
+        switch (tree.kind) {
+          case ATree::Kind::Epsilon: {
+            Chain chain;
+            chain.passthrough = true;
+            return chain;
+          }
+          case ATree::Kind::Fail: {
+            Chain chain;
+            chain.fail = true;
+            return chain;
+          }
+          case ATree::Kind::Match: {
+            Chain chain;
+            ElementId ste = _automaton.addSte(tree.set);
+            chain.entries.push_back(ste);
+            chain.exits.push_back(ste);
+            return chain;
+          }
+          case ATree::Kind::Seq: {
+            Chain chain;
+            bool first = true;
+            std::vector<ElementId> current;
+            bool current_pass = false;
+            for (const ATree &child : tree.children) {
+                Chain piece = emit(child);
+                if (piece.fail) {
+                    Chain failed;
+                    failed.fail = true;
+                    return failed;
+                }
+                if (piece.passthrough && piece.entries.empty())
+                    continue; // epsilon link
+                if (first) {
+                    chain.entries = piece.entries;
+                    chain.passthrough = false;
+                    first = false;
+                } else {
+                    for (ElementId from : current) {
+                        for (ElementId to : piece.entries)
+                            _automaton.connect(from, to);
+                    }
+                    if (current_pass) {
+                        throw CompileError(
+                            "an alternation that may consume no input "
+                            "cannot be followed by further comparisons");
+                    }
+                }
+                current = piece.exits;
+                current_pass = piece.passthrough;
+            }
+            if (first) {
+                chain.passthrough = true;
+                return chain;
+            }
+            chain.exits = std::move(current);
+            return chain;
+          }
+          case ATree::Kind::Alt: {
+            Chain chain;
+            CharSet fused;
+            bool any_fused = false;
+            for (const ATree &child : tree.children) {
+                if (child.kind == ATree::Kind::Match) {
+                    // Fig. 7 special case: single-STE alternatives
+                    // merge into one STE with a wider class.
+                    fused |= child.set;
+                    any_fused = true;
+                    continue;
+                }
+                Chain piece = emit(child);
+                if (piece.fail)
+                    continue;
+                if (piece.passthrough)
+                    chain.passthrough = true;
+                chain.entries.insert(chain.entries.end(),
+                                     piece.entries.begin(),
+                                     piece.entries.end());
+                chain.exits.insert(chain.exits.end(),
+                                   piece.exits.begin(),
+                                   piece.exits.end());
+            }
+            if (any_fused) {
+                ElementId ste = _automaton.addSte(fused);
+                chain.entries.push_back(ste);
+                chain.exits.push_back(ste);
+            }
+            if (chain.entries.empty() && !chain.passthrough)
+                chain.fail = true;
+            return chain;
+          }
+        }
+        throw InternalError("unhandled ATree kind");
+    }
+
+    /// Frontier plumbing --------------------------------------------------
+
+    /**
+     * Resolve the `start` flag of a frontier into a concrete element:
+     * the [START_OF_INPUT] window guard (guard mode) or an always-
+     * enabled star STE (folded whenever mode).
+     */
+    Frontier
+    materialize(const Frontier &frontier)
+    {
+        if (!frontier.start)
+            return frontier;
+        Frontier out = frontier;
+        out.start = false;
+        CharSet set = frontier.guard
+                          ? CharSet::single(kStartOfInputSymbol)
+                          : CharSet::all();
+        ElementId ste =
+            _automaton.addSte(set, StartKind::AllInput);
+        if (!frontier.guard && frontier.startKind != StartKind::AllInput)
+            _automaton[ste].start = frontier.startKind;
+        if (frontier.guard)
+            _threadEntry = {ste};
+        out.elems.push_back(ste);
+        return out;
+    }
+
+    /** Attach a compiled chain after a frontier. */
+    Frontier
+    attach(const Frontier &frontier, const Chain &chain,
+           int chain_length)
+    {
+        if (frontier.dead() || chain.fail)
+            return Frontier::deadFrontier();
+        Frontier out;
+        out.consumed =
+            (frontier.consumed >= 0 && chain_length >= 0)
+                ? frontier.consumed + chain_length
+                : -1;
+        if (chain.passthrough && chain.entries.empty())
+            return frontier; // pure epsilon
+        if (frontier.start) {
+            if (frontier.guard) {
+                ElementId guard = _automaton.addSte(
+                    CharSet::single(kStartOfInputSymbol),
+                    StartKind::AllInput);
+                _threadEntry = {guard};
+                for (ElementId entry : chain.entries)
+                    _automaton.connect(guard, entry);
+            } else {
+                for (ElementId entry : chain.entries)
+                    _automaton[entry].start = frontier.startKind;
+            }
+        }
+        for (ElementId from : frontier.elems) {
+            for (ElementId entry : chain.entries)
+                _automaton.connect(from, entry);
+        }
+        out.elems = chain.exits;
+        if (chain.passthrough) {
+            Frontier merged = unionFrontiers(out, frontier);
+            merged.consumed = -1; // ambiguous consumption
+            return merged;
+        }
+        return out;
+    }
+
+    /**
+     * Before attaching several alternative chains to a start frontier
+     * in window-guard mode, materialize the guard once so the branches
+     * share a single [START_OF_INPUT] STE.  Folded start frontiers stay
+     * symbolic: every branch entry simply receives the start kind.
+     */
+    Frontier
+    shareStart(Frontier frontier)
+    {
+        if (frontier.start && frontier.guard)
+            return materialize(frontier);
+        return frontier;
+    }
+
+    /**
+     * A single element whose activation means "control is here": the
+     * lone frontier element, or an OR gate over several.
+     */
+    ElementId
+    controlSignal(Frontier &frontier)
+    {
+        frontier = materialize(frontier);
+        internalCheck(!frontier.dead(), "control signal of dead frontier");
+        if (frontier.elems.size() == 1)
+            return frontier.elems.front();
+        ElementId gate = _automaton.addGate(GateOp::Or);
+        for (ElementId elem : frontier.elems)
+            _automaton.connect(elem, gate);
+        return gate;
+    }
+
+    /// Counter checks (Table 2, §5.3) --------------------------------------
+
+    /** Normalized counter comparison: counter OP literal. */
+    struct CounterCheck {
+        uint32_t counterIndex = 0;
+        BinaryOp op = BinaryOp::Ge;
+        int64_t bound = 0;
+    };
+
+    CounterCheck
+    normalizeCounterExpr(const Expr &expr, bool negated)
+    {
+        if (expr.kind == ExprKind::Unary && expr.uop == UnaryOp::Not)
+            return normalizeCounterExpr(*expr.args[0], !negated);
+        internalCheck(expr.kind == ExprKind::Binary,
+                      "malformed counter check");
+        const Expr &lhs = *expr.args[0];
+        const Expr &rhs = *expr.args[1];
+        bool counter_left = lhs.type == Type::counterT();
+        Value counter = evalExpr(counter_left ? lhs : rhs);
+        Value bound = evalExpr(counter_left ? rhs : lhs);
+        BinaryOp op = expr.bop;
+        if (!counter_left) {
+            // x OP cnt  ==  cnt flip(OP) x
+            switch (op) {
+              case BinaryOp::Lt:
+                op = BinaryOp::Gt;
+                break;
+              case BinaryOp::Le:
+                op = BinaryOp::Ge;
+                break;
+              case BinaryOp::Gt:
+                op = BinaryOp::Lt;
+                break;
+              case BinaryOp::Ge:
+                op = BinaryOp::Le;
+                break;
+              default:
+                break;
+            }
+        }
+        if (negated) {
+            switch (op) {
+              case BinaryOp::Lt:
+                op = BinaryOp::Ge;
+                break;
+              case BinaryOp::Le:
+                op = BinaryOp::Gt;
+                break;
+              case BinaryOp::Gt:
+                op = BinaryOp::Le;
+                break;
+              case BinaryOp::Ge:
+                op = BinaryOp::Lt;
+                break;
+              case BinaryOp::Eq:
+                op = BinaryOp::Ne;
+                break;
+              case BinaryOp::Ne:
+                op = BinaryOp::Eq;
+                break;
+              default:
+                break;
+            }
+        }
+        if (bound.i < 0)
+            fail("counter thresholds must be non-negative", expr.loc);
+        CounterCheck check;
+        check.counterIndex = counter.counter;
+        check.op = op;
+        check.bound = bound.i;
+        return check;
+    }
+
+    /** The inverter over the primary counter (created once). */
+    ElementId
+    primaryInverter(CounterInfo &info)
+    {
+        if (info.primaryInverter == kNoElement) {
+            info.primaryInverter = _automaton.addGate(GateOp::Not);
+            _automaton.connect(ensurePrimary(info), info.primaryInverter);
+        }
+        return info.primaryInverter;
+    }
+
+    /**
+     * The combinational signal that is active exactly when the check
+     * holds, per Table 2.  May create gates and the secondary counter.
+     * For the pure non-inverted cases the counter output itself is the
+     * signal and `direct` is set: control may then continue from the
+     * counter with no gate (the published ARM design; clock divisor 1).
+     */
+    std::pair<ElementId, bool>
+    checkSignal(const CounterCheck &check, SourceLoc loc)
+    {
+        CounterInfo &info = _counters[check.counterIndex];
+        switch (check.op) {
+          case BinaryOp::Ge:
+            setPrimaryTarget(info, static_cast<uint32_t>(check.bound),
+                             loc);
+            return {info.primary, true};
+          case BinaryOp::Gt:
+            setPrimaryTarget(info,
+                             static_cast<uint32_t>(check.bound) + 1, loc);
+            return {info.primary, true};
+          case BinaryOp::Lt:
+            setPrimaryTarget(info, static_cast<uint32_t>(check.bound),
+                             loc);
+            return {primaryInverter(info), false};
+          case BinaryOp::Le:
+            setPrimaryTarget(info,
+                             static_cast<uint32_t>(check.bound) + 1, loc);
+            return {primaryInverter(info), false};
+          case BinaryOp::Eq: {
+            // == x  →  >= x && <= x (two physical counters, §5.3).
+            setPrimaryTarget(info, static_cast<uint32_t>(check.bound),
+                             loc);
+            ElementId high = ensureSecondary(
+                info, static_cast<uint32_t>(check.bound) + 1);
+            ElementId not_high = _automaton.addGate(GateOp::Not);
+            _automaton.connect(high, not_high);
+            ElementId both = _automaton.addGate(GateOp::And);
+            _automaton.connect(info.primary, both);
+            _automaton.connect(not_high, both);
+            return {both, false};
+          }
+          case BinaryOp::Ne: {
+            // != x  →  < x || > x (Table 2).
+            setPrimaryTarget(info, static_cast<uint32_t>(check.bound),
+                             loc);
+            ElementId high = ensureSecondary(
+                info, static_cast<uint32_t>(check.bound) + 1);
+            ElementId either = _automaton.addGate(GateOp::Or);
+            _automaton.connect(primaryInverter(info), either);
+            _automaton.connect(high, either);
+            return {either, false};
+          }
+          default:
+            break;
+        }
+        throw InternalError("unhandled counter comparison");
+    }
+
+    /** Lower a counter assertion / condition into a new frontier. */
+    Frontier
+    applyCounterCheck(Frontier frontier, const Expr &expr, bool negated)
+    {
+        if (frontier.dead())
+            return frontier;
+        CounterCheck check = normalizeCounterExpr(expr, negated);
+        CounterInfo &info = _counters[check.counterIndex];
+
+        if (_options.counterCheckViaInjection) {
+            // §5.3: allocate a reserved symbol; the host injects it at
+            // the check position, and an STE matching it — enabled by
+            // the check signal — carries control onward.
+            auto [signal, direct] = checkSignal(check, expr.loc);
+            (void)direct;
+            unsigned char symbol = allocateReservedSymbol(expr.loc);
+            ElementId ste =
+                _automaton.addSte(CharSet::single(symbol));
+            _automaton.connect(signal, ste);
+            SymbolInjection injection;
+            injection.symbol = symbol;
+            injection.period = frontier.consumed > 0
+                                   ? static_cast<uint64_t>(
+                                         frontier.consumed)
+                                   : 0;
+            injection.counterName = info.name;
+            _out.injections.push_back(injection);
+            Frontier out;
+            out.elems.push_back(ste);
+            out.consumed = frontier.consumed; // injected symbol is meta
+            return out;
+        }
+
+        auto [signal, direct] = checkSignal(check, expr.loc);
+        Frontier out;
+        out.consumed = frontier.consumed;
+        if (direct) {
+            // Latching counter output carries control directly (no
+            // gate), as in the published ARM design.
+            out.elems.push_back(signal);
+            return out;
+        }
+        ElementId control = controlSignal(frontier);
+        ElementId both = _automaton.addGate(GateOp::And);
+        _automaton.connect(control, both);
+        _automaton.connect(signal, both);
+        out.elems.push_back(both);
+        return out;
+    }
+
+    unsigned char
+    allocateReservedSymbol(SourceLoc loc)
+    {
+        if (_nextReserved <= 0xF0)
+            fail("too many reserved-symbol counter checks", loc);
+        return static_cast<unsigned char>(--_nextReserved);
+    }
+
+    /** Remove reserved symbols from every non-checker STE class. */
+    void
+    excludeReservedSymbols()
+    {
+        CharSet reserved;
+        for (const SymbolInjection &injection : _out.injections)
+            reserved.add(injection.symbol);
+        for (ElementId i = 0; i < _automaton.size(); ++i) {
+            automata::Element &element = _automaton[i];
+            if (element.kind != automata::ElementKind::Ste)
+                continue;
+            CharSet masked = element.symbols & reserved;
+            if (masked == element.symbols)
+                continue; // a checker STE
+            element.symbols = element.symbols & ~reserved;
+        }
+    }
+
+    /// Statements ----------------------------------------------------------
+
+    Frontier
+    evalBody(const std::vector<StmtPtr> &body, Frontier frontier)
+    {
+        _env.push();
+        for (const StmtPtr &stmt : body)
+            frontier = evalStmt(*stmt, std::move(frontier));
+        _env.pop();
+        return frontier;
+    }
+
+    Frontier
+    evalStmt(const Stmt &stmt, Frontier frontier)
+    {
+        switch (stmt.kind) {
+          case StmtKind::VarDecl:
+            evalVarDecl(stmt);
+            return frontier;
+          case StmtKind::Assign:
+            evalAssign(stmt);
+            return frontier;
+          case StmtKind::Expr:
+            return evalExprStmt(stmt, std::move(frontier));
+          case StmtKind::Report:
+            return evalReport(stmt, std::move(frontier));
+          case StmtKind::If:
+            return evalIf(stmt, std::move(frontier));
+          case StmtKind::While:
+            return evalWhile(stmt, std::move(frontier));
+          case StmtKind::Foreach:
+            return evalForeach(stmt, std::move(frontier));
+          case StmtKind::Some:
+            return evalSome(stmt, std::move(frontier));
+          case StmtKind::Either:
+            return evalEither(stmt, std::move(frontier));
+          case StmtKind::Whenever:
+            return evalWhenever(stmt, std::move(frontier));
+          case StmtKind::Block:
+            return evalBody(stmt.body, std::move(frontier));
+        }
+        throw InternalError("unhandled statement kind");
+    }
+
+    void
+    evalVarDecl(const Stmt &stmt)
+    {
+        if (stmt.declType.base == BaseType::Counter) {
+            CounterInfo info;
+            info.name = stmt.name;
+            _counters.push_back(std::move(info));
+            _env.declare(stmt.name, Value::counterRef(
+                                        static_cast<uint32_t>(
+                                            _counters.size() - 1)));
+            return;
+        }
+        Value value;
+        if (stmt.expr) {
+            value = evalExpr(*stmt.expr);
+        } else {
+            // Zero defaults for scalars.
+            switch (stmt.declType.base) {
+              case BaseType::Int:
+                value = Value::integer(0);
+                break;
+              case BaseType::Bool:
+                value = Value::boolean(false);
+                break;
+              case BaseType::Char:
+                value = Value::character('\0');
+                break;
+              case BaseType::String:
+                value = Value::str("");
+                break;
+              default:
+                fail("variable '" + stmt.name +
+                         "' requires an initializer",
+                     stmt.loc);
+            }
+        }
+        _env.declare(stmt.name, std::move(value));
+    }
+
+    void
+    evalAssign(const Stmt &stmt)
+    {
+        Value value = evalExpr(*stmt.expr);
+        const Expr &target = *stmt.target;
+        if (target.kind == ExprKind::Var) {
+            Value *slot = _env.find(target.text);
+            if (slot == nullptr)
+                fail("undefined variable '" + target.text + "'",
+                     target.loc);
+            *slot = std::move(value);
+            return;
+        }
+        // Index assignment: mutate the shared array payload.
+        Value base = evalExpr(*target.args[0]);
+        Value index = evalExpr(*target.args[1]);
+        if (!base.arr || index.i < 0 ||
+            index.i >= static_cast<int64_t>(base.arr->size())) {
+            fail("array index out of range in assignment", stmt.loc);
+        }
+        (*base.arr)[index.i] = std::move(value);
+    }
+
+    Frontier
+    evalExprStmt(const Stmt &stmt, Frontier frontier)
+    {
+        const Expr &expr = *stmt.expr;
+        if (expr.type == Type::automataT()) {
+            if (frontier.dead())
+                return frontier;
+            ATree tree = foldAutomata(expr);
+            int len = tree.length();
+            Chain chain = emit(tree);
+            return attach(frontier, chain, len);
+        }
+        if (expr.type == Type::counterExprT())
+            return applyCounterCheck(std::move(frontier), expr, false);
+        if (expr.type == Type::boolT()) {
+            // Compile-time assertion: false kills this thread.
+            return evalExpr(expr).b ? std::move(frontier)
+                                    : Frontier::deadFrontier();
+        }
+        // Void: macro or counter-method call.
+        if (expr.kind == ExprKind::Method)
+            return evalCounterMethod(expr, std::move(frontier));
+        if (expr.kind == ExprKind::Call)
+            return evalMacroCall(expr, std::move(frontier));
+        evalExpr(expr);
+        return frontier;
+    }
+
+    Frontier
+    evalCounterMethod(const Expr &expr, Frontier frontier)
+    {
+        if (frontier.dead())
+            return frontier;
+        Value receiver = evalExpr(*expr.args[0]);
+        CounterInfo &info = counterInfo(receiver, expr.loc);
+        Port port = expr.text == "count" ? Port::Count : Port::Reset;
+        frontier = materialize(frontier);
+        ensurePrimary(info);
+        for (ElementId elem : frontier.elems) {
+            _automaton.connect(elem, info.primary, port);
+            if (info.secondary != kNoElement)
+                _automaton.connect(elem, info.secondary, port);
+            info.inputs.emplace_back(elem, port);
+        }
+        return frontier;
+    }
+
+    Frontier
+    evalMacroCall(const Expr &expr, Frontier frontier)
+    {
+        const MacroDecl *macro = _program.findMacro(expr.text);
+        internalCheck(macro != nullptr, "call to unknown macro");
+        if (++_callDepth > 256) {
+            fail("macro instantiation too deep (unbounded recursion?)",
+                 expr.loc);
+        }
+        std::vector<Value> args;
+        args.reserve(expr.args.size());
+        for (const ExprPtr &arg : expr.args)
+            args.push_back(evalExpr(*arg));
+
+        // Fresh activation frame: macros see only their parameters.
+        Scope saved = std::move(_env);
+        _env = Scope{};
+        _env.push();
+        for (size_t i = 0; i < args.size(); ++i)
+            _env.declare(macro->params[i].name, std::move(args[i]));
+
+        size_t instance = _instanceCount[macro->name]++;
+        _reportStack.push_back(
+            strprintf("%s#%llu", macro->name.c_str(),
+                      static_cast<unsigned long long>(instance)));
+        Frontier out = frontier;
+        for (const StmtPtr &stmt : macro->body)
+            out = evalStmt(*stmt, std::move(out));
+        _reportStack.pop_back();
+
+        _env = std::move(saved);
+        --_callDepth;
+        return out;
+    }
+
+    Frontier
+    evalReport(const Stmt &stmt, Frontier frontier)
+    {
+        if (frontier.dead())
+            return frontier;
+        frontier = materialize(frontier);
+        std::string code = _reportStack.empty()
+                               ? std::string("network")
+                               : _reportStack.back();
+        for (ElementId elem : frontier.elems)
+            _automaton.setReport(elem, code);
+        (void)stmt;
+        return frontier;
+    }
+
+    Frontier
+    evalIf(const Stmt &stmt, Frontier frontier)
+    {
+        const Expr &cond = *stmt.expr;
+        if (cond.type == Type::boolT()) {
+            return evalExpr(cond).b
+                       ? evalBody(stmt.body, std::move(frontier))
+                       : evalBody(stmt.orelse, std::move(frontier));
+        }
+        if (frontier.dead())
+            return frontier;
+        if (cond.type == Type::counterExprT()) {
+            frontier = materialize(frontier);
+            Frontier then_in =
+                applyCounterCheck(frontier, cond, false);
+            Frontier then_out = evalBody(stmt.body, std::move(then_in));
+            if (stmt.orelse.empty()) {
+                // No else: control also continues ungated (counter
+                // checks consume no input), without emitting the dead
+                // negated gating structure.
+                return unionFrontiers(then_out, frontier);
+            }
+            Frontier else_in =
+                applyCounterCheck(frontier, cond, true);
+            Frontier else_out =
+                evalBody(stmt.orelse, std::move(else_in));
+            return unionFrontiers(then_out, else_out);
+        }
+        // Automata condition: desugar into either/orelse (§3.3); both
+        // branches consume the same number of symbols by construction.
+        ATree tree = foldAutomata(cond);
+        ATree negated = negate(tree, cond.loc);
+        frontier = shareStart(std::move(frontier));
+
+        Chain then_chain = emit(tree);
+        Frontier then_in = attach(frontier, then_chain, tree.length());
+        Frontier then_out = evalBody(stmt.body, std::move(then_in));
+
+        Chain else_chain = emit(negated);
+        Frontier else_in =
+            attach(frontier, else_chain, negated.length());
+        Frontier else_out = evalBody(stmt.orelse, std::move(else_in));
+        return unionFrontiers(then_out, else_out);
+    }
+
+    Frontier
+    evalWhile(const Stmt &stmt, Frontier frontier)
+    {
+        const Expr &cond = *stmt.expr;
+        if (cond.type == Type::boolT()) {
+            // Compile-time loop (staged evaluation).
+            size_t iterations = 0;
+            while (evalExpr(cond).b) {
+                if (++iterations > 1000000) {
+                    fail("compile-time while loop did not terminate",
+                         stmt.loc);
+                }
+                frontier = evalBody(stmt.body, std::move(frontier));
+            }
+            return frontier;
+        }
+        if (frontier.dead())
+            return frontier;
+        if (cond.type == Type::counterExprT())
+            return evalCounterWhile(stmt, std::move(frontier));
+
+        // Fig. 8c: predicate / body feedback loop; the negated
+        // predicate exits the loop.
+        ATree tree = foldAutomata(cond);
+        ATree negated = negate(tree, cond.loc);
+        frontier = shareStart(std::move(frontier));
+
+        Chain pred = emit(tree);
+        Chain exit_chain = emit(negated);
+        Frontier pred_in = attach(frontier, pred, tree.length());
+        Frontier exit_out =
+            attach(frontier, exit_chain, negated.length());
+
+        Frontier body_out = evalBody(stmt.body, pred_in);
+        // Loop back: after the body, re-check both predicate forms.
+        if (!body_out.dead()) {
+            body_out = materialize(body_out);
+            for (ElementId from : body_out.elems) {
+                for (ElementId to : pred.entries)
+                    _automaton.connect(from, to);
+                for (ElementId to : exit_chain.entries)
+                    _automaton.connect(from, to);
+            }
+        }
+        Frontier out = exit_out;
+        out.consumed = -1; // unbounded iterations
+        return out;
+    }
+
+    Frontier
+    evalCounterWhile(const Stmt &stmt, Frontier frontier)
+    {
+        // while (cnt OP x) body: control loops through the body while
+        // the check holds and exits when it fails.  Both gates take the
+        // loop-control OR as an operand; body exits are added to that
+        // OR after the body compiles.
+        const Expr &cond = *stmt.expr;
+        frontier = materialize(frontier);
+        ElementId loop_or = _automaton.addGate(GateOp::Or);
+        for (ElementId elem : frontier.elems)
+            _automaton.connect(elem, loop_or);
+
+        CounterCheck positive = normalizeCounterExpr(cond, false);
+        auto [pos_signal, pos_direct] = checkSignal(positive, cond.loc);
+        (void)pos_direct;
+        ElementId enter = _automaton.addGate(GateOp::And);
+        _automaton.connect(loop_or, enter);
+        _automaton.connect(pos_signal, enter);
+
+        CounterCheck negative = normalizeCounterExpr(cond, true);
+        auto [neg_signal, neg_direct] = checkSignal(negative, cond.loc);
+        (void)neg_direct;
+        ElementId leave = _automaton.addGate(GateOp::And);
+        _automaton.connect(loop_or, leave);
+        _automaton.connect(neg_signal, leave);
+
+        Frontier body_in;
+        body_in.elems.push_back(enter);
+        body_in.consumed = -1;
+        Frontier body_out = evalBody(stmt.body, std::move(body_in));
+        if (!body_out.dead()) {
+            body_out = materialize(body_out);
+            for (ElementId elem : body_out.elems)
+                _automaton.connect(elem, loop_or);
+        }
+        Frontier out;
+        out.elems.push_back(leave);
+        out.consumed = -1;
+        return out;
+    }
+
+    /** Resolve an iterable value into per-element Values. */
+    ValueList
+    iterableItems(const Expr &expr)
+    {
+        Value value = evalExpr(expr);
+        ValueList items;
+        if (value.type == Type::stringT()) {
+            items.reserve(value.s.size());
+            for (char c : value.s)
+                items.push_back(Value::character(c));
+            return items;
+        }
+        if (value.arr)
+            return *value.arr;
+        return items;
+    }
+
+    Frontier
+    evalForeach(const Stmt &stmt, Frontier frontier)
+    {
+        ValueList items = iterableItems(*stmt.expr);
+        for (Value &item : items) {
+            _env.push();
+            _env.declare(stmt.name, std::move(item));
+            for (const StmtPtr &inner : stmt.body)
+                frontier = evalStmt(*inner, std::move(frontier));
+            _env.pop();
+        }
+        return frontier;
+    }
+
+    Frontier
+    evalSome(const Stmt &stmt, Frontier frontier)
+    {
+        ValueList items = iterableItems(*stmt.expr);
+        Frontier out = Frontier::deadFrontier();
+        for (Value &item : items) {
+            _env.push();
+            _env.declare(stmt.name, std::move(item));
+            std::vector<ElementId> saved_entry = _threadEntry;
+            Frontier branch = frontier;
+            for (const StmtPtr &inner : stmt.body)
+                branch = evalStmt(*inner, std::move(branch));
+            _threadEntry = std::move(saved_entry);
+            _env.pop();
+            out = unionFrontiers(out, branch);
+        }
+        return out;
+    }
+
+    Frontier
+    evalEither(const Stmt &stmt, Frontier frontier)
+    {
+        // Arms of one either belong to one automaton: they share the
+        // window guard rather than each materializing its own.
+        frontier = shareStart(std::move(frontier));
+        Frontier out = Frontier::deadFrontier();
+        for (const StmtPtr &arm : stmt.body) {
+            Frontier branch = evalBody(arm->body, frontier);
+            out = unionFrontiers(out, branch);
+        }
+        return out;
+    }
+
+    Frontier
+    evalWhenever(const Stmt &stmt, Frontier frontier)
+    {
+        const Expr &guard = *stmt.expr;
+        if (frontier.dead())
+            return frontier;
+
+        if (guard.type == Type::counterExprT()) {
+            // Fig. 9: a self-activating star STE tracks that the
+            // statement has been reached; an AND gate combines it with
+            // the counter check.  At the program start the whenever
+            // replaces the default window (see below).
+            ElementId star = _automaton.addSte(CharSet::all());
+            if (frontier.start) {
+                _automaton[star].start = StartKind::AllInput;
+            } else {
+                for (ElementId elem : frontier.elems)
+                    _automaton.connect(elem, star);
+            }
+            _automaton.connect(star, star); // self-activation
+            CounterCheck check = normalizeCounterExpr(guard, false);
+            auto [signal, direct] = checkSignal(check, guard.loc);
+            (void)direct;
+            ElementId both = _automaton.addGate(GateOp::And);
+            _automaton.connect(star, both);
+            _automaton.connect(signal, both);
+            Frontier body_in;
+            body_in.elems.push_back(both);
+            body_in.consumed = -1;
+            return evalBody(stmt.body, std::move(body_in));
+        }
+
+        ATree tree = foldAutomata(guard);
+
+        if (frontier.start && _options.foldStartWhenever) {
+            // Top-level whenever replaces the default sliding window
+            // (§3.3).  A pure ALL_INPUT guard folds away entirely: the
+            // body begins at every stream position.
+            Frontier body_in;
+            if (tree.kind == ATree::Kind::Match &&
+                tree.set == CharSet::all()) {
+                // Overlapping windows share no clean boundary, so
+                // counters declared inside cannot be window-reset.
+                _threadEntry.clear();
+                body_in.start = true;
+                body_in.guard = false;
+                body_in.startKind = StartKind::AllInput;
+                body_in.consumed = -1;
+                return evalBody(stmt.body, std::move(body_in));
+            }
+            Chain chain = emit(tree);
+            for (ElementId entry : chain.entries)
+                _automaton[entry].start = StartKind::AllInput;
+            _threadEntry = chain.exits; // threads begin per guard match
+            body_in.elems = chain.exits;
+            body_in.consumed = -1;
+            return evalBody(stmt.body, std::move(body_in));
+        }
+
+        // Fig. 8d: star STE keeps the guard hot from the moment control
+        // arrives.  At the program start an explicit whenever replaces
+        // the default sliding window (§3.3): the star is enabled on
+        // every symbol rather than gated behind a record separator.
+        ElementId star = _automaton.addSte(CharSet::all());
+        if (frontier.start) {
+            _automaton[star].start = StartKind::AllInput;
+        } else {
+            for (ElementId elem : frontier.elems)
+                _automaton.connect(elem, star);
+        }
+        _automaton.connect(star, star);
+        Chain chain = emit(tree);
+        for (ElementId entry : chain.entries) {
+            _automaton.connect(star, entry);
+            // Direct edges from the frontier so the guard is already
+            // checked at the first position after control arrives (the
+            // star alone would delay it by one symbol).
+            for (ElementId elem : frontier.elems)
+                _automaton.connect(elem, entry);
+        }
+        _threadEntry = chain.exits;
+        Frontier body_in;
+        body_in.elems = chain.exits;
+        body_in.consumed = -1;
+        return evalBody(stmt.body, std::move(body_in));
+    }
+
+    /// Network compilation --------------------------------------------------
+
+    /** Does @p expr mention any network parameter? */
+    bool
+    mentionsNetworkParam(const Expr &expr) const
+    {
+        if (expr.kind == ExprKind::Var) {
+            for (const Param &param : _program.network.params) {
+                if (param.name == expr.text)
+                    return true;
+            }
+        }
+        for (const ExprPtr &child : expr.args) {
+            if (mentionsNetworkParam(*child))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    compileNetwork(bool tile_only)
+    {
+        const MacroDecl &network = _program.network;
+        if (_networkArgs.size() != network.params.size()) {
+            throw CompileError(
+                strprintf("network expects %zu arguments, got %zu",
+                          network.params.size(), _networkArgs.size()));
+        }
+        _env.push();
+        for (size_t i = 0; i < network.params.size(); ++i) {
+            const Param &param = network.params[i];
+            if (!(_networkArgs[i].type == param.type)) {
+                throw CompileError(
+                    "network argument '" + param.name + "' has type " +
+                    _networkArgs[i].type.str() + "; expected " +
+                    param.type.str());
+            }
+            _env.declare(param.name, _networkArgs[i]);
+        }
+        _reportStack.push_back("network");
+
+        // Network statements execute in parallel (§3.1): every
+        // non-declaration statement starts from the program-start
+        // frontier.  Declarations thread the compile-time environment.
+        for (const StmtPtr &stmt : network.body) {
+            if (stmt->kind == StmtKind::VarDecl ||
+                stmt->kind == StmtKind::Assign) {
+                evalStmt(*stmt, Frontier::deadFrontier());
+                continue;
+            }
+            if (tile_only) {
+                if (stmt->kind == StmtKind::Some &&
+                    mentionsNetworkParam(*stmt->expr)) {
+                    compileTileSome(*stmt);
+                    break;
+                }
+                continue;
+            }
+            _threadEntry.clear();
+            evalStmt(*stmt, Frontier::programStart());
+        }
+
+        _reportStack.pop_back();
+        _env.pop();
+    }
+
+    /** Compile exactly one iteration of a qualifying top-level some. */
+    void
+    compileTileSome(const Stmt &stmt)
+    {
+        ValueList items = iterableItems(*stmt.expr);
+        _tileInstances = items.size();
+        if (items.empty())
+            return;
+        _env.push();
+        _env.declare(stmt.name, items.front());
+        Frontier branch = Frontier::programStart();
+        for (const StmtPtr &inner : stmt.body)
+            branch = evalStmt(*inner, std::move(branch));
+        _env.pop();
+    }
+
+    Program &_program;
+    const std::vector<Value> &_networkArgs;
+    CompileOptions _options;
+
+    Automaton _automaton;
+    CompiledProgram _out;
+    Scope _env;
+    std::vector<CounterInfo> _counters;
+    std::vector<std::string> _reportStack;
+    std::unordered_map<std::string, size_t> _instanceCount;
+    /**
+     * The element(s) marking the start of the current parallel thread
+     * (the window-guard STE or an explicit whenever guard's exits);
+     * counters created within the thread take their reset pulse here.
+     */
+    std::vector<ElementId> _threadEntry;
+    uint64_t _nameSerial = 0;
+    size_t _callDepth = 0;
+    int _nextReserved = 0xFF; // reserved symbols grow downward from 0xFE
+    bool _tileOnly = false;
+    size_t _tileInstances = 0;
+};
+
+} // namespace
+
+CompiledProgram
+compileProgram(Program &program, const std::vector<Value> &network_args,
+               const CompileOptions &options)
+{
+    typeCheck(program);
+    return CodeGen(program, network_args, options).run();
+}
+
+CompiledProgram
+compileSource(const std::string &source,
+              const std::vector<Value> &network_args,
+              const CompileOptions &options)
+{
+    Program program = parseProgram(source);
+    return compileProgram(program, network_args, options);
+}
+
+} // namespace rapid::lang

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Staged code generation: RAPID programs → homogeneous NFAs (§5).
+ *
+ * Compilation is a staged evaluation of the program.  Imperative
+ * constructs (foreach, compile-time ifs and whiles, macro calls,
+ * arithmetic) execute at compile time; declarative constructs (input
+ * comparisons, counter checks, report) emit automaton structure.
+ *
+ * The evaluator threads a *frontier* through the statement sequence: the
+ * set of automaton elements whose activation means "control has reached
+ * this point".  Statement lowering follows Fig. 8; expression lowering
+ * follows Fig. 7 (with De Morgan negation and star-state padding);
+ * counter checks follow Table 2 and Fig. 9.
+ *
+ * Every RAPID program performs the implicit
+ * `whenever (START_OF_INPUT == input())` sliding-window search of §3.3:
+ * the first STE chain of each parallel branch is preceded by a
+ * [\xFF]-matching, always-enabled guard STE — unless the branch begins
+ * with an explicit whenever, which replaces the default window.
+ */
+#ifndef RAPID_LANG_CODEGEN_H
+#define RAPID_LANG_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "lang/ast.h"
+#include "lang/value.h"
+
+namespace rapid::lang {
+
+/** Code-generation options. */
+struct CompileOptions {
+    /** Run the automaton optimizer after generation. */
+    bool optimize = true;
+
+    /**
+     * Fold a top-level `whenever` guard into the start kind of its
+     * entry STEs (dense form) instead of materializing the Fig. 8d
+     * star STE.  Behaviourally equivalent; on by default.
+     */
+    bool foldStartWhenever = true;
+
+    /**
+     * Expand counters into positional encoding (§5.3's alternate
+     * solution, implemented here although the paper's compiler did
+     * not): counter- and boolean-free designs at ~(target+1)x the
+     * states, avoiding the clock division that counter+inverter
+     * designs pay (Table 5).  Unsupported counter shapes remain as
+     * counters.
+     */
+    bool positionalCounters = false;
+
+    /**
+     * Compile only the tessellation tile (§6): skip the full network,
+     * producing an empty `automaton` and a populated `tile`.  Used by
+     * the Table-6 benches to time tile-only generation.
+     */
+    bool tileOnly = false;
+
+    /**
+     * Lower counter *assertions* through the §5.3 reserved-symbol
+     * injection scheme instead of combinational gating.  Requires the
+     * host to pre-transform the input stream (see host/transformer.h);
+     * the compiler records the injection plan in
+     * CompiledProgram::injections.
+     */
+    bool counterCheckViaInjection = false;
+};
+
+/** A §5.3 reserved-symbol injection requirement. */
+struct SymbolInjection {
+    /** The reserved symbol allocated for this counter check. */
+    unsigned char symbol = 0;
+    /**
+     * Data symbols consumed between the start of a record (a
+     * START_OF_INPUT separator) and the check; the host inserts the
+     * symbol after this many symbols in every record.  0 means the
+     * compiler could not infer the position (§5.3's compile-time
+     * warning) and the developer must supply the pattern.
+     */
+    uint64_t period = 0;
+    /** The RAPID Counter variable the check belongs to. */
+    std::string counterName;
+};
+
+/** The result of compiling a RAPID program. */
+struct CompiledProgram {
+    automata::Automaton automaton;
+
+    /** Reserved-symbol injection plan (empty unless the option is on). */
+    std::vector<SymbolInjection> injections;
+
+    /**
+     * Tessellation support (§6): the single-instance automaton for the
+     * first top-level `some` iterating over a network parameter, and
+     * the total number of instances the full design contains.  Empty /
+     * zero when the heuristic found nothing to tile.
+     */
+    automata::Automaton tile;
+    size_t tileInstances = 0;
+
+    bool tileable() const { return tileInstances > 0; }
+};
+
+/**
+ * Compile a type-checked program against concrete network arguments.
+ *
+ * @param program a parsed program; typeCheck() is (re)run internally.
+ * @param network_args one Value per network parameter.
+ * @throws rapid::CompileError for staging violations detectable only
+ * with concrete values (array bounds, counter threshold conflicts,
+ * non-uniform negation lengths, unbounded compile-time loops).
+ */
+CompiledProgram compileProgram(Program &program,
+                               const std::vector<Value> &network_args,
+                               const CompileOptions &options = {});
+
+/** Parse + type-check + compile in one step. */
+CompiledProgram compileSource(const std::string &source,
+                              const std::vector<Value> &network_args,
+                              const CompileOptions &options = {});
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_CODEGEN_H

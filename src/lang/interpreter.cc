@@ -1,0 +1,758 @@
+#include "lang/interpreter.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "automata/charset.h"
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+
+namespace rapid::lang {
+
+namespace {
+
+using automata::CharSet;
+
+/** Positions = numbers of symbols consumed by live threads. */
+using Positions = std::set<uint64_t>;
+
+/**
+ * Sentinel member marking a "pristine start" thread set: control is at
+ * the beginning of a parallel branch with nothing consumed.  A whenever
+ * reached in this state replaces the default sliding window (§3.3);
+ * any other consuming statement first resolves the sentinel to the
+ * post-separator window positions.
+ */
+constexpr uint64_t kStartSentinel = UINT64_MAX;
+
+class Interpreter {
+  public:
+    Interpreter(Program &program, const std::vector<Value> &args,
+                std::string_view input)
+        : _program(program), _args(args), _input(input)
+    {
+    }
+
+    std::vector<uint64_t>
+    run()
+    {
+        const MacroDecl &network = _program.network;
+        if (_args.size() != network.params.size())
+            throw CompileError("network argument count mismatch");
+        pushScope();
+        for (size_t i = 0; i < network.params.size(); ++i)
+            declare(network.params[i].name, _args[i]);
+
+        // Implicit sliding window (§3.3): threads start after every
+        // START_OF_INPUT separator; an explicit whenever at the start
+        // of a branch replaces it (handled via the start sentinel).
+        for (uint64_t i = 0; i < _input.size(); ++i) {
+            if (static_cast<unsigned char>(_input[i]) ==
+                kStartOfInputSymbol) {
+                _window.insert(i + 1);
+            }
+        }
+
+        for (const StmtPtr &stmt : network.body) {
+            if (stmt->kind == StmtKind::VarDecl ||
+                stmt->kind == StmtKind::Assign) {
+                evalStmt(*stmt, Positions{});
+                continue;
+            }
+            evalStmt(*stmt, Positions{kStartSentinel});
+        }
+        popScope();
+        return {_reports.begin(), _reports.end()};
+    }
+
+  private:
+    [[noreturn]] static void
+    fail(const std::string &msg, SourceLoc loc)
+    {
+        throw CompileError(msg, loc);
+    }
+
+    /// Environment (scope stack; macros get fresh frames) --------------
+
+    void pushScope() { _scopes.emplace_back(); }
+    void popScope() { _scopes.pop_back(); }
+
+    void
+    declare(const std::string &name, Value value)
+    {
+        _scopes.back()[name] = std::move(value);
+    }
+
+    Value *
+    find(const std::string &name)
+    {
+        for (auto it = _scopes.rbegin(); it != _scopes.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    /// Compile-time evaluation (independent of codegen) -----------------
+
+    Value
+    evalExpr(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::IntLit:
+            return Value::integer(expr.intValue);
+          case ExprKind::BoolLit:
+            return Value::boolean(expr.boolValue);
+          case ExprKind::CharLit:
+            return Value::character(expr.charValue);
+          case ExprKind::StringLit:
+            return Value::str(expr.text);
+          case ExprKind::ArrayLit: {
+            ValueList items;
+            for (const ExprPtr &item : expr.args)
+                items.push_back(evalExpr(*item));
+            return Value::array(expr.type.element(), std::move(items));
+          }
+          case ExprKind::Var: {
+            Value *value = find(expr.text);
+            if (value == nullptr)
+                fail("undefined variable", expr.loc);
+            return *value;
+          }
+          case ExprKind::Index: {
+            Value base = evalExpr(*expr.args[0]);
+            Value index = evalExpr(*expr.args[1]);
+            if (base.type == Type::stringT()) {
+                if (index.i < 0 ||
+                    index.i >= static_cast<int64_t>(base.s.size()))
+                    fail("string index out of range", expr.loc);
+                return Value::character(base.s[index.i]);
+            }
+            if (!base.arr || index.i < 0 ||
+                index.i >= static_cast<int64_t>(base.arr->size()))
+                fail("array index out of range", expr.loc);
+            return (*base.arr)[index.i];
+          }
+          case ExprKind::Unary:
+            if (expr.uop == UnaryOp::Neg)
+                return Value::integer(-evalExpr(*expr.args[0]).i);
+            return Value::boolean(!evalExpr(*expr.args[0]).b);
+          case ExprKind::Binary: {
+            Value lhs = evalExpr(*expr.args[0]);
+            Value rhs = evalExpr(*expr.args[1]);
+            switch (expr.bop) {
+              case BinaryOp::And:
+                return Value::boolean(lhs.b && rhs.b);
+              case BinaryOp::Or:
+                return Value::boolean(lhs.b || rhs.b);
+              case BinaryOp::Eq:
+                return Value::boolean(lhs.equals(rhs));
+              case BinaryOp::Ne:
+                return Value::boolean(!lhs.equals(rhs));
+              case BinaryOp::Lt:
+                return Value::boolean(scalar(lhs) < scalar(rhs));
+              case BinaryOp::Le:
+                return Value::boolean(scalar(lhs) <= scalar(rhs));
+              case BinaryOp::Gt:
+                return Value::boolean(scalar(lhs) > scalar(rhs));
+              case BinaryOp::Ge:
+                return Value::boolean(scalar(lhs) >= scalar(rhs));
+              case BinaryOp::Add:
+                if (lhs.type == Type::stringT())
+                    return Value::str(lhs.s + rhs.s);
+                return Value::integer(lhs.i + rhs.i);
+              case BinaryOp::Sub:
+                return Value::integer(lhs.i - rhs.i);
+              case BinaryOp::Mul:
+                return Value::integer(lhs.i * rhs.i);
+              case BinaryOp::Div:
+                if (rhs.i == 0)
+                    fail("division by zero", expr.loc);
+                return Value::integer(lhs.i / rhs.i);
+              case BinaryOp::Mod:
+                if (rhs.i == 0)
+                    fail("modulo by zero", expr.loc);
+                return Value::integer(lhs.i % rhs.i);
+            }
+            fail("unhandled operator", expr.loc);
+          }
+          case ExprKind::Method: {
+            Value receiver = evalExpr(*expr.args[0]);
+            if (expr.text == "length") {
+                if (receiver.type == Type::stringT())
+                    return Value::integer(
+                        static_cast<int64_t>(receiver.s.size()));
+                return Value::integer(static_cast<int64_t>(
+                    receiver.arr ? receiver.arr->size() : 0));
+            }
+            fail("counters are not supported by the reference "
+                 "interpreter",
+                 expr.loc);
+          }
+          case ExprKind::Call:
+            fail("not a compile-time expression", expr.loc);
+        }
+        fail("unhandled expression", expr.loc);
+    }
+
+    static int64_t
+    scalar(const Value &value)
+    {
+        if (value.type == Type::charT()) {
+            if (value.c.kind != CharSpec::Kind::Literal)
+                throw CompileError("special chars cannot be ordered");
+            return value.c.value;
+        }
+        return value.i;
+    }
+
+    /// Input matching ---------------------------------------------------
+
+    CharSet
+    charSetOf(const Expr &expr)
+    {
+        Value value = evalExpr(expr);
+        switch (value.c.kind) {
+          case CharSpec::Kind::AllInput:
+            return CharSet::all();
+          case CharSpec::Kind::StartOfInput:
+            return CharSet::single(kStartOfInputSymbol);
+          case CharSpec::Kind::Literal:
+            return CharSet::single(value.c.value);
+        }
+        return CharSet{};
+    }
+
+    static CharSet
+    minusStart(CharSet set)
+    {
+        set.remove(kStartOfInputSymbol);
+        return set;
+    }
+
+    bool
+    symbolAt(uint64_t pos, const CharSet &set) const
+    {
+        return pos < _input.size() &&
+               set.test(static_cast<unsigned char>(_input[pos]));
+    }
+
+    /** Fixed symbol length of an automata expression; -1 if variable. */
+    int
+    exprLength(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::Unary:
+            return exprLength(*expr.args[0]);
+          case ExprKind::Binary: {
+            if (expr.bop == BinaryOp::Eq || expr.bop == BinaryOp::Ne)
+                return 1;
+            auto side = [&](const Expr &e) -> int {
+                if (e.type == Type::boolT())
+                    return 0;
+                return exprLength(e);
+            };
+            int lhs = side(*expr.args[0]);
+            int rhs = side(*expr.args[1]);
+            if (lhs < 0 || rhs < 0)
+                return -1;
+            if (expr.bop == BinaryOp::And)
+                return lhs + rhs;
+            // Or: both alternatives must agree (compile-time bools
+            // force variability).
+            if (expr.args[0]->type == Type::boolT() ||
+                expr.args[1]->type == Type::boolT())
+                return -1;
+            return lhs == rhs ? lhs : -1;
+          }
+          default:
+            return -1;
+        }
+    }
+
+    /** End positions of matches of @p expr starting at @p pos. */
+    Positions
+    matchExpr(const Expr &expr, uint64_t pos)
+    {
+        switch (expr.kind) {
+          case ExprKind::Unary: // '!'
+            return notMatchExpr(*expr.args[0], pos);
+          case ExprKind::Binary:
+            break;
+          default:
+            fail("not an input comparison", expr.loc);
+        }
+        const Expr &lhs = *expr.args[0];
+        const Expr &rhs = *expr.args[1];
+        if (expr.bop == BinaryOp::Eq || expr.bop == BinaryOp::Ne) {
+            const Expr &other =
+                lhs.type == Type::streamT() ? rhs : lhs;
+            CharSet set = charSetOf(other);
+            if (expr.bop == BinaryOp::Ne)
+                set = minusStart(~set);
+            return symbolAt(pos, set) ? Positions{pos + 1}
+                                      : Positions{};
+        }
+        auto sideMatch = [&](const Expr &e,
+                             uint64_t at) -> Positions {
+            if (e.type == Type::boolT())
+                return evalExpr(e).b ? Positions{at} : Positions{};
+            return matchExpr(e, at);
+        };
+        if (expr.bop == BinaryOp::And) {
+            Positions mid = sideMatch(lhs, pos);
+            Positions out;
+            for (uint64_t m : mid) {
+                Positions ends = sideMatch(rhs, m);
+                out.insert(ends.begin(), ends.end());
+            }
+            return out;
+        }
+        if (expr.bop == BinaryOp::Or) {
+            Positions out = sideMatch(lhs, pos);
+            Positions right = sideMatch(rhs, pos);
+            out.insert(right.begin(), right.end());
+            return out;
+        }
+        fail("not an input comparison", expr.loc);
+    }
+
+    /**
+     * End positions of matches of the *negation* of @p expr, mirroring
+     * the De Morgan construction of §5.1 (same symbol count; mismatch
+     * classes and star padding exclude START_OF_INPUT).
+     */
+    Positions
+    notMatchExpr(const Expr &expr, uint64_t pos)
+    {
+        if (expr.kind == ExprKind::Unary) {
+            // Double negation cancels.
+            return matchExpr(*expr.args[0], pos);
+        }
+        internalCheck(expr.kind == ExprKind::Binary,
+                      "negation of non-comparison");
+        const Expr &lhs = *expr.args[0];
+        const Expr &rhs = *expr.args[1];
+        if (expr.bop == BinaryOp::Eq || expr.bop == BinaryOp::Ne) {
+            const Expr &other =
+                lhs.type == Type::streamT() ? rhs : lhs;
+            CharSet set = charSetOf(other);
+            if (expr.bop == BinaryOp::Eq)
+                set = minusStart(~set); // !(== c) is (!= c)
+            // !(!= c) is (== c): no exclusion.
+            return symbolAt(pos, set) ? Positions{pos + 1}
+                                      : Positions{};
+        }
+        auto sideLen = [&](const Expr &e) -> int {
+            if (e.type == Type::boolT())
+                return evalExpr(e).b ? 0 : -2; // -2: arm dead
+            return exprLength(e);
+        };
+        if (expr.bop == BinaryOp::And) {
+            // !(A && B) = !A padded | A !B  (star padding, no \xFF).
+            int len_a = sideLen(lhs);
+            int len_b = sideLen(rhs);
+            if (len_a == -1 || len_b == -1)
+                fail("cannot negate variable-length expression",
+                     expr.loc);
+            Positions out;
+            // Arm 1: !A then |B| stars.
+            if (len_a != -2 && len_b != -2) {
+                Positions first =
+                    lhs.type == Type::boolT()
+                        ? (evalExpr(lhs).b ? Positions{}
+                                           : Positions{pos})
+                        : notMatchExpr(lhs, pos);
+                for (uint64_t m : first) {
+                    Positions padded = pad(m, len_b);
+                    out.insert(padded.begin(), padded.end());
+                }
+                // Arm 2: A then !B.
+                Positions prefix =
+                    lhs.type == Type::boolT()
+                        ? (evalExpr(lhs).b ? Positions{pos}
+                                           : Positions{})
+                        : matchExpr(lhs, pos);
+                for (uint64_t m : prefix) {
+                    Positions second =
+                        rhs.type == Type::boolT()
+                            ? (evalExpr(rhs).b ? Positions{}
+                                               : Positions{m})
+                            : notMatchExpr(rhs, m);
+                    out.insert(second.begin(), second.end());
+                }
+            } else if (len_a == -2 || len_b == -2) {
+                // A dead conjunct makes the conjunction unmatchable:
+                // its negation is epsilon... but symbol counts of the
+                // other side still apply in the compiled form only if
+                // generated; the compiler folds Fail && X to Fail and
+                // !Fail to Epsilon.
+                out.insert(pos);
+            }
+            return out;
+        }
+        if (expr.bop == BinaryOp::Or) {
+            // Mirror of the compiler: only single-symbol alternatives
+            // can be negated (complement of the union, minus \xFF).
+            if (exprLength(lhs) != 1 || exprLength(rhs) != 1 ||
+                !isComparisonLeaf(lhs) || !isComparisonLeaf(rhs)) {
+                fail("cannot negate an alternation of multi-symbol "
+                     "expressions",
+                     expr.loc);
+            }
+            CharSet united = leafSet(lhs) | leafSet(rhs);
+            CharSet flipped = minusStart(~united);
+            return symbolAt(pos, flipped) ? Positions{pos + 1}
+                                          : Positions{};
+        }
+        fail("negation of non-comparison", expr.loc);
+    }
+
+    static bool
+    isComparisonLeaf(const Expr &expr)
+    {
+        return expr.kind == ExprKind::Binary &&
+               (expr.bop == BinaryOp::Eq || expr.bop == BinaryOp::Ne);
+    }
+
+    CharSet
+    leafSet(const Expr &expr)
+    {
+        const Expr &other = expr.args[0]->type == Type::streamT()
+                                ? *expr.args[1]
+                                : *expr.args[0];
+        CharSet set = charSetOf(other);
+        if (expr.bop == BinaryOp::Ne)
+            set = minusStart(~set);
+        return set;
+    }
+
+    /** Advance @p count star symbols (excluding \xFF) from @p pos. */
+    Positions
+    pad(uint64_t pos, int count)
+    {
+        for (int i = 0; i < count; ++i) {
+            if (pos >= _input.size() ||
+                static_cast<unsigned char>(_input[pos]) ==
+                    kStartOfInputSymbol) {
+                return {};
+            }
+            ++pos;
+        }
+        return {pos};
+    }
+
+    /** Resolve a pristine-start set into concrete window positions. */
+    Positions
+    resolve(Positions positions) const
+    {
+        if (positions.count(kStartSentinel)) {
+            positions.erase(kStartSentinel);
+            positions.insert(_window.begin(), _window.end());
+        }
+        return positions;
+    }
+
+    /// Statements ---------------------------------------------------------
+
+    Positions
+    evalBody(const std::vector<StmtPtr> &body, Positions positions)
+    {
+        pushScope();
+        for (const StmtPtr &stmt : body)
+            positions = evalStmt(*stmt, std::move(positions));
+        popScope();
+        return positions;
+    }
+
+    Positions
+    evalStmt(const Stmt &stmt, Positions positions)
+    {
+        switch (stmt.kind) {
+          case StmtKind::VarDecl: {
+            if (stmt.declType.base == BaseType::Counter) {
+                fail("counters are not supported by the reference "
+                     "interpreter",
+                     stmt.loc);
+            }
+            Value value;
+            if (stmt.expr) {
+                value = evalExpr(*stmt.expr);
+            } else {
+                switch (stmt.declType.base) {
+                  case BaseType::Int:
+                    value = Value::integer(0);
+                    break;
+                  case BaseType::Bool:
+                    value = Value::boolean(false);
+                    break;
+                  case BaseType::Char:
+                    value = Value::character('\0');
+                    break;
+                  case BaseType::String:
+                    value = Value::str("");
+                    break;
+                  default:
+                    fail("missing initializer", stmt.loc);
+                }
+            }
+            declare(stmt.name, std::move(value));
+            return positions;
+          }
+          case StmtKind::Assign: {
+            Value value = evalExpr(*stmt.expr);
+            if (stmt.target->kind == ExprKind::Var) {
+                Value *slot = find(stmt.target->text);
+                if (slot == nullptr)
+                    fail("undefined variable", stmt.loc);
+                *slot = std::move(value);
+            } else {
+                Value base = evalExpr(*stmt.target->args[0]);
+                Value index = evalExpr(*stmt.target->args[1]);
+                if (!base.arr || index.i < 0 ||
+                    index.i >=
+                        static_cast<int64_t>(base.arr->size()))
+                    fail("array index out of range", stmt.loc);
+                (*base.arr)[index.i] = std::move(value);
+            }
+            return positions;
+          }
+          case StmtKind::Expr: {
+            const Expr &expr = *stmt.expr;
+            if (expr.type == Type::automataT()) {
+                positions = resolve(std::move(positions));
+                Positions out;
+                for (uint64_t pos : positions) {
+                    Positions ends = matchExpr(expr, pos);
+                    out.insert(ends.begin(), ends.end());
+                }
+                return out;
+            }
+            if (expr.type == Type::boolT())
+                return evalExpr(expr).b ? positions : Positions{};
+            if (expr.kind == ExprKind::Call)
+                return evalMacroCall(expr, std::move(positions));
+            if (expr.kind == ExprKind::Method) {
+                evalExpr(expr); // rejects counter methods
+                return positions;
+            }
+            evalExpr(expr);
+            return positions;
+          }
+          case StmtKind::Report:
+            positions = resolve(std::move(positions));
+            for (uint64_t pos : positions) {
+                if (pos >= 1)
+                    _reports.insert(pos - 1);
+            }
+            return positions;
+          case StmtKind::If: {
+            const Expr &cond = *stmt.expr;
+            if (cond.type == Type::boolT()) {
+                return evalExpr(cond).b
+                           ? evalBody(stmt.body, std::move(positions))
+                           : evalBody(stmt.orelse,
+                                      std::move(positions));
+            }
+            positions = resolve(std::move(positions));
+            Positions then_in;
+            Positions else_in;
+            for (uint64_t pos : positions) {
+                Positions hits = matchExpr(cond, pos);
+                then_in.insert(hits.begin(), hits.end());
+                Positions misses = notMatchExpr(cond, pos);
+                else_in.insert(misses.begin(), misses.end());
+            }
+            Positions out = evalBody(stmt.body, std::move(then_in));
+            Positions other =
+                evalBody(stmt.orelse, std::move(else_in));
+            out.insert(other.begin(), other.end());
+            return out;
+          }
+          case StmtKind::While:
+            return evalWhile(stmt, std::move(positions));
+          case StmtKind::Foreach: {
+            ValueList items = iterableItems(*stmt.expr);
+            for (Value &item : items) {
+                pushScope();
+                declare(stmt.name, std::move(item));
+                for (const StmtPtr &inner : stmt.body)
+                    positions =
+                        evalStmt(*inner, std::move(positions));
+                popScope();
+            }
+            return positions;
+          }
+          case StmtKind::Some: {
+            ValueList items = iterableItems(*stmt.expr);
+            Positions out;
+            for (Value &item : items) {
+                pushScope();
+                declare(stmt.name, std::move(item));
+                Positions branch = positions;
+                for (const StmtPtr &inner : stmt.body)
+                    branch = evalStmt(*inner, std::move(branch));
+                popScope();
+                out.insert(branch.begin(), branch.end());
+            }
+            return out;
+          }
+          case StmtKind::Either: {
+            Positions out;
+            for (const StmtPtr &arm : stmt.body) {
+                Positions branch = evalBody(arm->body, positions);
+                out.insert(branch.begin(), branch.end());
+            }
+            return out;
+          }
+          case StmtKind::Whenever:
+            return evalWhenever(stmt, std::move(positions));
+          case StmtKind::Block:
+            return evalBody(stmt.body, std::move(positions));
+        }
+        fail("unhandled statement", stmt.loc);
+    }
+
+    Positions
+    evalWhile(const Stmt &stmt, Positions positions)
+    {
+        const Expr &cond = *stmt.expr;
+        if (cond.type == Type::boolT()) {
+            size_t guard = 0;
+            while (evalExpr(cond).b) {
+                if (++guard > 1000000)
+                    fail("compile-time loop did not terminate",
+                         stmt.loc);
+                positions = evalBody(stmt.body, std::move(positions));
+            }
+            return positions;
+        }
+        if (cond.type == Type::counterExprT()) {
+            fail("counters are not supported by the reference "
+                 "interpreter",
+                 stmt.loc);
+        }
+        // Fixpoint over loop-entry positions.
+        Positions exits;
+        Positions seen;
+        Positions active = resolve(std::move(positions));
+        size_t rounds = 0;
+        while (!active.empty()) {
+            if (++rounds > _input.size() + 2)
+                break; // positions strictly advance; safety net
+            Positions fresh;
+            for (uint64_t pos : active) {
+                if (!seen.insert(pos).second)
+                    continue;
+                Positions leave = notMatchExpr(cond, pos);
+                exits.insert(leave.begin(), leave.end());
+                Positions enter = matchExpr(cond, pos);
+                fresh.insert(enter.begin(), enter.end());
+            }
+            active = evalBody(stmt.body, std::move(fresh));
+            Positions next;
+            for (uint64_t pos : active) {
+                if (!seen.count(pos))
+                    next.insert(pos);
+            }
+            active = std::move(next);
+        }
+        return exits;
+    }
+
+    Positions
+    evalWhenever(const Stmt &stmt, Positions positions)
+    {
+        const Expr &guard = *stmt.expr;
+        if (guard.type == Type::counterExprT()) {
+            fail("counters are not supported by the reference "
+                 "interpreter",
+                 stmt.loc);
+        }
+        uint64_t earliest;
+        if (positions.count(kStartSentinel)) {
+            // Whenever at the branch start replaces the default
+            // window: the guard is checked at every stream position.
+            earliest = 0;
+        } else if (positions.empty()) {
+            return Positions{};
+        } else {
+            earliest = *positions.begin();
+        }
+        Positions body_in;
+        for (uint64_t q = earliest; q < _input.size(); ++q) {
+            Positions hits = matchExpr(guard, q);
+            body_in.insert(hits.begin(), hits.end());
+        }
+        return evalBody(stmt.body, std::move(body_in));
+    }
+
+    Positions
+    evalMacroCall(const Expr &expr, Positions positions)
+    {
+        const MacroDecl *macro = _program.findMacro(expr.text);
+        internalCheck(macro != nullptr, "unknown macro");
+        if (++_depth > 256)
+            fail("macro instantiation too deep", expr.loc);
+        std::vector<Value> args;
+        for (const ExprPtr &arg : expr.args)
+            args.push_back(evalExpr(*arg));
+        auto saved = std::move(_scopes);
+        _scopes.clear();
+        pushScope();
+        for (size_t i = 0; i < args.size(); ++i)
+            declare(macro->params[i].name, std::move(args[i]));
+        Positions out = std::move(positions);
+        for (const StmtPtr &stmt : macro->body)
+            out = evalStmt(*stmt, std::move(out));
+        _scopes = std::move(saved);
+        --_depth;
+        return out;
+    }
+
+    ValueList
+    iterableItems(const Expr &expr)
+    {
+        Value value = evalExpr(expr);
+        ValueList items;
+        if (value.type == Type::stringT()) {
+            for (char c : value.s)
+                items.push_back(Value::character(c));
+            return items;
+        }
+        if (value.arr)
+            return *value.arr;
+        return items;
+    }
+
+    Program &_program;
+    const std::vector<Value> &_args;
+    std::string_view _input;
+    Positions _window;
+    std::vector<std::unordered_map<std::string, Value>> _scopes;
+    std::set<uint64_t> _reports;
+    size_t _depth = 0;
+};
+
+} // namespace
+
+std::vector<uint64_t>
+interpretProgram(Program &program, const std::vector<Value> &network_args,
+                 std::string_view input)
+{
+    typeCheck(program);
+    return Interpreter(program, network_args, input).run();
+}
+
+std::vector<uint64_t>
+interpretSource(const std::string &source,
+                const std::vector<Value> &network_args,
+                std::string_view input)
+{
+    Program program = parseProgram(source);
+    return interpretProgram(program, network_args, input);
+}
+
+} // namespace rapid::lang

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A reference interpreter for RAPID programs.
+ *
+ * Executes a program directly against an input string using
+ * set-of-positions semantics — no automata are built.  Each "thread of
+ * computation" (§3) is represented by the number of symbols it has
+ * consumed; parallel control structures union position sets, input
+ * comparisons advance them, and report statements record the offset of
+ * the last consumed symbol.
+ *
+ * The interpreter is an *independent* executable specification of the
+ * language: the differential test suite checks that, for a corpus of
+ * programs and randomized inputs, its report offsets exactly match
+ * those of the compiled automaton running on the device simulator.
+ *
+ * Restrictions: Counter objects are not supported (their semantics are
+ * inherently cycle-synchronized across threads, which is exactly what
+ * the hardware provides and the pure position-set model abstracts
+ * away); programs using counters are rejected with CompileError.
+ */
+#ifndef RAPID_LANG_INTERPRETER_H
+#define RAPID_LANG_INTERPRETER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/value.h"
+
+namespace rapid::lang {
+
+/**
+ * Run @p program (type checking it first) on @p input with the given
+ * network arguments.
+ *
+ * @return sorted, distinct report offsets (0-based index of the symbol
+ * being consumed when each report fires) — directly comparable to the
+ * device simulator's report stream.
+ * @throws rapid::CompileError for counter use or staging violations.
+ */
+std::vector<uint64_t> interpretProgram(
+    Program &program, const std::vector<Value> &network_args,
+    std::string_view input);
+
+/** Parse + interpret in one step. */
+std::vector<uint64_t> interpretSource(
+    const std::string &source, const std::vector<Value> &network_args,
+    std::string_view input);
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_INTERPRETER_H

@@ -1,0 +1,467 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace rapid::lang {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier:
+        return "identifier";
+      case TokenKind::IntLiteral:
+        return "integer literal";
+      case TokenKind::CharLiteral:
+        return "character literal";
+      case TokenKind::StringLiteral:
+        return "string literal";
+      case TokenKind::KwMacro:
+        return "'macro'";
+      case TokenKind::KwNetwork:
+        return "'network'";
+      case TokenKind::KwIf:
+        return "'if'";
+      case TokenKind::KwElse:
+        return "'else'";
+      case TokenKind::KwWhile:
+        return "'while'";
+      case TokenKind::KwForeach:
+        return "'foreach'";
+      case TokenKind::KwSome:
+        return "'some'";
+      case TokenKind::KwEither:
+        return "'either'";
+      case TokenKind::KwOrelse:
+        return "'orelse'";
+      case TokenKind::KwWhenever:
+        return "'whenever'";
+      case TokenKind::KwReport:
+        return "'report'";
+      case TokenKind::KwInt:
+        return "'int'";
+      case TokenKind::KwChar:
+        return "'char'";
+      case TokenKind::KwBool:
+        return "'bool'";
+      case TokenKind::KwString:
+        return "'String'";
+      case TokenKind::KwCounter:
+        return "'Counter'";
+      case TokenKind::KwTrue:
+        return "'true'";
+      case TokenKind::KwFalse:
+        return "'false'";
+      case TokenKind::KwAllInput:
+        return "'ALL_INPUT'";
+      case TokenKind::KwStartOfInput:
+        return "'START_OF_INPUT'";
+      case TokenKind::LParen:
+        return "'('";
+      case TokenKind::RParen:
+        return "')'";
+      case TokenKind::LBrace:
+        return "'{'";
+      case TokenKind::RBrace:
+        return "'}'";
+      case TokenKind::LBracket:
+        return "'['";
+      case TokenKind::RBracket:
+        return "']'";
+      case TokenKind::Comma:
+        return "','";
+      case TokenKind::Semicolon:
+        return "';'";
+      case TokenKind::Colon:
+        return "':'";
+      case TokenKind::Dot:
+        return "'.'";
+      case TokenKind::Assign:
+        return "'='";
+      case TokenKind::EqEq:
+        return "'=='";
+      case TokenKind::NotEq:
+        return "'!='";
+      case TokenKind::Less:
+        return "'<'";
+      case TokenKind::LessEq:
+        return "'<='";
+      case TokenKind::Greater:
+        return "'>'";
+      case TokenKind::GreaterEq:
+        return "'>='";
+      case TokenKind::AndAnd:
+        return "'&&'";
+      case TokenKind::OrOr:
+        return "'||'";
+      case TokenKind::Bang:
+        return "'!'";
+      case TokenKind::Plus:
+        return "'+'";
+      case TokenKind::Minus:
+        return "'-'";
+      case TokenKind::Star:
+        return "'*'";
+      case TokenKind::Slash:
+        return "'/'";
+      case TokenKind::Percent:
+        return "'%'";
+      case TokenKind::EndOfFile:
+        return "end of file";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"macro", TokenKind::KwMacro},
+    {"network", TokenKind::KwNetwork},
+    {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},
+    {"while", TokenKind::KwWhile},
+    {"foreach", TokenKind::KwForeach},
+    {"some", TokenKind::KwSome},
+    {"either", TokenKind::KwEither},
+    {"orelse", TokenKind::KwOrelse},
+    {"whenever", TokenKind::KwWhenever},
+    {"report", TokenKind::KwReport},
+    {"int", TokenKind::KwInt},
+    {"char", TokenKind::KwChar},
+    {"bool", TokenKind::KwBool},
+    {"String", TokenKind::KwString},
+    {"Counter", TokenKind::KwCounter},
+    {"true", TokenKind::KwTrue},
+    {"false", TokenKind::KwFalse},
+    {"ALL_INPUT", TokenKind::KwAllInput},
+    {"START_OF_INPUT", TokenKind::KwStartOfInput},
+};
+
+class Lexer {
+  public:
+    explicit Lexer(const std::string &source) : _source(source) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> tokens;
+        while (true) {
+            skipWhitespaceAndComments();
+            Token token = next();
+            tokens.push_back(token);
+            if (token.kind == TokenKind::EndOfFile)
+                return tokens;
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw CompileError(msg, here());
+    }
+
+    SourceLoc here() const { return SourceLoc{_line, _column}; }
+
+    bool atEnd() const { return _pos >= _source.size(); }
+    char peek() const { return atEnd() ? '\0' : _source[_pos]; }
+
+    char
+    peekAt(size_t ahead) const
+    {
+        return _pos + ahead >= _source.size() ? '\0'
+                                              : _source[_pos + ahead];
+    }
+
+    char
+    advance()
+    {
+        char c = _source[_pos++];
+        if (c == '\n') {
+            ++_line;
+            _column = 1;
+        } else {
+            ++_column;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peekAt(1) == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peekAt(1) == '*') {
+                SourceLoc start = here();
+                advance();
+                advance();
+                while (!(peek() == '*' && peekAt(1) == '/')) {
+                    if (atEnd()) {
+                        throw CompileError("unterminated block comment",
+                                           start);
+                    }
+                    advance();
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    unsigned char
+    escape()
+    {
+        char c = advance();
+        switch (c) {
+          case 'n':
+            return '\n';
+          case 't':
+            return '\t';
+          case 'r':
+            return '\r';
+          case '0':
+            return '\0';
+          case '\\':
+            return '\\';
+          case '\'':
+            return '\'';
+          case '"':
+            return '"';
+          case 'x': {
+            auto hex = [this](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                fail("bad hex digit in \\x escape");
+            };
+            if (atEnd())
+                fail("truncated \\x escape");
+            int hi = hex(advance());
+            if (atEnd())
+                fail("truncated \\x escape");
+            int lo = hex(advance());
+            return static_cast<unsigned char>(hi * 16 + lo);
+          }
+          default:
+            fail(std::string("unknown escape '\\") + c + "'");
+        }
+    }
+
+    Token
+    next()
+    {
+        Token token;
+        token.loc = here();
+        if (atEnd()) {
+            token.kind = TokenKind::EndOfFile;
+            return token;
+        }
+
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word(1, c);
+            while (!atEnd() &&
+                   (std::isalnum(static_cast<unsigned char>(peek())) ||
+                    peek() == '_')) {
+                word.push_back(advance());
+            }
+            auto it = kKeywords.find(word);
+            if (it != kKeywords.end()) {
+                token.kind = it->second;
+            } else {
+                token.kind = TokenKind::Identifier;
+                token.text = std::move(word);
+            }
+            return token;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            int64_t value = c - '0';
+            if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+                advance();
+                bool any = false;
+                while (!atEnd() &&
+                       std::isxdigit(
+                           static_cast<unsigned char>(peek()))) {
+                    char h = advance();
+                    int digit = h <= '9'   ? h - '0'
+                                : h <= 'F' ? h - 'A' + 10
+                                           : h - 'a' + 10;
+                    value = value * 16 + digit;
+                    any = true;
+                }
+                if (!any)
+                    fail("malformed hex literal");
+            } else {
+                while (!atEnd() &&
+                       std::isdigit(static_cast<unsigned char>(peek()))) {
+                    value = value * 10 + (advance() - '0');
+                    if (value > INT32_MAX)
+                        fail("integer literal out of range");
+                }
+            }
+            token.kind = TokenKind::IntLiteral;
+            token.intValue = value;
+            return token;
+        }
+
+        switch (c) {
+          case '\'': {
+            if (atEnd())
+                fail("unterminated character literal");
+            char raw = advance();
+            unsigned char value;
+            if (raw == '\\')
+                value = escape();
+            else if (raw == '\'')
+                fail("empty character literal");
+            else
+                value = static_cast<unsigned char>(raw);
+            if (atEnd() || advance() != '\'')
+                fail("unterminated character literal");
+            token.kind = TokenKind::CharLiteral;
+            token.charValue = value;
+            return token;
+          }
+          case '"': {
+            std::string text;
+            while (true) {
+                if (atEnd())
+                    fail("unterminated string literal");
+                char raw = advance();
+                if (raw == '"')
+                    break;
+                if (raw == '\\')
+                    text.push_back(static_cast<char>(escape()));
+                else
+                    text.push_back(raw);
+            }
+            token.kind = TokenKind::StringLiteral;
+            token.text = std::move(text);
+            return token;
+          }
+          case '(':
+            token.kind = TokenKind::LParen;
+            return token;
+          case ')':
+            token.kind = TokenKind::RParen;
+            return token;
+          case '{':
+            token.kind = TokenKind::LBrace;
+            return token;
+          case '}':
+            token.kind = TokenKind::RBrace;
+            return token;
+          case '[':
+            token.kind = TokenKind::LBracket;
+            return token;
+          case ']':
+            token.kind = TokenKind::RBracket;
+            return token;
+          case ',':
+            token.kind = TokenKind::Comma;
+            return token;
+          case ';':
+            token.kind = TokenKind::Semicolon;
+            return token;
+          case ':':
+            token.kind = TokenKind::Colon;
+            return token;
+          case '.':
+            token.kind = TokenKind::Dot;
+            return token;
+          case '+':
+            token.kind = TokenKind::Plus;
+            return token;
+          case '-':
+            token.kind = TokenKind::Minus;
+            return token;
+          case '*':
+            token.kind = TokenKind::Star;
+            return token;
+          case '/':
+            token.kind = TokenKind::Slash;
+            return token;
+          case '%':
+            token.kind = TokenKind::Percent;
+            return token;
+          case '=':
+            if (peek() == '=') {
+                advance();
+                token.kind = TokenKind::EqEq;
+            } else {
+                token.kind = TokenKind::Assign;
+            }
+            return token;
+          case '!':
+            if (peek() == '=') {
+                advance();
+                token.kind = TokenKind::NotEq;
+            } else {
+                token.kind = TokenKind::Bang;
+            }
+            return token;
+          case '<':
+            if (peek() == '=') {
+                advance();
+                token.kind = TokenKind::LessEq;
+            } else {
+                token.kind = TokenKind::Less;
+            }
+            return token;
+          case '>':
+            if (peek() == '=') {
+                advance();
+                token.kind = TokenKind::GreaterEq;
+            } else {
+                token.kind = TokenKind::Greater;
+            }
+            return token;
+          case '&':
+            if (peek() == '&') {
+                advance();
+                token.kind = TokenKind::AndAnd;
+                return token;
+            }
+            fail("expected '&&'");
+          case '|':
+            if (peek() == '|') {
+                advance();
+                token.kind = TokenKind::OrOr;
+                return token;
+            }
+            fail("expected '||'");
+          default:
+            throw CompileError(
+                std::string("unexpected character '") + c + "'",
+                token.loc);
+        }
+    }
+
+    const std::string &_source;
+    size_t _pos = 0;
+    uint32_t _line = 1;
+    uint32_t _column = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace rapid::lang

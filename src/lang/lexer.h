@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The RAPID lexer.
+ *
+ * RAPID uses a C-like lexical grammar (§3): identifiers, decimal integer
+ * literals, character literals with C escapes (including \xHH for raw
+ * symbol values, §3.2), double-quoted string literals, and // and block
+ * comments.  ALL_INPUT and START_OF_INPUT are keyword character
+ * constants.
+ */
+#ifndef RAPID_LANG_LEXER_H
+#define RAPID_LANG_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace rapid::lang {
+
+/**
+ * Tokenize @p source.
+ *
+ * The returned vector always ends with an EndOfFile token.
+ * @throws rapid::CompileError with a source location on lexical errors.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_LEXER_H

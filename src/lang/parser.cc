@@ -1,0 +1,637 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace rapid::lang {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> tokens) : _tokens(std::move(tokens))
+    {
+    }
+
+    Program
+    parseProgram()
+    {
+        Program program;
+        bool have_network = false;
+        while (!at(TokenKind::EndOfFile)) {
+            if (at(TokenKind::KwMacro)) {
+                program.macros.push_back(parseMacro());
+            } else if (at(TokenKind::KwNetwork)) {
+                if (have_network) {
+                    fail("a RAPID program defines exactly one network");
+                }
+                program.network = parseNetwork();
+                have_network = true;
+            } else {
+                fail("expected 'macro' or 'network'");
+            }
+        }
+        if (!have_network)
+            fail("program has no network definition");
+        return program;
+    }
+
+    ExprPtr
+    parseSingleExpression()
+    {
+        auto expr = parseExpr();
+        expect(TokenKind::EndOfFile);
+        return expr;
+    }
+
+  private:
+    const Token &peek() const { return _tokens[_pos]; }
+
+    const Token &
+    peekAt(size_t ahead) const
+    {
+        size_t i = _pos + ahead;
+        return i < _tokens.size() ? _tokens[i] : _tokens.back();
+    }
+
+    bool at(TokenKind kind) const { return peek().kind == kind; }
+
+    Token
+    advance()
+    {
+        Token token = _tokens[_pos];
+        if (_pos + 1 < _tokens.size())
+            ++_pos;
+        return token;
+    }
+
+    bool
+    accept(TokenKind kind)
+    {
+        if (at(kind)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(TokenKind kind)
+    {
+        if (!at(kind)) {
+            fail(std::string("expected ") + tokenKindName(kind) +
+                 " but found " + tokenKindName(peek().kind));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw CompileError(msg, peek().loc);
+    }
+
+    bool
+    atTypeKeyword() const
+    {
+        switch (peek().kind) {
+          case TokenKind::KwInt:
+          case TokenKind::KwChar:
+          case TokenKind::KwBool:
+          case TokenKind::KwString:
+          case TokenKind::KwCounter:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    Type
+    parseType()
+    {
+        BaseType base;
+        switch (peek().kind) {
+          case TokenKind::KwInt:
+            base = BaseType::Int;
+            break;
+          case TokenKind::KwChar:
+            base = BaseType::Char;
+            break;
+          case TokenKind::KwBool:
+            base = BaseType::Bool;
+            break;
+          case TokenKind::KwString:
+            base = BaseType::String;
+            break;
+          case TokenKind::KwCounter:
+            base = BaseType::Counter;
+            break;
+          default:
+            fail("expected a type name");
+        }
+        advance();
+        int depth = 0;
+        while (at(TokenKind::LBracket) &&
+               peekAt(1).kind == TokenKind::RBracket) {
+            advance();
+            advance();
+            ++depth;
+        }
+        return Type(base, depth);
+    }
+
+    std::vector<Param>
+    parseParams()
+    {
+        std::vector<Param> params;
+        expect(TokenKind::LParen);
+        if (accept(TokenKind::RParen))
+            return params;
+        while (true) {
+            Param param;
+            param.loc = peek().loc;
+            param.type = parseType();
+            param.name = expect(TokenKind::Identifier).text;
+            params.push_back(std::move(param));
+            if (accept(TokenKind::RParen))
+                return params;
+            expect(TokenKind::Comma);
+        }
+    }
+
+    MacroDecl
+    parseMacro()
+    {
+        MacroDecl macro;
+        macro.loc = peek().loc;
+        expect(TokenKind::KwMacro);
+        macro.name = expect(TokenKind::Identifier).text;
+        macro.params = parseParams();
+        macro.body = parseBlockBody();
+        return macro;
+    }
+
+    MacroDecl
+    parseNetwork()
+    {
+        MacroDecl network;
+        network.loc = peek().loc;
+        expect(TokenKind::KwNetwork);
+        network.name = "network";
+        network.params = parseParams();
+        network.body = parseBlockBody();
+        return network;
+    }
+
+    std::vector<StmtPtr>
+    parseBlockBody()
+    {
+        expect(TokenKind::LBrace);
+        std::vector<StmtPtr> body;
+        while (!accept(TokenKind::RBrace)) {
+            if (at(TokenKind::EndOfFile))
+                fail("unterminated block");
+            body.push_back(parseStmt());
+        }
+        return body;
+    }
+
+    /** Wrap a single statement as a one-element body list. */
+    std::vector<StmtPtr>
+    parseBody()
+    {
+        std::vector<StmtPtr> body;
+        if (at(TokenKind::LBrace)) {
+            return parseBlockBody();
+        }
+        body.push_back(parseStmt());
+        return body;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind kind, SourceLoc loc)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = kind;
+        stmt->loc = loc;
+        return stmt;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        SourceLoc loc = peek().loc;
+        switch (peek().kind) {
+          case TokenKind::LBrace: {
+            auto stmt = makeStmt(StmtKind::Block, loc);
+            stmt->body = parseBlockBody();
+            return stmt;
+          }
+          case TokenKind::KwReport: {
+            advance();
+            expect(TokenKind::Semicolon);
+            return makeStmt(StmtKind::Report, loc);
+          }
+          case TokenKind::KwIf: {
+            advance();
+            auto stmt = makeStmt(StmtKind::If, loc);
+            expect(TokenKind::LParen);
+            stmt->expr = parseExpr();
+            expect(TokenKind::RParen);
+            stmt->body = parseBody();
+            if (accept(TokenKind::KwElse))
+                stmt->orelse = parseBody();
+            return stmt;
+          }
+          case TokenKind::KwWhile: {
+            advance();
+            auto stmt = makeStmt(StmtKind::While, loc);
+            expect(TokenKind::LParen);
+            stmt->expr = parseExpr();
+            expect(TokenKind::RParen);
+            if (accept(TokenKind::Semicolon))
+                return stmt; // empty body: while (...) ;
+            stmt->body = parseBody();
+            return stmt;
+          }
+          case TokenKind::KwForeach:
+          case TokenKind::KwSome: {
+            bool is_some = peek().kind == TokenKind::KwSome;
+            advance();
+            auto stmt = makeStmt(
+                is_some ? StmtKind::Some : StmtKind::Foreach, loc);
+            expect(TokenKind::LParen);
+            stmt->declType = parseType();
+            stmt->name = expect(TokenKind::Identifier).text;
+            expect(TokenKind::Colon);
+            stmt->expr = parseExpr();
+            expect(TokenKind::RParen);
+            stmt->body = parseBody();
+            return stmt;
+          }
+          case TokenKind::KwEither: {
+            advance();
+            auto stmt = makeStmt(StmtKind::Either, loc);
+            auto arm = makeStmt(StmtKind::Block, loc);
+            arm->body = parseBlockBody();
+            stmt->body.push_back(std::move(arm));
+            if (!at(TokenKind::KwOrelse))
+                fail("either requires at least one orelse block");
+            while (accept(TokenKind::KwOrelse)) {
+                auto next = makeStmt(StmtKind::Block, peek().loc);
+                next->body = parseBlockBody();
+                stmt->body.push_back(std::move(next));
+            }
+            return stmt;
+          }
+          case TokenKind::KwWhenever: {
+            advance();
+            auto stmt = makeStmt(StmtKind::Whenever, loc);
+            expect(TokenKind::LParen);
+            stmt->expr = parseExpr();
+            expect(TokenKind::RParen);
+            stmt->body = parseBody();
+            return stmt;
+          }
+          default:
+            break;
+        }
+
+        if (atTypeKeyword())
+            return parseVarDecl();
+
+        // Assignment or expression statement.
+        if (at(TokenKind::Identifier)) {
+            // Lookahead for "ID =", "ID [ ... ] =" handled by trying an
+            // assignment when the immediate next token is '=' (index
+            // assignments are parsed through the expression then
+            // rewritten).
+            if (peekAt(1).kind == TokenKind::Assign) {
+                auto stmt = makeStmt(StmtKind::Assign, loc);
+                auto target = std::make_unique<Expr>();
+                target->kind = ExprKind::Var;
+                target->loc = loc;
+                target->text = advance().text;
+                stmt->target = std::move(target);
+                expect(TokenKind::Assign);
+                stmt->expr = parseExpr();
+                expect(TokenKind::Semicolon);
+                return stmt;
+            }
+        }
+
+        auto stmt = makeStmt(StmtKind::Expr, loc);
+        stmt->expr = parseExpr();
+        if (at(TokenKind::Assign)) {
+            // Index assignment: lhs already parsed as an expression.
+            if (stmt->expr->kind != ExprKind::Index)
+                fail("invalid assignment target");
+            advance();
+            auto assign = makeStmt(StmtKind::Assign, loc);
+            assign->target = std::move(stmt->expr);
+            assign->expr = parseExpr();
+            expect(TokenKind::Semicolon);
+            return assign;
+        }
+        expect(TokenKind::Semicolon);
+        return stmt;
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        SourceLoc loc = peek().loc;
+        auto stmt = makeStmt(StmtKind::VarDecl, loc);
+        stmt->declType = parseType();
+        stmt->name = expect(TokenKind::Identifier).text;
+        if (accept(TokenKind::Assign))
+            stmt->expr = parseInitializer();
+        expect(TokenKind::Semicolon);
+        return stmt;
+    }
+
+    /** An initializer: an expression or a brace-delimited array. */
+    ExprPtr
+    parseInitializer()
+    {
+        if (!at(TokenKind::LBrace))
+            return parseExpr();
+        SourceLoc loc = peek().loc;
+        advance();
+        auto lit = std::make_unique<Expr>();
+        lit->kind = ExprKind::ArrayLit;
+        lit->loc = loc;
+        if (accept(TokenKind::RBrace))
+            return lit;
+        while (true) {
+            lit->args.push_back(parseInitializer());
+            if (accept(TokenKind::RBrace))
+                return lit;
+            expect(TokenKind::Comma);
+        }
+    }
+
+    ExprPtr
+    makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+    {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = ExprKind::Binary;
+        expr->bop = op;
+        expr->loc = loc;
+        expr->args.push_back(std::move(lhs));
+        expr->args.push_back(std::move(rhs));
+        return expr;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseOr();
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        auto lhs = parseAnd();
+        while (at(TokenKind::OrOr)) {
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(BinaryOp::Or, std::move(lhs), parseAnd(),
+                             loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        auto lhs = parseEquality();
+        while (at(TokenKind::AndAnd)) {
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(BinaryOp::And, std::move(lhs),
+                             parseEquality(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        auto lhs = parseRelational();
+        while (at(TokenKind::EqEq) || at(TokenKind::NotEq)) {
+            BinaryOp op = at(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(op, std::move(lhs), parseRelational(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        auto lhs = parseAdditive();
+        while (true) {
+            BinaryOp op;
+            switch (peek().kind) {
+              case TokenKind::Less:
+                op = BinaryOp::Lt;
+                break;
+              case TokenKind::LessEq:
+                op = BinaryOp::Le;
+                break;
+              case TokenKind::Greater:
+                op = BinaryOp::Gt;
+                break;
+              case TokenKind::GreaterEq:
+                op = BinaryOp::Ge;
+                break;
+              default:
+                return lhs;
+            }
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(op, std::move(lhs), parseAdditive(), loc);
+        }
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        auto lhs = parseMultiplicative();
+        while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+            BinaryOp op =
+                at(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(op, std::move(lhs), parseMultiplicative(),
+                             loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        auto lhs = parseUnary();
+        while (true) {
+            BinaryOp op;
+            switch (peek().kind) {
+              case TokenKind::Star:
+                op = BinaryOp::Mul;
+                break;
+              case TokenKind::Slash:
+                op = BinaryOp::Div;
+                break;
+              case TokenKind::Percent:
+                op = BinaryOp::Mod;
+                break;
+              default:
+                return lhs;
+            }
+            SourceLoc loc = advance().loc;
+            lhs = makeBinary(op, std::move(lhs), parseUnary(), loc);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(TokenKind::Bang) || at(TokenKind::Minus)) {
+            UnaryOp op =
+                at(TokenKind::Bang) ? UnaryOp::Not : UnaryOp::Neg;
+            SourceLoc loc = advance().loc;
+            auto expr = std::make_unique<Expr>();
+            expr->kind = ExprKind::Unary;
+            expr->uop = op;
+            expr->loc = loc;
+            expr->args.push_back(parseUnary());
+            return expr;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        auto expr = parsePrimary();
+        while (true) {
+            if (at(TokenKind::LBracket)) {
+                SourceLoc loc = advance().loc;
+                auto index = std::make_unique<Expr>();
+                index->kind = ExprKind::Index;
+                index->loc = loc;
+                index->args.push_back(std::move(expr));
+                index->args.push_back(parseExpr());
+                expect(TokenKind::RBracket);
+                expr = std::move(index);
+            } else if (at(TokenKind::Dot)) {
+                SourceLoc loc = advance().loc;
+                auto method = std::make_unique<Expr>();
+                method->kind = ExprKind::Method;
+                method->loc = loc;
+                method->text = expect(TokenKind::Identifier).text;
+                method->args.push_back(std::move(expr));
+                expect(TokenKind::LParen);
+                if (!accept(TokenKind::RParen)) {
+                    while (true) {
+                        method->args.push_back(parseExpr());
+                        if (accept(TokenKind::RParen))
+                            break;
+                        expect(TokenKind::Comma);
+                    }
+                }
+                expr = std::move(method);
+            } else {
+                return expr;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        SourceLoc loc = peek().loc;
+        auto expr = std::make_unique<Expr>();
+        expr->loc = loc;
+        switch (peek().kind) {
+          case TokenKind::IntLiteral:
+            expr->kind = ExprKind::IntLit;
+            expr->intValue = advance().intValue;
+            return expr;
+          case TokenKind::CharLiteral:
+            expr->kind = ExprKind::CharLit;
+            expr->charValue =
+                CharSpec{CharSpec::Kind::Literal, advance().charValue};
+            return expr;
+          case TokenKind::StringLiteral:
+            expr->kind = ExprKind::StringLit;
+            expr->text = advance().text;
+            return expr;
+          case TokenKind::KwTrue:
+            advance();
+            expr->kind = ExprKind::BoolLit;
+            expr->boolValue = true;
+            return expr;
+          case TokenKind::KwFalse:
+            advance();
+            expr->kind = ExprKind::BoolLit;
+            expr->boolValue = false;
+            return expr;
+          case TokenKind::KwAllInput:
+            advance();
+            expr->kind = ExprKind::CharLit;
+            expr->charValue = CharSpec{CharSpec::Kind::AllInput, 0};
+            return expr;
+          case TokenKind::KwStartOfInput:
+            advance();
+            expr->kind = ExprKind::CharLit;
+            expr->charValue = CharSpec{CharSpec::Kind::StartOfInput,
+                                       kStartOfInputSymbol};
+            return expr;
+          case TokenKind::Identifier: {
+            std::string name = advance().text;
+            if (at(TokenKind::LParen)) {
+                advance();
+                expr->kind = ExprKind::Call;
+                expr->text = std::move(name);
+                if (!accept(TokenKind::RParen)) {
+                    while (true) {
+                        expr->args.push_back(parseExpr());
+                        if (accept(TokenKind::RParen))
+                            break;
+                        expect(TokenKind::Comma);
+                    }
+                }
+                return expr;
+            }
+            expr->kind = ExprKind::Var;
+            expr->text = std::move(name);
+            return expr;
+          }
+          case TokenKind::LParen: {
+            advance();
+            auto inner = parseExpr();
+            expect(TokenKind::RParen);
+            return inner;
+          }
+          default:
+            fail(std::string("expected an expression, found ") +
+                 tokenKindName(peek().kind));
+        }
+    }
+
+    std::vector<Token> _tokens;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &source)
+{
+    return Parser(tokenize(source)).parseProgram();
+}
+
+ExprPtr
+parseExpression(const std::string &source)
+{
+    return Parser(tokenize(source)).parseSingleExpression();
+}
+
+} // namespace rapid::lang

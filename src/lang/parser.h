@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Recursive-descent parser for RAPID.
+ *
+ * Grammar (C-like, §3):
+ *
+ *   program   := macro* network macro*
+ *   macro     := 'macro' ID '(' params? ')' block
+ *   network   := 'network' '(' params? ')' block
+ *   params    := type ID (',' type ID)*
+ *   type      := base ('[' ']')*       base := char|int|bool|String|Counter
+ *   block     := '{' stmt* '}'
+ *   stmt      := type ID ('=' init)? ';'            (declaration)
+ *              | ID '=' expr ';' | ID '[' e ']' '=' expr ';'  (assignment)
+ *              | expr ';'                           (expression/assertion)
+ *              | 'report' ';'
+ *              | 'if' '(' expr ')' stmt ('else' stmt)?
+ *              | 'while' '(' expr ')' stmt
+ *              | 'foreach' '(' type ID ':' expr ')' stmt
+ *              | 'some'    '(' type ID ':' expr ')' stmt
+ *              | 'either' block ('orelse' block)+
+ *              | 'whenever' '(' expr ')' stmt
+ *              | block
+ *   init      := expr | '{' init (',' init)* '}'    (array literal)
+ *
+ * Expression precedence (low to high): || , && , ==/!= , relational,
+ * additive, multiplicative, unary (!, -), postfix (call, index, method),
+ * primary.
+ */
+#ifndef RAPID_LANG_PARSER_H
+#define RAPID_LANG_PARSER_H
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace rapid::lang {
+
+/**
+ * Parse RAPID source text into a Program.
+ *
+ * @throws rapid::CompileError with source locations on syntax errors,
+ * including when the program lacks a network or defines more than one.
+ */
+Program parseProgram(const std::string &source);
+
+/** Parse a single expression (used by tests and the REPL tooling). */
+ExprPtr parseExpression(const std::string &source);
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_PARSER_H

@@ -1,0 +1,368 @@
+#include "lang/printer.h"
+
+#include "support/strings.h"
+
+namespace rapid::lang {
+
+namespace {
+
+/** Operator precedence for minimal parenthesization. */
+int
+precedence(const Expr &expr)
+{
+    if (expr.kind == ExprKind::Unary)
+        return 7;
+    if (expr.kind != ExprKind::Binary)
+        return 8; // primary/postfix
+    switch (expr.bop) {
+      case BinaryOp::Or:
+        return 1;
+      case BinaryOp::And:
+        return 2;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        return 3;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return 4;
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+        return 5;
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Mod:
+        return 6;
+    }
+    return 8;
+}
+
+const char *
+opSpelling(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Or:
+        return "||";
+      case BinaryOp::And:
+        return "&&";
+      case BinaryOp::Eq:
+        return "==";
+      case BinaryOp::Ne:
+        return "!=";
+      case BinaryOp::Lt:
+        return "<";
+      case BinaryOp::Le:
+        return "<=";
+      case BinaryOp::Gt:
+        return ">";
+      case BinaryOp::Ge:
+        return ">=";
+      case BinaryOp::Add:
+        return "+";
+      case BinaryOp::Sub:
+        return "-";
+      case BinaryOp::Mul:
+        return "*";
+      case BinaryOp::Div:
+        return "/";
+      case BinaryOp::Mod:
+        return "%";
+    }
+    return "?";
+}
+
+/** Print @p child parenthesized when looser than the context. */
+std::string
+childExpr(const Expr &child, int context)
+{
+    std::string text = printExpr(child);
+    if (precedence(child) < context)
+        return "(" + text + ")";
+    return text;
+}
+
+std::string
+indentStr(int indent)
+{
+    return std::string(static_cast<size_t>(indent) * 4, ' ');
+}
+
+std::string
+printBody(const std::vector<StmtPtr> &body, int indent)
+{
+    std::string out = "{\n";
+    for (const StmtPtr &stmt : body)
+        out += printStmt(*stmt, indent + 1);
+    out += indentStr(indent) + "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &expr)
+{
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return std::to_string(expr.intValue);
+      case ExprKind::BoolLit:
+        return expr.boolValue ? "true" : "false";
+      case ExprKind::CharLit:
+        switch (expr.charValue.kind) {
+          case CharSpec::Kind::AllInput:
+            return "ALL_INPUT";
+          case CharSpec::Kind::StartOfInput:
+            return "START_OF_INPUT";
+          case CharSpec::Kind::Literal:
+            return "'" + escapeByte(expr.charValue.value) + "'";
+        }
+        return "'?'";
+      case ExprKind::StringLit:
+        return "\"" + escapeString(expr.text) + "\"";
+      case ExprKind::ArrayLit: {
+        std::string out = "{";
+        for (size_t i = 0; i < expr.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += printExpr(*expr.args[i]);
+        }
+        return out + "}";
+      }
+      case ExprKind::Var:
+        return expr.text;
+      case ExprKind::Index:
+        return childExpr(*expr.args[0], 8) + "[" +
+               printExpr(*expr.args[1]) + "]";
+      case ExprKind::Unary:
+        return (expr.uop == UnaryOp::Not ? "!" : "-") +
+               childExpr(*expr.args[0], 7);
+      case ExprKind::Binary: {
+        int level = precedence(expr);
+        // Left-associative: the right child needs parens at equal
+        // precedence.
+        return childExpr(*expr.args[0], level) + " " +
+               opSpelling(expr.bop) + " " +
+               childExpr(*expr.args[1], level + 1);
+      }
+      case ExprKind::Call: {
+        std::string out = expr.text + "(";
+        for (size_t i = 0; i < expr.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += printExpr(*expr.args[i]);
+        }
+        return out + ")";
+      }
+      case ExprKind::Method: {
+        std::string out =
+            childExpr(*expr.args[0], 8) + "." + expr.text + "(";
+        for (size_t i = 1; i < expr.args.size(); ++i) {
+            if (i > 1)
+                out += ", ";
+            out += printExpr(*expr.args[i]);
+        }
+        return out + ")";
+      }
+    }
+    return "?";
+}
+
+std::string
+printStmt(const Stmt &stmt, int indent)
+{
+    std::string pad = indentStr(indent);
+    switch (stmt.kind) {
+      case StmtKind::VarDecl: {
+        std::string out = pad + stmt.declType.str() + " " + stmt.name;
+        if (stmt.expr)
+            out += " = " + printExpr(*stmt.expr);
+        return out + ";\n";
+      }
+      case StmtKind::Assign:
+        return pad + printExpr(*stmt.target) + " = " +
+               printExpr(*stmt.expr) + ";\n";
+      case StmtKind::Expr:
+        return pad + printExpr(*stmt.expr) + ";\n";
+      case StmtKind::Report:
+        return pad + "report;\n";
+      case StmtKind::If: {
+        std::string out = pad + "if (" + printExpr(*stmt.expr) + ") " +
+                          printBody(stmt.body, indent);
+        if (!stmt.orelse.empty())
+            out += " else " + printBody(stmt.orelse, indent);
+        return out + "\n";
+      }
+      case StmtKind::While:
+        if (stmt.body.empty()) {
+            return pad + "while (" + printExpr(*stmt.expr) + ");\n";
+        }
+        return pad + "while (" + printExpr(*stmt.expr) + ") " +
+               printBody(stmt.body, indent) + "\n";
+      case StmtKind::Foreach:
+      case StmtKind::Some: {
+        const char *keyword =
+            stmt.kind == StmtKind::Foreach ? "foreach" : "some";
+        return pad + keyword + " (" + stmt.declType.str() + " " +
+               stmt.name + " : " + printExpr(*stmt.expr) + ") " +
+               printBody(stmt.body, indent) + "\n";
+      }
+      case StmtKind::Either: {
+        std::string out = pad + "either ";
+        for (size_t i = 0; i < stmt.body.size(); ++i) {
+            if (i)
+                out += " orelse ";
+            out += printBody(stmt.body[i]->body, indent);
+        }
+        return out + "\n";
+      }
+      case StmtKind::Whenever:
+        return pad + "whenever (" + printExpr(*stmt.expr) + ") " +
+               printBody(stmt.body, indent) + "\n";
+      case StmtKind::Block:
+        return pad + printBody(stmt.body, indent) + "\n";
+    }
+    return pad + "?;\n";
+}
+
+namespace {
+
+std::string
+printMacro(const MacroDecl &macro, bool is_network)
+{
+    std::string out =
+        is_network ? "network (" : "macro " + macro.name + "(";
+    for (size_t i = 0; i < macro.params.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += macro.params[i].type.str() + " " + macro.params[i].name;
+    }
+    out += ") {\n";
+    for (const StmtPtr &stmt : macro.body)
+        out += printStmt(*stmt, 1);
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+printProgram(const Program &program)
+{
+    std::string out;
+    for (const MacroDecl &macro : program.macros) {
+        out += printMacro(macro, false);
+        out += "\n";
+    }
+    out += printMacro(program.network, true);
+    return out;
+}
+
+bool
+sameExpr(const Expr &a, const Expr &b)
+{
+    if (a.kind != b.kind || a.args.size() != b.args.size())
+        return false;
+    switch (a.kind) {
+      case ExprKind::IntLit:
+        if (a.intValue != b.intValue)
+            return false;
+        break;
+      case ExprKind::BoolLit:
+        if (a.boolValue != b.boolValue)
+            return false;
+        break;
+      case ExprKind::CharLit:
+        if (!(a.charValue == b.charValue))
+            return false;
+        break;
+      case ExprKind::StringLit:
+      case ExprKind::Var:
+      case ExprKind::Call:
+      case ExprKind::Method:
+        if (a.text != b.text)
+            return false;
+        break;
+      case ExprKind::Unary:
+        if (a.uop != b.uop)
+            return false;
+        break;
+      case ExprKind::Binary:
+        if (a.bop != b.bop)
+            return false;
+        break;
+      case ExprKind::ArrayLit:
+      case ExprKind::Index:
+        break;
+    }
+    for (size_t i = 0; i < a.args.size(); ++i) {
+        if (!sameExpr(*a.args[i], *b.args[i]))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+sameBody(const std::vector<StmtPtr> &a, const std::vector<StmtPtr> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (!sameStmt(*a[i], *b[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sameStmt(const Stmt &a, const Stmt &b)
+{
+    if (a.kind != b.kind || a.name != b.name ||
+        !(a.declType == b.declType)) {
+        return false;
+    }
+    if ((a.expr == nullptr) != (b.expr == nullptr))
+        return false;
+    if (a.expr && !sameExpr(*a.expr, *b.expr))
+        return false;
+    if ((a.target == nullptr) != (b.target == nullptr))
+        return false;
+    if (a.target && !sameExpr(*a.target, *b.target))
+        return false;
+    return sameBody(a.body, b.body) && sameBody(a.orelse, b.orelse);
+}
+
+bool
+sameAst(const Program &a, const Program &b)
+{
+    if (a.macros.size() != b.macros.size())
+        return false;
+    for (size_t i = 0; i < a.macros.size(); ++i) {
+        const MacroDecl &ma = a.macros[i];
+        const MacroDecl &mb = b.macros[i];
+        if (ma.name != mb.name ||
+            ma.params.size() != mb.params.size())
+            return false;
+        for (size_t p = 0; p < ma.params.size(); ++p) {
+            if (ma.params[p].name != mb.params[p].name ||
+                !(ma.params[p].type == mb.params[p].type))
+                return false;
+        }
+        if (!sameBody(ma.body, mb.body))
+            return false;
+    }
+    if (a.network.params.size() != b.network.params.size())
+        return false;
+    for (size_t p = 0; p < a.network.params.size(); ++p) {
+        if (a.network.params[p].name != b.network.params[p].name ||
+            !(a.network.params[p].type == b.network.params[p].type))
+            return false;
+    }
+    return sameBody(a.network.body, b.network.body);
+}
+
+} // namespace rapid::lang

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * RAPID source pretty-printer.
+ *
+ * Renders an AST back to canonical RAPID source.  Used by tooling (the
+ * compiler's diagnostics, program transformations) and by the test
+ * suite's parse → print → parse round-trip property: printing and
+ * re-parsing a program must yield a structurally identical AST.
+ */
+#ifndef RAPID_LANG_PRINTER_H
+#define RAPID_LANG_PRINTER_H
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace rapid::lang {
+
+/** Render a whole program as canonical RAPID source. */
+std::string printProgram(const Program &program);
+
+/** Render a single expression (fully parenthesized where needed). */
+std::string printExpr(const Expr &expr);
+
+/** Render a single statement at the given indentation depth. */
+std::string printStmt(const Stmt &stmt, int indent = 0);
+
+/**
+ * Structural AST equality (ignores source locations and type
+ * annotations) — the round-trip test's comparison.
+ */
+bool sameAst(const Program &a, const Program &b);
+bool sameExpr(const Expr &a, const Expr &b);
+bool sameStmt(const Stmt &a, const Stmt &b);
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_PRINTER_H

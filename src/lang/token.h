@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Token definitions for the RAPID lexer.
+ */
+#ifndef RAPID_LANG_TOKEN_H
+#define RAPID_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace rapid::lang {
+
+enum class TokenKind {
+    // Literals and identifiers.
+    Identifier,
+    IntLiteral,
+    CharLiteral,
+    StringLiteral,
+
+    // Keywords.
+    KwMacro,
+    KwNetwork,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwForeach,
+    KwSome,
+    KwEither,
+    KwOrelse,
+    KwWhenever,
+    KwReport,
+    KwInt,
+    KwChar,
+    KwBool,
+    KwString,
+    KwCounter,
+    KwTrue,
+    KwFalse,
+    KwAllInput,
+    KwStartOfInput,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+    Assign,
+    EqEq,
+    NotEq,
+    Less,
+    LessEq,
+    Greater,
+    GreaterEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+
+    EndOfFile,
+};
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    SourceLoc loc;
+    /** Identifier or string-literal text. */
+    std::string text;
+    /** Integer literal value. */
+    int64_t intValue = 0;
+    /** Character literal value. */
+    unsigned char charValue = 0;
+};
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_TOKEN_H

@@ -1,0 +1,452 @@
+#include "lang/typecheck.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rapid::lang {
+
+namespace {
+
+class TypeChecker {
+  public:
+    explicit TypeChecker(Program &program) : _program(program) {}
+
+    void
+    run()
+    {
+        for (MacroDecl &macro : _program.macros) {
+            if (_program.network.name == macro.name) {
+                throw CompileError("macro '" + macro.name +
+                                       "' shadows the network",
+                                   macro.loc);
+            }
+            checkMacro(macro);
+        }
+        checkMacro(_program.network);
+    }
+
+  private:
+    [[noreturn]] static void
+    fail(const std::string &msg, SourceLoc loc)
+    {
+        throw CompileError(msg, loc);
+    }
+
+    void
+    checkMacro(MacroDecl &macro)
+    {
+        _scopes.clear();
+        pushScope();
+        for (const Param &param : macro.params) {
+            if (param.type.runtime() || param.type.base == BaseType::Void)
+                fail("invalid parameter type", param.loc);
+            declare(param.name, param.type, param.loc);
+        }
+        for (StmtPtr &stmt : macro.body)
+            checkStmt(*stmt);
+        popScope();
+    }
+
+    void pushScope() { _scopes.emplace_back(); }
+    void popScope() { _scopes.pop_back(); }
+
+    void
+    declare(const std::string &name, Type type, SourceLoc loc)
+    {
+        if (_scopes.back().count(name))
+            fail("redefinition of '" + name + "'", loc);
+        if (_program.findMacro(name) != nullptr)
+            fail("'" + name + "' shadows a macro", loc);
+        _scopes.back().emplace(name, type);
+    }
+
+    const Type *
+    lookup(const std::string &name) const
+    {
+        for (auto it = _scopes.rbegin(); it != _scopes.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    /// Statement checking -------------------------------------------------
+
+    void
+    checkBody(std::vector<StmtPtr> &body)
+    {
+        pushScope();
+        for (StmtPtr &stmt : body)
+            checkStmt(*stmt);
+        popScope();
+    }
+
+    void
+    checkCondition(Expr &cond, bool allow_bool)
+    {
+        Type type = checkExpr(cond);
+        if (type == Type::automataT() || type == Type::counterExprT())
+            return;
+        if (allow_bool && type == Type::boolT())
+            return;
+        fail("condition has type " + type.str() +
+                 (allow_bool ? "; expected bool, input comparison, or "
+                               "counter check"
+                             : "; expected input comparison or counter "
+                               "check"),
+             cond.loc);
+    }
+
+    void
+    checkStmt(Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case StmtKind::VarDecl: {
+            Type declared = stmt.declType;
+            if (declared.base == BaseType::Counter && declared.isArray())
+                fail("Counter arrays are not supported", stmt.loc);
+            if (stmt.expr) {
+                if (declared.base == BaseType::Counter) {
+                    fail("Counter variables cannot be initialized",
+                         stmt.loc);
+                }
+                Type init = checkInitializer(*stmt.expr, declared);
+                if (!(init == declared)) {
+                    fail("cannot initialize " + declared.str() +
+                             " from " + init.str(),
+                         stmt.loc);
+                }
+            } else if (declared.isArray()) {
+                fail("array variable '" + stmt.name +
+                         "' requires an initializer",
+                     stmt.loc);
+            }
+            declare(stmt.name, declared, stmt.loc);
+            return;
+          }
+          case StmtKind::Assign: {
+            Type target = checkExpr(*stmt.target);
+            if (stmt.target->kind != ExprKind::Var &&
+                stmt.target->kind != ExprKind::Index)
+                fail("invalid assignment target", stmt.loc);
+            if (target.base == BaseType::Counter)
+                fail("Counter variables cannot be assigned", stmt.loc);
+            Type value = checkExpr(*stmt.expr);
+            if (!(value == target)) {
+                fail("cannot assign " + value.str() + " to " +
+                         target.str(),
+                     stmt.loc);
+            }
+            return;
+          }
+          case StmtKind::Expr: {
+            Type type = checkExpr(*stmt.expr);
+            if (type == Type::automataT() ||
+                type == Type::counterExprT() || type == Type::boolT() ||
+                type == Type::voidT()) {
+                return;
+            }
+            fail("expression statement has type " + type.str() +
+                     "; only boolean assertions and calls are "
+                     "meaningful",
+                 stmt.loc);
+          }
+          case StmtKind::Report:
+            return;
+          case StmtKind::If:
+            checkCondition(*stmt.expr, /*allow_bool=*/true);
+            checkBody(stmt.body);
+            checkBody(stmt.orelse);
+            return;
+          case StmtKind::While:
+            checkCondition(*stmt.expr, /*allow_bool=*/true);
+            checkBody(stmt.body);
+            return;
+          case StmtKind::Foreach:
+          case StmtKind::Some: {
+            Type iterable = checkExpr(*stmt.expr);
+            if (!iterable.iterable()) {
+                fail("cannot iterate over " + iterable.str(),
+                     stmt.expr->loc);
+            }
+            Type element = iterable.element();
+            if (!(element == stmt.declType)) {
+                fail("loop variable type " + stmt.declType.str() +
+                         " does not match element type " + element.str(),
+                     stmt.loc);
+            }
+            pushScope();
+            declare(stmt.name, stmt.declType, stmt.loc);
+            for (StmtPtr &inner : stmt.body)
+                checkStmt(*inner);
+            popScope();
+            return;
+          }
+          case StmtKind::Either:
+            for (StmtPtr &arm : stmt.body)
+                checkBody(arm->body);
+            return;
+          case StmtKind::Whenever:
+            checkCondition(*stmt.expr, /*allow_bool=*/false);
+            checkBody(stmt.body);
+            return;
+          case StmtKind::Block:
+            checkBody(stmt.body);
+            return;
+        }
+    }
+
+    /// Expression checking ------------------------------------------------
+
+    Type
+    checkInitializer(Expr &expr, Type expected)
+    {
+        if (expr.kind != ExprKind::ArrayLit)
+            return checkExpr(expr);
+        if (!expected.isArray())
+            fail("array literal initializing non-array", expr.loc);
+        Type element = expected.element();
+        for (ExprPtr &item : expr.args) {
+            Type got = checkInitializer(*item, element);
+            if (!(got == element)) {
+                fail("array element has type " + got.str() +
+                         "; expected " + element.str(),
+                     item->loc);
+            }
+        }
+        expr.type = expected;
+        return expected;
+    }
+
+    Type
+    annotate(Expr &expr, Type type)
+    {
+        expr.type = type;
+        return type;
+    }
+
+    Type
+    checkExpr(Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::IntLit:
+            return annotate(expr, Type::intT());
+          case ExprKind::CharLit:
+            return annotate(expr, Type::charT());
+          case ExprKind::BoolLit:
+            return annotate(expr, Type::boolT());
+          case ExprKind::StringLit:
+            return annotate(expr, Type::stringT());
+          case ExprKind::ArrayLit:
+            fail("array literals are only allowed in initializers",
+                 expr.loc);
+          case ExprKind::Var: {
+            const Type *type = lookup(expr.text);
+            if (type == nullptr)
+                fail("undefined variable '" + expr.text + "'", expr.loc);
+            return annotate(expr, *type);
+          }
+          case ExprKind::Index: {
+            Type base = checkExpr(*expr.args[0]);
+            if (!base.iterable())
+                fail("cannot index " + base.str(), expr.loc);
+            Type index = checkExpr(*expr.args[1]);
+            if (!(index == Type::intT()))
+                fail("index must be an int", expr.args[1]->loc);
+            return annotate(expr, base.element());
+          }
+          case ExprKind::Unary:
+            return checkUnary(expr);
+          case ExprKind::Binary:
+            return checkBinary(expr);
+          case ExprKind::Call:
+            return checkCall(expr);
+          case ExprKind::Method:
+            return checkMethod(expr);
+        }
+        fail("unhandled expression", expr.loc);
+    }
+
+    Type
+    checkUnary(Expr &expr)
+    {
+        Type operand = checkExpr(*expr.args[0]);
+        if (expr.uop == UnaryOp::Neg) {
+            if (!(operand == Type::intT()))
+                fail("unary '-' requires an int", expr.loc);
+            return annotate(expr, Type::intT());
+        }
+        // UnaryOp::Not
+        if (operand == Type::boolT() || operand == Type::automataT() ||
+            operand == Type::counterExprT()) {
+            return annotate(expr, operand);
+        }
+        fail("'!' requires bool, input comparison, or counter check",
+             expr.loc);
+    }
+
+    static bool
+    isComparison(BinaryOp op)
+    {
+        switch (op) {
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    Type
+    checkBinary(Expr &expr)
+    {
+        Type lhs = checkExpr(*expr.args[0]);
+        Type rhs = checkExpr(*expr.args[1]);
+        BinaryOp op = expr.bop;
+
+        if (op == BinaryOp::And || op == BinaryOp::Or) {
+            auto logical = [](Type t) {
+                return t == Type::boolT() || t == Type::automataT();
+            };
+            if (lhs == Type::counterExprT() || rhs == Type::counterExprT())
+                fail("counter checks cannot be combined with && or || "
+                     "(one threshold per counter, Table 2)",
+                     expr.loc);
+            if (!logical(lhs) || !logical(rhs))
+                fail("'&&'/'||' require boolean operands", expr.loc);
+            if (lhs == Type::automataT() || rhs == Type::automataT())
+                return annotate(expr, Type::automataT());
+            return annotate(expr, Type::boolT());
+        }
+
+        if (isComparison(op)) {
+            // Stream comparisons.
+            bool lhs_stream = lhs == Type::streamT();
+            bool rhs_stream = rhs == Type::streamT();
+            if (lhs_stream || rhs_stream) {
+                if (lhs_stream && rhs_stream) {
+                    fail("input() cannot be compared against input()",
+                         expr.loc);
+                }
+                if (op != BinaryOp::Eq && op != BinaryOp::Ne) {
+                    fail("input() supports only == and != comparisons",
+                         expr.loc);
+                }
+                Type other = lhs_stream ? rhs : lhs;
+                if (!(other == Type::charT())) {
+                    fail("input() must be compared against a char, not " +
+                             other.str(),
+                         expr.loc);
+                }
+                return annotate(expr, Type::automataT());
+            }
+            // Counter comparisons.
+            bool lhs_counter = lhs == Type::counterT();
+            bool rhs_counter = rhs == Type::counterT();
+            if (lhs_counter || rhs_counter) {
+                if (lhs_counter && rhs_counter)
+                    fail("cannot compare two Counters", expr.loc);
+                Type other = lhs_counter ? rhs : lhs;
+                if (!(other == Type::intT())) {
+                    fail("Counter must be compared against an int",
+                         expr.loc);
+                }
+                return annotate(expr, Type::counterExprT());
+            }
+            // Compile-time comparisons.
+            if (!(lhs == rhs))
+                fail("cannot compare " + lhs.str() + " with " + rhs.str(),
+                     expr.loc);
+            if (lhs.isArray())
+                fail("arrays cannot be compared", expr.loc);
+            if (lhs == Type::boolT() &&
+                (op != BinaryOp::Eq && op != BinaryOp::Ne))
+                fail("bools support only == and !=", expr.loc);
+            if (lhs.base == BaseType::Automata)
+                fail("input comparisons cannot be compared", expr.loc);
+            return annotate(expr, Type::boolT());
+        }
+
+        // Arithmetic.
+        if (lhs == Type::stringT() && rhs == Type::stringT() &&
+            op == BinaryOp::Add) {
+            return annotate(expr, Type::stringT());
+        }
+        if (!(lhs == Type::intT()) || !(rhs == Type::intT()))
+            fail("arithmetic requires int operands", expr.loc);
+        return annotate(expr, Type::intT());
+    }
+
+    Type
+    checkCall(Expr &expr)
+    {
+        if (expr.text == "input") {
+            if (!expr.args.empty())
+                fail("input() takes no arguments", expr.loc);
+            return annotate(expr, Type::streamT());
+        }
+        const MacroDecl *macro = _program.findMacro(expr.text);
+        if (macro == nullptr)
+            fail("call to undefined macro '" + expr.text + "'", expr.loc);
+        if (expr.args.size() != macro->params.size()) {
+            fail("macro '" + expr.text + "' expects " +
+                     std::to_string(macro->params.size()) +
+                     " arguments, got " + std::to_string(expr.args.size()),
+                 expr.loc);
+        }
+        for (size_t i = 0; i < expr.args.size(); ++i) {
+            Type got = checkExpr(*expr.args[i]);
+            if (!(got == macro->params[i].type)) {
+                fail("argument " + std::to_string(i + 1) + " of '" +
+                         expr.text + "' has type " + got.str() +
+                         "; expected " + macro->params[i].type.str(),
+                     expr.args[i]->loc);
+            }
+        }
+        return annotate(expr, Type::voidT());
+    }
+
+    Type
+    checkMethod(Expr &expr)
+    {
+        Type receiver = checkExpr(*expr.args[0]);
+        const std::string &name = expr.text;
+        size_t argc = expr.args.size() - 1;
+        if (receiver == Type::counterT()) {
+            if (name == "count" || name == "reset") {
+                if (argc != 0)
+                    fail(name + "() takes no arguments", expr.loc);
+                return annotate(expr, Type::voidT());
+            }
+            fail("Counter has no method '" + name + "'", expr.loc);
+        }
+        if (receiver.iterable()) {
+            if (name == "length") {
+                if (argc != 0)
+                    fail("length() takes no arguments", expr.loc);
+                return annotate(expr, Type::intT());
+            }
+            fail(receiver.str() + " has no method '" + name + "'",
+                 expr.loc);
+        }
+        fail("type " + receiver.str() + " has no methods", expr.loc);
+    }
+
+    Program &_program;
+    std::vector<std::unordered_map<std::string, Type>> _scopes;
+};
+
+} // namespace
+
+void
+typeCheck(Program &program)
+{
+    TypeChecker(program).run();
+}
+
+} // namespace rapid::lang

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * RAPID type checking and staging annotation (§5).
+ *
+ * The checker validates a parsed Program and annotates every expression
+ * with its type.  Types drive the staged-computation split: expressions
+ * typed Automata or CounterExpr are lowered to device structures by the
+ * code generator; all other expressions are evaluated at compile time.
+ *
+ * Key rules:
+ *  - input() has the internal Stream type and may appear only as an
+ *    operand of == or != against a char (yielding Automata);
+ *  - Counter compared against int yields CounterExpr; CounterExpr
+ *    cannot be combined with &&/|| (Table 2 supports one threshold per
+ *    counter), but may be negated (the comparison flips);
+ *  - &&, || and ! over Automata (or a mix of Automata and compile-time
+ *    bool) stay Automata;
+ *  - conditions of if/while may be Bool, Automata, or CounterExpr;
+ *    whenever guards must be Automata or CounterExpr;
+ *  - expression statements must be Automata, CounterExpr, Bool
+ *    (compile-time assertion), or void (calls).
+ */
+#ifndef RAPID_LANG_TYPECHECK_H
+#define RAPID_LANG_TYPECHECK_H
+
+#include "lang/ast.h"
+
+namespace rapid::lang {
+
+/**
+ * Type-check @p program in place (annotating Expr::type).
+ *
+ * @throws rapid::CompileError on the first violation.
+ */
+void typeCheck(Program &program);
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_TYPECHECK_H

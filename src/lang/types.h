@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The RAPID type system, including the staging annotations of §5.
+ *
+ * RAPID exposes five surface types (§3.2): char, int, bool, String, and
+ * Counter, plus nested arrays of these.  During type checking every
+ * expression is annotated with its type; three *internal* types drive
+ * the staged-computation split:
+ *
+ *  - Stream: the value of input() itself — may only appear as an operand
+ *    of ==/!= against a char;
+ *  - Automata: an input-stream comparison (or a boolean combination of
+ *    them) — compiled to STE structures and executed on the device;
+ *  - CounterExpr: a Counter-vs-int threshold comparison — compiled to
+ *    counter/boolean elements per Table 2.
+ *
+ * Everything else is resolved at compile time on the host.
+ */
+#ifndef RAPID_LANG_TYPES_H
+#define RAPID_LANG_TYPES_H
+
+#include <string>
+
+namespace rapid::lang {
+
+enum class BaseType {
+    Char,
+    Int,
+    Bool,
+    String,
+    Counter,
+    Void,
+    /** The privileged input stream (result of input()). */
+    Stream,
+    /** A runtime input comparison; executes on the device. */
+    Automata,
+    /** A runtime counter threshold check; executes on the device. */
+    CounterExpr,
+    /** Error recovery placeholder. */
+    Error,
+};
+
+/** A RAPID type: a base type plus an array nesting depth. */
+struct Type {
+    BaseType base = BaseType::Error;
+    /** Number of array layers, e.g. String[] has depth 1. */
+    int arrayDepth = 0;
+
+    constexpr Type() = default;
+    constexpr Type(BaseType b, int depth = 0) : base(b), arrayDepth(depth)
+    {
+    }
+
+    static constexpr Type charT() { return {BaseType::Char}; }
+    static constexpr Type intT() { return {BaseType::Int}; }
+    static constexpr Type boolT() { return {BaseType::Bool}; }
+    static constexpr Type stringT() { return {BaseType::String}; }
+    static constexpr Type counterT() { return {BaseType::Counter}; }
+    static constexpr Type voidT() { return {BaseType::Void}; }
+    static constexpr Type streamT() { return {BaseType::Stream}; }
+    static constexpr Type automataT() { return {BaseType::Automata}; }
+    static constexpr Type counterExprT() { return {BaseType::CounterExpr}; }
+    static constexpr Type errorT() { return {BaseType::Error}; }
+
+    constexpr bool isArray() const { return arrayDepth > 0; }
+
+    /** The element type when indexing (String yields char). */
+    constexpr Type
+    element() const
+    {
+        if (arrayDepth > 0)
+            return {base, arrayDepth - 1};
+        if (base == BaseType::String)
+            return charT();
+        return errorT();
+    }
+
+    /** True for types iterable by foreach/some. */
+    constexpr bool
+    iterable() const
+    {
+        return isArray() || base == BaseType::String;
+    }
+
+    /** True for the internal, device-executed types. */
+    constexpr bool
+    runtime() const
+    {
+        return !isArray() && (base == BaseType::Automata ||
+                              base == BaseType::CounterExpr ||
+                              base == BaseType::Stream);
+    }
+
+    friend constexpr bool
+    operator==(const Type &a, const Type &b)
+    {
+        return a.base == b.base && a.arrayDepth == b.arrayDepth;
+    }
+
+    /** Human-readable spelling, e.g. "String[]". */
+    std::string
+    str() const
+    {
+        const char *name = "?";
+        switch (base) {
+          case BaseType::Char:
+            name = "char";
+            break;
+          case BaseType::Int:
+            name = "int";
+            break;
+          case BaseType::Bool:
+            name = "bool";
+            break;
+          case BaseType::String:
+            name = "String";
+            break;
+          case BaseType::Counter:
+            name = "Counter";
+            break;
+          case BaseType::Void:
+            name = "void";
+            break;
+          case BaseType::Stream:
+            name = "<input stream>";
+            break;
+          case BaseType::Automata:
+            name = "<automata>";
+            break;
+          case BaseType::CounterExpr:
+            name = "<counter check>";
+            break;
+          case BaseType::Error:
+            name = "<error>";
+            break;
+        }
+        std::string out(name);
+        for (int i = 0; i < arrayDepth; ++i)
+            out += "[]";
+        return out;
+    }
+};
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_TYPES_H

@@ -1,0 +1,80 @@
+#include "lang/value.h"
+
+#include "support/strings.h"
+
+namespace rapid::lang {
+
+std::string
+Value::str() const
+{
+    if (type.isArray()) {
+        std::string out = "{";
+        if (arr) {
+            for (size_t i = 0; i < arr->size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += (*arr)[i].str();
+            }
+        }
+        return out + "}";
+    }
+    switch (type.base) {
+      case BaseType::Int:
+        return std::to_string(i);
+      case BaseType::Bool:
+        return b ? "true" : "false";
+      case BaseType::Char:
+        switch (c.kind) {
+          case CharSpec::Kind::AllInput:
+            return "ALL_INPUT";
+          case CharSpec::Kind::StartOfInput:
+            return "START_OF_INPUT";
+          case CharSpec::Kind::Literal:
+            return "'" + escapeByte(c.value) + "'";
+        }
+        return "?";
+      case BaseType::String:
+        return "\"" + escapeString(s) + "\"";
+      case BaseType::Counter:
+        return "<Counter #" + std::to_string(counter) + ">";
+      case BaseType::Void:
+        return "<void>";
+      default:
+        return "<" + type.str() + ">";
+    }
+}
+
+bool
+Value::equals(const Value &other) const
+{
+    if (!(type == other.type))
+        throw InternalError("comparing values of different types");
+    if (type.isArray()) {
+        if (!arr || !other.arr)
+            return arr == other.arr;
+        if (arr->size() != other.arr->size())
+            return false;
+        for (size_t i = 0; i < arr->size(); ++i) {
+            if (!(*arr)[i].equals((*other.arr)[i]))
+                return false;
+        }
+        return true;
+    }
+    switch (type.base) {
+      case BaseType::Int:
+        return i == other.i;
+      case BaseType::Bool:
+        return b == other.b;
+      case BaseType::Char:
+        return c == other.c;
+      case BaseType::String:
+        return s == other.s;
+      case BaseType::Counter:
+        throw InternalError("Counter values cannot be compared");
+      default:
+        throw InternalError("values of type " + type.str() +
+                            " cannot be compared");
+    }
+}
+
+} // namespace rapid::lang

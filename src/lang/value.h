@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Compile-time values for RAPID's staged evaluation.
+ *
+ * Under the staged-computation model (§5), every expression that is not
+ * typed Automata/CounterExpr is evaluated during compilation.  Value is
+ * the dynamic representation those evaluations produce: ints, bools,
+ * chars (including the ALL_INPUT / START_OF_INPUT specials), strings,
+ * nested arrays, and references to Counter objects.
+ *
+ * Network arguments (the paper's "file annotating properties of the
+ * arguments to the network parameters") are supplied as Values by the
+ * embedding application.
+ */
+#ifndef RAPID_LANG_VALUE_H
+#define RAPID_LANG_VALUE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/types.h"
+#include "support/error.h"
+
+namespace rapid::lang {
+
+struct Value;
+using ValueList = std::vector<Value>;
+
+/** A compile-time RAPID value. */
+struct Value {
+    Type type = Type::voidT();
+
+    int64_t i = 0;
+    bool b = false;
+    CharSpec c;
+    std::string s;
+    /** Array payload (shared so assignment into arrays is visible). */
+    std::shared_ptr<ValueList> arr;
+    /** Index into the code generator's counter registry. */
+    uint32_t counter = UINT32_MAX;
+
+    static Value
+    integer(int64_t value)
+    {
+        Value v;
+        v.type = Type::intT();
+        v.i = value;
+        return v;
+    }
+
+    static Value
+    boolean(bool value)
+    {
+        Value v;
+        v.type = Type::boolT();
+        v.b = value;
+        return v;
+    }
+
+    static Value
+    character(CharSpec value)
+    {
+        Value v;
+        v.type = Type::charT();
+        v.c = value;
+        return v;
+    }
+
+    static Value
+    character(char value)
+    {
+        return character(CharSpec{CharSpec::Kind::Literal,
+                                  static_cast<unsigned char>(value)});
+    }
+
+    static Value
+    str(std::string value)
+    {
+        Value v;
+        v.type = Type::stringT();
+        v.s = std::move(value);
+        return v;
+    }
+
+    /** An array of @p items with element type @p element. */
+    static Value
+    array(Type element, ValueList items)
+    {
+        Value v;
+        v.type = Type(element.base, element.arrayDepth + 1);
+        v.arr = std::make_shared<ValueList>(std::move(items));
+        return v;
+    }
+
+    /** Convenience: a String[] from a list of C++ strings. */
+    static Value
+    strArray(const std::vector<std::string> &items)
+    {
+        ValueList list;
+        list.reserve(items.size());
+        for (const std::string &item : items)
+            list.push_back(Value::str(item));
+        return array(Type::stringT(), std::move(list));
+    }
+
+    /** Convenience: an int[] from a list of integers. */
+    static Value
+    intArray(const std::vector<int64_t> &items)
+    {
+        ValueList list;
+        list.reserve(items.size());
+        for (int64_t item : items)
+            list.push_back(Value::integer(item));
+        return array(Type::intT(), std::move(list));
+    }
+
+    static Value
+    counterRef(uint32_t index)
+    {
+        Value v;
+        v.type = Type::counterT();
+        v.counter = index;
+        return v;
+    }
+
+    /** Render for diagnostics. */
+    std::string str() const;
+
+    /** Equality for compile-time == / != (throws for Counter). */
+    bool equals(const Value &other) const;
+};
+
+} // namespace rapid::lang
+
+#endif // RAPID_LANG_VALUE_H

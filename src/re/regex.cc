@@ -1,0 +1,475 @@
+#include "re/regex.h"
+
+#include <cctype>
+
+#include "support/error.h"
+
+namespace rapid::re {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::Nfa;
+using automata::StartKind;
+using automata::StateId;
+
+namespace {
+
+CharSet
+classEscape(char c)
+{
+    const CharSet digits = CharSet::range('0', '9');
+    const CharSet word = digits | CharSet::range('a', 'z') |
+                         CharSet::range('A', 'Z') | CharSet::single('_');
+    const CharSet space = CharSet::of(" \t\r\n\f\v");
+    switch (c) {
+      case 'd':
+        return digits;
+      case 'D':
+        return ~digits;
+      case 'w':
+        return word;
+      case 'W':
+        return ~word;
+      case 's':
+        return space;
+      case 'S':
+        return ~space;
+      default:
+        return CharSet{};
+    }
+}
+
+/** Recursive-descent parser over a regex pattern. */
+class RegexParser {
+  public:
+    explicit RegexParser(const std::string &pattern) : _pattern(pattern) {}
+
+    std::unique_ptr<RegexNode>
+    parse()
+    {
+        auto node = parseAlternation();
+        if (_pos != _pattern.size())
+            fail("unexpected ')' or trailing input");
+        return node;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw CompileError("regex '" + _pattern + "': " + msg + " at " +
+                           std::to_string(_pos));
+    }
+
+    bool atEnd() const { return _pos >= _pattern.size(); }
+    char peek() const { return atEnd() ? '\0' : _pattern[_pos]; }
+
+    std::unique_ptr<RegexNode>
+    parseAlternation()
+    {
+        auto first = parseConcat();
+        if (peek() != '|')
+            return first;
+        auto alt = std::make_unique<RegexNode>();
+        alt->op = RegexOp::Alt;
+        alt->children.push_back(std::move(first));
+        while (peek() == '|') {
+            ++_pos;
+            alt->children.push_back(parseConcat());
+        }
+        return alt;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseConcat()
+    {
+        auto concat = std::make_unique<RegexNode>();
+        concat->op = RegexOp::Concat;
+        while (!atEnd() && peek() != '|' && peek() != ')')
+            concat->children.push_back(parseRepeat());
+        if (concat->children.empty()) {
+            concat->op = RegexOp::Empty;
+        } else if (concat->children.size() == 1) {
+            return std::move(concat->children.front());
+        }
+        return concat;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseRepeat()
+    {
+        auto node = parseAtom();
+        while (!atEnd()) {
+            int min = 0;
+            int max = -1;
+            char c = peek();
+            if (c == '*') {
+                min = 0;
+                max = -1;
+            } else if (c == '+') {
+                min = 1;
+                max = -1;
+            } else if (c == '?') {
+                min = 0;
+                max = 1;
+            } else if (c == '{') {
+                size_t save = _pos;
+                ++_pos;
+                if (!parseBounds(min, max)) {
+                    _pos = save;
+                    break;
+                }
+                --_pos; // compensate the ++_pos below
+            } else {
+                break;
+            }
+            ++_pos;
+            auto repeat = std::make_unique<RegexNode>();
+            repeat->op = RegexOp::Repeat;
+            repeat->min = min;
+            repeat->max = max;
+            repeat->children.push_back(std::move(node));
+            node = std::move(repeat);
+        }
+        return node;
+    }
+
+    /** Parse "m}", "m,}", or "m,n}" after '{'; false when not bounds. */
+    bool
+    parseBounds(int &min, int &max)
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        min = parseInt();
+        if (peek() == '}') {
+            ++_pos;
+            max = min;
+            return true;
+        }
+        if (peek() != ',')
+            return false;
+        ++_pos;
+        if (peek() == '}') {
+            ++_pos;
+            max = -1;
+            return true;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        max = parseInt();
+        if (peek() != '}')
+            return false;
+        ++_pos;
+        if (max < min)
+            fail("repetition bounds out of order");
+        return true;
+    }
+
+    int
+    parseInt()
+    {
+        int value = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            value = value * 10 + (peek() - '0');
+            if (value > 100000)
+                fail("repetition bound too large");
+            ++_pos;
+        }
+        return value;
+    }
+
+    unsigned char
+    parseEscapeChar()
+    {
+        char c = _pattern[_pos++];
+        switch (c) {
+          case 'n':
+            return '\n';
+          case 't':
+            return '\t';
+          case 'r':
+            return '\r';
+          case '0':
+            return '\0';
+          case 'f':
+            return '\f';
+          case 'v':
+            return '\v';
+          case 'a':
+            return '\a';
+          case 'x': {
+            if (_pos + 1 >= _pattern.size() + 0 ||
+                _pos + 1 > _pattern.size() - 1)
+                fail("truncated \\x escape");
+            auto hex = [&](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                fail("bad hex digit in \\x escape");
+            };
+            int hi = hex(_pattern[_pos]);
+            int lo = hex(_pattern[_pos + 1]);
+            _pos += 2;
+            return static_cast<unsigned char>(hi * 16 + lo);
+          }
+          default:
+            return static_cast<unsigned char>(c);
+        }
+    }
+
+    CharSet
+    parseClass()
+    {
+        bool negate = false;
+        if (peek() == '^') {
+            negate = true;
+            ++_pos;
+        }
+        CharSet set;
+        bool first = true;
+        while (true) {
+            if (atEnd())
+                fail("unterminated character class");
+            char c = peek();
+            if (c == ']' && !first) {
+                ++_pos;
+                break;
+            }
+            first = false;
+            unsigned char lo;
+            if (c == '\\') {
+                ++_pos;
+                if (atEnd())
+                    fail("dangling escape in class");
+                char esc = peek();
+                CharSet multi = classEscape(esc);
+                if (!multi.empty()) {
+                    ++_pos;
+                    set |= multi;
+                    continue;
+                }
+                lo = parseEscapeChar();
+            } else {
+                lo = static_cast<unsigned char>(c);
+                ++_pos;
+            }
+            if (peek() == '-' && _pos + 1 < _pattern.size() &&
+                _pattern[_pos + 1] != ']') {
+                ++_pos; // '-'
+                unsigned char hi;
+                if (peek() == '\\') {
+                    ++_pos;
+                    hi = parseEscapeChar();
+                } else {
+                    hi = static_cast<unsigned char>(peek());
+                    ++_pos;
+                }
+                if (hi < lo)
+                    fail("inverted class range");
+                for (unsigned s = lo; s <= hi; ++s)
+                    set.add(static_cast<unsigned char>(s));
+            } else {
+                set.add(lo);
+            }
+        }
+        return negate ? ~set : set;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseAtom()
+    {
+        if (atEnd())
+            fail("expected an atom");
+        char c = _pattern[_pos];
+        if (c == '(') {
+            ++_pos;
+            auto node = parseAlternation();
+            if (peek() != ')')
+                fail("missing ')'");
+            ++_pos;
+            return node;
+        }
+        auto node = std::make_unique<RegexNode>();
+        node->op = RegexOp::Symbols;
+        if (c == '[') {
+            ++_pos;
+            node->symbols = parseClass();
+            if (node->symbols.empty())
+                fail("empty character class");
+            return node;
+        }
+        if (c == '.') {
+            ++_pos;
+            node->symbols = CharSet::all();
+            return node;
+        }
+        if (c == '\\') {
+            ++_pos;
+            if (atEnd())
+                fail("dangling escape");
+            CharSet multi = classEscape(peek());
+            if (!multi.empty()) {
+                ++_pos;
+                node->symbols = multi;
+                return node;
+            }
+            node->symbols = CharSet::single(parseEscapeChar());
+            return node;
+        }
+        if (c == '^' || c == '$')
+            fail("anchors are not supported on the AP");
+        if (c == '*' || c == '+' || c == '?' || c == ')')
+            fail("misplaced quantifier or ')'");
+        ++_pos;
+        node->symbols = CharSet::single(static_cast<unsigned char>(c));
+        return node;
+    }
+
+    const std::string &_pattern;
+    size_t _pos = 0;
+};
+
+/** Thompson-construction builder emitting into an Nfa. */
+class NfaBuilder {
+  public:
+    explicit NfaBuilder(Nfa &nfa) : _nfa(nfa) {}
+
+    /** Build states for @p node between fresh in/out states. */
+    std::pair<StateId, StateId>
+    build(const RegexNode &node)
+    {
+        switch (node.op) {
+          case RegexOp::Empty: {
+            StateId in = _nfa.addState();
+            StateId out = _nfa.addState();
+            _nfa.addEpsilon(in, out);
+            return {in, out};
+          }
+          case RegexOp::Symbols: {
+            StateId in = _nfa.addState();
+            StateId out = _nfa.addState();
+            _nfa.addTransition(in, node.symbols, out);
+            return {in, out};
+          }
+          case RegexOp::Concat: {
+            StateId in = _nfa.addState();
+            StateId current = in;
+            for (const auto &childNode : node.children) {
+                auto [cin, cout] = build(*childNode);
+                _nfa.addEpsilon(current, cin);
+                current = cout;
+            }
+            return {in, current};
+          }
+          case RegexOp::Alt: {
+            StateId in = _nfa.addState();
+            StateId out = _nfa.addState();
+            for (const auto &childNode : node.children) {
+                auto [cin, cout] = build(*childNode);
+                _nfa.addEpsilon(in, cin);
+                _nfa.addEpsilon(cout, out);
+            }
+            return {in, out};
+          }
+          case RegexOp::Repeat: {
+            const RegexNode &child = *node.children.front();
+            StateId in = _nfa.addState();
+            StateId current = in;
+            for (int i = 0; i < node.min; ++i) {
+                auto [cin, cout] = build(child);
+                _nfa.addEpsilon(current, cin);
+                current = cout;
+            }
+            if (node.max < 0) {
+                // Unbounded tail: one looping copy, skippable.
+                auto [cin, cout] = build(child);
+                _nfa.addEpsilon(current, cin);
+                _nfa.addEpsilon(cout, cin);
+                StateId out = _nfa.addState();
+                _nfa.addEpsilon(current, out);
+                _nfa.addEpsilon(cout, out);
+                return {in, out};
+            }
+            // Bounded tail: (max - min) optional copies.
+            StateId out = _nfa.addState();
+            for (int i = node.min; i < node.max; ++i) {
+                _nfa.addEpsilon(current, out);
+                auto [cin, cout] = build(child);
+                _nfa.addEpsilon(current, cin);
+                current = cout;
+            }
+            _nfa.addEpsilon(current, out);
+            return {in, out};
+          }
+        }
+        throw InternalError("unhandled regex op");
+    }
+
+  private:
+    Nfa &_nfa;
+};
+
+} // namespace
+
+std::unique_ptr<RegexNode>
+parseRegex(const std::string &pattern)
+{
+    return RegexParser(pattern).parse();
+}
+
+Nfa
+regexToNfa(const RegexNode &root)
+{
+    Nfa nfa;
+    NfaBuilder builder(nfa);
+    auto [in, out] = builder.build(root);
+    nfa.setInitial(in);
+    nfa.setAccepting(out);
+    return nfa;
+}
+
+Automaton
+compileRegex(const std::string &pattern, bool sliding_window,
+             const std::string &report_code)
+{
+    auto tree = parseRegex(pattern);
+    Nfa nfa = regexToNfa(*tree);
+    Automaton automaton = nfa.toHomogeneous(
+        sliding_window ? StartKind::AllInput : StartKind::StartOfData,
+        "re");
+    if (!report_code.empty()) {
+        for (automata::ElementId i = 0; i < automaton.size(); ++i) {
+            if (automaton[i].report)
+                automaton.setReport(i, report_code);
+        }
+    }
+    return automaton;
+}
+
+std::vector<uint64_t>
+referenceMatchEnds(const std::string &pattern, std::string_view input,
+                   bool sliding_window)
+{
+    auto tree = parseRegex(pattern);
+
+    if (!sliding_window)
+        return regexToNfa(*tree).matchEnds(input);
+
+    // Sliding window: equivalent to matching ".*(pattern)"; build that
+    // NFA explicitly by adding an all-symbol self-loop on a new initial
+    // state.
+    Nfa wrapped;
+    NfaBuilder builder(wrapped);
+    auto [in, out] = builder.build(*tree);
+    StateId scan = wrapped.addState();
+    wrapped.addTransition(scan, CharSet::all(), scan);
+    wrapped.addEpsilon(scan, in);
+    wrapped.setInitial(scan);
+    wrapped.setAccepting(out);
+    return wrapped.matchEnds(input);
+}
+
+} // namespace rapid::re

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regular-expression front end.
+ *
+ * Regular expressions are the other programming model the paper compares
+ * against (the Brill "Re" rows of Tables 4 and 5).  This module compiles
+ * a practical regex subset to homogeneous NFAs through the classic-NFA
+ * path of automata/nfa.h.
+ *
+ * Supported syntax:
+ *   - literals, '.', escapes: \n \t \r \0 \xHH \d \w \s \D \W \S and
+ *     escaped metacharacters
+ *   - character classes [...] and [^...] with ranges and the escapes
+ *     above
+ *   - grouping (...), alternation |
+ *   - quantifiers * + ? {m} {m,} {m,n} (greedy; match semantics are
+ *     set-based so greediness is irrelevant)
+ *
+ * Unsupported (rejected with CompileError): anchors ^ $, backreferences,
+ * lookaround, non-greedy quantifiers — none are expressible on the AP.
+ */
+#ifndef RAPID_RE_REGEX_H
+#define RAPID_RE_REGEX_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/nfa.h"
+
+namespace rapid::re {
+
+/** Regex syntax-tree node kinds. */
+enum class RegexOp {
+    Empty,   ///< matches the empty string
+    Symbols, ///< one symbol of a CharSet
+    Concat,  ///< children in sequence
+    Alt,     ///< any one child
+    Repeat,  ///< child repeated min..max times (max < 0 means unbounded)
+};
+
+/** A regex syntax tree. */
+struct RegexNode {
+    RegexOp op = RegexOp::Empty;
+    automata::CharSet symbols;
+    std::vector<std::unique_ptr<RegexNode>> children;
+    int min = 0;
+    int max = -1;
+};
+
+/**
+ * Parse @p pattern into a syntax tree.
+ *
+ * @throws rapid::CompileError on malformed or unsupported syntax.
+ */
+std::unique_ptr<RegexNode> parseRegex(const std::string &pattern);
+
+/** Build a classic NFA (Thompson construction) from a syntax tree. */
+automata::Nfa regexToNfa(const RegexNode &root);
+
+/**
+ * Compile @p pattern to a homogeneous automaton.
+ *
+ * @param sliding_window when true the match may begin at any stream
+ *        offset (the AP's usual deployment); when false it is anchored
+ *        to the start of the stream.
+ * @param report_code attached to the automaton's reporting STEs.
+ */
+automata::Automaton compileRegex(const std::string &pattern,
+                                 bool sliding_window = true,
+                                 const std::string &report_code = "");
+
+/**
+ * Reference matcher: offsets at which a match of @p pattern *ends*.
+ *
+ * Used by the property-test suite as ground truth for compiled
+ * automata.  When @p sliding_window is true, matches may start at any
+ * offset (duplicate end offsets are collapsed).
+ */
+std::vector<uint64_t> referenceMatchEnds(const std::string &pattern,
+                                         std::string_view input,
+                                         bool sliding_window = true);
+
+} // namespace rapid::re
+
+#endif // RAPID_RE_REGEX_H

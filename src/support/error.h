@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting primitives shared by every rapid module.
+ *
+ * The toolchain distinguishes three failure classes, following the
+ * fatal()/panic() discipline used by hardware simulators:
+ *
+ *  - CompileError: the *user's* RAPID program (or ANML file, or regex) is
+ *    malformed.  Carries a source location and is always recoverable by
+ *    the embedding application (the CLI prints it and exits 1).
+ *  - CapacityError: a valid design does not fit the modelled device.
+ *  - InternalError: a toolchain invariant was violated; indicates a bug
+ *    in this library rather than in user input.
+ */
+#ifndef RAPID_SUPPORT_ERROR_H
+#define RAPID_SUPPORT_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rapid {
+
+/** A position in a user-supplied source file (1-based line/column). */
+struct SourceLoc {
+    /** 1-based line number; 0 means "no location available". */
+    uint32_t line = 0;
+    /** 1-based column number. */
+    uint32_t column = 0;
+
+    constexpr bool valid() const { return line != 0; }
+
+    /** Render as "line:col" (or "?" when unavailable). */
+    std::string str() const
+    {
+        if (!valid())
+            return "?";
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+
+    friend constexpr bool operator==(const SourceLoc &a, const SourceLoc &b)
+    {
+        return a.line == b.line && a.column == b.column;
+    }
+};
+
+/** Base class for all rapid toolchain exceptions. */
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** User-input error: bad RAPID/ANML/regex source. */
+class CompileError : public Error {
+  public:
+    CompileError(const std::string &what, SourceLoc loc = {})
+        : Error(loc.valid() ? loc.str() + ": " + what : what), _loc(loc)
+    {
+    }
+
+    SourceLoc loc() const { return _loc; }
+
+  private:
+    SourceLoc _loc;
+};
+
+/** The design is valid but exceeds the modelled device's resources. */
+class CapacityError : public Error {
+  public:
+    explicit CapacityError(const std::string &what) : Error(what) {}
+};
+
+/** A library invariant was violated (a bug in this toolchain). */
+class InternalError : public Error {
+  public:
+    explicit InternalError(const std::string &what)
+        : Error("internal error: " + what)
+    {
+    }
+};
+
+/**
+ * Throw an InternalError when @p cond is false.
+ *
+ * Used for invariants that must hold regardless of user input; unlike
+ * assert() it is active in all build types so tests can rely on it.
+ */
+inline void
+internalCheck(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw InternalError(msg);
+}
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_ERROR_H

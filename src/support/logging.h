@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal leveled logging used by the compiler and the P&R engine.
+ *
+ * Logging is off by default (level Warn) so library consumers and tests
+ * are quiet; the CLI tools and benches raise the level via RAPID_LOG or
+ * Logger::setLevel().
+ */
+#ifndef RAPID_SUPPORT_LOGGING_H
+#define RAPID_SUPPORT_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace rapid {
+
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    None = 4,
+};
+
+/** Process-wide logger; thread-safe, writes to stderr. */
+class Logger {
+  public:
+    static Logger &
+    instance()
+    {
+        static Logger logger;
+        return logger;
+    }
+
+    void setLevel(LogLevel level) { _level = level; }
+    LogLevel level() const { return _level; }
+
+    void
+    log(LogLevel level, const std::string &module, const std::string &msg)
+    {
+        if (static_cast<int>(level) < static_cast<int>(_level))
+            return;
+        static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+        std::lock_guard<std::mutex> guard(_mutex);
+        std::fprintf(stderr, "[%s] %s: %s\n",
+                     names[static_cast<int>(level)], module.c_str(),
+                     msg.c_str());
+    }
+
+  private:
+    Logger()
+    {
+        if (const char *env = std::getenv("RAPID_LOG")) {
+            std::string value(env);
+            if (value == "debug")
+                _level = LogLevel::Debug;
+            else if (value == "info")
+                _level = LogLevel::Info;
+            else if (value == "none")
+                _level = LogLevel::None;
+        }
+    }
+
+    LogLevel _level = LogLevel::Warn;
+    std::mutex _mutex;
+};
+
+inline void
+logDebug(const std::string &module, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Debug, module, msg);
+}
+
+inline void
+logInfo(const std::string &module, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Info, module, msg);
+}
+
+inline void
+logWarn(const std::string &module, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Warn, module, msg);
+}
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_LOGGING_H

@@ -1,0 +1,158 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rapid {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            return fields;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+size_t
+countLines(std::string_view text)
+{
+    if (text.empty())
+        return 0;
+    size_t lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++lines;
+    }
+    if (text.back() != '\n')
+        ++lines;
+    return lines;
+}
+
+std::string
+escapeByte(unsigned char byte)
+{
+    switch (byte) {
+      case '\n':
+        return "\\n";
+      case '\t':
+        return "\\t";
+      case '\r':
+        return "\\r";
+      case '\\':
+        return "\\\\";
+      default:
+        break;
+    }
+    if (byte >= 0x20 && byte < 0x7F)
+        return std::string(1, static_cast<char>(byte));
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x%02x", byte);
+    return buf;
+}
+
+std::string
+escapeString(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text)
+        out += escapeByte(static_cast<unsigned char>(c));
+    return out;
+}
+
+std::string
+xmlEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          case '\'':
+            out += "&apos;";
+            break;
+          default:
+            out.push_back(c);
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        // vsnprintf writes the terminator into needed+1 bytes; data() of a
+        // resized string has that extra byte available in C++11 and later.
+        std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                       args);
+    }
+    va_end(args);
+    return out;
+}
+
+} // namespace rapid

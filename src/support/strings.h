@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers shared across the toolchain.
+ */
+#ifndef RAPID_SUPPORT_STRINGS_H
+#define RAPID_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapid {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Count '\n'-terminated lines; a trailing partial line counts as one. */
+size_t countLines(std::string_view text);
+
+/** Escape a byte for human-readable display ('a', '\\xff', '\\n', ...). */
+std::string escapeByte(unsigned char byte);
+
+/** Escape every byte in @p text for display. */
+std::string escapeString(std::string_view text);
+
+/** XML-escape the five reserved characters. */
+std::string xmlEscape(std::string_view text);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_STRINGS_H

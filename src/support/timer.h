@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the P&R engine and the benches.
+ */
+#ifndef RAPID_SUPPORT_TIMER_H
+#define RAPID_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace rapid {
+
+/** A monotonic stopwatch started at construction. */
+class Timer {
+  public:
+    Timer() : _start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { _start = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - _start).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_TIMER_H

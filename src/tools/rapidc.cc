@@ -1,0 +1,306 @@
+/**
+ * @file
+ * rapidc — the RAPID command-line compiler and runner.
+ *
+ * Mirrors the paper's tool interface (§5): the compiler takes a RAPID
+ * program and an argument-annotation file, and produces an ANML design
+ * plus host-driver information.  The `run` mode additionally executes
+ * the design on the bundled device simulator, and `pnr` reports the
+ * Table-5 placement metrics.
+ *
+ * Usage:
+ *   rapidc compile prog.rapid [--args args.txt] [-o out.anml]
+ *                   [--no-optimize] [--tile] [--stats]
+ *   rapidc pnr     prog.rapid [--args args.txt]
+ *   rapidc run     prog.rapid [--args args.txt] --input data.bin
+ *                   [--frame]           # treat input lines as records
+ *   rapidc interpret prog.rapid [--args args.txt] --input data.bin
+ *                   [--frame]           # reference interpreter
+ *   rapidc witness prog.rapid [--args args.txt]
+ *                                       # covering test inputs (§8)
+ *
+ * `--positional` selects the §5.3 positional-encoding counter lowering.
+ * A .anml input file is loaded as a design directly (VASim-style).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "anml/anml.h"
+#include "ap/placement.h"
+#include "automata/optimizer.h"
+#include "automata/witness.h"
+#include "ap/tessellation.h"
+#include "host/argfile.h"
+#include "host/device.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace rapid;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+struct Options {
+    std::string command;
+    std::string program;
+    std::string argsPath;
+    std::string output;
+    std::string inputPath;
+    bool optimize = true;
+    bool positional = false;
+    bool tile = false;
+    bool stats = false;
+    bool frame = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rapidc <compile|pnr|run|interpret|witness> "
+        "<prog.rapid>\n"
+        "              [--args file] [-o out.anml] [--no-optimize]\n"
+        "              [--positional] [--tile] [--stats]\n"
+        "              [--input file] [--frame]\n");
+    std::exit(2);
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    if (argc < 3)
+        usage();
+    options.command = argv[1];
+    options.program = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--args")
+            options.argsPath = next();
+        else if (arg == "-o" || arg == "--output")
+            options.output = next();
+        else if (arg == "--input")
+            options.inputPath = next();
+        else if (arg == "--no-optimize")
+            options.optimize = false;
+        else if (arg == "--positional")
+            options.positional = true;
+        else if (arg == "--tile")
+            options.tile = true;
+        else if (arg == "--stats")
+            options.stats = true;
+        else if (arg == "--frame")
+            options.frame = true;
+        else
+            usage();
+    }
+    return options;
+}
+
+std::string
+loadInput(const Options &options)
+{
+    if (options.inputPath.empty())
+        throw Error("--input is required for this mode");
+    std::string raw = options.inputPath == "-"
+                          ? std::string(std::istreambuf_iterator<char>(
+                                            std::cin),
+                                        {})
+                          : readFile(options.inputPath);
+    if (!options.frame)
+        return raw;
+    // --frame: each line becomes one record.
+    host::InputTransformer transformer;
+    std::vector<std::string> records;
+    for (const std::string &line : split(raw, '\n')) {
+        if (!line.empty())
+            records.push_back(line);
+    }
+    return transformer.frame(records);
+}
+
+void
+printStats(const lang::CompiledProgram &compiled)
+{
+    auto stats = compiled.automaton.stats();
+    std::printf("elements: %zu (STEs %zu, counters %zu, gates %zu), "
+                "edges %zu, reporting %zu\n",
+                stats.total(), stats.stes, stats.counters, stats.gates,
+                stats.edges, stats.reporting);
+    std::printf("components: %zu\n",
+                compiled.automaton.components().size());
+    if (compiled.tileable()) {
+        std::printf("tessellation tile: %zu elements x %zu instances\n",
+                    compiled.tile.stats().total(),
+                    compiled.tileInstances);
+    }
+    for (const lang::SymbolInjection &injection : compiled.injections) {
+        std::printf("reserved symbol \\x%02x for counter '%s' "
+                    "(period %llu)\n",
+                    injection.symbol, injection.counterName.c_str(),
+                    static_cast<unsigned long long>(injection.period));
+    }
+}
+
+/** Is the program file an ANML design rather than RAPID source? */
+bool
+looksLikeAnml(const std::string &path, const std::string &text)
+{
+    if (path.size() > 5 &&
+        path.compare(path.size() - 5, 5, ".anml") == 0) {
+        return true;
+    }
+    std::string_view head = trim(text);
+    return startsWith(head, "<?xml") || startsWith(head, "<anml") ||
+           startsWith(head, "<automata-network");
+}
+
+int
+run(const Options &options)
+{
+    std::string source = readFile(options.program);
+    std::vector<lang::Value> args;
+    if (!options.argsPath.empty())
+        args = host::loadArgFile(options.argsPath);
+
+    lang::CompiledProgram compiled;
+    if (looksLikeAnml(options.program, source)) {
+        // ANML input: run/pnr/witness operate on the design directly
+        // (VASim-style usage); compile mode round-trips it.
+        compiled.automaton = anml::parseAnml(source);
+        if (options.optimize)
+            automata::optimize(compiled.automaton);
+    } else {
+        lang::Program program = lang::parseProgram(source);
+        lang::CompileOptions compile_options;
+        compile_options.optimize = options.optimize;
+        compile_options.positionalCounters = options.positional;
+        compiled = lang::compileProgram(program, args, compile_options);
+    }
+
+    if (options.command == "compile") {
+        const automata::Automaton &design =
+            options.tile ? compiled.tile : compiled.automaton;
+        std::string anml = anml::emitAnml(design);
+        if (options.output.empty()) {
+            std::fwrite(anml.data(), 1, anml.size(), stdout);
+        } else {
+            std::ofstream out(options.output, std::ios::binary);
+            if (!out)
+                throw Error("cannot write " + options.output);
+            out << anml;
+            std::fprintf(stderr, "wrote %s (%zu lines)\n",
+                         options.output.c_str(), countLines(anml));
+        }
+        if (options.stats)
+            printStats(compiled);
+        return 0;
+    }
+
+    if (options.command == "pnr") {
+        ap::PlacementEngine engine;
+        auto result = engine.place(compiled.automaton);
+        std::printf("blocks: %zu\nclock divisor: %d\n"
+                    "STE utilization: %.1f%%\nmean BR allocation: "
+                    "%.1f%%\nplace-and-route: %.3f s\n",
+                    result.totalBlocks, result.clockDivisor,
+                    result.steUtilization * 100.0,
+                    result.meanBrAllocation * 100.0,
+                    result.placeRouteSeconds);
+        if (compiled.tileable()) {
+            ap::Tessellator tessellator;
+            auto tiled = tessellator.tessellate(
+                compiled.tile, compiled.tileInstances);
+            std::printf("tessellation: %zu tiles/block, %zu blocks, "
+                        "%.3f ms\n",
+                        tiled.tilesPerBlock, tiled.totalBlocks,
+                        tiled.tessellateSeconds * 1e3);
+        }
+        return 0;
+    }
+
+    if (options.command == "run") {
+        std::string input = loadInput(options);
+        host::Device device(std::move(compiled.automaton));
+        auto reports = device.run(input);
+        for (const host::HostReport &report : reports) {
+            std::printf("%llu\t%s\t%s\n",
+                        static_cast<unsigned long long>(report.offset),
+                        report.code.c_str(), report.element.c_str());
+        }
+        std::fprintf(stderr, "%zu report(s) over %zu symbols\n",
+                     reports.size(), input.size());
+        return 0;
+    }
+
+    if (options.command == "witness") {
+        // §8 debugging aid: synthesize short inputs that exercise each
+        // report in the compiled design.
+        auto witnesses = automata::allWitnesses(compiled.automaton);
+        size_t reporting = compiled.automaton.stats().reporting;
+        for (const automata::Witness &witness : witnesses) {
+            std::printf("%s\t%s\t%s\n",
+                        compiled.automaton[witness.element].id.c_str(),
+                        compiled.automaton[witness.element]
+                            .reportCode.c_str(),
+                        escapeString(witness.input).c_str());
+        }
+        std::fprintf(stderr,
+                     "%zu of %zu reporting elements covered\n",
+                     witnesses.size(), reporting);
+        return witnesses.size() == reporting ? 0 : 1;
+    }
+
+    if (options.command == "interpret") {
+        std::string input = loadInput(options);
+        lang::Program fresh =
+            lang::parseProgram(readFile(options.program));
+        auto offsets = lang::interpretProgram(fresh, args, input);
+        for (uint64_t offset : offsets) {
+            std::printf("%llu\n",
+                        static_cast<unsigned long long>(offset));
+        }
+        return 0;
+    }
+
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseOptions(argc, argv));
+    } catch (const CompileError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    } catch (const Error &error) {
+        std::fprintf(stderr, "rapidc: %s\n", error.what());
+        return 1;
+    }
+}

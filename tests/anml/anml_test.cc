@@ -1,0 +1,205 @@
+/**
+ * @file
+ * ANML serialization tests: emit/parse round trips, hand-written
+ * documents, counter ports, and error handling.  Also covers the
+ * bundled mini XML reader.
+ */
+#include <gtest/gtest.h>
+
+#include "anml/anml.h"
+#include "anml/xml.h"
+#include "apps/benchmarks.h"
+#include "automata/simulator.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::anml {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::CounterMode;
+using automata::ElementId;
+using automata::GateOp;
+using automata::Port;
+using automata::StartKind;
+
+/** Structural equality via re-serialization. */
+void
+expectRoundTrip(const Automaton &design)
+{
+    std::string first = emitAnml(design);
+    Automaton parsed = parseAnml(first);
+    std::string second = emitAnml(parsed);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(parsed.size(), design.size());
+}
+
+TEST(Xml, ParsesAttributesAndChildren)
+{
+    auto root = parseXml(
+        "<a x=\"1\"><b y=\"two\"/><b y=\"three\">text</b></a>");
+    EXPECT_EQ(root->name, "a");
+    EXPECT_EQ(root->attr("x"), "1");
+    EXPECT_EQ(root->childrenNamed("b").size(), 2u);
+    EXPECT_EQ(root->childrenNamed("b")[1]->text, "text");
+}
+
+TEST(Xml, DecodesEntities)
+{
+    auto root = parseXml("<a v=\"&lt;&amp;&gt;&quot;&apos;\"/>");
+    EXPECT_EQ(root->attr("v"), "<&>\"'");
+}
+
+TEST(Xml, SkipsCommentsAndDeclarations)
+{
+    auto root = parseXml(
+        "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+    EXPECT_EQ(root->name, "a");
+    EXPECT_EQ(root->children.size(), 1u);
+}
+
+TEST(Xml, RejectsMalformed)
+{
+    EXPECT_THROW(parseXml("<a>"), CompileError);
+    EXPECT_THROW(parseXml("<a></b>"), CompileError);
+    EXPECT_THROW(parseXml("<a x=1/>"), CompileError);
+    EXPECT_THROW(parseXml("<a/><b/>"), CompileError);
+    EXPECT_THROW(parseXml("<a v=\"&bogus;\"/>"), CompileError);
+}
+
+TEST(Anml, EmitsSteWithStartAndReport)
+{
+    Automaton design;
+    ElementId ste = design.addSte(CharSet::of("ab"),
+                                  StartKind::AllInput, "s0");
+    design.setReport(ste, "hit");
+    std::string text = emitAnml(design);
+    EXPECT_NE(text.find("state-transition-element"), std::string::npos);
+    EXPECT_NE(text.find("symbol-set=\"[ab]\""), std::string::npos);
+    EXPECT_NE(text.find("start=\"all-input\""), std::string::npos);
+    EXPECT_NE(text.find("report-on-match"), std::string::npos);
+    EXPECT_NE(text.find("reportcode=\"hit\""), std::string::npos);
+}
+
+TEST(Anml, CounterPortsUseSuffixConvention)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'),
+                                StartKind::AllInput, "a");
+    ElementId r = design.addSte(CharSet::single('r'),
+                                StartKind::AllInput, "r");
+    ElementId counter = design.addCounter(5, CounterMode::Latch, "c");
+    design.connect(a, counter, Port::Count);
+    design.connect(r, counter, Port::Reset);
+    std::string text = emitAnml(design);
+    EXPECT_NE(text.find("element=\"c:cnt\""), std::string::npos);
+    EXPECT_NE(text.find("element=\"c:rst\""), std::string::npos);
+    expectRoundTrip(design);
+}
+
+TEST(Anml, GateVocabulary)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'),
+                                StartKind::AllInput, "a");
+    for (GateOp op : {GateOp::And, GateOp::Or, GateOp::Not,
+                      GateOp::Nand, GateOp::Nor}) {
+        ElementId gate = design.addGate(op);
+        design.connect(a, gate);
+    }
+    expectRoundTrip(design);
+}
+
+TEST(Anml, RoundTripPreservesBehaviour)
+{
+    // The quickstart Hamming design must behave identically after a
+    // serialization round trip.
+    Automaton design;
+    ElementId g = design.addSte(CharSet::single('\xFF'),
+                                StartKind::AllInput, "g");
+    ElementId x = design.addSte(CharSet::single('x'), StartKind::None,
+                                "x");
+    ElementId counter = design.addCounter(2, CounterMode::Latch, "c");
+    design.connect(g, x);
+    design.connect(x, x);
+    design.connect(x, counter, Port::Count);
+    design.setReport(counter, "two-x");
+
+    Automaton parsed = parseAnml(emitAnml(design));
+    automata::Simulator original(design);
+    automata::Simulator reparsed(parsed);
+    std::string input = "\xFFxxx";
+    EXPECT_EQ(original.run(input).size(), reparsed.run(input).size());
+}
+
+TEST(Anml, ParsesHandWrittenDocument)
+{
+    const char *text = R"(<?xml version="1.0"?>
+<anml version="1.0">
+  <automata-network id="demo">
+    <description>two-symbol demo</description>
+    <state-transition-element id="first" symbol-set="[h]"
+                              start="all-input">
+      <activate-on-match element="second"/>
+    </state-transition-element>
+    <state-transition-element id="second" symbol-set="[i]">
+      <report-on-match reportcode="hi"/>
+    </state-transition-element>
+  </automata-network>
+</anml>
+)";
+    Automaton design = parseAnml(text);
+    ASSERT_EQ(design.size(), 2u);
+    automata::Simulator sim(design);
+    auto reports = sim.run("zhiz");
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 2u);
+}
+
+TEST(Anml, AcceptsBareNetworkRoot)
+{
+    const char *text =
+        "<automata-network id=\"n\">"
+        "<state-transition-element id=\"s\" symbol-set=\"*\" "
+        "start=\"start-of-data\"/></automata-network>";
+    Automaton design = parseAnml(text);
+    EXPECT_EQ(design.size(), 1u);
+    EXPECT_EQ(design[0].start, StartKind::StartOfData);
+}
+
+TEST(Anml, RejectsUnknownElementsAndDanglingRefs)
+{
+    EXPECT_THROW(parseAnml("<automata-network id=\"n\">"
+                           "<mystery id=\"m\"/></automata-network>"),
+                 CompileError);
+    EXPECT_THROW(
+        parseAnml("<automata-network id=\"n\">"
+                  "<state-transition-element id=\"s\" symbol-set=\"[a]\">"
+                  "<activate-on-match element=\"ghost\"/>"
+                  "</state-transition-element></automata-network>"),
+        CompileError);
+    EXPECT_THROW(parseAnml("<automata-network id=\"n\">"
+                           "<counter id=\"c\"/></automata-network>"),
+                 CompileError);
+    EXPECT_THROW(parseAnml("<wrong-root/>"), CompileError);
+}
+
+TEST(Anml, BenchmarkDesignsRoundTrip)
+{
+    for (auto &bench : rapid::apps::allBenchmarks()) {
+        Automaton design = bench->handcrafted();
+        expectRoundTrip(design);
+    }
+}
+
+TEST(Anml, LineCountMatchesEmission)
+{
+    Automaton design;
+    design.addSte(CharSet::single('a'), StartKind::AllInput, "a");
+    EXPECT_EQ(anmlLineCount(design),
+              rapid::countLines(emitAnml(design)));
+}
+
+} // namespace
+} // namespace rapid::anml

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Placement-and-routing engine tests: Table 1 geometry, packing
+ * invariants (parameterized across design sizes), metric algebra, the
+ * clock-divisor rule, and capacity errors.
+ */
+#include <gtest/gtest.h>
+
+#include "ap/placement.h"
+#include "apps/benchmarks.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/error.h"
+
+namespace rapid::ap {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::GateOp;
+using automata::Port;
+using automata::StartKind;
+
+TEST(DeviceConfig, Table1Resources)
+{
+    DeviceConfig config;
+    EXPECT_EQ(config.stesPerBlock(), 256u);
+    EXPECT_EQ(config.blocksPerBoard(), 6144u);
+    EXPECT_EQ(config.stesPerBoard(), 1572864u);
+    EXPECT_EQ(config.countersPerBoard(), 24576u);
+    EXPECT_EQ(config.boolsPerBoard(), 73728u);
+}
+
+/** A chain automaton of @p stes STEs (single component). */
+Automaton
+chain(size_t stes)
+{
+    Automaton design;
+    ElementId prev = automata::kNoElement;
+    for (size_t i = 0; i < stes; ++i) {
+        ElementId ste = design.addSte(
+            CharSet::single('a'),
+            i == 0 ? StartKind::AllInput : StartKind::None);
+        if (prev != automata::kNoElement)
+            design.connect(prev, ste);
+        prev = ste;
+    }
+    if (prev != automata::kNoElement)
+        design.setReport(prev);
+    return design;
+}
+
+TEST(Placement, EmptyDesign)
+{
+    PlacementEngine engine;
+    auto result = engine.place(Automaton{});
+    EXPECT_EQ(result.totalBlocks, 0u);
+    EXPECT_EQ(result.steUtilization, 0.0);
+}
+
+TEST(Placement, SmallChainFitsOneBlock)
+{
+    PlacementEngine engine;
+    auto result = engine.place(chain(25));
+    EXPECT_EQ(result.totalBlocks, 1u);
+    EXPECT_EQ(result.clockDivisor, 1);
+    EXPECT_NEAR(result.steUtilization, 25.0 / 256.0, 1e-9);
+}
+
+TEST(Placement, LargeComponentSpansBlocks)
+{
+    PlacementEngine engine;
+    auto result = engine.place(chain(600));
+    EXPECT_EQ(result.totalBlocks, 3u); // ceil(600/256)
+}
+
+TEST(Placement, ComponentTooLargeForHalfCoreRejected)
+{
+    PlacementEngine engine;
+    // 96 blocks/half-core x 256 STEs = 24,576.
+    EXPECT_THROW(engine.place(chain(25000)), CompileError);
+}
+
+TEST(Placement, BoardCapacityExceededRejected)
+{
+    // A tiny board makes the capacity error testable cheaply.
+    DeviceConfig config;
+    config.chipsPerBoard = 1;
+    config.halfCoresPerChip = 1;
+    config.blocksPerHalfCore = 2;
+    PlacementEngine engine(config);
+    Automaton design;
+    for (int i = 0; i < 40; ++i) {
+        // 40 independent 16-STE components: 40 rows > 2 blocks.
+        ElementId prev = design.addSte(CharSet::single('a'),
+                                       StartKind::AllInput);
+        for (int j = 1; j < 16; ++j) {
+            ElementId next = design.addSte(CharSet::single('b'));
+            design.connect(prev, next);
+            prev = next;
+        }
+    }
+    EXPECT_THROW(engine.place(design), CapacityError);
+}
+
+TEST(Placement, ClockDivisorCounterToGate)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId counter = design.addCounter(2);
+    ElementId inverter = design.addGate(GateOp::Not);
+    design.connect(a, counter, Port::Count);
+    design.connect(counter, inverter);
+    EXPECT_EQ(PlacementEngine::clockDivisor(design), 2);
+}
+
+TEST(Placement, ClockDivisorGateToCounter)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId gate = design.addGate(GateOp::Or);
+    ElementId counter = design.addCounter(2);
+    design.connect(a, gate);
+    design.connect(gate, counter, Port::Count);
+    EXPECT_EQ(PlacementEngine::clockDivisor(design), 2);
+}
+
+TEST(Placement, ClockDivisorOneWithoutAdjacency)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId counter = design.addCounter(2);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId gate = design.addGate(GateOp::Or);
+    design.connect(a, counter, Port::Count);
+    design.connect(counter, b); // counter → STE is fine
+    design.connect(b, gate);    // STE → gate is fine
+    EXPECT_EQ(PlacementEngine::clockDivisor(design), 1);
+}
+
+TEST(Placement, DemandCountsKinds)
+{
+    Automaton design;
+    design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId c = design.addCounter(1);
+    design.addGate(GateOp::And);
+    design.connect(0, c, Port::Count);
+    ResourceVector need = PlacementEngine::demand(design);
+    EXPECT_EQ(need.stes, 1u);
+    EXPECT_EQ(need.counters, 1u);
+    EXPECT_EQ(need.bools, 1u);
+}
+
+TEST(Placement, CountersLimitedPerBlock)
+{
+    // 6 counters require 2 blocks (4 per block).
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    for (int i = 0; i < 6; ++i) {
+        ElementId counter = design.addCounter(1);
+        design.connect(a, counter, Port::Count);
+    }
+    PlacementEngine engine;
+    auto result = engine.place(design);
+    EXPECT_EQ(result.totalBlocks, 2u);
+}
+
+TEST(Placement, RefinementReducesOrKeepsCut)
+{
+    auto bench = apps::makeMotomata();
+    lang::Program program =
+        lang::parseProgram(bench->rapidSource());
+    auto compiled =
+        lang::compileProgram(program, bench->scaledArgs(64));
+
+    PlacementOptions none;
+    none.refineEffort = 0;
+    auto base = PlacementEngine({}, none).place(compiled.automaton);
+
+    PlacementOptions heavy;
+    heavy.refineEffort = 8;
+    auto refined =
+        PlacementEngine({}, heavy).place(compiled.automaton);
+
+    EXPECT_LE(refined.meanBrAllocation, base.meanBrAllocation + 1e-9);
+}
+
+/** Packing invariants across design scales (property test). */
+class PlacementInvariants : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlacementInvariants, BlocksNeverExceedResources)
+{
+    auto bench = apps::makeExact();
+    lang::Program program =
+        lang::parseProgram(bench->rapidSource());
+    auto compiled =
+        lang::compileProgram(program, bench->scaledArgs(GetParam()));
+
+    PlacementEngine engine;
+    auto result = engine.place(compiled.automaton);
+    DeviceConfig config;
+    size_t stes = 0;
+    for (const BlockUsage &block : result.blocks) {
+        EXPECT_LE(block.stes, config.stesPerBlock());
+        EXPECT_LE(block.counters, config.countersPerBlock);
+        EXPECT_LE(block.bools, config.boolsPerBlock);
+        EXPECT_GE(block.stes + block.counters + block.bools, 1u);
+        EXPECT_GE(block.brAllocation, 0.0);
+        EXPECT_LE(block.brAllocation, 1.0);
+        stes += block.stes;
+    }
+    EXPECT_EQ(stes, compiled.automaton.stats().stes);
+    EXPECT_EQ(result.blocks.size(), result.totalBlocks);
+    // Utilization algebra.
+    EXPECT_NEAR(result.steUtilization,
+                static_cast<double>(stes) /
+                    (static_cast<double>(result.totalBlocks) * 256.0),
+                1e-9);
+    // blockOf covers every element with a valid block index.
+    for (ElementId i = 0; i < compiled.automaton.size(); ++i)
+        EXPECT_LT(result.blockOf[i], result.blocks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlacementInvariants,
+                         ::testing::Values(1, 3, 9, 27, 81, 200));
+
+} // namespace
+} // namespace rapid::ap

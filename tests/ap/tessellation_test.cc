@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tessellation auto-tuner tests (§6): tile counting at row
+ * granularity, resource limits, board capacity, and replication.
+ */
+#include <gtest/gtest.h>
+
+#include "ap/tessellation.h"
+#include "automata/simulator.h"
+#include "support/error.h"
+
+namespace rapid::ap {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::Port;
+using automata::StartKind;
+
+/** A chain tile of @p stes STEs with optional counter. */
+Automaton
+tile(size_t stes, int counters = 0)
+{
+    Automaton design;
+    ElementId prev = automata::kNoElement;
+    for (size_t i = 0; i < stes; ++i) {
+        ElementId ste = design.addSte(
+            CharSet::single('a'),
+            i == 0 ? StartKind::AllInput : StartKind::None);
+        if (prev != automata::kNoElement)
+            design.connect(prev, ste);
+        prev = ste;
+    }
+    design.setReport(prev);
+    for (int c = 0; c < counters; ++c) {
+        ElementId counter = design.addCounter(1);
+        design.connect(prev, counter, Port::Count);
+    }
+    return design;
+}
+
+TEST(Tessellation, RowGranularTileCount)
+{
+    Tessellator tessellator;
+    // 25 STEs → 2 rows → 8 tiles per 16-row block (not 10 by raw STEs).
+    EXPECT_EQ(tessellator.tilesPerBlock(tile(25)), 8u);
+    // 16 STEs → exactly 1 row → 16 tiles.
+    EXPECT_EQ(tessellator.tilesPerBlock(tile(16)), 16u);
+    // 17 STEs → 2 rows → 8 tiles.
+    EXPECT_EQ(tessellator.tilesPerBlock(tile(17)), 8u);
+}
+
+TEST(Tessellation, CounterLimitDominatesWhenTight)
+{
+    Tessellator tessellator;
+    // 2 counters per tile, 4 per block → 2 tiles even though STEs
+    // would allow more.
+    EXPECT_EQ(tessellator.tilesPerBlock(tile(8, 2)), 2u);
+}
+
+TEST(Tessellation, OversizedTileRejected)
+{
+    Tessellator tessellator;
+    EXPECT_THROW(tessellator.tilesPerBlock(tile(300)), CapacityError);
+    EXPECT_THROW(tessellator.tilesPerBlock(tile(8, 5)), CapacityError);
+}
+
+TEST(Tessellation, TessellateComputesBlocks)
+{
+    Tessellator tessellator;
+    TiledDesign design = tessellator.tessellate(tile(25), 100);
+    EXPECT_EQ(design.tilesPerBlock, 8u);
+    EXPECT_EQ(design.totalBlocks, 13u); // ceil(100/8)
+    EXPECT_EQ(design.blockImage.stats().stes, 8u * 25u);
+    EXPECT_EQ(design.blockPlacement.totalBlocks, 1u);
+    EXPECT_GT(design.tessellateSeconds, 0.0);
+}
+
+TEST(Tessellation, BoardCapacityEnforced)
+{
+    DeviceConfig config;
+    config.chipsPerBoard = 1;
+    config.halfCoresPerChip = 1;
+    config.blocksPerHalfCore = 4;
+    Tessellator tessellator(config);
+    EXPECT_THROW(tessellator.tessellate(tile(25), 1000),
+                 CapacityError);
+}
+
+TEST(Tessellation, ReplicateIsBehaviourallyParallel)
+{
+    Automaton one = tile(3);
+    Automaton four = replicate(one, 4);
+    EXPECT_EQ(four.size(), 4 * one.size());
+    EXPECT_EQ(four.components().size(), 4u);
+    automata::Simulator sim(four);
+    // All four copies report simultaneously.
+    EXPECT_EQ(sim.run("aaa").size(), 4u);
+}
+
+TEST(Tessellation, BlockImageUtilizationReflectsPacking)
+{
+    Tessellator tessellator;
+    TiledDesign design = tessellator.tessellate(tile(16), 64);
+    // 16 tiles x 16 STEs = 256 STEs: a full block.
+    EXPECT_NEAR(design.blockPlacement.steUtilization, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace rapid::ap

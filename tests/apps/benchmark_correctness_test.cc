@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Correctness cross-checks for the five paper benchmarks.
+ *
+ * For every benchmark, three implementations must agree on synthetic
+ * workloads with known ground truth:
+ *   1. the RAPID program compiled by this repository's compiler,
+ *   2. the hand-crafted design (port of the published ANML generator),
+ *   3. the reference (ground-truth) matcher in the workload generator.
+ * For Brill, the regex formulation is checked as a fourth.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/benchmarks.h"
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "re/regex.h"
+
+namespace rapid::apps {
+namespace {
+
+using automata::Automaton;
+using automata::Simulator;
+
+std::vector<uint64_t>
+distinctOffsets(const std::vector<automata::ReportEvent> &events)
+{
+    std::set<uint64_t> offsets;
+    for (const auto &event : events)
+        offsets.insert(event.offset);
+    return {offsets.begin(), offsets.end()};
+}
+
+std::vector<uint64_t>
+runAutomaton(const Automaton &design, const std::string &stream)
+{
+    Simulator sim(design);
+    return distinctOffsets(sim.run(stream));
+}
+
+class BenchmarkCorrectness
+    : public ::testing::TestWithParam<std::string> {
+  protected:
+    std::unique_ptr<Benchmark>
+    benchmark() const
+    {
+        for (auto &bench : allBenchmarks()) {
+            if (bench->name() == GetParam())
+                return std::move(bench);
+        }
+        ADD_FAILURE() << "unknown benchmark " << GetParam();
+        return nullptr;
+    }
+};
+
+TEST_P(BenchmarkCorrectness, RapidMatchesGroundTruth)
+{
+    auto bench = benchmark();
+    ASSERT_NE(bench, nullptr);
+    lang::Program program = lang::parseProgram(bench->rapidSource());
+    auto compiled =
+        lang::compileProgram(program, bench->networkArgs());
+    Workload load = bench->workload(0xD00D);
+    EXPECT_EQ(runAutomaton(compiled.automaton, load.stream), load.truth)
+        << bench->name() << ": RAPID-compiled reports diverge from "
+        << "ground truth";
+}
+
+TEST_P(BenchmarkCorrectness, HandcraftedMatchesGroundTruth)
+{
+    auto bench = benchmark();
+    ASSERT_NE(bench, nullptr);
+    Workload load = bench->workload(0xD00D);
+    EXPECT_EQ(runAutomaton(bench->handcrafted(), load.stream),
+              load.truth)
+        << bench->name() << ": hand-crafted reports diverge from "
+        << "ground truth";
+}
+
+TEST_P(BenchmarkCorrectness, RapidMatchesHandcraftedOnSecondSeed)
+{
+    auto bench = benchmark();
+    ASSERT_NE(bench, nullptr);
+    lang::Program program = lang::parseProgram(bench->rapidSource());
+    auto compiled =
+        lang::compileProgram(program, bench->networkArgs());
+    Workload load = bench->workload(0xBEEF5);
+    EXPECT_EQ(runAutomaton(compiled.automaton, load.stream),
+              runAutomaton(bench->handcrafted(), load.stream))
+        << bench->name()
+        << ": RAPID and hand-crafted designs disagree";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkCorrectness,
+                         ::testing::Values("ARM", "Brill", "Exact",
+                                           "Gappy", "MOTOMATA"));
+
+TEST(BrillRegex, RegexFormulationMatchesGroundTruth)
+{
+    auto bench = makeBrill();
+    Workload load = bench->workload(0xD00D);
+    Automaton merged;
+    size_t index = 0;
+    for (const std::string &pattern : bench->regexes()) {
+        Automaton one = re::compileRegex(pattern, /*sliding_window=*/true,
+                                         "re" + std::to_string(index++));
+        merged.merge(one, "r" + std::to_string(index) + "_");
+    }
+    EXPECT_EQ(runAutomaton(merged, load.stream), load.truth);
+}
+
+} // namespace
+} // namespace rapid::apps

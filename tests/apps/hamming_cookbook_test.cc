@@ -1,0 +1,78 @@
+/**
+ * @file
+ * §2 case-study tests: the cookbook Hamming band automaton behaves
+ * correctly, its ANML grows with pattern length, and the churn
+ * measurement behaves as the paper describes.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/hamming_cookbook.h"
+#include "automata/simulator.h"
+#include "support/strings.h"
+
+namespace rapid::apps {
+namespace {
+
+int
+distance(const std::string &a, const std::string &b)
+{
+    int d = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += a[i] != b[i];
+    return d;
+}
+
+TEST(HammingCookbook, BandAutomatonReportsWithinDistance)
+{
+    automata::Automaton design = cookbookHamming("HELLO", 2);
+    automata::Simulator sim(design);
+    // Anchored at start-of-data: candidate strings fed whole.
+    struct Case {
+        const char *candidate;
+        bool hit;
+    };
+    const Case cases[] = {
+        {"HELLO", true},  {"HELLA", true},  {"HALLA", true},
+        {"XALLJ", false}, {"XXXXX", false}, {"HELL", false},
+    };
+    for (const Case &c : cases) {
+        auto reports = sim.run(c.candidate);
+        bool fired = false;
+        for (const auto &event : reports)
+            fired |= event.offset == 4;
+        EXPECT_EQ(fired, c.hit)
+            << c.candidate << " (distance "
+            << distance("HELLO", std::string(c.candidate).substr(0, 5))
+            << ")";
+    }
+}
+
+TEST(HammingCookbook, SizeGrowsWithPattern)
+{
+    std::string anml5 = cookbookHammingAnml("HELLO", 2);
+    std::string anml12 = cookbookHammingAnml("HELLOHELLOHI", 2);
+    EXPECT_GT(countLines(anml5), 40u);   // "62 lines" territory
+    EXPECT_GT(countLines(anml12), 2 * countLines(anml5) / 2);
+    EXPECT_GT(countLines(anml12), countLines(anml5));
+}
+
+TEST(HammingCookbook, ChurnFractionIsSubstantial)
+{
+    // The paper: ~65% of the lines must change to go from 5 to 12
+    // characters.
+    double churn = cookbookChangeFraction("HELLO", "HELLOHELLOHI", 2);
+    EXPECT_GT(churn, 0.4);
+    EXPECT_LE(churn, 1.0);
+    // Identity change touches nothing.
+    EXPECT_DOUBLE_EQ(cookbookChangeFraction("HELLO", "HELLO", 2), 0.0);
+}
+
+TEST(HammingCookbook, RapidCounterpartIsTiny)
+{
+    std::string source = rapidHammingSource();
+    EXPECT_LT(countLines(source), 15u);
+    EXPECT_NE(source.find("hamming_distance"), std::string::npos);
+}
+
+} // namespace
+} // namespace rapid::apps

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the Automaton container: construction, validation,
+ * merging, components, and dead-element removal.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/automaton.h"
+#include "support/error.h"
+
+namespace rapid::automata {
+namespace {
+
+TEST(Automaton, AddElementsAssignsDenseIds)
+{
+    Automaton design;
+    EXPECT_EQ(design.addSte(CharSet::single('a')), 0u);
+    EXPECT_EQ(design.addCounter(3), 1u);
+    EXPECT_EQ(design.addGate(GateOp::And), 2u);
+    EXPECT_EQ(design.size(), 3u);
+}
+
+TEST(Automaton, AutoIdsAreUnique)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    EXPECT_NE(design[a].id, design[b].id);
+}
+
+TEST(Automaton, FindIdResolvesNames)
+{
+    Automaton design;
+    ElementId ste = design.addSte(CharSet::single('a'),
+                                  StartKind::AllInput, "mine");
+    EXPECT_EQ(design.findId("mine"), ste);
+    EXPECT_EQ(design.findId("other"), kNoElement);
+}
+
+TEST(Automaton, DuplicateIdThrows)
+{
+    Automaton design;
+    design.addSte(CharSet::single('a'), StartKind::None, "dup");
+    EXPECT_THROW(design.addSte(CharSet::single('b'), StartKind::None,
+                               "dup"),
+                 InternalError);
+}
+
+TEST(Automaton, ConnectDeduplicatesEdges)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    design.connect(a, b);
+    EXPECT_EQ(design[a].outputs.size(), 1u);
+}
+
+TEST(Automaton, CounterPortsEnforced)
+{
+    Automaton design;
+    ElementId ste = design.addSte(CharSet::single('a'));
+    ElementId counter = design.addCounter(2);
+    // Activate edge onto a counter is rejected; count/reset onto a
+    // non-counter is rejected.
+    EXPECT_THROW(design.connect(ste, counter, Port::Activate),
+                 InternalError);
+    EXPECT_THROW(design.connect(counter, ste, Port::Count),
+                 InternalError);
+    design.connect(ste, counter, Port::Count); // ok
+}
+
+TEST(Automaton, StatsCountsKinds)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId counter = design.addCounter(2);
+    design.addGate(GateOp::Or);
+    design.connect(a, b);
+    design.connect(b, counter, Port::Count);
+    design.setReport(b);
+    AutomatonStats stats = design.stats();
+    EXPECT_EQ(stats.stes, 2u);
+    EXPECT_EQ(stats.counters, 1u);
+    EXPECT_EQ(stats.gates, 1u);
+    EXPECT_EQ(stats.edges, 2u);
+    EXPECT_EQ(stats.reporting, 1u);
+    EXPECT_EQ(stats.startStes, 1u);
+    EXPECT_EQ(stats.total(), 4u);
+}
+
+TEST(Automaton, ValidateAcceptsWellFormed)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    ElementId counter = design.addCounter(1);
+    design.connect(a, counter, Port::Count);
+    EXPECT_NO_THROW(design.validate());
+}
+
+TEST(Automaton, ValidateRejectsEmptyCharClass)
+{
+    Automaton design;
+    design.addSte(CharSet{});
+    EXPECT_THROW(design.validate(), CompileError);
+}
+
+TEST(Automaton, ValidateRejectsCounterWithoutCountInput)
+{
+    Automaton design;
+    design.addCounter(2);
+    EXPECT_THROW(design.validate(), CompileError);
+}
+
+TEST(Automaton, ValidateRejectsGateWithoutOperands)
+{
+    Automaton design;
+    design.addGate(GateOp::And);
+    EXPECT_THROW(design.validate(), CompileError);
+}
+
+TEST(Automaton, ValidateRejectsMultiInputInverter)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId inverter = design.addGate(GateOp::Not);
+    design.connect(a, inverter);
+    design.connect(b, inverter);
+    EXPECT_THROW(design.validate(), CompileError);
+}
+
+TEST(Automaton, ValidateRejectsCombinationalCycle)
+{
+    Automaton design;
+    ElementId ste = design.addSte(CharSet::single('a'));
+    ElementId g1 = design.addGate(GateOp::Or);
+    ElementId g2 = design.addGate(GateOp::Or);
+    design.connect(ste, g1);
+    design.connect(g1, g2);
+    design.connect(g2, g1); // gate cycle
+    EXPECT_THROW(design.validate(), CompileError);
+}
+
+TEST(Automaton, SteCyclesAreLegal)
+{
+    // STE-to-STE loops cross symbol cycles and are fine.
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    design.connect(a, a);
+    EXPECT_NO_THROW(design.validate());
+}
+
+TEST(Automaton, FanInListsSourcesAndPorts)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId counter = design.addCounter(1);
+    design.connect(a, b);
+    design.connect(a, counter, Port::Count);
+    design.connect(b, counter, Port::Reset);
+    auto fan_in = design.fanIn();
+    ASSERT_EQ(fan_in[b].size(), 1u);
+    EXPECT_EQ(fan_in[b][0].first, a);
+    ASSERT_EQ(fan_in[counter].size(), 2u);
+}
+
+TEST(Automaton, MergePrefixesIdsAndRemapsEdges)
+{
+    Automaton tile;
+    ElementId a = tile.addSte(CharSet::single('a'),
+                              StartKind::AllInput, "first");
+    ElementId b = tile.addSte(CharSet::single('b'), StartKind::None,
+                              "second");
+    tile.connect(a, b);
+    tile.setReport(b, "tile");
+
+    Automaton design;
+    ElementId offset0 = design.merge(tile, "t0_");
+    ElementId offset1 = design.merge(tile, "t1_");
+    EXPECT_EQ(offset0, 0u);
+    EXPECT_EQ(offset1, 2u);
+    EXPECT_EQ(design.size(), 4u);
+    EXPECT_NE(design.findId("t0_first"), kNoElement);
+    EXPECT_NE(design.findId("t1_second"), kNoElement);
+    // Edges stay within each copy.
+    EXPECT_EQ(design[offset1].outputs[0].to, offset1 + 1);
+    EXPECT_TRUE(design[design.findId("t1_second")].report);
+}
+
+TEST(Automaton, MergeRejectsCollidingPrefix)
+{
+    Automaton tile;
+    tile.addSte(CharSet::single('a'), StartKind::None, "x");
+    Automaton design;
+    design.merge(tile, "p_");
+    EXPECT_THROW(design.merge(tile, "p_"), InternalError);
+}
+
+TEST(Automaton, ComponentsSeparateDisconnectedGraphs)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    ElementId d = design.addSte(CharSet::single('d'));
+    design.connect(a, b);
+    design.connect(c, d);
+    auto components = design.components();
+    ASSERT_EQ(components.size(), 2u);
+    EXPECT_EQ(components[0].size(), 2u);
+    EXPECT_EQ(components[1].size(), 2u);
+}
+
+TEST(Automaton, ComponentsFollowUndirectedEdges)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(b, a);
+    design.connect(b, c);
+    EXPECT_EQ(design.components().size(), 1u);
+}
+
+TEST(Automaton, RemoveDeadElementsDropsUnreachable)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.addSte(CharSet::single('z')); // orphan, no start
+    design.connect(a, b);
+    EXPECT_EQ(design.removeDeadElements(), 1u);
+    EXPECT_EQ(design.size(), 2u);
+    EXPECT_EQ(design.findId(design[0].id), 0u); // index map rebuilt
+}
+
+TEST(Automaton, RemoveDeadElementsKeepsEverythingReachable)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    ElementId counter = design.addCounter(1);
+    design.connect(a, counter, Port::Count);
+    EXPECT_EQ(design.removeDeadElements(), 0u);
+    EXPECT_EQ(design.size(), 2u);
+}
+
+TEST(Automaton, RemoveDeadElementsRemapsSurvivingEdges)
+{
+    Automaton design;
+    design.addSte(CharSet::single('x')); // dead, occupies index 0
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    design.setReport(b);
+    design.removeDeadElements();
+    ASSERT_EQ(design.size(), 2u);
+    // The edge must still connect 'a' to 'b' after reindexing.
+    ElementId new_a = design.findId(design[0].id);
+    EXPECT_EQ(design[new_a].outputs.size(), 1u);
+    EXPECT_EQ(design[design[new_a].outputs[0].to].symbols,
+              CharSet::single('b'));
+}
+
+} // namespace
+} // namespace rapid::automata

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for CharSet: set algebra, rendering, and parsing.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/charset.h"
+#include "support/error.h"
+
+namespace rapid::automata {
+namespace {
+
+TEST(CharSet, EmptyByDefault)
+{
+    CharSet set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.count(), 0);
+    for (int c = 0; c < 256; ++c)
+        EXPECT_FALSE(set.test(static_cast<unsigned char>(c)));
+}
+
+TEST(CharSet, SingleContainsExactlyOneSymbol)
+{
+    CharSet set = CharSet::single('x');
+    EXPECT_EQ(set.count(), 1);
+    EXPECT_TRUE(set.test('x'));
+    EXPECT_FALSE(set.test('y'));
+    EXPECT_FALSE(set.empty());
+}
+
+TEST(CharSet, AllContainsEverySymbol)
+{
+    CharSet set = CharSet::all();
+    EXPECT_EQ(set.count(), 256);
+    EXPECT_TRUE(set.test(0));
+    EXPECT_TRUE(set.test(255));
+}
+
+TEST(CharSet, RangeIsInclusive)
+{
+    CharSet set = CharSet::range('a', 'f');
+    EXPECT_EQ(set.count(), 6);
+    EXPECT_TRUE(set.test('a'));
+    EXPECT_TRUE(set.test('f'));
+    EXPECT_FALSE(set.test('g'));
+}
+
+TEST(CharSet, RangeFullSpan)
+{
+    CharSet set = CharSet::range(0, 255);
+    EXPECT_EQ(set.count(), 256);
+}
+
+TEST(CharSet, OfCollectsDistinctSymbols)
+{
+    CharSet set = CharSet::of("hello");
+    EXPECT_EQ(set.count(), 4); // h e l o
+    EXPECT_TRUE(set.test('h'));
+    EXPECT_TRUE(set.test('l'));
+}
+
+TEST(CharSet, AddRemoveRoundTrip)
+{
+    CharSet set;
+    set.add(0xFF);
+    EXPECT_TRUE(set.test(0xFF));
+    set.remove(0xFF);
+    EXPECT_FALSE(set.test(0xFF));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(CharSet, ComplementFlipsMembership)
+{
+    CharSet set = ~CharSet::single('a');
+    EXPECT_EQ(set.count(), 255);
+    EXPECT_FALSE(set.test('a'));
+    EXPECT_TRUE(set.test('b'));
+    EXPECT_TRUE(set.test(0xFF));
+}
+
+TEST(CharSet, DoubleComplementIsIdentity)
+{
+    CharSet set = CharSet::of("rapid");
+    EXPECT_EQ(~~set, set);
+}
+
+TEST(CharSet, UnionAndIntersection)
+{
+    CharSet ab = CharSet::of("ab");
+    CharSet bc = CharSet::of("bc");
+    EXPECT_EQ((ab | bc).count(), 3);
+    EXPECT_EQ((ab & bc).count(), 1);
+    EXPECT_TRUE((ab & bc).test('b'));
+}
+
+TEST(CharSet, InPlaceUnion)
+{
+    CharSet set = CharSet::single('a');
+    set |= CharSet::single('z');
+    EXPECT_EQ(set.count(), 2);
+}
+
+TEST(CharSet, DeMorgan)
+{
+    CharSet a = CharSet::range('a', 'm');
+    CharSet b = CharSet::range('g', 'z');
+    EXPECT_EQ(~(a | b), (~a & ~b));
+    EXPECT_EQ(~(a & b), (~a | ~b));
+}
+
+TEST(CharSet, StrSingle)
+{
+    EXPECT_EQ(CharSet::single('a').str(), "[a]");
+}
+
+TEST(CharSet, StrRange)
+{
+    EXPECT_EQ(CharSet::range('a', 'e').str(), "[a-e]");
+}
+
+TEST(CharSet, StrTwoSymbolRunStaysExplicit)
+{
+    EXPECT_EQ(CharSet::of("ab").str(), "[ab]");
+}
+
+TEST(CharSet, StrStar)
+{
+    EXPECT_EQ(CharSet::all().str(), "*");
+}
+
+TEST(CharSet, StrNegatedForDenseSets)
+{
+    CharSet set = ~CharSet::single('a');
+    EXPECT_EQ(set.str(), "[^a]");
+}
+
+TEST(CharSet, StrEscapesMetacharacters)
+{
+    CharSet set = CharSet::of("]-");
+    std::string text = set.str();
+    EXPECT_NE(text.find("\\]"), std::string::npos);
+    EXPECT_NE(text.find("\\-"), std::string::npos);
+}
+
+TEST(CharSet, StrHexForNonPrintable)
+{
+    EXPECT_EQ(CharSet::single(0x03).str(), "[\\x03]");
+    EXPECT_EQ(CharSet::single(0xFF).str(), "[\\xff]");
+}
+
+TEST(CharSet, ParseStar)
+{
+    EXPECT_EQ(CharSet::parse("*"), CharSet::all());
+}
+
+TEST(CharSet, ParseRangeAndNegation)
+{
+    EXPECT_EQ(CharSet::parse("[a-e]"), CharSet::range('a', 'e'));
+    EXPECT_EQ(CharSet::parse("[^a]"), ~CharSet::single('a'));
+}
+
+TEST(CharSet, ParseHexEscapes)
+{
+    EXPECT_EQ(CharSet::parse("[\\xff]"), CharSet::single(0xFF));
+    EXPECT_EQ(CharSet::parse("[\\x00-\\x10]"), CharSet::range(0, 0x10));
+}
+
+TEST(CharSet, ParseRejectsMalformed)
+{
+    EXPECT_THROW(CharSet::parse("abc"), CompileError);
+    EXPECT_THROW(CharSet::parse("[a"), CompileError);
+    EXPECT_THROW(CharSet::parse("[z-a]"), CompileError);
+    EXPECT_THROW(CharSet::parse("[\\xzz]"), CompileError);
+}
+
+/** Round-trip property over structured random sets. */
+class CharSetRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CharSetRoundTrip, StrParseIdentity)
+{
+    // Deterministic pseudo-random set construction from the seed.
+    uint64_t state = static_cast<uint64_t>(GetParam()) * 2654435761u + 1;
+    CharSet set;
+    int members = GetParam() % 97;
+    for (int i = 0; i < members; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        set.add(static_cast<unsigned char>(state >> 33));
+    }
+    EXPECT_EQ(CharSet::parse(set.str()), set)
+        << "rendering was: " << set.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CharSetRoundTrip,
+                         ::testing::Range(0, 64));
+
+} // namespace
+} // namespace rapid::automata

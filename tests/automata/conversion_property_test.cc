@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Property suites over randomized automata:
+ *
+ *  1. classic-NFA → homogeneous conversion equivalence: for random
+ *     NFAs (with epsilon edges), the reference subset simulation and
+ *     the converted design on the device simulator must report the
+ *     same match-end offsets;
+ *  2. ANML round-trip: emit → parse → emit is a fixed point for random
+ *     designs over all element kinds.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anml/anml.h"
+#include "automata/nfa.h"
+#include "automata/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rapid::automata {
+namespace {
+
+/** A random NFA over a tiny alphabet with optional epsilon edges. */
+Nfa
+randomNfa(Rng &rng)
+{
+    Nfa nfa;
+    const size_t states = 3 + rng.below(6);
+    for (size_t i = 0; i < states; ++i)
+        nfa.addState();
+    // Ensure at least one accepting state besides the initial one so
+    // the conversion's empty-string restriction is rarely violated.
+    for (size_t i = 1; i < states; ++i) {
+        if (rng.chance(0.4))
+            nfa.setAccepting(static_cast<StateId>(i));
+    }
+    nfa.setAccepting(static_cast<StateId>(states - 1));
+
+    const char *alphabet = "abc";
+    size_t transitions = states + rng.below(2 * states);
+    for (size_t t = 0; t < transitions; ++t) {
+        auto from = static_cast<StateId>(rng.below(states));
+        auto to = static_cast<StateId>(rng.below(states));
+        CharSet label;
+        int symbols = 1 + static_cast<int>(rng.below(2));
+        for (int s = 0; s < symbols; ++s)
+            label.add(static_cast<unsigned char>(
+                alphabet[rng.below(3)]));
+        nfa.addTransition(from, label, to);
+    }
+    // A few epsilon edges, avoiding making the initial state accepting
+    // through the closure (retry below handles that).
+    size_t epsilons = rng.below(3);
+    for (size_t e = 0; e < epsilons; ++e) {
+        auto from = static_cast<StateId>(rng.below(states));
+        auto to = static_cast<StateId>(rng.below(states));
+        nfa.addEpsilon(from, to);
+    }
+    return nfa;
+}
+
+class ConversionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConversionProperty, HomogeneousMatchesReference)
+{
+    Rng rng(GetParam() * 7919 + 17);
+    Nfa nfa = randomNfa(rng);
+    Automaton design;
+    try {
+        design = nfa.toHomogeneous();
+    } catch (const rapid::CompileError &) {
+        // The random machine accepts the empty string; conversion
+        // correctly refuses.  Nothing further to check.
+        GTEST_SKIP() << "machine accepts the empty string";
+    }
+    Simulator sim(design);
+    for (int round = 0; round < 10; ++round) {
+        std::string input = rng.string(rng.below(40), "abc");
+        auto reference = nfa.matchEnds(input);
+        std::set<uint64_t> compiled;
+        for (const ReportEvent &event : sim.run(input))
+            compiled.insert(event.offset);
+        EXPECT_EQ(std::vector<uint64_t>(compiled.begin(),
+                                        compiled.end()),
+                  reference)
+            << "input=" << input;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConversionProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+/** A random homogeneous design over all element kinds. */
+Automaton
+randomDesign(Rng &rng)
+{
+    Automaton design;
+    size_t stes = 2 + rng.below(10);
+    std::vector<ElementId> ids;
+    for (size_t i = 0; i < stes; ++i) {
+        CharSet set;
+        int population = 1 + static_cast<int>(rng.below(5));
+        for (int s = 0; s < population; ++s)
+            set.add(static_cast<unsigned char>(rng.below(256)));
+        StartKind start = rng.chance(0.3)
+                              ? (rng.chance(0.5)
+                                     ? StartKind::AllInput
+                                     : StartKind::StartOfData)
+                              : StartKind::None;
+        ids.push_back(design.addSte(set, start));
+    }
+    // Random STE wiring.
+    size_t edges = rng.below(2 * stes);
+    for (size_t e = 0; e < edges; ++e) {
+        design.connect(ids[rng.below(ids.size())],
+                       ids[rng.below(ids.size())]);
+    }
+    // Occasionally a counter and a gate.
+    if (rng.chance(0.6)) {
+        ElementId counter = design.addCounter(
+            1 + static_cast<uint32_t>(rng.below(9)),
+            rng.chance(0.5) ? CounterMode::Latch : CounterMode::Pulse);
+        design.connect(ids[rng.below(ids.size())], counter,
+                       Port::Count);
+        if (rng.chance(0.5)) {
+            design.connect(ids[rng.below(ids.size())], counter,
+                           Port::Reset);
+        }
+    }
+    if (rng.chance(0.6)) {
+        ElementId gate = design.addGate(
+            rng.chance(0.5) ? GateOp::And : GateOp::Or);
+        design.connect(ids[rng.below(ids.size())], gate);
+        design.connect(ids[rng.below(ids.size())], gate);
+    }
+    // Random reporting.
+    for (ElementId id : ids) {
+        if (rng.chance(0.25))
+            design.setReport(id, "r" + std::to_string(id));
+    }
+    return design;
+}
+
+class AnmlRoundTripProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnmlRoundTripProperty, EmitParseEmitIsFixedPoint)
+{
+    Rng rng(GetParam() * 2654435761u + 3);
+    Automaton design = randomDesign(rng);
+    std::string first = anml::emitAnml(design);
+    Automaton parsed = anml::parseAnml(first);
+    EXPECT_EQ(anml::emitAnml(parsed), first);
+    EXPECT_EQ(parsed.size(), design.size());
+    EXPECT_EQ(parsed.stats().edges, design.stats().edges);
+    EXPECT_EQ(parsed.stats().reporting, design.stats().reporting);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnmlRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace
+} // namespace rapid::automata

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Optimizer pass tests: parallel-STE fusion, prefix merging, component
+ * isolation, and a behaviour-preservation property check.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/optimizer.h"
+#include "automata/simulator.h"
+#include "support/rng.h"
+
+namespace rapid::automata {
+namespace {
+
+std::vector<ReportEvent>
+simulate(const Automaton &design, std::string_view input)
+{
+    Simulator sim(design);
+    return sim.run(input);
+}
+
+TEST(Optimizer, FusesParallelSiblings)
+{
+    // start -> [a] -> end ; start -> [b] -> end  ==>  start -> [ab] -> end
+    Automaton design;
+    ElementId start =
+        design.addSte(CharSet::single('s'), StartKind::AllInput);
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId end = design.addSte(CharSet::single('e'));
+    design.connect(start, a);
+    design.connect(start, b);
+    design.connect(a, end);
+    design.connect(b, end);
+    design.setReport(end);
+
+    EXPECT_EQ(fuseParallelStes(design), 1u);
+    EXPECT_EQ(design.stats().stes, 3u);
+    EXPECT_EQ(simulate(design, "sae").size(), 1u);
+    EXPECT_EQ(simulate(design, "sbe").size(), 1u);
+    EXPECT_TRUE(simulate(design, "sce").empty());
+}
+
+TEST(Optimizer, FusionRequiresIdenticalReporting)
+{
+    Automaton design;
+    ElementId start =
+        design.addSte(CharSet::single('s'), StartKind::AllInput);
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(start, a);
+    design.connect(start, b);
+    design.setReport(a, "only-a");
+    EXPECT_EQ(fuseParallelStes(design), 0u);
+}
+
+TEST(Optimizer, MergesCommonPrefixes)
+{
+    // Two patterns "ab" and "ac" share the 'a' head.
+    Automaton design;
+    ElementId a1 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId a2 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(a1, b);
+    design.connect(a2, c);
+    design.setReport(b);
+    design.setReport(c);
+
+    // Same component is required for merging; connect them via a common
+    // source so the pass may act.
+    ElementId root =
+        design.addSte(CharSet::single('r'), StartKind::AllInput);
+    design.connect(root, a1);
+    design.connect(root, a2);
+
+    size_t merged = mergeCommonPrefixes(design);
+    EXPECT_EQ(merged, 1u);
+    EXPECT_EQ(design.stats().stes, 4u);
+    EXPECT_EQ(simulate(design, "ab").size(), 1u);
+    EXPECT_EQ(simulate(design, "ac").size(), 1u);
+    EXPECT_TRUE(simulate(design, "ad").empty());
+}
+
+TEST(Optimizer, PrefixMergeRespectsComponents)
+{
+    // Identical start STEs in *separate* components must not merge:
+    // that would weld independently placeable automata together.
+    Automaton design;
+    ElementId a1 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b1 = design.addSte(CharSet::single('b'));
+    ElementId a2 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b2 = design.addSte(CharSet::single('c'));
+    design.connect(a1, b1);
+    design.connect(a2, b2);
+    design.setReport(b1);
+    design.setReport(b2);
+
+    EXPECT_EQ(mergeCommonPrefixes(design), 0u);
+    EXPECT_EQ(design.components().size(), 2u);
+}
+
+TEST(Optimizer, FuseRespectsComponents)
+{
+    Automaton design;
+    ElementId a1 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId a2 =
+        design.addSte(CharSet::single('b'), StartKind::AllInput);
+    design.setReport(a1);
+    design.setReport(a2);
+    // Same (empty) fan-in, same (empty) fan-out, same report flag but
+    // different codes: distinct components anyway.
+    EXPECT_EQ(fuseParallelStes(design), 0u);
+}
+
+TEST(Optimizer, OptimizeReachesFixedPoint)
+{
+    // A two-level tree of duplicate chains collapses fully.
+    Automaton design;
+    ElementId root =
+        design.addSte(CharSet::single('r'), StartKind::AllInput);
+    for (int i = 0; i < 4; ++i) {
+        ElementId x = design.addSte(CharSet::single('x'));
+        ElementId y = design.addSte(CharSet::single('y'));
+        design.connect(root, x);
+        design.connect(x, y);
+        design.setReport(y);
+    }
+    OptimizeStats stats = optimize(design);
+    EXPECT_GE(stats.total(), 6u);
+    EXPECT_EQ(design.stats().stes, 3u); // r, x, y
+    EXPECT_EQ(simulate(design, "rxy").size(), 1u);
+}
+
+TEST(Optimizer, RemovesDeadViaOptimize)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    design.setReport(a);
+    design.addSte(CharSet::single('z')); // dead
+    OptimizeStats stats = optimize(design);
+    EXPECT_EQ(stats.removedDead, 1u);
+    EXPECT_EQ(design.size(), 1u);
+}
+
+TEST(Optimizer, PreservesCounters)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId counter = design.addCounter(2);
+    design.connect(a, counter, Port::Count);
+    design.setReport(counter);
+    optimize(design);
+    EXPECT_EQ(design.stats().counters, 1u);
+    EXPECT_EQ(simulate(design, "aa").size(), 1u);
+}
+
+/**
+ * Behaviour-preservation property: random multi-pattern tries before
+ * and after optimization must produce identical report offset sets.
+ */
+class OptimizerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerProperty, ReportsUnchangedByOptimization)
+{
+    Rng rng(GetParam());
+    Automaton design;
+    // Several random keyword chains hanging off one shared root (one
+    // component, so the merging passes actually fire) over a tiny
+    // alphabet to maximize shared structure.
+    ElementId root =
+        design.addSte(CharSet::single('r'), StartKind::AllInput);
+    for (int pattern = 0; pattern < 6; ++pattern) {
+        std::string word = rng.string(1 + rng.below(5), "ab");
+        ElementId prev = root;
+        for (char c : word) {
+            ElementId ste = design.addSte(CharSet::single(c));
+            design.connect(prev, ste);
+            prev = ste;
+        }
+        design.setReport(prev);
+    }
+    std::string input = rng.string(300, "abr");
+
+    auto offsets = [](const std::vector<ReportEvent> &events) {
+        std::vector<uint64_t> out;
+        for (const auto &event : events) {
+            if (out.empty() || out.back() != event.offset)
+                out.push_back(event.offset);
+        }
+        return out;
+    };
+
+    auto before = offsets(simulate(design, input));
+    Automaton optimized = design;
+    optimize(optimized);
+    auto after = offsets(simulate(optimized, input));
+    EXPECT_EQ(before, after);
+    EXPECT_LE(optimized.size(), design.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+} // namespace
+} // namespace rapid::automata

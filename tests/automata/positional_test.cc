@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Positional-encoding expansion tests (§5.3's alternate solution): the
+ * expanded designs are counter/boolean-free, behave identically to the
+ * counter versions on record workloads, and — the headline — the
+ * positionally-compiled MOTOMATA program matches the published
+ * hand-crafted lattice.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ap/placement.h"
+#include "apps/benchmarks.h"
+#include "automata/positional.h"
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/rng.h"
+
+namespace rapid::automata {
+namespace {
+
+std::vector<uint64_t>
+offsets(const Automaton &design, const std::string &input)
+{
+    Simulator sim(design);
+    std::set<uint64_t> out;
+    for (const ReportEvent &event : sim.run(input))
+        out.insert(event.offset);
+    return {out.begin(), out.end()};
+}
+
+lang::CompiledProgram
+compileHamming(bool positional, int d)
+{
+    const char *source = R"(
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] comparisons, int d) {
+    some (String s : comparisons)
+        hamming_distance(s, d);
+}
+)";
+    lang::CompileOptions options;
+    options.positionalCounters = positional;
+    lang::Program program = lang::parseProgram(source);
+    return lang::compileProgram(
+        program,
+        {lang::Value::strArray({"rapid"}), lang::Value::integer(d)},
+        options);
+}
+
+TEST(Positional, ExpandedDesignIsCounterAndGateFree)
+{
+    auto compiled = compileHamming(true, 2);
+    auto stats = compiled.automaton.stats();
+    EXPECT_EQ(stats.counters, 0u);
+    EXPECT_EQ(stats.gates, 0u);
+    // No clock division without counter-gate adjacency (the §5.3
+    // motivation for positional encoding).
+    EXPECT_EQ(ap::PlacementEngine::clockDivisor(compiled.automaton), 1);
+    // The counter version does pay the divisor.
+    auto counter_version = compileHamming(false, 2);
+    EXPECT_EQ(
+        ap::PlacementEngine::clockDivisor(counter_version.automaton),
+        2);
+}
+
+TEST(Positional, BehaviourMatchesCounterVersion)
+{
+    auto banded = compileHamming(true, 2);
+    auto counters = compileHamming(false, 2);
+    for (const char *record :
+         {"rapid", "ropid", "rotid", "rotix", "xxxxx", "rapi", ""}) {
+        std::string input =
+            std::string(1, '\xFF') + record + '\xFF' + record;
+        EXPECT_EQ(offsets(banded.automaton, input),
+                  offsets(counters.automaton, input))
+            << "record=" << record;
+    }
+}
+
+TEST(Positional, SizeGrowsRoughlyWithTarget)
+{
+    auto small = compileHamming(true, 1);
+    auto large = compileHamming(true, 4);
+    EXPECT_GT(large.automaton.stats().stes,
+              small.automaton.stats().stes);
+    // Banded size stays within (target+2) x the counter version.
+    auto counter_version = compileHamming(false, 4);
+    EXPECT_LE(large.automaton.stats().stes,
+              counter_version.automaton.stats().stes * 6);
+}
+
+TEST(Positional, MotomataMatchesHandcraftedLattice)
+{
+    // The Table-4 contrast, now generated from one program: the RAPID
+    // counter design compiled positionally must agree with the
+    // published positional-encoding hand design.
+    auto bench = apps::makeMotomata();
+    lang::CompileOptions options;
+    options.positionalCounters = true;
+    lang::Program program = lang::parseProgram(bench->rapidSource());
+    auto compiled = lang::compileProgram(program, bench->networkArgs(),
+                                         options);
+    EXPECT_EQ(compiled.automaton.stats().counters, 0u);
+
+    apps::Workload load = bench->workload(0x905);
+    EXPECT_EQ(offsets(compiled.automaton, load.stream), load.truth);
+
+    // Comparable size class to the hand lattice (Table 4: H 150 vs
+    // R 53 with a counter).
+    Automaton handcrafted = bench->handcrafted();
+    double ratio =
+        static_cast<double>(compiled.automaton.stats().stes) /
+        static_cast<double>(handcrafted.stats().stes);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Positional, DirectCheckCounterExpands)
+{
+    // ARM-style: counter reports directly at >= k.
+    const char *source = R"(
+macro itemset(String items, int k) {
+    Counter cnt;
+    foreach (char c : items) {
+        while (c != input());
+        cnt.count();
+    }
+    cnt >= k;
+    report;
+}
+network (String items) { itemset(items, 3); }
+)";
+    lang::CompileOptions options;
+    options.positionalCounters = true;
+    lang::Program program = lang::parseProgram(source);
+    auto banded = lang::compileProgram(
+        program, {lang::Value::str("abc")}, options);
+    EXPECT_EQ(banded.automaton.stats().counters, 0u);
+
+    lang::Program program2 = lang::parseProgram(source);
+    auto counters =
+        lang::compileProgram(program2, {lang::Value::str("abc")});
+    for (const char *record : {"abc", "azbzc", "ab", "cba", "aabbcc"}) {
+        std::string input = std::string(1, '\xFF') + record;
+        EXPECT_EQ(offsets(banded.automaton, input),
+                  offsets(counters.automaton, input))
+            << "record=" << record;
+    }
+}
+
+TEST(Positional, UnsupportedShapesLeftUntouched)
+{
+    // Pulse-mode counters are not expandable.
+    Automaton design;
+    ElementId pulse =
+        design.addSte(CharSet::single('p'), StartKind::AllInput);
+    ElementId counter =
+        design.addCounter(2, CounterMode::Pulse);
+    design.connect(pulse, counter, Port::Count);
+    design.setReport(counter);
+    EXPECT_EQ(expandPositional(design), 0u);
+    EXPECT_EQ(design.stats().counters, 1u);
+
+    // Counters with non-guard resets stay too.
+    Automaton with_reset;
+    ElementId a = with_reset.addSte(CharSet::single('a'),
+                                    StartKind::AllInput);
+    ElementId r = with_reset.addSte(CharSet::single('r'),
+                                    StartKind::AllInput);
+    ElementId latch = with_reset.addCounter(2);
+    with_reset.connect(a, latch, Port::Count);
+    with_reset.connect(r, latch, Port::Reset);
+    with_reset.setReport(latch);
+    EXPECT_EQ(expandPositional(with_reset), 0u);
+}
+
+TEST(Positional, EqualityChecksAreSkipped)
+{
+    // == x lowers to two counters in one component: unsupported,
+    // compiles (and behaves) with counters even in positional mode.
+    const char *source = R"(
+network () {
+    {
+        Counter cnt;
+        foreach (char c : "zzz") {
+            if ('x' == input()) cnt.count();
+        }
+        cnt == 2;
+        report;
+    }
+}
+)";
+    lang::CompileOptions options;
+    options.positionalCounters = true;
+    lang::Program program = lang::parseProgram(source);
+    auto compiled = lang::compileProgram(program, {}, options);
+    EXPECT_EQ(compiled.automaton.stats().counters, 2u);
+    EXPECT_FALSE(
+        offsets(compiled.automaton, std::string("\xFF") + "xxz")
+            .empty());
+}
+
+/**
+ * Parameterized sweep: counter vs positional compilation agree for
+ * every distance bound and both check polarities over randomized
+ * record streams.
+ */
+struct SweepCase {
+    int distance;
+    const char *comparison;
+};
+
+class PositionalSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PositionalSweep, CounterAndBandedAgree)
+{
+    const SweepCase &param = GetParam();
+    std::string source = std::string(R"(
+macro scan(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt )") + param.comparison + R"( d;
+    report;
+}
+network (String[] patterns, int d) {
+    some (String s : patterns) scan(s, d);
+}
+)";
+    std::vector<lang::Value> args = {
+        lang::Value::strArray({"ACGTAC", "TTTTTT"}),
+        lang::Value::integer(param.distance)};
+
+    lang::Program counter_program = lang::parseProgram(source);
+    auto counters = lang::compileProgram(counter_program, args);
+
+    lang::CompileOptions options;
+    options.positionalCounters = true;
+    lang::Program banded_program = lang::parseProgram(source);
+    auto banded = lang::compileProgram(banded_program, args, options);
+    EXPECT_EQ(banded.automaton.stats().counters, 0u);
+
+    Rng rng(0xba5e + param.distance +
+            std::string(param.comparison).size());
+    for (int round = 0; round < 6; ++round) {
+        std::string input;
+        for (int record = 0; record < 4; ++record) {
+            input.push_back(static_cast<char>(0xFF));
+            input += rng.string(6, "ACGT");
+        }
+        EXPECT_EQ(offsets(banded.automaton, input),
+                  offsets(counters.automaton, input))
+            << "d=" << param.distance << " op=" << param.comparison;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PositionalSweep,
+    ::testing::Values(SweepCase{0, "<="}, SweepCase{1, "<="},
+                      SweepCase{2, "<="}, SweepCase{3, "<="},
+                      SweepCase{5, "<="}, SweepCase{1, "<"},
+                      SweepCase{3, "<"}, SweepCase{1, ">="},
+                      SweepCase{3, ">="}, SweepCase{5, ">="},
+                      SweepCase{1, ">"}, SweepCase{4, ">"}),
+    [](const auto &info) {
+        std::string op = info.param.comparison;
+        std::string name = op == "<="  ? "le"
+                           : op == "<" ? "lt"
+                           : op == ">=" ? "ge"
+                                        : "gt";
+        return name + std::to_string(info.param.distance);
+    });
+
+} // namespace
+} // namespace rapid::automata

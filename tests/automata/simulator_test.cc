@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Simulator unit tests against hand-built element graphs: start kinds,
+ * chains, loops, counters (all modes, reset priority, rising-edge
+ * reporting), and boolean gates.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "support/error.h"
+
+namespace rapid::automata {
+namespace {
+
+std::vector<uint64_t>
+offsets(const std::vector<ReportEvent> &events)
+{
+    std::vector<uint64_t> out;
+    for (const ReportEvent &event : events)
+        out.push_back(event.offset);
+    return out;
+}
+
+TEST(Simulator, StartOfDataMatchesOnlyFirstSymbol)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    design.setReport(a);
+    Simulator sim(design);
+    EXPECT_EQ(offsets(sim.run("abca")), (std::vector<uint64_t>{0}));
+    EXPECT_TRUE(sim.run("babc").empty());
+}
+
+TEST(Simulator, AllInputMatchesAtEveryPosition)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    design.setReport(a);
+    Simulator sim(design);
+    EXPECT_EQ(offsets(sim.run("aba a")),
+              (std::vector<uint64_t>{0, 2, 4}));
+}
+
+TEST(Simulator, UnstartedSteNeverFiresWithoutActivation)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'));
+    design.setReport(a);
+    Simulator sim(design);
+    EXPECT_TRUE(sim.run("aaaa").empty());
+}
+
+TEST(Simulator, ChainRequiresConsecutiveSymbols)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(a, b);
+    design.connect(b, c);
+    design.setReport(c);
+    Simulator sim(design);
+    EXPECT_EQ(offsets(sim.run("xxabcxabxabc")),
+              (std::vector<uint64_t>{4, 11}));
+}
+
+TEST(Simulator, SelfLoopKeepsSteEnabled)
+{
+    // a b* c
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(a, b);
+    design.connect(b, b);
+    design.connect(b, c);
+    design.connect(a, c); // zero b's allowed
+    design.setReport(c);
+    Simulator sim(design);
+    EXPECT_EQ(offsets(sim.run("abbbc")), (std::vector<uint64_t>{4}));
+    EXPECT_EQ(offsets(sim.run("ac")), (std::vector<uint64_t>{1}));
+    EXPECT_TRUE(sim.run("abxc").empty());
+}
+
+TEST(Simulator, ResetClearsStateBetweenRuns)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    design.setReport(b);
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("ab").size(), 1u);
+    // Second run must not inherit the previous enable set or reports.
+    EXPECT_EQ(sim.run("bb").size(), 0u);
+    EXPECT_EQ(sim.cycle(), 2u);
+}
+
+TEST(Simulator, NondeterministicFanOutExploresBothPaths)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b1 = design.addSte(CharSet::single('b'));
+    ElementId b2 = design.addSte(CharSet::of("bc"));
+    design.connect(a, b1);
+    design.connect(a, b2);
+    design.setReport(b1, "one");
+    design.setReport(b2, "two");
+    Simulator sim(design);
+    auto reports = sim.run("ab");
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].offset, 1u);
+    EXPECT_EQ(reports[1].offset, 1u);
+}
+
+/// Counters --------------------------------------------------------------
+
+struct CounterRig {
+    Automaton design;
+    ElementId pulse;
+    ElementId reset;
+    ElementId counter;
+
+    explicit CounterRig(uint32_t target,
+                        CounterMode mode = CounterMode::Latch)
+    {
+        pulse = design.addSte(CharSet::single('+'),
+                              StartKind::AllInput);
+        reset = design.addSte(CharSet::single('r'),
+                              StartKind::AllInput);
+        counter = design.addCounter(target, mode);
+        design.connect(pulse, counter, Port::Count);
+        design.connect(reset, counter, Port::Reset);
+        design.setReport(counter);
+    }
+};
+
+TEST(SimulatorCounter, LatchFiresOnceAtTarget)
+{
+    CounterRig rig(3);
+    Simulator sim(rig.design);
+    // Rising edge at the third '+': one report even though the latch
+    // stays high afterwards.
+    EXPECT_EQ(offsets(sim.run("+.+.+.+.+")),
+              (std::vector<uint64_t>{4}));
+}
+
+TEST(SimulatorCounter, LatchStateVisible)
+{
+    CounterRig rig(2);
+    Simulator sim(rig.design);
+    sim.step('+');
+    EXPECT_EQ(sim.counterValue(rig.counter), 1u);
+    EXPECT_FALSE(sim.counterLatched(rig.counter));
+    sim.step('+');
+    EXPECT_TRUE(sim.counterLatched(rig.counter));
+}
+
+TEST(SimulatorCounter, ResetRestartsCount)
+{
+    CounterRig rig(3);
+    Simulator sim(rig.design);
+    EXPECT_TRUE(sim.run("++r++").empty());
+    EXPECT_EQ(offsets(sim.run("++r+++")), (std::vector<uint64_t>{5}));
+}
+
+TEST(SimulatorCounter, ResetUnlatchesAndAllowsRefire)
+{
+    CounterRig rig(2);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("++r++")),
+              (std::vector<uint64_t>{1, 4}));
+}
+
+TEST(SimulatorCounter, ResetHasPriorityOverSimultaneousCount)
+{
+    // An STE matching 'b' drives BOTH ports in the same cycle.
+    Automaton design;
+    ElementId both =
+        design.addSte(CharSet::single('b'), StartKind::AllInput);
+    ElementId counter = design.addCounter(1);
+    design.connect(both, counter, Port::Count);
+    design.connect(both, counter, Port::Reset);
+    design.setReport(counter);
+    Simulator sim(design);
+    EXPECT_TRUE(sim.run("bbb").empty());
+}
+
+TEST(SimulatorCounter, PulseModeFiresOnlyAtTargetCycle)
+{
+    CounterRig rig(2, CounterMode::Pulse);
+    Simulator sim(rig.design);
+    // Fires when the second '+' arrives; saturates afterwards (no
+    // further pulses).
+    EXPECT_EQ(offsets(sim.run("+++++")), (std::vector<uint64_t>{1}));
+}
+
+TEST(SimulatorCounter, RollModeFiresEveryTargetCounts)
+{
+    CounterRig rig(2, CounterMode::Roll);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("++++++")),
+              (std::vector<uint64_t>{1, 3, 5}));
+}
+
+TEST(SimulatorCounter, SaturationStopsAtTarget)
+{
+    CounterRig rig(2);
+    Simulator sim(rig.design);
+    sim.step('+');
+    sim.step('+');
+    sim.step('+');
+    sim.step('+');
+    EXPECT_EQ(sim.counterValue(rig.counter), 2u);
+}
+
+TEST(SimulatorCounter, CounterActivatesDownstreamSte)
+{
+    CounterRig rig(2);
+    ElementId next = rig.design.addSte(CharSet::single('x'));
+    rig.design.connect(rig.counter, next);
+    rig.design.clearReport(rig.counter);
+    rig.design.setReport(next);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("++x")), (std::vector<uint64_t>{2}));
+    // The latch persists: the 'x' after the second '+' still fires.
+    EXPECT_EQ(offsets(sim.run("+x+x")), (std::vector<uint64_t>{3}));
+    // Below target the downstream STE never enables.
+    EXPECT_TRUE(sim.run("+x").empty());
+}
+
+/// Gates -----------------------------------------------------------------
+
+struct GateRig {
+    Automaton design;
+    ElementId a;
+    ElementId b;
+    ElementId gate;
+
+    explicit GateRig(GateOp op)
+    {
+        a = design.addSte(CharSet::of("aC"), StartKind::AllInput);
+        b = design.addSte(CharSet::of("bC"), StartKind::AllInput);
+        gate = design.addGate(op);
+        design.connect(a, gate);
+        design.connect(b, gate);
+        design.setReport(gate);
+    }
+};
+
+TEST(SimulatorGate, AndRequiresAllInputs)
+{
+    GateRig rig(GateOp::And);
+    Simulator sim(rig.design);
+    // 'C' activates both STEs; 'a'/'b' only one each.
+    EXPECT_EQ(offsets(sim.run("abC")), (std::vector<uint64_t>{2}));
+}
+
+TEST(SimulatorGate, OrRequiresAnyInput)
+{
+    GateRig rig(GateOp::Or);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("axC")),
+              (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(SimulatorGate, NorFiresOnSilence)
+{
+    GateRig rig(GateOp::Nor);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("ax")), (std::vector<uint64_t>{1}));
+}
+
+TEST(SimulatorGate, NandFiresUnlessAll)
+{
+    GateRig rig(GateOp::Nand);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("aC")), (std::vector<uint64_t>{0}));
+}
+
+TEST(SimulatorGate, InverterOverCounter)
+{
+    // NOT(counter latched): high until the counter reaches target.
+    Automaton design;
+    ElementId pulse =
+        design.addSte(CharSet::single('+'), StartKind::AllInput);
+    ElementId counter = design.addCounter(2);
+    ElementId inverter = design.addGate(GateOp::Not);
+    design.connect(pulse, counter, Port::Count);
+    design.connect(counter, inverter);
+    design.setReport(inverter);
+    Simulator sim(design);
+    // Inverter reports every cycle until the counter latches at the
+    // second '+' (offset 2).
+    EXPECT_EQ(offsets(sim.run("x+.+x")),
+              (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(SimulatorGate, GateChainsSettleInOneCycle)
+{
+    // AND(a, NOT(b)) — two gate levels, evaluated combinationally.
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::of("ax"), StartKind::AllInput);
+    ElementId b =
+        design.addSte(CharSet::of("bx"), StartKind::AllInput);
+    ElementId not_b = design.addGate(GateOp::Not);
+    ElementId both = design.addGate(GateOp::And);
+    design.connect(b, not_b);
+    design.connect(a, both);
+    design.connect(not_b, both);
+    design.setReport(both);
+    Simulator sim(design);
+    // 'a' alone fires; 'x' (both) does not; 'b' alone does not.
+    EXPECT_EQ(offsets(sim.run("abxa")),
+              (std::vector<uint64_t>{0, 3}));
+}
+
+TEST(Simulator, ValidationRunsAtConstruction)
+{
+    Automaton design;
+    design.addCounter(2); // no count input
+    EXPECT_THROW(Simulator sim(design), CompileError);
+}
+
+TEST(Simulator, EmptyInputProducesNoReports)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    design.setReport(a);
+    Simulator sim(design);
+    EXPECT_TRUE(sim.run("").empty());
+    EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Simulator, ReportsCarryElementIds)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput,
+                      "named");
+    design.setReport(a, "code");
+    Simulator sim(design);
+    auto reports = sim.run("a");
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(design[reports[0].element].id, "named");
+    EXPECT_EQ(design[reports[0].element].reportCode, "code");
+}
+
+} // namespace
+} // namespace rapid::automata

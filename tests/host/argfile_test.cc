@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Argument-annotation file parsing (§5's second compiler input).
+ */
+#include <gtest/gtest.h>
+
+#include "host/argfile.h"
+#include "support/error.h"
+
+namespace rapid::host {
+namespace {
+
+using lang::BaseType;
+using lang::Type;
+using lang::Value;
+
+TEST(ArgFile, ScalarKinds)
+{
+    auto args = parseArgFile("int: 42\n"
+                             "bool: true\n"
+                             "char: x\n"
+                             "string: hello world\n");
+    ASSERT_EQ(args.size(), 4u);
+    EXPECT_EQ(args[0].i, 42);
+    EXPECT_TRUE(args[1].b);
+    EXPECT_EQ(args[2].c.value, 'x');
+    EXPECT_EQ(args[3].s, "hello world");
+}
+
+TEST(ArgFile, NegativeAndHexedValues)
+{
+    auto args = parseArgFile("int: -7\nchar: \\xff\nstring: a\\x00b\n");
+    EXPECT_EQ(args[0].i, -7);
+    EXPECT_EQ(args[1].c.value, 0xFF);
+    ASSERT_EQ(args[2].s.size(), 3u);
+    EXPECT_EQ(args[2].s[1], '\0');
+}
+
+TEST(ArgFile, CommentsAndBlanksIgnored)
+{
+    auto args = parseArgFile("# heading\n\n  # indented comment\n"
+                             "int: 1\n\n");
+    ASSERT_EQ(args.size(), 1u);
+}
+
+TEST(ArgFile, IntArray)
+{
+    auto args = parseArgFile("ints: 0, 1, 2, 3\n");
+    ASSERT_EQ(args.size(), 1u);
+    EXPECT_EQ(args[0].type, Type(BaseType::Int, 1));
+    ASSERT_EQ(args[0].arr->size(), 4u);
+    EXPECT_EQ((*args[0].arr)[3].i, 3);
+}
+
+TEST(ArgFile, StringArrayTrimsFields)
+{
+    auto args = parseArgFile("strings:  ACGT ,TTTT,  CCCC\n");
+    ASSERT_EQ(args[0].arr->size(), 3u);
+    EXPECT_EQ((*args[0].arr)[0].s, "ACGT");
+    EXPECT_EQ((*args[0].arr)[2].s, "CCCC");
+}
+
+TEST(ArgFile, EmptyArray)
+{
+    auto args = parseArgFile("strings:\n");
+    EXPECT_EQ(args[0].arr->size(), 0u);
+}
+
+TEST(ArgFile, EscapedSeparatorInsideField)
+{
+    auto args = parseArgFile("strings: a\\,b, c\n");
+    ASSERT_EQ(args[0].arr->size(), 2u);
+    EXPECT_EQ((*args[0].arr)[0].s, "a,b");
+}
+
+TEST(ArgFile, NestedStringArray)
+{
+    auto args = parseArgFile("stringss: NN, foo, VB; DT, , JJ\n");
+    ASSERT_EQ(args.size(), 1u);
+    EXPECT_EQ(args[0].type, Type(BaseType::String, 2));
+    ASSERT_EQ(args[0].arr->size(), 2u);
+    const Value &row0 = (*args[0].arr)[0];
+    ASSERT_EQ(row0.arr->size(), 3u);
+    EXPECT_EQ((*row0.arr)[1].s, "foo");
+    const Value &row1 = (*args[0].arr)[1];
+    EXPECT_EQ((*row1.arr)[1].s, "");
+}
+
+TEST(ArgFile, Errors)
+{
+    EXPECT_THROW(parseArgFile("what\n"), CompileError);
+    EXPECT_THROW(parseArgFile("float: 1.5\n"), CompileError);
+    EXPECT_THROW(parseArgFile("int: twelve\n"), CompileError);
+    EXPECT_THROW(parseArgFile("bool: yes\n"), CompileError);
+    EXPECT_THROW(parseArgFile("char: ab\n"), CompileError);
+    EXPECT_THROW(parseArgFile("ints: 1, x\n"), CompileError);
+    EXPECT_THROW(parseArgFile("string: bad\\q\n"), CompileError);
+}
+
+TEST(ArgFile, MissingFileReported)
+{
+    EXPECT_THROW(loadArgFile("/nonexistent/args.txt"), CompileError);
+}
+
+} // namespace
+} // namespace rapid::host

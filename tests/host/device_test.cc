@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Host device driver tests: report enrichment and tessellated-design
+ * execution (block replication) equivalence with flat designs.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ap/tessellation.h"
+#include "host/device.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::host {
+namespace {
+
+const char *kProgram = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String[] ps) { some (String p : ps) match(p); }
+)";
+
+lang::CompiledProgram
+compile(const std::vector<std::string> &patterns)
+{
+    lang::Program program = lang::parseProgram(kProgram);
+    return lang::compileProgram(program,
+                                {lang::Value::strArray(patterns)});
+}
+
+TEST(Device, ReportsCarryMacroMetadata)
+{
+    auto compiled = compile({"ab"});
+    Device device(std::move(compiled.automaton));
+    InputTransformer transformer;
+    auto reports = device.run(transformer.frame({"ab"}));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 2u);
+    EXPECT_EQ(reports[0].code, "match#0");
+    EXPECT_FALSE(reports[0].element.empty());
+}
+
+TEST(Device, TiledDesignMatchesFlatDesign)
+{
+    // Four identical instances compiled flat...
+    auto flat = compile({"ab", "ab", "ab", "ab"});
+    // ...versus the tessellation tile replicated at load time.
+    auto tiled_src = compile({"ab", "ab", "ab", "ab"});
+    ASSERT_TRUE(tiled_src.tileable());
+    ap::Tessellator tessellator;
+    ap::TiledDesign tiled =
+        tessellator.tessellate(tiled_src.tile, 4);
+
+    InputTransformer transformer;
+    std::string stream = transformer.frame({"ab", "xx", "ab"});
+
+    Device flat_device(std::move(flat.automaton));
+    Device tiled_device(tiled);
+
+    auto offsets = [](const std::vector<HostReport> &reports) {
+        std::set<uint64_t> out;
+        for (const auto &report : reports)
+            out.insert(report.offset);
+        return out;
+    };
+    EXPECT_EQ(offsets(flat_device.run(stream)),
+              offsets(tiled_device.run(stream)));
+}
+
+TEST(Device, TileCompilationProducesSingleInstance)
+{
+    auto compiled = compile({"abcde", "vwxyz", "12345"});
+    ASSERT_TRUE(compiled.tileable());
+    EXPECT_EQ(compiled.tileInstances, 3u);
+    // The tile holds exactly one pattern: guard + 5 chain STEs.
+    EXPECT_EQ(compiled.tile.stats().stes, 6u);
+}
+
+TEST(Device, NonTileableProgramHasNoTile)
+{
+    const char *source = R"(
+network () {
+    { 'a' == input(); report; }
+}
+)";
+    lang::Program program = lang::parseProgram(source);
+    auto compiled = lang::compileProgram(program, {});
+    EXPECT_FALSE(compiled.tileable());
+    EXPECT_EQ(compiled.tile.size(), 0u);
+}
+
+} // namespace
+} // namespace rapid::host

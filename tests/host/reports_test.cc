@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Report aggregation tests, including the ARM support-counting
+ * workflow end to end: compile candidates, stream transactions,
+ * aggregate, and query frequent item-sets.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "host/device.h"
+#include "host/reports.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::host {
+namespace {
+
+HostReport
+fake(const char *code, uint64_t offset)
+{
+    HostReport report;
+    report.code = code;
+    report.offset = offset;
+    report.element = "e";
+    return report;
+}
+
+TEST(ReportSummary, CountsAndOffsets)
+{
+    ReportSummary summary;
+    summary.add(fake("a", 3));
+    summary.add(fake("b", 5));
+    summary.add(fake("a", 9));
+    EXPECT_EQ(summary.total(), 3u);
+    EXPECT_EQ(summary.distinctCodes(), 2u);
+    EXPECT_EQ(summary.support("a"), 2u);
+    EXPECT_EQ(summary.support("b"), 1u);
+    EXPECT_EQ(summary.support("missing"), 0u);
+    EXPECT_EQ(summary.offsets("a"),
+              (std::vector<uint64_t>{3, 9}));
+    EXPECT_TRUE(summary.offsets("missing").empty());
+}
+
+TEST(ReportSummary, FrequentOrdersBySupport)
+{
+    ReportSummary summary;
+    for (int i = 0; i < 5; ++i)
+        summary.add(fake("hot", 10 + i));
+    for (int i = 0; i < 2; ++i)
+        summary.add(fake("warm", 20 + i));
+    summary.add(fake("cold", 30));
+    auto frequent = summary.frequent(2);
+    ASSERT_EQ(frequent.size(), 2u);
+    EXPECT_EQ(frequent[0].first, "hot");
+    EXPECT_EQ(frequent[0].second, 5u);
+    EXPECT_EQ(frequent[1].first, "warm");
+    // Threshold 1 includes everything.
+    EXPECT_EQ(summary.frequent(1).size(), 3u);
+    EXPECT_TRUE(summary.frequent(6).empty());
+}
+
+TEST(ReportSummary, ArmSupportCountingEndToEnd)
+{
+    // Two candidate item-sets; count how many transactions contain
+    // each — the ARM host-side workflow.
+    const char *source = R"(
+macro itemset(String items, int k) {
+    Counter cnt;
+    foreach (char c : items) {
+        while (c != input());
+        cnt.count();
+    }
+    cnt >= k;
+    report;
+}
+network (String[] candidates) {
+    some (String items : candidates)
+        itemset(items, 2);
+}
+)";
+    lang::Program program = lang::parseProgram(source);
+    auto compiled = lang::compileProgram(
+        program, {lang::Value::strArray({"ab", "bd"})});
+
+    InputTransformer framer;
+    // Transactions (sorted item strings).
+    std::string stream = framer.frame(
+        {"abc", "abd", "bcd", "ad", "abcd"});
+    Device device(std::move(compiled.automaton));
+    ReportSummary summary{device.run(stream)};
+
+    // {a,b} ⊆ abc, abd, abcd → support 3; {b,d} ⊆ abd, bcd, abcd → 3.
+    EXPECT_EQ(summary.support("itemset#0"), 3u);
+    EXPECT_EQ(summary.support("itemset#1"), 3u);
+    EXPECT_EQ(summary.frequent(3).size(), 2u);
+    EXPECT_TRUE(summary.frequent(4).empty());
+}
+
+} // namespace
+} // namespace rapid::host

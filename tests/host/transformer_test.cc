@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Host input-transformer tests: record framing and §5.3 reserved-symbol
+ * injection, including the end-to-end injection-mode compile flow.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::host {
+namespace {
+
+using automata::Simulator;
+
+TEST(Transformer, FramesRecordsWithStartOfInput)
+{
+    InputTransformer transformer;
+    std::string stream = transformer.frame({"ab", "c"});
+    EXPECT_EQ(stream, std::string("\xFF" "ab" "\xFF" "c"));
+}
+
+TEST(Transformer, EmptyRecordsStillFramed)
+{
+    InputTransformer transformer;
+    EXPECT_EQ(transformer.frame({"", ""}), std::string("\xFF\xFF"));
+}
+
+TEST(Transformer, InjectsSymbolAfterPeriod)
+{
+    lang::SymbolInjection injection;
+    injection.symbol = 0xFE;
+    injection.period = 2;
+    injection.counterName = "cnt";
+    InputTransformer transformer({injection});
+    EXPECT_EQ(transformer.transformRecord("abcd"),
+              std::string("ab\xFE" "cd"));
+}
+
+TEST(Transformer, InjectionAtRecordEnd)
+{
+    lang::SymbolInjection injection;
+    injection.symbol = 0xFE;
+    injection.period = 4;
+    injection.counterName = "cnt";
+    InputTransformer transformer({injection});
+    EXPECT_EQ(transformer.transformRecord("abcd"),
+              std::string("abcd\xFE"));
+}
+
+TEST(Transformer, MultipleInjectionsSorted)
+{
+    lang::SymbolInjection first{0xFE, 1, "a"};
+    lang::SymbolInjection second{0xFD, 3, "b"};
+    InputTransformer transformer({second, first});
+    EXPECT_EQ(transformer.transformRecord("wxyz"),
+              std::string("w\xFE" "xy\xFD" "z"));
+}
+
+TEST(Transformer, MissingPeriodRejectedUntilProvided)
+{
+    lang::SymbolInjection injection{0xFE, 0, "cnt"};
+    InputTransformer transformer({injection});
+    EXPECT_THROW(transformer.transformRecord("ab"), CompileError);
+    transformer.setPeriod("cnt", 1);
+    EXPECT_EQ(transformer.transformRecord("ab"),
+              std::string("a\xFE" "b"));
+    EXPECT_THROW(transformer.setPeriod("ghost", 1), CompileError);
+}
+
+/**
+ * §5.3 end-to-end: compile a counter assertion in injection mode, let
+ * the host transformer insert the reserved symbol at the inferred
+ * period, and verify reports.
+ */
+TEST(Injection, CounterCheckViaReservedSymbol)
+{
+    const char *source = R"(
+network () {
+    {
+        Counter cnt;
+        foreach (char c : "zzzz") {
+            if ('x' == input()) cnt.count();
+        }
+        cnt >= 2;
+        report;
+    }
+}
+)";
+    lang::CompileOptions options;
+    options.counterCheckViaInjection = true;
+    lang::Program program = lang::parseProgram(source);
+    auto compiled = lang::compileProgram(program, {}, options);
+
+    ASSERT_EQ(compiled.injections.size(), 1u);
+    EXPECT_EQ(compiled.injections[0].period, 4u); // after 4 data symbols
+    EXPECT_EQ(compiled.injections[0].counterName, "cnt");
+
+    InputTransformer transformer(compiled.injections);
+    Simulator sim(compiled.automaton);
+    // Two x's: threshold met; the injected symbol carries control to
+    // the report STE.
+    auto hit = sim.run(transformer.frame({"xxzz"}));
+    EXPECT_FALSE(hit.empty());
+    auto miss = sim.run(transformer.frame({"xzzz"}));
+    EXPECT_TRUE(miss.empty());
+}
+
+TEST(Injection, ReservedSymbolsExcludedFromOtherClasses)
+{
+    const char *source = R"(
+network () {
+    {
+        Counter cnt;
+        foreach (char c : "zz") {
+            if ('x' != input()) cnt.count();
+        }
+        cnt >= 1;
+        report;
+    }
+}
+)";
+    lang::CompileOptions options;
+    options.counterCheckViaInjection = true;
+    lang::Program program = lang::parseProgram(source);
+    auto compiled = lang::compileProgram(program, {}, options);
+    ASSERT_EQ(compiled.injections.size(), 1u);
+    unsigned char reserved = compiled.injections[0].symbol;
+    // Every STE except the checker must exclude the reserved symbol.
+    size_t checkers = 0;
+    for (automata::ElementId i = 0; i < compiled.automaton.size();
+         ++i) {
+        const auto &element = compiled.automaton[i];
+        if (element.kind != automata::ElementKind::Ste)
+            continue;
+        if (element.symbols ==
+            automata::CharSet::single(reserved)) {
+            ++checkers;
+            continue;
+        }
+        EXPECT_FALSE(element.symbols.test(reserved))
+            << "STE " << element.id << " matches the reserved symbol";
+    }
+    EXPECT_EQ(checkers, 1u);
+}
+
+} // namespace
+} // namespace rapid::host

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Code-generation edge cases: some-over-string, deeply nested parallel
+ * structures, reserved-symbol exhaustion, empty constructs, and report
+ * metadata at the network level.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::Simulator;
+
+std::vector<uint64_t>
+runProgram(const std::string &source, const std::vector<Value> &args,
+           const std::string &input,
+           const CompileOptions &options = {})
+{
+    Program program = parseProgram(source);
+    auto compiled = compileProgram(program, args, options);
+    Simulator sim(compiled.automaton);
+    std::vector<uint64_t> offsets;
+    for (const auto &event : sim.run(input)) {
+        if (offsets.empty() || offsets.back() != event.offset)
+            offsets.push_back(event.offset);
+    }
+    return offsets;
+}
+
+TEST(CodegenEdge, SomeOverStringForksPerCharacter)
+{
+    // One parallel branch per character of the string.
+    const char *source = R"(
+network (String chars) {
+    {
+        some (char c : chars) {
+            c == input();
+        }
+        'z' == input();
+        report;
+    }
+}
+)";
+    auto offsets =
+        runProgram(source, {Value::str("abc")},
+                   std::string("\xFF") + "az" + "\xFF" + "cz" +
+                       "\xFF" + "dz");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{2, 5}));
+}
+
+TEST(CodegenEdge, NestedEitherInsideSome)
+{
+    const char *source = R"(
+network (String[] pairs) {
+    some (String p : pairs) {
+        either { p[0] == input(); }
+        orelse { p[1] == input(); }
+        report;
+    }
+}
+)";
+    auto offsets = runProgram(source, {Value::strArray({"ab", "cd"})},
+                              std::string("\xFF") + "b" + "\xFF" +
+                                  "c" + "\xFF" + "x");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(CodegenEdge, EmptyBlocksAndBodies)
+{
+    const char *source = R"(
+network () {
+    {
+        { }
+        'a' == input();
+        if (true) { } else { }
+        report;
+    }
+}
+)";
+    EXPECT_EQ(runProgram(source, {}, std::string("\xFF") + "a"),
+              (std::vector<uint64_t>{1}));
+}
+
+TEST(CodegenEdge, ForeachOverEmptyStringIsNoop)
+{
+    const char *source = R"(
+network (String s) {
+    {
+        foreach (char c : s) c == input();
+        'q' == input();
+        report;
+    }
+}
+)";
+    EXPECT_EQ(runProgram(source, {Value::str("")},
+                         std::string("\xFF") + "q"),
+              (std::vector<uint64_t>{1}));
+}
+
+TEST(CodegenEdge, ReservedSymbolExhaustionRejected)
+{
+    // 16 reserved symbols exist (0xFE down to 0xF1); a program with
+    // more injected checks than that must be rejected, not silently
+    // mis-compiled.
+    std::string body;
+    for (int i = 0; i < 20; ++i) {
+        body += "Counter c" + std::to_string(i) + ";";
+        body += "'x' == input(); c" + std::to_string(i) + ".count();";
+        body += "c" + std::to_string(i) + " >= 1;";
+    }
+    std::string source = "network () { { " + body + " report; } }";
+    CompileOptions options;
+    options.counterCheckViaInjection = true;
+    Program program = parseProgram(source);
+    EXPECT_THROW(compileProgram(program, {}, options), CompileError);
+}
+
+TEST(CodegenEdge, NetworkLevelReportCode)
+{
+    const char *source = R"(
+network () {
+    { 'a' == input(); report; }
+}
+)";
+    Program program = parseProgram(source);
+    auto compiled = compileProgram(program, {});
+    bool found = false;
+    for (automata::ElementId i = 0; i < compiled.automaton.size();
+         ++i) {
+        if (compiled.automaton[i].report) {
+            EXPECT_EQ(compiled.automaton[i].reportCode, "network");
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CodegenEdge, DeepMacroNestingWithinLimit)
+{
+    // A 100-deep compile-time recursion is fine (limit is 256).
+    const char *source = R"(
+macro deep(int n) {
+    if (n > 0) { 'x' == input(); deep(n - 1); }
+}
+network () { { deep(100); report; } }
+)";
+    std::string input = std::string("\xFF") + std::string(100, 'x');
+    auto offsets = runProgram(source, {}, input);
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{100}));
+}
+
+TEST(CodegenEdge, WhileFalseBodyNeverEmits)
+{
+    const char *source = R"(
+network () {
+    {
+        while (false) { 'x' == input(); }
+        'y' == input();
+        report;
+    }
+}
+)";
+    Program program = parseProgram(source);
+    auto compiled = compileProgram(program, {});
+    // No 'x' STE exists at all.
+    for (automata::ElementId i = 0; i < compiled.automaton.size();
+         ++i) {
+        if (compiled.automaton[i].kind ==
+            automata::ElementKind::Ste) {
+            EXPECT_FALSE(compiled.automaton[i].symbols.test('x'));
+        }
+    }
+}
+
+TEST(CodegenEdge, SeparatorLiteralInPattern)
+{
+    // A pattern explicitly matching START_OF_INPUT is allowed.
+    const char *source = R"(
+network () {
+    {
+        START_OF_INPUT == input();
+        'a' == input();
+        report;
+    }
+}
+)";
+    // Record framing gives \xFF a: the explicit separator match needs
+    // a second \xFF.
+    EXPECT_EQ(runProgram(source, {},
+                         std::string("\xFF\xFF") + "a"),
+              (std::vector<uint64_t>{2}));
+}
+
+TEST(CodegenEdge, TileHeuristicRequiresNetworkParam)
+{
+    // A some over a local array is not tiled (the §6 heuristic keys on
+    // network parameters).
+    const char *source = R"(
+network () {
+    String[] local = {"ab", "cd"};
+    some (String p : local) {
+        foreach (char c : p) c == input();
+        report;
+    }
+}
+)";
+    Program program = parseProgram(source);
+    auto compiled = compileProgram(program, {});
+    EXPECT_FALSE(compiled.tileable());
+    // The design itself still works.
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run(std::string("\xFF") + "cd").size(), 1u);
+}
+
+} // namespace
+} // namespace rapid::lang

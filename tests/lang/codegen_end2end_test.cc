@@ -1,0 +1,368 @@
+/**
+ * @file
+ * End-to-end tests: RAPID source → automaton → simulation → reports.
+ *
+ * These pin the paper's worked examples: the Hamming-distance program of
+ * Fig. 1, the counting example of Fig. 2 ("tepid" reports, "party" does
+ * not), the motif scan of Fig. 3, and the sliding-window search of
+ * Fig. 4.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::ReportEvent;
+using automata::Simulator;
+
+/** Compile, run, and return the distinct report offsets. */
+std::vector<uint64_t>
+reportOffsets(const std::string &source, const std::vector<Value> &args,
+              const std::string &input)
+{
+    Program program = parseProgram(source);
+    CompiledProgram compiled = compileProgram(program, args);
+    Simulator sim(compiled.automaton);
+    std::vector<uint64_t> offsets;
+    for (const ReportEvent &event : sim.run(input)) {
+        if (offsets.empty() || offsets.back() != event.offset)
+            offsets.push_back(event.offset);
+    }
+    return offsets;
+}
+
+/** Frame records with the START_OF_INPUT separator (\xFF). */
+std::string
+frame(const std::vector<std::string> &records)
+{
+    std::string out;
+    for (const std::string &record : records) {
+        out.push_back(static_cast<char>(0xFF));
+        out += record;
+    }
+    return out;
+}
+
+// The Figure 2 example: count matches against "rapid", report if >= 3.
+const char *kCountProgram = R"(
+network () {
+    {
+        Counter cnt;
+        foreach (char c : "rapid") {
+            if (c == input()) cnt.count();
+        }
+        if (cnt >= 3) report;
+    }
+}
+)";
+
+TEST(CodegenEnd2End, Figure2TepidReports)
+{
+    // "tepid" matches a-p-i-d → count 4 ≥ 3 → report.
+    auto offsets = reportOffsets(kCountProgram, {}, frame({"tepid"}));
+    EXPECT_FALSE(offsets.empty());
+}
+
+TEST(CodegenEnd2End, Figure2PartyDoesNotReport)
+{
+    // "party" matches only 'a' → count 1 → no report.
+    auto offsets = reportOffsets(kCountProgram, {}, frame({"party"}));
+    EXPECT_TRUE(offsets.empty());
+}
+
+TEST(CodegenEnd2End, Figure2ExactWordReports)
+{
+    auto offsets = reportOffsets(kCountProgram, {}, frame({"rapid"}));
+    EXPECT_FALSE(offsets.empty());
+}
+
+// The Figure 1 program: Hamming distance against network-provided
+// strings, reporting within distance d.
+const char *kHammingProgram = R"(
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] comparisons) {
+    some (String s : comparisons)
+        hamming_distance(s, 2);
+}
+)";
+
+TEST(CodegenEnd2End, HammingWithinDistanceReports)
+{
+    Value comparisons = Value::strArray({"rapid"});
+    // distance("rapid","ropid") = 1 <= 2.
+    auto offsets =
+        reportOffsets(kHammingProgram, {comparisons}, frame({"ropid"}));
+    ASSERT_EQ(offsets.size(), 1u);
+    EXPECT_EQ(offsets[0], 5u); // \xFF r o p i d → report on 'd' at 5
+}
+
+TEST(CodegenEnd2End, HammingBeyondDistanceSilent)
+{
+    Value comparisons = Value::strArray({"rapid"});
+    // distance("rapid","romps") = 4 > 2.
+    auto offsets =
+        reportOffsets(kHammingProgram, {comparisons}, frame({"romps"}));
+    EXPECT_TRUE(offsets.empty());
+}
+
+TEST(CodegenEnd2End, HammingExactMatchReports)
+{
+    Value comparisons = Value::strArray({"rapid"});
+    auto offsets =
+        reportOffsets(kHammingProgram, {comparisons}, frame({"rapid"}));
+    EXPECT_EQ(offsets.size(), 1u);
+}
+
+TEST(CodegenEnd2End, HammingMultipleComparisonsRunInParallel)
+{
+    Value comparisons = Value::strArray({"aaaaa", "bbbbb"});
+    auto offsets = reportOffsets(kHammingProgram, {comparisons},
+                                 frame({"aabaa", "bbabb", "ccccc"}));
+    // Records start at offsets 0,6,12 (each preceded by \xFF); reports
+    // land on the last character of records 1 and 2.
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{5, 11}));
+}
+
+// Figure 4: sliding-window search over the whole stream.
+const char *kSlidingProgram = R"(
+network () {
+    whenever (ALL_INPUT == input()) {
+        foreach (char c : "rapid")
+            c == input();
+        report;
+    }
+}
+)";
+
+TEST(CodegenEnd2End, Figure4SlidingWindowFindsAllOccurrences)
+{
+    auto offsets =
+        reportOffsets(kSlidingProgram, {}, "xxrapidyyrapidrapid");
+    // Matches end at offsets 6, 13, 18.
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{6, 13, 18}));
+}
+
+TEST(CodegenEnd2End, Figure4SlidingWindowMatchAtOffsetZero)
+{
+    auto offsets = reportOffsets(kSlidingProgram, {}, "rapidx");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{4}));
+}
+
+// Figure 3: candidate scan with either/orelse.  Candidates separated by
+// 'y'; report candidates within Hamming distance d of s.
+const char *kMotifProgram = R"(
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+}
+network (String motif, int d) {
+    {
+    either {
+        hamming_distance(motif, d);
+        'y' == input();
+        report;
+    } orelse {
+        while ('y' != input());
+    }
+    }
+}
+)";
+
+TEST(CodegenEnd2End, Figure3ReportsCloseCandidate)
+{
+    // Candidates: "acgt" (distance 0) and "aaaa" (distance 2).
+    auto offsets = reportOffsets(
+        kMotifProgram, {Value::str("acgt"), Value::integer(1)},
+        frame({"acgtyaaaay"}));
+    // Report fires on the 'y' after the matching candidate: offset 5.
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{5}));
+}
+
+TEST(CodegenEnd2End, Figure3SkipsFarCandidate)
+{
+    // The literal Fig. 3 fragment checks the record's first candidate;
+    // the orelse arm positions control after the separator (the paper's
+    // fragment is embedded in a larger scan that loops).  The far first
+    // candidate therefore yields no report.
+    auto offsets = reportOffsets(
+        kMotifProgram, {Value::str("acgt"), Value::integer(1)},
+        frame({"ttttyacgty"}));
+    EXPECT_TRUE(offsets.empty());
+}
+
+// The full candidate scan: a restricted sliding window (§3.3) starts a
+// match at the record start and after every 'y' separator.
+const char *kMotifScanProgram = R"(
+macro hamming_distance(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+}
+network (String motif, int d) {
+    whenever (START_OF_INPUT == input() || 'y' == input()) {
+        hamming_distance(motif, d);
+        'y' == input();
+        report;
+    }
+}
+)";
+
+TEST(CodegenEnd2End, MotifScanChecksEveryCandidate)
+{
+    auto offsets = reportOffsets(
+        kMotifScanProgram, {Value::str("acgt"), Value::integer(1)},
+        frame({"ttttyacgty"}));
+    // Candidate 2 ("acgt", distance 0) reports on its trailing 'y'.
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{10}));
+}
+
+TEST(CodegenEnd2End, MotifScanCounterResetsBetweenCandidates)
+{
+    // Candidate 1 accumulates 4 mismatches; without the per-candidate
+    // counter reset the perfect candidate 2 would be suppressed.
+    auto offsets = reportOffsets(
+        kMotifScanProgram, {Value::str("acgt"), Value::integer(0)},
+        frame({"ttttyacgtyacgay"}));
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{10}));
+}
+
+// Boolean expressions as statements (§3.1) kill non-matching threads.
+TEST(CodegenEnd2End, AssertionStatementsFilter)
+{
+    const char *source = R"(
+network () {
+    {
+        'a' == input();
+        'b' == input();
+        report;
+    }
+}
+)";
+    EXPECT_EQ(reportOffsets(source, {}, frame({"ab"})),
+              (std::vector<uint64_t>{2}));
+    EXPECT_TRUE(reportOffsets(source, {}, frame({"ax"})).empty());
+    EXPECT_TRUE(reportOffsets(source, {}, frame({"ba"})).empty());
+}
+
+TEST(CodegenEnd2End, EitherArmsMatchDifferentLengths)
+{
+    const char *source = R"(
+network () {
+    {
+        either {
+            'a' == input();
+        } orelse {
+            'b' == input();
+            'c' == input();
+        }
+        'z' == input();
+        report;
+    }
+}
+)";
+    // "az" matches the short arm; "bcz" the long one.
+    EXPECT_EQ(reportOffsets(source, {}, frame({"az"})),
+              (std::vector<uint64_t>{2}));
+    EXPECT_EQ(reportOffsets(source, {}, frame({"bcz"})),
+              (std::vector<uint64_t>{3}));
+    EXPECT_TRUE(reportOffsets(source, {}, frame({"bz"})).empty());
+}
+
+TEST(CodegenEnd2End, OrExpressionFusesAlternatives)
+{
+    const char *source = R"(
+network () {
+    {
+        'a' == input() || 'b' == input();
+        report;
+    }
+}
+)";
+    EXPECT_EQ(reportOffsets(source, {}, frame({"a"})),
+              (std::vector<uint64_t>{1}));
+    EXPECT_EQ(reportOffsets(source, {}, frame({"b"})),
+              (std::vector<uint64_t>{1}));
+    EXPECT_TRUE(reportOffsets(source, {}, frame({"c"})).empty());
+}
+
+TEST(CodegenEnd2End, NegatedConjunctionMatchesMismatches)
+{
+    // !(a then b): any two symbols except exactly "ab".
+    const char *source = R"(
+network () {
+    {
+        !('a' == input() && 'b' == input());
+        report;
+    }
+}
+)";
+    EXPECT_TRUE(reportOffsets(source, {}, frame({"ab"})).empty());
+    EXPECT_EQ(reportOffsets(source, {}, frame({"ax"})),
+              (std::vector<uint64_t>{2}));
+    EXPECT_EQ(reportOffsets(source, {}, frame({"xb"})),
+              (std::vector<uint64_t>{2}));
+    EXPECT_EQ(reportOffsets(source, {}, frame({"xx"})),
+              (std::vector<uint64_t>{2}));
+}
+
+TEST(CodegenEnd2End, CompileTimeIfSelectsBranch)
+{
+    const char *source = R"(
+network (bool flag) {
+    if (flag) {
+        'a' == input();
+        report;
+    } else {
+        'b' == input();
+        report;
+    }
+}
+)";
+    EXPECT_FALSE(reportOffsets(source, {Value::boolean(true)},
+                               frame({"a"}))
+                     .empty());
+    EXPECT_TRUE(reportOffsets(source, {Value::boolean(true)},
+                              frame({"b"}))
+                    .empty());
+    EXPECT_FALSE(reportOffsets(source, {Value::boolean(false)},
+                               frame({"b"}))
+                     .empty());
+}
+
+TEST(CodegenEnd2End, CounterResetViaWhile)
+{
+    // Count 'x's; report when the count reaches 3.
+    const char *source = R"(
+network () {
+    whenever (ALL_INPUT == input()) {
+        Counter cnt;
+        'x' == input();
+        cnt.count();
+        'x' == input();
+        cnt.count();
+        'x' == input();
+        cnt.count();
+        cnt >= 3;
+        report;
+    }
+}
+)";
+    auto offsets = reportOffsets(source, {}, "xxx");
+    EXPECT_FALSE(offsets.empty());
+}
+
+} // namespace
+} // namespace rapid::lang

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Counter lowering tests: the Table 2 threshold/output rules, two
+ * physical counters for equality checks, the one-threshold-per-counter
+ * restriction (§5.3), whenever-with-counter (Fig. 9), and the clock
+ * divisor consequences checked in Table 5.
+ */
+#include <gtest/gtest.h>
+
+#include "ap/placement.h"
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::Automaton;
+using automata::ElementKind;
+using automata::Simulator;
+
+Automaton
+compileBody(const std::string &body)
+{
+    CompileOptions options;
+    options.optimize = false;
+    Program program = parseProgram("network () { { " + body + " } }");
+    return compileProgram(program, {}, options).automaton;
+}
+
+/** Count x's then check; reports offsets where the check-report fires. */
+std::vector<uint64_t>
+runCheck(const std::string &comparison, const std::string &record)
+{
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "foreach (char c : \"zzzz\") {"
+        "    if ('x' == input()) cnt.count();"
+        "}"
+        "cnt " + comparison + "; report;");
+    Simulator sim(design);
+    std::vector<uint64_t> offsets;
+    for (const auto &event :
+         sim.run(std::string(1, '\xFF') + record)) {
+        if (offsets.empty() || offsets.back() != event.offset)
+            offsets.push_back(event.offset);
+    }
+    return offsets;
+}
+
+TEST(CounterLowering, GreaterEqualUsesCounterDirectly)
+{
+    // >= x: threshold x, non-inverted (Table 2) — the counter itself
+    // carries control; no boolean elements appear.
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "'x' == input(); cnt.count();"
+        "cnt >= 2; report;");
+    EXPECT_EQ(design.stats().gates, 0u);
+    EXPECT_EQ(design.stats().counters, 1u);
+    // The counter element reports.
+    bool counter_reports = false;
+    for (automata::ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Counter && design[i].report)
+            counter_reports = true;
+    }
+    EXPECT_TRUE(counter_reports);
+}
+
+TEST(CounterLowering, GreaterEqualThresholdSemantics)
+{
+    EXPECT_FALSE(runCheck(">= 2", "xxzz").empty());
+    EXPECT_FALSE(runCheck(">= 2", "xxxx").empty());
+    EXPECT_TRUE(runCheck(">= 2", "xzzz").empty());
+}
+
+TEST(CounterLowering, GreaterThanThresholdSemantics)
+{
+    // > x: threshold x+1 non-inverted.
+    EXPECT_TRUE(runCheck("> 2", "xxzz").empty());
+    EXPECT_FALSE(runCheck("> 2", "xxxz").empty());
+}
+
+TEST(CounterLowering, LessEqualUsesInverter)
+{
+    // <= x: threshold x+1, inverted output = counter + NOT + AND.
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "'x' == input(); cnt.count();"
+        "cnt <= 2; report;");
+    EXPECT_GE(design.stats().gates, 2u); // NOT + AND
+    // The counter→gate adjacency forces clock division (Table 5).
+    EXPECT_EQ(ap::PlacementEngine::clockDivisor(design), 2);
+}
+
+TEST(CounterLowering, LessEqualSemantics)
+{
+    EXPECT_FALSE(runCheck("<= 2", "zzzz").empty());
+    EXPECT_FALSE(runCheck("<= 2", "xxzz").empty());
+    EXPECT_TRUE(runCheck("<= 2", "xxxz").empty());
+}
+
+TEST(CounterLowering, LessThanSemantics)
+{
+    EXPECT_FALSE(runCheck("< 2", "xzzz").empty());
+    EXPECT_TRUE(runCheck("< 2", "xxzz").empty());
+}
+
+TEST(CounterLowering, EqualityUsesTwoPhysicalCounters)
+{
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "'x' == input(); cnt.count();"
+        "cnt == 2; report;");
+    EXPECT_EQ(design.stats().counters, 2u);
+}
+
+TEST(CounterLowering, EqualitySemantics)
+{
+    EXPECT_TRUE(runCheck("== 2", "xzzz").empty());
+    EXPECT_FALSE(runCheck("== 2", "xxzz").empty());
+    EXPECT_TRUE(runCheck("== 2", "xxxz").empty());
+}
+
+TEST(CounterLowering, InequalitySemantics)
+{
+    // != 2 → < 2 || > 2 (Table 2).
+    EXPECT_FALSE(runCheck("!= 2", "xzzz").empty());
+    EXPECT_TRUE(runCheck("!= 2", "xxzz").empty());
+    EXPECT_FALSE(runCheck("!= 2", "xxxz").empty());
+}
+
+TEST(CounterLowering, NegatedComparisonFlips)
+{
+    // !(cnt <= 1) behaves as cnt > 1.
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "foreach (char c : \"zz\") { if ('x' == input()) cnt.count(); }"
+        "!(cnt <= 1); report;");
+    Simulator sim(design);
+    EXPECT_FALSE(sim.run("\xFFxx").empty());
+    EXPECT_TRUE(sim.run("\xFFxz").empty());
+}
+
+TEST(CounterLowering, ReversedOperandOrder)
+{
+    // "2 <= cnt" is "cnt >= 2".
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "foreach (char c : \"zz\") { if ('x' == input()) cnt.count(); }"
+        "2 <= cnt; report;");
+    Simulator sim(design);
+    EXPECT_FALSE(sim.run("\xFFxx").empty());
+    EXPECT_TRUE(sim.run("\xFFxz").empty());
+}
+
+TEST(CounterLowering, ConflictingThresholdsRejected)
+{
+    Program program = parseProgram(R"(network () {
+        {
+            Counter cnt;
+            'x' == input(); cnt.count();
+            cnt >= 2;
+            cnt >= 3;
+            report;
+        }
+    })");
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(CounterLowering, SameThresholdTwiceAllowed)
+{
+    Program program = parseProgram(R"(network () {
+        {
+            Counter cnt;
+            'x' == input(); cnt.count();
+            cnt >= 2;
+            cnt >= 2;
+            report;
+        }
+    })");
+    EXPECT_NO_THROW(compileProgram(program, {}));
+}
+
+TEST(CounterLowering, ZeroThresholdRejected)
+{
+    Program program = parseProgram(R"(network () {
+        { Counter cnt; 'x' == input(); cnt.count(); cnt >= 0; report; }
+    })");
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(CounterLowering, CheckedButNeverCountedRejected)
+{
+    Program program = parseProgram(R"(network () {
+        { Counter cnt; 'x' == input(); cnt >= 1; report; }
+    })");
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(CounterLowering, UnusedCounterIsElided)
+{
+    Automaton design =
+        compileBody("Counter unused; 'a' == input(); report;");
+    EXPECT_EQ(design.stats().counters, 0u);
+}
+
+TEST(CounterLowering, ResetMethodClearsCount)
+{
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "'x' == input(); cnt.count();"
+        "'r' == input(); cnt.reset();"
+        "'x' == input(); cnt.count();"
+        "cnt >= 2; report;");
+    Simulator sim(design);
+    // x r x: count 1, reset, count 1 → never reaches 2.
+    EXPECT_TRUE(sim.run("\xFFxrx").empty());
+}
+
+TEST(CounterLowering, WindowGuardResetsPerRecord)
+{
+    // Counts do not leak across records (the guard pulses reset).
+    Automaton design = compileBody(
+        "Counter cnt;"
+        "foreach (char c : \"zz\") { if ('x' == input()) cnt.count(); }"
+        "cnt >= 2; report;");
+    Simulator sim(design);
+    // Record 1 contributes one x; record 2 one x: without the reset a
+    // spurious report would fire in record 2.
+    EXPECT_TRUE(sim.run("\xFFxz\xFFxz").empty());
+    EXPECT_FALSE(sim.run("\xFFxz\xFFxx").empty());
+}
+
+TEST(CounterFig9, WheneverWithCounterGuard)
+{
+    CompileOptions options;
+    options.optimize = false;
+    Program program = parseProgram(R"(network () {
+        {
+            Counter cnt;
+            whenever (ALL_INPUT == input()) {
+                'x' == input();
+                cnt.count();
+            }
+            whenever (cnt >= 3) {
+                'd' == input();
+                report;
+            }
+        }
+    })");
+    Automaton design = compileProgram(program, {}, options).automaton;
+    // Fig. 9 structure: star STE + AND gate over (star, counter).
+    bool has_and = false;
+    for (automata::ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Gate &&
+            design[i].op == automata::GateOp::And)
+            has_and = true;
+    }
+    EXPECT_TRUE(has_and);
+
+    Simulator sim(design);
+    // Three x's anywhere, then a 'd'.
+    EXPECT_FALSE(sim.run("xaxbxd").empty());
+    EXPECT_TRUE(sim.run("xaxbd").empty());
+}
+
+} // namespace
+} // namespace rapid::lang

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Figure 7: expression → automaton structure rules.  These tests pin
+ * the *shape* of generated designs (STE counts and character classes),
+ * not just behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::Simulator;
+
+/** Compile a single-assertion network without the optimizer. */
+Automaton
+compileExprStmt(const std::string &expr)
+{
+    CompileOptions options;
+    options.optimize = false;
+    Program program =
+        parseProgram("network () { { " + expr + "; report; } }");
+    return compileProgram(program, {}, options).automaton;
+}
+
+/** Character classes of all STEs, as rendered strings (sorted). */
+std::vector<std::string>
+steClasses(const Automaton &design)
+{
+    std::vector<std::string> out;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == automata::ElementKind::Ste)
+            out.push_back(design[i].symbols.str());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(ExprCodegen, EqualityMakesSingleSte)
+{
+    Automaton design = compileExprStmt("'a' == input()");
+    // window guard [\xff] + [a]
+    EXPECT_EQ(design.stats().stes, 2u);
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"[\\xff]", "[a]"}));
+}
+
+TEST(ExprCodegen, InequalityComplementsClassMinusReserved)
+{
+    Automaton design = compileExprStmt("'a' != input()");
+    // [^a] excluding the reserved \xFF record separator.
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"[\\xff]", "[^a\\xff]"}));
+}
+
+TEST(ExprCodegen, AndIsConcatenation)
+{
+    Automaton design =
+        compileExprStmt("'a' == input() && 'b' == input()");
+    EXPECT_EQ(design.stats().stes, 3u);
+    // The [a] STE activates the [b] STE.
+    ElementId a = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].symbols == CharSet::single('a'))
+            a = i;
+    }
+    ASSERT_NE(a, automata::kNoElement);
+    ASSERT_EQ(design[a].outputs.size(), 1u);
+    EXPECT_EQ(design[design[a].outputs[0].to].symbols,
+              CharSet::single('b'));
+}
+
+TEST(ExprCodegen, OrOfSingleComparisonsFusesClasses)
+{
+    // Fig. 7 special case: one STE with class [ab].
+    Automaton design =
+        compileExprStmt("'a' == input() || 'b' == input()");
+    EXPECT_EQ(design.stats().stes, 2u);
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"[\\xff]", "[ab]"}));
+}
+
+TEST(ExprCodegen, OrOfChainsBifurcates)
+{
+    Automaton design = compileExprStmt(
+        "('a' == input() && 'b' == input()) || "
+        "('c' == input() && 'd' == input())");
+    // guard + 4 chain STEs, two entries, two exits.
+    EXPECT_EQ(design.stats().stes, 5u);
+}
+
+TEST(ExprCodegen, NegatedConjunctionFollowsDeMorgan)
+{
+    // Fig. 7 bottom: !(a && b && c) =
+    //   [^a] * * | [a] [^b] * | [a] [b] [^c]
+    Automaton design = compileExprStmt(
+        "!('a' == input() && 'b' == input() && 'c' == input())");
+    auto classes = steClasses(design);
+    // Mismatch arms: [^a..], [^b..], [^c..]; prefixes [a] (x2), [b];
+    // star padding [^\xff] x3; window guard.
+    EXPECT_EQ(design.stats().stes, 10u);
+    // Check padding stars exclude the record separator.
+    size_t stars = 0;
+    for (const std::string &text : classes) {
+        if (text == "[^\\xff]")
+            ++stars;
+    }
+    EXPECT_EQ(stars, 3u);
+}
+
+TEST(ExprCodegen, DoubleNegationIsIdentityBehaviour)
+{
+    Automaton design = compileExprStmt(
+        "!(!('a' == input() && 'b' == input()))");
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "ab").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "ax").empty());
+}
+
+TEST(ExprCodegen, NegatedDisjunctionComplementsUnion)
+{
+    Automaton design =
+        compileExprStmt("!('a' == input() || 'b' == input())");
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"[\\xff]", "[^ab\\xff]"}));
+}
+
+TEST(ExprCodegen, CompileTimeOperandsFold)
+{
+    // false && X can never match: the thread dies and nothing is
+    // generated beyond the guard... in fact not even a report fires.
+    CompileOptions options;
+    options.optimize = false;
+    Program dead = parseProgram(
+        "network () { { false && 'a' == input(); report; } }");
+    Automaton design = compileProgram(dead, {}, options).automaton;
+    Simulator sim(design);
+    EXPECT_TRUE(sim.run("\xFF" "a").empty());
+
+    // true && X reduces to X.
+    Automaton live =
+        compileExprStmt("true && 'a' == input()");
+    EXPECT_EQ(live.stats().stes, 2u);
+}
+
+TEST(ExprCodegen, AllInputComparison)
+{
+    Automaton design = compileExprStmt("ALL_INPUT == input()");
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"*", "[\\xff]"}));
+}
+
+TEST(ExprCodegen, StartOfInputComparison)
+{
+    Automaton design = compileExprStmt("START_OF_INPUT == input()");
+    EXPECT_EQ(steClasses(design),
+              (std::vector<std::string>{"[\\xff]", "[\\xff]"}));
+}
+
+TEST(ExprCodegen, NeverMatchingComparisonKillsThread)
+{
+    // ALL_INPUT != input() matches nothing.
+    Program program = parseProgram(
+        "network () { { ALL_INPUT != input(); report; } }");
+    Automaton design = compileProgram(program, {}).automaton;
+    Simulator sim(design);
+    EXPECT_TRUE(sim.run("\xFF" "abc").empty());
+}
+
+TEST(ExprCodegen, HexCharLiterals)
+{
+    Automaton design = compileExprStmt("'\\x41' == input()");
+    bool found = false;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].symbols == CharSet::single('A'))
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ExprCodegen, VariableLengthNegationRejected)
+{
+    Program program = parseProgram(R"(network () {
+        !(('a' == input()) ||
+          ('b' == input() && 'c' == input()));
+    })");
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(ExprCodegen, CharVariableComparisons)
+{
+    Program program = parseProgram(R"(network () {
+        { char c = 'q'; c == input(); report; }
+    })");
+    Automaton design = compileProgram(program, {}).automaton;
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "q").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "r").empty());
+}
+
+} // namespace
+} // namespace rapid::lang

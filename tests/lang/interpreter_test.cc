@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Direct unit tests for the reference interpreter (the differential
+ * suite covers agreement with the compiler; these pin the interpreter's
+ * own semantics and its error behaviour).
+ */
+#include <gtest/gtest.h>
+
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+TEST(Interpreter, SimpleWindowedMatch)
+{
+    auto offsets = interpretSource(
+        "network () { { 'a' == input(); 'b' == input(); report; } }",
+        {}, std::string("\xFF") + "ab" + "\xFF" + "xb" + "\xFF" + "ab");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{2, 8}));
+}
+
+TEST(Interpreter, WheneverScansEveryPosition)
+{
+    auto offsets = interpretSource(R"(
+network () {
+    whenever (ALL_INPUT == input()) {
+        'a' == input();
+        report;
+    }
+}
+)",
+                                   {}, "xaxa");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(Interpreter, NegationConsumesSameSymbols)
+{
+    auto offsets = interpretSource(
+        "network () { { !('a' == input() && 'b' == input()); report; } }",
+        {}, std::string("\xFF") + "ax");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{2}));
+    auto none = interpretSource(
+        "network () { { !('a' == input() && 'b' == input()); report; } }",
+        {}, std::string("\xFF") + "ab");
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(Interpreter, NegationPaddingStopsAtSeparator)
+{
+    // The star padding must not cross a record boundary: "a" then \xFF
+    // cannot complete the two-symbol negation.
+    auto offsets = interpretSource(
+        "network () { { !('a' == input() && 'b' == input()); report; } }",
+        {}, std::string("\xFF") + "a" + "\xFF" + "b");
+    EXPECT_TRUE(offsets.empty());
+}
+
+TEST(Interpreter, WhileFixpointTerminates)
+{
+    auto offsets = interpretSource(
+        "network () { { while ('y' != input()); report; } }", {},
+        std::string("\xFF") + "xxxxy");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{5}));
+    // A stream with no 'y' never exits the loop: no report, no hang.
+    auto none = interpretSource(
+        "network () { { while ('y' != input()); report; } }", {},
+        std::string("\xFF") + "xxxx");
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(Interpreter, MacroArgumentsAndRecursion)
+{
+    const char *source = R"(
+macro repeat(char c, int n) {
+    if (n > 0) { c == input(); repeat(c, n - 1); }
+}
+network (int n) { { repeat('z', n); report; } }
+)";
+    auto offsets = interpretSource(source, {Value::integer(3)},
+                                   std::string("\xFF") + "zzz");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{3}));
+}
+
+TEST(Interpreter, CountersRejected)
+{
+    EXPECT_THROW(interpretSource(
+                     "network () { { Counter c; 'a' == input(); "
+                     "c.count(); } }",
+                     {}, "\xFF"),
+                 CompileError);
+    EXPECT_THROW(
+        interpretSource("network () { whenever (ALL_INPUT == input()) "
+                        "{ Counter c; } }",
+                        {}, "x"),
+        CompileError);
+}
+
+TEST(Interpreter, ReportsAreDistinctAndSorted)
+{
+    // Two parallel branches reporting at the same offset produce one
+    // entry.
+    auto offsets = interpretSource(R"(
+network () {
+    { 'a' == input(); report; }
+    { 'a' == input() || 'b' == input(); report; }
+}
+)",
+                                   {}, std::string("\xFF") + "a");
+    EXPECT_EQ(offsets, (std::vector<uint64_t>{1}));
+}
+
+TEST(Interpreter, ArgumentCountValidated)
+{
+    Program program = parseProgram("network (int n) {}");
+    EXPECT_THROW(interpretProgram(program, {}, "x"), CompileError);
+}
+
+TEST(Interpreter, EmptyInputNoReports)
+{
+    EXPECT_TRUE(interpretSource("network () { { 'a' == input(); "
+                                "report; } }",
+                                {}, "")
+                    .empty());
+}
+
+} // namespace
+} // namespace rapid::lang

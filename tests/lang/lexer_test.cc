@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Lexer unit tests: token kinds, literals with escapes, comments, and
+ * diagnostics with source locations.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace rapid::lang {
+namespace {
+
+std::vector<TokenKind>
+kinds(const std::string &source)
+{
+    std::vector<TokenKind> out;
+    for (const Token &token : tokenize(source))
+        out.push_back(token.kind);
+    return out;
+}
+
+TEST(Lexer, EmptySourceYieldsEof)
+{
+    auto tokens = tokenize("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Keywords)
+{
+    EXPECT_EQ(kinds("macro network if else while foreach some either "
+                    "orelse whenever report"),
+              (std::vector<TokenKind>{
+                  TokenKind::KwMacro, TokenKind::KwNetwork,
+                  TokenKind::KwIf, TokenKind::KwElse, TokenKind::KwWhile,
+                  TokenKind::KwForeach, TokenKind::KwSome,
+                  TokenKind::KwEither, TokenKind::KwOrelse,
+                  TokenKind::KwWhenever, TokenKind::KwReport,
+                  TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, TypeKeywordsAndSpecialConstants)
+{
+    EXPECT_EQ(kinds("int char bool String Counter true false ALL_INPUT "
+                    "START_OF_INPUT"),
+              (std::vector<TokenKind>{
+                  TokenKind::KwInt, TokenKind::KwChar, TokenKind::KwBool,
+                  TokenKind::KwString, TokenKind::KwCounter,
+                  TokenKind::KwTrue, TokenKind::KwFalse,
+                  TokenKind::KwAllInput, TokenKind::KwStartOfInput,
+                  TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, IdentifiersAreCaseSensitiveNonKeywords)
+{
+    auto tokens = tokenize("Macro string counter");
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, "Macro");
+    EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntegerLiterals)
+{
+    auto tokens = tokenize("0 42 123456 0x1F");
+    EXPECT_EQ(tokens[0].intValue, 0);
+    EXPECT_EQ(tokens[1].intValue, 42);
+    EXPECT_EQ(tokens[2].intValue, 123456);
+    EXPECT_EQ(tokens[3].intValue, 0x1F);
+}
+
+TEST(Lexer, IntegerOverflowRejected)
+{
+    EXPECT_THROW(tokenize("99999999999999999999"), CompileError);
+}
+
+TEST(Lexer, CharLiterals)
+{
+    auto tokens = tokenize(R"('a' '\n' '\t' '\\' '\'' '\xFF' '\x00')");
+    EXPECT_EQ(tokens[0].charValue, 'a');
+    EXPECT_EQ(tokens[1].charValue, '\n');
+    EXPECT_EQ(tokens[2].charValue, '\t');
+    EXPECT_EQ(tokens[3].charValue, '\\');
+    EXPECT_EQ(tokens[4].charValue, '\'');
+    EXPECT_EQ(tokens[5].charValue, 0xFF);
+    EXPECT_EQ(tokens[6].charValue, 0x00);
+}
+
+TEST(Lexer, CharLiteralErrors)
+{
+    EXPECT_THROW(tokenize("''"), CompileError);
+    EXPECT_THROW(tokenize("'ab'"), CompileError);
+    EXPECT_THROW(tokenize("'a"), CompileError);
+    EXPECT_THROW(tokenize(R"('\q')"), CompileError);
+    EXPECT_THROW(tokenize(R"('\xZZ')"), CompileError);
+}
+
+TEST(Lexer, StringLiterals)
+{
+    auto tokens = tokenize(R"("hello" "a\"b" "tab\there" "\xFFx")");
+    EXPECT_EQ(tokens[0].text, "hello");
+    EXPECT_EQ(tokens[1].text, "a\"b");
+    EXPECT_EQ(tokens[2].text, "tab\there");
+    EXPECT_EQ(tokens[3].text, "\xFFx");
+}
+
+TEST(Lexer, UnterminatedString)
+{
+    EXPECT_THROW(tokenize("\"abc"), CompileError);
+}
+
+TEST(Lexer, Operators)
+{
+    EXPECT_EQ(kinds("== != <= >= < > && || ! = + - * / %"),
+              (std::vector<TokenKind>{
+                  TokenKind::EqEq, TokenKind::NotEq, TokenKind::LessEq,
+                  TokenKind::GreaterEq, TokenKind::Less,
+                  TokenKind::Greater, TokenKind::AndAnd, TokenKind::OrOr,
+                  TokenKind::Bang, TokenKind::Assign, TokenKind::Plus,
+                  TokenKind::Minus, TokenKind::Star, TokenKind::Slash,
+                  TokenKind::Percent, TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, SingleAmpersandRejected)
+{
+    EXPECT_THROW(tokenize("a & b"), CompileError);
+    EXPECT_THROW(tokenize("a | b"), CompileError);
+}
+
+TEST(Lexer, LineCommentsSkipped)
+{
+    EXPECT_EQ(kinds("a // comment\nb"),
+              (std::vector<TokenKind>{TokenKind::Identifier,
+                                      TokenKind::Identifier,
+                                      TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, BlockCommentsSkipped)
+{
+    EXPECT_EQ(kinds("a /* multi\nline */ b"),
+              (std::vector<TokenKind>{TokenKind::Identifier,
+                                      TokenKind::Identifier,
+                                      TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, UnterminatedBlockComment)
+{
+    EXPECT_THROW(tokenize("a /* never ends"), CompileError);
+}
+
+TEST(Lexer, TracksLineAndColumn)
+{
+    auto tokens = tokenize("ab\n  cd");
+    EXPECT_EQ(tokens[0].loc.line, 1u);
+    EXPECT_EQ(tokens[0].loc.column, 1u);
+    EXPECT_EQ(tokens[1].loc.line, 2u);
+    EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, ErrorCarriesLocation)
+{
+    try {
+        tokenize("ok\n   $");
+        FAIL() << "expected CompileError";
+    } catch (const CompileError &error) {
+        EXPECT_EQ(error.loc().line, 2u);
+        EXPECT_EQ(error.loc().column, 4u);
+    }
+}
+
+TEST(Lexer, PunctuationRoundup)
+{
+    EXPECT_EQ(kinds("( ) { } [ ] , ; : ."),
+              (std::vector<TokenKind>{
+                  TokenKind::LParen, TokenKind::RParen,
+                  TokenKind::LBrace, TokenKind::RBrace,
+                  TokenKind::LBracket, TokenKind::RBracket,
+                  TokenKind::Comma, TokenKind::Semicolon,
+                  TokenKind::Colon, TokenKind::Dot,
+                  TokenKind::EndOfFile}));
+}
+
+} // namespace
+} // namespace rapid::lang

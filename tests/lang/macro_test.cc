@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Macro semantics: rubber-stamp instantiation (§3.1), argument binding,
+ * parameter-driven sizing, report metadata, lexical isolation, nested
+ * and recursive instantiation.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::Automaton;
+using automata::Simulator;
+
+CompiledProgram
+compileSrc(const std::string &source, std::vector<Value> args = {})
+{
+    Program program = parseProgram(source);
+    return compileProgram(program, args);
+}
+
+TEST(Macro, ParameterDrivenSizing)
+{
+    // The Fig. 1 maintainability claim: changing the comparison length
+    // is an argument change, not a code change.
+    const char *source = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String[] ps) { some (String p : ps) match(p); }
+)";
+    auto five = compileSrc(source, {Value::strArray({"abcde"})});
+    auto twelve =
+        compileSrc(source, {Value::strArray({"abcdefghijkl"})});
+    EXPECT_EQ(five.automaton.stats().stes, 6u);   // guard + 5
+    EXPECT_EQ(twelve.automaton.stats().stes, 13u); // guard + 12
+}
+
+TEST(Macro, SameMacroDifferentArguments)
+{
+    const char *source = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network () {
+    match("ab");
+    match("xy");
+}
+)";
+    auto compiled = compileSrc(source);
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "ab").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "xy").size(), 1u);
+}
+
+TEST(Macro, ReportCodesIdentifyInstances)
+{
+    const char *source = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String[] ps) { some (String p : ps) match(p); }
+)";
+    auto compiled =
+        compileSrc(source, {Value::strArray({"aa", "bb"})});
+    std::vector<std::string> codes;
+    for (automata::ElementId i = 0; i < compiled.automaton.size();
+         ++i) {
+        if (compiled.automaton[i].report)
+            codes.push_back(compiled.automaton[i].reportCode);
+    }
+    std::sort(codes.begin(), codes.end());
+    EXPECT_EQ(codes,
+              (std::vector<std::string>{"match#0", "match#1"}));
+}
+
+TEST(Macro, MacrosCallMacros)
+{
+    const char *source = R"(
+macro one(char c) { c == input(); }
+macro pair(char a, char b) { one(a); one(b); }
+network () { { pair('x', 'y'); report; } }
+)";
+    auto compiled = compileSrc(source);
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "xy").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "yx").empty());
+}
+
+TEST(Macro, LexicalIsolationFromCaller)
+{
+    // A macro must not see the caller's locals.
+    const char *source = R"(
+macro leaky() { hidden == 1; }
+network () { int hidden = 1; leaky(); }
+)";
+    Program program = parseProgram(source);
+    EXPECT_THROW(typeCheck(program), CompileError);
+}
+
+TEST(Macro, RecursionWithCompileTimeTermination)
+{
+    // Staged evaluation supports recursion over compile-time values:
+    // repeat(c, n) emits n chained comparisons.
+    const char *source = R"(
+macro repeat(char c, int n) {
+    if (n > 0) {
+        c == input();
+        repeat(c, n - 1);
+    }
+}
+network () { { repeat('a', 4); report; } }
+)";
+    auto compiled = compileSrc(source);
+    EXPECT_EQ(compiled.automaton.stats().stes, 5u); // guard + 4
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "aaaa").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "aaab").empty());
+}
+
+TEST(Macro, UnboundedRecursionRejected)
+{
+    const char *source = R"(
+macro forever() { 'a' == input(); forever(); }
+network () { forever(); }
+)";
+    Program program = parseProgram(source);
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(Macro, ArrayAndNestedArrayParameters)
+{
+    const char *source = R"(
+macro any_of(String[] words) {
+    some (String w : words) {
+        foreach (char c : w) c == input();
+    }
+    report;
+}
+network (String[][] groups) {
+    some (String[] g : groups) any_of(g);
+}
+)";
+    Value groups = Value::array(
+        Type(BaseType::String, 1),
+        {Value::strArray({"aa", "bb"}), Value::strArray({"cc"})});
+    auto compiled = compileSrc(source, {groups});
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "aa").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "bb").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "cc").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "ab").empty());
+}
+
+TEST(Macro, LengthMethodAndArithmetic)
+{
+    const char *source = R"(
+macro tail_match(String s, int from) {
+    int i = from;
+    while (i < s.length()) {
+        s[i] == input();
+        i = i + 1;
+    }
+    report;
+}
+network (String word) { tail_match(word, 2); }
+)";
+    auto compiled = compileSrc(source, {Value::str("abcd")});
+    Simulator sim(compiled.automaton);
+    // Matches the suffix "cd".
+    EXPECT_EQ(sim.run("\xFF" "cd").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "ab").empty());
+}
+
+TEST(Macro, CounterDeclaredPerInstantiation)
+{
+    const char *source = R"(
+macro count_two(char c) {
+    Counter cnt;
+    foreach (char z : "ab") {
+        if (c == input()) cnt.count();
+    }
+    cnt >= 2;
+    report;
+}
+network () {
+    count_two('x');
+    count_two('y');
+}
+)";
+    auto compiled = compileSrc(source);
+    EXPECT_EQ(compiled.automaton.stats().counters, 2u);
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "xx").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "yy").size(), 1u);
+    // One of each does not satisfy either instance.
+    EXPECT_TRUE(sim.run("\xFF" "xy").empty());
+}
+
+TEST(Macro, StringConcatenationAtCompileTime)
+{
+    const char *source = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String a, String b) { match(a + b); }
+)";
+    auto compiled =
+        compileSrc(source, {Value::str("ab"), Value::str("cd")});
+    Simulator sim(compiled.automaton);
+    EXPECT_EQ(sim.run("\xFF" "abcd").size(), 1u);
+}
+
+TEST(Macro, NetworkArgumentValidation)
+{
+    const char *source = "network (String s, int d) {}";
+    Program program = parseProgram(source);
+    EXPECT_THROW(compileProgram(program, {Value::str("x")}),
+                 CompileError); // arity
+    Program program2 = parseProgram(source);
+    EXPECT_THROW(compileProgram(program2, {Value::integer(1),
+                                           Value::integer(2)}),
+                 CompileError); // type
+}
+
+} // namespace
+} // namespace rapid::lang

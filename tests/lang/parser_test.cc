@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Parser unit tests: program structure, statement shapes, expression
+ * precedence, and syntax diagnostics.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+TEST(Parser, MinimalNetwork)
+{
+    Program program = parseProgram("network () { }");
+    EXPECT_TRUE(program.macros.empty());
+    EXPECT_EQ(program.network.name, "network");
+    EXPECT_TRUE(program.network.body.empty());
+}
+
+TEST(Parser, MacroWithParams)
+{
+    Program program = parseProgram(
+        "macro m(String s, int d, char c, bool b, Counter k) {}"
+        "network () {}");
+    ASSERT_EQ(program.macros.size(), 1u);
+    const MacroDecl &macro = program.macros[0];
+    EXPECT_EQ(macro.name, "m");
+    ASSERT_EQ(macro.params.size(), 5u);
+    EXPECT_EQ(macro.params[0].type, Type::stringT());
+    EXPECT_EQ(macro.params[1].type, Type::intT());
+    EXPECT_EQ(macro.params[4].type, Type::counterT());
+}
+
+TEST(Parser, ArrayTypes)
+{
+    Program program =
+        parseProgram("network (String[] a, int[][] b) {}");
+    EXPECT_EQ(program.network.params[0].type,
+              Type(BaseType::String, 1));
+    EXPECT_EQ(program.network.params[1].type, Type(BaseType::Int, 2));
+}
+
+TEST(Parser, RequiresExactlyOneNetwork)
+{
+    EXPECT_THROW(parseProgram("macro m() {}"), CompileError);
+    EXPECT_THROW(parseProgram("network () {} network () {}"),
+                 CompileError);
+}
+
+TEST(Parser, MacroAfterNetworkAllowed)
+{
+    Program program =
+        parseProgram("network () {} macro late() {}");
+    EXPECT_EQ(program.macros.size(), 1u);
+}
+
+TEST(Parser, VarDeclsWithInitializers)
+{
+    Program program = parseProgram(R"(network () {
+        int x = 4;
+        bool flag;
+        char c = 'z';
+        String s = "hi";
+        Counter cnt;
+        int[] xs = {1, 2, 3};
+        String[][] deep = {{"a"}, {}};
+    })");
+    const auto &body = program.network.body;
+    ASSERT_EQ(body.size(), 7u);
+    EXPECT_EQ(body[0]->kind, StmtKind::VarDecl);
+    EXPECT_EQ(body[0]->name, "x");
+    EXPECT_NE(body[0]->expr, nullptr);
+    EXPECT_EQ(body[1]->expr, nullptr);
+    EXPECT_EQ(body[5]->expr->kind, ExprKind::ArrayLit);
+    EXPECT_EQ(body[5]->expr->args.size(), 3u);
+    EXPECT_EQ(body[6]->expr->args[1]->args.size(), 0u);
+}
+
+TEST(Parser, AssignmentsAndIndexAssignment)
+{
+    Program program = parseProgram(R"(network () {
+        int x = 0;
+        x = x + 1;
+        int[] xs = {1};
+        xs[0] = 9;
+    })");
+    EXPECT_EQ(program.network.body[1]->kind, StmtKind::Assign);
+    EXPECT_EQ(program.network.body[1]->target->kind, ExprKind::Var);
+    EXPECT_EQ(program.network.body[3]->kind, StmtKind::Assign);
+    EXPECT_EQ(program.network.body[3]->target->kind, ExprKind::Index);
+}
+
+TEST(Parser, ControlStructures)
+{
+    Program program = parseProgram(R"(network () {
+        if ('a' == input()) report; else report;
+        while ('a' != input());
+        foreach (char c : "abc") report;
+        some (int k : ks) report;
+        either { report; } orelse { report; } orelse { report; }
+        whenever (ALL_INPUT == input()) report;
+    })");
+    const auto &body = program.network.body;
+    EXPECT_EQ(body[0]->kind, StmtKind::If);
+    EXPECT_EQ(body[0]->orelse.size(), 1u);
+    EXPECT_EQ(body[1]->kind, StmtKind::While);
+    EXPECT_TRUE(body[1]->body.empty());
+    EXPECT_EQ(body[2]->kind, StmtKind::Foreach);
+    EXPECT_EQ(body[3]->kind, StmtKind::Some);
+    EXPECT_EQ(body[4]->kind, StmtKind::Either);
+    EXPECT_EQ(body[4]->body.size(), 3u); // three arms
+    EXPECT_EQ(body[5]->kind, StmtKind::Whenever);
+}
+
+TEST(Parser, EitherRequiresOrelse)
+{
+    EXPECT_THROW(parseProgram("network () { either { report; } }"),
+                 CompileError);
+}
+
+TEST(Parser, PrecedenceOrAndEquality)
+{
+    auto expr = parseExpression("a || b && c == d");
+    // || at the root, && on its right, == below that.
+    ASSERT_EQ(expr->kind, ExprKind::Binary);
+    EXPECT_EQ(expr->bop, BinaryOp::Or);
+    EXPECT_EQ(expr->args[1]->bop, BinaryOp::And);
+    EXPECT_EQ(expr->args[1]->args[1]->bop, BinaryOp::Eq);
+}
+
+TEST(Parser, PrecedenceArithmetic)
+{
+    auto expr = parseExpression("1 + 2 * 3 - 4 % 5");
+    // ((1 + (2*3)) - (4%5))
+    EXPECT_EQ(expr->bop, BinaryOp::Sub);
+    EXPECT_EQ(expr->args[0]->bop, BinaryOp::Add);
+    EXPECT_EQ(expr->args[0]->args[1]->bop, BinaryOp::Mul);
+    EXPECT_EQ(expr->args[1]->bop, BinaryOp::Mod);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence)
+{
+    auto expr = parseExpression("(1 + 2) * 3");
+    EXPECT_EQ(expr->bop, BinaryOp::Mul);
+    EXPECT_EQ(expr->args[0]->bop, BinaryOp::Add);
+}
+
+TEST(Parser, UnaryChains)
+{
+    auto expr = parseExpression("!!x");
+    EXPECT_EQ(expr->kind, ExprKind::Unary);
+    EXPECT_EQ(expr->args[0]->kind, ExprKind::Unary);
+    auto neg = parseExpression("-x + 1");
+    EXPECT_EQ(neg->bop, BinaryOp::Add);
+    EXPECT_EQ(neg->args[0]->uop, UnaryOp::Neg);
+}
+
+TEST(Parser, PostfixCallsIndexesMethods)
+{
+    auto expr = parseExpression("xs[i].length()");
+    EXPECT_EQ(expr->kind, ExprKind::Method);
+    EXPECT_EQ(expr->text, "length");
+    EXPECT_EQ(expr->args[0]->kind, ExprKind::Index);
+
+    auto call = parseExpression("input()");
+    EXPECT_EQ(call->kind, ExprKind::Call);
+    EXPECT_EQ(call->text, "input");
+    EXPECT_TRUE(call->args.empty());
+
+    auto method = parseExpression("cnt.count()");
+    EXPECT_EQ(method->kind, ExprKind::Method);
+    EXPECT_EQ(method->args.size(), 1u);
+}
+
+TEST(Parser, SpecialCharConstants)
+{
+    auto all = parseExpression("ALL_INPUT");
+    EXPECT_EQ(all->kind, ExprKind::CharLit);
+    EXPECT_EQ(all->charValue.kind, CharSpec::Kind::AllInput);
+    auto start = parseExpression("START_OF_INPUT");
+    EXPECT_EQ(start->charValue.kind, CharSpec::Kind::StartOfInput);
+    EXPECT_EQ(start->charValue.value, kStartOfInputSymbol);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseProgram("network () { if 'a' == input() report; }"),
+                 CompileError);
+    EXPECT_THROW(parseProgram("network () { report }"), CompileError);
+    EXPECT_THROW(parseProgram("network () { foreach (char c \"x\") ; }"),
+                 CompileError);
+    EXPECT_THROW(parseProgram("network () { int = 4; }"), CompileError);
+    EXPECT_THROW(parseProgram("network () { 1 + ; }"), CompileError);
+    EXPECT_THROW(parseProgram("network () {"), CompileError);
+    EXPECT_THROW(parseProgram("network () { x[1 = 2; }"), CompileError);
+}
+
+TEST(Parser, ErrorLocationsPointAtOffendingToken)
+{
+    try {
+        parseProgram("network () {\n  report\n}");
+        FAIL() << "expected CompileError";
+    } catch (const CompileError &error) {
+        EXPECT_EQ(error.loc().line, 3u); // the '}' where ';' expected
+    }
+}
+
+TEST(Parser, SingleStatementBodiesWrapped)
+{
+    Program program = parseProgram(
+        "network () { foreach (char c : \"ab\") c == input(); }");
+    const Stmt &foreach_stmt = *program.network.body[0];
+    ASSERT_EQ(foreach_stmt.body.size(), 1u);
+    EXPECT_EQ(foreach_stmt.body[0]->kind, StmtKind::Expr);
+}
+
+TEST(Parser, NestedBlocks)
+{
+    Program program = parseProgram("network () { { { report; } } }");
+    const Stmt &outer = *program.network.body[0];
+    EXPECT_EQ(outer.kind, StmtKind::Block);
+    EXPECT_EQ(outer.body[0]->kind, StmtKind::Block);
+}
+
+} // namespace
+} // namespace rapid::lang

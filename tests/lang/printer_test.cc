@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Pretty-printer tests: exact renderings, precedence-preserving
+ * parenthesization, and the parse → print → parse round-trip property
+ * over every benchmark program and the differential-test corpus.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+
+namespace rapid::lang {
+namespace {
+
+std::string
+reprint(const std::string &expr_source)
+{
+    return printExpr(*parseExpression(expr_source));
+}
+
+TEST(Printer, ExpressionSpellings)
+{
+    EXPECT_EQ(reprint("1+2*3"), "1 + 2 * 3");
+    EXPECT_EQ(reprint("(1+2)*3"), "(1 + 2) * 3");
+    EXPECT_EQ(reprint("a||b&&c"), "a || b && c");
+    EXPECT_EQ(reprint("(a||b)&&c"), "(a || b) && c");
+    EXPECT_EQ(reprint("!(x==1)"), "!(x == 1)");
+    EXPECT_EQ(reprint("-x+1"), "-x + 1");
+    EXPECT_EQ(reprint("a-(b-c)"), "a - (b - c)");
+    EXPECT_EQ(reprint("a-b-c"), "a - b - c");
+}
+
+TEST(Printer, PostfixForms)
+{
+    EXPECT_EQ(reprint("xs[i][j]"), "xs[i][j]");
+    EXPECT_EQ(reprint("cnt.count()"), "cnt.count()");
+    EXPECT_EQ(reprint("s.length() > 2"), "s.length() > 2");
+    EXPECT_EQ(reprint("input()"), "input()");
+    EXPECT_EQ(reprint("m(1, \"a\")"), "m(1, \"a\")");
+}
+
+TEST(Printer, Literals)
+{
+    EXPECT_EQ(reprint("'\\xff'"), "'\\xff'");
+    EXPECT_EQ(reprint("'\\n'"), "'\\n'");
+    EXPECT_EQ(reprint("\"a\\\\b\""), "\"a\\\\b\"");
+    EXPECT_EQ(reprint("ALL_INPUT"), "ALL_INPUT");
+    EXPECT_EQ(reprint("START_OF_INPUT"), "START_OF_INPUT");
+    EXPECT_EQ(reprint("true"), "true");
+}
+
+void
+expectRoundTrip(const std::string &source)
+{
+    Program original = parseProgram(source);
+    std::string printed = printProgram(original);
+    Program reparsed;
+    ASSERT_NO_THROW(reparsed = parseProgram(printed))
+        << "printed form failed to parse:\n"
+        << printed;
+    EXPECT_TRUE(sameAst(original, reparsed))
+        << "round trip changed the AST:\n"
+        << printed;
+    // Printing is idempotent.
+    EXPECT_EQ(printProgram(reparsed), printed);
+}
+
+TEST(Printer, RoundTripStatements)
+{
+    expectRoundTrip(R"(
+macro m(String s, int d) {
+    Counter cnt;
+    foreach (char c : s)
+        if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+}
+network (String[] xs, int d) {
+    some (String x : xs) m(x, d);
+}
+)");
+}
+
+TEST(Printer, RoundTripControlStructures)
+{
+    expectRoundTrip(R"(
+network (int[] ks) {
+    {
+        int total = 0;
+        foreach (int k : ks) { total = total + k; }
+        while (total > 0) { total = total - 1; }
+        either { 'a' == input(); } orelse { 'b' == input(); }
+        whenever (ALL_INPUT == input()) { report; }
+        if (total == 0) { report; } else { report; }
+    }
+}
+)");
+}
+
+TEST(Printer, RoundTripInitializers)
+{
+    expectRoundTrip(R"(
+network () {
+    int[] xs = {1, 2, 3};
+    String[][] groups = {{"a", "b"}, {}};
+    bool flag;
+    char c = '\xfe';
+    xs[0] = 9;
+}
+)");
+}
+
+TEST(Printer, RoundTripEmptyWhile)
+{
+    expectRoundTrip("network () { { while ('y' != input()); report; } }");
+}
+
+TEST(Printer, RoundTripAllBenchmarks)
+{
+    for (auto &bench : apps::allBenchmarks())
+        expectRoundTrip(bench->rapidSource());
+}
+
+} // namespace
+} // namespace rapid::lang

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Figure 8: statement → automaton structure rules (foreach unrolling,
+ * either/orelse and some parallelism, while feedback loops, whenever),
+ * plus the implicit START_OF_INPUT window of §3.3.
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+
+namespace rapid::lang {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::ElementKind;
+using automata::Simulator;
+using automata::StartKind;
+
+Automaton
+compileBody(const std::string &body,
+            const std::vector<Value> &args = {},
+            bool optimize = false)
+{
+    CompileOptions options;
+    options.optimize = optimize;
+    Program program = parseProgram("network () { " + body + " }");
+    return compileProgram(program, args, options).automaton;
+}
+
+size_t
+countStes(const Automaton &design, const CharSet &symbols)
+{
+    size_t count = 0;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Ste &&
+            design[i].symbols == symbols) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+TEST(StmtStructure, ForeachUnrollsToStraightLine)
+{
+    Automaton design =
+        compileBody("{ foreach (char c : \"abc\") c == input(); }");
+    // guard + a + b + c.
+    EXPECT_EQ(design.stats().stes, 4u);
+    EXPECT_EQ(design.stats().edges, 3u);
+}
+
+TEST(StmtStructure, ForeachOverArrayIteratesInOrder)
+{
+    Program program = parseProgram(R"(network (int[] ks) {
+        { foreach (int k : ks) { k == 1; } report; }
+    })");
+    // Compile-time assertions: {1,1} passes, {1,2} dies at the second.
+    Automaton pass =
+        compileProgram(program, {Value::intArray({1, 1})}).automaton;
+    EXPECT_EQ(pass.stats().reporting, 1u);
+    Program program2 = parseProgram(R"(network (int[] ks) {
+        { foreach (int k : ks) { k == 1; } report; }
+    })");
+    Automaton dead =
+        compileProgram(program2, {Value::intArray({1, 2})}).automaton;
+    EXPECT_EQ(dead.stats().reporting, 0u);
+}
+
+TEST(StmtStructure, EitherArmsShareTheWindowGuard)
+{
+    Automaton design = compileBody(R"({
+        either { 'a' == input(); } orelse { 'b' == input(); }
+        'z' == input();
+        report;
+    })");
+    // One guard STE (shared via shareStart), not one per arm.
+    EXPECT_EQ(countStes(design, CharSet::single('\xFF')), 1u);
+    // Both arm exits feed the 'z' STE.
+    ElementId z = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Ste &&
+            design[i].symbols == CharSet::single('z'))
+            z = i;
+    }
+    ASSERT_NE(z, automata::kNoElement);
+    size_t fan_in = design.fanIn()[z].size();
+    EXPECT_EQ(fan_in, 2u);
+}
+
+TEST(StmtStructure, SomeExpandsPerElement)
+{
+    Program program = parseProgram(R"(network (String[] ps) {
+        some (String p : ps) {
+            foreach (char c : p) c == input();
+            report;
+        }
+    })");
+    Automaton design =
+        compileProgram(program, {Value::strArray({"ab", "cd", "ef"})})
+            .automaton;
+    // Three parallel branches, each with its own guard → 3 components.
+    EXPECT_EQ(design.components().size(), 3u);
+}
+
+TEST(StmtStructure, SomeOverEmptyArrayGeneratesNothing)
+{
+    Program program = parseProgram(R"(network (String[] ps) {
+        some (String p : ps) { 'a' == input(); report; }
+    })");
+    Automaton design =
+        compileProgram(program, {Value::strArray({})}).automaton;
+    EXPECT_EQ(design.size(), 0u);
+}
+
+TEST(StmtStructure, WhileBuildsFeedbackLoop)
+{
+    Automaton design = compileBody("{ while ('y' != input()); "
+                                   "report; }");
+    // guard + skip [^y\xff] + exit [y].
+    EXPECT_EQ(design.stats().stes, 3u);
+    // The skip STE loops back to itself and to the exit.
+    ElementId skip = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Ste &&
+            design[i].symbols.test('a') && !design[i].symbols.test('y'))
+            skip = i;
+    }
+    ASSERT_NE(skip, automata::kNoElement);
+    bool self_loop = false;
+    for (const auto &edge : design[skip].outputs)
+        self_loop |= edge.to == skip;
+    EXPECT_TRUE(self_loop);
+}
+
+TEST(StmtStructure, WhileWithBodyLoopsThroughBody)
+{
+    // while (a == input()) { b == input(); }: consume "ab" pairs until
+    // a non-'a' symbol arrives.
+    Automaton design = compileBody(R"({
+        while ('a' == input()) { 'b' == input(); }
+        report;
+    })");
+    Simulator sim(design);
+    // \xFF a b a b x → predicate fails at 'x' → report at its offset.
+    EXPECT_EQ(sim.run("\xFF" "ababx").back().offset, 5u);
+    EXPECT_EQ(sim.run("\xFF" "x").back().offset, 1u);
+    // Body mismatch kills the thread: a then c.
+    EXPECT_TRUE(sim.run("\xFF" "acx").empty());
+}
+
+TEST(StmtStructure, CompileTimeWhileUnrolls)
+{
+    Automaton design = compileBody(R"({
+        int i = 0;
+        while (i < 4) {
+            'x' == input();
+            i = i + 1;
+        }
+        report;
+    })");
+    // guard + four unrolled 'x' STEs.
+    EXPECT_EQ(design.stats().stes, 5u);
+    EXPECT_EQ(countStes(design, CharSet::single('x')), 4u);
+}
+
+TEST(StmtStructure, NonTerminatingCompileTimeWhileRejected)
+{
+    Program program = parseProgram(
+        "network () { int i = 1; while (i > 0) { i = i + 1; } }");
+    EXPECT_THROW(compileProgram(program, {}), CompileError);
+}
+
+TEST(StmtStructure, ImplicitWindowGuardPrependsEveryBranch)
+{
+    Automaton design = compileBody("{ 'a' == input(); report; }");
+    ASSERT_EQ(design.stats().stes, 2u);
+    // The guard matches \xFF and is always enabled.
+    ElementId guard = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Ste &&
+            design[i].symbols == CharSet::single('\xFF'))
+            guard = i;
+    }
+    ASSERT_NE(guard, automata::kNoElement);
+    EXPECT_EQ(design[guard].start, StartKind::AllInput);
+}
+
+TEST(StmtStructure, ExplicitWheneverReplacesDefaultWindow)
+{
+    Automaton design = compileBody(R"(whenever (ALL_INPUT == input()) {
+        'a' == input();
+        report;
+    })");
+    // No \xFF guard is generated; the 'a' STE is all-input started.
+    EXPECT_EQ(countStes(design, CharSet::single('\xFF')), 0u);
+    ElementId a = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].symbols == CharSet::single('a'))
+            a = i;
+    }
+    ASSERT_NE(a, automata::kNoElement);
+    EXPECT_EQ(design[a].start, StartKind::AllInput);
+}
+
+TEST(StmtStructure, NestedWheneverBuildsStarSte)
+{
+    // A whenever *after* input consumption cannot fold: Fig. 8d star.
+    CompileOptions options;
+    options.optimize = false;
+    Program program = parseProgram(R"(network () {
+        {
+            'g' == input();
+            whenever ('u' == input()) {
+                'r' == input();
+                report;
+            }
+        }
+    })");
+    Automaton design = compileProgram(program, {}, options).automaton;
+    // Star STE: class *, self-loop, not start-enabled.
+    ElementId star = automata::kNoElement;
+    for (ElementId i = 0; i < design.size(); ++i) {
+        if (design[i].kind == ElementKind::Ste &&
+            design[i].symbols == CharSet::all() &&
+            design[i].start == StartKind::None)
+            star = i;
+    }
+    ASSERT_NE(star, automata::kNoElement);
+    bool self_loop = false;
+    for (const auto &edge : design[star].outputs)
+        self_loop |= edge.to == star;
+    EXPECT_TRUE(self_loop);
+
+    // Behaviour: 'u'...'r' matching begins only after 'g'.
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "gxur").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "xur").empty());
+    // The window stays open: multiple matches after one 'g'.
+    EXPECT_EQ(sim.run("\xFF" "gururur").size(), 3u);
+}
+
+TEST(StmtStructure, FoldDisabledProducesLiteralStar)
+{
+    CompileOptions options;
+    options.optimize = false;
+    options.foldStartWhenever = false;
+    Program program = parseProgram(R"(network () {
+        whenever (ALL_INPUT == input()) {
+            'a' == input();
+            report;
+        }
+    })");
+    Automaton design = compileProgram(program, {}, options).automaton;
+    // Literal Fig. 8d: star STE + guard STE + 'a'.
+    EXPECT_GE(design.stats().stes, 3u);
+    Simulator sim(design);
+    // Same semantics modulo the one-symbol guard delay: match at
+    // offset >= 2.
+    EXPECT_FALSE(sim.run("xxa").empty());
+}
+
+TEST(StmtStructure, ReportOnStartMaterializesWindowGuard)
+{
+    Automaton design = compileBody("report;");
+    // The report lands on a materialized [\xFF] guard STE.
+    ASSERT_EQ(design.stats().stes, 1u);
+    EXPECT_TRUE(design[0].report);
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "ab\xFF").size(), 2u);
+}
+
+TEST(StmtStructure, NetworkStatementsRunInParallel)
+{
+    // Two top-level match statements: each gets its own window guard
+    // and both observe the same records.
+    Automaton design = compileBody(R"(
+        { 'a' == input(); report; }
+        { 'b' == input(); report; }
+    )");
+    EXPECT_EQ(design.components().size(), 2u);
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "a").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "b").size(), 1u);
+}
+
+TEST(StmtStructure, MixedLengthUnionFrontier)
+{
+    // An if/else with automata condition joins different-position
+    // frontiers; report fires on both paths.
+    Automaton design = compileBody(R"({
+        if ('a' == input()) { 'x' == input(); }
+        else { 'y' == input(); }
+        report;
+    })");
+    Simulator sim(design);
+    EXPECT_EQ(sim.run("\xFF" "ax").size(), 1u);
+    EXPECT_EQ(sim.run("\xFF" "by").size(), 1u);
+    EXPECT_TRUE(sim.run("\xFF" "ay").empty());
+    EXPECT_TRUE(sim.run("\xFF" "bx").empty());
+}
+
+} // namespace
+} // namespace rapid::lang

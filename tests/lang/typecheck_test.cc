@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Type checker tests: staging annotations (Automata / CounterExpr /
+ * Stream) and the rejection rules of §3 and §5.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+
+namespace rapid::lang {
+namespace {
+
+/** Type of the first statement expression of the checked network. */
+Type
+firstExprType(const std::string &body)
+{
+    Program program = parseProgram("network (String s, int d) { " +
+                                   body + " }");
+    typeCheck(program);
+    for (const StmtPtr &stmt : program.network.body) {
+        if (stmt->expr)
+            return stmt->expr->type;
+    }
+    return Type::errorT();
+}
+
+void
+expectRejected(const std::string &source, const char *why)
+{
+    Program program = parseProgram(source);
+    EXPECT_THROW(typeCheck(program), CompileError) << why;
+}
+
+TEST(TypeCheck, StreamComparisonIsAutomata)
+{
+    EXPECT_EQ(firstExprType("'a' == input();"), Type::automataT());
+    EXPECT_EQ(firstExprType("input() != 'a';"), Type::automataT());
+    EXPECT_EQ(firstExprType("ALL_INPUT == input();"),
+              Type::automataT());
+}
+
+TEST(TypeCheck, AutomataCombinations)
+{
+    EXPECT_EQ(firstExprType("'a' == input() && 'b' == input();"),
+              Type::automataT());
+    EXPECT_EQ(firstExprType("'a' == input() || 'b' == input();"),
+              Type::automataT());
+    EXPECT_EQ(firstExprType("!('a' == input());"), Type::automataT());
+    // Mixed compile-time bool and automata stays automata.
+    EXPECT_EQ(firstExprType("true && 'a' == input();"),
+              Type::automataT());
+}
+
+TEST(TypeCheck, CounterComparisonsAreCounterExpr)
+{
+    EXPECT_EQ(firstExprType("Counter cnt; cnt <= d;"),
+              Type::counterExprT());
+    EXPECT_EQ(firstExprType("Counter cnt; 3 < cnt;"),
+              Type::counterExprT());
+    EXPECT_EQ(firstExprType("Counter cnt; cnt == 4;"),
+              Type::counterExprT());
+    EXPECT_EQ(firstExprType("Counter cnt; !(cnt >= 2);"),
+              Type::counterExprT());
+}
+
+TEST(TypeCheck, CompileTimeExpressions)
+{
+    EXPECT_EQ(firstExprType("1 + 2 * 3 == 7;"), Type::boolT());
+    EXPECT_EQ(firstExprType("s == \"abc\";"), Type::boolT());
+    EXPECT_EQ(firstExprType("s.length() > 2;"), Type::boolT());
+}
+
+TEST(TypeCheck, IndexingTypes)
+{
+    Program program = parseProgram(
+        "network (String[] xs) { xs[0][1] == input(); }");
+    typeCheck(program);
+    // xs[0] : String, xs[0][1] : char, compared to stream → Automata.
+    EXPECT_EQ(program.network.body[0]->expr->type, Type::automataT());
+}
+
+TEST(TypeCheck, StreamMisuseRejected)
+{
+    expectRejected("network () { input() == input(); }",
+                   "stream vs stream");
+    expectRejected("network () { input() < 'a'; }",
+                   "ordered stream comparison");
+    expectRejected("network () { 3 == input(); }",
+                   "stream vs int");
+    expectRejected("network () { input(); }", "bare stream statement");
+}
+
+TEST(TypeCheck, CounterMisuseRejected)
+{
+    expectRejected("network () { Counter a; Counter b; a == b; }",
+                   "counter vs counter");
+    expectRejected("network () { Counter a; a == 'x'; }",
+                   "counter vs char");
+    expectRejected(
+        "network () { Counter a; a >= 1 && 'x' == input(); }",
+        "counter check combined with &&");
+    expectRejected("network () { Counter a; a = a; }",
+                   "counter assignment");
+    expectRejected("network () { Counter a = 3; }",
+                   "counter initializer");
+    expectRejected("network () { Counter[] a; }", "counter array");
+}
+
+TEST(TypeCheck, ConditionRules)
+{
+    // whenever guards must be runtime (bool rejected).
+    expectRejected("network () { whenever (true) report; }",
+                   "whenever with compile-time guard");
+    // if/while accept bool.
+    Program ok = parseProgram(
+        "network () { if (1 < 2) report; while (false) report; }");
+    EXPECT_NO_THROW(typeCheck(ok));
+    expectRejected("network () { if (3 + 4) report; }",
+                   "int condition");
+}
+
+TEST(TypeCheck, IterationRules)
+{
+    Program ok = parseProgram(R"(network (String[] xs, int[] ks) {
+        foreach (String x : xs) { foreach (char c : x) c == input(); }
+        some (int k : ks) report;
+    })");
+    EXPECT_NO_THROW(typeCheck(ok));
+    expectRejected("network () { foreach (char c : 5) report; }",
+                   "iterating an int");
+    expectRejected(
+        "network (String[] xs) { foreach (int x : xs) report; }",
+        "loop variable type mismatch");
+}
+
+TEST(TypeCheck, DeclarationRules)
+{
+    expectRejected("network () { int x = \"s\"; }", "init mismatch");
+    expectRejected("network () { int x; int x; }", "redefinition");
+    expectRejected("network () { y = 4; }", "undefined variable");
+    expectRejected("network () { int[] xs; }",
+                   "array without initializer");
+    expectRejected("network (String[] xs) { xs = xs; int xs = 1; }",
+                   "shadowing parameter in same scope");
+}
+
+TEST(TypeCheck, NestedScopesAllowShadowing)
+{
+    Program ok = parseProgram(R"(network () {
+        int x = 1;
+        { int y = x + 1; y = y; }
+        foreach (char c : "ab") { bool c2 = true; c2 = c == 'a'; }
+    })");
+    EXPECT_NO_THROW(typeCheck(ok));
+}
+
+TEST(TypeCheck, MacroCallChecking)
+{
+    expectRejected("network () { nothere(); }", "undefined macro");
+    expectRejected(
+        "macro m(int x) {} network () { m(); }", "arity mismatch");
+    expectRejected(
+        "macro m(int x) {} network () { m(\"s\"); }",
+        "argument type mismatch");
+    Program ok = parseProgram(
+        "macro m(String s) { foreach (char c : s) c == input(); }"
+        "network () { m(\"hi\"); }");
+    EXPECT_NO_THROW(typeCheck(ok));
+}
+
+TEST(TypeCheck, MethodRules)
+{
+    expectRejected("network () { Counter c; c.length(); }",
+                   "length on counter");
+    expectRejected("network (String s) { s.count(); }",
+                   "count on string");
+    expectRejected("network () { int x = 1; x.count(); }",
+                   "method on int");
+    expectRejected("network () { Counter c; c.count(1); }",
+                   "count with arguments");
+}
+
+TEST(TypeCheck, ArrayLiteralRules)
+{
+    Program ok = parseProgram(
+        "network () { int[] xs = {1, 2}; String[][] m = {{\"a\"}}; }");
+    EXPECT_NO_THROW(typeCheck(ok));
+    expectRejected("network () { int[] xs = {1, \"a\"}; }",
+                   "mixed element types");
+    expectRejected("network () { int xs = {1}; }",
+                   "array literal for scalar");
+}
+
+TEST(TypeCheck, ComparisonRules)
+{
+    expectRejected("network (String[] xs) { xs == xs; }",
+                   "array comparison");
+    expectRejected("network () { true < false; }", "ordered bools");
+    expectRejected(
+        "network () { ('a' == input()) == ('b' == input()); }",
+        "comparing automata expressions");
+    expectRejected("network () { 'a' + 'b'; }", "char arithmetic");
+}
+
+TEST(TypeCheck, ReportStatementsAllowedAnywhere)
+{
+    Program ok = parseProgram(R"(network () {
+        report;
+        if ('a' == input()) { report; }
+    })");
+    EXPECT_NO_THROW(typeCheck(ok));
+}
+
+TEST(TypeCheck, ParamTypesValidated)
+{
+    // Type checking annotates in place and is idempotent.
+    Program program = parseProgram(
+        "macro m(String s, int d) { s.length() == d; }"
+        "network (String[] xs) { some (String x : xs) m(x, 3); }");
+    EXPECT_NO_THROW(typeCheck(program));
+    EXPECT_NO_THROW(typeCheck(program));
+}
+
+} // namespace
+} // namespace rapid::lang

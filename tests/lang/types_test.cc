@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Type-model unit tests (lang/types.h helpers).
+ */
+#include <gtest/gtest.h>
+
+#include "lang/types.h"
+
+namespace rapid::lang {
+namespace {
+
+TEST(Types, Spellings)
+{
+    EXPECT_EQ(Type::charT().str(), "char");
+    EXPECT_EQ(Type::intT().str(), "int");
+    EXPECT_EQ(Type::stringT().str(), "String");
+    EXPECT_EQ(Type(BaseType::String, 1).str(), "String[]");
+    EXPECT_EQ(Type(BaseType::Int, 2).str(), "int[][]");
+    EXPECT_EQ(Type::counterT().str(), "Counter");
+    EXPECT_EQ(Type::automataT().str(), "<automata>");
+}
+
+TEST(Types, Equality)
+{
+    EXPECT_EQ(Type::intT(), Type(BaseType::Int, 0));
+    EXPECT_FALSE(Type::intT() == Type(BaseType::Int, 1));
+    EXPECT_FALSE(Type::intT() == Type::boolT());
+}
+
+TEST(Types, ElementTypes)
+{
+    EXPECT_EQ(Type(BaseType::Int, 2).element(), Type(BaseType::Int, 1));
+    EXPECT_EQ(Type(BaseType::Int, 1).element(), Type::intT());
+    EXPECT_EQ(Type::stringT().element(), Type::charT());
+    EXPECT_EQ(Type::intT().element(), Type::errorT());
+}
+
+TEST(Types, Iterable)
+{
+    EXPECT_TRUE(Type::stringT().iterable());
+    EXPECT_TRUE(Type(BaseType::Counter, 1).iterable());
+    EXPECT_FALSE(Type::intT().iterable());
+    EXPECT_FALSE(Type::charT().iterable());
+}
+
+TEST(Types, RuntimeFlag)
+{
+    EXPECT_TRUE(Type::automataT().runtime());
+    EXPECT_TRUE(Type::counterExprT().runtime());
+    EXPECT_TRUE(Type::streamT().runtime());
+    EXPECT_FALSE(Type::boolT().runtime());
+    EXPECT_FALSE(Type::counterT().runtime());
+    // Array of a runtime base is not itself a runtime value.
+    EXPECT_FALSE(Type(BaseType::Automata, 1).runtime());
+}
+
+TEST(Types, ArrayPredicates)
+{
+    EXPECT_TRUE(Type(BaseType::Char, 3).isArray());
+    EXPECT_FALSE(Type::charT().isArray());
+}
+
+} // namespace
+} // namespace rapid::lang

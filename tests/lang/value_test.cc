@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Value (compile-time datum) tests: construction, equality, display,
+ * and shared-array semantics; plus counter-while lowering (a language
+ * extension exercised end-to-end).
+ */
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "lang/value.h"
+
+namespace rapid::lang {
+namespace {
+
+TEST(Value, ScalarConstruction)
+{
+    EXPECT_EQ(Value::integer(-3).i, -3);
+    EXPECT_TRUE(Value::boolean(true).b);
+    EXPECT_EQ(Value::character('q').c.value, 'q');
+    EXPECT_EQ(Value::str("hi").s, "hi");
+    EXPECT_EQ(Value::counterRef(4).counter, 4u);
+}
+
+TEST(Value, ArrayTypes)
+{
+    Value xs = Value::intArray({1, 2});
+    EXPECT_EQ(xs.type, Type(BaseType::Int, 1));
+    Value ss = Value::strArray({"a"});
+    EXPECT_EQ(ss.type, Type(BaseType::String, 1));
+    Value nested =
+        Value::array(Type(BaseType::String, 1), {ss});
+    EXPECT_EQ(nested.type, Type(BaseType::String, 2));
+}
+
+TEST(Value, EqualityScalars)
+{
+    EXPECT_TRUE(Value::integer(5).equals(Value::integer(5)));
+    EXPECT_FALSE(Value::integer(5).equals(Value::integer(6)));
+    EXPECT_TRUE(Value::str("x").equals(Value::str("x")));
+    EXPECT_TRUE(Value::character('a').equals(Value::character('a')));
+    CharSpec all{CharSpec::Kind::AllInput, 0};
+    EXPECT_TRUE(Value::character(all).equals(Value::character(all)));
+    EXPECT_FALSE(
+        Value::character(all).equals(Value::character('a')));
+}
+
+TEST(Value, EqualityArraysDeep)
+{
+    EXPECT_TRUE(Value::intArray({1, 2}).equals(Value::intArray({1, 2})));
+    EXPECT_FALSE(
+        Value::intArray({1, 2}).equals(Value::intArray({1, 3})));
+    EXPECT_FALSE(Value::intArray({1}).equals(Value::intArray({1, 1})));
+}
+
+TEST(Value, EqualityTypeMismatchThrows)
+{
+    EXPECT_THROW(Value::integer(1).equals(Value::str("1")),
+                 InternalError);
+    EXPECT_THROW(Value::counterRef(0).equals(Value::counterRef(0)),
+                 InternalError);
+}
+
+TEST(Value, DisplayForms)
+{
+    EXPECT_EQ(Value::integer(7).str(), "7");
+    EXPECT_EQ(Value::boolean(false).str(), "false");
+    EXPECT_EQ(Value::character('\n').str(), "'\\n'");
+    EXPECT_EQ(Value::str("ab").str(), "\"ab\"");
+    EXPECT_EQ(Value::intArray({1, 2}).str(), "{1, 2}");
+    CharSpec start{CharSpec::Kind::StartOfInput, 0xFF};
+    EXPECT_EQ(Value::character(start).str(), "START_OF_INPUT");
+}
+
+TEST(Value, ArraysShareStorage)
+{
+    Value xs = Value::intArray({1, 2, 3});
+    Value alias = xs; // copies the shared_ptr, not the payload
+    (*alias.arr)[0] = Value::integer(99);
+    EXPECT_EQ((*xs.arr)[0].i, 99);
+}
+
+// --- while with a counter condition (gated loop lowering) -------------
+
+TEST(CounterWhile, LoopsWhileBelowThreshold)
+{
+    // Consume 'x' symbols while fewer than 3 have been counted; then a
+    // final 'd' is required.  The loop body consumes one symbol per
+    // iteration and counts it.
+    const char *source = R"(
+network () {
+    {
+        Counter cnt;
+        'a' == input();
+        while (cnt < 3) {
+            'x' == input();
+            cnt.count();
+        }
+        'd' == input();
+        report;
+    }
+}
+)";
+    Program program = parseProgram(source);
+    auto compiled = compileProgram(program, {});
+    automata::Simulator sim(compiled.automaton);
+    EXPECT_FALSE(sim.run("\xFF" "axxxd").empty());
+    EXPECT_TRUE(sim.run("\xFF" "axxd").empty());
+}
+
+} // namespace
+} // namespace rapid::lang

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Support-library tests: string utilities, deterministic RNG, error
+ * types, and the timer.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace rapid {
+namespace {
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    EXPECT_EQ(split("a,b,,c", ','),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinInverse)
+{
+    std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, ", "), "x, y, z");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("report-on-match", "report-on"));
+    EXPECT_FALSE(startsWith("rep", "report"));
+    EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc\t\n"), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, CountLines)
+{
+    EXPECT_EQ(countLines(""), 0u);
+    EXPECT_EQ(countLines("one"), 1u);
+    EXPECT_EQ(countLines("one\n"), 1u);
+    EXPECT_EQ(countLines("one\ntwo"), 2u);
+    EXPECT_EQ(countLines("one\ntwo\n"), 2u);
+}
+
+TEST(Strings, EscapeByte)
+{
+    EXPECT_EQ(escapeByte('a'), "a");
+    EXPECT_EQ(escapeByte('\n'), "\\n");
+    EXPECT_EQ(escapeByte('\\'), "\\\\");
+    EXPECT_EQ(escapeByte(0xFF), "\\xff");
+    EXPECT_EQ(escapeByte(0x07), "\\x07");
+}
+
+TEST(Strings, XmlEscape)
+{
+    EXPECT_EQ(xmlEscape("<a & \"b\"'>"),
+              "&lt;a &amp; &quot;b&quot;&apos;&gt;");
+    EXPECT_EQ(xmlEscape("plain"), "plain");
+}
+
+TEST(Strings, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d s=%s", 7, "hi"), "x=7 s=hi");
+    EXPECT_EQ(strprintf("%s", ""), "");
+    // Long outputs are not truncated.
+    std::string big(500, 'q');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 500u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= a.next() != b.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+    EXPECT_EQ(rng.below(1), 0u);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t value = rng.range(-2, 2);
+        EXPECT_GE(value, -2);
+        EXPECT_LE(value, 2);
+        seen.insert(value);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all values hit
+}
+
+TEST(Rng, StringDrawsFromAlphabet)
+{
+    Rng rng(7);
+    std::string word = rng.string(200, "AB");
+    EXPECT_EQ(word.size(), 200u);
+    for (char c : word)
+        EXPECT_TRUE(c == 'A' || c == 'B');
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(11);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = items;
+    rng.shuffle(items);
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, original);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Error, SourceLocFormatting)
+{
+    EXPECT_EQ(SourceLoc{}.str(), "?");
+    EXPECT_EQ((SourceLoc{3, 14}).str(), "3:14");
+    CompileError with_loc("bad thing", SourceLoc{2, 5});
+    EXPECT_EQ(std::string(with_loc.what()), "2:5: bad thing");
+    CompileError without("bad thing");
+    EXPECT_EQ(std::string(without.what()), "bad thing");
+}
+
+TEST(Error, InternalCheck)
+{
+    EXPECT_NO_THROW(internalCheck(true, "fine"));
+    EXPECT_THROW(internalCheck(false, "broken"), InternalError);
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer timer;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i * 0.5;
+    EXPECT_GT(timer.seconds(), 0.0);
+    EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+                timer.milliseconds());
+    double before = timer.seconds();
+    timer.reset();
+    EXPECT_LE(timer.seconds(), before + 1.0);
+}
+
+} // namespace
+} // namespace rapid
