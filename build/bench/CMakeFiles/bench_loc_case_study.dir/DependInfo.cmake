@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_loc_case_study.cc" "bench/CMakeFiles/bench_loc_case_study.dir/bench_loc_case_study.cc.o" "gcc" "bench/CMakeFiles/bench_loc_case_study.dir/bench_loc_case_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/rapid_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/re/CMakeFiles/rapid_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/anml/CMakeFiles/rapid_anml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/rapid_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rapid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rapid_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rapid_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

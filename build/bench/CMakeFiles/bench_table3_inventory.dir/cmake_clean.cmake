@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_inventory.dir/bench_table3_inventory.cc.o"
+  "CMakeFiles/bench_table3_inventory.dir/bench_table3_inventory.cc.o.d"
+  "bench_table3_inventory"
+  "bench_table3_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

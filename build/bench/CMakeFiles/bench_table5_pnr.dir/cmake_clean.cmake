@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pnr.dir/bench_table5_pnr.cc.o"
+  "CMakeFiles/bench_table5_pnr.dir/bench_table5_pnr.cc.o.d"
+  "bench_table5_pnr"
+  "bench_table5_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

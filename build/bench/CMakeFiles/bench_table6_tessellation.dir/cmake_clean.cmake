@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tessellation.dir/bench_table6_tessellation.cc.o"
+  "CMakeFiles/bench_table6_tessellation.dir/bench_table6_tessellation.cc.o.d"
+  "bench_table6_tessellation"
+  "bench_table6_tessellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tessellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

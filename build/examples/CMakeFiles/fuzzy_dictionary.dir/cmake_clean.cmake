@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_dictionary.dir/fuzzy_dictionary.cpp.o"
+  "CMakeFiles/fuzzy_dictionary.dir/fuzzy_dictionary.cpp.o.d"
+  "fuzzy_dictionary"
+  "fuzzy_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_inspection.dir/packet_inspection.cpp.o"
+  "CMakeFiles/packet_inspection.dir/packet_inspection.cpp.o.d"
+  "packet_inspection"
+  "packet_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_filter.dir/spam_filter.cpp.o"
+  "CMakeFiles/spam_filter.dir/spam_filter.cpp.o.d"
+  "spam_filter"
+  "spam_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_anml.dir/anml.cc.o"
+  "CMakeFiles/rapid_anml.dir/anml.cc.o.d"
+  "CMakeFiles/rapid_anml.dir/xml.cc.o"
+  "CMakeFiles/rapid_anml.dir/xml.cc.o.d"
+  "librapid_anml.a"
+  "librapid_anml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_anml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

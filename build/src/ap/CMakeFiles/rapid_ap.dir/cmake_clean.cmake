@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_ap.dir/placement.cc.o"
+  "CMakeFiles/rapid_ap.dir/placement.cc.o.d"
+  "CMakeFiles/rapid_ap.dir/tessellation.cc.o"
+  "CMakeFiles/rapid_ap.dir/tessellation.cc.o.d"
+  "librapid_ap.a"
+  "librapid_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/all.cc" "src/apps/CMakeFiles/rapid_apps.dir/all.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/all.cc.o.d"
+  "/root/repo/src/apps/arm.cc" "src/apps/CMakeFiles/rapid_apps.dir/arm.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/arm.cc.o.d"
+  "/root/repo/src/apps/brill.cc" "src/apps/CMakeFiles/rapid_apps.dir/brill.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/brill.cc.o.d"
+  "/root/repo/src/apps/exact.cc" "src/apps/CMakeFiles/rapid_apps.dir/exact.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/exact.cc.o.d"
+  "/root/repo/src/apps/gappy.cc" "src/apps/CMakeFiles/rapid_apps.dir/gappy.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/gappy.cc.o.d"
+  "/root/repo/src/apps/hamming_cookbook.cc" "src/apps/CMakeFiles/rapid_apps.dir/hamming_cookbook.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/hamming_cookbook.cc.o.d"
+  "/root/repo/src/apps/motomata.cc" "src/apps/CMakeFiles/rapid_apps.dir/motomata.cc.o" "gcc" "src/apps/CMakeFiles/rapid_apps.dir/motomata.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/rapid_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/re/CMakeFiles/rapid_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/anml/CMakeFiles/rapid_anml.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rapid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/rapid_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rapid_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_apps.dir/all.cc.o"
+  "CMakeFiles/rapid_apps.dir/all.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/arm.cc.o"
+  "CMakeFiles/rapid_apps.dir/arm.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/brill.cc.o"
+  "CMakeFiles/rapid_apps.dir/brill.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/exact.cc.o"
+  "CMakeFiles/rapid_apps.dir/exact.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/gappy.cc.o"
+  "CMakeFiles/rapid_apps.dir/gappy.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/hamming_cookbook.cc.o"
+  "CMakeFiles/rapid_apps.dir/hamming_cookbook.cc.o.d"
+  "CMakeFiles/rapid_apps.dir/motomata.cc.o"
+  "CMakeFiles/rapid_apps.dir/motomata.cc.o.d"
+  "librapid_apps.a"
+  "librapid_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/automaton.cc" "src/automata/CMakeFiles/rapid_automata.dir/automaton.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/automaton.cc.o.d"
+  "/root/repo/src/automata/charset.cc" "src/automata/CMakeFiles/rapid_automata.dir/charset.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/charset.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/automata/CMakeFiles/rapid_automata.dir/nfa.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/nfa.cc.o.d"
+  "/root/repo/src/automata/optimizer.cc" "src/automata/CMakeFiles/rapid_automata.dir/optimizer.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/optimizer.cc.o.d"
+  "/root/repo/src/automata/positional.cc" "src/automata/CMakeFiles/rapid_automata.dir/positional.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/positional.cc.o.d"
+  "/root/repo/src/automata/simulator.cc" "src/automata/CMakeFiles/rapid_automata.dir/simulator.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/simulator.cc.o.d"
+  "/root/repo/src/automata/witness.cc" "src/automata/CMakeFiles/rapid_automata.dir/witness.cc.o" "gcc" "src/automata/CMakeFiles/rapid_automata.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

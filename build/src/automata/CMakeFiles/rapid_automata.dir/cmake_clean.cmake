@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_automata.dir/automaton.cc.o"
+  "CMakeFiles/rapid_automata.dir/automaton.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/charset.cc.o"
+  "CMakeFiles/rapid_automata.dir/charset.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/nfa.cc.o"
+  "CMakeFiles/rapid_automata.dir/nfa.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/optimizer.cc.o"
+  "CMakeFiles/rapid_automata.dir/optimizer.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/positional.cc.o"
+  "CMakeFiles/rapid_automata.dir/positional.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/simulator.cc.o"
+  "CMakeFiles/rapid_automata.dir/simulator.cc.o.d"
+  "CMakeFiles/rapid_automata.dir/witness.cc.o"
+  "CMakeFiles/rapid_automata.dir/witness.cc.o.d"
+  "librapid_automata.a"
+  "librapid_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

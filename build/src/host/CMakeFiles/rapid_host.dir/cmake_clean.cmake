@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_host.dir/argfile.cc.o"
+  "CMakeFiles/rapid_host.dir/argfile.cc.o.d"
+  "CMakeFiles/rapid_host.dir/device.cc.o"
+  "CMakeFiles/rapid_host.dir/device.cc.o.d"
+  "CMakeFiles/rapid_host.dir/transformer.cc.o"
+  "CMakeFiles/rapid_host.dir/transformer.cc.o.d"
+  "librapid_host.a"
+  "librapid_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/codegen.cc" "src/lang/CMakeFiles/rapid_lang.dir/codegen.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/codegen.cc.o.d"
+  "/root/repo/src/lang/interpreter.cc" "src/lang/CMakeFiles/rapid_lang.dir/interpreter.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/interpreter.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/rapid_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/rapid_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/lang/CMakeFiles/rapid_lang.dir/printer.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/printer.cc.o.d"
+  "/root/repo/src/lang/typecheck.cc" "src/lang/CMakeFiles/rapid_lang.dir/typecheck.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/typecheck.cc.o.d"
+  "/root/repo/src/lang/value.cc" "src/lang/CMakeFiles/rapid_lang.dir/value.cc.o" "gcc" "src/lang/CMakeFiles/rapid_lang.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/rapid_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_lang.dir/codegen.cc.o"
+  "CMakeFiles/rapid_lang.dir/codegen.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/interpreter.cc.o"
+  "CMakeFiles/rapid_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/lexer.cc.o"
+  "CMakeFiles/rapid_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/parser.cc.o"
+  "CMakeFiles/rapid_lang.dir/parser.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/printer.cc.o"
+  "CMakeFiles/rapid_lang.dir/printer.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/typecheck.cc.o"
+  "CMakeFiles/rapid_lang.dir/typecheck.cc.o.d"
+  "CMakeFiles/rapid_lang.dir/value.cc.o"
+  "CMakeFiles/rapid_lang.dir/value.cc.o.d"
+  "librapid_lang.a"
+  "librapid_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

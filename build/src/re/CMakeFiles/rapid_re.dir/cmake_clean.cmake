@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_re.dir/regex.cc.o"
+  "CMakeFiles/rapid_re.dir/regex.cc.o.d"
+  "librapid_re.a"
+  "librapid_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_support.dir/strings.cc.o"
+  "CMakeFiles/rapid_support.dir/strings.cc.o.d"
+  "librapid_support.a"
+  "librapid_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidc.dir/rapidc.cc.o"
+  "CMakeFiles/rapidc.dir/rapidc.cc.o.d"
+  "rapidc"
+  "rapidc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

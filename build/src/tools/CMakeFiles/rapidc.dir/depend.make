@@ -1,0 +1,2 @@
+# Empty dependencies file for rapidc.
+# This may be replaced when dependencies are built.

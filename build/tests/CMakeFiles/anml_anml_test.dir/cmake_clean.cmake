@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anml_anml_test.dir/anml/anml_test.cc.o"
+  "CMakeFiles/anml_anml_test.dir/anml/anml_test.cc.o.d"
+  "anml_anml_test"
+  "anml_anml_test.pdb"
+  "anml_anml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anml_anml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for anml_anml_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_placement_test.dir/ap/placement_test.cc.o"
+  "CMakeFiles/ap_placement_test.dir/ap/placement_test.cc.o.d"
+  "ap_placement_test"
+  "ap_placement_test.pdb"
+  "ap_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

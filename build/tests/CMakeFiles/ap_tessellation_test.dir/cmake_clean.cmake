@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_tessellation_test.dir/ap/tessellation_test.cc.o"
+  "CMakeFiles/ap_tessellation_test.dir/ap/tessellation_test.cc.o.d"
+  "ap_tessellation_test"
+  "ap_tessellation_test.pdb"
+  "ap_tessellation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_tessellation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_benchmark_correctness_test.dir/apps/benchmark_correctness_test.cc.o"
+  "CMakeFiles/apps_benchmark_correctness_test.dir/apps/benchmark_correctness_test.cc.o.d"
+  "apps_benchmark_correctness_test"
+  "apps_benchmark_correctness_test.pdb"
+  "apps_benchmark_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_benchmark_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_hamming_cookbook_test.dir/apps/hamming_cookbook_test.cc.o"
+  "CMakeFiles/apps_hamming_cookbook_test.dir/apps/hamming_cookbook_test.cc.o.d"
+  "apps_hamming_cookbook_test"
+  "apps_hamming_cookbook_test.pdb"
+  "apps_hamming_cookbook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_hamming_cookbook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

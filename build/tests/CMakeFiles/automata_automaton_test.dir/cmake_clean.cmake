@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_automaton_test.dir/automata/automaton_test.cc.o"
+  "CMakeFiles/automata_automaton_test.dir/automata/automaton_test.cc.o.d"
+  "automata_automaton_test"
+  "automata_automaton_test.pdb"
+  "automata_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

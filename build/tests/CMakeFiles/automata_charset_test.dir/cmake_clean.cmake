@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_charset_test.dir/automata/charset_test.cc.o"
+  "CMakeFiles/automata_charset_test.dir/automata/charset_test.cc.o.d"
+  "automata_charset_test"
+  "automata_charset_test.pdb"
+  "automata_charset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_charset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

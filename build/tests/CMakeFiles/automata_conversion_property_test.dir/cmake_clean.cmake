@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_conversion_property_test.dir/automata/conversion_property_test.cc.o"
+  "CMakeFiles/automata_conversion_property_test.dir/automata/conversion_property_test.cc.o.d"
+  "automata_conversion_property_test"
+  "automata_conversion_property_test.pdb"
+  "automata_conversion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_conversion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_homogeneous_conversion_test.dir/automata/homogeneous_conversion_test.cc.o"
+  "CMakeFiles/automata_homogeneous_conversion_test.dir/automata/homogeneous_conversion_test.cc.o.d"
+  "automata_homogeneous_conversion_test"
+  "automata_homogeneous_conversion_test.pdb"
+  "automata_homogeneous_conversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_homogeneous_conversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_optimizer_test.dir/automata/optimizer_test.cc.o"
+  "CMakeFiles/automata_optimizer_test.dir/automata/optimizer_test.cc.o.d"
+  "automata_optimizer_test"
+  "automata_optimizer_test.pdb"
+  "automata_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_positional_test.dir/automata/positional_test.cc.o"
+  "CMakeFiles/automata_positional_test.dir/automata/positional_test.cc.o.d"
+  "automata_positional_test"
+  "automata_positional_test.pdb"
+  "automata_positional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_positional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_simulator_test.dir/automata/simulator_test.cc.o"
+  "CMakeFiles/automata_simulator_test.dir/automata/simulator_test.cc.o.d"
+  "automata_simulator_test"
+  "automata_simulator_test.pdb"
+  "automata_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_witness_test.dir/automata/witness_test.cc.o"
+  "CMakeFiles/automata_witness_test.dir/automata/witness_test.cc.o.d"
+  "automata_witness_test"
+  "automata_witness_test.pdb"
+  "automata_witness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_witness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_argfile_test.dir/host/argfile_test.cc.o"
+  "CMakeFiles/host_argfile_test.dir/host/argfile_test.cc.o.d"
+  "host_argfile_test"
+  "host_argfile_test.pdb"
+  "host_argfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_argfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

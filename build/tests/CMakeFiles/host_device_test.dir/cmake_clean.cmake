@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_device_test.dir/host/device_test.cc.o"
+  "CMakeFiles/host_device_test.dir/host/device_test.cc.o.d"
+  "host_device_test"
+  "host_device_test.pdb"
+  "host_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

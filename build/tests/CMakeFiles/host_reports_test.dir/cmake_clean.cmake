@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_reports_test.dir/host/reports_test.cc.o"
+  "CMakeFiles/host_reports_test.dir/host/reports_test.cc.o.d"
+  "host_reports_test"
+  "host_reports_test.pdb"
+  "host_reports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_reports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_transformer_test.dir/host/transformer_test.cc.o"
+  "CMakeFiles/host_transformer_test.dir/host/transformer_test.cc.o.d"
+  "host_transformer_test"
+  "host_transformer_test.pdb"
+  "host_transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_codegen_end2end_test.dir/lang/codegen_end2end_test.cc.o"
+  "CMakeFiles/lang_codegen_end2end_test.dir/lang/codegen_end2end_test.cc.o.d"
+  "lang_codegen_end2end_test"
+  "lang_codegen_end2end_test.pdb"
+  "lang_codegen_end2end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_codegen_end2end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

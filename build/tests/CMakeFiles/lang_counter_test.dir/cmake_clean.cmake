@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_counter_test.dir/lang/counter_test.cc.o"
+  "CMakeFiles/lang_counter_test.dir/lang/counter_test.cc.o.d"
+  "lang_counter_test"
+  "lang_counter_test.pdb"
+  "lang_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_expr_codegen_test.dir/lang/expr_codegen_test.cc.o"
+  "CMakeFiles/lang_expr_codegen_test.dir/lang/expr_codegen_test.cc.o.d"
+  "lang_expr_codegen_test"
+  "lang_expr_codegen_test.pdb"
+  "lang_expr_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_expr_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

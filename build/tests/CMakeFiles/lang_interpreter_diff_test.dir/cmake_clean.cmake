@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_interpreter_diff_test.dir/lang/interpreter_diff_test.cc.o"
+  "CMakeFiles/lang_interpreter_diff_test.dir/lang/interpreter_diff_test.cc.o.d"
+  "lang_interpreter_diff_test"
+  "lang_interpreter_diff_test.pdb"
+  "lang_interpreter_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_interpreter_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_macro_test.dir/lang/macro_test.cc.o"
+  "CMakeFiles/lang_macro_test.dir/lang/macro_test.cc.o.d"
+  "lang_macro_test"
+  "lang_macro_test.pdb"
+  "lang_macro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_macro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

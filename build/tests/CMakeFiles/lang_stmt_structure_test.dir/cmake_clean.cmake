@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_stmt_structure_test.dir/lang/stmt_structure_test.cc.o"
+  "CMakeFiles/lang_stmt_structure_test.dir/lang/stmt_structure_test.cc.o.d"
+  "lang_stmt_structure_test"
+  "lang_stmt_structure_test.pdb"
+  "lang_stmt_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_stmt_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_types_test.dir/lang/types_test.cc.o"
+  "CMakeFiles/lang_types_test.dir/lang/types_test.cc.o.d"
+  "lang_types_test"
+  "lang_types_test.pdb"
+  "lang_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_value_test.dir/lang/value_test.cc.o"
+  "CMakeFiles/lang_value_test.dir/lang/value_test.cc.o.d"
+  "lang_value_test"
+  "lang_value_test.pdb"
+  "lang_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

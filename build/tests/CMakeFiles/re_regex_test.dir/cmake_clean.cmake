@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_regex_test.dir/re/regex_test.cc.o"
+  "CMakeFiles/re_regex_test.dir/re/regex_test.cc.o.d"
+  "re_regex_test"
+  "re_regex_test.pdb"
+  "re_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

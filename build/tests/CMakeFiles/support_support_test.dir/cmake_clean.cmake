@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_support_test.dir/support/support_test.cc.o"
+  "CMakeFiles/support_support_test.dir/support/support_test.cc.o.d"
+  "support_support_test"
+  "support_support_test.pdb"
+  "support_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
