@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Nightly differential-fuzzing sweep.
+#
+# Builds rapidfuzz with sanitizers enabled and runs it under a wall-
+# clock budget with a date-derived seed, so each night explores a new
+# region of the program space while any given night remains exactly
+# reproducible from its date:
+#
+#   rapidfuzz --seed $(date -u +%Y%m%d) --seconds <budget>
+#
+# Usage: scripts/fuzz_nightly.sh [minutes] [extra rapidfuzz args...]
+#   minutes   wall-clock budget (default 10)
+#
+# Exit status: non-zero when a divergence is found (the shrunken repro
+# is written to the build directory and printed) or the build fails.
+set -e
+cd "$(dirname "$0")/.."
+
+MINUTES="${1:-10}"
+[ $# -gt 0 ] && shift
+
+SEED="${RAPID_FUZZ_SEED:-$(date -u +%Y%m%d)}"
+BUILD_DIR="build-fuzz-nightly"
+
+cmake -B "$BUILD_DIR" -DRAPID_ENABLE_SANITIZERS=ON
+cmake --build "$BUILD_DIR" --target rapidfuzz -j
+
+echo "== fuzz_nightly: seed $SEED, budget ${MINUTES}m =="
+"$BUILD_DIR/src/tools/rapidfuzz" \
+    --seed "$SEED" \
+    --iterations 100000000 \
+    --seconds "$((MINUTES * 60))" \
+    --repro-dir "$BUILD_DIR" \
+    "$@"

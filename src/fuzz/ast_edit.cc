@@ -1,0 +1,112 @@
+#include "fuzz/ast_edit.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+using lang::Expr;
+using lang::ExprPtr;
+using lang::MacroDecl;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::StmtPtr;
+
+void
+collectSlots(std::vector<StmtPtr> &list, std::vector<StmtSlot> &out)
+{
+    for (size_t i = 0; i < list.size(); ++i)
+        out.push_back({&list, i});
+    for (const StmtPtr &stmt : list) {
+        if (stmt->kind == StmtKind::Either) {
+            // Arms themselves are not slots (see header); their
+            // contents are.
+            for (const StmtPtr &arm : stmt->body)
+                collectSlots(arm->body, out);
+            continue;
+        }
+        collectSlots(stmt->body, out);
+        collectSlots(stmt->orelse, out);
+    }
+}
+
+void
+collectExprs(Expr *expr, std::vector<Expr *> &out)
+{
+    if (expr == nullptr)
+        return;
+    out.push_back(expr);
+    for (const ExprPtr &child : expr->args)
+        collectExprs(child.get(), out);
+}
+
+void
+collectStmtExprs(std::vector<StmtPtr> &list, std::vector<Expr *> &out)
+{
+    for (const StmtPtr &stmt : list) {
+        collectExprs(stmt->expr.get(), out);
+        collectExprs(stmt->target.get(), out);
+        collectStmtExprs(stmt->body, out);
+        collectStmtExprs(stmt->orelse, out);
+    }
+}
+
+} // namespace
+
+std::vector<StmtSlot>
+stmtSlots(Program &program)
+{
+    std::vector<StmtSlot> out;
+    for (MacroDecl &macro : program.macros)
+        collectSlots(macro.body, out);
+    collectSlots(program.network.body, out);
+    return out;
+}
+
+std::vector<Expr *>
+exprNodes(Program &program)
+{
+    std::vector<Expr *> out;
+    for (MacroDecl &macro : program.macros)
+        collectStmtExprs(macro.body, out);
+    collectStmtExprs(program.network.body, out);
+    return out;
+}
+
+ExprPtr
+cloneExpr(const Expr &expr)
+{
+    auto copy = std::make_unique<Expr>();
+    copy->kind = expr.kind;
+    copy->loc = expr.loc;
+    copy->intValue = expr.intValue;
+    copy->boolValue = expr.boolValue;
+    copy->charValue = expr.charValue;
+    copy->text = expr.text;
+    copy->uop = expr.uop;
+    copy->bop = expr.bop;
+    for (const ExprPtr &child : expr.args)
+        copy->args.push_back(cloneExpr(*child));
+    return copy;
+}
+
+StmtPtr
+cloneStmt(const Stmt &stmt)
+{
+    auto copy = std::make_unique<Stmt>();
+    copy->kind = stmt.kind;
+    copy->loc = stmt.loc;
+    copy->declType = stmt.declType;
+    copy->name = stmt.name;
+    if (stmt.expr)
+        copy->expr = cloneExpr(*stmt.expr);
+    if (stmt.target)
+        copy->target = cloneExpr(*stmt.target);
+    for (const StmtPtr &inner : stmt.body)
+        copy->body.push_back(cloneStmt(*inner));
+    for (const StmtPtr &inner : stmt.orelse)
+        copy->orelse.push_back(cloneStmt(*inner));
+    return copy;
+}
+
+} // namespace rapid::fuzz

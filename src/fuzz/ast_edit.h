@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AST editing utilities for the fuzzer's mutator and shrinker.
+ *
+ * Both tools want the same primitives over a freshly parsed Program:
+ * a deterministic enumeration of every statement slot (so "delete
+ * statement #7" is meaningful across re-parses of identical source),
+ * an enumeration of every expression node, and deep copies of
+ * statements for duplication.
+ *
+ * `either` arms are deliberately *not* statement slots: removing one
+ * could leave a single-arm `either`, which does not re-parse.  The
+ * shrinker instead replaces a whole `either` with one of its arms.
+ */
+#ifndef RAPID_FUZZ_AST_EDIT_H
+#define RAPID_FUZZ_AST_EDIT_H
+
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace rapid::fuzz {
+
+/** A position in some statement list of a program. */
+struct StmtSlot {
+    std::vector<lang::StmtPtr> *list = nullptr;
+    size_t index = 0;
+
+    lang::Stmt &stmt() const { return *(*list)[index]; }
+};
+
+/**
+ * Every statement slot in the program, in deterministic pre-order
+ * (macros first, then the network; nested bodies after their owner).
+ * Pointers are invalidated by any structural edit — re-enumerate.
+ */
+std::vector<StmtSlot> stmtSlots(lang::Program &program);
+
+/** Every expression node in the program, in deterministic pre-order. */
+std::vector<lang::Expr *> exprNodes(lang::Program &program);
+
+/** Deep copies (source locations preserved, types reset). */
+lang::ExprPtr cloneExpr(const lang::Expr &expr);
+lang::StmtPtr cloneStmt(const lang::Stmt &stmt);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_AST_EDIT_H

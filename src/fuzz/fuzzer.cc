@@ -1,0 +1,165 @@
+#include "fuzz/fuzzer.h"
+
+#include <utility>
+
+#include "fuzz/shrink.h"
+#include "host/argfile.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+/** Mix the master seed with a case index (SplitMix64 finalizer). */
+uint64_t
+mixSeed(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Parse argfile text, treating failures as "no arguments". */
+std::vector<lang::Value>
+argsOf(const std::string &args_text)
+{
+    if (trim(args_text).empty())
+        return {};
+    return host::parseArgFile(args_text);
+}
+
+} // namespace
+
+FuzzResult
+runFuzz(const FuzzOptions &options)
+{
+    FuzzResult result;
+    Timer timer;
+
+    for (uint64_t i = 0; i < options.iterations; ++i) {
+        if (options.secondsBudget > 0 &&
+            timer.seconds() > options.secondsBudget)
+            break;
+
+        Rng rng(mixSeed(options.seed, i));
+        GeneratedCase generated;
+        bool mutated = false;
+        if (!options.corpus.empty() &&
+            rng.chance(options.corpusBias)) {
+            const SeedProgram &seed_program =
+                options.corpus[rng.below(options.corpus.size())];
+            std::string mutant = mutateSource(
+                rng, seed_program.source, seed_program.alphabet);
+            // Mutation can break staged evaluation in ways type
+            // checking cannot see (deleted loop increments), so
+            // pre-validate; invalid mutants fall back to generation.
+            if (!mutant.empty() && !sourceUsesCounters(mutant)) {
+                auto args = argsOf(seed_program.argsText);
+                if (sourceCompiles(mutant, args)) {
+                    generated.source = std::move(mutant);
+                    generated.argsText = seed_program.argsText;
+                    generated.args = std::move(args);
+                    generated.alphabet = seed_program.alphabet;
+                    mutated = true;
+                }
+            }
+        }
+        if (!mutated)
+            generated = generateCase(rng, options.gen);
+
+        ++result.cases;
+        result.mutatedCases += mutated ? 1 : 0;
+        result.counterCases += generated.usesCounters ? 1 : 0;
+        result.tileCases += generated.tileable ? 1 : 0;
+
+        // The tile fork is only sound for generator-vouched shapes.
+        unsigned mask = options.mask;
+        if (!generated.tileable)
+            mask &= ~kForkTile;
+
+        for (int round = 0; round < options.inputsPerCase; ++round) {
+            OracleCase oracle_case;
+            oracle_case.source = generated.source;
+            oracle_case.args = generated.args;
+            oracle_case.mask = mask;
+            oracle_case.input = generateInput(
+                rng, generated.alphabet, options.maxInputSymbols);
+
+            OracleResult outcome = runOracle(oracle_case);
+            if (!outcome.ran) {
+                ++result.rejected;
+                if (options.log != nullptr) {
+                    *options.log
+                        << "rapidfuzz: case " << i << " "
+                        << outcome.detail << "\n"
+                        << generated.source << "\n";
+                }
+                break; // same program would be rejected again
+            }
+            ++result.inputsRun;
+            result.reportsSeen += outcome.offsets.size();
+            if (!outcome.divergence)
+                continue;
+
+            // First divergence: minimize and package a repro.
+            result.divergence = true;
+            result.repro.seed = options.seed;
+            result.repro.caseIndex = i;
+            result.repro.source = generated.source;
+            result.repro.argsText = generated.argsText;
+            result.repro.input = oracle_case.input;
+            result.repro.mask = mask;
+            result.repro.detail = outcome.detail;
+
+            if (options.shrinkOnDivergence) {
+                auto args = generated.args;
+                auto still_diverges =
+                    [&](const std::string &source,
+                        const std::string &input) {
+                        OracleCase candidate;
+                        candidate.source = source;
+                        candidate.args = args;
+                        candidate.input = input;
+                        candidate.mask = mask;
+                        OracleResult check = runOracle(candidate);
+                        return check.ran && check.divergence;
+                    };
+                ShrinkResult shrunk = shrinkCase(
+                    generated.source, oracle_case.input,
+                    still_diverges, options.shrinkBudget);
+                result.repro.source = shrunk.source;
+                result.repro.input = shrunk.input;
+                // Re-derive the detail for the minimized pair.
+                OracleCase final_case;
+                final_case.source = shrunk.source;
+                final_case.args = args;
+                final_case.input = shrunk.input;
+                final_case.mask = mask;
+                result.repro.detail = runOracle(final_case).detail;
+            }
+
+            if (options.log != nullptr) {
+                *options.log
+                    << "rapidfuzz: divergence at seed "
+                    << options.seed << " case " << i << ": "
+                    << result.repro.detail << "\n";
+            }
+            return result;
+        }
+
+        if (options.log != nullptr && (i + 1) % 500 == 0) {
+            *options.log << "rapidfuzz: " << (i + 1) << "/"
+                         << options.iterations << " cases, "
+                         << result.inputsRun << " inputs, "
+                         << result.reportsSeen
+                         << " reports, no divergence\n";
+        }
+    }
+
+    return result;
+}
+
+} // namespace rapid::fuzz

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The generative differential-fuzzing loop.
+ *
+ * Drives generateCase()/mutateSource() -> runOracle() -> shrinkCase()
+ * under one master seed.  Case i derives its own Rng from
+ * (seed, i), so runs are reproducible bit-for-bit and individual
+ * cases can be replayed without re-running predecessors.
+ *
+ * Used by the `rapidfuzz` CLI (open-ended runs, nightly budgets) and
+ * by the bounded ctest wrapper in tests/fuzz/.
+ */
+#ifndef RAPID_FUZZ_FUZZER_H
+#define RAPID_FUZZ_FUZZER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/repro.h"
+
+namespace rapid::fuzz {
+
+/** A mutation-pool seed program (typically from tests/fuzz/corpus.h). */
+struct SeedProgram {
+    std::string source;
+    /** Arguments in argfile format ("" when none). */
+    std::string argsText;
+    std::string alphabet;
+};
+
+struct FuzzOptions {
+    uint64_t seed = 1;
+    uint64_t iterations = 2000;
+    /** Fork-selection mask; inapplicable forks degrade per case. */
+    unsigned mask = kForkAll;
+    GenOptions gen;
+    /** Random input streams tried per generated program. */
+    int inputsPerCase = 3;
+    size_t maxInputSymbols = 48;
+    /** Stop after this many seconds (0 = run all iterations). */
+    double secondsBudget = 0.0;
+    bool shrinkOnDivergence = true;
+    size_t shrinkBudget = 4000;
+    /** Mutation seed pool and the fraction of cases drawn from it. */
+    std::vector<SeedProgram> corpus;
+    double corpusBias = 0.2;
+    /** Progress / divergence log (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+struct FuzzResult {
+    uint64_t cases = 0;
+    uint64_t inputsRun = 0;
+    /** Programs the compiler rejected (generator defects). */
+    uint64_t rejected = 0;
+    uint64_t counterCases = 0;
+    uint64_t tileCases = 0;
+    uint64_t mutatedCases = 0;
+    /** Total distinct report offsets observed (signal tracking). */
+    uint64_t reportsSeen = 0;
+    bool divergence = false;
+    /** The (shrunken) first divergence when one was found. */
+    ReproCase repro;
+};
+
+/** Run the loop; stops at the first divergence. */
+FuzzResult runFuzz(const FuzzOptions &options);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_FUZZER_H

@@ -1,0 +1,585 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+#include "fuzz/ast_edit.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/typecheck.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+/** Letters programs draw their alphabets from. */
+const char *const kAlphabetPool = "abcdgrsxyz";
+
+/**
+ * A generated automata expression with the metadata the builder needs
+ * to respect the language's negation restrictions: `atomic` governs
+ * parenthesization, `negatable` whether `!` / if / while may wrap it.
+ */
+struct AExpr {
+    std::string text;
+    bool atomic = true;
+    bool negatable = true;
+};
+
+class ProgramBuilder {
+  public:
+    ProgramBuilder(Rng &rng, const GenOptions &options)
+        : _rng(rng), _options(options), _budget(options.maxStmts)
+    {
+        size_t letters = 3 + _rng.below(3);
+        std::vector<char> pool(kAlphabetPool,
+                               kAlphabetPool + 10);
+        _rng.shuffle(pool);
+        _alphabet.assign(pool.begin(),
+                         pool.begin() + static_cast<long>(letters));
+    }
+
+    GeneratedCase
+    build()
+    {
+        GeneratedCase out;
+        out.alphabet = _alphabet;
+
+        if (_options.tiles && _rng.chance(0.14))
+            return buildTileable(std::move(out));
+
+        std::string header = "network () {\n";
+        if (_rng.chance(0.3)) {
+            _hasIntParam = true;
+            _intParamValue = static_cast<int>(_rng.below(5));
+            header = "network (int n) {\n";
+            out.argsText =
+                "int: " + std::to_string(_intParamValue);
+            out.args = {lang::Value::integer(_intParamValue)};
+        }
+
+        std::string macros;
+        int macro_count =
+            static_cast<int>(_rng.below(_options.maxMacros + 1));
+        for (int i = 0; i < macro_count && _budget > 2; ++i)
+            macros += genMacro();
+
+        std::string body;
+        int branches = 1 + static_cast<int>(_rng.below(3));
+        for (int b = 0; b < branches && _budget > 0; ++b)
+            body += genBranch();
+        if (body.find("report") == std::string::npos) {
+            // A report-free program exercises nothing; anchor one.
+            body += "    { " + leaf().text + "; report; }\n";
+        }
+
+        out.source = macros + header + body + "}\n";
+        out.usesCounters = _usedCounter;
+        return out;
+    }
+
+  private:
+    /// Helpers ----------------------------------------------------------
+
+    std::string
+    fresh(const char *stem)
+    {
+        return stem + std::to_string(_serial++);
+    }
+
+    char
+    symbol()
+    {
+        return _rng.pick(_alphabet);
+    }
+
+    std::string
+    charLit()
+    {
+        return std::string("'") + symbol() + "'";
+    }
+
+    std::string
+    word(size_t max_len)
+    {
+        return _rng.string(1 + _rng.below(max_len), _alphabet);
+    }
+
+    /** Parenthesize composite operands of a binary spelling. */
+    static std::string
+    operand(const AExpr &expr)
+    {
+        return expr.atomic ? expr.text : "(" + expr.text + ")";
+    }
+
+    /** A staged (compile-time) boolean over the int parameter. */
+    std::string
+    stagedBool()
+    {
+        static const char *const ops[] = {"==", "!=", "<", ">",
+                                          "<=", ">="};
+        return "n " + std::string(ops[_rng.below(6)]) + " " +
+               std::to_string(_rng.below(5));
+    }
+
+    /// Automata expressions ---------------------------------------------
+
+    AExpr
+    leaf()
+    {
+        switch (_rng.below(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            return {charLit() + " == input()"};
+          case 4:
+          case 5:
+          case 6:
+            return {charLit() + " != input()"};
+          case 7:
+            return {"input() == " + charLit()};
+          case 8:
+            return {"ALL_INPUT == input()"};
+          default:
+            return {"START_OF_INPUT == input()"};
+        }
+    }
+
+    /**
+     * A random automata expression.  When @p need_negatable, the
+     * result stays within the negatable fragment: leaves, alternations
+     * of single-symbol comparisons, conjunctions of negatable parts,
+     * and double negations.
+     */
+    AExpr
+    genAutomata(int depth, bool need_negatable)
+    {
+        if (depth <= 0 || _rng.chance(0.4))
+            return leaf();
+        switch (_rng.below(need_negatable ? 4 : 5)) {
+          case 0: { // single-symbol alternation (fusable, negatable)
+            AExpr lhs = leaf();
+            AExpr rhs = leaf();
+            return {lhs.text + " || " + rhs.text, false, true};
+          }
+          case 1: { // conjunction
+            AExpr lhs = genAutomata(depth - 1, need_negatable);
+            AExpr rhs = genAutomata(depth - 1, need_negatable);
+            return {operand(lhs) + " && " + operand(rhs), false,
+                    lhs.negatable && rhs.negatable};
+          }
+          case 2: { // negation
+            AExpr inner = genAutomata(depth - 1, true);
+            return {"!(" + inner.text + ")", true, true};
+          }
+          case 3: { // staged boolean conjunct
+            if (!_hasIntParam || _inMacro)
+                return leaf();
+            AExpr rhs = genAutomata(depth - 1, need_negatable);
+            return {stagedBool() + " && " + operand(rhs), false,
+                    rhs.negatable};
+          }
+          default: { // general alternation (variable lengths)
+            AExpr lhs = genAutomata(depth - 1, false);
+            AExpr rhs = genAutomata(depth - 1, false);
+            return {operand(lhs) + " || " + operand(rhs), false,
+                    false};
+          }
+        }
+    }
+
+    /// Statements -------------------------------------------------------
+
+    std::string
+    indent(int depth)
+    {
+        return std::string(static_cast<size_t>(depth) * 4, ' ');
+    }
+
+    std::string
+    genBlock(int depth, bool allow_report)
+    {
+        std::string out = "{\n";
+        int count = 1 + static_cast<int>(_rng.below(2));
+        for (int i = 0; i < count && _budget > 0; ++i)
+            out += genStmt(depth);
+        if (allow_report && _rng.chance(0.5))
+            out += indent(depth + 1) + "report;\n";
+        out += indent(depth) + "}";
+        return out;
+    }
+
+    /** One top-level parallel branch of the network. */
+    std::string
+    genBranch()
+    {
+        --_budget;
+        if (_rng.chance(0.2)) {
+            // Explicit whenever replaces the default sliding window.
+            AExpr guard =
+                _rng.chance(0.3) ? AExpr{"ALL_INPUT == input()"}
+                                 : leaf();
+            std::string body = "{\n";
+            int count = 1 + static_cast<int>(_rng.below(2));
+            for (int i = 0; i < count && _budget > 0; ++i)
+                body += genStmt(1);
+            body += indent(2) + "report;\n" + indent(1) + "}";
+            return indent(1) + "whenever (" + guard.text + ") " +
+                   body + "\n";
+        }
+        std::string out = "{\n";
+        int count = 1 + static_cast<int>(_rng.below(3));
+        bool counters_here =
+            _options.counters && _rng.chance(0.25) && _budget > 2;
+        if (counters_here) {
+            out += genCounterCluster();
+        } else {
+            for (int i = 0; i < count && _budget > 0; ++i)
+                out += genStmt(1);
+            if (_rng.chance(0.85))
+                out += indent(2) + "report;\n";
+        }
+        out += indent(1) + "}";
+        return indent(1) + out + "\n";
+    }
+
+    std::string
+    genStmt(int depth)
+    {
+        --_budget;
+        std::string pad = indent(depth + 1);
+        switch (_rng.below(12)) {
+          case 0:
+          case 1:
+          case 2: // plain comparison chain
+            return pad + genAutomata(2, false).text + ";\n";
+          case 3: { // if over an automata (negatable) condition
+            AExpr cond = genAutomata(1, true);
+            std::string out = pad + "if (" + cond.text + ") " +
+                              genBlock(depth + 1, false);
+            if (_rng.chance(0.5))
+                out += " else " + genBlock(depth + 1, false);
+            return out + "\n";
+          }
+          case 4: { // staged if (compile-time condition)
+            if (!_hasIntParam || _inMacro)
+                return pad + genAutomata(1, false).text + ";\n";
+            std::string out = pad + "if (" + stagedBool() + ") " +
+                              genBlock(depth + 1, false);
+            if (_rng.chance(0.5))
+                out += " else " + genBlock(depth + 1, false);
+            return out + "\n";
+          }
+          case 5: { // automata while loop
+            AExpr cond = leaf();
+            return pad + "while (" + cond.text + ") " +
+                   genBlock(depth + 1, false) + "\n";
+          }
+          case 6: { // staged counting loop (unrolled at compile time)
+            std::string i = fresh("i");
+            int bound = 1 + static_cast<int>(_rng.below(3));
+            return pad + "int " + i + " = 0;\n" + pad + "while (" +
+                   i + " < " + std::to_string(bound) + ") {\n" + pad +
+                   "    " + genAutomata(1, false).text + ";\n" + pad +
+                   "    " + i + " = " + i + " + 1;\n" + pad + "}\n";
+          }
+          case 7: { // foreach over a string literal
+            std::string v = fresh("c");
+            return pad + "foreach (char " + v + " : \"" + word(4) +
+                   "\") { " + v + " == input(); }\n";
+          }
+          case 8: { // either / orelse
+            std::string out = pad + "either " +
+                              genBlock(depth + 1, false);
+            int arms = 1 + static_cast<int>(_rng.below(2));
+            for (int a = 0; a < arms; ++a)
+                out += " orelse " + genBlock(depth + 1, false);
+            return out + "\n";
+          }
+          case 9: { // some over a string (parallel per character)
+            std::string v = fresh("v");
+            return pad + "some (char " + v + " : \"" + word(3) +
+                   "\") { " + v + " == input(); }\n";
+          }
+          case 10: { // macro call / definition-backed statement
+            if (_macros.empty() || _inMacro)
+                return pad + genAutomata(1, false).text + ";\n";
+            const MacroSig &sig =
+                _macros[_rng.below(_macros.size())];
+            return pad + sig.name + "(" + macroArgs(sig) + ");\n";
+          }
+          default: { // boolean assertion (staged thread kill/keep)
+            if (_hasIntParam && !_inMacro && _rng.chance(0.5))
+                return pad + stagedBool() + ";\n";
+            return pad + genAutomata(1, false).text + ";\n";
+          }
+        }
+    }
+
+    /**
+     * A counter lifecycle confined to one branch: declaration, count
+     * (and optional reset) sites, then exactly one threshold check —
+     * the §5.3 one-threshold-per-counter restriction.
+     */
+    std::string
+    genCounterCluster()
+    {
+        _usedCounter = true;
+        std::string c = fresh("cnt");
+        std::string pad = indent(2);
+        std::string out = pad + "Counter " + c + ";\n";
+        int sites = 1 + static_cast<int>(_rng.below(2));
+        _budget -= sites + 2;
+        for (int s = 0; s < sites; ++s) {
+            switch (_rng.below(3)) {
+              case 0:
+                out += pad + charLit() + " == input(); " + c +
+                       ".count();\n";
+                break;
+              case 1:
+                out += pad + "if (" + leaf().text + ") { " + c +
+                       ".count(); }\n";
+                break;
+              default:
+                out += pad + "foreach (char " + fresh("u") +
+                       " : \"" + word(3) + "\") { if (" +
+                       leaf().text + ") { " + c + ".count(); } }\n";
+                break;
+            }
+        }
+        if (_rng.chance(0.3))
+            out += pad + charLit() + " == input(); " + c +
+                   ".reset();\n";
+        static const char *const ops[] = {">=", ">",  "==",
+                                          "!=", "<=", "<"};
+        out += pad + c + " " + ops[_rng.below(6)] + " " +
+               std::to_string(1 + _rng.below(3)) + ";\n";
+        out += pad + "report;\n";
+        return out;
+    }
+
+    /// Macros -----------------------------------------------------------
+
+    struct MacroSig {
+        std::string name;
+        char kind; // 'v' none, 'c' char, 's' String, 'n' int
+    };
+
+    std::string
+    macroArgs(const MacroSig &sig)
+    {
+        switch (sig.kind) {
+          case 'c':
+            return charLit();
+          case 's':
+            return "\"" + word(4) + "\"";
+          case 'n':
+            return std::to_string(_rng.below(4));
+          default:
+            return "";
+        }
+    }
+
+    std::string
+    genMacro()
+    {
+        static const char kinds[] = {'v', 'c', 's', 'n'};
+        MacroSig sig{fresh("m"), kinds[_rng.below(4)]};
+        std::string params;
+        std::string body;
+        _inMacro = true;
+        --_budget;
+        switch (sig.kind) {
+          case 'c':
+            params = "char p";
+            body = "    p == input();\n";
+            break;
+          case 's':
+            params = "String p";
+            body = "    foreach (char q : p) { q == input(); }\n";
+            break;
+          case 'n':
+            params = "int p";
+            body = "    if (p > 1) { " + genAutomata(1, false).text +
+                   "; }\n";
+            break;
+          default:
+            body = "    " + genAutomata(1, false).text + ";\n";
+            break;
+        }
+        if (_budget > 0 && _rng.chance(0.5))
+            body += genStmt(0);
+        _inMacro = false;
+        _macros.push_back(sig);
+        return "macro " + sig.name + "(" + params + ") {\n" + body +
+               "}\n";
+    }
+
+    /// Tileable programs -------------------------------------------------
+
+    /**
+     * The §6 shape with *identical* instances, for which per-tile
+     * simulation of the replicated design is behaviourally equal to
+     * the full design: one top-level `some` over a String[] network
+     * parameter whose entries are all the same string.
+     */
+    GeneratedCase
+    buildTileable(GeneratedCase out)
+    {
+        std::string pattern = word(4);
+        size_t copies = 2 + _rng.below(3);
+        std::vector<std::string> args(copies, pattern);
+        out.args = {lang::Value::strArray(args)};
+        out.argsText = "strings: " + join(args, ", ");
+        out.tileable = true;
+
+        std::string body;
+        body += "        foreach (char c : p) { c == input(); }\n";
+        if (_rng.chance(0.5))
+            body += "        " + genAutomata(1, false).text + ";\n";
+        body += "        report;\n";
+        out.source = "network (String[] ps) {\n"
+                     "    some (String p : ps) {\n" +
+                     body + "    }\n}\n";
+        return out;
+    }
+
+    Rng &_rng;
+    GenOptions _options;
+    std::string _alphabet;
+    int _budget;
+    int _serial = 0;
+    bool _usedCounter = false;
+    bool _hasIntParam = false;
+    int _intParamValue = 0;
+    bool _inMacro = false;
+    std::vector<MacroSig> _macros;
+};
+
+} // namespace
+
+GeneratedCase
+generateCase(Rng &rng, const GenOptions &options)
+{
+    return ProgramBuilder(rng, options).build();
+}
+
+std::string
+generateInput(Rng &rng, const std::string &alphabet,
+              size_t max_symbols)
+{
+    const std::string letters = alphabet.empty() ? "ab" : alphabet;
+    const std::string foreign = "!~0";
+    std::string input;
+    size_t records = 1 + rng.below(4);
+    for (size_t r = 0; r < records; ++r) {
+        // Occasionally omit the leading separator: an unanchored
+        // stream only matches whenever-guarded windows.
+        if (r > 0 || !rng.chance(0.15))
+            input.push_back(static_cast<char>(0xFF));
+        size_t len = rng.below(max_symbols / records + 2);
+        for (size_t i = 0; i < len; ++i) {
+            input.push_back(rng.chance(0.06) ? rng.pick(foreign)
+                                             : rng.pick(letters));
+        }
+    }
+    return input;
+}
+
+std::string
+mutateSource(Rng &rng, const std::string &source,
+             const std::string &alphabet)
+{
+    const std::string letters = alphabet.empty() ? "ab" : alphabet;
+    lang::Program program;
+    try {
+        program = lang::parseProgram(source);
+    } catch (const Error &) {
+        return "";
+    }
+
+    size_t edits = 1 + rng.below(3);
+    for (size_t e = 0; e < edits; ++e) {
+        switch (rng.below(5)) {
+          case 0: { // delete a statement
+            auto slots = stmtSlots(program);
+            if (slots.empty())
+                break;
+            StmtSlot slot = slots[rng.below(slots.size())];
+            slot.list->erase(slot.list->begin() +
+                             static_cast<long>(slot.index));
+            break;
+          }
+          case 1: { // duplicate a statement in place
+            auto slots = stmtSlots(program);
+            if (slots.empty())
+                break;
+            StmtSlot slot = slots[rng.below(slots.size())];
+            lang::StmtPtr copy = cloneStmt(slot.stmt());
+            slot.list->insert(slot.list->begin() +
+                                  static_cast<long>(slot.index),
+                              std::move(copy));
+            break;
+          }
+          case 2: { // flip a character literal
+            auto exprs = exprNodes(program);
+            std::vector<lang::Expr *> chars;
+            for (lang::Expr *expr : exprs) {
+                if (expr->kind == lang::ExprKind::CharLit &&
+                    expr->charValue.kind ==
+                        lang::CharSpec::Kind::Literal)
+                    chars.push_back(expr);
+            }
+            if (chars.empty())
+                break;
+            chars[rng.below(chars.size())]->charValue.value =
+                static_cast<unsigned char>(rng.pick(letters));
+            break;
+          }
+          case 3: { // shrink or extend a string literal
+            auto exprs = exprNodes(program);
+            std::vector<lang::Expr *> strings;
+            for (lang::Expr *expr : exprs) {
+                if (expr->kind == lang::ExprKind::StringLit &&
+                    !expr->text.empty())
+                    strings.push_back(expr);
+            }
+            if (strings.empty())
+                break;
+            lang::Expr *lit = strings[rng.below(strings.size())];
+            if (rng.chance(0.5) && lit->text.size() > 1)
+                lit->text.erase(rng.below(lit->text.size()), 1);
+            else
+                lit->text.push_back(rng.pick(letters));
+            break;
+          }
+          default: { // nudge an int literal
+            auto exprs = exprNodes(program);
+            std::vector<lang::Expr *> ints;
+            for (lang::Expr *expr : exprs) {
+                if (expr->kind == lang::ExprKind::IntLit)
+                    ints.push_back(expr);
+            }
+            if (ints.empty())
+                break;
+            lang::Expr *lit = ints[rng.below(ints.size())];
+            lit->intValue = std::max<int64_t>(
+                0, lit->intValue + (rng.chance(0.5) ? 1 : -1));
+            break;
+          }
+        }
+    }
+
+    std::string mutated = lang::printProgram(program);
+    try {
+        lang::Program check = lang::parseProgram(mutated);
+        lang::typeCheck(check);
+    } catch (const Error &) {
+        return "";
+    }
+    return mutated;
+}
+
+} // namespace rapid::fuzz

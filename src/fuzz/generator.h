@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Seeded random-program generation for the differential fuzzer.
+ *
+ * Generates RAPID source text from a deterministic Rng, constrained so
+ * every emitted program parses, type-checks, and compiles: negation is
+ * only applied to shapes both the compiler and the interpreter can
+ * negate (fixed-length expressions; alternations of single-symbol
+ * comparisons), compile-time loops are bounded, macros are
+ * non-recursive, and each counter carries exactly one threshold check
+ * (the §5.3 restriction).
+ *
+ * Coverage: macro definitions and calls, `input()` comparisons
+ * (including ALL_INPUT / START_OF_INPUT and flipped operand order),
+ * `||`/`&&` fusion, De Morgan negation, if/else over both automata and
+ * staged boolean conditions, automata and compile-time `while` loops,
+ * `foreach` unrolling, `either/orelse`, `whenever` sliding windows,
+ * `some` branches, boolean assertions, and counter count/reset/check
+ * clusters.  A slice of the cases is *tileable*: one top-level `some`
+ * over a `String[]` network parameter whose entries are identical, the
+ * shape for which the per-tile oracle fork is sound.
+ *
+ * Input streams interleave record separators (0xFF) with symbols drawn
+ * from the program's alphabet plus occasional foreign bytes.
+ */
+#ifndef RAPID_FUZZ_GENERATOR_H
+#define RAPID_FUZZ_GENERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "lang/value.h"
+#include "support/rng.h"
+
+namespace rapid::fuzz {
+
+/** Program-generation knobs. */
+struct GenOptions {
+    /** Statement budget for the whole program. */
+    int maxStmts = 10;
+    /** Allow Counter clusters (skips the interpreter fork). */
+    bool counters = true;
+    /** Allow tileable some-over-parameter programs (fork (e)). */
+    bool tiles = true;
+    /** Maximum macro definitions per program. */
+    int maxMacros = 2;
+};
+
+/** One generated fuzz case. */
+struct GeneratedCase {
+    std::string source;
+    /** Network arguments, as values and as argfile text (repro form). */
+    std::vector<lang::Value> args;
+    std::string argsText;
+    /** Symbols the program mentions (input generation draws these). */
+    std::string alphabet;
+    bool usesCounters = false;
+    /** Sound for the per-tile fork: one uniform top-level `some`. */
+    bool tileable = false;
+};
+
+/** Generate one random program (deterministic in @p rng state). */
+GeneratedCase generateCase(Rng &rng, const GenOptions &options = {});
+
+/**
+ * Generate a random input stream: 1-4 records, each introduced by the
+ * 0xFF separator (occasionally omitted to exercise unanchored
+ * streams), holding up to @p max_symbols total alphabet symbols with
+ * occasional foreign bytes mixed in.
+ */
+std::string generateInput(Rng &rng, const std::string &alphabet,
+                          size_t max_symbols);
+
+/**
+ * Mutate an existing program (corpus seeding): randomly delete or
+ * duplicate a statement, flip a character literal, or shrink/extend a
+ * string literal, then re-print.  Returns "" when the mutant no
+ * longer parses or type-checks (callers skip it).
+ */
+std::string mutateSource(Rng &rng, const std::string &source,
+                         const std::string &alphabet);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_GENERATOR_H

@@ -1,0 +1,300 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "anml/anml.h"
+#include "ap/tessellation.h"
+#include "automata/optimizer.h"
+#include "automata/simulator.h"
+#include "lang/codegen.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "lang/typecheck.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+using automata::Automaton;
+using automata::ReportEvent;
+using automata::Simulator;
+
+/** Sorted distinct report offsets of a simulation run. */
+std::vector<uint64_t>
+offsetsOf(const std::vector<ReportEvent> &events)
+{
+    std::set<uint64_t> distinct;
+    for (const ReportEvent &event : events)
+        distinct.insert(event.offset);
+    return {distinct.begin(), distinct.end()};
+}
+
+/** Distinct (offset, element-id) pairs — the exact-round-trip view. */
+std::set<std::pair<uint64_t, std::string>>
+namedEventsOf(const Automaton &automaton,
+              const std::vector<ReportEvent> &events)
+{
+    std::set<std::pair<uint64_t, std::string>> out;
+    for (const ReportEvent &event : events)
+        out.insert({event.offset, automaton[event.element].id});
+    return out;
+}
+
+std::string
+renderOffsets(const std::vector<uint64_t> &offsets)
+{
+    std::vector<std::string> parts;
+    for (uint64_t offset : offsets)
+        parts.push_back(std::to_string(offset));
+    return "[" + join(parts, ",") + "]";
+}
+
+struct ForkNames {
+    unsigned bit;
+    char letter;
+    const char *name;
+};
+
+constexpr ForkNames kForkNames[] = {
+    {kForkInterpreter, 'a', "interpreter"},
+    {kForkRaw, 'b', "raw"},
+    {kForkOptimized, 'c', "optimized"},
+    {kForkAnml, 'd', "anml"},
+    {kForkTile, 'e', "tile"},
+};
+
+} // namespace
+
+unsigned
+parseOracleMask(const std::string &text)
+{
+    if (text == "all")
+        return kForkAll;
+    unsigned mask = 0;
+    for (char c : text) {
+        if (c == ',' || c == ' ')
+            continue;
+        bool known = false;
+        for (const ForkNames &fork : kForkNames) {
+            if (fork.letter == c) {
+                mask |= fork.bit;
+                known = true;
+            }
+        }
+        if (!known) {
+            throw Error(strprintf(
+                "unknown oracle fork '%c' (expected letters a-e)", c));
+        }
+    }
+    if (mask == 0)
+        throw Error("empty oracle mask");
+    return mask;
+}
+
+std::string
+formatOracleMask(unsigned mask)
+{
+    std::string out;
+    for (const ForkNames &fork : kForkNames) {
+        if (mask & fork.bit)
+            out.push_back(fork.letter);
+    }
+    return out;
+}
+
+bool
+sourceUsesCounters(const std::string &source)
+{
+    // "Counter" is a reserved type name, so a simple token scan is
+    // exact up to occurrences inside string literals — which cannot
+    // *declare* counters, so a false positive merely skips fork (a).
+    return source.find("Counter") != std::string::npos;
+}
+
+bool
+sourceCompiles(const std::string &source,
+               const std::vector<lang::Value> &args)
+{
+    try {
+        lang::Program program = lang::parseProgram(source);
+        lang::CompileOptions options;
+        options.optimize = false;
+        lang::compileProgram(program, args, options);
+    } catch (const CompileError &) {
+        return false;
+    } catch (const Error &) {
+        // A crash, not a rejection — let the oracle flag it.
+    }
+    return true;
+}
+
+OracleResult
+runOracle(const OracleCase &oracle_case)
+{
+    OracleResult result;
+
+    auto fail = [&](const std::string &what) {
+        result.divergence = true;
+        if (!result.detail.empty())
+            result.detail += "; ";
+        result.detail += what;
+    };
+
+    // Compile once without optimization: fork (b)'s design, and the
+    // base the optimizer fork rewrites.  A failure here rejects the
+    // case — the generator promises compilable programs.
+    lang::CompiledProgram compiled;
+    try {
+        lang::Program program = lang::parseProgram(oracle_case.source);
+        lang::CompileOptions options;
+        options.optimize = false;
+        compiled = lang::compileProgram(program, oracle_case.args,
+                                        options);
+    } catch (const CompileError &error) {
+        result.detail = std::string("rejected: ") + error.what();
+        return result;
+    } catch (const Error &error) {
+        // InternalError and friends are toolchain bugs, not generator
+        // defects: surface them as divergences.
+        result.ran = true;
+        fail(std::string("compiler crashed: ") + error.what());
+        return result;
+    }
+    result.ran = true;
+
+    unsigned mask = oracle_case.mask;
+    const bool counters = sourceUsesCounters(oracle_case.source);
+    if (counters)
+        mask &= ~kForkInterpreter; // rejected by design, not a bug
+    if (!compiled.tileable())
+        mask &= ~kForkTile;
+
+    // Fork (b): raw design on the device simulator.  Always runs —
+    // it is the baseline every other fork compares against.
+    std::vector<ReportEvent> raw_events;
+    try {
+        Simulator sim(compiled.automaton);
+        raw_events = sim.run(oracle_case.input);
+    } catch (const Error &error) {
+        fail(std::string("raw simulation crashed: ") + error.what());
+        return result;
+    }
+    result.ranMask |= kForkRaw;
+    result.offsets = offsetsOf(raw_events);
+
+    // Fork (a): the reference interpreter.
+    if (mask & kForkInterpreter) {
+        try {
+            lang::Program fresh =
+                lang::parseProgram(oracle_case.source);
+            auto reference = lang::interpretProgram(
+                fresh, oracle_case.args, oracle_case.input);
+            result.ranMask |= kForkInterpreter;
+            if (reference != result.offsets) {
+                fail("interpreter " + renderOffsets(reference) +
+                     " != device " + renderOffsets(result.offsets));
+            }
+        } catch (const Error &error) {
+            // The compiler accepted this program; the interpreter
+            // disagreeing about validity is itself a divergence.
+            result.ranMask |= kForkInterpreter;
+            fail(std::string("interpreter rejected a compilable "
+                             "program: ") +
+                 error.what());
+        }
+    }
+
+    // Fork (c): optimizer rewrites must preserve behaviour.
+    Automaton optimized = compiled.automaton;
+    std::vector<ReportEvent> opt_events;
+    if (mask & (kForkOptimized | kForkAnml)) {
+        try {
+            automata::optimize(optimized);
+            Simulator sim(optimized);
+            opt_events = sim.run(oracle_case.input);
+            result.ranMask |= kForkOptimized;
+            auto opt_offsets = offsetsOf(opt_events);
+            if (opt_offsets != result.offsets) {
+                fail("optimized " + renderOffsets(opt_offsets) +
+                     " != raw " + renderOffsets(result.offsets));
+            }
+        } catch (const Error &error) {
+            fail(std::string("optimizer fork crashed: ") +
+                 error.what());
+            return result;
+        }
+    }
+
+    // Fork (d): ANML export -> import is an exact round trip, so the
+    // full (offset, element-id) streams must match, not just offsets.
+    if (mask & kForkAnml) {
+        try {
+            Automaton reloaded =
+                anml::parseAnml(anml::emitAnml(optimized));
+            Simulator sim(reloaded);
+            auto anml_events = sim.run(oracle_case.input);
+            result.ranMask |= kForkAnml;
+            auto expect = namedEventsOf(optimized, opt_events);
+            auto got = namedEventsOf(reloaded, anml_events);
+            if (expect != got) {
+                fail(strprintf("ANML round trip changed the report "
+                               "stream (%zu events != %zu events)",
+                               expect.size(), got.size()));
+            }
+        } catch (const Error &error) {
+            fail(std::string("ANML fork crashed: ") + error.what());
+        }
+    }
+
+    // Fork (e): per-tile execution.  Sound only when every tile
+    // instance is identical (the caller's mask vouches); then the
+    // replicated tile and the auto-tuned block image both report at
+    // exactly the offsets of the full design.
+    if (mask & kForkTile) {
+        try {
+            Automaton replicated =
+                ap::replicate(compiled.tile, compiled.tileInstances);
+            Simulator sim(replicated);
+            auto tile_offsets = offsetsOf(sim.run(oracle_case.input));
+            result.ranMask |= kForkTile;
+            if (tile_offsets != result.offsets) {
+                fail("replicated tile " + renderOffsets(tile_offsets) +
+                     " != full design " +
+                     renderOffsets(result.offsets));
+            }
+            try {
+                ap::Tessellator tessellator;
+                ap::TiledDesign tiled = tessellator.tessellate(
+                    compiled.tile, compiled.tileInstances);
+                Simulator block_sim(tiled.blockImage);
+                auto block_offsets =
+                    offsetsOf(block_sim.run(oracle_case.input));
+                if (block_offsets != result.offsets) {
+                    fail("block image " +
+                         renderOffsets(block_offsets) +
+                         " != full design " +
+                         renderOffsets(result.offsets));
+                }
+            } catch (const CapacityError &) {
+                // Tile exceeds a block / board: placement refused,
+                // which is a resource outcome, not a semantic one.
+            }
+        } catch (const Error &error) {
+            fail(std::string("tile fork crashed: ") + error.what());
+        }
+    }
+
+    if (!result.divergence) {
+        result.detail = strprintf(
+            "agreed across forks %s (%zu distinct offsets)",
+            formatOracleMask(result.ranMask).c_str(),
+            result.offsets.size());
+    }
+    return result;
+}
+
+} // namespace rapid::fuzz

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The multi-way differential oracle.
+ *
+ * A RAPID program's only architecturally visible behaviour is its
+ * report stream (offset + reporting element).  The oracle runs one
+ * program + input through up to five independent execution paths and
+ * asserts they agree:
+ *
+ *   (a) the reference interpreter (position-set semantics, no automata);
+ *   (b) codegen (unoptimized) -> device simulator;
+ *   (c) codegen -> optimizer -> device simulator;
+ *   (d) codegen -> optimizer -> ANML export -> ANML import -> simulator;
+ *   (e) codegen -> tessellation tile -> replicate/place -> simulator.
+ *
+ * Forks (a)-(d) compare sorted distinct report offsets; (c) vs (d)
+ * additionally compare full (offset, element-id) event streams, since
+ * the ANML round trip must preserve the design exactly.  Fork (e) is
+ * only sound for programs whose whole behaviour is one top-level
+ * `some` over identical array instances (the caller vouches via the
+ * mask); it checks the replicated tile and the auto-tuned block image
+ * against the full design.
+ *
+ * Forks that do not apply degrade gracefully: counter programs skip
+ * the interpreter (it rejects counters by design), non-tileable
+ * programs skip the tile fork.  `ranMask` records what actually ran.
+ */
+#ifndef RAPID_FUZZ_ORACLE_H
+#define RAPID_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/value.h"
+
+namespace rapid::fuzz {
+
+/** Oracle fork bits (the letters match the documentation above). */
+enum : unsigned {
+    kForkInterpreter = 1u << 0, // (a)
+    kForkRaw = 1u << 1,         // (b)
+    kForkOptimized = 1u << 2,   // (c)
+    kForkAnml = 1u << 3,        // (d)
+    kForkTile = 1u << 4,        // (e)
+    kForkAll = 0x1fu,
+};
+
+/**
+ * Parse a mask spec: fork letters ("abcde", "bd"), or "all".
+ * @throws rapid::Error on unknown letters or an empty mask.
+ */
+unsigned parseOracleMask(const std::string &text);
+
+/** Render a mask as fork letters ("abcde"). */
+std::string formatOracleMask(unsigned mask);
+
+/** One differential-oracle case. */
+struct OracleCase {
+    std::string source;
+    std::vector<lang::Value> args;
+    std::string input;
+    unsigned mask = kForkAll;
+};
+
+/** What the oracle observed. */
+struct OracleResult {
+    /**
+     * False when the program failed to parse/type-check/compile: the
+     * case is rejected (a generator defect, not a divergence) and no
+     * forks ran.  `detail` carries the error.
+     */
+    bool ran = false;
+    /** True when any two forks disagreed (or a fork crashed). */
+    bool divergence = false;
+    /** Forks that actually executed. */
+    unsigned ranMask = 0;
+    /** Human-readable description of the outcome. */
+    std::string detail;
+    /** Canonical sorted distinct report offsets (fork (b)). */
+    std::vector<uint64_t> offsets;
+};
+
+/** Run one case through every fork selected (and applicable). */
+OracleResult runOracle(const OracleCase &oracle_case);
+
+/** Does the program declare any Counter (interpreter-unsupported)? */
+bool sourceUsesCounters(const std::string &source);
+
+/**
+ * Would the oracle accept this program (parse + type-check + compile)?
+ * Used to pre-validate corpus mutants, whose staged evaluation can
+ * fail in ways type checking cannot catch (e.g. a mutation deleting a
+ * loop increment).  Toolchain crashes (non-CompileError) return true
+ * so the oracle still surfaces them as divergences.
+ */
+bool sourceCompiles(const std::string &source,
+                    const std::vector<lang::Value> &args);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_ORACLE_H

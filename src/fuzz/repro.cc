@@ -1,0 +1,163 @@
+#include "fuzz/repro.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+constexpr const char *kArgsHeader = "== args ==";
+constexpr const char *kProgramHeader = "== program ==";
+constexpr const char *kInputHeader = "== input ==";
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    throw Error(std::string("bad hex digit in repro input: '") + c +
+                "'");
+}
+
+} // namespace
+
+std::string
+escapeBytes(std::string_view bytes)
+{
+    std::string out;
+    out.reserve(bytes.size());
+    for (char c : bytes) {
+        auto byte = static_cast<unsigned char>(c);
+        if (byte == '\\') {
+            out += "\\\\";
+        } else if (std::isprint(byte)) {
+            out.push_back(c);
+        } else {
+            out += strprintf("\\x%02x", byte);
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeBytes(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            out.push_back(text[i]);
+            continue;
+        }
+        if (i + 1 >= text.size())
+            throw Error("truncated escape in repro input");
+        char next = text[++i];
+        if (next == '\\') {
+            out.push_back('\\');
+            continue;
+        }
+        if (next != 'x' || i + 2 >= text.size())
+            throw Error("unknown escape in repro input");
+        int hi = hexDigit(text[++i]);
+        int lo = hexDigit(text[++i]);
+        out.push_back(static_cast<char>(hi * 16 + lo));
+    }
+    return out;
+}
+
+std::string
+formatRepro(const ReproCase &repro)
+{
+    std::string out;
+    out += "# rapidfuzz repro\n";
+    out += strprintf("# seed: %llu case: %llu\n",
+                     static_cast<unsigned long long>(repro.seed),
+                     static_cast<unsigned long long>(repro.caseIndex));
+    if (!repro.detail.empty())
+        out += "# divergence: " + repro.detail + "\n";
+    out += "# oracle-mask: " + formatOracleMask(repro.mask) + "\n";
+    out += std::string(kArgsHeader) + "\n";
+    out += repro.argsText;
+    if (!repro.argsText.empty() && repro.argsText.back() != '\n')
+        out += "\n";
+    out += std::string(kProgramHeader) + "\n";
+    out += repro.source;
+    if (!repro.source.empty() && repro.source.back() != '\n')
+        out += "\n";
+    out += std::string(kInputHeader) + "\n";
+    out += escapeBytes(repro.input) + "\n";
+    return out;
+}
+
+ReproCase
+parseRepro(const std::string &text)
+{
+    ReproCase repro;
+    enum class Section { None, Args, Program, Input };
+    Section section = Section::None;
+    bool saw_program = false;
+
+    for (const std::string &line : split(text, '\n')) {
+        if (line == kArgsHeader) {
+            section = Section::Args;
+            continue;
+        }
+        if (line == kProgramHeader) {
+            section = Section::Program;
+            saw_program = true;
+            continue;
+        }
+        if (line == kInputHeader) {
+            section = Section::Input;
+            continue;
+        }
+        if (section == Section::None || section == Section::Args) {
+            if (startsWith(line, "# seed:")) {
+                unsigned long long seed = 0;
+                unsigned long long case_index = 0;
+                if (std::sscanf(line.c_str(),
+                                "# seed: %llu case: %llu", &seed,
+                                &case_index) >= 1) {
+                    repro.seed = seed;
+                    repro.caseIndex = case_index;
+                }
+                continue;
+            }
+            if (startsWith(line, "# oracle-mask:")) {
+                std::string mask(trim(line.substr(14)));
+                repro.mask = parseOracleMask(mask);
+                continue;
+            }
+            if (startsWith(line, "#"))
+                continue;
+        }
+        switch (section) {
+          case Section::Args:
+            repro.argsText += line + "\n";
+            break;
+          case Section::Program:
+            repro.source += line + "\n";
+            break;
+          case Section::Input:
+            if (!trim(line).empty())
+                repro.input = unescapeBytes(line);
+            break;
+          case Section::None:
+            break;
+        }
+    }
+
+    if (!saw_program || trim(repro.source).empty())
+        throw Error("repro file has no program section");
+    return repro;
+}
+
+} // namespace rapid::fuzz

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Self-contained divergence repro files.
+ *
+ * A repro records everything needed to replay one oracle case: the
+ * (shrunken) program, its network arguments in argfile format, the
+ * input stream (with non-printable bytes \xHH-escaped), and the
+ * oracle mask.  The format is line-oriented with `== section ==`
+ * separators so a repro can be pasted into a bug report, re-run with
+ * `rapidfuzz --repro file`, or checked in as a regression test.
+ */
+#ifndef RAPID_FUZZ_REPRO_H
+#define RAPID_FUZZ_REPRO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/oracle.h"
+
+namespace rapid::fuzz {
+
+/** One replayable divergence. */
+struct ReproCase {
+    /** Seed and case index that produced the divergence (0 = n/a). */
+    uint64_t seed = 0;
+    uint64_t caseIndex = 0;
+    std::string source;
+    /** Network arguments in argfile format ("" when none). */
+    std::string argsText;
+    /** Raw input bytes (unescaped). */
+    std::string input;
+    unsigned mask = kForkAll;
+    /** What diverged (informational). */
+    std::string detail;
+};
+
+/** Serialize a repro case to file text. */
+std::string formatRepro(const ReproCase &repro);
+
+/**
+ * Parse repro text produced by formatRepro().
+ * @throws rapid::Error on malformed files.
+ */
+ReproCase parseRepro(const std::string &text);
+
+/** Escape bytes for single-line storage (\xHH for non-printables). */
+std::string escapeBytes(std::string_view bytes);
+
+/**
+ * Invert escapeBytes().
+ * @throws rapid::Error on malformed escapes.
+ */
+std::string unescapeBytes(std::string_view text);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_REPRO_H

@@ -1,0 +1,250 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "fuzz/ast_edit.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "support/error.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::StmtPtr;
+
+/** Parse, returning false on any syntax error. */
+bool
+tryParse(const std::string &source, Program &out)
+{
+    try {
+        out = lang::parseProgram(source);
+        return true;
+    } catch (const Error &) {
+        return false;
+    }
+}
+
+/** Is macro @p name called anywhere in the program? */
+bool
+macroReferenced(Program &program, const std::string &name)
+{
+    for (Expr *expr : exprNodes(program)) {
+        if (expr->kind == ExprKind::Call && expr->text == name)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Enumerate every single-edit simplification of @p source, printed
+ * back to canonical text.  Each candidate re-parses the source so
+ * edits are independent.
+ */
+std::vector<std::string>
+programCandidates(const std::string &source)
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen{source};
+    auto emit = [&](Program &program) {
+        std::string text = lang::printProgram(program);
+        if (seen.insert(text).second)
+            out.push_back(text);
+    };
+
+    Program probe;
+    if (!tryParse(source, probe))
+        return out;
+
+    // Drop unreferenced macros first: the cheapest big win.
+    for (size_t m = 0; m < probe.macros.size(); ++m) {
+        Program candidate;
+        tryParse(source, candidate);
+        if (macroReferenced(candidate, candidate.macros[m].name))
+            continue;
+        candidate.macros.erase(candidate.macros.begin() +
+                               static_cast<long>(m));
+        emit(candidate);
+    }
+
+    // Delete each statement slot.
+    size_t slots = stmtSlots(probe).size();
+    for (size_t i = 0; i < slots; ++i) {
+        Program candidate;
+        tryParse(source, candidate);
+        auto list = stmtSlots(candidate);
+        list[i].list->erase(list[i].list->begin() +
+                            static_cast<long>(list[i].index));
+        emit(candidate);
+    }
+
+    // Replace control statements by their bodies (or one either arm).
+    for (size_t i = 0; i < slots; ++i) {
+        Stmt &stmt = stmtSlots(probe)[i].stmt();
+        size_t variants = 0;
+        switch (stmt.kind) {
+          case StmtKind::If:
+            variants = stmt.orelse.empty() ? 1 : 2;
+            break;
+          case StmtKind::While:
+          case StmtKind::Whenever:
+          case StmtKind::Block:
+            variants = 1;
+            break;
+          case StmtKind::Either:
+            variants = stmt.body.size();
+            break;
+          default:
+            break;
+        }
+        for (size_t v = 0; v < variants; ++v) {
+            Program candidate;
+            tryParse(source, candidate);
+            StmtSlot slot = stmtSlots(candidate)[i];
+            Stmt &target = slot.stmt();
+            std::vector<StmtPtr> replacement;
+            if (target.kind == StmtKind::Either) {
+                for (StmtPtr &inner : target.body[v]->body)
+                    replacement.push_back(std::move(inner));
+            } else if (target.kind == StmtKind::If && v == 1) {
+                replacement = std::move(target.orelse);
+            } else {
+                replacement = std::move(target.body);
+            }
+            slot.list->erase(slot.list->begin() +
+                             static_cast<long>(slot.index));
+            slot.list->insert(
+                slot.list->begin() + static_cast<long>(slot.index),
+                std::make_move_iterator(replacement.begin()),
+                std::make_move_iterator(replacement.end()));
+            emit(candidate);
+        }
+    }
+
+    // Expression-level simplifications.
+    size_t exprs = exprNodes(probe).size();
+    for (size_t i = 0; i < exprs; ++i) {
+        Expr &node = *exprNodes(probe)[i];
+        size_t variants = 0;
+        if (node.kind == ExprKind::Binary &&
+            (node.bop == lang::BinaryOp::Or ||
+             node.bop == lang::BinaryOp::And))
+            variants = 2; // keep lhs / keep rhs
+        else if (node.kind == ExprKind::Unary &&
+                 node.uop == lang::UnaryOp::Not)
+            variants = 1; // strip the negation
+        else if (node.kind == ExprKind::StringLit &&
+                 node.text.size() > 1)
+            variants = std::min<size_t>(node.text.size(), 4);
+        else if (node.kind == ExprKind::IntLit && node.intValue > 1)
+            variants = 1;
+        for (size_t v = 0; v < variants; ++v) {
+            Program candidate;
+            tryParse(source, candidate);
+            Expr &target = *exprNodes(candidate)[i];
+            if (target.kind == ExprKind::Binary ||
+                target.kind == ExprKind::Unary) {
+                size_t pick =
+                    target.kind == ExprKind::Unary ? 0 : v;
+                lang::ExprPtr kept =
+                    std::move(target.args[pick]);
+                target = std::move(*kept);
+            } else if (target.kind == ExprKind::StringLit) {
+                // Drop one character, spread across the literal.
+                size_t at = v * target.text.size() / variants;
+                target.text.erase(at, 1);
+            } else {
+                target.intValue = 1;
+            }
+            emit(candidate);
+        }
+    }
+
+    return out;
+}
+
+/** Ordered input-deletion candidates, largest cuts first. */
+std::vector<std::string>
+inputCandidates(const std::string &input)
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen{input};
+    auto emit = [&](std::string text) {
+        if (seen.insert(text).second)
+            out.push_back(std::move(text));
+    };
+    for (size_t chunk = std::max<size_t>(input.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        for (size_t at = 0; at < input.size(); at += chunk) {
+            std::string candidate = input;
+            candidate.erase(at, chunk);
+            emit(std::move(candidate));
+        }
+        if (chunk == 1)
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+size_t
+countStatements(const std::string &source)
+{
+    Program program;
+    if (!tryParse(source, program))
+        return 0;
+    return stmtSlots(program).size();
+}
+
+ShrinkResult
+shrinkCase(const std::string &source, const std::string &input,
+           const DivergencePredicate &still_diverges,
+           size_t max_candidates)
+{
+    ShrinkResult result;
+    result.source = source;
+    result.input = input;
+
+    bool progress = true;
+    while (progress && result.candidatesTried < max_candidates) {
+        progress = false;
+
+        for (const std::string &candidate :
+             programCandidates(result.source)) {
+            if (result.candidatesTried >= max_candidates)
+                break;
+            ++result.candidatesTried;
+            if (still_diverges(candidate, result.input)) {
+                result.source = candidate;
+                progress = true;
+                break; // re-enumerate against the smaller program
+            }
+        }
+
+        for (const std::string &candidate :
+             inputCandidates(result.input)) {
+            if (result.candidatesTried >= max_candidates)
+                break;
+            ++result.candidatesTried;
+            if (still_diverges(result.source, candidate)) {
+                result.input = candidate;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    result.statements = countStatements(result.source);
+    return result;
+}
+
+} // namespace rapid::fuzz

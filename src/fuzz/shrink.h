@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Greedy divergence minimization.
+ *
+ * Given a diverging (program, input) pair and a predicate that
+ * re-checks divergence, the shrinker repeatedly applies the smallest
+ * structural simplification that preserves the failure:
+ *
+ *   program side — delete a statement (any nesting level), replace a
+ *   control statement by its body, replace an either by one arm,
+ *   replace a binary automata expression by one operand, strip a
+ *   negation, shorten a string literal, lower an int literal, drop
+ *   unreferenced macros;
+ *
+ *   input side — delete records, chunks, then single symbols
+ *   (ddmin-style, largest chunks first).
+ *
+ * Candidates that no longer parse/type-check/compile simply fail the
+ * predicate and are skipped, so the shrinker needs no knowledge of
+ * staging restrictions.  The result is the fixed point under a
+ * bounded number of candidate evaluations.
+ */
+#ifndef RAPID_FUZZ_SHRINK_H
+#define RAPID_FUZZ_SHRINK_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace rapid::fuzz {
+
+/** Re-check: does (source, input) still exhibit the divergence? */
+using DivergencePredicate =
+    std::function<bool(const std::string &source,
+                       const std::string &input)>;
+
+struct ShrinkResult {
+    std::string source;
+    std::string input;
+    /** Predicate evaluations performed. */
+    size_t candidatesTried = 0;
+    /** Statements remaining in the minimized program. */
+    size_t statements = 0;
+};
+
+/**
+ * Minimize @p source and @p input under @p still_diverges.
+ *
+ * @p still_diverges must return true for the initial pair; the result
+ * is guaranteed to still satisfy it.  At most @p max_candidates
+ * predicate evaluations are spent.
+ */
+ShrinkResult shrinkCase(const std::string &source,
+                        const std::string &input,
+                        const DivergencePredicate &still_diverges,
+                        size_t max_candidates = 4000);
+
+/** Statement count of a program (0 when it does not parse). */
+size_t countStatements(const std::string &source);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_SHRINK_H

@@ -629,6 +629,23 @@ class CodeGen {
     }
 
     /**
+     * The derived negation of a control-flow condition (if/while).
+     * Syntactic double negation must cancel *before* folding:
+     * tree-level negation clips complements at START_OF_INPUT, so
+     * negate(negate(t)) is not the identity for sets containing the
+     * separator — the else branch of `if (!(START_OF_INPUT ==
+     * input()))` must match the separator, not fail.  Mirrors the
+     * interpreter's notMatchExpr.
+     */
+    ATree
+    foldNegatedCond(const Expr &cond)
+    {
+        if (cond.kind == ExprKind::Unary && cond.uop == UnaryOp::Not)
+            return foldAutomata(*cond.args[0]);
+        return negate(foldAutomata(cond), cond.loc);
+    }
+
+    /**
      * De Morgan negation (Fig. 7).  An expression and its negation
      * consume the same number of symbols; mismatch alternatives are
      * padded with star states.
@@ -1359,7 +1376,7 @@ class CodeGen {
         // Automata condition: desugar into either/orelse (§3.3); both
         // branches consume the same number of symbols by construction.
         ATree tree = foldAutomata(cond);
-        ATree negated = negate(tree, cond.loc);
+        ATree negated = foldNegatedCond(cond);
         frontier = shareStart(std::move(frontier));
 
         Chain then_chain = emit(tree);
@@ -1397,7 +1414,7 @@ class CodeGen {
         // Fig. 8c: predicate / body feedback loop; the negated
         // predicate exits the loop.
         ATree tree = foldAutomata(cond);
-        ATree negated = negate(tree, cond.loc);
+        ATree negated = foldNegatedCond(cond);
         frontier = shareStart(std::move(frontier));
 
         Chain pred = emit(tree);

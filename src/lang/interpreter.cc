@@ -444,6 +444,95 @@ class Interpreter {
         return {pos};
     }
 
+    /**
+     * Constant-fold classification of a whenever guard, mirroring the
+     * compiler's foldAutomata shape analysis: Match means the guard is
+     * exactly one consumed symbol drawn from `set`.
+     */
+    enum class GuardFold { Match, Epsilon, Fail, Other };
+
+    GuardFold
+    foldGuard(const Expr &expr, CharSet &set)
+    {
+        switch (expr.kind) {
+          case ExprKind::Unary: {
+            if (expr.uop != UnaryOp::Not)
+                return GuardFold::Other;
+            const Expr &inner = *expr.args[0];
+            if (inner.kind == ExprKind::Unary &&
+                inner.uop == UnaryOp::Not)
+                return foldGuard(*inner.args[0], set);
+            CharSet inner_set;
+            switch (foldGuard(inner, inner_set)) {
+              case GuardFold::Epsilon:
+                return GuardFold::Fail;
+              case GuardFold::Fail:
+                return GuardFold::Epsilon;
+              case GuardFold::Match:
+                set = minusStart(~inner_set);
+                return set.empty() ? GuardFold::Fail
+                                   : GuardFold::Match;
+              default:
+                return GuardFold::Other;
+            }
+          }
+          case ExprKind::Binary: {
+            const Expr &lhs = *expr.args[0];
+            const Expr &rhs = *expr.args[1];
+            if (expr.bop == BinaryOp::Eq ||
+                expr.bop == BinaryOp::Ne) {
+                const Expr &other =
+                    lhs.type == Type::streamT() ? rhs : lhs;
+                set = charSetOf(other);
+                if (expr.bop == BinaryOp::Ne)
+                    set = minusStart(~set);
+                return set.empty() ? GuardFold::Fail
+                                   : GuardFold::Match;
+            }
+            if (expr.bop != BinaryOp::And &&
+                expr.bop != BinaryOp::Or)
+                return GuardFold::Other;
+            CharSet lset;
+            CharSet rset;
+            auto side = [&](const Expr &e,
+                            CharSet &s) -> GuardFold {
+                if (e.type == Type::boolT()) {
+                    return evalExpr(e).b ? GuardFold::Epsilon
+                                         : GuardFold::Fail;
+                }
+                return foldGuard(e, s);
+            };
+            GuardFold left = side(lhs, lset);
+            GuardFold right = side(rhs, rset);
+            if (expr.bop == BinaryOp::And) {
+                if (left == GuardFold::Fail ||
+                    right == GuardFold::Fail)
+                    return GuardFold::Fail;
+                if (left == GuardFold::Epsilon) {
+                    set = rset;
+                    return right;
+                }
+                if (right == GuardFold::Epsilon) {
+                    set = lset;
+                    return left;
+                }
+                return GuardFold::Other; // true two-symbol sequence
+            }
+            if (left == GuardFold::Fail) {
+                set = rset;
+                return right;
+            }
+            if (right == GuardFold::Fail) {
+                set = lset;
+                return left;
+            }
+            return GuardFold::Other; // true alternation, not folded
+          }
+          default:
+            return GuardFold::Other;
+        }
+    }
+
     /** Resolve a pristine-start set into concrete window positions. */
     Positions
     resolve(Positions positions) const
@@ -672,16 +761,26 @@ class Interpreter {
                  stmt.loc);
         }
         uint64_t earliest;
+        bool window_start = false;
         if (positions.count(kStartSentinel)) {
             // Whenever at the branch start replaces the default
             // window: the guard is checked at every stream position.
+            // A guard matching every symbol compiles to start-on-all-
+            // input body entries, which are live at the stream start
+            // too — the window exists before any symbol is consumed.
             earliest = 0;
+            CharSet guard_set;
+            window_start =
+                foldGuard(guard, guard_set) == GuardFold::Match &&
+                guard_set == CharSet::all();
         } else if (positions.empty()) {
             return Positions{};
         } else {
             earliest = *positions.begin();
         }
         Positions body_in;
+        if (window_start)
+            body_in.insert(0);
         for (uint64_t q = earliest; q < _input.size(); ++q) {
             Positions hits = matchExpr(guard, q);
             body_in.insert(hits.begin(), hits.end());

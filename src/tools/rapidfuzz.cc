@@ -1,0 +1,239 @@
+/**
+ * @file
+ * rapidfuzz — generative differential fuzzing for the RAPID toolchain.
+ *
+ * Generates random RAPID programs and input streams and cross-checks
+ * the report stream across five independent execution paths (see
+ * fuzz/oracle.h): reference interpreter, raw codegen, optimizer, ANML
+ * round trip, and tessellation tiles.  On divergence it minimizes the
+ * failing case and writes a self-contained repro file.
+ *
+ * Usage:
+ *   rapidfuzz [--seed N] [--iterations N] [--max-stmts N]
+ *             [--oracle-mask abcde] [--inputs N] [--max-input-len N]
+ *             [--seconds S] [--no-counters] [--no-tiles]
+ *             [--no-shrink] [--repro-dir DIR] [--quiet]
+ *   rapidfuzz --repro FILE       # replay one repro file
+ *
+ * Exit status: 0 when every case agreed, 1 on divergence, 2 on usage
+ * errors.  Runs are deterministic in --seed: the same seed replays
+ * the same programs and inputs regardless of --iterations.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+#include "host/argfile.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+// The shared hand-written corpus doubles as the fuzzer's mutation
+// seed pool (tests/ is on this target's include path for exactly
+// this header).
+#include "fuzz/corpus.h"
+
+namespace {
+
+using namespace rapid;
+
+struct Options {
+    uint64_t seed = 1;
+    uint64_t iterations = 2000;
+    int maxStmts = 10;
+    unsigned mask = fuzz::kForkAll;
+    int inputs = 3;
+    size_t maxInputLen = 48;
+    double seconds = 0.0;
+    bool counters = true;
+    bool tiles = true;
+    bool shrink = true;
+    bool quiet = false;
+    std::string reproDir = ".";
+    std::string reproFile;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rapidfuzz [--seed N] [--iterations N] "
+        "[--max-stmts N]\n"
+        "                 [--oracle-mask abcde] [--inputs N] "
+        "[--max-input-len N]\n"
+        "                 [--seconds S] [--no-counters] "
+        "[--no-tiles] [--no-shrink]\n"
+        "                 [--repro-dir DIR] [--quiet]\n"
+        "       rapidfuzz --repro FILE\n"
+        "\n"
+        "oracle forks: a=interpreter b=raw c=optimized d=anml "
+        "e=tile\n");
+    std::exit(2);
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            options.seed = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--iterations")
+            options.iterations =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--max-stmts")
+            options.maxStmts = std::atoi(next().c_str());
+        else if (arg == "--oracle-mask")
+            options.mask = fuzz::parseOracleMask(next());
+        else if (arg == "--inputs")
+            options.inputs = std::atoi(next().c_str());
+        else if (arg == "--max-input-len")
+            options.maxInputLen =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--seconds")
+            options.seconds = std::atof(next().c_str());
+        else if (arg == "--no-counters")
+            options.counters = false;
+        else if (arg == "--no-tiles")
+            options.tiles = false;
+        else if (arg == "--no-shrink")
+            options.shrink = false;
+        else if (arg == "--quiet")
+            options.quiet = true;
+        else if (arg == "--repro-dir")
+            options.reproDir = next();
+        else if (arg == "--repro")
+            options.reproFile = next();
+        else
+            usage();
+    }
+    return options;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+int
+replayRepro(const Options &options)
+{
+    fuzz::ReproCase repro =
+        fuzz::parseRepro(readFile(options.reproFile));
+    unsigned mask = options.mask == fuzz::kForkAll
+                        ? repro.mask
+                        : options.mask;
+
+    fuzz::OracleCase oracle_case;
+    oracle_case.source = repro.source;
+    oracle_case.args = host::parseArgFile(repro.argsText);
+    oracle_case.input = repro.input;
+    oracle_case.mask = mask;
+
+    fuzz::OracleResult outcome = fuzz::runOracle(oracle_case);
+    if (!outcome.ran) {
+        std::fprintf(stderr, "rapidfuzz: %s\n",
+                     outcome.detail.c_str());
+        return 1;
+    }
+    std::printf("%s: %s\n", options.reproFile.c_str(),
+                outcome.detail.c_str());
+    return outcome.divergence ? 1 : 0;
+}
+
+int
+fuzzLoop(const Options &options)
+{
+    fuzz::FuzzOptions fuzz_options;
+    fuzz_options.seed = options.seed;
+    fuzz_options.iterations = options.iterations;
+    fuzz_options.mask = options.mask;
+    fuzz_options.gen.maxStmts = options.maxStmts;
+    fuzz_options.gen.counters = options.counters;
+    fuzz_options.gen.tiles = options.tiles;
+    fuzz_options.inputsPerCase = options.inputs;
+    fuzz_options.maxInputSymbols = options.maxInputLen;
+    fuzz_options.secondsBudget = options.seconds;
+    fuzz_options.shrinkOnDivergence = options.shrink;
+    if (!options.quiet)
+        fuzz_options.log = &std::cerr;
+    for (const fuzz::CorpusCase &entry : fuzz::kCorpus) {
+        fuzz_options.corpus.push_back(
+            {entry.source, entry.args, entry.alphabet});
+    }
+
+    fuzz::FuzzResult result = fuzz::runFuzz(fuzz_options);
+
+    std::printf(
+        "rapidfuzz: seed %llu: %llu cases (%llu mutated, %llu "
+        "counter, %llu tiled), %llu inputs, %llu reports, %llu "
+        "rejected\n",
+        static_cast<unsigned long long>(options.seed),
+        static_cast<unsigned long long>(result.cases),
+        static_cast<unsigned long long>(result.mutatedCases),
+        static_cast<unsigned long long>(result.counterCases),
+        static_cast<unsigned long long>(result.tileCases),
+        static_cast<unsigned long long>(result.inputsRun),
+        static_cast<unsigned long long>(result.reportsSeen),
+        static_cast<unsigned long long>(result.rejected));
+
+    if (!result.divergence) {
+        std::printf("rapidfuzz: no divergence\n");
+        return 0;
+    }
+
+    std::string path = options.reproDir + "/rapidfuzz-repro-" +
+                       std::to_string(options.seed) + "-" +
+                       std::to_string(result.repro.caseIndex) +
+                       ".txt";
+    std::ofstream out(path, std::ios::binary);
+    if (out) {
+        out << fuzz::formatRepro(result.repro);
+        std::printf("rapidfuzz: wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "rapidfuzz: cannot write %s\n",
+                     path.c_str());
+    }
+    std::printf(
+        "rapidfuzz: DIVERGENCE (%zu statements after shrinking): "
+        "%s\n",
+        fuzz::countStatements(result.repro.source),
+        result.repro.detail.c_str());
+    std::printf("%s", fuzz::formatRepro(result.repro).c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options options = parseOptions(argc, argv);
+        if (!options.reproFile.empty())
+            return replayRepro(options);
+        return fuzzLoop(options);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "rapidfuzz: %s\n", error.what());
+        return 2;
+    }
+}

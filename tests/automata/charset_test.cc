@@ -193,5 +193,107 @@ TEST_P(CharSetRoundTrip, StrParseIdentity)
 INSTANTIATE_TEST_SUITE_P(Seeds, CharSetRoundTrip,
                          ::testing::Range(0, 64));
 
+/// Edge cases against a brute-force 0..255 membership oracle ----------
+
+/** Reference model: plain membership array over the full alphabet. */
+struct BruteSet {
+    bool member[256] = {};
+
+    static BruteSet
+    fromPredicate(bool (*pred)(int))
+    {
+        BruteSet set;
+        for (int c = 0; c < 256; ++c)
+            set.member[c] = pred(c);
+        return set;
+    }
+};
+
+void
+expectMatchesOracle(const CharSet &set, const BruteSet &oracle)
+{
+    int count = 0;
+    for (int c = 0; c < 256; ++c) {
+        EXPECT_EQ(set.test(static_cast<unsigned char>(c)),
+                  oracle.member[c])
+            << "symbol " << c;
+        count += oracle.member[c] ? 1 : 0;
+    }
+    EXPECT_EQ(set.count(), count);
+    EXPECT_EQ(set.empty(), count == 0);
+    // The rendering must reparse to the same set, whatever its shape.
+    EXPECT_EQ(CharSet::parse(set.str()), set)
+        << "rendering was: " << set.str();
+}
+
+TEST(CharSetEdge, EmptyClassMatchesNothing)
+{
+    expectMatchesOracle(CharSet{},
+                        BruteSet::fromPredicate([](int) {
+                            return false;
+                        }));
+    // Algebraic routes to the empty set agree.
+    expectMatchesOracle(~CharSet::all(), BruteSet{});
+    expectMatchesOracle(CharSet::single('a') & CharSet::single('b'),
+                        BruteSet{});
+}
+
+TEST(CharSetEdge, FullClassMatchesEverySymbol)
+{
+    BruteSet oracle = BruteSet::fromPredicate([](int) {
+        return true;
+    });
+    expectMatchesOracle(CharSet::all(), oracle);
+    expectMatchesOracle(~CharSet{}, oracle);
+    expectMatchesOracle(CharSet::range(0, 255), oracle);
+    expectMatchesOracle(CharSet::single(0) | ~CharSet::single(0),
+                        oracle);
+}
+
+TEST(CharSetEdge, InvertedClassKeepsExtremeSymbols)
+{
+    // [^m] must contain both \0 and \xFF — the bitmap boundaries.
+    CharSet set = ~CharSet::single('m');
+    expectMatchesOracle(set, BruteSet::fromPredicate([](int c) {
+                            return c != 'm';
+                        }));
+    EXPECT_TRUE(set.test(0x00));
+    EXPECT_TRUE(set.test(0xFF));
+
+    // An inversion that strips both extremes, then re-adds them.
+    CharSet mid = ~CharSet::range(0x01, 0xFE);
+    expectMatchesOracle(mid, BruteSet::fromPredicate([](int c) {
+                            return c == 0x00 || c == 0xFF;
+                        }));
+}
+
+TEST(CharSetEdge, SingleSymbolRangesMatchSingle)
+{
+    for (int c : {0x00, static_cast<int>('a'), 0x7F, 0x80, 0xFF}) {
+        unsigned char symbol = static_cast<unsigned char>(c);
+        CharSet range = CharSet::range(symbol, symbol);
+        EXPECT_EQ(range, CharSet::single(symbol)) << "symbol " << c;
+        BruteSet oracle;
+        oracle.member[symbol] = true;
+        expectMatchesOracle(range, oracle);
+    }
+}
+
+TEST(CharSetEdge, WordBoundaryRanges)
+{
+    // Ranges straddling the 64-bit word boundaries of the bitmap.
+    for (int lo : {0, 62, 63, 64, 126, 127, 128, 190, 191, 192}) {
+        int hi = lo + 2;
+        if (hi > 255)
+            continue;
+        CharSet set = CharSet::range(static_cast<unsigned char>(lo),
+                                     static_cast<unsigned char>(hi));
+        BruteSet oracle;
+        for (int c = lo; c <= hi; ++c)
+            oracle.member[c] = true;
+        expectMatchesOracle(set, oracle);
+    }
+}
+
 } // namespace
 } // namespace rapid::automata

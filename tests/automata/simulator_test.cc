@@ -209,6 +209,72 @@ TEST(SimulatorCounter, RollModeFiresEveryTargetCounts)
               (std::vector<uint64_t>{1, 3, 5}));
 }
 
+/**
+ * A rig where '+' drives Count alone and 'b' drives Count AND Reset
+ * in the same cycle, for directed reset-priority cases.
+ */
+struct ConflictRig {
+    Automaton design;
+    ElementId counter;
+
+    explicit ConflictRig(uint32_t target,
+                         CounterMode mode = CounterMode::Latch)
+    {
+        ElementId plus = design.addSte(CharSet::single('+'),
+                                       StartKind::AllInput);
+        ElementId both = design.addSte(CharSet::single('b'),
+                                       StartKind::AllInput);
+        counter = design.addCounter(target, mode);
+        design.connect(plus, counter, Port::Count);
+        design.connect(both, counter, Port::Count);
+        design.connect(both, counter, Port::Reset);
+        design.setReport(counter);
+    }
+};
+
+TEST(SimulatorCounter, ResetPriorityAtTargetCycle)
+{
+    // The conflicting symbol arrives exactly when its count pulse
+    // would reach the target: the reset must win and the counter must
+    // not fire.
+    ConflictRig rig(2);
+    Simulator sim(rig.design);
+    EXPECT_TRUE(sim.run("+b").empty());
+    // The count restarts cleanly from zero afterwards.
+    EXPECT_EQ(offsets(sim.run("+b++")), (std::vector<uint64_t>{3}));
+}
+
+TEST(SimulatorCounter, ResetPriorityWhileLatched)
+{
+    // Once latched, a simultaneous count+reset clears the latch and
+    // discards the count: reaching the target again takes the full
+    // target number of counts.
+    ConflictRig rig(2);
+    Simulator sim(rig.design);
+    EXPECT_EQ(offsets(sim.run("++b+")), (std::vector<uint64_t>{1}));
+    EXPECT_EQ(offsets(sim.run("++b++")),
+              (std::vector<uint64_t>{1, 4}));
+}
+
+TEST(SimulatorCounter, ResetPriorityInPulseMode)
+{
+    ConflictRig rig(2, CounterMode::Pulse);
+    Simulator sim(rig.design);
+    // The discarded simultaneous count means one more '+' is needed.
+    EXPECT_TRUE(sim.run("+b+").empty());
+    EXPECT_EQ(offsets(sim.run("+b++")), (std::vector<uint64_t>{3}));
+}
+
+TEST(SimulatorCounter, ResetPriorityInRollMode)
+{
+    ConflictRig rig(2, CounterMode::Roll);
+    Simulator sim(rig.design);
+    // Fire at the first pair, lose one count to the reset, then the
+    // rolling count realigns behind it.
+    EXPECT_EQ(offsets(sim.run("++b++++")),
+              (std::vector<uint64_t>{1, 4, 6}));
+}
+
 TEST(SimulatorCounter, SaturationStopsAtTarget)
 {
     CounterRig rig(2);

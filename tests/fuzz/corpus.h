@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared differential-testing corpus.
+ *
+ * The hand-written programs that seeded `lang/interpreter_diff_test.cc`
+ * live here so that both the directed differential test and the
+ * generative fuzzer (`tests/fuzz/differential_fuzz_test.cc`, the
+ * `rapidfuzz` tool) can use them: the fuzzer runs every corpus entry
+ * through the full multi-way oracle and also seeds its mutation pool
+ * from them, since these programs encode the known-tricky corners of
+ * the language (De Morgan negation, staging, whenever windows, ...).
+ *
+ * Arguments are given in the host argfile format (host/argfile.h) so
+ * entries are self-contained text — exactly what a fuzz repro stores.
+ */
+#ifndef RAPID_TESTS_FUZZ_CORPUS_H
+#define RAPID_TESTS_FUZZ_CORPUS_H
+
+namespace rapid::fuzz {
+
+/** One corpus program: source, an input alphabet, and argfile text. */
+struct CorpusCase {
+    const char *name;
+    const char *source;
+    const char *alphabet;
+    /** Network arguments in argfile format ("" when none). */
+    const char *args;
+};
+
+inline constexpr CorpusCase kCorpus[] = {
+    {"plain-chain", R"(
+network () { { 'a' == input(); 'b' == input(); report; } }
+)",
+     "abc", ""},
+    {"negation", R"(
+network () { { 'a' != input(); report; } }
+)",
+     "ab", ""},
+    {"fused-or", R"(
+network () { { 'a' == input() || 'b' == input(); report; } }
+)",
+     "abc", ""},
+    {"demorgan", R"(
+network () {
+    { !('a' == input() && 'b' == input()); report; }
+}
+)",
+     "abx", ""},
+    {"nested-negation", R"(
+network () {
+    { !('a' == input() && ('b' == input() || 'c' == input())); report; }
+}
+)",
+     "abcx", ""},
+    {"if-else", R"(
+network () {
+    {
+        if ('a' == input()) { 'x' == input(); }
+        else { 'y' == input(); }
+        report;
+    }
+}
+)",
+     "abxy", ""},
+    {"if-no-else", R"(
+network () {
+    { if ('a' == input()) report; }
+}
+)",
+     "ab", ""},
+    {"either-lengths", R"(
+network () {
+    {
+        either { 'a' == input(); }
+        orelse { 'b' == input(); 'c' == input(); }
+        orelse { 'd' == input(); 'd' == input(); 'd' == input(); }
+        'z' == input();
+        report;
+    }
+}
+)",
+     "abcdz", ""},
+    {"while-skip", R"(
+network () {
+    { while ('y' != input()); report; }
+}
+)",
+     "xy", ""},
+    {"while-body", R"(
+network () {
+    {
+        while ('a' == input()) { 'b' == input(); }
+        report;
+    }
+}
+)",
+     "abx", ""},
+    {"foreach-unroll", R"(
+network () {
+    { foreach (char c : "aba") c == input(); report; }
+}
+)",
+     "ab", ""},
+    {"macro-call", R"(
+macro word(String s) { foreach (char c : s) c == input(); }
+network () { { word("ca"); report; } }
+)",
+     "abc", ""},
+    {"some-over-array", R"(
+network (String[] ps) {
+    some (String p : ps) {
+        foreach (char c : p) c == input();
+        report;
+    }
+}
+)",
+     "abc", "strings: ab, ca, bb"},
+    {"whenever-all", R"(
+network () {
+    whenever (ALL_INPUT == input()) {
+        'a' == input();
+        'b' == input();
+        report;
+    }
+}
+)",
+     "abc", ""},
+    {"whenever-guarded", R"(
+network () {
+    whenever ('g' == input()) {
+        'a' == input();
+        report;
+    }
+}
+)",
+     "ag", ""},
+    {"nested-whenever", R"(
+network () {
+    {
+        'g' == input();
+        whenever ('u' == input()) {
+            'r' == input();
+            report;
+        }
+    }
+}
+)",
+     "gur", ""},
+    {"compile-time-staging", R"(
+network (int n) {
+    {
+        int i = 0;
+        while (i < n) {
+            'x' == input();
+            i = i + 1;
+        }
+        if (n > 1) { 'y' == input(); }
+        report;
+    }
+}
+)",
+     "xyz", "int: 3"},
+    {"boolean-assertion", R"(
+network (int n) {
+    { n == 3; 'a' == input(); report; }
+    { n != 3; 'b' == input(); report; }
+}
+)",
+     "ab", "int: 3"},
+};
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_TESTS_FUZZ_CORPUS_H

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Bounded, deterministic ctest entry point for the differential
+ * fuzzer.  Fixed seeds keep every run identical; the sweep sizes are
+ * chosen so the whole binary stays well under a minute.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+#include "host/argfile.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rapid::fuzz {
+namespace {
+
+std::vector<SeedProgram>
+corpusSeeds()
+{
+    std::vector<SeedProgram> seeds;
+    for (const CorpusCase &entry : kCorpus)
+        seeds.push_back({entry.source, entry.args, entry.alphabet});
+    return seeds;
+}
+
+/** The headline sweep: generated programs across all oracle forks. */
+TEST(DifferentialFuzz, BoundedSweepFindsNoDivergence)
+{
+    FuzzOptions options;
+    options.seed = 1;
+    options.iterations = 2000;
+    options.inputsPerCase = 2;
+    options.maxInputSymbols = 32;
+    options.corpus = corpusSeeds();
+
+    FuzzResult result = runFuzz(options);
+
+    EXPECT_FALSE(result.divergence)
+        << "seed " << options.seed << " case "
+        << result.repro.caseIndex << ": " << result.repro.detail
+        << "\n"
+        << formatRepro(result.repro);
+    EXPECT_EQ(result.cases, options.iterations);
+    // The generator must emit compilable programs: rejections are
+    // generator defects even when no fork disagrees.
+    EXPECT_EQ(result.rejected, 0u);
+    // The sweep must exercise real behaviour, not vacuous programs.
+    EXPECT_GT(result.reportsSeen, 1000u);
+    EXPECT_GT(result.counterCases, 0u);
+    EXPECT_GT(result.tileCases, 0u);
+    EXPECT_GT(result.mutatedCases, 0u);
+}
+
+/** Same seed, same programs — byte for byte. */
+TEST(DifferentialFuzz, GenerationIsDeterministicInSeed)
+{
+    for (uint64_t seed : {7ull, 99ull, 123456789ull}) {
+        Rng first(seed);
+        Rng second(seed);
+        for (int i = 0; i < 25; ++i) {
+            GeneratedCase a = generateCase(first);
+            GeneratedCase b = generateCase(second);
+            EXPECT_EQ(a.source, b.source);
+            EXPECT_EQ(a.argsText, b.argsText);
+            EXPECT_EQ(a.alphabet, b.alphabet);
+            std::string ia = generateInput(first, a.alphabet, 32);
+            std::string ib = generateInput(second, b.alphabet, 32);
+            EXPECT_EQ(ia, ib);
+        }
+    }
+}
+
+/** Distinct seeds must not replay the same program stream. */
+TEST(DifferentialFuzz, DistinctSeedsDiverge)
+{
+    Rng first(1);
+    Rng second(2);
+    std::set<std::string> sources;
+    int distinct = 0;
+    for (int i = 0; i < 10; ++i) {
+        GeneratedCase a = generateCase(first);
+        GeneratedCase b = generateCase(second);
+        if (a.source != b.source)
+            ++distinct;
+        sources.insert(a.source);
+        sources.insert(b.source);
+    }
+    EXPECT_GT(distinct, 0);
+    EXPECT_GT(sources.size(), 10u);
+}
+
+/** Every hand-written corpus program agrees across all forks. */
+TEST(DifferentialFuzz, CorpusAgreesAcrossForks)
+{
+    Rng rng(42);
+    for (const CorpusCase &entry : kCorpus) {
+        unsigned mask = kForkAll & ~kForkTile;
+        for (int round = 0; round < 4; ++round) {
+            OracleCase oracle_case;
+            oracle_case.source = entry.source;
+            oracle_case.args = host::parseArgFile(entry.args);
+            oracle_case.input =
+                generateInput(rng, entry.alphabet, 40);
+            oracle_case.mask = mask;
+            OracleResult outcome = runOracle(oracle_case);
+            ASSERT_TRUE(outcome.ran)
+                << entry.name << ": " << outcome.detail;
+            EXPECT_FALSE(outcome.divergence)
+                << entry.name << ": " << outcome.detail;
+            EXPECT_EQ(outcome.ranMask, mask) << entry.name;
+        }
+    }
+}
+
+/**
+ * Shrinking with an injected predicate stands in for a broken
+ * toolchain stage: any "divergence" a fork could report must
+ * minimize to a handful of statements.  The predicate here calls
+ * the real oracle (so candidates must still compile) and treats
+ * "program still reports on this input" as the failure to preserve
+ * — the same contract a genuine optimizer bug would satisfy.
+ */
+TEST(DifferentialFuzz, ShrinkerMinimizesInjectedDivergence)
+{
+    auto reports = [](const std::string &source,
+                      const std::string &input) {
+        OracleCase oracle_case;
+        oracle_case.source = source;
+        oracle_case.input = input;
+        oracle_case.mask = kForkRaw;
+        OracleResult outcome = runOracle(oracle_case);
+        return outcome.ran && !outcome.offsets.empty();
+    };
+
+    // Find a sizable generated program that reports.
+    Rng rng(5);
+    GenOptions gen;
+    gen.counters = false;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        GeneratedCase generated = generateCase(rng, gen);
+        if (!generated.args.empty())
+            continue; // keep the predicate closed over nothing
+        std::string input =
+            generateInput(rng, generated.alphabet, 48);
+        if (!reports(generated.source, input))
+            continue;
+        if (countStatements(generated.source) < 6)
+            continue;
+
+        ShrinkResult shrunk =
+            shrinkCase(generated.source, input, reports);
+        EXPECT_TRUE(reports(shrunk.source, shrunk.input));
+        EXPECT_LE(shrunk.statements, 10u)
+            << "unshrunk:\n"
+            << generated.source << "\nshrunk:\n"
+            << shrunk.source;
+        EXPECT_LE(shrunk.statements,
+                  countStatements(generated.source));
+        EXPECT_LE(shrunk.input.size(), input.size());
+        return;
+    }
+    FAIL() << "no suitable seed program found";
+}
+
+/** Repro files round-trip bit-for-bit, including binary input. */
+TEST(DifferentialFuzz, ReproRoundTrip)
+{
+    ReproCase repro;
+    repro.seed = 77;
+    repro.caseIndex = 1234;
+    repro.source =
+        "network () {\n  'a' == input();\n  report;\n}\n";
+    repro.argsText = "strings: ab, ca\nint: 3\n";
+    repro.input = std::string("ab\xFF\x00zz\\x41\xFF", 9);
+    repro.mask = kForkRaw | kForkOptimized;
+    repro.detail = "offsets differ: raw=[1] optimized=[]";
+
+    ReproCase parsed = parseRepro(formatRepro(repro));
+    EXPECT_EQ(parsed.seed, repro.seed);
+    EXPECT_EQ(parsed.caseIndex, repro.caseIndex);
+    EXPECT_EQ(parsed.source, repro.source);
+    EXPECT_EQ(parsed.argsText, repro.argsText);
+    EXPECT_EQ(parsed.input, repro.input);
+    EXPECT_EQ(parsed.mask, repro.mask);
+}
+
+TEST(DifferentialFuzz, OracleMaskParsing)
+{
+    EXPECT_EQ(parseOracleMask("all"), kForkAll);
+    EXPECT_EQ(parseOracleMask("abcde"), kForkAll);
+    EXPECT_EQ(parseOracleMask("bd"), kForkRaw | kForkAnml);
+    EXPECT_EQ(formatOracleMask(kForkAll), "abcde");
+    EXPECT_EQ(formatOracleMask(kForkRaw | kForkTile), "be");
+    EXPECT_THROW(parseOracleMask(""), Error);
+    EXPECT_THROW(parseOracleMask("xyz"), Error);
+}
+
+/** An interpreter-visible divergence is detected, not masked. */
+TEST(DifferentialFuzz, OracleFlagsDisagreement)
+{
+    // A program the interpreter rejects (counters) while remaining
+    // compilable must *not* be a divergence when the interpreter
+    // fork is masked out...
+    const char *counter_source =
+        "network () {\n"
+        "  {\n"
+        "    Counter c;\n"
+        "    'a' == input();\n"
+        "    c.count();\n"
+        "    'a' == input();\n"
+        "    c.count();\n"
+        "    c >= 2;\n"
+        "    report;\n"
+        "  }\n"
+        "}\n";
+    OracleCase oracle_case;
+    oracle_case.source = counter_source;
+    oracle_case.input = "aaaa";
+    oracle_case.mask = kForkAll;
+    OracleResult outcome = runOracle(oracle_case);
+    ASSERT_TRUE(outcome.ran) << outcome.detail;
+    EXPECT_FALSE(outcome.divergence) << outcome.detail;
+    EXPECT_EQ(outcome.ranMask & kForkInterpreter, 0u);
+
+    // ...and a malformed program is a rejection, not a divergence.
+    OracleCase bad;
+    bad.source = "network () { report";
+    bad.input = "a";
+    OracleResult bad_outcome = runOracle(bad);
+    EXPECT_FALSE(bad_outcome.ran);
+    EXPECT_FALSE(bad_outcome.divergence);
+}
+
+} // namespace
+} // namespace rapid::fuzz

@@ -5,12 +5,18 @@
  * programs covering every counter-free construct and randomized inputs
  * with record separators.  Any divergence indicates a bug in one of
  * the two independent implementations of the language semantics.
+ *
+ * The corpus itself lives in tests/fuzz/corpus.h so the generative
+ * fuzzer can reuse it as a mutation seed pool; this test keeps the
+ * directed interpreter-vs-device comparison fast and focused.
  */
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "automata/simulator.h"
+#include "fuzz/corpus.h"
+#include "host/argfile.h"
 #include "lang/codegen.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
@@ -19,173 +25,16 @@
 namespace rapid::lang {
 namespace {
 
-struct ProgramCase {
-    const char *name;
-    const char *source;
-    const char *alphabet;
-};
-
-const ProgramCase kCorpus[] = {
-    {"plain-chain", R"(
-network () { { 'a' == input(); 'b' == input(); report; } }
-)",
-     "abc"},
-    {"negation", R"(
-network () { { 'a' != input(); report; } }
-)",
-     "ab"},
-    {"fused-or", R"(
-network () { { 'a' == input() || 'b' == input(); report; } }
-)",
-     "abc"},
-    {"demorgan", R"(
-network () {
-    { !('a' == input() && 'b' == input()); report; }
-}
-)",
-     "abx"},
-    {"nested-negation", R"(
-network () {
-    { !('a' == input() && ('b' == input() || 'c' == input())); report; }
-}
-)",
-     "abcx"},
-    {"if-else", R"(
-network () {
-    {
-        if ('a' == input()) { 'x' == input(); }
-        else { 'y' == input(); }
-        report;
-    }
-}
-)",
-     "abxy"},
-    {"if-no-else", R"(
-network () {
-    { if ('a' == input()) report; }
-}
-)",
-     "ab"},
-    {"either-lengths", R"(
-network () {
-    {
-        either { 'a' == input(); }
-        orelse { 'b' == input(); 'c' == input(); }
-        orelse { 'd' == input(); 'd' == input(); 'd' == input(); }
-        'z' == input();
-        report;
-    }
-}
-)",
-     "abcdz"},
-    {"while-skip", R"(
-network () {
-    { while ('y' != input()); report; }
-}
-)",
-     "xy"},
-    {"while-body", R"(
-network () {
-    {
-        while ('a' == input()) { 'b' == input(); }
-        report;
-    }
-}
-)",
-     "abx"},
-    {"foreach-unroll", R"(
-network () {
-    { foreach (char c : "aba") c == input(); report; }
-}
-)",
-     "ab"},
-    {"macro-call", R"(
-macro word(String s) { foreach (char c : s) c == input(); }
-network () { { word("ca"); report; } }
-)",
-     "abc"},
-    {"some-over-array", R"(
-network (String[] ps) {
-    some (String p : ps) {
-        foreach (char c : p) c == input();
-        report;
-    }
-}
-)",
-     "abc"},
-    {"whenever-all", R"(
-network () {
-    whenever (ALL_INPUT == input()) {
-        'a' == input();
-        'b' == input();
-        report;
-    }
-}
-)",
-     "abc"},
-    {"whenever-guarded", R"(
-network () {
-    whenever ('g' == input()) {
-        'a' == input();
-        report;
-    }
-}
-)",
-     "ag"},
-    {"nested-whenever", R"(
-network () {
-    {
-        'g' == input();
-        whenever ('u' == input()) {
-            'r' == input();
-            report;
-        }
-    }
-}
-)",
-     "gur"},
-    {"compile-time-staging", R"(
-network (int n) {
-    {
-        int i = 0;
-        while (i < n) {
-            'x' == input();
-            i = i + 1;
-        }
-        if (n > 1) { 'y' == input(); }
-        report;
-    }
-}
-)",
-     "xyz"},
-    {"boolean-assertion", R"(
-network (int n) {
-    { n == 3; 'a' == input(); report; }
-    { n != 3; 'b' == input(); report; }
-}
-)",
-     "ab"},
-};
+using fuzz::CorpusCase;
+using fuzz::kCorpus;
 
 class InterpreterDifferential
-    : public ::testing::TestWithParam<ProgramCase> {};
-
-std::vector<Value>
-argsFor(const ProgramCase &param)
-{
-    std::string name(param.name);
-    if (name == "some-over-array")
-        return {Value::strArray({"ab", "ca", "bb"})};
-    if (name == "compile-time-staging" ||
-        name == "boolean-assertion")
-        return {Value::integer(3)};
-    return {};
-}
+    : public ::testing::TestWithParam<CorpusCase> {};
 
 TEST_P(InterpreterDifferential, CompiledMatchesInterpreter)
 {
-    const ProgramCase &param = GetParam();
-    std::vector<Value> args = argsFor(param);
+    const CorpusCase &param = GetParam();
+    std::vector<Value> args = host::parseArgFile(param.args);
 
     Program compile_side = parseProgram(param.source);
     auto compiled = compileProgram(compile_side, args);
