@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Streaming-throughput benchmark: scalar engine vs. the bit-parallel
+ * BatchSimulator on the exact_dna workload.
+ *
+ * Measures MB/s for (1) the scalar reference Simulator, (2) the batch
+ * engine on a single stream, and (3) the batch engine fanning four
+ * independent streams over its thread pool, then writes the numbers
+ * to BENCH_throughput.json in the working directory.  The two engines'
+ * report streams are cross-checked before timing, so the bench doubles
+ * as an integration test and exits non-zero on any mismatch.
+ *
+ * Input size scales with RAPID_BENCH_SCALE (see bench_util.h); the
+ * `bench_smoke`-labelled ctest entry runs at a tiny scale purely to
+ * catch build/run regressions in the batch engine.
+ */
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/batch_simulator.h"
+#include "automata/simulator.h"
+#include "bench/bench_util.h"
+#include "host/argfile.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace rapid;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/** Best-of-N wall time for one run of @p body. */
+template <typename Fn>
+double
+bestSeconds(int repetitions, Fn &&body)
+{
+    double best = 1e9;
+    for (int i = 0; i < repetitions; ++i) {
+        Timer timer;
+        body();
+        best = std::min(best, timer.seconds());
+    }
+    return best;
+}
+
+double
+mbps(size_t bytes, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds
+                       : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string root = RAPID_SOURCE_DIR;
+    const std::string source =
+        readFile(root + "/workloads/exact_dna.rapid");
+    const auto args =
+        host::loadArgFile(root + "/workloads/exact_dna.args");
+    lang::CompiledProgram compiled = bench::compile(source, args);
+
+    // Synthetic DNA stream; ~16 MB at full scale, default 1/10.
+    const size_t bytes = std::max<size_t>(
+        1 << 16,
+        static_cast<size_t>(16.0 * 1e6 * bench::benchScale()));
+    Rng rng(7);
+    const std::string input = rng.string(bytes, "ACGT");
+
+    automata::Simulator scalar(compiled.automaton);
+    automata::BatchSimulator batch(compiled.automaton);
+
+    // Correctness gate: identical sorted report streams.
+    auto scalar_events = scalar.run(input);
+    auto batch_events = batch.run(input);
+    std::sort(scalar_events.begin(), scalar_events.end());
+    std::sort(batch_events.begin(), batch_events.end());
+    if (scalar_events != batch_events) {
+        std::fprintf(stderr,
+                     "bench_throughput: engines disagree (%zu vs %zu "
+                     "events)\n",
+                     scalar_events.size(), batch_events.size());
+        return 1;
+    }
+
+    const int reps = 3;
+    const double scalar_s =
+        bestSeconds(reps, [&] { scalar.run(input); });
+    const double batch_s = bestSeconds(reps, [&] { batch.run(input); });
+
+    const unsigned streams = 4;
+    const std::vector<std::string_view> fan(streams, input);
+    const double multi_s =
+        bestSeconds(reps, [&] { batch.runBatch(fan, streams); });
+
+    const double scalar_mbps = mbps(bytes, scalar_s);
+    const double batch_mbps = mbps(bytes, batch_s);
+    const double multi_mbps = mbps(bytes * streams, multi_s);
+    const double speedup =
+        batch_s > 0 ? scalar_s / batch_s : 0.0;
+    const double scaling =
+        batch_mbps > 0 ? multi_mbps / batch_mbps : 0.0;
+    const unsigned hardware = std::thread::hardware_concurrency();
+
+    std::printf("Streaming throughput — exact_dna, %zu bytes\n",
+                bytes);
+    bench::printRule(58);
+    std::printf("%-28s %10.1f MB/s\n", "scalar engine", scalar_mbps);
+    std::printf("%-28s %10.1f MB/s  (%.2fx scalar)\n",
+                "batch engine (1 stream)", batch_mbps, speedup);
+    std::printf("%-28s %10.1f MB/s  (%.2fx over 1 stream, "
+                "%u hw threads)\n",
+                "batch engine (4 streams)", multi_mbps, scaling,
+                hardware);
+    std::printf("%-28s %10zu\n", "reports per stream",
+                batch_events.size());
+
+    std::ofstream json("BENCH_throughput.json");
+    json << "{\n"
+         << "  \"workload\": \"exact_dna\",\n"
+         << "  \"input_bytes\": " << bytes << ",\n"
+         << "  \"reports\": " << batch_events.size() << ",\n"
+         << "  \"scalar_mbps\": " << scalar_mbps << ",\n"
+         << "  \"batch_mbps\": " << batch_mbps << ",\n"
+         << "  \"batch_speedup_vs_scalar\": " << speedup << ",\n"
+         << "  \"batch_streams\": " << streams << ",\n"
+         << "  \"batch_multi_stream_mbps\": " << multi_mbps << ",\n"
+         << "  \"multi_stream_scaling\": " << scaling << ",\n"
+         << "  \"hardware_threads\": " << hardware << "\n"
+         << "}\n";
+    if (!json) {
+        std::fprintf(stderr,
+                     "bench_throughput: cannot write "
+                     "BENCH_throughput.json\n");
+        return 1;
+    }
+    std::printf("wrote BENCH_throughput.json\n");
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Build and run the streaming-throughput bench (scalar vs. batch
+# engine).  Usage: scripts/bench_throughput.sh [scale]
+#   scale   RAPID_BENCH_SCALE value; defaults to the smoke scale used
+#           by the `bench_smoke` ctest label.  Use 1.0 for full size.
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.005}"
+cmake -B build -G Ninja
+cmake --build build --target bench_throughput
+echo "== bench_throughput (RAPID_BENCH_SCALE=$SCALE)"
+cd build
+RAPID_BENCH_SCALE="$SCALE" ./bench/bench_throughput
+echo "== BENCH_throughput.json"
+cat BENCH_throughput.json

@@ -1,0 +1,478 @@
+#include "automata/batch_simulator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <queue>
+#include <thread>
+
+#include "support/error.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/**
+ * Append a sorted lane list as (word, OR-mask) pairs — one compressed
+ * row of the activation bit-matrix.
+ */
+void
+appendSuccRow(std::vector<uint32_t> lanes, std::vector<uint32_t> &words,
+              std::vector<uint64_t> &masks)
+{
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+    for (size_t i = 0; i < lanes.size();) {
+        uint32_t word = lanes[i] >> 6;
+        uint64_t mask = 0;
+        while (i < lanes.size() && (lanes[i] >> 6) == word) {
+            mask |= 1ull << (lanes[i] & 63);
+            ++i;
+        }
+        words.push_back(word);
+        masks.push_back(mask);
+    }
+}
+
+} // namespace
+
+BatchSimulator::BatchSimulator(const Automaton &automaton)
+    : _automaton(automaton)
+{
+    _automaton.validate();
+    auto fan_in = _automaton.fanIn();
+
+    // Lane assignment: STEs keep their relative element order, so
+    // within-word lane order equals element-id order.
+    std::vector<uint32_t> lane_of(_automaton.size(), UINT32_MAX);
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        if (_automaton[i].kind == ElementKind::Ste) {
+            lane_of[i] = static_cast<uint32_t>(_numStes++);
+            _steElement.push_back(i);
+        }
+    }
+    _words = (_numStes + 63) / 64;
+
+    // Symbol table: row s = bitvector of lanes whose class contains s.
+    _matchTable.assign(256 * _words, 0);
+    _alwaysMask.assign(_words, 0);
+    _startMask.assign(_words, 0);
+    _reportMask.assign(_words, 0);
+    for (size_t lane = 0; lane < _numStes; ++lane) {
+        const Element &element = _automaton[_steElement[lane]];
+        const size_t word = lane >> 6;
+        const uint64_t bit = 1ull << (lane & 63);
+        for (unsigned symbol = 0; symbol < 256; ++symbol) {
+            if (element.symbols.test(
+                    static_cast<unsigned char>(symbol)))
+                _matchTable[symbol * _words + word] |= bit;
+        }
+        if (element.start == StartKind::AllInput)
+            _alwaysMask[word] |= bit;
+        else if (element.start == StartKind::StartOfData)
+            _startMask[word] |= bit;
+        if (element.report)
+            _reportMask[word] |= bit;
+    }
+
+    // Activation fan-out rows for STE lanes.
+    _succOffset.reserve(_numStes + 1);
+    for (size_t lane = 0; lane < _numStes; ++lane) {
+        _succOffset.push_back(static_cast<uint32_t>(_succWord.size()));
+        std::vector<uint32_t> targets;
+        for (const Edge &edge : _automaton[_steElement[lane]].outputs) {
+            if (edge.port == Port::Activate &&
+                _automaton[edge.to].kind == ElementKind::Ste)
+                targets.push_back(lane_of[edge.to]);
+        }
+        appendSuccRow(std::move(targets), _succWord, _succMask);
+    }
+    _succOffset.push_back(static_cast<uint32_t>(_succWord.size()));
+
+    // Byte-indexed successor union tables.  Entry [slot][v] is built
+    // incrementally: strip the lowest set bit of v and OR that lane's
+    // CSR row onto the already-built row for the remaining bits.
+    if (_numStes > 0 && _words <= kByteTableMaxWords) {
+        const size_t slots = _words * 8;
+        _succByte.assign(slots * 256 * _words, 0);
+        for (size_t slot = 0; slot < slots; ++slot) {
+            uint64_t *table = _succByte.data() + slot * 256 * _words;
+            for (unsigned v = 1; v < 256; ++v) {
+                uint64_t *row = table + size_t(v) * _words;
+                const unsigned rest = v & (v - 1);
+                const uint64_t *base = table + size_t(rest) * _words;
+                for (size_t w = 0; w < _words; ++w)
+                    row[w] = base[w];
+                const uint32_t lane = static_cast<uint32_t>(
+                    slot * 8 +
+                    static_cast<unsigned>(__builtin_ctz(v)));
+                if (lane >= _numStes)
+                    continue;
+                for (uint32_t k = _succOffset[lane];
+                     k < _succOffset[lane + 1]; ++k)
+                    row[_succWord[k]] |= _succMask[k];
+            }
+        }
+        _byteTables = true;
+    }
+
+    // Topologically order the combinational nodes (Kahn), exactly as
+    // the scalar engine does.
+    std::vector<int> degree(_automaton.size(), 0);
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        if (_automaton[i].kind == ElementKind::Ste)
+            continue;
+        for (auto &[src, port] : fan_in[i]) {
+            (void)port;
+            if (_automaton[src].kind != ElementKind::Ste)
+                ++degree[i];
+        }
+    }
+    std::queue<ElementId> ready;
+    for (ElementId i = 0; i < _automaton.size(); ++i) {
+        if (_automaton[i].kind != ElementKind::Ste && degree[i] == 0)
+            ready.push(i);
+    }
+    std::vector<ElementId> order;
+    while (!ready.empty()) {
+        ElementId node = ready.front();
+        ready.pop();
+        order.push_back(node);
+        for (const Edge &edge : _automaton[node].outputs) {
+            if (_automaton[edge.to].kind == ElementKind::Ste)
+                continue;
+            if (--degree[edge.to] == 0)
+                ready.push(edge.to);
+        }
+    }
+
+    // Flatten each comb node: inputs resolve to STE lanes or to the
+    // evaluation position of an earlier comb node.
+    std::vector<uint32_t> comb_pos(_automaton.size(), UINT32_MAX);
+    for (size_t n = 0; n < order.size(); ++n)
+        comb_pos[order[n]] = static_cast<uint32_t>(n);
+    for (ElementId id : order) {
+        const Element &element = _automaton[id];
+        CombNode node;
+        node.element = id;
+        node.kind = element.kind;
+        node.op = element.op;
+        node.target = element.target;
+        node.mode = element.mode;
+        node.report = element.report;
+        node.inBegin = static_cast<uint32_t>(_combInputs.size());
+        for (auto &[src, port] : fan_in[id]) {
+            CombInput input;
+            if (_automaton[src].kind == ElementKind::Ste) {
+                input.src = lane_of[src];
+                input.steSource = 1;
+            } else {
+                input.src = comb_pos[src];
+                input.steSource = 0;
+            }
+            input.port = port;
+            _combInputs.push_back(input);
+        }
+        node.inEnd = static_cast<uint32_t>(_combInputs.size());
+        node.succBegin = static_cast<uint32_t>(_succWord.size());
+        std::vector<uint32_t> targets;
+        for (const Edge &edge : element.outputs) {
+            if (edge.port == Port::Activate &&
+                _automaton[edge.to].kind == ElementKind::Ste)
+                targets.push_back(lane_of[edge.to]);
+        }
+        appendSuccRow(std::move(targets), _succWord, _succMask);
+        node.succEnd = static_cast<uint32_t>(_succWord.size());
+        if (element.kind == ElementKind::Counter)
+            node.counterSlot = static_cast<uint32_t>(_numCounters++);
+        _comb.push_back(node);
+    }
+}
+
+void
+BatchSimulator::resetStream(StreamState &state) const
+{
+    state.enabled.assign(_words, 0);
+    state.active.assign(_words, 0);
+    state.next.assign(_words, 0);
+    for (size_t w = 0; w < _words; ++w)
+        state.enabled[w] = _alwaysMask[w] | _startMask[w];
+    state.combSignal.assign(_comb.size(), 0);
+    state.counters.assign(_numCounters, CounterState{});
+    state.reports.clear();
+    state.cycle = 0;
+}
+
+void
+BatchSimulator::stepStream(StreamState &state, unsigned char symbol) const
+{
+    const uint64_t *row = _matchTable.data() + size_t(symbol) * _words;
+    uint64_t *active = state.active.data();
+    const uint64_t *enabled = state.enabled.data();
+
+    // Phase 1: STE matching, one AND per 64 lanes.
+    for (size_t w = 0; w < _words; ++w)
+        active[w] = enabled[w] & row[w];
+
+    const size_t cycle_start = state.reports.size();
+
+    // Phase 2+3 for the combinational network (usually empty; gates
+    // such as NOR fire on silence, so this cannot be skipped when
+    // present).
+    for (size_t n = 0; n < _comb.size(); ++n) {
+        const CombNode &node = _comb[n];
+        if (node.kind == ElementKind::Counter) {
+            bool count_pulse = false;
+            bool reset_pulse = false;
+            for (uint32_t k = node.inBegin; k < node.inEnd; ++k) {
+                const CombInput &input = _combInputs[k];
+                bool sig = input.steSource
+                               ? ((active[input.src >> 6] >>
+                                   (input.src & 63)) &
+                                  1) != 0
+                               : state.combSignal[input.src] != 0;
+                if (!sig)
+                    continue;
+                if (input.port == Port::Count)
+                    count_pulse = true;
+                else if (input.port == Port::Reset)
+                    reset_pulse = true;
+            }
+            CounterState &counter = state.counters[node.counterSlot];
+            bool out = false;
+            if (reset_pulse) {
+                counter.value = 0;
+                counter.latched = false;
+            } else if (count_pulse) {
+                if (counter.value < node.target)
+                    ++counter.value;
+                if (counter.value >= node.target) {
+                    switch (node.mode) {
+                      case CounterMode::Latch:
+                        counter.latched = true;
+                        break;
+                      case CounterMode::Pulse:
+                        out = true;
+                        break;
+                      case CounterMode::Roll:
+                        out = true;
+                        counter.value = 0;
+                        break;
+                    }
+                }
+            }
+            if (node.mode == CounterMode::Latch && counter.latched)
+                out = true;
+            if (out && !counter.prevOut && node.report)
+                state.reports.push_back(
+                    ReportEvent{state.cycle, node.element});
+            counter.prevOut = out;
+            state.combSignal[n] = out ? 1 : 0;
+        } else { // Gate
+            bool all = true;
+            bool any = false;
+            for (uint32_t k = node.inBegin; k < node.inEnd; ++k) {
+                const CombInput &input = _combInputs[k];
+                bool sig = input.steSource
+                               ? ((active[input.src >> 6] >>
+                                   (input.src & 63)) &
+                                  1) != 0
+                               : state.combSignal[input.src] != 0;
+                if (sig)
+                    any = true;
+                else
+                    all = false;
+            }
+            bool out = false;
+            switch (node.op) {
+              case GateOp::And:
+                out = all;
+                break;
+              case GateOp::Or:
+                out = any;
+                break;
+              case GateOp::Not:
+                out = !any;
+                break;
+              case GateOp::Nand:
+                out = !all;
+                break;
+              case GateOp::Nor:
+                out = !any;
+                break;
+            }
+            state.combSignal[n] = out ? 1 : 0;
+            if (out && node.report)
+                state.reports.push_back(
+                    ReportEvent{state.cycle, node.element});
+        }
+    }
+
+    // Phase 3: STE reports, one AND per word plus a bit scan.
+    for (size_t w = 0; w < _words; ++w) {
+        uint64_t reporting = active[w] & _reportMask[w];
+        while (reporting) {
+            const uint32_t lane =
+                static_cast<uint32_t>(w * 64) +
+                static_cast<uint32_t>(__builtin_ctzll(reporting));
+            state.reports.push_back(
+                ReportEvent{state.cycle, _steElement[lane]});
+            reporting &= reporting - 1;
+        }
+    }
+    // Within-cycle order is element-id order (the documented
+    // contract); comb events were appended first, so sort the tail.
+    if (state.reports.size() - cycle_start > 1) {
+        std::sort(state.reports.begin() +
+                      static_cast<ptrdiff_t>(cycle_start),
+                  state.reports.end());
+    }
+
+    // Phase 4: next-cycle enables — byte-table ORs when compiled,
+    // otherwise per-bit CSR OR-mask rows.
+    uint64_t *next = state.next.data();
+    std::fill(state.next.begin(), state.next.end(), 0);
+    if (_byteTables) {
+        const uint64_t *tables = _succByte.data();
+        for (size_t w = 0; w < _words; ++w) {
+            uint64_t bits = active[w];
+            for (size_t slot = w * 8; bits; ++slot, bits >>= 8) {
+                const size_t value = bits & 0xff;
+                if (!value)
+                    continue;
+                const uint64_t *row =
+                    tables + (slot * 256 + value) * _words;
+                for (size_t t = 0; t < _words; ++t)
+                    next[t] |= row[t];
+            }
+        }
+    } else {
+        for (size_t w = 0; w < _words; ++w) {
+            uint64_t bits = active[w];
+            while (bits) {
+                const uint32_t lane =
+                    static_cast<uint32_t>(w * 64) +
+                    static_cast<uint32_t>(__builtin_ctzll(bits));
+                for (uint32_t k = _succOffset[lane];
+                     k < _succOffset[lane + 1]; ++k)
+                    next[_succWord[k]] |= _succMask[k];
+                bits &= bits - 1;
+            }
+        }
+    }
+    for (size_t n = 0; n < _comb.size(); ++n) {
+        if (!state.combSignal[n])
+            continue;
+        const CombNode &node = _comb[n];
+        for (uint32_t k = node.succBegin; k < node.succEnd; ++k)
+            next[_succWord[k]] |= _succMask[k];
+    }
+    state.enabled.swap(state.next);
+    for (size_t w = 0; w < _words; ++w)
+        state.enabled[w] |= _alwaysMask[w];
+    ++state.cycle;
+}
+
+/**
+ * Register-resident hot loop for the common case: every lane fits in
+ * one word and there is no combinational network.  Lanes are scanned
+ * in ascending order, so within-cycle events are already element-id
+ * ordered and no sort is needed.
+ */
+void
+BatchSimulator::runSingleWordSteOnly(StreamState &state,
+                                     std::string_view input) const
+{
+    const uint64_t *match = _matchTable.data();
+    const uint64_t *tables = _succByte.data();
+    const uint64_t always = _alwaysMask[0];
+    const uint64_t report_mask = _reportMask[0];
+    // Fixed, branch-free successor lookup: byte value 0 indexes an
+    // all-zero row, so every populated slot is OR-ed unconditionally.
+    const size_t slots = (_numStes + 7) / 8;
+    uint64_t enabled = state.enabled[0];
+    uint64_t cycle = state.cycle;
+    for (const char c : input) {
+        const uint64_t active =
+            enabled & match[static_cast<unsigned char>(c)];
+        uint64_t reporting = active & report_mask;
+        while (reporting) {
+            const uint32_t lane = static_cast<uint32_t>(
+                __builtin_ctzll(reporting));
+            state.reports.push_back(
+                ReportEvent{cycle, _steElement[lane]});
+            reporting &= reporting - 1;
+        }
+        uint64_t next = 0;
+        uint64_t bits = active;
+        for (size_t slot = 0; slot < slots; ++slot, bits >>= 8)
+            next |= tables[slot * 256 + (bits & 0xff)];
+        enabled = next | always;
+        ++cycle;
+    }
+    state.enabled[0] = enabled;
+    state.cycle = cycle;
+}
+
+void
+BatchSimulator::runInto(StreamState &state, std::string_view input) const
+{
+    resetStream(state);
+    if (_words == 1 && _comb.empty() && _byteTables) {
+        runSingleWordSteOnly(state, input);
+        return;
+    }
+    for (const char c : input)
+        stepStream(state, static_cast<unsigned char>(c));
+}
+
+std::vector<ReportEvent>
+BatchSimulator::run(std::string_view input) const
+{
+    StreamState state;
+    runInto(state, input);
+    return std::move(state.reports);
+}
+
+std::vector<std::vector<ReportEvent>>
+BatchSimulator::runBatch(const std::vector<std::string_view> &inputs,
+                         unsigned threads) const
+{
+    std::vector<std::vector<ReportEvent>> results(inputs.size());
+    unsigned workers = threads != 0
+                           ? threads
+                           : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    if (workers > inputs.size())
+        workers = static_cast<unsigned>(inputs.size());
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < inputs.size(); ++i)
+            results[i] = run(inputs[i]);
+        return results;
+    }
+
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        StreamState state;
+        while (true) {
+            const size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= inputs.size())
+                return;
+            runInto(state, inputs[i]);
+            results[i] = std::move(state.reports);
+            state.reports = {};
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+    return results;
+}
+
+} // namespace rapid::automata

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Bit-parallel, multi-stream execution engine for homogeneous-NFA
+ * designs.
+ *
+ * The lock-step Simulator walks sparse element lists one symbol at a
+ * time — faithful, but far from the streaming throughput that is the
+ * AP's whole value proposition.  BatchSimulator is the
+ * throughput-oriented twin: construction *compiles* the Automaton into
+ * flat, cache-friendly tables and step() becomes a handful of
+ * word-wide operations over `uint64_t` lanes:
+ *
+ *  - every STE owns one bit lane; a 256-entry symbol table maps each
+ *    input byte to the bitvector of STE lanes whose character class
+ *    contains it, so phase 1 is `active = enabled & table[symbol]`;
+ *  - enable/active sets are dense bitsets; activation fan-out is
+ *    pre-aggregated per source element into CSR rows of
+ *    (word index, OR-mask) pairs, so phase 4 is a few ORs per active
+ *    element instead of an edge-list walk;
+ *  - the (typically small) combinational network of counters and
+ *    gates is flattened into topologically ordered evaluation records
+ *    with CSR input lists.
+ *
+ * All per-stream state lives in a StreamState value, so one compiled
+ * BatchSimulator can execute many independent input streams
+ * concurrently: runBatch() fans N streams over a small thread pool
+ * and returns N report vectors in submission order (deterministic —
+ * stream i's result never depends on how work was scheduled).
+ *
+ * Semantics are identical to Simulator (same phase structure, same
+ * counter reset priority and rising-edge reporting); the differential
+ * fuzzing oracle keeps the scalar engine as the reference and
+ * cross-checks this one as its own fork.  Within one cycle, events are
+ * ordered by element id (the scalar engine orders by activation
+ * discovery); comparisons should sort, as ReportEvent::operator< does.
+ */
+#ifndef RAPID_AUTOMATA_BATCH_SIMULATOR_H
+#define RAPID_AUTOMATA_BATCH_SIMULATOR_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/simulator.h"
+
+namespace rapid::automata {
+
+/** Compiled bit-parallel engine; one instance serves many streams. */
+class BatchSimulator {
+  public:
+    /** @throws CompileError when the design fails validation. */
+    explicit BatchSimulator(const Automaton &automaton);
+
+    /** The engine borrows the design; temporaries would dangle. */
+    explicit BatchSimulator(Automaton &&) = delete;
+
+    /**
+     * Execute one stream from power-on state.
+     *
+     * Thread-safe: all mutable state is stack-local, so concurrent
+     * run() calls on one BatchSimulator are safe.
+     */
+    std::vector<ReportEvent> run(std::string_view input) const;
+
+    /**
+     * Execute many independent streams, each from power-on state.
+     *
+     * Result i is exactly run(inputs[i]); ordering is deterministic
+     * regardless of scheduling.  @p threads caps the worker count
+     * (0 = std::thread::hardware_concurrency(), clamped to the
+     * number of streams; 1 executes inline).
+     */
+    std::vector<std::vector<ReportEvent>>
+    runBatch(const std::vector<std::string_view> &inputs,
+             unsigned threads = 0) const;
+
+    /** Number of 64-bit words per STE bitset row (for tests). */
+    size_t words() const { return _words; }
+
+    /** Number of STE bit lanes (for tests). */
+    size_t lanes() const { return _numStes; }
+
+  private:
+    /** One flattened combinational node (gate or counter). */
+    struct CombNode {
+        ElementId element = kNoElement;
+        ElementKind kind = ElementKind::Gate;
+        GateOp op = GateOp::And;
+        uint32_t target = 1;
+        CounterMode mode = CounterMode::Latch;
+        bool report = false;
+        /** Range into _combInputs. */
+        uint32_t inBegin = 0;
+        uint32_t inEnd = 0;
+        /** Range into _succWord/_succMask (activation fan-out). */
+        uint32_t succBegin = 0;
+        uint32_t succEnd = 0;
+        /** Dense per-stream counter state slot (counters only). */
+        uint32_t counterSlot = 0;
+    };
+
+    /** One fan-in operand of a combinational node. */
+    struct CombInput {
+        /** STE lane when steSource, else comb-node position. */
+        uint32_t src = 0;
+        uint8_t steSource = 0;
+        Port port = Port::Activate;
+    };
+
+    struct CounterState {
+        uint32_t value = 0;
+        bool latched = false;
+        /** Output signal on the previous cycle (edge detection). */
+        bool prevOut = false;
+    };
+
+    /** All mutable execution state for one input stream. */
+    struct StreamState {
+        std::vector<uint64_t> enabled;
+        std::vector<uint64_t> active;
+        std::vector<uint64_t> next;
+        std::vector<uint8_t> combSignal;
+        std::vector<CounterState> counters;
+        std::vector<ReportEvent> reports;
+        uint64_t cycle = 0;
+    };
+
+    void resetStream(StreamState &state) const;
+    void stepStream(StreamState &state, unsigned char symbol) const;
+    void runInto(StreamState &state, std::string_view input) const;
+    void runSingleWordSteOnly(StreamState &state,
+                              std::string_view input) const;
+
+    const Automaton &_automaton;
+
+    size_t _numStes = 0;
+    /** 64-bit words per STE bitset. */
+    size_t _words = 0;
+
+    /** lane -> ElementId, for report events. */
+    std::vector<ElementId> _steElement;
+    /** 256 rows x _words: lanes matching each symbol. */
+    std::vector<uint64_t> _matchTable;
+    /** Lanes enabled every cycle / only at offset 0 / reporting. */
+    std::vector<uint64_t> _alwaysMask;
+    std::vector<uint64_t> _startMask;
+    std::vector<uint64_t> _reportMask;
+
+    /**
+     * Activation fan-out in CSR form, shared by STE lanes and comb
+     * nodes: _succOffset[lane] ranges index (word, mask) pairs; comb
+     * nodes carry their own ranges in CombNode.
+     */
+    std::vector<uint32_t> _succOffset;
+    std::vector<uint32_t> _succWord;
+    std::vector<uint64_t> _succMask;
+
+    /**
+     * Byte-indexed successor union tables: for lane slot b (lanes
+     * 8b..8b+7) and byte value v, row [b][v] is the _words-wide OR of
+     * the successor rows of every lane whose bit is set in v.  Phase 4
+     * then needs at most 8·_words table ORs per cycle — no per-bit
+     * scan.  Quadratic in _words (16 KiB · _words²), so only built for
+     * designs up to kByteTableMaxWords words; larger designs fall back
+     * to the per-bit CSR walk.
+     */
+    static constexpr size_t kByteTableMaxWords = 8;
+    std::vector<uint64_t> _succByte;
+    bool _byteTables = false;
+
+    /** Flattened combinational network in evaluation order. */
+    std::vector<CombNode> _comb;
+    std::vector<CombInput> _combInputs;
+    size_t _numCounters = 0;
+};
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_BATCH_SIMULATOR_H

@@ -120,7 +120,7 @@ CharSet::parse(const std::string &text)
           case '0':
             return '\0';
           case 'x': {
-            if (pos + 1 >= end + 1 || pos + 1 > text.size() - 1)
+            if (pos + 1 >= end)
                 throw CompileError("truncated \\x escape: " + text);
             auto hex = [&](char h) -> int {
                 if (h >= '0' && h <= '9')

@@ -6,6 +6,7 @@
 
 #include "anml/anml.h"
 #include "ap/tessellation.h"
+#include "automata/batch_simulator.h"
 #include "automata/optimizer.h"
 #include "automata/simulator.h"
 #include "lang/codegen.h"
@@ -65,7 +66,16 @@ constexpr ForkNames kForkNames[] = {
     {kForkOptimized, 'c', "optimized"},
     {kForkAnml, 'd', "anml"},
     {kForkTile, 'e', "tile"},
+    {kForkBatch, 'f', "batch"},
 };
+
+/** Sorted full (offset, element) stream — batch-fork comparison. */
+std::vector<ReportEvent>
+sortedEventsOf(std::vector<ReportEvent> events)
+{
+    std::sort(events.begin(), events.end());
+    return events;
+}
 
 } // namespace
 
@@ -87,7 +97,7 @@ parseOracleMask(const std::string &text)
         }
         if (!known) {
             throw Error(strprintf(
-                "unknown oracle fork '%c' (expected letters a-e)", c));
+                "unknown oracle fork '%c' (expected letters a-f)", c));
         }
     }
     if (mask == 0)
@@ -185,6 +195,28 @@ runOracle(const OracleCase &oracle_case)
     }
     result.ranMask |= kForkRaw;
     result.offsets = offsetsOf(raw_events);
+
+    // Fork (f): the bit-parallel batch engine runs the same design as
+    // (b), so the full sorted (offset, element) streams must match
+    // exactly — the scalar simulator is the semantic reference.
+    if (mask & kForkBatch) {
+        try {
+            automata::BatchSimulator batch(compiled.automaton);
+            auto batch_events =
+                sortedEventsOf(batch.run(oracle_case.input));
+            result.ranMask |= kForkBatch;
+            if (batch_events != sortedEventsOf(raw_events)) {
+                fail(strprintf(
+                    "batch engine report stream differs from scalar "
+                    "(%zu events != %zu events, offsets %s != %s)",
+                    batch_events.size(), raw_events.size(),
+                    renderOffsets(offsetsOf(batch_events)).c_str(),
+                    renderOffsets(result.offsets).c_str()));
+            }
+        } catch (const Error &error) {
+            fail(std::string("batch fork crashed: ") + error.what());
+        }
+    }
 
     // Fork (a): the reference interpreter.
     if (mask & kForkInterpreter) {

@@ -4,14 +4,15 @@
  *
  * A RAPID program's only architecturally visible behaviour is its
  * report stream (offset + reporting element).  The oracle runs one
- * program + input through up to five independent execution paths and
+ * program + input through up to six independent execution paths and
  * asserts they agree:
  *
  *   (a) the reference interpreter (position-set semantics, no automata);
  *   (b) codegen (unoptimized) -> device simulator;
  *   (c) codegen -> optimizer -> device simulator;
  *   (d) codegen -> optimizer -> ANML export -> ANML import -> simulator;
- *   (e) codegen -> tessellation tile -> replicate/place -> simulator.
+ *   (e) codegen -> tessellation tile -> replicate/place -> simulator;
+ *   (f) codegen (unoptimized) -> bit-parallel BatchSimulator.
  *
  * Forks (a)-(d) compare sorted distinct report offsets; (c) vs (d)
  * additionally compare full (offset, element-id) event streams, since
@@ -19,7 +20,10 @@
  * only sound for programs whose whole behaviour is one top-level
  * `some` over identical array instances (the caller vouches via the
  * mask); it checks the replicated tile and the auto-tuned block image
- * against the full design.
+ * against the full design.  Fork (f) executes the same design as (b)
+ * on the throughput engine, so it compares full sorted
+ * (offset, element) event streams — the scalar simulator stays the
+ * semantic reference.
  *
  * Forks that do not apply degrade gracefully: counter programs skip
  * the interpreter (it rejects counters by design), non-tileable
@@ -43,16 +47,17 @@ enum : unsigned {
     kForkOptimized = 1u << 2,   // (c)
     kForkAnml = 1u << 3,        // (d)
     kForkTile = 1u << 4,        // (e)
-    kForkAll = 0x1fu,
+    kForkBatch = 1u << 5,       // (f)
+    kForkAll = 0x3fu,
 };
 
 /**
- * Parse a mask spec: fork letters ("abcde", "bd"), or "all".
+ * Parse a mask spec: fork letters ("abcdef", "bd"), or "all".
  * @throws rapid::Error on unknown letters or an empty mask.
  */
 unsigned parseOracleMask(const std::string &text);
 
-/** Render a mask as fork letters ("abcde"). */
+/** Render a mask as fork letters ("abcdef"). */
 std::string formatOracleMask(unsigned mask);
 
 /** One differential-oracle case. */

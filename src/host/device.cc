@@ -1,30 +1,79 @@
 #include "host/device.h"
 
+#include "support/error.h"
+
 namespace rapid::host {
 
-Device::Device(automata::Automaton design) : _design(std::move(design))
+Engine
+parseEngine(const std::string &name)
 {
-    _simulator = std::make_unique<automata::Simulator>(_design);
+    if (name == "scalar")
+        return Engine::Scalar;
+    if (name == "batch")
+        return Engine::Batch;
+    throw Error("unknown engine '" + name +
+                "' (expected scalar or batch)");
 }
 
-Device::Device(const ap::TiledDesign &tiled)
+const char *
+engineName(Engine engine)
 {
-    size_t blocks = tiled.totalBlocks;
-    _design = ap::replicate(tiled.blockImage, blocks);
-    _simulator = std::make_unique<automata::Simulator>(_design);
+    return engine == Engine::Batch ? "batch" : "scalar";
+}
+
+Device::Device(automata::Automaton design, Engine engine)
+    : _design(std::move(design)), _engine(engine)
+{
+    if (_engine == Engine::Batch)
+        _batch = std::make_unique<automata::BatchSimulator>(_design);
+    else
+        _simulator = std::make_unique<automata::Simulator>(_design);
+}
+
+Device::Device(const ap::TiledDesign &tiled, Engine engine)
+    : Device(ap::replicate(tiled.blockImage, tiled.totalBlocks),
+             engine)
+{
 }
 
 std::vector<HostReport>
-Device::run(std::string_view input)
+Device::enrich(const std::vector<automata::ReportEvent> &events) const
 {
     std::vector<HostReport> out;
-    for (const automata::ReportEvent &event : _simulator->run(input)) {
+    out.reserve(events.size());
+    for (const automata::ReportEvent &event : events) {
         HostReport report;
         report.offset = event.offset;
         report.element = _design[event.element].id;
         report.code = _design[event.element].reportCode;
         out.push_back(std::move(report));
     }
+    return out;
+}
+
+std::vector<HostReport>
+Device::run(std::string_view input)
+{
+    if (_engine == Engine::Batch)
+        return enrich(_batch->run(input));
+    return enrich(_simulator->run(input));
+}
+
+std::vector<std::vector<HostReport>>
+Device::runBatch(const std::vector<std::string> &inputs,
+                 unsigned threads)
+{
+    std::vector<std::vector<HostReport>> out;
+    out.reserve(inputs.size());
+    if (_engine == Engine::Batch) {
+        std::vector<std::string_view> views(inputs.begin(),
+                                            inputs.end());
+        for (const auto &events : _batch->runBatch(views, threads))
+            out.push_back(enrich(events));
+        return out;
+    }
+    for (const std::string &input : inputs)
+        out.push_back(enrich(_simulator->run(input)));
     return out;
 }
 

@@ -4,10 +4,21 @@
  *
  * The driver loads a configured design (a flat automaton or a
  * tessellated block image), streams symbols through the device (here:
- * the functional simulator), and collects report events enriched with
+ * a functional simulator), and collects report events enriched with
  * the reporting element's identity and RAPID-level report code (§3.1
  * "the offset ... and additional identifying meta data, such as the
  * reporting macro").
+ *
+ * Two execution engines back the device:
+ *
+ *  - Engine::Scalar — the lock-step reference Simulator (sparse
+ *    element lists, one stream at a time);
+ *  - Engine::Batch — the bit-parallel BatchSimulator (word-wide STE
+ *    lanes, compiled successor tables), which additionally executes
+ *    many independent streams concurrently via runBatch().
+ *
+ * Both produce the same report streams; the differential fuzzing
+ * oracle enforces this continuously.
  */
 #ifndef RAPID_HOST_DEVICE_H
 #define RAPID_HOST_DEVICE_H
@@ -19,6 +30,7 @@
 
 #include "ap/tessellation.h"
 #include "automata/automaton.h"
+#include "automata/batch_simulator.h"
 #include "automata/simulator.h"
 
 namespace rapid::host {
@@ -33,28 +45,62 @@ struct HostReport {
     std::string code;
 };
 
+/** Which execution engine a Device streams symbols through. */
+enum class Engine {
+    Scalar,
+    Batch,
+};
+
+/** Parse "scalar" / "batch"; @throws rapid::Error otherwise. */
+Engine parseEngine(const std::string &name);
+
+/** Human-readable engine name. */
+const char *engineName(Engine engine);
+
 /** A loaded device ready to process streams. */
 class Device {
   public:
     /** Load a flat design. */
-    explicit Device(automata::Automaton design);
+    explicit Device(automata::Automaton design,
+                    Engine engine = Engine::Scalar);
 
     /**
      * Load a tessellated design: the block image is replicated
      * `ceil(instances / tilesPerBlock)` times — block-level
      * configuration (§6) — before execution.
      */
-    explicit Device(const ap::TiledDesign &tiled);
+    explicit Device(const ap::TiledDesign &tiled,
+                    Engine engine = Engine::Scalar);
 
     /** Stream @p input from power-on state; returns all reports. */
     std::vector<HostReport> run(std::string_view input);
 
+    /**
+     * Stream N independent inputs, each from power-on state; result i
+     * corresponds to inputs[i] (deterministic ordering).
+     *
+     * On the batch engine the streams execute concurrently over a
+     * small thread pool (@p threads: 0 = hardware concurrency); the
+     * scalar engine runs them sequentially.
+     */
+    std::vector<std::vector<HostReport>>
+    runBatch(const std::vector<std::string> &inputs,
+             unsigned threads = 0);
+
     /** The loaded (possibly replicated) design. */
     const automata::Automaton &design() const { return _design; }
 
+    /** The engine selected at load time. */
+    Engine engine() const { return _engine; }
+
   private:
+    std::vector<HostReport>
+    enrich(const std::vector<automata::ReportEvent> &events) const;
+
     automata::Automaton _design;
+    Engine _engine = Engine::Scalar;
     std::unique_ptr<automata::Simulator> _simulator;
+    std::unique_ptr<automata::BatchSimulator> _batch;
 };
 
 } // namespace rapid::host

@@ -14,6 +14,7 @@
  *   rapidc pnr     prog.rapid [--args args.txt]
  *   rapidc run     prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # treat input lines as records
+ *                   [--engine=scalar|batch]  # execution engine
  *   rapidc interpret prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # reference interpreter
  *   rapidc witness prog.rapid [--args args.txt]
@@ -68,6 +69,7 @@ struct Options {
     bool tile = false;
     bool stats = false;
     bool frame = false;
+    host::Engine engine = host::Engine::Scalar;
 };
 
 [[noreturn]] void
@@ -79,7 +81,8 @@ usage()
         "<prog.rapid>\n"
         "              [--args file] [-o out.anml] [--no-optimize]\n"
         "              [--positional] [--tile] [--stats]\n"
-        "              [--input file] [--frame]\n");
+        "              [--input file] [--frame] "
+        "[--engine=scalar|batch]\n");
     std::exit(2);
 }
 
@@ -114,6 +117,11 @@ parseOptions(int argc, char **argv)
             options.stats = true;
         else if (arg == "--frame")
             options.frame = true;
+        else if (arg == "--engine")
+            options.engine = host::parseEngine(next());
+        else if (startsWith(arg, "--engine="))
+            options.engine = host::parseEngine(
+                arg.substr(std::string("--engine=").size()));
         else
             usage();
     }
@@ -244,7 +252,8 @@ run(const Options &options)
 
     if (options.command == "run") {
         std::string input = loadInput(options);
-        host::Device device(std::move(compiled.automaton));
+        host::Device device(std::move(compiled.automaton),
+                            options.engine);
         auto reports = device.run(input);
         for (const host::HostReport &report : reports) {
             std::printf("%llu\t%s\t%s\n",

@@ -3,14 +3,15 @@
  * rapidfuzz — generative differential fuzzing for the RAPID toolchain.
  *
  * Generates random RAPID programs and input streams and cross-checks
- * the report stream across five independent execution paths (see
+ * the report stream across six independent execution paths (see
  * fuzz/oracle.h): reference interpreter, raw codegen, optimizer, ANML
- * round trip, and tessellation tiles.  On divergence it minimizes the
- * failing case and writes a self-contained repro file.
+ * round trip, tessellation tiles, and the bit-parallel batch engine.
+ * On divergence it minimizes the failing case and writes a
+ * self-contained repro file.
  *
  * Usage:
  *   rapidfuzz [--seed N] [--iterations N] [--max-stmts N]
- *             [--oracle-mask abcde] [--inputs N] [--max-input-len N]
+ *             [--oracle-mask abcdef] [--inputs N] [--max-input-len N]
  *             [--seconds S] [--no-counters] [--no-tiles]
  *             [--no-shrink] [--repro-dir DIR] [--quiet]
  *   rapidfuzz --repro FILE       # replay one repro file
@@ -66,7 +67,7 @@ usage()
         stderr,
         "usage: rapidfuzz [--seed N] [--iterations N] "
         "[--max-stmts N]\n"
-        "                 [--oracle-mask abcde] [--inputs N] "
+        "                 [--oracle-mask abcdef] [--inputs N] "
         "[--max-input-len N]\n"
         "                 [--seconds S] [--no-counters] "
         "[--no-tiles] [--no-shrink]\n"
@@ -74,7 +75,7 @@ usage()
         "       rapidfuzz --repro FILE\n"
         "\n"
         "oracle forks: a=interpreter b=raw c=optimized d=anml "
-        "e=tile\n");
+        "e=tile f=batch\n");
     std::exit(2);
 }
 

@@ -111,6 +111,56 @@ TEST(Anml, GateVocabulary)
     expectRoundTrip(design);
 }
 
+TEST(Anml, SymbolSetsRoundTripForEveryByte)
+{
+    // Byte-exact export/import for all 256 symbols in character
+    // classes: control characters, XML metacharacters (& < > " '),
+    // bracket metacharacters (] [ ^ -), DEL, and non-ASCII bytes.
+    Automaton design;
+    for (int c = 0; c < 256; ++c) {
+        design.addSte(CharSet::single(static_cast<unsigned char>(c)),
+                      StartKind::AllInput,
+                      "s" + std::to_string(c));
+    }
+    Automaton parsed = parseAnml(emitAnml(design));
+    ASSERT_EQ(parsed.size(), design.size());
+    for (int c = 0; c < 256; ++c) {
+        EXPECT_EQ(parsed[static_cast<ElementId>(c)].symbols,
+                  design[static_cast<ElementId>(c)].symbols)
+            << "symbol " << c << " rendered as "
+            << design[static_cast<ElementId>(c)].symbols.str();
+    }
+    expectRoundTrip(design);
+}
+
+TEST(Anml, DenseAndMetacharacterClassesRoundTrip)
+{
+    // Classes that exercise the negated rendering and attribute
+    // escaping together: dense sets, sets of XML/bracket specials,
+    // a full-range class, and ranges ending in escaped symbols.
+    Automaton design;
+    const CharSet classes[] = {
+        CharSet::all(),
+        ~CharSet::single('"'),
+        ~CharSet::of("&<>\"'"),
+        CharSet::of("&<>\"'"),
+        CharSet::of("]^-\\["),
+        CharSet::range(0x00, 0x2F),
+        CharSet::range(0x7F, 0xFF),
+        ~CharSet::range(0x20, 0x7E),
+    };
+    for (const CharSet &symbols : classes)
+        design.addSte(symbols, StartKind::StartOfData);
+    Automaton parsed = parseAnml(emitAnml(design));
+    ASSERT_EQ(parsed.size(), design.size());
+    for (size_t i = 0; i < std::size(classes); ++i) {
+        EXPECT_EQ(parsed[static_cast<ElementId>(i)].symbols,
+                  classes[i])
+            << "class " << i << " rendered as " << classes[i].str();
+    }
+    expectRoundTrip(design);
+}
+
 TEST(Anml, RoundTripPreservesBehaviour)
 {
     // The quickstart Hamming design must behave identically after a

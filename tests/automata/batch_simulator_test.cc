@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Bit-parallel BatchSimulator tests: directed cases over every element
+ * kind, multi-word (> 64 STE) designs, per-stream isolation and
+ * deterministic batch ordering, and randomized differential checks
+ * against the scalar reference Simulator.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/batch_simulator.h"
+#include "automata/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rapid::automata {
+namespace {
+
+std::vector<uint64_t>
+offsets(const std::vector<ReportEvent> &events)
+{
+    std::vector<uint64_t> out;
+    for (const ReportEvent &event : events)
+        out.push_back(event.offset);
+    return out;
+}
+
+std::vector<ReportEvent>
+sorted(std::vector<ReportEvent> events)
+{
+    std::sort(events.begin(), events.end());
+    return events;
+}
+
+/** Both engines on one input; returns the (sorted) common stream. */
+std::vector<ReportEvent>
+expectEnginesAgree(const Automaton &design, std::string_view input)
+{
+    Simulator scalar(design);
+    BatchSimulator batch(design);
+    auto scalar_events = sorted(scalar.run(input));
+    auto batch_events = sorted(batch.run(input));
+    EXPECT_EQ(scalar_events, batch_events);
+    return batch_events;
+}
+
+TEST(BatchSimulator, StartKindsMatchScalar)
+{
+    Automaton design;
+    ElementId sod =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    ElementId all =
+        design.addSte(CharSet::single('b'), StartKind::AllInput);
+    design.setReport(sod);
+    design.setReport(all);
+    BatchSimulator batch(design);
+    EXPECT_EQ(offsets(batch.run("abab")),
+              (std::vector<uint64_t>{0, 1, 3}));
+    EXPECT_EQ(offsets(batch.run("bb")), (std::vector<uint64_t>{0, 1}));
+    expectEnginesAgree(design, "ababba");
+}
+
+TEST(BatchSimulator, ChainRequiresConsecutiveSymbols)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(a, b);
+    design.connect(b, c);
+    design.setReport(c);
+    BatchSimulator batch(design);
+    EXPECT_EQ(offsets(batch.run("xxabcxabxabc")),
+              (std::vector<uint64_t>{4, 11}));
+    EXPECT_TRUE(batch.run("ab").empty());
+}
+
+TEST(BatchSimulator, SelfLoopKeepsSteEnabled)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId c = design.addSte(CharSet::single('c'));
+    design.connect(a, b);
+    design.connect(b, b);
+    design.connect(b, c);
+    design.connect(a, c);
+    design.setReport(c);
+    BatchSimulator batch(design);
+    EXPECT_EQ(offsets(batch.run("abbbc")), (std::vector<uint64_t>{4}));
+    EXPECT_EQ(offsets(batch.run("ac")), (std::vector<uint64_t>{1}));
+    EXPECT_TRUE(batch.run("abxc").empty());
+}
+
+TEST(BatchSimulator, RunsAreIndependentPowerOnStates)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::StartOfData);
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    design.setReport(b);
+    BatchSimulator batch(design);
+    EXPECT_EQ(batch.run("ab").size(), 1u);
+    // A second run must not inherit the previous enable set.
+    EXPECT_TRUE(batch.run("bb").empty());
+}
+
+TEST(BatchSimulator, MultiWordDesignCrossesLaneBoundaries)
+{
+    // A 150-STE chain spans three 64-bit words; the chain must
+    // propagate across word boundaries exactly like the scalar walk.
+    constexpr int kLength = 150;
+    Automaton design;
+    std::vector<ElementId> chain;
+    chain.push_back(
+        design.addSte(CharSet::single('x'), StartKind::AllInput));
+    for (int i = 1; i < kLength; ++i) {
+        chain.push_back(design.addSte(CharSet::single('x')));
+        design.connect(chain[i - 1], chain[i]);
+    }
+    design.setReport(chain.back());
+    BatchSimulator batch(design);
+    EXPECT_EQ(batch.words(), 3u);
+    EXPECT_EQ(batch.lanes(), static_cast<size_t>(kLength));
+    std::string input(kLength + 5, 'x');
+    EXPECT_EQ(offsets(batch.run(input)),
+              (std::vector<uint64_t>{kLength - 1, kLength, kLength + 1,
+                                     kLength + 2, kLength + 3,
+                                     kLength + 4}));
+    expectEnginesAgree(design, input);
+}
+
+TEST(BatchSimulator, WithinCycleEventsAreElementIdOrdered)
+{
+    Automaton design;
+    ElementId hi = design.addSte(CharSet::single('a'),
+                                 StartKind::AllInput, "second");
+    ElementId lo = design.addSte(CharSet::single('a'),
+                                 StartKind::AllInput, "first");
+    design.setReport(hi);
+    design.setReport(lo);
+    BatchSimulator batch(design);
+    auto events = batch.run("a");
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].element, std::min(hi, lo));
+    EXPECT_EQ(events[1].element, std::max(hi, lo));
+}
+
+/// Counters ---------------------------------------------------------------
+
+struct CounterRig {
+    Automaton design;
+    ElementId counter;
+
+    explicit CounterRig(uint32_t target,
+                        CounterMode mode = CounterMode::Latch)
+    {
+        ElementId pulse =
+            design.addSte(CharSet::single('+'), StartKind::AllInput);
+        ElementId reset =
+            design.addSte(CharSet::single('r'), StartKind::AllInput);
+        counter = design.addCounter(target, mode);
+        design.connect(pulse, counter, Port::Count);
+        design.connect(reset, counter, Port::Reset);
+        design.setReport(counter);
+    }
+};
+
+TEST(BatchSimulatorCounter, LatchFiresOnceAtTarget)
+{
+    CounterRig rig(3);
+    BatchSimulator batch(rig.design);
+    EXPECT_EQ(offsets(batch.run("+.+.+.+.+")),
+              (std::vector<uint64_t>{4}));
+    expectEnginesAgree(rig.design, "+.+.+.+.+");
+}
+
+TEST(BatchSimulatorCounter, ResetHasPriorityAndRestartsCount)
+{
+    CounterRig rig(3);
+    BatchSimulator batch(rig.design);
+    EXPECT_TRUE(batch.run("++r++").empty());
+    EXPECT_EQ(offsets(batch.run("++r+++")),
+              (std::vector<uint64_t>{5}));
+}
+
+TEST(BatchSimulatorCounter, PulseAndRollModes)
+{
+    CounterRig pulse_rig(2, CounterMode::Pulse);
+    BatchSimulator pulse(pulse_rig.design);
+    EXPECT_EQ(offsets(pulse.run("+++++")),
+              (std::vector<uint64_t>{1}));
+
+    CounterRig roll_rig(2, CounterMode::Roll);
+    BatchSimulator roll(roll_rig.design);
+    EXPECT_EQ(offsets(roll.run("++++++")),
+              (std::vector<uint64_t>{1, 3, 5}));
+}
+
+TEST(BatchSimulatorCounter, CounterActivatesDownstreamSte)
+{
+    CounterRig rig(2);
+    ElementId next = rig.design.addSte(CharSet::single('x'));
+    rig.design.connect(rig.counter, next);
+    rig.design.clearReport(rig.counter);
+    rig.design.setReport(next);
+    BatchSimulator batch(rig.design);
+    EXPECT_EQ(offsets(batch.run("++x")), (std::vector<uint64_t>{2}));
+    EXPECT_EQ(offsets(batch.run("+x+x")), (std::vector<uint64_t>{3}));
+    EXPECT_TRUE(batch.run("+x").empty());
+}
+
+/// Gates ------------------------------------------------------------------
+
+TEST(BatchSimulatorGate, GateKindsMatchScalar)
+{
+    for (GateOp op : {GateOp::And, GateOp::Or, GateOp::Not,
+                      GateOp::Nand, GateOp::Nor}) {
+        Automaton design;
+        ElementId a =
+            design.addSte(CharSet::of("aC"), StartKind::AllInput);
+        ElementId gate = design.addGate(op);
+        design.connect(a, gate);
+        if (op != GateOp::Not) {
+            ElementId b =
+                design.addSte(CharSet::of("bC"), StartKind::AllInput);
+            design.connect(b, gate);
+        }
+        design.setReport(gate);
+        expectEnginesAgree(design, "abCxabC");
+    }
+}
+
+TEST(BatchSimulatorGate, NorFiresOnSilence)
+{
+    // Gates must be evaluated even on cycles with no active STE.
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId gate = design.addGate(GateOp::Nor);
+    design.connect(a, gate);
+    design.setReport(gate);
+    BatchSimulator batch(design);
+    EXPECT_EQ(offsets(batch.run("xax")),
+              (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(BatchSimulatorGate, GateActivatesDownstreamSte)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::of("ab"), StartKind::AllInput);
+    ElementId gate = design.addGate(GateOp::Or);
+    ElementId next = design.addSte(CharSet::single('x'));
+    design.connect(a, gate);
+    design.connect(gate, next);
+    design.setReport(next);
+    BatchSimulator batch(design);
+    EXPECT_EQ(offsets(batch.run("ax")), (std::vector<uint64_t>{1}));
+    EXPECT_TRUE(batch.run("xx").empty());
+}
+
+/// Batch execution --------------------------------------------------------
+
+TEST(BatchSimulator, RunBatchPreservesSubmissionOrder)
+{
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    design.setReport(a);
+    BatchSimulator batch(design);
+
+    std::vector<std::string> inputs = {"a", "xa", "", "aaa", "xxxa"};
+    std::vector<std::string_view> views(inputs.begin(), inputs.end());
+    for (unsigned threads : {0u, 1u, 2u, 8u}) {
+        auto results = batch.runBatch(views, threads);
+        ASSERT_EQ(results.size(), inputs.size());
+        for (size_t i = 0; i < inputs.size(); ++i)
+            EXPECT_EQ(results[i], batch.run(views[i]))
+                << "stream " << i << " threads " << threads;
+    }
+}
+
+TEST(BatchSimulator, RunBatchStreamsAreIsolated)
+{
+    // A latching counter in stream 0 must not leak into stream 1.
+    CounterRig rig(2);
+    BatchSimulator batch(rig.design);
+    std::vector<std::string_view> views = {"++", "+"};
+    auto results = batch.runBatch(views, 2);
+    EXPECT_EQ(results[0].size(), 1u);
+    EXPECT_TRUE(results[1].empty());
+}
+
+TEST(BatchSimulator, ValidationRunsAtConstruction)
+{
+    Automaton design;
+    design.addCounter(2); // no count input
+    EXPECT_THROW(BatchSimulator batch(design), CompileError);
+}
+
+TEST(BatchSimulator, EmptyDesignAndEmptyInput)
+{
+    Automaton empty_design;
+    BatchSimulator batch(empty_design);
+    EXPECT_TRUE(batch.run("abc").empty());
+
+    Automaton design;
+    design.setReport(
+        design.addSte(CharSet::single('a'), StartKind::AllInput));
+    BatchSimulator with_ste(design);
+    EXPECT_TRUE(with_ste.run("").empty());
+}
+
+/// Randomized differential sweep ------------------------------------------
+
+/** Random valid automaton: STEs, counters, gates, random wiring. */
+Automaton
+randomDesign(Rng &rng)
+{
+    Automaton design;
+    const int stes = static_cast<int>(rng.range(2, 90));
+    std::vector<ElementId> ste_ids;
+    for (int i = 0; i < stes; ++i) {
+        CharSet symbols;
+        const int population = static_cast<int>(rng.range(1, 4));
+        for (int s = 0; s < population; ++s)
+            symbols.add(static_cast<unsigned char>(
+                'a' + rng.below(6)));
+        StartKind start = StartKind::None;
+        if (rng.chance(0.3))
+            start = rng.chance(0.5) ? StartKind::AllInput
+                                    : StartKind::StartOfData;
+        ste_ids.push_back(design.addSte(symbols, start));
+    }
+    // Random forward/backward STE wiring (cycles among STEs are fine).
+    const int edges = static_cast<int>(rng.range(stes, stes * 3));
+    for (int i = 0; i < edges; ++i) {
+        design.connect(ste_ids[rng.below(ste_ids.size())],
+                       ste_ids[rng.below(ste_ids.size())]);
+    }
+    // A few counters fed by STEs.
+    const int counters = static_cast<int>(rng.range(0, 2));
+    for (int i = 0; i < counters; ++i) {
+        CounterMode mode = static_cast<CounterMode>(rng.below(3));
+        ElementId counter = design.addCounter(
+            static_cast<uint32_t>(rng.range(1, 4)), mode);
+        design.connect(ste_ids[rng.below(ste_ids.size())], counter,
+                       Port::Count);
+        if (rng.chance(0.5))
+            design.connect(ste_ids[rng.below(ste_ids.size())],
+                           counter, Port::Reset);
+        if (rng.chance(0.7))
+            design.connect(counter,
+                           ste_ids[rng.below(ste_ids.size())]);
+        design.setReport(counter);
+    }
+    // A few gates over STEs (acyclic by construction: gates only
+    // consume STE signals).
+    const int gates = static_cast<int>(rng.range(0, 3));
+    for (int i = 0; i < gates; ++i) {
+        GateOp op = static_cast<GateOp>(rng.below(5));
+        ElementId gate = design.addGate(op);
+        const int operands =
+            op == GateOp::Not ? 1 : static_cast<int>(rng.range(1, 3));
+        for (int k = 0; k < operands; ++k)
+            design.connect(ste_ids[rng.below(ste_ids.size())], gate);
+        if (rng.chance(0.5))
+            design.connect(gate, ste_ids[rng.below(ste_ids.size())]);
+        design.setReport(gate);
+    }
+    // Random reporting STEs (at least one).
+    design.setReport(ste_ids[rng.below(ste_ids.size())]);
+    for (ElementId id : ste_ids) {
+        if (rng.chance(0.2))
+            design.setReport(id);
+    }
+    return design;
+}
+
+TEST(BatchSimulator, RandomDesignsMatchScalarEngine)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 60; ++round) {
+        Automaton design = randomDesign(rng);
+        try {
+            design.validate();
+        } catch (const CompileError &) {
+            continue; // e.g. a counter that drew no Count input
+        }
+        Simulator scalar(design);
+        BatchSimulator batch(design);
+        for (int run = 0; run < 3; ++run) {
+            std::string input = rng.string(
+                static_cast<size_t>(rng.range(0, 80)), "abcdef");
+            auto scalar_events = sorted(scalar.run(input));
+            auto batch_events = sorted(batch.run(input));
+            ASSERT_EQ(scalar_events, batch_events)
+                << "round " << round << " input '" << input << "'";
+        }
+    }
+}
+
+} // namespace
+} // namespace rapid::automata

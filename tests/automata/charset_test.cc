@@ -295,5 +295,58 @@ TEST(CharSetEdge, WordBoundaryRanges)
     }
 }
 
+TEST(CharSetEdge, EverySingletonRoundTripsByteExact)
+{
+    // One set per byte value: control chars, the bracket-expression
+    // metacharacters (] [ ^ - \), DEL, and all non-ASCII bytes must
+    // survive str() → parse() unchanged.
+    for (int c = 0; c < 256; ++c) {
+        CharSet set = CharSet::single(static_cast<unsigned char>(c));
+        EXPECT_EQ(CharSet::parse(set.str()), set)
+            << "symbol " << c << " rendered as " << set.str();
+    }
+}
+
+TEST(CharSetEdge, EveryComplementedSingletonRoundTrips)
+{
+    // The dense (negated) rendering path, for every excluded byte.
+    for (int c = 0; c < 256; ++c) {
+        CharSet set = ~CharSet::single(static_cast<unsigned char>(c));
+        EXPECT_EQ(CharSet::parse(set.str()), set)
+            << "symbol " << c << " rendered as " << set.str();
+    }
+}
+
+TEST(CharSetEdge, MetacharacterRunsRoundTrip)
+{
+    // Runs made entirely of characters that need escaping, plus
+    // ranges whose endpoints are escaped.
+    for (const CharSet &set :
+         {CharSet::of("]^-\\["), CharSet::range('[', ']'),
+          CharSet::of("-"), CharSet::of("^"),
+          CharSet::range(0x5B, 0x60) | CharSet::single(0x00),
+          ~CharSet::of("]^-\\[")}) {
+        EXPECT_EQ(CharSet::parse(set.str()), set)
+            << "rendering was: " << set.str();
+    }
+}
+
+TEST(CharSetEdge, TruncatedHexEscapeReportedAsTruncated)
+{
+    // One hex digit before the closing bracket used to be
+    // misclassified as a bad hex digit (the ']' was read as the
+    // second digit); both truncation shapes must say "truncated".
+    for (const std::string &text : {"[\\x]", "[\\x4]", "[a\\x4]"}) {
+        try {
+            CharSet::parse(text);
+            FAIL() << "expected CompileError for " << text;
+        } catch (const CompileError &error) {
+            EXPECT_NE(std::string(error.what()).find("truncated"),
+                      std::string::npos)
+                << text << " reported: " << error.what();
+        }
+    }
+}
+
 } // namespace
 } // namespace rapid::automata

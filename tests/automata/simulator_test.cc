@@ -178,6 +178,49 @@ TEST(SimulatorCounter, ResetUnlatchesAndAllowsRefire)
               (std::vector<uint64_t>{1, 4}));
 }
 
+TEST(SimulatorCounter, ResetClearsEdgeDetectorWhileOutputHigh)
+{
+    // Power-on reset() while a latched counter's output is high must
+    // clear the edge detector (prevOut): the first post-reset rise is
+    // a fresh rising edge and must report exactly once.
+    CounterRig rig(2);
+    Simulator sim(rig.design);
+    sim.step('+');
+    sim.step('+'); // latches; output goes high
+    ASSERT_EQ(sim.reports().size(), 1u);
+    sim.step('.'); // output held high: no second report
+    EXPECT_EQ(sim.reports().size(), 1u);
+
+    sim.reset();
+    EXPECT_TRUE(sim.reports().empty());
+    EXPECT_EQ(sim.counterValue(rig.counter), 0u);
+    EXPECT_FALSE(sim.counterLatched(rig.counter));
+
+    sim.step('+');
+    EXPECT_TRUE(sim.reports().empty());
+    sim.step('+'); // first rising edge after reset
+    ASSERT_EQ(sim.reports().size(), 1u);
+    EXPECT_EQ(sim.reports()[0].offset, 1u);
+    sim.step('.'); // still latched high: exactly one report total
+    EXPECT_EQ(sim.reports().size(), 1u);
+}
+
+TEST(SimulatorCounter, BackToBackRunsReportIdenticallyInAllModes)
+{
+    // run() resets between streams; a stream that ends with the
+    // counter output high must not suppress the next stream's edge.
+    for (CounterMode mode :
+         {CounterMode::Latch, CounterMode::Pulse, CounterMode::Roll}) {
+        CounterRig rig(2, mode);
+        Simulator sim(rig.design);
+        auto first = offsets(sim.run("++.+"));
+        auto second = offsets(sim.run("++.+"));
+        EXPECT_EQ(first, second) << "mode " << static_cast<int>(mode);
+        ASSERT_FALSE(first.empty());
+        EXPECT_EQ(first.front(), 1u);
+    }
+}
+
 TEST(SimulatorCounter, ResetHasPriorityOverSimultaneousCount)
 {
     // An STE matching 'b' drives BOTH ports in the same cycle.

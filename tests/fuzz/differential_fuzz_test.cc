@@ -196,12 +196,59 @@ TEST(DifferentialFuzz, ReproRoundTrip)
 TEST(DifferentialFuzz, OracleMaskParsing)
 {
     EXPECT_EQ(parseOracleMask("all"), kForkAll);
-    EXPECT_EQ(parseOracleMask("abcde"), kForkAll);
+    EXPECT_EQ(parseOracleMask("abcdef"), kForkAll);
     EXPECT_EQ(parseOracleMask("bd"), kForkRaw | kForkAnml);
-    EXPECT_EQ(formatOracleMask(kForkAll), "abcde");
+    EXPECT_EQ(parseOracleMask("bf"), kForkRaw | kForkBatch);
+    EXPECT_EQ(formatOracleMask(kForkAll), "abcdef");
     EXPECT_EQ(formatOracleMask(kForkRaw | kForkTile), "be");
+    EXPECT_EQ(formatOracleMask(kForkBatch), "f");
     EXPECT_THROW(parseOracleMask(""), Error);
     EXPECT_THROW(parseOracleMask("xyz"), Error);
+}
+
+/**
+ * The batch-engine fork is part of the default mask and actually
+ * executes: a sweep selecting it must record it in ranMask, on both
+ * counter-free and counter-bearing programs (the batch engine,
+ * unlike the interpreter, supports counters).
+ */
+TEST(DifferentialFuzz, BatchForkRunsByDefault)
+{
+    Rng rng(11);
+    for (const CorpusCase &entry : kCorpus) {
+        OracleCase oracle_case;
+        oracle_case.source = entry.source;
+        oracle_case.args = host::parseArgFile(entry.args);
+        oracle_case.input = generateInput(rng, entry.alphabet, 40);
+        oracle_case.mask = kForkAll & ~kForkTile;
+        OracleResult outcome = runOracle(oracle_case);
+        ASSERT_TRUE(outcome.ran) << entry.name << ": "
+                                 << outcome.detail;
+        EXPECT_FALSE(outcome.divergence)
+            << entry.name << ": " << outcome.detail;
+        EXPECT_NE(outcome.ranMask & kForkBatch, 0u) << entry.name;
+    }
+
+    const char *counter_source =
+        "network () {\n"
+        "  {\n"
+        "    Counter c;\n"
+        "    'a' == input();\n"
+        "    c.count();\n"
+        "    'a' == input();\n"
+        "    c.count();\n"
+        "    c >= 2;\n"
+        "    report;\n"
+        "  }\n"
+        "}\n";
+    OracleCase counters;
+    counters.source = counter_source;
+    counters.input = "aaaa";
+    counters.mask = kForkRaw | kForkBatch;
+    OracleResult outcome = runOracle(counters);
+    ASSERT_TRUE(outcome.ran) << outcome.detail;
+    EXPECT_FALSE(outcome.divergence) << outcome.detail;
+    EXPECT_NE(outcome.ranMask & kForkBatch, 0u);
 }
 
 /** An interpreter-visible divergence is detected, not masked. */

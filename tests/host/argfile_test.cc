@@ -102,5 +102,89 @@ TEST(ArgFile, MissingFileReported)
     EXPECT_THROW(loadArgFile("/nonexistent/args.txt"), CompileError);
 }
 
+// --- Escape-handling regressions -----------------------------------
+// Directed coverage of every escape form and its failure modes; the
+// truncation cases in particular guard the \x bounds check at end of
+// line/field.
+
+TEST(ArgFile, EveryEscapeFormDecodes)
+{
+    auto args = parseArgFile(
+        "string: a\\nb\\tc\\\\d\\,e\\;f\\x41g\n");
+    EXPECT_EQ(args[0].s, "a\nb\tc\\d,e;fAg");
+}
+
+TEST(ArgFile, HexEscapesCoverFullByteRange)
+{
+    auto args = parseArgFile(
+        "string: \\x00\\x01\\x7f\\x80\\xAb\\xfF\n");
+    const std::string expect{'\x00', '\x01', '\x7f',
+                             '\x80', '\xab', '\xff'};
+    EXPECT_EQ(args[0].s, expect);
+}
+
+TEST(ArgFile, TruncatedHexEscapeAtEndOfLine)
+{
+    // Zero and one hex digits before the line ends.
+    EXPECT_THROW(parseArgFile("string: a\\x\n"), CompileError);
+    EXPECT_THROW(parseArgFile("string: a\\x4\n"), CompileError);
+    EXPECT_THROW(parseArgFile("char: \\x\n"), CompileError);
+    // Same truncation in the last field of a list.
+    EXPECT_THROW(parseArgFile("strings: ok, bad\\x4\n"),
+                 CompileError);
+    // A separator is not a hex digit; \x4,1 truncates the field.
+    EXPECT_THROW(parseArgFile("strings: a\\x4, 1\n"), CompileError);
+}
+
+TEST(ArgFile, BadHexDigitsRejected)
+{
+    EXPECT_THROW(parseArgFile("string: \\xg1\n"), CompileError);
+    EXPECT_THROW(parseArgFile("string: \\x4z\n"), CompileError);
+    EXPECT_THROW(parseArgFile("string: \\xx41\n"), CompileError);
+}
+
+TEST(ArgFile, DanglingEscapeRejectedEverywhere)
+{
+    EXPECT_THROW(parseArgFile("string: abc\\\n"), CompileError);
+    EXPECT_THROW(parseArgFile("char: \\\n"), CompileError);
+    EXPECT_THROW(parseArgFile("strings: a, b\\\n"), CompileError);
+    EXPECT_THROW(parseArgFile("stringss: a; b\\\n"), CompileError);
+}
+
+TEST(ArgFile, EmbeddedNulsSurviveListsAndRows)
+{
+    auto args = parseArgFile(
+        "strings: a\\x00b, \\x00\n"
+        "stringss: \\x00; x\\x00y, \\x00\\x00\n");
+    const Value &list = args[0];
+    ASSERT_EQ(list.arr->size(), 2u);
+    EXPECT_EQ((*list.arr)[0].s, std::string("a\0b", 3));
+    EXPECT_EQ((*list.arr)[1].s, std::string("\0", 1));
+    const Value &rows = args[1];
+    ASSERT_EQ(rows.arr->size(), 2u);
+    const Value &row1 = (*rows.arr)[1];
+    ASSERT_EQ(row1.arr->size(), 2u);
+    EXPECT_EQ((*row1.arr)[0].s, std::string("x\0y", 3));
+    EXPECT_EQ((*row1.arr)[1].s, std::string("\0\0", 2));
+}
+
+TEST(ArgFile, EscapedSeparatorsInNestedRows)
+{
+    auto args = parseArgFile("stringss: a\\;b, c\\,d; e\n");
+    ASSERT_EQ(args[0].arr->size(), 2u);
+    const Value &row0 = (*args[0].arr)[0];
+    ASSERT_EQ(row0.arr->size(), 2u);
+    EXPECT_EQ((*row0.arr)[0].s, "a;b");
+    EXPECT_EQ((*row0.arr)[1].s, "c,d");
+}
+
+TEST(ArgFile, CarriageReturnLineEndingsAccepted)
+{
+    auto args = parseArgFile("int: 5\r\nstring: hi\r\n");
+    ASSERT_EQ(args.size(), 2u);
+    EXPECT_EQ(args[0].i, 5);
+    EXPECT_EQ(args[1].s, "hi");
+}
+
 } // namespace
 } // namespace rapid::host

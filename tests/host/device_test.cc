@@ -12,6 +12,7 @@
 #include "host/transformer.h"
 #include "lang/codegen.h"
 #include "lang/parser.h"
+#include "support/error.h"
 
 namespace rapid::host {
 namespace {
@@ -69,6 +70,76 @@ TEST(Device, TiledDesignMatchesFlatDesign)
     };
     EXPECT_EQ(offsets(flat_device.run(stream)),
               offsets(tiled_device.run(stream)));
+}
+
+TEST(Device, EngineNamesParseAndFormat)
+{
+    EXPECT_EQ(parseEngine("scalar"), Engine::Scalar);
+    EXPECT_EQ(parseEngine("batch"), Engine::Batch);
+    EXPECT_STREQ(engineName(Engine::Scalar), "scalar");
+    EXPECT_STREQ(engineName(Engine::Batch), "batch");
+    EXPECT_THROW(parseEngine(""), Error);
+    EXPECT_THROW(parseEngine("turbo"), Error);
+}
+
+TEST(Device, BatchEngineMatchesScalarEngine)
+{
+    auto for_scalar = compile({"ab", "ba"});
+    auto for_batch = compile({"ab", "ba"});
+    Device scalar(std::move(for_scalar.automaton), Engine::Scalar);
+    Device batch(std::move(for_batch.automaton), Engine::Batch);
+    EXPECT_EQ(scalar.engine(), Engine::Scalar);
+    EXPECT_EQ(batch.engine(), Engine::Batch);
+
+    InputTransformer transformer;
+    std::string stream = transformer.frame({"ab", "ba", "xx", "ab"});
+    auto lhs = scalar.run(stream);
+    auto rhs = batch.run(stream);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(lhs[i].offset, rhs[i].offset);
+        EXPECT_EQ(lhs[i].element, rhs[i].element);
+        EXPECT_EQ(lhs[i].code, rhs[i].code);
+    }
+}
+
+TEST(Device, RunBatchPreservesSubmissionOrderOnBothEngines)
+{
+    InputTransformer transformer;
+    std::vector<std::string> inputs = {
+        transformer.frame({"ab"}),
+        transformer.frame({"xx"}),
+        transformer.frame({"ab", "ab"}),
+    };
+    for (Engine engine : {Engine::Scalar, Engine::Batch}) {
+        auto compiled = compile({"ab"});
+        Device device(std::move(compiled.automaton), engine);
+        auto results = device.runBatch(inputs, 2);
+        ASSERT_EQ(results.size(), inputs.size());
+        // Stream i's results match an independent run of stream i.
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            auto solo = device.run(inputs[i]);
+            ASSERT_EQ(results[i].size(), solo.size()) << "stream " << i;
+            for (size_t j = 0; j < solo.size(); ++j) {
+                EXPECT_EQ(results[i][j].offset, solo[j].offset);
+                EXPECT_EQ(results[i][j].code, solo[j].code);
+            }
+        }
+        EXPECT_EQ(results[1].size(), 0u);
+        EXPECT_EQ(results[2].size(), 2u);
+    }
+}
+
+TEST(Device, TiledDesignRunsOnBatchEngine)
+{
+    auto src = compile({"ab", "ab"});
+    ASSERT_TRUE(src.tileable());
+    ap::Tessellator tessellator;
+    ap::TiledDesign tiled = tessellator.tessellate(src.tile, 2);
+    Device device(tiled, Engine::Batch);
+    InputTransformer transformer;
+    auto reports = device.run(transformer.frame({"ab"}));
+    EXPECT_FALSE(reports.empty());
 }
 
 TEST(Device, TileCompilationProducesSingleInstance)
