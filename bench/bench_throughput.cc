@@ -71,6 +71,7 @@ mbps(size_t bytes, double seconds)
 int
 main()
 {
+    bench::initTelemetry();
     const std::string root = RAPID_SOURCE_DIR;
     const std::string source =
         readFile(root + "/workloads/exact_dna.rapid");
@@ -133,6 +134,18 @@ main()
     std::printf("%-28s %10zu\n", "reports per stream",
                 batch_events.size());
 
+    // Measurements flow through the registry so the JSON artifact and
+    // any --stats-style consumer see the same numbers.
+    bench::recordMeasurement("input_bytes",
+                             static_cast<double>(bytes));
+    bench::recordMeasurement("reports",
+                             static_cast<double>(batch_events.size()));
+    bench::recordMeasurement("scalar_mbps", scalar_mbps);
+    bench::recordMeasurement("batch_mbps", batch_mbps);
+    bench::recordMeasurement("batch_speedup_vs_scalar", speedup);
+    bench::recordMeasurement("batch_multi_stream_mbps", multi_mbps);
+    bench::recordMeasurement("multi_stream_scaling", scaling);
+
     std::ofstream json("BENCH_throughput.json");
     json << "{\n"
          << "  \"workload\": \"exact_dna\",\n"
@@ -144,7 +157,8 @@ main()
          << "  \"batch_streams\": " << streams << ",\n"
          << "  \"batch_multi_stream_mbps\": " << multi_mbps << ",\n"
          << "  \"multi_stream_scaling\": " << scaling << ",\n"
-         << "  \"hardware_threads\": " << hardware << "\n"
+         << "  \"hardware_threads\": " << hardware << ",\n"
+         << "  \"metrics\": " << bench::metricsJson() << "\n"
          << "}\n";
     if (!json) {
         std::fprintf(stderr,

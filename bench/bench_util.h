@@ -17,9 +17,39 @@
 
 #include "lang/codegen.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "support/strings.h"
 
 namespace rapid::bench {
+
+/**
+ * Turn on metrics collection for this bench run (phase wall times,
+ * compile/P&R gauges) and honor RAPID_STATS / RAPID_TRACE for anyone
+ * who wants the raw telemetry files too.  Hot simulation loops stay
+ * un-instrumented unless a run is explicitly profiled, so enabling
+ * stats does not perturb the timed regions.
+ */
+inline void
+initTelemetry()
+{
+    obs::initFromEnv();
+    obs::setStatsEnabled(true);
+}
+
+/** Record one bench measurement under the `bench.` prefix. */
+inline void
+recordMeasurement(const std::string &name, double value)
+{
+    obs::MetricsRegistry::instance().gauge("bench." + name).set(value);
+}
+
+/** The whole registry as JSON, for a BENCH_*.json "metrics" section. */
+inline std::string
+metricsJson()
+{
+    return obs::MetricsRegistry::instance().toJson();
+}
 
 /** Count non-empty source lines (the paper's LoC metric). */
 inline size_t

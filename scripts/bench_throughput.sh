@@ -3,13 +3,23 @@
 # engine).  Usage: scripts/bench_throughput.sh [scale]
 #   scale   RAPID_BENCH_SCALE value; defaults to the smoke scale used
 #           by the `bench_smoke` ctest label.  Use 1.0 for full size.
+#
+# Exits with the bench binary's status on failure; on success prints
+# the absolute path of the JSON artifact (which carries a "metrics"
+# section fed by the telemetry registry).
 set -e
 cd "$(dirname "$0")/.."
 SCALE="${1:-0.005}"
-cmake -B build -G Ninja
+# Reuse whatever generator the build directory was configured with.
+cmake -B build
 cmake --build build --target bench_throughput
 echo "== bench_throughput (RAPID_BENCH_SCALE=$SCALE)"
 cd build
-RAPID_BENCH_SCALE="$SCALE" ./bench/bench_throughput
+if ! RAPID_BENCH_SCALE="$SCALE" ./bench/bench_throughput; then
+    status=$?
+    echo "bench_throughput failed (exit $status)" >&2
+    exit $status
+fi
 echo "== BENCH_throughput.json"
 cat BENCH_throughput.json
+echo "results: $(pwd)/BENCH_throughput.json"

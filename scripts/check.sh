@@ -2,9 +2,11 @@
 # Full verification sweep: configure, build, test, and run every bench.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+cmake -B build
 cmake --build build
 ctest --test-dir build --output-on-failure
+# Telemetry end-to-end: rapidc --stats/--trace must emit valid JSON.
+ctest --test-dir build --output-on-failure -L obs_smoke
 for b in build/bench/bench_*; do
     echo "== $b"
     "$b"

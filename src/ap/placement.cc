@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/rng.h"
@@ -122,6 +124,7 @@ bfsOrder(const Automaton &automaton,
 PlacementResult
 PlacementEngine::place(const Automaton &automaton) const
 {
+    obs::Span span("place_route");
     Timer timer;
     PlacementResult result;
     result.clockDivisor = clockDivisor(automaton);
@@ -342,6 +345,19 @@ PlacementEngine::place(const Automaton &automaton) const
                   (static_cast<double>(result.totalBlocks) * block_stes)
             : 0.0;
     result.placeRouteSeconds = timer.seconds();
+    if (obs::statsEnabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.gauge("pnr.blocks")
+            .set(static_cast<double>(result.totalBlocks));
+        registry.gauge("pnr.clock_divisor")
+            .set(static_cast<double>(result.clockDivisor));
+        registry.gauge("pnr.ste_utilization")
+            .set(result.steUtilization);
+        registry.gauge("pnr.mean_br_allocation")
+            .set(result.meanBrAllocation);
+        registry.counter("pnr.refine_moves")
+            .add(result.refineMoves);
+    }
     logDebug("ap", strprintf(
         "placed %zu elements into %zu blocks (util %.1f%%, BR %.1f%%, "
         "%zu refine moves) in %.3fs",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
 #include "support/timer.h"
@@ -54,6 +56,7 @@ Tessellator::tilesPerBlock(const Automaton &tile) const
 TiledDesign
 Tessellator::tessellate(const Automaton &tile, size_t instances) const
 {
+    obs::Span span("tessellate");
     Timer timer;
     TiledDesign design;
     design.instances = instances;
@@ -78,6 +81,15 @@ Tessellator::tessellate(const Automaton &tile, size_t instances) const
             std::to_string(_config.blocksPerBoard()));
     }
     design.tessellateSeconds = timer.seconds();
+    if (obs::statsEnabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.gauge("tessellation.tiles_per_block")
+            .set(static_cast<double>(design.tilesPerBlock));
+        registry.gauge("tessellation.total_blocks")
+            .set(static_cast<double>(design.totalBlocks));
+        registry.gauge("tessellation.instances")
+            .set(static_cast<double>(design.instances));
+    }
     return design;
 }
 

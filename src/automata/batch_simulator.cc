@@ -6,7 +6,10 @@
 #include <queue>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "support/error.h"
+#include "support/timer.h"
 
 namespace rapid::automata {
 
@@ -415,28 +418,78 @@ BatchSimulator::runSingleWordSteOnly(StreamState &state,
 }
 
 void
-BatchSimulator::runInto(StreamState &state, std::string_view input) const
+BatchSimulator::profileCycle(const StreamState &state,
+                             uint64_t reported,
+                             obs::ExecutionProfile &profile) const
+{
+    uint64_t active_count = 0;
+    for (size_t w = 0; w < _words; ++w) {
+        uint64_t bits = state.active[w];
+        active_count +=
+            static_cast<uint64_t>(__builtin_popcountll(bits));
+        while (bits) {
+            const uint32_t lane =
+                static_cast<uint32_t>(w * 64) +
+                static_cast<uint32_t>(__builtin_ctzll(bits));
+            ++profile.elementActivations[_steElement[lane]];
+            bits &= bits - 1;
+        }
+    }
+    for (size_t n = 0; n < _comb.size(); ++n) {
+        if (state.combSignal[n]) {
+            ++active_count;
+            ++profile.elementActivations[_comb[n].element];
+        }
+    }
+    profile.recordCycle(active_count, reported);
+}
+
+void
+BatchSimulator::runInto(StreamState &state, std::string_view input,
+                        obs::ExecutionProfile *profile) const
 {
     resetStream(state);
-    if (_words == 1 && _comb.empty() && _byteTables) {
-        runSingleWordSteOnly(state, input);
+    if (!profile) {
+        if (_words == 1 && _comb.empty() && _byteTables) {
+            runSingleWordSteOnly(state, input);
+            return;
+        }
+        for (const char c : input)
+            stepStream(state, static_cast<unsigned char>(c));
         return;
     }
-    for (const char c : input)
+    // Profiled streams always take the instrumented step loop; the
+    // fast path neither materializes state.active nor surfaces
+    // per-cycle counts.
+    profile->ensureElements(_automaton.size());
+    for (const char c : input) {
+        const size_t before = state.reports.size();
         stepStream(state, static_cast<unsigned char>(c));
+        profileCycle(state, state.reports.size() - before, *profile);
+    }
 }
 
 std::vector<ReportEvent>
 BatchSimulator::run(std::string_view input) const
 {
     StreamState state;
-    runInto(state, input);
+    runInto(state, input, nullptr);
+    return std::move(state.reports);
+}
+
+std::vector<ReportEvent>
+BatchSimulator::run(std::string_view input,
+                    obs::ExecutionProfile &profile) const
+{
+    StreamState state;
+    runInto(state, input, &profile);
     return std::move(state.reports);
 }
 
 std::vector<std::vector<ReportEvent>>
 BatchSimulator::runBatch(const std::vector<std::string_view> &inputs,
-                         unsigned threads) const
+                         unsigned threads,
+                         obs::ExecutionProfile *profile) const
 {
     std::vector<std::vector<ReportEvent>> results(inputs.size());
     unsigned workers = threads != 0
@@ -446,32 +499,84 @@ BatchSimulator::runBatch(const std::vector<std::string_view> &inputs,
         workers = 1;
     if (workers > inputs.size())
         workers = static_cast<unsigned>(inputs.size());
+    if (workers == 0)
+        return results;
+
+    // Pool telemetry is collected only when stats are on (checked once
+    // per batch, not per stream) so the default path adds no timing
+    // calls.
+    const bool stats = obs::statsEnabled();
+    Timer wall;
+    std::vector<double> busy(workers, 0.0);
+    std::vector<obs::ExecutionProfile> worker_profiles(
+        profile ? workers : 0);
+
+    auto process = [&](unsigned wid, StreamState &state, size_t i) {
+        if (profile) {
+            obs::ExecutionProfile stream_profile;
+            runInto(state, inputs[i], &stream_profile);
+            worker_profiles[wid].merge(stream_profile);
+        } else {
+            runInto(state, inputs[i], nullptr);
+        }
+        results[i] = std::move(state.reports);
+        state.reports = {};
+    };
 
     if (workers <= 1) {
+        StreamState state;
         for (size_t i = 0; i < inputs.size(); ++i)
-            results[i] = run(inputs[i]);
-        return results;
+            process(0, state, i);
+        if (profile)
+            profile->merge(worker_profiles[0]);
+        busy[0] = wall.seconds();
+    } else {
+        std::atomic<size_t> cursor{0};
+        auto worker = [&](unsigned wid) {
+            StreamState state;
+            while (true) {
+                const size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= inputs.size())
+                    return;
+                if (stats) {
+                    Timer timer;
+                    process(wid, state, i);
+                    busy[wid] += timer.seconds();
+                } else {
+                    process(wid, state, i);
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker, t);
+        for (std::thread &thread : pool)
+            thread.join();
+        if (profile) {
+            for (const obs::ExecutionProfile &wp : worker_profiles)
+                profile->merge(wp);
+        }
     }
 
-    std::atomic<size_t> cursor{0};
-    auto worker = [&]() {
-        StreamState state;
-        while (true) {
-            const size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= inputs.size())
-                return;
-            runInto(state, inputs[i]);
-            results[i] = std::move(state.reports);
-            state.reports = {};
+    if (stats) {
+        auto &registry = obs::MetricsRegistry::instance();
+        const double wall_s = wall.seconds();
+        double busy_total = 0.0;
+        for (unsigned w = 0; w < workers; ++w) {
+            busy_total += busy[w];
+            registry.histogram("batch.worker_busy_ms")
+                .record(busy[w] * 1e3);
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &thread : pool)
-        thread.join();
+        registry.gauge("batch.workers")
+            .set(static_cast<double>(workers));
+        registry.counter("batch.streams").add(inputs.size());
+        if (wall_s > 0) {
+            registry.gauge("batch.utilization")
+                .set(busy_total / (workers * wall_s));
+        }
+    }
     return results;
 }
 

@@ -43,6 +43,7 @@
 
 #include "automata/automaton.h"
 #include "automata/simulator.h"
+#include "obs/profile.h"
 
 namespace rapid::automata {
 
@@ -64,16 +65,35 @@ class BatchSimulator {
     std::vector<ReportEvent> run(std::string_view input) const;
 
     /**
+     * Execute one stream with execution profiling: @p profile gains
+     * the stream's per-cycle activity, element heatmap, and report
+     * series.  Profiled runs take the instrumented step loop (the
+     * register-resident fast path stays reserved for un-profiled
+     * runs), so expect roughly scalar-engine throughput.  Pass a fresh
+     * profile per run and combine with ExecutionProfile::merge().
+     */
+    std::vector<ReportEvent> run(std::string_view input,
+                                 obs::ExecutionProfile &profile) const;
+
+    /**
      * Execute many independent streams, each from power-on state.
      *
      * Result i is exactly run(inputs[i]); ordering is deterministic
      * regardless of scheduling.  @p threads caps the worker count
      * (0 = std::thread::hardware_concurrency(), clamped to the
      * number of streams; 1 executes inline).
+     *
+     * When @p profile is non-null every stream is profiled and the
+     * overlaid union (aligned at per-stream offset 0) is merged into
+     * it.  Independently, when obs::statsEnabled() the pool records
+     * per-worker utilization into the metrics registry
+     * (batch.workers, batch.worker_busy_ms, batch.utilization,
+     * batch.streams).
      */
     std::vector<std::vector<ReportEvent>>
     runBatch(const std::vector<std::string_view> &inputs,
-             unsigned threads = 0) const;
+             unsigned threads = 0,
+             obs::ExecutionProfile *profile = nullptr) const;
 
     /** Number of 64-bit words per STE bitset row (for tests). */
     size_t words() const { return _words; }
@@ -128,9 +148,13 @@ class BatchSimulator {
 
     void resetStream(StreamState &state) const;
     void stepStream(StreamState &state, unsigned char symbol) const;
-    void runInto(StreamState &state, std::string_view input) const;
+    void runInto(StreamState &state, std::string_view input,
+                 obs::ExecutionProfile *profile) const;
     void runSingleWordSteOnly(StreamState &state,
                               std::string_view input) const;
+    /** Fold one just-executed cycle's activity into @p profile. */
+    void profileCycle(const StreamState &state, uint64_t reported,
+                      obs::ExecutionProfile &profile) const;
 
     const Automaton &_automaton;
 

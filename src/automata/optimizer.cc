@@ -4,6 +4,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -195,17 +197,35 @@ mergeCommonPrefixes(Automaton &automaton, const OptimizeOptions &options)
 OptimizeStats
 optimize(Automaton &automaton, const OptimizeOptions &options)
 {
+    obs::Span span("optimize");
     OptimizeStats stats;
     // Prefix merging exposes new parallel-fusion opportunities and vice
     // versa; iterate to a (bounded) fixed point.
-    for (int round = 0; round < 16; ++round) {
-        size_t before = stats.total();
-        stats.mergedPrefixes += mergeCommonPrefixes(automaton, options);
-        stats.fusedParallel += fuseParallelStes(automaton, options);
-        if (stats.total() == before)
-            break;
+    {
+        obs::Span fixpoint("optimize.fixpoint");
+        for (int round = 0; round < 16; ++round) {
+            size_t before = stats.total();
+            stats.mergedPrefixes +=
+                mergeCommonPrefixes(automaton, options);
+            stats.fusedParallel +=
+                fuseParallelStes(automaton, options);
+            if (stats.total() == before)
+                break;
+        }
     }
-    stats.removedDead += automaton.removeDeadElements();
+    {
+        obs::Span dead("optimize.dead");
+        stats.removedDead += automaton.removeDeadElements();
+    }
+    if (obs::statsEnabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.counter("optimize.fused_parallel")
+            .add(stats.fusedParallel);
+        registry.counter("optimize.merged_prefixes")
+            .add(stats.mergedPrefixes);
+        registry.counter("optimize.removed_dead")
+            .add(stats.removedDead);
+    }
     return stats;
 }
 

@@ -94,8 +94,18 @@ Simulator::enableNext(std::vector<uint8_t> &next_enabled,
 }
 
 void
+Simulator::setProfile(obs::ExecutionProfile *profile)
+{
+    _profile = profile;
+    if (_profile)
+        _profile->ensureElements(_automaton.size());
+}
+
+void
 Simulator::step(unsigned char symbol)
 {
+    const size_t reports_before = _reports.size();
+
     // Phase 1: STE matching.  An STE is enabled when it received an
     // activation last cycle, is always-enabled, or is a start-of-data
     // STE at offset 0.
@@ -208,6 +218,15 @@ Simulator::step(unsigned char symbol)
             _reports.push_back(ReportEvent{_cycle, counter});
     }
     _risingCounters.clear();
+
+    // Execution profiling: _signalList holds exactly the elements that
+    // activated this cycle (matching STEs plus asserted comb nodes).
+    if (_profile) {
+        for (ElementId active : _signalList)
+            ++_profile->elementActivations[active];
+        _profile->recordCycle(_signalList.size(),
+                              _reports.size() - reports_before);
+    }
 
     // Phase 4: compute next-cycle enables from activation edges.  The
     // scratch buffers persist across steps (flags are cleared lazily via

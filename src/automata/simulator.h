@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "automata/automaton.h"
+#include "obs/profile.h"
 
 namespace rapid::automata {
 
@@ -83,6 +84,15 @@ class Simulator {
     /** Number of symbols consumed since the last reset(). */
     uint64_t cycle() const { return _cycle; }
 
+    /**
+     * Attach an execution-profile sink (nullptr detaches).  While
+     * attached, every step() adds its active-element count, per-element
+     * activations, and report count to @p profile; the un-profiled
+     * path costs one predictable branch per step.  The sink is
+     * borrowed and must outlive the attachment.
+     */
+    void setProfile(obs::ExecutionProfile *profile);
+
     /** Current value of a counter element (for tests). */
     uint32_t counterValue(ElementId element) const;
 
@@ -128,6 +138,9 @@ class Simulator {
 
     std::vector<ReportEvent> _reports;
     uint64_t _cycle = 0;
+
+    /** Optional profiling sink; nullptr when profiling is off. */
+    obs::ExecutionProfile *_profile = nullptr;
 
     void setSignal(ElementId element);
     void enableNext(std::vector<uint8_t> &next_enabled,

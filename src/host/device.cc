@@ -1,5 +1,8 @@
 #include "host/device.h"
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace rapid::host {
@@ -24,6 +27,10 @@ engineName(Engine engine)
 Device::Device(automata::Automaton design, Engine engine)
     : _design(std::move(design)), _engine(engine)
 {
+    // "configure" covers engine construction: validation plus (for the
+    // batch engine) compiling the design into match/successor tables —
+    // the software analogue of loading a device image.
+    obs::Span span("configure");
     if (_engine == Engine::Batch)
         _batch = std::make_unique<automata::BatchSimulator>(_design);
     else
@@ -51,29 +58,92 @@ Device::enrich(const std::vector<automata::ReportEvent> &events) const
     return out;
 }
 
+bool
+Device::profilingActive() const
+{
+    return _forceProfiling || obs::statsEnabled();
+}
+
+void
+Device::recordRun(const obs::ExecutionProfile &delta)
+{
+    _profile.merge(delta);
+    if (!obs::statsEnabled())
+        return;
+    // Identical metric names for both engines — the parity tests and
+    // the --stats consumers rely on this.
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.counter("sim.cycles").add(delta.cycles);
+    registry.counter("sim.activations").add(delta.activations);
+    registry.counter("sim.reports").add(delta.reports);
+    registry.counter("sim.runs").add(1);
+    // Bucket means approximate the active-per-cycle distribution
+    // without a per-cycle histogram record.
+    auto &active = registry.histogram("sim.active_per_cycle");
+    for (size_t i = 0; i < delta.activeSeries.size(); ++i) {
+        const uint64_t width = delta.cyclesPerBucket;
+        active.record(static_cast<double>(delta.activeSeries[i]) /
+                      static_cast<double>(width));
+    }
+}
+
 std::vector<HostReport>
 Device::run(std::string_view input)
 {
-    if (_engine == Engine::Batch)
-        return enrich(_batch->run(input));
-    return enrich(_simulator->run(input));
+    obs::Span span("stream", "device");
+    if (!profilingActive()) {
+        if (_engine == Engine::Batch)
+            return enrich(_batch->run(input));
+        return enrich(_simulator->run(input));
+    }
+
+    obs::ExecutionProfile delta;
+    std::vector<HostReport> out;
+    if (_engine == Engine::Batch) {
+        out = enrich(_batch->run(input, delta));
+    } else {
+        _simulator->setProfile(&delta);
+        auto events = _simulator->run(input);
+        _simulator->setProfile(nullptr);
+        out = enrich(events);
+    }
+    recordRun(delta);
+    return out;
 }
 
 std::vector<std::vector<HostReport>>
 Device::runBatch(const std::vector<std::string> &inputs,
                  unsigned threads)
 {
+    obs::Span span("stream", "device");
+    const bool profiling = profilingActive();
+    obs::ExecutionProfile delta;
+
     std::vector<std::vector<HostReport>> out;
     out.reserve(inputs.size());
     if (_engine == Engine::Batch) {
         std::vector<std::string_view> views(inputs.begin(),
                                             inputs.end());
-        for (const auto &events : _batch->runBatch(views, threads))
+        auto batches = _batch->runBatch(views, threads,
+                                        profiling ? &delta : nullptr);
+        for (const auto &events : batches)
             out.push_back(enrich(events));
-        return out;
+    } else {
+        // One fresh profile per stream, merged — the same overlay-at-
+        // offset-0 series semantics the batch engine produces.
+        for (const std::string &input : inputs) {
+            obs::ExecutionProfile stream_profile;
+            if (profiling)
+                _simulator->setProfile(&stream_profile);
+            out.push_back(enrich(_simulator->run(input)));
+            if (profiling) {
+                _simulator->setProfile(nullptr);
+                delta.merge(stream_profile);
+            }
+        }
     }
-    for (const std::string &input : inputs)
-        out.push_back(enrich(_simulator->run(input)));
+    if (profiling)
+        recordRun(delta);
     return out;
 }
 

@@ -32,6 +32,7 @@
 #include "automata/automaton.h"
 #include "automata/batch_simulator.h"
 #include "automata/simulator.h"
+#include "obs/profile.h"
 
 namespace rapid::host {
 
@@ -93,14 +94,38 @@ class Device {
     /** The engine selected at load time. */
     Engine engine() const { return _engine; }
 
+    /**
+     * Force execution profiling on (or off) regardless of the global
+     * obs::statsEnabled() switch.  Profiling is otherwise active
+     * exactly when stats are enabled at run()/runBatch() time.
+     */
+    void setProfiling(bool on) { _forceProfiling = on; }
+
+    /**
+     * Accumulated execution profile over every profiled run() /
+     * runBatch() on this device: total cycles, activations, reports,
+     * the per-element activation heatmap, and bucketed activity /
+     * report-rate series.  Empty when no profiled run has happened.
+     * Both engines populate it identically (total activation and
+     * report counts match between Engine::Scalar and Engine::Batch for
+     * the same inputs).
+     */
+    const obs::ExecutionProfile &stats() const { return _profile; }
+
   private:
     std::vector<HostReport>
     enrich(const std::vector<automata::ReportEvent> &events) const;
+
+    bool profilingActive() const;
+    /** Merge a run's profile and mirror totals into the registry. */
+    void recordRun(const obs::ExecutionProfile &delta);
 
     automata::Automaton _design;
     Engine _engine = Engine::Scalar;
     std::unique_ptr<automata::Simulator> _simulator;
     std::unique_ptr<automata::BatchSimulator> _batch;
+    bool _forceProfiling = false;
+    obs::ExecutionProfile _profile;
 };
 
 } // namespace rapid::host

@@ -7,6 +7,8 @@
 #include "automata/positional.h"
 #include "lang/parser.h"
 #include "lang/typecheck.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -1743,8 +1745,36 @@ CompiledProgram
 compileProgram(Program &program, const std::vector<Value> &network_args,
                const CompileOptions &options)
 {
-    typeCheck(program);
-    return CodeGen(program, network_args, options).run();
+    obs::Span compile_span("compile");
+    {
+        obs::Span span("typecheck");
+        typeCheck(program);
+    }
+    CompiledProgram out;
+    {
+        // "lower" covers staged evaluation plus the optimizer and
+        // positional-expansion passes CodeGen::run() invokes; those
+        // show up as child spans.
+        obs::Span span("lower");
+        out = CodeGen(program, network_args, options).run();
+    }
+    if (obs::statsEnabled()) {
+        auto stats = out.automaton.stats();
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.gauge("compile.stes")
+            .set(static_cast<double>(stats.stes));
+        registry.gauge("compile.counters")
+            .set(static_cast<double>(stats.counters));
+        registry.gauge("compile.gates")
+            .set(static_cast<double>(stats.gates));
+        registry.gauge("compile.edges")
+            .set(static_cast<double>(stats.edges));
+        registry.gauge("compile.reporting")
+            .set(static_cast<double>(stats.reporting));
+        registry.gauge("compile.tile_instances")
+            .set(static_cast<double>(out.tileInstances));
+    }
+    return out;
 }
 
 CompiledProgram

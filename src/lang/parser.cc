@@ -1,6 +1,7 @@
 #include "lang/parser.h"
 
 #include "lang/lexer.h"
+#include "obs/trace.h"
 
 namespace rapid::lang {
 
@@ -625,6 +626,7 @@ class Parser {
 Program
 parseProgram(const std::string &source)
 {
+    obs::Span span("parse");
     return Parser(tokenize(source)).parseProgram();
 }
 

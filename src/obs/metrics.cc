@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace rapid::obs {
+
+namespace {
+
+uint64_t
+doubleBits(double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+/** JSON-safe number rendering (no NaN/Inf literals). */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    // %.17g round-trips doubles but prints 0.1 noisily; %.12g is
+    // plenty for timings and rates while staying readable.
+    return strprintf("%.12g", value);
+}
+
+} // namespace
+
+void
+Gauge::set(double value)
+{
+    _bits.store(doubleBits(value), std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const
+{
+    return bitsDouble(_bits.load(std::memory_order_relaxed));
+}
+
+void
+Histogram::record(double value)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _samples.push_back(value);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    std::vector<double> samples;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        samples = _samples;
+    }
+    HistogramSnapshot snap;
+    snap.count = samples.size();
+    if (samples.empty())
+        return snap;
+    std::sort(samples.begin(), samples.end());
+    for (double sample : samples)
+        snap.sum += sample;
+    snap.min = samples.front();
+    snap.max = samples.back();
+    snap.mean = snap.sum / static_cast<double>(samples.size());
+    auto rank = [&](double q) {
+        const double pos = q * static_cast<double>(samples.size() - 1);
+        return samples[static_cast<size_t>(std::llround(pos))];
+    };
+    snap.p50 = rank(0.50);
+    snap.p95 = rank(0.95);
+    return snap;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto &slot = _gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _counters.empty() && _gauges.empty() &&
+           _histograms.empty();
+}
+
+std::string
+MetricsRegistry::toJson(
+    const std::vector<std::pair<std::string, std::string>> &extra)
+    const
+{
+    // Copy the maps' contents under the lock, render outside it
+    // (snapshot() takes per-histogram locks of its own).
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        for (const auto &[name, counter] : _counters)
+            counters.emplace_back(name, counter->value());
+        for (const auto &[name, gauge] : _gauges)
+            gauges.emplace_back(name, gauge->value());
+        for (const auto &[name, histogram] : _histograms)
+            histograms.emplace_back(name, histogram->snapshot());
+    }
+
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strprintf("    \"%s\": %llu", name.c_str(),
+                         static_cast<unsigned long long>(value));
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strprintf("    \"%s\": %s", name.c_str(),
+                         jsonNumber(value).c_str());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, snap] : histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strprintf(
+            "    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+            "\"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s}",
+            name.c_str(),
+            static_cast<unsigned long long>(snap.count),
+            jsonNumber(snap.sum).c_str(), jsonNumber(snap.min).c_str(),
+            jsonNumber(snap.max).c_str(),
+            jsonNumber(snap.mean).c_str(),
+            jsonNumber(snap.p50).c_str(),
+            jsonNumber(snap.p95).c_str());
+    }
+    out += first ? "}" : "\n  }";
+    for (const auto &[key, json] : extra) {
+        out += strprintf(",\n  \"%s\": ", key.c_str());
+        out += json;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _counters.clear();
+    _gauges.clear();
+    _histograms.clear();
+}
+
+} // namespace rapid::obs

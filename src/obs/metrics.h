@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and histograms.
+ *
+ * Every layer of the pipeline (compiler, optimizer, P&R, simulators,
+ * host driver, benches) records its measurements here under dotted
+ * lowercase names — `sim.cycles`, `phase.parse_ms`, `pnr.blocks` — so
+ * one `--stats=file.json` dump shows the whole run.  See
+ * docs/observability.md for the naming conventions.
+ *
+ * Thread-safety: counters and gauges are single atomics; histograms
+ * take a short internal lock per record; registry lookups lock the name
+ * map but return stable references, so hot paths should look a metric
+ * up once and keep the reference.
+ *
+ * The registry itself is always available and costs nothing unless
+ * something records into it; the pipeline instrumentation additionally
+ * gates its recording on obs::statsEnabled() (see obs/obs.h) so the
+ * default path stays free of even the bookkeeping work.
+ */
+#ifndef RAPID_OBS_METRICS_H
+#define RAPID_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rapid::obs {
+
+/** A monotonically increasing event count. */
+class Counter {
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> _value{0};
+};
+
+/** A last-write-wins floating-point measurement. */
+class Gauge {
+  public:
+    void set(double value);
+    double value() const;
+
+  private:
+    /** Double bits stored in an atomic word (atomic<double> CAS loops
+     *  are not needed for plain set/get). */
+    std::atomic<uint64_t> _bits{0};
+};
+
+/** Summary of a histogram's samples at one point in time. */
+struct HistogramSnapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+};
+
+/**
+ * A sample distribution with exact quantiles.
+ *
+ * All samples are retained (recorders are bounded: per-phase timings
+ * and per-bucket simulator series, not per-cycle events), so quantiles
+ * are exact: p(q) is the sorted sample at index
+ * round(q * (count - 1)) — the nearest-rank rule the tests check
+ * against a sorted reference.
+ */
+class Histogram {
+  public:
+    void record(double value);
+    HistogramSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::vector<double> _samples;
+};
+
+/**
+ * The process-wide name → metric map.
+ *
+ * Returned references stay valid for the registry's lifetime (metrics
+ * are heap-allocated and never removed; clear() is test-only and must
+ * not race live references).
+ */
+class MetricsRegistry {
+  public:
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Does any metric exist yet? */
+    bool empty() const;
+
+    /**
+     * The whole registry as one JSON object:
+     * {"counters":{...},"gauges":{...},"histograms":{name:
+     * {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,
+     * "p95":..}}}.  @p extra appends further (key, pre-rendered JSON)
+     * sections, e.g. a simulator execution profile.
+     */
+    std::string
+    toJson(const std::vector<std::pair<std::string, std::string>>
+               &extra = {}) const;
+
+    /** Test-only: drop every metric. */
+    void clear();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+};
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_METRICS_H

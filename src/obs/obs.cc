@@ -1,0 +1,126 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace rapid::obs {
+
+namespace detail {
+std::atomic<bool> g_stats{false};
+std::atomic<bool> g_trace{false};
+} // namespace detail
+
+namespace {
+
+std::string &
+statsPathStorage()
+{
+    static std::string path;
+    return path;
+}
+
+std::string &
+tracePathStorage()
+{
+    static std::string path;
+    return path;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content,
+          const char *what)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    if (!out) {
+        logWarn("obs", std::string("cannot write ") + what + " to " +
+                           path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+setStatsEnabled(bool enabled)
+{
+    detail::g_stats.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool enabled)
+{
+    detail::g_trace.store(enabled, std::memory_order_relaxed);
+}
+
+void
+initFromEnv()
+{
+    if (const char *path = std::getenv("RAPID_STATS")) {
+        if (*path) {
+            setStatsEnabled(true);
+            setStatsPath(path);
+        }
+    }
+    if (const char *path = std::getenv("RAPID_TRACE")) {
+        if (*path) {
+            setTracingEnabled(true);
+            setTracePath(path);
+        }
+    }
+}
+
+void
+setStatsPath(const std::string &path)
+{
+    statsPathStorage() = path;
+}
+
+void
+setTracePath(const std::string &path)
+{
+    tracePathStorage() = path;
+}
+
+const std::string &
+statsPath()
+{
+    return statsPathStorage();
+}
+
+const std::string &
+tracePath()
+{
+    return tracePathStorage();
+}
+
+bool
+writeStats(const std::string &path)
+{
+    return writeFile(path, MetricsRegistry::instance().toJson(),
+                     "stats");
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    return writeFile(path, Tracer::instance().toChromeJson(), "trace");
+}
+
+bool
+flush()
+{
+    bool ok = true;
+    if (!statsPath().empty())
+        ok = writeStats(statsPath()) && ok;
+    if (!tracePath().empty())
+        ok = writeTrace(tracePath()) && ok;
+    return ok;
+}
+
+} // namespace rapid::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Telemetry master switches and file export.
+ *
+ * Two independent facilities share the pipeline's Span instrumentation
+ * (see obs/trace.h and obs/metrics.h):
+ *
+ *  - *stats*: the metrics registry — per-phase wall times, simulator
+ *    activation/report counters, batch-engine thread utilization;
+ *  - *tracing*: the Chrome trace_event span buffer.
+ *
+ * Both are OFF by default; every instrumentation site guards on the
+ * relevant flag with one relaxed atomic load, so library consumers and
+ * the hot simulation loops pay nothing.  The CLI tools enable them via
+ * `--stats=<file>` / `--trace=<file>`; `initFromEnv()` provides the
+ * `RAPID_STATS=<file>` / `RAPID_TRACE=<file>` fallback for benches,
+ * tests, and embedding applications.
+ */
+#ifndef RAPID_OBS_OBS_H
+#define RAPID_OBS_OBS_H
+
+#include <atomic>
+#include <string>
+
+namespace rapid::obs {
+
+namespace detail {
+extern std::atomic<bool> g_stats;
+extern std::atomic<bool> g_trace;
+} // namespace detail
+
+/** Is metrics collection on?  One relaxed load; safe in hot loops. */
+inline bool
+statsEnabled()
+{
+    return detail::g_stats.load(std::memory_order_relaxed);
+}
+
+/** Is span tracing on?  One relaxed load; safe in hot loops. */
+inline bool
+tracingEnabled()
+{
+    return detail::g_trace.load(std::memory_order_relaxed);
+}
+
+/** Is either facility on? */
+inline bool
+telemetryEnabled()
+{
+    return statsEnabled() || tracingEnabled();
+}
+
+void setStatsEnabled(bool enabled);
+void setTracingEnabled(bool enabled);
+
+/**
+ * Enable facilities from the environment: RAPID_STATS=<path> turns on
+ * stats with that output path, RAPID_TRACE=<path> tracing likewise.
+ * Explicit setter calls (e.g. from CLI flags) win if made after.
+ */
+void initFromEnv();
+
+/** Output paths remembered for flush(); empty = do not write. */
+void setStatsPath(const std::string &path);
+void setTracePath(const std::string &path);
+const std::string &statsPath();
+const std::string &tracePath();
+
+/**
+ * Write the metrics registry as JSON to @p path.
+ * @return false (with a log warning) when the file cannot be written.
+ */
+bool writeStats(const std::string &path);
+
+/** Write the span buffer as Chrome trace_event JSON to @p path. */
+bool writeTrace(const std::string &path);
+
+/**
+ * Write whichever output paths are set (CLI flags or environment).
+ * Called by the tools once per process, after the work is done.
+ * @return false when any requested write failed.
+ */
+bool flush();
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_OBS_H

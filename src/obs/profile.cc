@@ -1,0 +1,139 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace rapid::obs {
+
+void
+ExecutionProfile::recordCycle(uint64_t active, uint64_t reported)
+{
+    size_t bucket = static_cast<size_t>(cycles / cyclesPerBucket);
+    while (bucket >= kMaxBuckets) {
+        compact();
+        bucket = static_cast<size_t>(cycles / cyclesPerBucket);
+    }
+    if (activeSeries.size() <= bucket) {
+        activeSeries.resize(bucket + 1, 0);
+        reportSeries.resize(bucket + 1, 0);
+    }
+    activeSeries[bucket] += active;
+    reportSeries[bucket] += reported;
+    ++cycles;
+    activations += active;
+    reports += reported;
+}
+
+void
+ExecutionProfile::compact()
+{
+    auto halve = [](std::vector<uint64_t> &series) {
+        const size_t half = (series.size() + 1) / 2;
+        for (size_t i = 0; i < half; ++i) {
+            uint64_t sum = series[2 * i];
+            if (2 * i + 1 < series.size())
+                sum += series[2 * i + 1];
+            series[i] = sum;
+        }
+        series.resize(half);
+    };
+    halve(activeSeries);
+    halve(reportSeries);
+    cyclesPerBucket *= 2;
+}
+
+void
+ExecutionProfile::coarsenTo(uint64_t bucket)
+{
+    while (cyclesPerBucket < bucket)
+        compact();
+}
+
+void
+ExecutionProfile::merge(const ExecutionProfile &other)
+{
+    cycles += other.cycles;
+    activations += other.activations;
+    reports += other.reports;
+
+    ensureElements(other.elementActivations.size());
+    for (size_t i = 0; i < other.elementActivations.size(); ++i)
+        elementActivations[i] += other.elementActivations[i];
+
+    // Series overlay aligned at per-stream offset 0: bucket widths are
+    // always powers of two, so coarsen both to the wider one and add.
+    ExecutionProfile aligned;
+    const ExecutionProfile *src = &other;
+    if (other.cyclesPerBucket < cyclesPerBucket) {
+        aligned.activeSeries = other.activeSeries;
+        aligned.reportSeries = other.reportSeries;
+        aligned.cyclesPerBucket = other.cyclesPerBucket;
+        aligned.coarsenTo(cyclesPerBucket);
+        src = &aligned;
+    } else {
+        coarsenTo(other.cyclesPerBucket);
+    }
+    if (activeSeries.size() < src->activeSeries.size()) {
+        activeSeries.resize(src->activeSeries.size(), 0);
+        reportSeries.resize(src->reportSeries.size(), 0);
+    }
+    for (size_t i = 0; i < src->activeSeries.size(); ++i)
+        activeSeries[i] += src->activeSeries[i];
+    for (size_t i = 0; i < src->reportSeries.size(); ++i)
+        reportSeries[i] += src->reportSeries[i];
+}
+
+std::string
+ExecutionProfile::toJson(size_t hottest) const
+{
+    std::string out = strprintf(
+        "{\"cycles\": %llu, \"activations\": %llu, \"reports\": %llu, "
+        "\"mean_active_per_cycle\": %.6g, \"cycles_per_bucket\": %llu",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(activations),
+        static_cast<unsigned long long>(reports),
+        cycles ? static_cast<double>(activations) /
+                     static_cast<double>(cycles)
+               : 0.0,
+        static_cast<unsigned long long>(cyclesPerBucket));
+
+    // Heatmap summary: the N most-activated elements.
+    std::vector<std::pair<uint64_t, size_t>> ranked;
+    for (size_t i = 0; i < elementActivations.size(); ++i) {
+        if (elementActivations[i])
+            ranked.emplace_back(elementActivations[i], i);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    if (ranked.size() > hottest)
+        ranked.resize(hottest);
+    out += ", \"hottest\": [";
+    for (size_t i = 0; i < ranked.size(); ++i) {
+        out += strprintf(
+            "%s{\"element\": %zu, \"activations\": %llu}",
+            i ? ", " : "", ranked[i].second,
+            static_cast<unsigned long long>(ranked[i].first));
+    }
+    out += "]";
+
+    auto appendSeries = [&](const char *key,
+                            const std::vector<uint64_t> &series) {
+        out += strprintf(", \"%s\": [", key);
+        for (size_t i = 0; i < series.size(); ++i) {
+            out += strprintf(
+                "%s%llu", i ? ", " : "",
+                static_cast<unsigned long long>(series[i]));
+        }
+        out += "]";
+    };
+    appendSeries("active_series", activeSeries);
+    appendSeries("report_series", reportSeries);
+    out += "}";
+    return out;
+}
+
+} // namespace rapid::obs

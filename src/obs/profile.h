@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Execution profiles for the simulation engines.
+ *
+ * An ExecutionProfile accumulates what a run of a design actually did:
+ *
+ *  - per-cycle active-element counts, kept as a bounded bucketed
+ *    series (activeSeries) so arbitrarily long streams profile in
+ *    constant memory;
+ *  - a per-element activation heatmap (elementActivations, indexed by
+ *    automaton ElementId) answering "where do the STE cycles go";
+ *  - a report-rate series (reportSeries) bucketed identically.
+ *
+ * Both engines fill the same structure — the scalar Simulator via an
+ * optional profile sink, the BatchSimulator via profiled run overloads
+ * — and host::Device merges per-run profiles and exposes them through
+ * Device::stats().  Profiling is opt-in per run; un-profiled paths are
+ * untouched (the batch engine keeps its register-resident fast loop).
+ *
+ * The struct is a plain value: merging two profiles (multi-stream
+ * batches, repeated runs) is merge(), and toJson() renders a compact
+ * summary with the hottest elements for --stats output.
+ */
+#ifndef RAPID_OBS_PROFILE_H
+#define RAPID_OBS_PROFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapid::obs {
+
+struct ExecutionProfile {
+    /** Symbols consumed (cycles executed). */
+    uint64_t cycles = 0;
+    /** Total element activations (active STEs + asserted comb nodes). */
+    uint64_t activations = 0;
+    /** Total report events. */
+    uint64_t reports = 0;
+
+    /** Activation count per element, indexed by ElementId. */
+    std::vector<uint64_t> elementActivations;
+
+    /**
+     * Activations / reports per bucket of cyclesPerBucket cycles.
+     * Bucket width starts at 1 cycle and doubles whenever the series
+     * would exceed kMaxBuckets, so memory stays bounded.
+     */
+    std::vector<uint64_t> activeSeries;
+    std::vector<uint64_t> reportSeries;
+    uint64_t cyclesPerBucket = 1;
+
+    static constexpr size_t kMaxBuckets = 1024;
+
+    /** Grow the heatmap to cover @p elements element ids. */
+    void
+    ensureElements(size_t elements)
+    {
+        if (elementActivations.size() < elements)
+            elementActivations.resize(elements, 0);
+    }
+
+    /** Record one executed cycle's totals into the series. */
+    void recordCycle(uint64_t active, uint64_t reported);
+
+    /** Accumulate @p other (e.g. another stream of a batch). */
+    void merge(const ExecutionProfile &other);
+
+    /**
+     * Compact JSON summary: scalar totals, mean/peak activity, and the
+     * @p hottest most-activated element ids with their counts.
+     */
+    std::string toJson(size_t hottest = 8) const;
+
+  private:
+    /** Double the bucket width, merging adjacent buckets. */
+    void compact();
+    /** Coarsen the series to @p bucket cycles per bucket. */
+    void coarsenTo(uint64_t bucket);
+};
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_PROFILE_H

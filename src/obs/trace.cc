@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "support/strings.h"
+#include "support/thread.h"
+
+namespace rapid::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+traceEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+/** Per-thread span nesting depth. */
+thread_local uint32_t t_depth = 0;
+
+} // namespace
+
+uint64_t
+traceNowUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - traceEpoch())
+            .count());
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    if (_events.size() >= kMaxEvents) {
+        ++_dropped;
+        return;
+    }
+    _events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _events;
+}
+
+size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _events.size();
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _dropped;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    std::vector<TraceEvent> events = this->events();
+    std::string out = "{\n\"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strprintf(
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u}",
+            event.name.c_str(), event.category.c_str(),
+            static_cast<unsigned long long>(event.startUs),
+            static_cast<unsigned long long>(event.durationUs),
+            event.tid);
+    }
+    out += first ? "],\n" : "\n],\n";
+    out += "\"displayTimeUnit\": \"ms\"\n}\n";
+    return out;
+}
+
+std::string
+Tracer::phaseTree() const
+{
+    std::vector<TraceEvent> events = this->events();
+    // Spans record at scope exit (children before parents); rebuild
+    // document order: by thread, then start time, then shallow first.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         if (a.startUs != b.startUs)
+                             return a.startUs < b.startUs;
+                         return a.depth < b.depth;
+                     });
+    std::string out;
+    uint32_t tid = 0;
+    bool first_thread = true;
+    for (const TraceEvent &event : events) {
+        if (first_thread || event.tid != tid) {
+            tid = event.tid;
+            first_thread = false;
+            out += strprintf("thread %u\n", tid);
+        }
+        std::string label(2 * (event.depth + 1), ' ');
+        label += event.name;
+        if (label.size() < 34)
+            label.resize(34, ' ');
+        out += strprintf(
+            "%s %10.3f ms\n", label.c_str(),
+            static_cast<double>(event.durationUs) / 1e3);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _events.clear();
+    _dropped = 0;
+}
+
+Span::Span(const char *name, const char *category)
+    : _name(name), _category(category)
+{
+    if (!telemetryEnabled())
+        return;
+    _active = true;
+    _depth = t_depth++;
+    _startUs = traceNowUs();
+}
+
+Span::~Span()
+{
+    if (!_active)
+        return;
+    const uint64_t duration = traceNowUs() - _startUs;
+    --t_depth;
+    if (tracingEnabled()) {
+        TraceEvent event;
+        event.name = _name;
+        event.category = _category;
+        event.startUs = _startUs;
+        event.durationUs = duration;
+        event.tid = currentThreadId();
+        event.depth = _depth;
+        Tracer::instance().record(std::move(event));
+    }
+    if (statsEnabled()) {
+        MetricsRegistry::instance()
+            .histogram(std::string("phase.") + _name + "_ms")
+            .record(static_cast<double>(duration) / 1e3);
+    }
+}
+
+} // namespace rapid::obs

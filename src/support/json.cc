@@ -1,0 +1,334 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::json {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    Value
+    parseDocument()
+    {
+        skipWhitespace();
+        Value value = parseValue(0);
+        skipWhitespace();
+        if (_pos != _text.size())
+            fail("trailing content after JSON value");
+        return value;
+    }
+
+  private:
+    /** Guards against stack overflow on deeply nested input. */
+    static constexpr int kMaxDepth = 256;
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw Error(strprintf("json: %s at offset %zu",
+                              message.c_str(), _pos));
+    }
+
+    bool
+    atEnd() const
+    {
+        return _pos >= _text.size();
+    }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    char
+    take()
+    {
+        char c = peek();
+        ++_pos;
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            char c = _text[_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++_pos;
+            else
+                break;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    void
+    expectWord(std::string_view word)
+    {
+        for (char c : word) {
+            if (atEnd() || take() != c)
+                fail("invalid literal");
+        }
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            return parseString();
+          case 't': {
+            expectWord("true");
+            Value value;
+            value.kind = Value::Kind::Bool;
+            value.boolean = true;
+            return value;
+          }
+          case 'f': {
+            expectWord("false");
+            Value value;
+            value.kind = Value::Kind::Bool;
+            value.boolean = false;
+            return value;
+          }
+          case 'n': {
+            expectWord("null");
+            return Value{};
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        expect('{');
+        Value value;
+        value.kind = Value::Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++_pos;
+            return value;
+        }
+        while (true) {
+            skipWhitespace();
+            Value key = parseString();
+            skipWhitespace();
+            expect(':');
+            Value member = parseValue(depth + 1);
+            value.members.emplace_back(std::move(key.string),
+                                       std::move(member));
+            skipWhitespace();
+            char c = take();
+            if (c == '}')
+                return value;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        expect('[');
+        Value value;
+        value.kind = Value::Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++_pos;
+            return value;
+        }
+        while (true) {
+            value.array.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            char c = take();
+            if (c == ']')
+                return value;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    Value
+    parseString()
+    {
+        expect('"');
+        Value value;
+        value.kind = Value::Kind::String;
+        while (true) {
+            char c = take();
+            if (c == '"')
+                return value;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                value.string.push_back(c);
+                continue;
+            }
+            char escape = take();
+            switch (escape) {
+              case '"':
+              case '\\':
+              case '/':
+                value.string.push_back(escape);
+                break;
+              case 'b':
+                value.string.push_back('\b');
+                break;
+              case 'f':
+                value.string.push_back('\f');
+                break;
+              case 'n':
+                value.string.push_back('\n');
+                break;
+              case 'r':
+                value.string.push_back('\r');
+                break;
+              case 't':
+                value.string.push_back('\t');
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = take();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are kept as two separately-encoded halves, which is
+                // lossy but enough for validation purposes).
+                if (code < 0x80) {
+                    value.string.push_back(
+                        static_cast<char>(code));
+                } else if (code < 0x800) {
+                    value.string.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    value.string.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    value.string.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    value.string.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    value.string.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const size_t start = _pos;
+        if (!atEnd() && peek() == '-')
+            ++_pos;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        if (peek() == '0') {
+            ++_pos;
+        } else {
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                ++_pos;
+        }
+        if (!atEnd() && _text[_pos] == '.') {
+            ++_pos;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                fail("invalid fraction");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                ++_pos;
+        }
+        if (!atEnd() && (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (!atEnd() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                fail("invalid exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                ++_pos;
+        }
+        Value value;
+        value.kind = Value::Kind::Number;
+        value.number = std::strtod(
+            std::string(_text.substr(start, _pos - start)).c_str(),
+            nullptr);
+        return value;
+    }
+
+    std::string_view _text;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+const Value *
+Value::find(std::string_view key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+valid(std::string_view text, std::string *error)
+{
+    try {
+        parse(text);
+        return true;
+    } catch (const Error &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+} // namespace rapid::json

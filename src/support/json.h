@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal JSON parser / validator.
+ *
+ * The telemetry subsystem emits JSON (metrics dumps, Chrome
+ * trace_event files) and the tests and the `obs_smoke` ctest label
+ * need to check that output is well-formed and contains the expected
+ * keys.  This is a small strict recursive-descent parser for exactly
+ * that: full RFC 8259 syntax (objects, arrays, strings with escapes,
+ * numbers with exponents, true/false/null), no extensions, whole-input
+ * consumption.  It keeps a simple DOM; it is not a performance tool.
+ */
+#ifndef RAPID_SUPPORT_JSON_H
+#define RAPID_SUPPORT_JSON_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rapid::json {
+
+/** One parsed JSON value (a small variant-style DOM). */
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    /** Unescaped string contents (Kind::String). */
+    std::string string;
+    std::vector<Value> array;
+    /** Insertion-ordered members (duplicate keys are preserved). */
+    std::vector<std::pair<std::string, Value>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p key, or nullptr (objects only). */
+    const Value *find(std::string_view key) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @throws rapid::Error with position info on malformed input.
+ */
+Value parse(std::string_view text);
+
+/**
+ * Validate without building a DOM result.
+ * @return true when @p text is well-formed JSON; otherwise false with
+ * the parse error message in @p error (when non-null).
+ */
+bool valid(std::string_view text, std::string *error = nullptr);
+
+} // namespace rapid::json
+
+#endif // RAPID_SUPPORT_JSON_H

@@ -4,15 +4,25 @@
  *
  * Logging is off by default (level Warn) so library consumers and tests
  * are quiet; the CLI tools and benches raise the level via RAPID_LOG or
- * Logger::setLevel().
+ * Logger::setLevel().  RAPID_LOG accepts debug|info|warn|error|none
+ * (case-insensitive; "warning" and "off" are aliases) and warns on
+ * stderr about values it does not recognise rather than silently
+ * ignoring them.  RAPID_LOG_TS=1 prefixes every line with an ISO-8601
+ * UTC timestamp (millisecond precision) and the dense thread id from
+ * support/thread.h — useful when correlating logs with trace spans.
  */
 #ifndef RAPID_SUPPORT_LOGGING_H
 #define RAPID_SUPPORT_LOGGING_H
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
+#include <ctime>
 #include <mutex>
 #include <string>
+
+#include "support/thread.h"
 
 namespace rapid {
 
@@ -37,14 +47,21 @@ class Logger {
     void setLevel(LogLevel level) { _level = level; }
     LogLevel level() const { return _level; }
 
+    void setTimestamps(bool on) { _timestamps = on; }
+    bool timestamps() const { return _timestamps; }
+
     void
     log(LogLevel level, const std::string &module, const std::string &msg)
     {
         if (static_cast<int>(level) < static_cast<int>(_level))
             return;
         static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+        char prefix[48];
+        prefix[0] = '\0';
+        if (_timestamps)
+            formatPrefix(prefix, sizeof(prefix));
         std::lock_guard<std::mutex> guard(_mutex);
-        std::fprintf(stderr, "[%s] %s: %s\n",
+        std::fprintf(stderr, "%s[%s] %s: %s\n", prefix,
                      names[static_cast<int>(level)], module.c_str(),
                      msg.c_str());
     }
@@ -53,17 +70,56 @@ class Logger {
     Logger()
     {
         if (const char *env = std::getenv("RAPID_LOG")) {
-            std::string value(env);
+            std::string value;
+            for (const char *p = env; *p; ++p) {
+                value.push_back(static_cast<char>(std::tolower(
+                    static_cast<unsigned char>(*p))));
+            }
             if (value == "debug")
                 _level = LogLevel::Debug;
             else if (value == "info")
                 _level = LogLevel::Info;
-            else if (value == "none")
+            else if (value == "warn" || value == "warning")
+                _level = LogLevel::Warn;
+            else if (value == "error")
+                _level = LogLevel::Error;
+            else if (value == "none" || value == "off")
                 _level = LogLevel::None;
+            else if (!value.empty())
+                std::fprintf(stderr,
+                             "[WARN] log: unknown RAPID_LOG value "
+                             "'%s' (expected debug|info|warn|error|"
+                             "none); keeping level warn\n",
+                             env);
+        }
+        if (const char *env = std::getenv("RAPID_LOG_TS")) {
+            _timestamps = env[0] != '\0' &&
+                          !(env[0] == '0' && env[1] == '\0');
         }
     }
 
+    /** "2026-08-06T12:34:56.789Z [tid 3] " into @p buffer. */
+    static void
+    formatPrefix(char *buffer, size_t size)
+    {
+        using namespace std::chrono;
+        const auto now = system_clock::now();
+        const std::time_t seconds = system_clock::to_time_t(now);
+        const auto millis =
+            duration_cast<milliseconds>(now.time_since_epoch())
+                .count() %
+            1000;
+        std::tm utc{};
+        gmtime_r(&seconds, &utc);
+        char stamp[32];
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S",
+                      &utc);
+        std::snprintf(buffer, size, "%s.%03dZ [tid %u] ", stamp,
+                      static_cast<int>(millis), currentThreadId());
+    }
+
     LogLevel _level = LogLevel::Warn;
+    bool _timestamps = false;
     std::mutex _mutex;
 };
 

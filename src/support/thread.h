@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small, human-readable thread identifiers.
+ *
+ * std::thread::id prints as an opaque (often very large) number;
+ * logging and tracing want stable small integers instead.  Threads are
+ * numbered 1, 2, 3, ... in first-use order; the id is cached in a
+ * thread-local so repeated lookups are one load.
+ */
+#ifndef RAPID_SUPPORT_THREAD_H
+#define RAPID_SUPPORT_THREAD_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace rapid {
+
+/** Dense 1-based id of the calling thread (stable for its lifetime). */
+inline uint32_t
+currentThreadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_THREAD_H

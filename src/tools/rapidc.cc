@@ -20,8 +20,18 @@
  *   rapidc witness prog.rapid [--args args.txt]
  *                                       # covering test inputs (§8)
  *
- * `--positional` selects the §5.3 positional-encoding counter lowering.
- * A .anml input file is loaded as a design directly (VASim-style).
+ * Flags and the program path may appear in any order after the
+ * command.  `--positional` selects the §5.3 positional-encoding
+ * counter lowering.  A .anml input file is loaded as a design directly
+ * (VASim-style).
+ *
+ * Telemetry (docs/observability.md): `--stats=file.json` writes the
+ * metrics registry (per-phase wall times, simulator activation and
+ * report counters, and — for `run` — the execution profile);
+ * `--trace[=file.json]` records pipeline spans, writes Chrome
+ * trace_event JSON when a file is given, and prints the phase-time
+ * tree to stderr.  RAPID_STATS=<file> / RAPID_TRACE=<file> in the
+ * environment are the flag-less fallback.
  */
 #include <cstdio>
 #include <cstring>
@@ -40,6 +50,9 @@
 #include "lang/codegen.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -64,13 +77,21 @@ struct Options {
     std::string argsPath;
     std::string output;
     std::string inputPath;
+    /** Telemetry output paths (--stats= / --trace=). */
+    std::string statsOut;
+    std::string traceOut;
     bool optimize = true;
     bool positional = false;
     bool tile = false;
     bool stats = false;
+    /** Bare --trace: record spans, print the tree, write no file. */
+    bool trace = false;
     bool frame = false;
     host::Engine engine = host::Engine::Scalar;
 };
+
+/** Device execution profile of the `run` command (JSON), if any. */
+std::string g_profileJson;
 
 [[noreturn]] void
 usage()
@@ -82,7 +103,8 @@ usage()
         "              [--args file] [-o out.anml] [--no-optimize]\n"
         "              [--positional] [--tile] [--stats]\n"
         "              [--input file] [--frame] "
-        "[--engine=scalar|batch]\n");
+        "[--engine=scalar|batch]\n"
+        "              [--stats=file.json] [--trace[=file.json]]\n");
     std::exit(2);
 }
 
@@ -90,11 +112,10 @@ Options
 parseOptions(int argc, char **argv)
 {
     Options options;
-    if (argc < 3)
+    if (argc < 2)
         usage();
     options.command = argv[1];
-    options.program = argv[2];
-    for (int i = 3; i < argc; ++i) {
+    for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
@@ -115,6 +136,14 @@ parseOptions(int argc, char **argv)
             options.tile = true;
         else if (arg == "--stats")
             options.stats = true;
+        else if (startsWith(arg, "--stats="))
+            options.statsOut =
+                arg.substr(std::string("--stats=").size());
+        else if (arg == "--trace")
+            options.trace = true;
+        else if (startsWith(arg, "--trace="))
+            options.traceOut =
+                arg.substr(std::string("--trace=").size());
         else if (arg == "--frame")
             options.frame = true;
         else if (arg == "--engine")
@@ -122,10 +151,73 @@ parseOptions(int argc, char **argv)
         else if (startsWith(arg, "--engine="))
             options.engine = host::parseEngine(
                 arg.substr(std::string("--engine=").size()));
+        else if (!startsWith(arg, "-") && options.program.empty())
+            options.program = arg;
         else
             usage();
     }
+    if (options.program.empty())
+        usage();
     return options;
+}
+
+/**
+ * Enable telemetry from --stats=/--trace= flags, falling back to the
+ * RAPID_STATS / RAPID_TRACE environment variables.
+ */
+void
+setupTelemetry(const Options &options)
+{
+    obs::initFromEnv();
+    if (!options.statsOut.empty()) {
+        obs::setStatsEnabled(true);
+        obs::setStatsPath(options.statsOut);
+    }
+    if (options.trace || !options.traceOut.empty()) {
+        obs::setTracingEnabled(true);
+        if (!options.traceOut.empty())
+            obs::setTracePath(options.traceOut);
+    }
+}
+
+/**
+ * Write whatever telemetry was collected.  Runs after every command —
+ * including failed ones, so a compile error still leaves a usable
+ * trace of the phases that did run.
+ */
+void
+flushTelemetry()
+{
+    const std::string &stats_path = obs::statsPath();
+    if (!stats_path.empty()) {
+        std::vector<std::pair<std::string, std::string>> extra;
+        if (!g_profileJson.empty())
+            extra.emplace_back("profile", g_profileJson);
+        std::ofstream out(stats_path, std::ios::binary);
+        out << obs::MetricsRegistry::instance().toJson(extra);
+        if (out)
+            std::fprintf(stderr, "wrote stats to %s\n",
+                         stats_path.c_str());
+        else
+            std::fprintf(stderr, "rapidc: cannot write %s\n",
+                         stats_path.c_str());
+    }
+    const std::string &trace_path = obs::tracePath();
+    if (!trace_path.empty()) {
+        if (obs::writeTrace(trace_path))
+            std::fprintf(stderr,
+                         "wrote trace to %s (load in chrome://tracing "
+                         "or https://ui.perfetto.dev)\n",
+                         trace_path.c_str());
+        else
+            std::fprintf(stderr, "rapidc: cannot write %s\n",
+                         trace_path.c_str());
+    }
+    if (obs::tracingEnabled()) {
+        std::string tree = obs::Tracer::instance().phaseTree();
+        if (!tree.empty())
+            std::fprintf(stderr, "phase times:\n%s", tree.c_str());
+    }
 }
 
 std::string
@@ -262,6 +354,8 @@ run(const Options &options)
         }
         std::fprintf(stderr, "%zu report(s) over %zu symbols\n",
                      reports.size(), input.size());
+        if (obs::statsEnabled())
+            g_profileJson = device.stats().toJson();
         return 0;
     }
 
@@ -303,13 +397,18 @@ run(const Options &options)
 int
 main(int argc, char **argv)
 {
+    Options options = parseOptions(argc, argv);
+    setupTelemetry(options);
+    int code = 0;
     try {
-        return run(parseOptions(argc, argv));
+        code = run(options);
     } catch (const CompileError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
-        return 1;
+        code = 1;
     } catch (const Error &error) {
         std::fprintf(stderr, "rapidc: %s\n", error.what());
-        return 1;
+        code = 1;
     }
+    flushTelemetry();
+    return code;
 }

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Engine parity for execution profiling: the scalar Simulator and the
+ * bit-parallel BatchSimulator must report identical totals (cycles,
+ * activations, reports) and identical per-element activation heatmaps
+ * for the same inputs, across the shared differential-fuzzing corpus.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "host/argfile.h"
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/rng.h"
+
+namespace rapid::host {
+namespace {
+
+using fuzz::CorpusCase;
+using fuzz::kCorpus;
+
+class DeviceProfileParity
+    : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(DeviceProfileParity, ScalarAndBatchProfilesAgree)
+{
+    const CorpusCase &param = GetParam();
+    std::vector<lang::Value> args = host::parseArgFile(param.args);
+    lang::Program program = lang::parseProgram(param.source);
+    auto compiled = lang::compileProgram(program, args);
+
+    Device scalar_dev(compiled.automaton, Engine::Scalar);
+    Device batch_dev(std::move(compiled.automaton), Engine::Batch);
+    scalar_dev.setProfiling(true);
+    batch_dev.setProfiling(true);
+
+    Rng rng(0xAB5 + std::string(param.name).size());
+    std::string alphabet = param.alphabet;
+    std::vector<std::string> inputs;
+    for (int round = 0; round < 8; ++round) {
+        std::string input;
+        int records = 1 + static_cast<int>(rng.below(3));
+        for (int r = 0; r < records; ++r) {
+            input.push_back(static_cast<char>(0xFF));
+            input += rng.string(rng.below(48), alphabet);
+        }
+        inputs.push_back(std::move(input));
+    }
+
+    // Mix single runs and a batch to cover both driver paths.
+    for (int i = 0; i < 4; ++i) {
+        auto a = scalar_dev.run(inputs[i]);
+        auto b = batch_dev.run(inputs[i]);
+        EXPECT_EQ(a.size(), b.size()) << param.name;
+    }
+    std::vector<std::string> tail(inputs.begin() + 4, inputs.end());
+    scalar_dev.runBatch(tail);
+    batch_dev.runBatch(tail, 2);
+
+    const obs::ExecutionProfile &scalar = scalar_dev.stats();
+    const obs::ExecutionProfile &batch = batch_dev.stats();
+
+    EXPECT_EQ(scalar.cycles, batch.cycles) << param.name;
+    EXPECT_EQ(scalar.activations, batch.activations) << param.name;
+    EXPECT_EQ(scalar.reports, batch.reports) << param.name;
+    EXPECT_GT(scalar.cycles, 0u) << param.name;
+
+    // Per-element heatmaps agree element-for-element.
+    ASSERT_EQ(scalar.elementActivations.size(),
+              batch.elementActivations.size())
+        << param.name;
+    for (size_t i = 0; i < scalar.elementActivations.size(); ++i) {
+        EXPECT_EQ(scalar.elementActivations[i],
+                  batch.elementActivations[i])
+            << param.name << " element " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DeviceProfileParity, ::testing::ValuesIn(kCorpus),
+    [](const ::testing::TestParamInfo<CorpusCase> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DeviceProfile, SeriesTotalsMatchCounters)
+{
+    lang::Program program = lang::parseProgram(R"(
+network () { { 'a' == input(); 'b' == input(); report; } }
+)");
+    auto compiled = lang::compileProgram(program, {});
+    Device device(std::move(compiled.automaton), Engine::Batch);
+    device.setProfiling(true);
+    // Three records ("\xFF" introduces one); "ab" matches in two.
+    device.run("\xFF"
+               "ab\xFF"
+               "ab\xFF"
+               "xy");
+
+    const obs::ExecutionProfile &profile = device.stats();
+    EXPECT_EQ(profile.cycles, 9u);
+    uint64_t active_total = 0;
+    for (uint64_t bucket : profile.activeSeries)
+        active_total += bucket;
+    uint64_t report_total = 0;
+    for (uint64_t bucket : profile.reportSeries)
+        report_total += bucket;
+    EXPECT_EQ(active_total, profile.activations);
+    EXPECT_EQ(report_total, profile.reports);
+    EXPECT_EQ(profile.reports, 2u);
+}
+
+} // namespace
+} // namespace rapid::host

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Metrics registry unit tests: concurrent counter correctness, exact
+ * histogram quantiles against a sorted reference, and JSON output
+ * well-formedness (checked with the in-repo parser, support/json.h).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/json.h"
+
+namespace rapid::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+  protected:
+    void SetUp() override { MetricsRegistry::instance().clear(); }
+    void TearDown() override { MetricsRegistry::instance().clear(); }
+};
+
+TEST_F(MetricsTest, CounterConcurrentIncrements)
+{
+    auto &registry = MetricsRegistry::instance();
+    Counter &counter = registry.counter("test.concurrent");
+
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 20000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&counter] {
+            for (int i = 0; i < kIncrements; ++i)
+                counter.add();
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<uint64_t>(kThreads) * kIncrements);
+    // Lookup under a different thread returns the same metric.
+    EXPECT_EQ(registry.counter("test.concurrent").value(),
+              counter.value());
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins)
+{
+    Gauge &gauge = MetricsRegistry::instance().gauge("test.gauge");
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(3.5);
+    gauge.set(-0.25);
+    EXPECT_EQ(gauge.value(), -0.25);
+}
+
+/** Nearest-rank reference quantile over a sorted copy. */
+double
+referenceQuantile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    size_t index = static_cast<size_t>(
+        std::llround(q * static_cast<double>(samples.size() - 1)));
+    return samples[index];
+}
+
+TEST_F(MetricsTest, HistogramQuantilesMatchSortedReference)
+{
+    Histogram &histogram =
+        MetricsRegistry::instance().histogram("test.hist");
+
+    // Deterministic but unordered sample set.
+    std::vector<double> samples;
+    uint64_t state = 0x2545F4914F6CDD1Dull;
+    for (int i = 0; i < 1000; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        samples.push_back(static_cast<double>(state % 100000) / 7.0);
+    }
+    for (double sample : samples)
+        histogram.record(sample);
+
+    HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, samples.size());
+    EXPECT_DOUBLE_EQ(snap.min,
+                     *std::min_element(samples.begin(), samples.end()));
+    EXPECT_DOUBLE_EQ(snap.max,
+                     *std::max_element(samples.begin(), samples.end()));
+    EXPECT_DOUBLE_EQ(snap.p50, referenceQuantile(samples, 0.50));
+    EXPECT_DOUBLE_EQ(snap.p95, referenceQuantile(samples, 0.95));
+
+    double sum = 0;
+    for (double sample : samples)
+        sum += sample;
+    EXPECT_NEAR(snap.mean, sum / samples.size(), 1e-9);
+}
+
+TEST_F(MetricsTest, HistogramSingleSample)
+{
+    Histogram &histogram =
+        MetricsRegistry::instance().histogram("test.single");
+    histogram.record(42.0);
+    HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_DOUBLE_EQ(snap.p50, 42.0);
+    EXPECT_DOUBLE_EQ(snap.p95, 42.0);
+}
+
+TEST_F(MetricsTest, ToJsonIsWellFormed)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.cycles").add(123);
+    registry.gauge("pnr.blocks").set(4);
+    registry.histogram("phase.parse_ms").record(0.5);
+    registry.histogram("phase.parse_ms").record(1.5);
+
+    std::string text = registry.toJson();
+    json::Value doc = json::parse(text);
+    ASSERT_TRUE(doc.isObject());
+
+    const json::Value *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const json::Value *cycles = counters->find("sim.cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->number, 123.0);
+
+    const json::Value *gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_NE(gauges->find("pnr.blocks"), nullptr);
+
+    const json::Value *histograms = doc.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const json::Value *parse_ms = histograms->find("phase.parse_ms");
+    ASSERT_NE(parse_ms, nullptr);
+    for (const char *key :
+         {"count", "sum", "min", "max", "mean", "p50", "p95"}) {
+        EXPECT_NE(parse_ms->find(key), nullptr) << key;
+    }
+}
+
+TEST_F(MetricsTest, ToJsonExtraSections)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("a").add(1);
+    std::string text =
+        registry.toJson({{"profile", "{\"cycles\":7}"}});
+    json::Value doc = json::parse(text);
+    const json::Value *profile = doc.find("profile");
+    ASSERT_NE(profile, nullptr);
+    const json::Value *cycles = profile->find("cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->number, 7.0);
+}
+
+TEST_F(MetricsTest, EmptyAndClear)
+{
+    auto &registry = MetricsRegistry::instance();
+    EXPECT_TRUE(registry.empty());
+    registry.counter("x");
+    EXPECT_FALSE(registry.empty());
+    // Even an empty registry renders valid JSON.
+    EXPECT_TRUE(json::valid(registry.toJson()));
+    registry.clear();
+    EXPECT_TRUE(registry.empty());
+    EXPECT_TRUE(json::valid(registry.toJson()));
+}
+
+} // namespace
+} // namespace rapid::obs

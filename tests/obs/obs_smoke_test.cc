@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end telemetry smoke test (the `obs_smoke` ctest label): runs
+ * the real rapidc binary with --stats/--trace over a bundled workload
+ * and validates the emitted JSON with the in-repo parser — per-phase
+ * wall times, simulator counters, an execution profile, and a Chrome
+ * trace_event file.  Both engines must populate the same metric names.
+ *
+ * The rapidc path and source tree come in via compile definitions
+ * (RAPID_RAPIDC_PATH, RAPID_SOURCE_DIR) from tests/CMakeLists.txt.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "support/json.h"
+
+namespace rapid {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/** Run rapidc on exact_dna with telemetry; returns the stats path. */
+std::string
+runWorkload(const std::string &engine, const std::string &tag,
+            bool useEnv = false)
+{
+    const std::string input = "obs_smoke_input_" + tag + ".txt";
+    {
+        std::ofstream out(input, std::ios::binary);
+        for (int i = 0; i < 200; ++i)
+            out << "ACGTTGCAACGT";
+    }
+    const std::string stats = "obs_smoke_stats_" + tag + ".json";
+    const std::string trace = "obs_smoke_trace_" + tag + ".json";
+    const std::string root = RAPID_SOURCE_DIR;
+
+    std::string command;
+    if (useEnv) {
+        command = "RAPID_STATS=" + stats + " RAPID_TRACE=" + trace +
+                  " " RAPID_RAPIDC_PATH " run";
+    } else {
+        command = RAPID_RAPIDC_PATH " run --stats=" + stats +
+                  " --trace=" + trace;
+    }
+    // Flags before the program path — order-independent parsing.
+    command += " --engine=" + engine + " " + root +
+               "/workloads/exact_dna.rapid --args " + root +
+               "/workloads/exact_dna.args --input " + input +
+               " > /dev/null 2>&1";
+    EXPECT_EQ(std::system(command.c_str()), 0) << command;
+    return stats;
+}
+
+/** The sim.* counter names present in a stats dump. */
+std::set<std::string>
+simCounterNames(const json::Value &stats)
+{
+    std::set<std::string> names;
+    const json::Value *counters = stats.find("counters");
+    if (counters == nullptr)
+        return names;
+    for (const auto &member : counters->members) {
+        if (member.first.rfind("sim.", 0) == 0)
+            names.insert(member.first);
+    }
+    return names;
+}
+
+void
+checkStats(const json::Value &stats, const std::string &engine)
+{
+    const json::Value *counters = stats.find("counters");
+    ASSERT_NE(counters, nullptr) << engine;
+    for (const char *key :
+         {"sim.cycles", "sim.activations", "sim.reports", "sim.runs"}) {
+        const json::Value *counter = counters->find(key);
+        ASSERT_NE(counter, nullptr) << engine << " " << key;
+    }
+    EXPECT_GT(counters->find("sim.cycles")->number, 0) << engine;
+
+    // Per-phase wall times from the span instrumentation.
+    const json::Value *histograms = stats.find("histograms");
+    ASSERT_NE(histograms, nullptr) << engine;
+    for (const char *key : {"phase.parse_ms", "phase.compile_ms",
+                            "phase.configure_ms", "phase.stream_ms"}) {
+        EXPECT_NE(histograms->find(key), nullptr)
+            << engine << " " << key;
+    }
+
+    // The run command embeds the device execution profile.
+    const json::Value *profile = stats.find("profile");
+    ASSERT_NE(profile, nullptr) << engine;
+    EXPECT_NE(profile->find("cycles"), nullptr) << engine;
+    EXPECT_NE(profile->find("hottest"), nullptr) << engine;
+}
+
+void
+checkTrace(const std::string &path)
+{
+    std::string text = readFile(path);
+    std::string error;
+    ASSERT_TRUE(json::valid(text, &error)) << path << ": " << error;
+    json::Value doc = json::parse(text);
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_FALSE(events->array.empty());
+    std::set<std::string> names;
+    for (const json::Value &event : events->array) {
+        EXPECT_EQ(event.find("ph")->string, "X");
+        names.insert(event.find("name")->string);
+    }
+    // The pipeline phases all show up as spans.
+    for (const char *phase :
+         {"parse", "compile", "configure", "stream"}) {
+        EXPECT_EQ(names.count(phase), 1u) << phase;
+    }
+}
+
+TEST(ObsSmoke, BothEnginesEmitIdenticalMetricNames)
+{
+    std::string scalar_path = runWorkload("scalar", "scalar");
+    std::string batch_path = runWorkload("batch", "batch");
+
+    json::Value scalar = json::parse(readFile(scalar_path));
+    json::Value batch = json::parse(readFile(batch_path));
+    checkStats(scalar, "scalar");
+    checkStats(batch, "batch");
+
+    // Same metric names and the same totals from either engine.
+    EXPECT_EQ(simCounterNames(scalar), simCounterNames(batch));
+    for (const char *key :
+         {"sim.cycles", "sim.activations", "sim.reports"}) {
+        EXPECT_DOUBLE_EQ(
+            scalar.find("counters")->find(key)->number,
+            batch.find("counters")->find(key)->number)
+            << key;
+    }
+
+    checkTrace("obs_smoke_trace_scalar.json");
+    checkTrace("obs_smoke_trace_batch.json");
+}
+
+TEST(ObsSmoke, EnvironmentFallbackEnablesTelemetry)
+{
+    std::string stats_path = runWorkload("batch", "env", true);
+    json::Value stats = json::parse(readFile(stats_path));
+    checkStats(stats, "env");
+    checkTrace("obs_smoke_trace_env.json");
+}
+
+} // namespace
+} // namespace rapid

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Span tracing tests: disabled spans cost nothing and record nothing,
+ * nesting depths reconstruct the phase tree, and the Chrome
+ * trace_event export is well-formed JSON with the expected fields.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace rapid::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        Tracer::instance().clear();
+        MetricsRegistry::instance().clear();
+        setStatsEnabled(false);
+        setTracingEnabled(false);
+    }
+    void TearDown() override
+    {
+        setStatsEnabled(false);
+        setTracingEnabled(false);
+        Tracer::instance().clear();
+        MetricsRegistry::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing)
+{
+    {
+        Span outer("outer");
+        Span inner("inner");
+    }
+    EXPECT_EQ(Tracer::instance().size(), 0u);
+    EXPECT_TRUE(MetricsRegistry::instance().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepths)
+{
+    setTracingEnabled(true);
+    {
+        Span outer("phase_a");
+        {
+            Span inner("phase_b");
+        }
+        {
+            Span inner("phase_c");
+        }
+    }
+    auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 3u);
+    // Spans complete innermost-first.
+    EXPECT_EQ(events[0].name, "phase_b");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_EQ(events[1].name, "phase_c");
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_EQ(events[2].name, "phase_a");
+    EXPECT_EQ(events[2].depth, 0u);
+    // Children are contained in the parent's interval.
+    EXPECT_GE(events[0].startUs, events[2].startUs);
+    EXPECT_LE(events[0].startUs + events[0].durationUs,
+              events[2].startUs + events[2].durationUs);
+}
+
+TEST_F(TraceTest, StatsRecordPhaseHistograms)
+{
+    setStatsEnabled(true);
+    {
+        Span span("parse");
+    }
+    // Stats without tracing: histogram recorded, no trace event.
+    EXPECT_EQ(Tracer::instance().size(), 0u);
+    HistogramSnapshot snap = MetricsRegistry::instance()
+                                 .histogram("phase.parse_ms")
+                                 .snapshot();
+    EXPECT_EQ(snap.count, 1u);
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormed)
+{
+    setTracingEnabled(true);
+    {
+        Span outer("compile");
+        Span inner("optimize");
+    }
+    std::string text = Tracer::instance().toChromeJson();
+    json::Value doc = json::parse(text);
+    ASSERT_TRUE(doc.isObject());
+
+    const json::Value *unit = doc.find("displayTimeUnit");
+    ASSERT_NE(unit, nullptr);
+    EXPECT_EQ(unit->string, "ms");
+
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 2u);
+    for (const json::Value &event : events->array) {
+        ASSERT_TRUE(event.isObject());
+        const json::Value *ph = event.find("ph");
+        ASSERT_NE(ph, nullptr);
+        EXPECT_EQ(ph->string, "X");
+        for (const char *key : {"name", "cat", "ts", "dur", "pid",
+                                "tid"}) {
+            EXPECT_NE(event.find(key), nullptr) << key;
+        }
+    }
+}
+
+TEST_F(TraceTest, PhaseTreeIndentsChildren)
+{
+    setTracingEnabled(true);
+    {
+        Span outer("compile");
+        Span inner("optimize");
+    }
+    std::string tree = Tracer::instance().phaseTree();
+    EXPECT_NE(tree.find("compile"), std::string::npos);
+    EXPECT_NE(tree.find("  optimize"), std::string::npos);
+    EXPECT_NE(tree.find("ms"), std::string::npos);
+    // The child line is indented deeper than the parent line.
+    EXPECT_LT(tree.find("compile"), tree.find("  optimize"));
+}
+
+TEST_F(TraceTest, EmptyTracerStillExportsValidJson)
+{
+    EXPECT_TRUE(json::valid(Tracer::instance().toChromeJson()));
+    EXPECT_EQ(Tracer::instance().phaseTree(), "");
+}
+
+} // namespace
+} // namespace rapid::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the minimal strict JSON parser (support/json.h) that backs
+ * the telemetry output validation.
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace rapid::json {
+namespace {
+
+TEST(JsonParser, Scalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").boolean);
+    EXPECT_FALSE(parse("false").boolean);
+    EXPECT_DOUBLE_EQ(parse("0").number, 0.0);
+    EXPECT_DOUBLE_EQ(parse("-12.5e2").number, -1250.0);
+    EXPECT_DOUBLE_EQ(parse("1e-3").number, 0.001);
+    EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(JsonParser, StringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\"b\\c\/d")").string, "a\"b\\c/d");
+    EXPECT_EQ(parse(R"("\n\t\r\b\f")").string, "\n\t\r\b\f");
+    // \uXXXX decodes to UTF-8.
+    EXPECT_EQ(parse(R"("\u0041")").string, "A");
+    EXPECT_EQ(parse(R"("\u00e9")").string, "\xc3\xa9");
+}
+
+TEST(JsonParser, NestedStructures)
+{
+    Value doc = parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+    ASSERT_TRUE(doc.isObject());
+    const Value *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+    EXPECT_TRUE(a->array[2].find("b")->isNull());
+    EXPECT_TRUE(doc.find("c")->find("d")->boolean);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, MalformedInputsRejected)
+{
+    const char *bad[] = {
+        "",          "{",           "[1,]",       "{\"a\":}",
+        "{'a':1}",   "[1 2]",       "01",         "1.",
+        ".5",        "+1",          "nul",        "tru",
+        "\"\\q\"",   "\"unterminated", "{\"a\":1}extra",
+        "[1],",      "\"\\u12\"",   "{1:2}",
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(valid(text, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+        EXPECT_THROW(parse(text), Error) << text;
+    }
+}
+
+TEST(JsonParser, WhitespaceTolerated)
+{
+    EXPECT_TRUE(valid("  { \"a\" : [ 1 , 2 ] }\n\t"));
+}
+
+TEST(JsonParser, DeepNestingBounded)
+{
+    // Beyond the parser's depth cap, input is rejected (not a crash).
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(valid(deep));
+}
+
+TEST(JsonParser, DuplicateKeysPreserveFirstForFind)
+{
+    Value doc = parse(R"({"k":1,"k":2})");
+    ASSERT_EQ(doc.members.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("k")->number, 1.0);
+}
+
+} // namespace
+} // namespace rapid::json
