@@ -4,11 +4,16 @@
  * BatchSimulator on the exact_dna workload.
  *
  * Measures MB/s for (1) the scalar reference Simulator, (2) the batch
- * engine on a single stream, and (3) the batch engine fanning four
- * independent streams over its thread pool, then writes the numbers
- * to BENCH_throughput.json in the working directory.  The two engines'
- * report streams are cross-checked before timing, so the bench doubles
- * as an integration test and exits non-zero on any mismatch.
+ * engine on a single stream, (3) the batch engine fanning four
+ * independent streams over its thread pool, and (4) the sharded
+ * executor on a tessellated (tile-replicated) exact_dna design versus
+ * the monolithic batch engine on the same design — per-shard designs
+ * fit the batch engine's single-word (≤64 lane) fast path while the
+ * monolith cannot, so sharding pays even on one core.  The numbers go
+ * to BENCH_throughput.json in the working
+ * directory.  Engine report streams are cross-checked before timing,
+ * so the bench doubles as an integration test and exits non-zero on
+ * any mismatch.
  *
  * Input size scales with RAPID_BENCH_SCALE (see bench_util.h); the
  * `bench_smoke`-labelled ctest entry runs at a tiny scale purely to
@@ -23,10 +28,14 @@
 #include <thread>
 #include <vector>
 
+#include "ap/placement.h"
+#include "ap/sharding.h"
+#include "ap/tessellation.h"
 #include "automata/batch_simulator.h"
 #include "automata/simulator.h"
 #include "bench/bench_util.h"
 #include "host/argfile.h"
+#include "host/sharded.h"
 #include "support/rng.h"
 #include "support/timer.h"
 
@@ -112,9 +121,46 @@ main()
     const double multi_s =
         bestSeconds(reps, [&] { batch.runBatch(fan, streams); });
 
+    // Sharded engine on a tessellated design, partitioned by placement
+    // into per-half-core shards.  32 tile instances over 8 shards put
+    // each shard at 40 STE lanes — inside the batch engine's
+    // single-word fast path, which the 320-lane monolith cannot use.
+    const size_t instances = 32;
+    const unsigned shard_count = 8;
+    automata::Automaton tessellated =
+        ap::replicate(compiled.tile, instances);
+    automata::BatchSimulator tess_batch(tessellated);
+    ap::PlacementOptions placement;
+    placement.refineEffort = 0;
+    ap::PlacementEngine placer({}, placement);
+    ap::Sharder sharder;
+    host::ShardedExecutor sharded(sharder.partition(
+        tessellated, placer.place(tessellated), shard_count));
+
+    auto tess_events = tess_batch.run(input);
+    auto sharded_events = sharded.run(input);
+    std::sort(tess_events.begin(), tess_events.end());
+    if (sharded_events != tess_events) {
+        std::fprintf(stderr,
+                     "bench_throughput: sharded and batch engines "
+                     "disagree on the tessellated design (%zu vs %zu "
+                     "events)\n",
+                     sharded_events.size(), tess_events.size());
+        return 1;
+    }
+
+    const double tess_batch_s =
+        bestSeconds(reps, [&] { tess_batch.run(input); });
+    const double sharded_s =
+        bestSeconds(reps, [&] { sharded.run(input); });
+
     const double scalar_mbps = mbps(bytes, scalar_s);
     const double batch_mbps = mbps(bytes, batch_s);
     const double multi_mbps = mbps(bytes * streams, multi_s);
+    const double tess_batch_mbps = mbps(bytes, tess_batch_s);
+    const double sharded_mbps = mbps(bytes, sharded_s);
+    const double sharded_speedup =
+        sharded_s > 0 ? tess_batch_s / sharded_s : 0.0;
     const double speedup =
         batch_s > 0 ? scalar_s / batch_s : 0.0;
     const double scaling =
@@ -133,6 +179,14 @@ main()
                 hardware);
     std::printf("%-28s %10zu\n", "reports per stream",
                 batch_events.size());
+    std::printf("Tessellated exact_dna — %zu tile instances, "
+                "%zu shards\n",
+                instances, sharded.shardCount());
+    bench::printRule(58);
+    std::printf("%-28s %10.1f MB/s\n", "batch engine (monolithic)",
+                tess_batch_mbps);
+    std::printf("%-28s %10.1f MB/s  (%.2fx batch)\n",
+                "sharded engine", sharded_mbps, sharded_speedup);
 
     // Measurements flow through the registry so the JSON artifact and
     // any --stats-style consumer see the same numbers.
@@ -145,6 +199,11 @@ main()
     bench::recordMeasurement("batch_speedup_vs_scalar", speedup);
     bench::recordMeasurement("batch_multi_stream_mbps", multi_mbps);
     bench::recordMeasurement("multi_stream_scaling", scaling);
+    bench::recordMeasurement("tessellated_batch_mbps",
+                             tess_batch_mbps);
+    bench::recordMeasurement("sharded_mbps", sharded_mbps);
+    bench::recordMeasurement("sharded_speedup_vs_batch",
+                             sharded_speedup);
 
     std::ofstream json("BENCH_throughput.json");
     json << "{\n"
@@ -157,6 +216,13 @@ main()
          << "  \"batch_streams\": " << streams << ",\n"
          << "  \"batch_multi_stream_mbps\": " << multi_mbps << ",\n"
          << "  \"multi_stream_scaling\": " << scaling << ",\n"
+         << "  \"tessellated_instances\": " << instances << ",\n"
+         << "  \"sharded_shards\": " << sharded.shardCount() << ",\n"
+         << "  \"tessellated_batch_mbps\": " << tess_batch_mbps
+         << ",\n"
+         << "  \"sharded_mbps\": " << sharded_mbps << ",\n"
+         << "  \"sharded_speedup_vs_batch\": " << sharded_speedup
+         << ",\n"
          << "  \"hardware_threads\": " << hardware << ",\n"
          << "  \"metrics\": " << bench::metricsJson() << "\n"
          << "}\n";

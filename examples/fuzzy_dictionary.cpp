@@ -72,8 +72,10 @@ network (String[] dictionary) {
     std::string stream = framer.frame(
         {"automata", "autemata", "pattern", "pa77ern", "processes",
          "homogeneous", "homogenious"});
-    host::Device counter_device(std::move(with_counters.automaton));
-    host::Device banded_device(std::move(banded.automaton));
+    host::Device counter_device(std::move(with_counters.automaton),
+                                host::engineFromEnv());
+    host::Device banded_device(std::move(banded.automaton),
+                               host::engineFromEnv());
     auto counter_hits = counter_device.run(stream);
     auto banded_hits = banded_device.run(stream);
     std::printf("query stream: %zu hits (counters) / %zu hits "

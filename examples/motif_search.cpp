@@ -64,7 +64,8 @@ network (String[] motifs, int d) {
 
     host::InputTransformer transformer;
     std::string stream = transformer.frame(candidates);
-    host::Device device(automata::Automaton(compiled.automaton));
+    host::Device device(automata::Automaton(compiled.automaton),
+                        host::engineFromEnv());
     auto reports = device.run(stream);
     std::printf("motif (l=%zu, d=%d): %zu of %zu candidates within "
                 "distance\n",

@@ -52,7 +52,8 @@ network (String[] watchlist) {
         "GET /wp-login.php HTTP/1.1 | HEAD /etc/passwd | "
         "GET /etc/passwd HTTP/1.0";
 
-    host::Device device(std::move(compiled.automaton));
+    host::Device device(std::move(compiled.automaton),
+                        host::engineFromEnv());
     auto reports = device.run(traffic);
 
     std::printf("inspected %zu bytes; %zu suspicious GET(s)\n",

@@ -59,7 +59,8 @@ network (String[] comparisons) {
         {"rapid", "romps", "vapid", "tests", "tepid"});
 
     // 4. Load and run the device.
-    host::Device device(std::move(compiled.automaton));
+    host::Device device(std::move(compiled.automaton),
+                        host::engineFromEnv());
     auto reports = device.run(stream);
 
     std::printf("%zu report(s):\n", reports.size());

@@ -52,7 +52,8 @@ network (String[] blacklist) {
         "subject: meeting notes | "
         "subject: limited offer - act now for a wire transfer";
 
-    host::Device device(std::move(compiled.automaton));
+    host::Device device(std::move(compiled.automaton),
+                        host::engineFromEnv());
     auto reports = device.run(mailbox);
 
     std::printf("scanned %zu bytes against %zu phrases; %zu hits\n",

@@ -7,6 +7,17 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 # Telemetry end-to-end: rapidc --stats/--trace must emit valid JSON.
 ctest --test-dir build --output-on-failure -L obs_smoke
+# Golden conformance: every engine reproduces the checked-in report
+# streams for all workloads and examples.
+ctest --test-dir build --output-on-failure -L conformance
+# Differential fuzzing: a divergence writes a fuzz_repro_*.rapidfuzz
+# file (path printed in the failure output; replay with
+# `rapidfuzz --repro <file>`).
+if ! ctest --test-dir build --output-on-failure -R fuzz; then
+    echo "fuzz sweep failed; repro files (replay with rapidfuzz --repro):" >&2
+    find build -name 'fuzz_repro_*.rapidfuzz' >&2
+    exit 1
+fi
 for b in build/bench/bench_*; do
     echo "== $b"
     "$b"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the golden report streams under tests/conformance/golden/
+# from the scalar reference engine.  Run after an intentional
+# behaviour change, then review the diff before committing.
+#
+# Usage: scripts/update_goldens.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+RAPIDC="$BUILD/src/tools/rapidc"
+EXAMPLES="$BUILD/examples"
+GOLDEN="$ROOT/tests/conformance/golden"
+
+[ -x "$RAPIDC" ] || {
+    echo "error: $RAPIDC not built (run cmake --build $BUILD)" >&2
+    exit 1
+}
+mkdir -p "$GOLDEN"
+
+# Lines with wall-clock timings vary run to run; the conformance
+# runner filters them the same way (normalize() — keep in sync).
+filter() { grep -v 'tuned in' || true; }
+
+workload() { # name frame-flag...
+    local name="$1"; shift
+    "$RAPIDC" run --engine=scalar "$ROOT/workloads/$name.rapid" \
+        --args "$ROOT/workloads/$name.args" \
+        --input "$ROOT/tests/conformance/inputs/$name.input" "$@" \
+        2>/dev/null | filter > "$GOLDEN/workload_$name.golden"
+    echo "workload_$name.golden: $(wc -l < "$GOLDEN/workload_$name.golden") line(s)"
+}
+
+example() { # name
+    local name="$1"
+    RAPID_ENGINE=scalar "$EXAMPLES/$name" 2>/dev/null \
+        | filter > "$GOLDEN/example_$name.golden"
+    echo "example_$name.golden: $(wc -l < "$GOLDEN/example_$name.golden") line(s)"
+}
+
+workload exact_dna
+workload hamming --frame
+workload motif_scan
+
+example quickstart
+example spam_filter
+example motif_search
+example packet_inspection
+example fuzzy_dictionary
+
+echo "goldens written to $GOLDEN"

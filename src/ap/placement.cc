@@ -197,6 +197,33 @@ PlacementEngine::place(const Automaton &automaton) const
             _config.stesPerRow;
         blocks.back().stes = std::min(rounded, block_stes);
 
+        // A component whose whole demand fits a single block is never
+        // split: when the tail block's remaining capacity cannot hold
+        // it, open a fresh block instead of spilling mid-component.
+        // (Only over-block components ever straddle a boundary.)
+        ResourceVector need;
+        for (ElementId id : component) {
+            switch (automaton[id].kind) {
+              case ElementKind::Ste:
+                ++need.stes;
+                break;
+              case ElementKind::Counter:
+                ++need.counters;
+                break;
+              case ElementKind::Gate:
+                ++need.bools;
+                break;
+            }
+        }
+        const BlockState &aligned = blocks.back();
+        bool fits_tail =
+            aligned.stes + need.stes <= block_stes &&
+            aligned.counters + need.counters <=
+                _config.countersPerBlock &&
+            aligned.bools + need.bools <= _config.boolsPerBlock;
+        if (need.fitsBlock(_config) && !fits_tail)
+            blocks.emplace_back();
+
         for (ElementId id : order) {
             const Element &element = automaton[id];
             if (!fits(blocks.back(), element))

@@ -17,7 +17,9 @@
  * Pipeline: weakly-connected components are ordered breadth-first from
  * their start elements, packed greedily into blocks (largest component
  * first; components never share a row with another component, matching
- * the SDK's row granularity), then refined by a hill-climbing pass that
+ * the SDK's row granularity, and a component whose demand fits a single
+ * block is never split across blocks), then refined by a hill-climbing
+ * pass that
  * moves elements between blocks to reduce the routing cut.  Refinement
  * effort grows n·log n with design size — this is what makes whole-board
  * baseline compiles expensive and block-level tessellation cheap, the

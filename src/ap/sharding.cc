@@ -1,0 +1,201 @@
+#include "ap/sharding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace rapid::ap {
+
+using automata::Automaton;
+using automata::Edge;
+using automata::Element;
+using automata::ElementId;
+using automata::ElementKind;
+
+Automaton
+extractSubAutomaton(const Automaton &automaton,
+                    const std::vector<ElementId> &elements,
+                    std::vector<ElementId> *to_global)
+{
+    std::vector<ElementId> picked = elements;
+    std::sort(picked.begin(), picked.end());
+    picked.erase(std::unique(picked.begin(), picked.end()),
+                 picked.end());
+
+    Automaton out;
+    std::vector<ElementId> local(automaton.size(),
+                                 automata::kNoElement);
+    for (ElementId global : picked) {
+        internalCheck(global < automaton.size(),
+                      "extractSubAutomaton: element out of range");
+        const Element &element = automaton[global];
+        ElementId id = automata::kNoElement;
+        switch (element.kind) {
+          case ElementKind::Ste:
+            id = out.addSte(element.symbols, element.start, element.id);
+            break;
+          case ElementKind::Counter:
+            id = out.addCounter(element.target, element.mode,
+                                element.id);
+            break;
+          case ElementKind::Gate:
+            id = out.addGate(element.op, element.id);
+            break;
+        }
+        if (element.report)
+            out.setReport(id, element.reportCode);
+        local[global] = id;
+    }
+    for (ElementId global : picked) {
+        for (const Edge &edge : automaton[global].outputs) {
+            if (local[edge.to] != automata::kNoElement)
+                out.connect(local[global], local[edge.to], edge.port);
+        }
+    }
+    if (to_global)
+        *to_global = std::move(picked);
+    return out;
+}
+
+namespace {
+
+/** A component plus the placement facts the grouping policies use. */
+struct PlacedComponent {
+    size_t index = 0;
+    uint32_t homeBlock = 0;
+    const std::vector<ElementId> *elements = nullptr;
+};
+
+} // namespace
+
+ShardPlan
+Sharder::partition(const Automaton &automaton,
+                   const PlacementResult &placement,
+                   unsigned requested) const
+{
+    obs::Span span("shard_partition", "device");
+    ShardPlan plan;
+    if (automaton.empty())
+        return plan;
+    internalCheck(placement.blockOf.size() == automaton.size(),
+                  "shard partition needs a placement of this design");
+
+    auto components = automaton.components();
+    plan.shardOfComponent.assign(components.size(), 0);
+
+    std::vector<PlacedComponent> placed(components.size());
+    for (size_t c = 0; c < components.size(); ++c) {
+        placed[c].index = c;
+        placed[c].elements = &components[c];
+        uint32_t home = UINT32_MAX;
+        for (ElementId id : components[c])
+            home = std::min(home, placement.blockOf[id]);
+        placed[c].homeBlock = home;
+    }
+
+    // component index -> shard slot.
+    std::vector<uint32_t> slot_of(components.size(), 0);
+    size_t slots = 0;
+
+    if (requested == 0) {
+        // Auto: one shard per occupied half-core.  Placement numbers
+        // blocks densely in packing order, so half-core h is the block
+        // range [h*blocksPerHalfCore, (h+1)*blocksPerHalfCore).
+        const uint32_t per_half_core =
+            std::max<uint32_t>(1, _config.blocksPerHalfCore);
+        std::vector<uint32_t> half_cores;
+        for (const PlacedComponent &component : placed)
+            half_cores.push_back(component.homeBlock / per_half_core);
+        std::vector<uint32_t> distinct = half_cores;
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(
+            std::unique(distinct.begin(), distinct.end()),
+            distinct.end());
+        slots = distinct.size();
+        for (size_t c = 0; c < placed.size(); ++c) {
+            slot_of[c] = static_cast<uint32_t>(
+                std::lower_bound(distinct.begin(), distinct.end(),
+                                 half_cores[c]) -
+                distinct.begin());
+        }
+    } else {
+        // Explicit: min(requested, components) shards, biggest
+        // components first onto the least-loaded shard.
+        slots = std::min<size_t>(requested, placed.size());
+        std::vector<PlacedComponent> order = placed;
+        std::sort(order.begin(), order.end(),
+                  [](const PlacedComponent &a,
+                     const PlacedComponent &b) {
+                      if (a.elements->size() != b.elements->size())
+                          return a.elements->size() >
+                                 b.elements->size();
+                      if (a.homeBlock != b.homeBlock)
+                          return a.homeBlock < b.homeBlock;
+                      return a.index < b.index;
+                  });
+        std::vector<size_t> load(slots, 0);
+        for (const PlacedComponent &component : order) {
+            size_t best = 0;
+            for (size_t s = 1; s < slots; ++s) {
+                if (load[s] < load[best])
+                    best = s;
+            }
+            slot_of[component.index] = static_cast<uint32_t>(best);
+            load[best] += component.elements->size();
+        }
+    }
+
+    // Materialize shards.  Elements keep ascending global order inside
+    // each shard, so shard-local report streams stay monotone in the
+    // global id order the merge relies on.
+    std::vector<std::vector<ElementId>> members(slots);
+    std::vector<std::vector<uint32_t>> shard_blocks(slots);
+    std::vector<size_t> shard_components(slots, 0);
+    for (size_t c = 0; c < placed.size(); ++c) {
+        uint32_t slot = slot_of[c];
+        plan.shardOfComponent[c] = slot;
+        ++shard_components[slot];
+        for (ElementId id : components[c]) {
+            members[slot].push_back(id);
+            shard_blocks[slot].push_back(placement.blockOf[id]);
+        }
+    }
+
+    plan.shards.reserve(slots);
+    for (size_t s = 0; s < slots; ++s) {
+        Shard shard;
+        shard.design = extractSubAutomaton(automaton, members[s],
+                                           &shard.toGlobal);
+        std::sort(shard_blocks[s].begin(), shard_blocks[s].end());
+        shard_blocks[s].erase(std::unique(shard_blocks[s].begin(),
+                                          shard_blocks[s].end()),
+                              shard_blocks[s].end());
+        shard.blocks = std::move(shard_blocks[s]);
+        shard.components = shard_components[s];
+        plan.totalElements += shard.toGlobal.size();
+        plan.shards.push_back(std::move(shard));
+    }
+    internalCheck(plan.totalElements == automaton.size(),
+                  "shard partition dropped or duplicated elements");
+
+    if (obs::statsEnabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.gauge("sim.shard.count")
+            .set(static_cast<double>(plan.shards.size()));
+        auto &sizes = registry.histogram("sim.shard.elements");
+        for (const Shard &shard : plan.shards)
+            sizes.record(static_cast<double>(shard.toGlobal.size()));
+    }
+    logDebug("ap", strprintf(
+        "sharded %zu components (%zu elements) into %zu shard(s)",
+        components.size(), plan.totalElements, plan.shards.size()));
+    return plan;
+}
+
+} // namespace rapid::ap

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shard partitioning: from a placed design to an execution topology.
+ *
+ * An AP board is many independent chips (two routing-isolated
+ * half-cores each) that all see the same broadcast symbol stream.  The
+ * placement engine already decides which block every element lives in;
+ * the Sharder turns that assignment into *execution* shards: groups of
+ * whole weakly-connected components that can run on separate simulator
+ * instances with no cross-shard communication.
+ *
+ * Soundness rests on two facts:
+ *
+ *  - a weakly-connected component is the unit of placement (the
+ *    routing matrix cannot split one), so assigning whole components
+ *    to shards never cuts an edge;
+ *  - every chip receives the full input stream (broadcast), so a
+ *    shard simulating only its components from power-on state produces
+ *    exactly the report events those components produce in the full
+ *    design.
+ *
+ * Two grouping policies:
+ *
+ *  - auto (requested == 0): one shard per occupied half-core of the
+ *    placement — the hardware-faithful topology (blocks are packed
+ *    densely, so half-core h covers blocks [h*96, (h+1)*96));
+ *  - explicit (requested == N): min(N, components) shards, components
+ *    assigned longest-processing-time-first to the least-loaded shard
+ *    (by element count) for balance; deterministic tie-breaks.
+ */
+#ifndef RAPID_AP_SHARDING_H
+#define RAPID_AP_SHARDING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ap/placement.h"
+#include "ap/resources.h"
+#include "automata/automaton.h"
+
+namespace rapid::ap {
+
+/** One execution shard: a sub-design plus its global identity map. */
+struct Shard {
+    /** The extracted sub-automaton (element ids/report codes kept). */
+    automata::Automaton design;
+    /** Local ElementId -> ElementId in the full design (ascending). */
+    std::vector<automata::ElementId> toGlobal;
+    /** Distinct placement block indices this shard covers (sorted). */
+    std::vector<uint32_t> blocks;
+    /** Whole components assigned to this shard. */
+    size_t components = 0;
+};
+
+/** A complete, disjoint partition of a placed design. */
+struct ShardPlan {
+    std::vector<Shard> shards;
+    /** Elements across all shards (== full design size). */
+    size_t totalElements = 0;
+    /** Component index (per Automaton::components()) -> shard index. */
+    std::vector<uint32_t> shardOfComponent;
+};
+
+/**
+ * Copy the sub-automaton induced by @p elements (any order; duplicates
+ * ignored).  Element names, report flags/codes, and every edge whose
+ * endpoints are both selected are preserved; @p to_global (if non-null)
+ * receives the ascending local -> global id map.
+ */
+automata::Automaton
+extractSubAutomaton(const automata::Automaton &automaton,
+                    const std::vector<automata::ElementId> &elements,
+                    std::vector<automata::ElementId> *to_global = nullptr);
+
+/** Groups placed components into execution shards. */
+class Sharder {
+  public:
+    explicit Sharder(const DeviceConfig &config = {}) : _config(config)
+    {
+    }
+
+    /**
+     * Partition @p automaton into shards using @p placement's block
+     * assignment.  @p requested == 0 selects the per-half-core auto
+     * policy; otherwise min(requested, component count) shards are
+     * produced.  Every component lands in exactly one shard and every
+     * element in exactly one component; empty designs yield an empty
+     * plan.
+     */
+    ShardPlan partition(const automata::Automaton &automaton,
+                        const PlacementResult &placement,
+                        unsigned requested = 0) const;
+
+    const DeviceConfig &config() const { return _config; }
+
+  private:
+    DeviceConfig _config;
+};
+
+} // namespace rapid::ap
+
+#endif // RAPID_AP_SHARDING_H

@@ -32,22 +32,21 @@ Tessellator::tilesPerBlock(const Automaton &tile) const
             std::to_string(need.counters) + " counters, " +
             std::to_string(need.bools) + " boolean elements)");
     }
-    // Add copies until the next one would spill out of the block.
+    // The copy count is the tightest per-resource quotient.
     // Components are placed at row granularity (each automaton starts
-    // on a fresh row), so the STE budget is counted in rows.
-    const size_t rows_per_tile =
-        (need.stes + _config.stesPerRow - 1) / _config.stesPerRow;
-    size_t count = 0;
-    while (true) {
-        size_t next = count + 1;
-        bool fits =
-            next * std::max<size_t>(rows_per_tile, 1) <=
-                _config.rowsPerBlock &&
-            next * need.counters <= _config.countersPerBlock &&
-            next * need.bools <= _config.boolsPerBlock;
-        if (!fits)
-            break;
-        count = next;
+    // on a fresh row), so the STE budget is counted in rows; counters
+    // and boolean elements divide their block budgets directly.
+    const size_t rows_per_tile = std::max<size_t>(
+        (need.stes + _config.stesPerRow - 1) / _config.stesPerRow, 1);
+    size_t count = _config.rowsPerBlock / rows_per_tile;
+    if (need.counters > 0) {
+        count = std::min<size_t>(count,
+                                 _config.countersPerBlock /
+                                     need.counters);
+    }
+    if (need.bools > 0) {
+        count = std::min<size_t>(count,
+                                 _config.boolsPerBlock / need.bools);
     }
     internalCheck(count >= 1, "tile fits a block but not one row set");
     return count;

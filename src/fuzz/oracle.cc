@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "anml/anml.h"
+#include "ap/placement.h"
+#include "ap/sharding.h"
 #include "ap/tessellation.h"
+#include "host/sharded.h"
 #include "automata/batch_simulator.h"
 #include "automata/optimizer.h"
 #include "automata/simulator.h"
@@ -67,6 +70,7 @@ constexpr ForkNames kForkNames[] = {
     {kForkAnml, 'd', "anml"},
     {kForkTile, 'e', "tile"},
     {kForkBatch, 'f', "batch"},
+    {kForkSharded, 'g', "sharded"},
 };
 
 /** Sorted full (offset, element) stream — batch-fork comparison. */
@@ -97,7 +101,7 @@ parseOracleMask(const std::string &text)
         }
         if (!known) {
             throw Error(strprintf(
-                "unknown oracle fork '%c' (expected letters a-f)", c));
+                "unknown oracle fork '%c' (expected letters a-g)", c));
         }
     }
     if (mask == 0)
@@ -215,6 +219,39 @@ runOracle(const OracleCase &oracle_case)
             }
         } catch (const Error &error) {
             fail(std::string("batch fork crashed: ") + error.what());
+        }
+    }
+
+    // Fork (g): the sharded executor partitions the design by placed
+    // component, simulates each shard on the full input, and k-way
+    // merges the per-shard streams.  The merged stream must equal the
+    // scalar stream exactly — same contract as fork (f).
+    if (mask & kForkSharded) {
+        try {
+            ap::PlacementOptions placement;
+            placement.refineEffort = 0;
+            ap::PlacementEngine placer({}, placement);
+            ap::Sharder sharder;
+            host::ShardedExecutor executor(sharder.partition(
+                compiled.automaton, placer.place(compiled.automaton)));
+            // run() already merges in canonical sorted order.
+            auto sharded_events = executor.run(oracle_case.input);
+            result.ranMask |= kForkSharded;
+            if (sharded_events != sortedEventsOf(raw_events)) {
+                fail(strprintf(
+                    "sharded engine report stream differs from scalar "
+                    "(%zu shards, %zu events != %zu events, "
+                    "offsets %s != %s)",
+                    executor.shardCount(), sharded_events.size(),
+                    raw_events.size(),
+                    renderOffsets(offsetsOf(sharded_events)).c_str(),
+                    renderOffsets(result.offsets).c_str()));
+            }
+        } catch (const CapacityError &) {
+            // Design exceeds the board: placement refused, which is a
+            // resource outcome, not a semantic one.
+        } catch (const Error &error) {
+            fail(std::string("sharded fork crashed: ") + error.what());
         }
     }
 

@@ -4,7 +4,7 @@
  *
  * A RAPID program's only architecturally visible behaviour is its
  * report stream (offset + reporting element).  The oracle runs one
- * program + input through up to six independent execution paths and
+ * program + input through up to seven independent execution paths and
  * asserts they agree:
  *
  *   (a) the reference interpreter (position-set semantics, no automata);
@@ -12,7 +12,9 @@
  *   (c) codegen -> optimizer -> device simulator;
  *   (d) codegen -> optimizer -> ANML export -> ANML import -> simulator;
  *   (e) codegen -> tessellation tile -> replicate/place -> simulator;
- *   (f) codegen (unoptimized) -> bit-parallel BatchSimulator.
+ *   (f) codegen (unoptimized) -> bit-parallel BatchSimulator;
+ *   (g) codegen (unoptimized) -> placement -> shard partition ->
+ *       per-shard simulation -> deterministic merge.
  *
  * Forks (a)-(d) compare sorted distinct report offsets; (c) vs (d)
  * additionally compare full (offset, element-id) event streams, since
@@ -20,10 +22,11 @@
  * only sound for programs whose whole behaviour is one top-level
  * `some` over identical array instances (the caller vouches via the
  * mask); it checks the replicated tile and the auto-tuned block image
- * against the full design.  Fork (f) executes the same design as (b)
- * on the throughput engine, so it compares full sorted
+ * against the full design.  Forks (f) and (g) execute the same design
+ * as (b) on the throughput engines, so they compare full sorted
  * (offset, element) event streams — the scalar simulator stays the
- * semantic reference.
+ * semantic reference.  Fork (g) additionally exercises the placement
+ * partitioner and the k-way report merge.
  *
  * Forks that do not apply degrade gracefully: counter programs skip
  * the interpreter (it rejects counters by design), non-tileable
@@ -48,16 +51,17 @@ enum : unsigned {
     kForkAnml = 1u << 3,        // (d)
     kForkTile = 1u << 4,        // (e)
     kForkBatch = 1u << 5,       // (f)
-    kForkAll = 0x3fu,
+    kForkSharded = 1u << 6,     // (g)
+    kForkAll = 0x7fu,
 };
 
 /**
- * Parse a mask spec: fork letters ("abcdef", "bd"), or "all".
+ * Parse a mask spec: fork letters ("abcdefg", "bd"), or "all".
  * @throws rapid::Error on unknown letters or an empty mask.
  */
 unsigned parseOracleMask(const std::string &text);
 
-/** Render a mask as fork letters ("abcdef"). */
+/** Render a mask as fork letters ("abcdefg"). */
 std::string formatOracleMask(unsigned mask);
 
 /** One differential-oracle case. */

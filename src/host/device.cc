@@ -1,5 +1,10 @@
 #include "host/device.h"
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "ap/placement.h"
+#include "ap/sharding.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -14,38 +19,75 @@ parseEngine(const std::string &name)
         return Engine::Scalar;
     if (name == "batch")
         return Engine::Batch;
+    if (name == "sharded")
+        return Engine::Sharded;
     throw Error("unknown engine '" + name +
-                "' (expected scalar or batch)");
+                "' (expected scalar, batch, or sharded)");
 }
 
 const char *
 engineName(Engine engine)
 {
-    return engine == Engine::Batch ? "batch" : "scalar";
+    switch (engine) {
+      case Engine::Batch:
+        return "batch";
+      case Engine::Sharded:
+        return "sharded";
+      case Engine::Scalar:
+        break;
+    }
+    return "scalar";
 }
 
-Device::Device(automata::Automaton design, Engine engine)
+Engine
+engineFromEnv(Engine fallback)
+{
+    const char *value = std::getenv("RAPID_ENGINE");
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return parseEngine(value);
+}
+
+Device::Device(automata::Automaton design, Engine engine,
+               unsigned shards)
     : _design(std::move(design)), _engine(engine)
 {
     // "configure" covers engine construction: validation plus (for the
-    // batch engine) compiling the design into match/successor tables —
+    // batch engines) compiling the design into match/successor tables —
     // the software analogue of loading a device image.
     obs::Span span("configure");
-    if (_engine == Engine::Batch)
+    if (_engine == Engine::Batch) {
         _batch = std::make_unique<automata::BatchSimulator>(_design);
-    else
+    } else if (_engine == Engine::Sharded) {
+        // The shard grouping only needs the block *assignment* —
+        // routing-cut refinement moves elements within components and
+        // cannot change which shard a component lands in, so skip it.
+        ap::PlacementOptions options;
+        options.refineEffort = 0;
+        ap::PlacementEngine placer({}, options);
+        ap::Sharder sharder;
+        _sharded = std::make_unique<ShardedExecutor>(
+            sharder.partition(_design, placer.place(_design), shards));
+    } else {
         _simulator = std::make_unique<automata::Simulator>(_design);
+    }
 }
 
-Device::Device(const ap::TiledDesign &tiled, Engine engine)
+Device::Device(const ap::TiledDesign &tiled, Engine engine,
+               unsigned shards)
     : Device(ap::replicate(tiled.blockImage, tiled.totalBlocks),
-             engine)
+             engine, shards)
 {
 }
 
 std::vector<HostReport>
-Device::enrich(const std::vector<automata::ReportEvent> &events) const
+Device::enrich(std::vector<automata::ReportEvent> events) const
 {
+    // Canonical host-visible order: ascending offset, then element id.
+    // The scalar engine emits within-cycle events in activation
+    // discovery order and the batch engines in element-id order;
+    // sorting here makes every engine's stream byte-identical.
+    std::stable_sort(events.begin(), events.end());
     std::vector<HostReport> out;
     out.reserve(events.size());
     for (const automata::ReportEvent &event : events) {
@@ -94,6 +136,8 @@ Device::run(std::string_view input)
     if (!profilingActive()) {
         if (_engine == Engine::Batch)
             return enrich(_batch->run(input));
+        if (_engine == Engine::Sharded)
+            return enrich(_sharded->run(input));
         return enrich(_simulator->run(input));
     }
 
@@ -101,11 +145,13 @@ Device::run(std::string_view input)
     std::vector<HostReport> out;
     if (_engine == Engine::Batch) {
         out = enrich(_batch->run(input, delta));
+    } else if (_engine == Engine::Sharded) {
+        out = enrich(_sharded->run(input, 0, &delta));
     } else {
         _simulator->setProfile(&delta);
         auto events = _simulator->run(input);
         _simulator->setProfile(nullptr);
-        out = enrich(events);
+        out = enrich(std::move(events));
     }
     recordRun(delta);
     return out;
@@ -126,8 +172,15 @@ Device::runBatch(const std::vector<std::string> &inputs,
                                             inputs.end());
         auto batches = _batch->runBatch(views, threads,
                                         profiling ? &delta : nullptr);
-        for (const auto &events : batches)
-            out.push_back(enrich(events));
+        for (auto &events : batches)
+            out.push_back(enrich(std::move(events)));
+    } else if (_engine == Engine::Sharded) {
+        // Streams run one after another; each stream's shards fan out
+        // over the worker pool.  Result i is exactly run(inputs[i]).
+        for (const std::string &input : inputs) {
+            out.push_back(enrich(_sharded->run(
+                input, threads, profiling ? &delta : nullptr)));
+        }
     } else {
         // One fresh profile per stream, merged — the same overlay-at-
         // offset-0 series semantics the batch engine produces.

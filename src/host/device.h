@@ -9,16 +9,23 @@
  * "the offset ... and additional identifying meta data, such as the
  * reporting macro").
  *
- * Two execution engines back the device:
+ * Three execution engines back the device:
  *
  *  - Engine::Scalar — the lock-step reference Simulator (sparse
  *    element lists, one stream at a time);
  *  - Engine::Batch — the bit-parallel BatchSimulator (word-wide STE
  *    lanes, compiled successor tables), which additionally executes
- *    many independent streams concurrently via runBatch().
+ *    many independent streams concurrently via runBatch();
+ *  - Engine::Sharded — the multi-chip topology: the design is placed,
+ *    partitioned into per-half-core (or explicitly sized) shards of
+ *    whole connected components, and each shard runs on its own
+ *    BatchSimulator over a worker pool, every shard seeing the full
+ *    broadcast symbol stream (see host/sharded.h).
  *
- * Both produce the same report streams; the differential fuzzing
- * oracle enforces this continuously.
+ * All engines produce the same *canonical* report stream — sorted by
+ * (offset, element id) — so `rapidc run` output is byte-identical
+ * across engines; the conformance suite and the differential fuzzing
+ * oracle enforce this continuously.
  */
 #ifndef RAPID_HOST_DEVICE_H
 #define RAPID_HOST_DEVICE_H
@@ -32,6 +39,7 @@
 #include "automata/automaton.h"
 #include "automata/batch_simulator.h"
 #include "automata/simulator.h"
+#include "host/sharded.h"
 #include "obs/profile.h"
 
 namespace rapid::host {
@@ -50,20 +58,36 @@ struct HostReport {
 enum class Engine {
     Scalar,
     Batch,
+    Sharded,
 };
 
-/** Parse "scalar" / "batch"; @throws rapid::Error otherwise. */
+/** Parse "scalar" / "batch" / "sharded"; @throws rapid::Error otherwise. */
 Engine parseEngine(const std::string &name);
 
 /** Human-readable engine name. */
 const char *engineName(Engine engine);
 
+/**
+ * Engine selected by the RAPID_ENGINE environment variable, or
+ * @p fallback when unset/empty.  Lets engine-agnostic hosts (the
+ * bundled examples, conformance drivers) be steered externally.
+ * @throws rapid::Error on an unknown value.
+ */
+Engine engineFromEnv(Engine fallback = Engine::Scalar);
+
 /** A loaded device ready to process streams. */
 class Device {
   public:
-    /** Load a flat design. */
+    /**
+     * Load a flat design.
+     *
+     * @p shards applies to Engine::Sharded only: 0 derives the shard
+     * count from placement (one shard per occupied half-core), N
+     * forces min(N, connected components) balanced shards.
+     */
     explicit Device(automata::Automaton design,
-                    Engine engine = Engine::Scalar);
+                    Engine engine = Engine::Scalar,
+                    unsigned shards = 0);
 
     /**
      * Load a tessellated design: the block image is replicated
@@ -71,9 +95,14 @@ class Device {
      * configuration (§6) — before execution.
      */
     explicit Device(const ap::TiledDesign &tiled,
-                    Engine engine = Engine::Scalar);
+                    Engine engine = Engine::Scalar,
+                    unsigned shards = 0);
 
-    /** Stream @p input from power-on state; returns all reports. */
+    /**
+     * Stream @p input from power-on state; returns all reports in
+     * canonical order (ascending offset, then element id) — identical
+     * across engines.
+     */
     std::vector<HostReport> run(std::string_view input);
 
     /**
@@ -94,6 +123,12 @@ class Device {
     /** The engine selected at load time. */
     Engine engine() const { return _engine; }
 
+    /** Shards the sharded engine executes (0 for other engines). */
+    size_t shardCount() const
+    {
+        return _sharded ? _sharded->shardCount() : 0;
+    }
+
     /**
      * Force execution profiling on (or off) regardless of the global
      * obs::statsEnabled() switch.  Profiling is otherwise active
@@ -113,8 +148,9 @@ class Device {
     const obs::ExecutionProfile &stats() const { return _profile; }
 
   private:
+    /** Canonically order (offset, element) and attach identities. */
     std::vector<HostReport>
-    enrich(const std::vector<automata::ReportEvent> &events) const;
+    enrich(std::vector<automata::ReportEvent> events) const;
 
     bool profilingActive() const;
     /** Merge a run's profile and mirror totals into the registry. */
@@ -124,6 +160,7 @@ class Device {
     Engine _engine = Engine::Scalar;
     std::unique_ptr<automata::Simulator> _simulator;
     std::unique_ptr<automata::BatchSimulator> _batch;
+    std::unique_ptr<ShardedExecutor> _sharded;
     bool _forceProfiling = false;
     obs::ExecutionProfile _profile;
 };

@@ -1,0 +1,208 @@
+#include "host/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace rapid::host {
+
+using automata::ElementId;
+using automata::ReportEvent;
+
+ShardedExecutor::ShardedExecutor(ap::ShardPlan plan)
+    : _plan(std::move(plan))
+{
+    _engines.reserve(_plan.shards.size());
+    for (const ap::Shard &shard : _plan.shards) {
+        _engines.push_back(
+            std::make_unique<automata::BatchSimulator>(shard.design));
+    }
+}
+
+namespace {
+
+/** Remap a shard-local profile into the full design's element space. */
+obs::ExecutionProfile
+remapProfile(const obs::ExecutionProfile &local,
+             const std::vector<ElementId> &to_global,
+             size_t global_elements)
+{
+    obs::ExecutionProfile global;
+    global.cycles = local.cycles;
+    global.activations = local.activations;
+    global.reports = local.reports;
+    global.activeSeries = local.activeSeries;
+    global.reportSeries = local.reportSeries;
+    global.cyclesPerBucket = local.cyclesPerBucket;
+    global.ensureElements(global_elements);
+    const size_t known =
+        std::min(local.elementActivations.size(), to_global.size());
+    for (size_t i = 0; i < known; ++i)
+        global.elementActivations[to_global[i]] +=
+            local.elementActivations[i];
+    return global;
+}
+
+/**
+ * K-way merge of per-shard event streams (each already sorted by
+ * (offset, element) in global ids) into one sorted stream.
+ */
+std::vector<ReportEvent>
+mergeStreams(std::vector<std::vector<ReportEvent>> &streams)
+{
+    size_t total = 0;
+    for (const auto &stream : streams)
+        total += stream.size();
+    std::vector<ReportEvent> merged;
+    merged.reserve(total);
+
+    // (event, stream index): the stream index breaks exact ties
+    // deterministically (possible only for duplicate-id-free designs
+    // never, but cheap insurance).
+    using Head = std::pair<ReportEvent, size_t>;
+    auto later = [](const Head &a, const Head &b) {
+        if (!(a.first == b.first))
+            return b.first < a.first;
+        return a.second > b.second;
+    };
+    std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(
+        later);
+    std::vector<size_t> cursor(streams.size(), 0);
+    for (size_t s = 0; s < streams.size(); ++s) {
+        if (!streams[s].empty())
+            heap.push({streams[s][0], s});
+    }
+    while (!heap.empty()) {
+        auto [event, s] = heap.top();
+        heap.pop();
+        merged.push_back(event);
+        size_t next = ++cursor[s];
+        if (next < streams[s].size())
+            heap.push({streams[s][next], s});
+    }
+    return merged;
+}
+
+} // namespace
+
+std::vector<ReportEvent>
+ShardedExecutor::run(std::string_view input, unsigned threads,
+                     obs::ExecutionProfile *profile) const
+{
+    const size_t shards = _plan.shards.size();
+    if (shards == 0) {
+        // Empty design: no reports, but the broadcast stream was still
+        // consumed — keep the logical cycle count engine-identical.
+        if (profile)
+            profile->cycles += input.size();
+        return {};
+    }
+
+    unsigned workers = threads != 0
+                           ? threads
+                           : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = static_cast<unsigned>(
+        std::min<size_t>(workers, shards));
+
+    const bool stats = obs::statsEnabled();
+    Timer wall;
+    std::vector<double> busy(shards, 0.0);
+    std::vector<std::vector<ReportEvent>> streams(shards);
+    std::vector<obs::ExecutionProfile> shard_profiles(
+        profile ? shards : 0);
+
+    auto process = [&](size_t s) {
+        obs::Span span("shard", "device");
+        const ap::Shard &shard = _plan.shards[s];
+        std::vector<ReportEvent> events;
+        if (profile) {
+            events = _engines[s]->run(input, shard_profiles[s]);
+        } else {
+            events = _engines[s]->run(input);
+        }
+        // Remap to full-design ids; ascending toGlobal keeps the
+        // shard stream sorted by (offset, global element).
+        for (ReportEvent &event : events)
+            event.element = shard.toGlobal[event.element];
+        streams[s] = std::move(events);
+    };
+    auto timed = [&](size_t s) {
+        if (stats) {
+            Timer timer;
+            process(s);
+            busy[s] = timer.seconds();
+        } else {
+            process(s);
+        }
+    };
+
+    if (workers <= 1) {
+        for (size_t s = 0; s < shards; ++s)
+            timed(s);
+    } else {
+        std::atomic<size_t> cursor{0};
+        auto worker = [&]() {
+            while (true) {
+                const size_t s =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (s >= shards)
+                    return;
+                timed(s);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    if (profile) {
+        obs::ExecutionProfile combined;
+        for (size_t s = 0; s < shards; ++s) {
+            combined.merge(remapProfile(shard_profiles[s],
+                                        _plan.shards[s].toGlobal,
+                                        _plan.totalElements));
+        }
+        // Chips consume the broadcast stream in lock-step: the logical
+        // cycle count is the stream length, not the per-shard sum.
+        combined.cycles = input.size();
+        profile->merge(combined);
+    }
+
+    obs::Span merge_span("shard_merge", "device");
+    std::vector<ReportEvent> merged = mergeStreams(streams);
+
+    if (stats) {
+        auto &registry = obs::MetricsRegistry::instance();
+        const double wall_s = wall.seconds();
+        double busy_total = 0.0;
+        auto &busy_ms = registry.histogram("sim.shard.busy_ms");
+        for (size_t s = 0; s < shards; ++s) {
+            busy_total += busy[s];
+            busy_ms.record(busy[s] * 1e3);
+        }
+        registry.counter("sim.shard.runs").add(shards);
+        registry.counter("sim.shard.reports").add(merged.size());
+        registry.gauge("sim.shard.workers")
+            .set(static_cast<double>(workers));
+        registry.gauge("sim.shard.utilization")
+            .set(wall_s > 0.0 ? busy_total /
+                                    (wall_s * static_cast<double>(
+                                                  workers))
+                              : 0.0);
+    }
+    return merged;
+}
+
+} // namespace rapid::host

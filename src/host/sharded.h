@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sharded multi-chip execution engine.
+ *
+ * Models the AP board's runtime parallelism: every chip receives the
+ * same broadcast symbol stream and executes only the blocks configured
+ * onto it.  A ShardedExecutor owns one compiled BatchSimulator per
+ * shard of a ShardPlan (see ap/sharding.h), fans the full input over a
+ * worker pool — one logical "chip" per shard — and merges the
+ * per-shard report streams back into a single deterministic stream in
+ * the full design's identity space.
+ *
+ * Determinism: shard-local report events come out of the batch engine
+ * sorted by (offset, local element id); shard extraction preserves
+ * ascending global id order, so each remapped per-shard stream is
+ * already sorted by (offset, global element id).  The final k-way
+ * merge therefore yields exactly the canonically ordered stream the
+ * scalar and batch engines produce for the whole design, regardless of
+ * how shards were scheduled.
+ *
+ * Profiling mirrors the other engines: per-shard profiles are remapped
+ * into the full design's element space and merged, and the logical
+ * cycle count is the broadcast stream length (every chip consumes the
+ * same symbols in lock-step), so heatmaps, series, and totals are
+ * engine-identical with Engine::Scalar and Engine::Batch.
+ */
+#ifndef RAPID_HOST_SHARDED_H
+#define RAPID_HOST_SHARDED_H
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ap/sharding.h"
+#include "automata/batch_simulator.h"
+#include "obs/profile.h"
+
+namespace rapid::host {
+
+/** Executes a sharded design; one compiled engine per shard. */
+class ShardedExecutor {
+  public:
+    /**
+     * Take ownership of @p plan and compile every shard.
+     * @throws CompileError when a shard design fails validation.
+     */
+    explicit ShardedExecutor(ap::ShardPlan plan);
+
+    size_t shardCount() const { return _plan.shards.size(); }
+
+    const ap::ShardPlan &plan() const { return _plan; }
+
+    /**
+     * Broadcast @p input to every shard from power-on state and return
+     * the merged report stream in full-design element ids, sorted by
+     * (offset, element).
+     *
+     * @p threads caps the worker pool (0 = hardware concurrency),
+     * clamped to the shard count; 1 executes shards inline.  When
+     * @p profile is non-null every shard is profiled and the remapped
+     * union is merged into it with cycles equal to the stream length.
+     */
+    std::vector<automata::ReportEvent>
+    run(std::string_view input, unsigned threads = 0,
+        obs::ExecutionProfile *profile = nullptr) const;
+
+  private:
+    ap::ShardPlan _plan;
+    std::vector<std::unique_ptr<automata::BatchSimulator>> _engines;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_SHARDED_H

@@ -14,7 +14,9 @@
  *   rapidc pnr     prog.rapid [--args args.txt]
  *   rapidc run     prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # treat input lines as records
- *                   [--engine=scalar|batch]  # execution engine
+ *                   [--engine=scalar|batch|sharded]  # execution engine
+ *                   [--shards=N]        # sharded engine: shard count
+ *                                       # (default: auto from placement)
  *   rapidc interpret prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # reference interpreter
  *   rapidc witness prog.rapid [--args args.txt]
@@ -88,10 +90,27 @@ struct Options {
     bool trace = false;
     bool frame = false;
     host::Engine engine = host::Engine::Scalar;
+    /** Sharded engine: forced shard count (0 = auto from placement). */
+    unsigned shards = 0;
 };
 
 /** Device execution profile of the `run` command (JSON), if any. */
 std::string g_profileJson;
+
+/** Parse a --shards value; @throws rapid::Error on junk. */
+unsigned
+parseShards(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        throw Error("--shards expects a non-negative integer, got '" +
+                    text + "'");
+    }
+    unsigned long value = std::stoul(text);
+    if (value > 1u << 20)
+        throw Error("--shards value out of range: " + text);
+    return static_cast<unsigned>(value);
+}
 
 [[noreturn]] void
 usage()
@@ -103,8 +122,9 @@ usage()
         "              [--args file] [-o out.anml] [--no-optimize]\n"
         "              [--positional] [--tile] [--stats]\n"
         "              [--input file] [--frame] "
-        "[--engine=scalar|batch]\n"
-        "              [--stats=file.json] [--trace[=file.json]]\n");
+        "[--engine=scalar|batch|sharded]\n"
+        "              [--shards=N] [--stats=file.json] "
+        "[--trace[=file.json]]\n");
     std::exit(2);
 }
 
@@ -151,6 +171,11 @@ parseOptions(int argc, char **argv)
         else if (startsWith(arg, "--engine="))
             options.engine = host::parseEngine(
                 arg.substr(std::string("--engine=").size()));
+        else if (arg == "--shards")
+            options.shards = parseShards(next());
+        else if (startsWith(arg, "--shards="))
+            options.shards = parseShards(
+                arg.substr(std::string("--shards=").size()));
         else if (!startsWith(arg, "-") && options.program.empty())
             options.program = arg;
         else
@@ -345,7 +370,7 @@ run(const Options &options)
     if (options.command == "run") {
         std::string input = loadInput(options);
         host::Device device(std::move(compiled.automaton),
-                            options.engine);
+                            options.engine, options.shards);
         auto reports = device.run(input);
         for (const host::HostReport &report : reports) {
             std::printf("%llu\t%s\t%s\n",
@@ -354,6 +379,10 @@ run(const Options &options)
         }
         std::fprintf(stderr, "%zu report(s) over %zu symbols\n",
                      reports.size(), input.size());
+        if (options.engine == host::Engine::Sharded) {
+            std::fprintf(stderr, "engine: sharded over %zu shard(s)\n",
+                         device.shardCount());
+        }
         if (obs::statsEnabled())
             g_profileJson = device.stats().toJson();
         return 0;

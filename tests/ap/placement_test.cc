@@ -1,16 +1,21 @@
 /**
  * @file
  * Placement-and-routing engine tests: Table 1 geometry, packing
- * invariants (parameterized across design sizes), metric algebra, the
- * clock-divisor rule, and capacity errors.
+ * invariants (parameterized across design sizes and randomized
+ * multi-component designs), metric algebra, the clock-divisor rule,
+ * capacity errors, and the shard-partition cover property.
  */
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "ap/placement.h"
+#include "ap/sharding.h"
 #include "apps/benchmarks.h"
 #include "lang/codegen.h"
 #include "lang/parser.h"
 #include "support/error.h"
+#include "support/rng.h"
 
 namespace rapid::ap {
 namespace {
@@ -228,6 +233,150 @@ TEST_P(PlacementInvariants, BlocksNeverExceedResources)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PlacementInvariants,
                          ::testing::Values(1, 3, 9, 27, 81, 200));
+
+/**
+ * A random multi-component design: chains of varying length, some
+ * decorated with a counter + gate, plus an occasional over-block
+ * chain so splitting large components stays exercised.
+ */
+Automaton
+randomDesign(Rng &rng)
+{
+    Automaton design;
+    const size_t components = 4 + rng.below(10);
+    for (size_t c = 0; c < components; ++c) {
+        size_t length = 1 + rng.below(40);
+        if (rng.below(8) == 0)
+            length = 256 + rng.below(200); // spans blocks by design
+        ElementId prev = design.addSte(CharSet::single('a'),
+                                       StartKind::AllInput);
+        for (size_t i = 1; i < length; ++i) {
+            ElementId next = design.addSte(CharSet::single('b'));
+            design.connect(prev, next);
+            prev = next;
+        }
+        if (rng.below(3) == 0) {
+            ElementId counter = design.addCounter(2);
+            ElementId gate = design.addGate(GateOp::Or);
+            design.connect(prev, counter, Port::Count);
+            design.connect(prev, gate);
+            design.setReport(gate);
+        } else {
+            design.setReport(prev);
+        }
+    }
+    return design;
+}
+
+/** Resource demand of one component. */
+ResourceVector
+componentDemand(const Automaton &design,
+                const std::vector<ElementId> &component)
+{
+    ResourceVector need;
+    for (ElementId id : component) {
+        switch (design[id].kind) {
+          case automata::ElementKind::Ste:
+            ++need.stes;
+            break;
+          case automata::ElementKind::Counter:
+            ++need.counters;
+            break;
+          case automata::ElementKind::Gate:
+            ++need.bools;
+            break;
+        }
+    }
+    return need;
+}
+
+/**
+ * Property: across random designs, placement respects per-block
+ * capacities — including counter and boolean limits, and including
+ * after hill-climb refinement.
+ */
+TEST(PlacementProperty, BlocksRespectDeviceConfigCapacities)
+{
+    Rng rng(2024);
+    DeviceConfig config;
+    for (int round = 0; round < 20; ++round) {
+        Automaton design = randomDesign(rng);
+        PlacementEngine engine;
+        auto result = engine.place(design);
+        for (const BlockUsage &block : result.blocks) {
+            EXPECT_LE(block.stes, config.stesPerBlock());
+            EXPECT_LE(block.counters, config.countersPerBlock);
+            EXPECT_LE(block.bools, config.boolsPerBlock);
+        }
+        for (ElementId i = 0; i < design.size(); ++i)
+            EXPECT_LT(result.blockOf[i], result.blocks.size());
+    }
+}
+
+/**
+ * Property: a connected component whose whole demand fits a single
+ * block is never split across blocks — only over-block components may
+ * straddle a boundary.  (Refinement cannot split a mono-block
+ * component either: every move follows an edge, and all of its
+ * neighbours share its block.)
+ */
+TEST(PlacementProperty, BlockFittingComponentIsNeverSplit)
+{
+    Rng rng(7);
+    DeviceConfig config;
+    for (int round = 0; round < 20; ++round) {
+        Automaton design = randomDesign(rng);
+        PlacementEngine engine;
+        auto result = engine.place(design);
+        size_t whole = 0;
+        for (const auto &component : design.components()) {
+            if (!componentDemand(design, component).fitsBlock(config))
+                continue;
+            ++whole;
+            uint32_t block = result.blockOf[component.front()];
+            for (ElementId id : component)
+                EXPECT_EQ(result.blockOf[id], block)
+                    << "component of " << component.size()
+                    << " elements split across blocks";
+        }
+        ASSERT_GT(whole, 0u); // the property must not be vacuous
+    }
+}
+
+/**
+ * Property: the shard partition derived from a placement covers every
+ * connected component exactly once, for the auto policy and for every
+ * explicit shard count.
+ */
+TEST(PlacementProperty, ShardPartitionCoversEveryComponentOnce)
+{
+    Rng rng(99);
+    for (int round = 0; round < 10; ++round) {
+        Automaton design = randomDesign(rng);
+        PlacementEngine engine;
+        auto placed = engine.place(design);
+        const size_t components = design.components().size();
+        Sharder sharder;
+        for (unsigned requested : {0u, 1u, 2u, 5u, 1000u}) {
+            ShardPlan plan =
+                sharder.partition(design, placed, requested);
+            EXPECT_EQ(plan.totalElements, design.size());
+            EXPECT_EQ(plan.shardOfComponent.size(), components);
+            std::set<ElementId> seen;
+            size_t component_sum = 0;
+            for (const Shard &shard : plan.shards) {
+                component_sum += shard.components;
+                for (ElementId id : shard.toGlobal)
+                    EXPECT_TRUE(seen.insert(id).second)
+                        << "element in two shards";
+            }
+            EXPECT_EQ(seen.size(), design.size());
+            EXPECT_EQ(component_sum, components);
+            for (uint32_t shard : plan.shardOfComponent)
+                EXPECT_LT(shard, plan.shards.size());
+        }
+    }
+}
 
 } // namespace
 } // namespace rapid::ap

@@ -107,5 +107,107 @@ TEST(Tessellation, BlockImageUtilizationReflectsPacking)
     EXPECT_NEAR(design.blockPlacement.steUtilization, 1.0, 1e-9);
 }
 
+/**
+ * The incremental tuner tilesPerBlock() replaced: add copies until
+ * the next one would spill out of the block.  Kept here as the
+ * reference the closed form must reproduce exactly.
+ */
+size_t
+referenceTilesPerBlock(const DeviceConfig &config,
+                       const ResourceVector &need)
+{
+    const size_t rows_per_tile =
+        (need.stes + config.stesPerRow - 1) / config.stesPerRow;
+    size_t count = 0;
+    while (true) {
+        size_t next = count + 1;
+        bool fits = next * std::max<size_t>(rows_per_tile, 1) <=
+                        config.rowsPerBlock &&
+                    next * need.counters <= config.countersPerBlock &&
+                    next * need.bools <= config.boolsPerBlock;
+        if (!fits)
+            break;
+        count = next;
+    }
+    return count;
+}
+
+/** A tile with an exact resource demand (chain + counters + gates). */
+Automaton
+tileWithDemand(size_t stes, size_t counters, size_t bools)
+{
+    Automaton design;
+    ElementId prev = automata::kNoElement;
+    for (size_t i = 0; i < stes; ++i) {
+        ElementId ste = design.addSte(
+            CharSet::single('a'),
+            i == 0 ? StartKind::AllInput : StartKind::None);
+        if (prev != automata::kNoElement)
+            design.connect(prev, ste);
+        prev = ste;
+    }
+    for (size_t i = 0; i < counters; ++i) {
+        ElementId counter = design.addCounter(2);
+        if (prev != automata::kNoElement)
+            design.connect(prev, counter, Port::Count);
+    }
+    for (size_t i = 0; i < bools; ++i) {
+        ElementId gate = design.addGate(automata::GateOp::Or);
+        if (prev != automata::kNoElement)
+            design.connect(prev, gate);
+    }
+    return design;
+}
+
+/**
+ * The closed-form quotient agrees with the incremental reference on
+ * every feasible demand — in particular at the capacity boundaries
+ * (row-count divisors, counter and boolean exhaustion), on Table 1
+ * geometry and on a deliberately non-divisible small config.
+ */
+TEST(Tessellation, ClosedFormMatchesIncrementalReference)
+{
+    DeviceConfig table1;
+    DeviceConfig awkward;
+    awkward.stesPerRow = 5;
+    awkward.rowsPerBlock = 7;
+    awkward.countersPerBlock = 3;
+    awkward.boolsPerBlock = 5;
+
+    for (const DeviceConfig &config : {table1, awkward}) {
+        Tessellator tessellator(config);
+        std::vector<size_t> ste_counts = {0, 1};
+        // Row boundaries: one below, at, and above each multiple.
+        for (uint32_t row = 1; row <= config.rowsPerBlock; ++row) {
+            size_t at = static_cast<size_t>(row) * config.stesPerRow;
+            ste_counts.push_back(at - 1);
+            ste_counts.push_back(at);
+            if (at + 1 <= config.stesPerBlock())
+                ste_counts.push_back(at + 1);
+        }
+        for (size_t stes : ste_counts) {
+            for (size_t counters = 0;
+                 counters <= config.countersPerBlock; ++counters) {
+                for (size_t bools = 0;
+                     bools <= config.boolsPerBlock; ++bools) {
+                    if (stes + counters + bools == 0)
+                        continue;
+                    Automaton design =
+                        tileWithDemand(stes, counters, bools);
+                    ResourceVector need =
+                        PlacementEngine::demand(design);
+                    if (!need.fitsBlock(config))
+                        continue;
+                    EXPECT_EQ(tessellator.tilesPerBlock(design),
+                              referenceTilesPerBlock(config, need))
+                        << "stes=" << stes
+                        << " counters=" << counters
+                        << " bools=" << bools;
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace rapid::ap

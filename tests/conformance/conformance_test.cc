@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Golden end-to-end conformance suite (the `conformance` ctest
+ * label): every bundled workload and example runs under the scalar,
+ * batch, and sharded engines, and each engine's report stream must be
+ * byte-identical to the checked-in golden.  The goldens pin the
+ * canonical host-visible stream — (offset, code, element) in
+ * ascending (offset, element) order — so any engine that diverges
+ * from the scalar reference, or any compiler change that moves a
+ * report, fails here first.
+ *
+ * Regenerate the goldens with scripts/update_goldens.sh after an
+ * intentional behaviour change.
+ *
+ * Paths arrive via compile definitions from tests/CMakeLists.txt:
+ * RAPID_RAPIDC_PATH, RAPID_EXAMPLE_DIR, RAPID_SOURCE_DIR.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rapid {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * Drop lines that legitimately vary run to run (wall-clock timings).
+ * scripts/update_goldens.sh applies the same filter — keep in sync.
+ */
+std::string
+normalize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("tuned in") != std::string::npos)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+captureStdout(const std::string &command, const std::string &tag)
+{
+    const std::string path = "conformance_" + tag + ".out";
+    const std::string full = command + " > " + path + " 2> /dev/null";
+    EXPECT_EQ(std::system(full.c_str()), 0) << full;
+    return normalize(readFile(path));
+}
+
+std::string
+golden(const std::string &name)
+{
+    return normalize(readFile(std::string(RAPID_SOURCE_DIR) +
+                              "/tests/conformance/golden/" + name +
+                              ".golden"));
+}
+
+/** Engine flags exercised against every golden. */
+const std::vector<std::string> kEngineFlags = {
+    "--engine=scalar",
+    "--engine=batch",
+    "--engine=sharded",
+    "--engine=sharded --shards=4",
+};
+
+void
+checkWorkload(const std::string &name, bool frame)
+{
+    const std::string root = RAPID_SOURCE_DIR;
+    const std::string expected = golden("workload_" + name);
+    ASSERT_FALSE(expected.empty()) << "empty golden for " << name;
+    size_t tag = 0;
+    for (const std::string &flags : kEngineFlags) {
+        std::string command = std::string(RAPID_RAPIDC_PATH) +
+                              " run " + flags + " " + root +
+                              "/workloads/" + name + ".rapid --args " +
+                              root + "/workloads/" + name +
+                              ".args --input " + root +
+                              "/tests/conformance/inputs/" + name +
+                              ".input";
+        if (frame)
+            command += " --frame";
+        EXPECT_EQ(captureStdout(command,
+                                name + std::to_string(tag++)),
+                  expected)
+            << name << " under " << flags;
+    }
+}
+
+void
+checkExample(const std::string &name)
+{
+    const std::string expected = golden("example_" + name);
+    ASSERT_FALSE(expected.empty()) << "empty golden for " << name;
+    for (const char *engine : {"scalar", "batch", "sharded"}) {
+        std::string command = std::string("RAPID_ENGINE=") + engine +
+                              " " RAPID_EXAMPLE_DIR "/" + name;
+        EXPECT_EQ(captureStdout(command, name + "_" + engine),
+                  expected)
+            << name << " under RAPID_ENGINE=" << engine;
+    }
+}
+
+TEST(Conformance, WorkloadExactDna) { checkWorkload("exact_dna", false); }
+TEST(Conformance, WorkloadHamming) { checkWorkload("hamming", true); }
+TEST(Conformance, WorkloadMotifScan) { checkWorkload("motif_scan", false); }
+
+TEST(Conformance, ExampleQuickstart) { checkExample("quickstart"); }
+TEST(Conformance, ExampleSpamFilter) { checkExample("spam_filter"); }
+TEST(Conformance, ExampleMotifSearch) { checkExample("motif_search"); }
+TEST(Conformance, ExamplePacketInspection)
+{
+    checkExample("packet_inspection");
+}
+TEST(Conformance, ExampleFuzzyDictionary)
+{
+    checkExample("fuzzy_dictionary");
+}
+
+} // namespace
+} // namespace rapid

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,29 +33,45 @@ corpusSeeds()
     return seeds;
 }
 
-/** The headline sweep: generated programs across all oracle forks. */
+/**
+ * The headline sweep: 8000 generated programs across all oracle
+ * forks (including the sharded engine, fork g).
+ */
 TEST(DifferentialFuzz, BoundedSweepFindsNoDivergence)
 {
     FuzzOptions options;
     options.seed = 1;
-    options.iterations = 2000;
+    options.iterations = 8000;
     options.inputsPerCase = 2;
     options.maxInputSymbols = 32;
     options.corpus = corpusSeeds();
 
     FuzzResult result = runFuzz(options);
 
+    // On divergence, persist the minimized repro next to the test
+    // binary and print its path — `rapidfuzz --repro <path>` replays
+    // it directly.
+    std::string repro_path;
+    if (result.divergence) {
+        repro_path = "fuzz_repro_seed" +
+                     std::to_string(options.seed) + "_case" +
+                     std::to_string(result.repro.caseIndex) +
+                     ".rapidfuzz";
+        std::ofstream out(repro_path, std::ios::binary);
+        out << formatRepro(result.repro);
+    }
     EXPECT_FALSE(result.divergence)
         << "seed " << options.seed << " case "
         << result.repro.caseIndex << ": " << result.repro.detail
-        << "\n"
+        << "\nrepro written to: " << repro_path
+        << " (replay with rapidfuzz --repro)\n"
         << formatRepro(result.repro);
     EXPECT_EQ(result.cases, options.iterations);
     // The generator must emit compilable programs: rejections are
     // generator defects even when no fork disagrees.
     EXPECT_EQ(result.rejected, 0u);
     // The sweep must exercise real behaviour, not vacuous programs.
-    EXPECT_GT(result.reportsSeen, 1000u);
+    EXPECT_GT(result.reportsSeen, 4000u);
     EXPECT_GT(result.counterCases, 0u);
     EXPECT_GT(result.tileCases, 0u);
     EXPECT_GT(result.mutatedCases, 0u);
@@ -196,21 +213,23 @@ TEST(DifferentialFuzz, ReproRoundTrip)
 TEST(DifferentialFuzz, OracleMaskParsing)
 {
     EXPECT_EQ(parseOracleMask("all"), kForkAll);
-    EXPECT_EQ(parseOracleMask("abcdef"), kForkAll);
+    EXPECT_EQ(parseOracleMask("abcdefg"), kForkAll);
     EXPECT_EQ(parseOracleMask("bd"), kForkRaw | kForkAnml);
     EXPECT_EQ(parseOracleMask("bf"), kForkRaw | kForkBatch);
-    EXPECT_EQ(formatOracleMask(kForkAll), "abcdef");
+    EXPECT_EQ(parseOracleMask("bg"), kForkRaw | kForkSharded);
+    EXPECT_EQ(formatOracleMask(kForkAll), "abcdefg");
     EXPECT_EQ(formatOracleMask(kForkRaw | kForkTile), "be");
     EXPECT_EQ(formatOracleMask(kForkBatch), "f");
+    EXPECT_EQ(formatOracleMask(kForkSharded), "g");
     EXPECT_THROW(parseOracleMask(""), Error);
     EXPECT_THROW(parseOracleMask("xyz"), Error);
 }
 
 /**
- * The batch-engine fork is part of the default mask and actually
- * executes: a sweep selecting it must record it in ranMask, on both
- * counter-free and counter-bearing programs (the batch engine,
- * unlike the interpreter, supports counters).
+ * The batch- and sharded-engine forks are part of the default mask
+ * and actually execute: a sweep selecting them must record them in
+ * ranMask, on both counter-free and counter-bearing programs (both
+ * engines, unlike the interpreter, support counters).
  */
 TEST(DifferentialFuzz, BatchForkRunsByDefault)
 {
@@ -227,6 +246,7 @@ TEST(DifferentialFuzz, BatchForkRunsByDefault)
         EXPECT_FALSE(outcome.divergence)
             << entry.name << ": " << outcome.detail;
         EXPECT_NE(outcome.ranMask & kForkBatch, 0u) << entry.name;
+        EXPECT_NE(outcome.ranMask & kForkSharded, 0u) << entry.name;
     }
 
     const char *counter_source =
@@ -244,11 +264,12 @@ TEST(DifferentialFuzz, BatchForkRunsByDefault)
     OracleCase counters;
     counters.source = counter_source;
     counters.input = "aaaa";
-    counters.mask = kForkRaw | kForkBatch;
+    counters.mask = kForkRaw | kForkBatch | kForkSharded;
     OracleResult outcome = runOracle(counters);
     ASSERT_TRUE(outcome.ran) << outcome.detail;
     EXPECT_FALSE(outcome.divergence) << outcome.detail;
     EXPECT_NE(outcome.ranMask & kForkBatch, 0u);
+    EXPECT_NE(outcome.ranMask & kForkSharded, 0u);
 }
 
 /** An interpreter-visible divergence is detected, not masked. */

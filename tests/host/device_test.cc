@@ -76,8 +76,10 @@ TEST(Device, EngineNamesParseAndFormat)
 {
     EXPECT_EQ(parseEngine("scalar"), Engine::Scalar);
     EXPECT_EQ(parseEngine("batch"), Engine::Batch);
+    EXPECT_EQ(parseEngine("sharded"), Engine::Sharded);
     EXPECT_STREQ(engineName(Engine::Scalar), "scalar");
     EXPECT_STREQ(engineName(Engine::Batch), "batch");
+    EXPECT_STREQ(engineName(Engine::Sharded), "sharded");
     EXPECT_THROW(parseEngine(""), Error);
     EXPECT_THROW(parseEngine("turbo"), Error);
 }

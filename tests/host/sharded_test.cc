@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Sharded execution engine tests: sub-automaton extraction, shard
+ * partition invariants, merge determinism, and report-stream equality
+ * with the scalar reference across shard counts.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ap/placement.h"
+#include "ap/sharding.h"
+#include "automata/simulator.h"
+#include "host/device.h"
+#include "host/sharded.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rapid::host {
+namespace {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::ReportEvent;
+using automata::StartKind;
+
+const char *kProgram = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String[] ps) { some (String p : ps) match(p); }
+)";
+
+lang::CompiledProgram
+compile(const std::vector<std::string> &patterns)
+{
+    lang::Program program = lang::parseProgram(kProgram);
+    return lang::compileProgram(program,
+                                {lang::Value::strArray(patterns)});
+}
+
+ap::ShardPlan
+planFor(const Automaton &automaton, unsigned requested)
+{
+    ap::PlacementOptions options;
+    options.refineEffort = 0;
+    ap::PlacementEngine placer({}, options);
+    ap::Sharder sharder;
+    return sharder.partition(automaton, placer.place(automaton),
+                             requested);
+}
+
+TEST(ExtractSubAutomaton, PreservesIdentityAndEdges)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'),
+                                StartKind::AllInput, "a");
+    ElementId b = design.addSte(CharSet::single('b'),
+                                StartKind::None, "b");
+    ElementId c = design.addSte(CharSet::single('c'),
+                                StartKind::None, "c");
+    design.connect(a, b);
+    design.connect(b, c);
+    design.setReport(c, "code#1");
+
+    std::vector<ElementId> to_global;
+    Automaton sub = ap::extractSubAutomaton(design, {c, a, b, b},
+                                            &to_global);
+    ASSERT_EQ(sub.size(), 3u);
+    EXPECT_EQ(to_global, (std::vector<ElementId>{a, b, c}));
+    EXPECT_EQ(sub[0].id, "a");
+    EXPECT_EQ(sub[2].id, "c");
+    EXPECT_TRUE(sub[2].report);
+    EXPECT_EQ(sub[2].reportCode, "code#1");
+
+    // Same behaviour as the original.
+    automata::Simulator original(design);
+    automata::Simulator extracted(sub);
+    EXPECT_EQ(original.run("abc").size(), extracted.run("abc").size());
+}
+
+TEST(ExtractSubAutomaton, DropsEdgesLeavingTheSelection)
+{
+    Automaton design;
+    ElementId a = design.addSte(CharSet::single('a'),
+                                StartKind::AllInput, "a");
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    std::vector<ElementId> to_global;
+    Automaton sub = ap::extractSubAutomaton(design, {a}, &to_global);
+    ASSERT_EQ(sub.size(), 1u);
+    EXPECT_TRUE(sub[0].outputs.empty());
+}
+
+TEST(Sharder, PartitionCoversEveryComponentExactlyOnce)
+{
+    auto compiled = compile({"ab", "cd", "ef", "gh", "ij"});
+    const Automaton &design = compiled.automaton;
+    const size_t components = design.components().size();
+
+    for (unsigned requested : {0u, 1u, 2u, 3u, 16u, 1000u}) {
+        ap::ShardPlan plan = planFor(design, requested);
+        EXPECT_EQ(plan.totalElements, design.size());
+        if (requested > 0) {
+            EXPECT_EQ(plan.shards.size(),
+                      std::min<size_t>(requested, components));
+        }
+        std::set<ElementId> seen;
+        size_t component_sum = 0;
+        for (const ap::Shard &shard : plan.shards) {
+            EXPECT_GT(shard.toGlobal.size(), 0u);
+            EXPECT_TRUE(std::is_sorted(shard.toGlobal.begin(),
+                                       shard.toGlobal.end()));
+            EXPECT_EQ(shard.design.size(), shard.toGlobal.size());
+            component_sum += shard.components;
+            for (ElementId id : shard.toGlobal)
+                EXPECT_TRUE(seen.insert(id).second)
+                    << "element in two shards";
+        }
+        EXPECT_EQ(seen.size(), design.size());
+        EXPECT_EQ(component_sum, components);
+        EXPECT_EQ(plan.shardOfComponent.size(), components);
+    }
+}
+
+TEST(Sharder, EmptyDesignYieldsEmptyPlan)
+{
+    ap::ShardPlan plan = planFor(Automaton{}, 4);
+    EXPECT_TRUE(plan.shards.empty());
+    EXPECT_EQ(plan.totalElements, 0u);
+}
+
+TEST(ShardedExecutor, MatchesScalarAcrossShardCounts)
+{
+    auto compiled =
+        compile({"ab", "ba", "abba", "cc", "abc", "ca"});
+    automata::Simulator reference(compiled.automaton);
+
+    InputTransformer transformer;
+    Rng rng(99);
+    for (int round = 0; round < 6; ++round) {
+        std::string stream = transformer.frame(
+            {rng.string(8, "abc"), rng.string(5, "abc"),
+             rng.string(7, "abc")});
+        auto expected = reference.run(stream);
+        std::sort(expected.begin(), expected.end());
+
+        for (unsigned requested : {1u, 2u, 3u, 6u, 64u}) {
+            ShardedExecutor executor(
+                planFor(compiled.automaton, requested));
+            auto merged = executor.run(stream);
+            EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+            EXPECT_EQ(merged, expected)
+                << "shards=" << executor.shardCount();
+        }
+    }
+}
+
+TEST(ShardedExecutor, MergedStreamIsThreadCountInvariant)
+{
+    auto compiled = compile({"aa", "ab", "bb", "ba"});
+    ShardedExecutor executor(planFor(compiled.automaton, 4));
+    ASSERT_EQ(executor.shardCount(), 4u);
+    Rng rng(5);
+    std::string input = rng.string(300, "ab");
+    auto inline_run = executor.run(input, 1);
+    auto pooled_run = executor.run(input, 4);
+    EXPECT_EQ(inline_run, pooled_run);
+}
+
+TEST(ShardedExecutor, ProfileMatchesScalarEngine)
+{
+    auto for_scalar = compile({"ab", "ba", "cc"});
+    auto for_sharded = compile({"ab", "ba", "cc"});
+
+    InputTransformer transformer;
+    std::string stream =
+        transformer.frame({"ab", "cc", "xy", "ba", "ab"});
+
+    Device scalar(std::move(for_scalar.automaton), Engine::Scalar);
+    scalar.setProfiling(true);
+    scalar.run(stream);
+
+    Device sharded(std::move(for_sharded.automaton), Engine::Sharded,
+                   3);
+    sharded.setProfiling(true);
+    sharded.run(stream);
+
+    const obs::ExecutionProfile &lhs = scalar.stats();
+    const obs::ExecutionProfile &rhs = sharded.stats();
+    EXPECT_EQ(lhs.cycles, rhs.cycles);
+    EXPECT_EQ(lhs.activations, rhs.activations);
+    EXPECT_EQ(lhs.reports, rhs.reports);
+    // Heatmaps are engine-identical element by element.
+    ASSERT_EQ(lhs.elementActivations.size(),
+              rhs.elementActivations.size());
+    for (size_t i = 0; i < lhs.elementActivations.size(); ++i)
+        EXPECT_EQ(lhs.elementActivations[i],
+                  rhs.elementActivations[i])
+            << "element " << i;
+    EXPECT_EQ(lhs.activeSeries, rhs.activeSeries);
+    EXPECT_EQ(lhs.reportSeries, rhs.reportSeries);
+}
+
+TEST(Device, ShardedEngineMatchesScalarByteForByte)
+{
+    auto for_scalar = compile({"ab", "ba", "abba"});
+    auto for_sharded = compile({"ab", "ba", "abba"});
+    Device scalar(std::move(for_scalar.automaton), Engine::Scalar);
+    Device sharded(std::move(for_sharded.automaton), Engine::Sharded);
+    EXPECT_EQ(sharded.engine(), Engine::Sharded);
+    EXPECT_GE(sharded.shardCount(), 1u);
+
+    InputTransformer transformer;
+    std::string stream =
+        transformer.frame({"ab", "ba", "abba", "bab"});
+    auto lhs = scalar.run(stream);
+    auto rhs = sharded.run(stream);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(lhs[i].offset, rhs[i].offset);
+        EXPECT_EQ(lhs[i].element, rhs[i].element);
+        EXPECT_EQ(lhs[i].code, rhs[i].code);
+    }
+
+    // runBatch agrees with per-stream run().
+    std::vector<std::string> streams = {
+        transformer.frame({"ab"}), transformer.frame({"ba", "abba"})};
+    auto batched = sharded.runBatch(streams);
+    ASSERT_EQ(batched.size(), 2u);
+    for (size_t i = 0; i < streams.size(); ++i) {
+        auto direct = scalar.run(streams[i]);
+        ASSERT_EQ(batched[i].size(), direct.size());
+        for (size_t j = 0; j < direct.size(); ++j) {
+            EXPECT_EQ(batched[i][j].offset, direct[j].offset);
+            EXPECT_EQ(batched[i][j].element, direct[j].element);
+        }
+    }
+}
+
+TEST(Device, EngineFromEnvParsesAndFallsBack)
+{
+    ::unsetenv("RAPID_ENGINE");
+    EXPECT_EQ(engineFromEnv(), Engine::Scalar);
+    EXPECT_EQ(engineFromEnv(Engine::Batch), Engine::Batch);
+    ::setenv("RAPID_ENGINE", "sharded", 1);
+    EXPECT_EQ(engineFromEnv(), Engine::Sharded);
+    ::setenv("RAPID_ENGINE", "batch", 1);
+    EXPECT_EQ(engineFromEnv(), Engine::Batch);
+    ::setenv("RAPID_ENGINE", "", 1);
+    EXPECT_EQ(engineFromEnv(), Engine::Scalar);
+    ::setenv("RAPID_ENGINE", "warp", 1);
+    EXPECT_THROW(engineFromEnv(), Error);
+    ::unsetenv("RAPID_ENGINE");
+}
+
+} // namespace
+} // namespace rapid::host
