@@ -1,24 +1,43 @@
 #!/usr/bin/env sh
 # Full verification sweep: configure, build, test, and run every bench.
-set -e
+#
+# Configure/build failures abort immediately (nothing later could
+# run); every subsequent stage always runs, and the script exits
+# non-zero when ANY stage failed — a passing late stage can never mask
+# an earlier failure.
+set -u
 cd "$(dirname "$0")/.."
-cmake -B build
-cmake --build build
-ctest --test-dir build --output-on-failure
+
+cmake -B build || exit 1
+cmake --build build -j || exit 1
+
+status=0
+
+run_stage() {
+    echo "== $*"
+    if ! "$@"; then
+        echo "check.sh: stage failed: $*" >&2
+        status=1
+    fi
+}
+
+run_stage ctest --test-dir build --output-on-failure
 # Telemetry end-to-end: rapidc --stats/--trace must emit valid JSON.
-ctest --test-dir build --output-on-failure -L obs_smoke
+run_stage ctest --test-dir build --output-on-failure -L obs_smoke
 # Golden conformance: every engine reproduces the checked-in report
-# streams for all workloads and examples.
-ctest --test-dir build --output-on-failure -L conformance
+# streams for all workloads and examples, including the .apimg image
+# path.
+run_stage ctest --test-dir build --output-on-failure -L conformance
 # Differential fuzzing: a divergence writes a fuzz_repro_*.rapidfuzz
 # file (path printed in the failure output; replay with
 # `rapidfuzz --repro <file>`).
-if ! ctest --test-dir build --output-on-failure -R fuzz; then
+if ! ctest --test-dir build --output-on-failure -L fuzz; then
     echo "fuzz sweep failed; repro files (replay with rapidfuzz --repro):" >&2
     find build -name 'fuzz_repro_*.rapidfuzz' >&2
-    exit 1
+    status=1
 fi
 for b in build/bench/bench_*; do
-    echo "== $b"
-    "$b"
+    run_stage "$b"
 done
+
+exit "$status"

@@ -1,0 +1,254 @@
+#include "ap/image.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "automata/serialize.h"
+#include "obs/trace.h"
+#include "support/binio.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace rapid::ap {
+
+namespace {
+
+constexpr const char *kContext = "apimg";
+
+/** Serialized size floor of one BlockUsage (6 u32 + 1 f64). */
+constexpr size_t kBlockUsageBytes = 6 * 4 + 8;
+
+void
+serializePlacement(BinaryWriter &writer, const PlacementResult &placement)
+{
+    writer.u64(placement.totalBlocks);
+    writer.f64(placement.steUtilization);
+    writer.f64(placement.meanBrAllocation);
+    writer.u32(static_cast<uint32_t>(placement.clockDivisor));
+    writer.f64(placement.placeRouteSeconds);
+    writer.u64(placement.refineMoves);
+    writer.u64(placement.blockOf.size());
+    for (uint32_t block : placement.blockOf)
+        writer.u32(block);
+    writer.u64(placement.blocks.size());
+    for (const BlockUsage &usage : placement.blocks) {
+        writer.u32(usage.stes);
+        writer.u32(usage.counters);
+        writer.u32(usage.bools);
+        writer.u32(usage.rowsUsed);
+        writer.u32(usage.crossingEdges);
+        writer.u32(usage.internalEdges);
+        writer.f64(usage.brAllocation);
+    }
+}
+
+PlacementResult
+deserializePlacement(BinaryReader &reader)
+{
+    PlacementResult placement;
+    placement.totalBlocks = reader.u64();
+    placement.steUtilization = reader.f64();
+    placement.meanBrAllocation = reader.f64();
+    placement.clockDivisor = static_cast<int>(reader.u32());
+    placement.placeRouteSeconds = reader.f64();
+    placement.refineMoves = reader.u64();
+    const uint64_t elements = reader.count(4);
+    placement.blockOf.reserve(elements);
+    for (uint64_t i = 0; i < elements; ++i)
+        placement.blockOf.push_back(reader.u32());
+    const uint64_t blocks = reader.count(kBlockUsageBytes);
+    placement.blocks.reserve(blocks);
+    for (uint64_t i = 0; i < blocks; ++i) {
+        BlockUsage usage;
+        usage.stes = reader.u32();
+        usage.counters = reader.u32();
+        usage.bools = reader.u32();
+        usage.rowsUsed = reader.u32();
+        usage.crossingEdges = reader.u32();
+        usage.internalEdges = reader.u32();
+        usage.brAllocation = reader.f64();
+        placement.blocks.push_back(usage);
+    }
+    for (uint32_t block : placement.blockOf) {
+        if (block >= placement.blocks.size()) {
+            throw Error(strprintf(
+                "%s: placement assigns an element to block %u of %zu",
+                kContext, block, placement.blocks.size()));
+        }
+    }
+    return placement;
+}
+
+[[noreturn]] void
+corrupt(const std::string &what)
+{
+    throw Error(std::string(kContext) + ": " + what);
+}
+
+} // namespace
+
+bool
+looksLikeImage(std::string_view bytes)
+{
+    return bytes.size() >= sizeof(kImageMagic) &&
+           std::memcmp(bytes.data(), kImageMagic,
+                       sizeof(kImageMagic)) == 0;
+}
+
+std::string
+serializeImage(const DesignImage &image)
+{
+    BinaryWriter writer;
+    writer.bytes(kImageMagic, sizeof(kImageMagic));
+    writer.u32(kImageFormatVersion);
+
+    automata::serializeAutomaton(writer, image.design);
+
+    writer.u64(image.optimizerStats.fusedParallel);
+    writer.u64(image.optimizerStats.mergedPrefixes);
+    writer.u64(image.optimizerStats.removedDead);
+
+    writer.u64(image.tileInstances);
+    if (image.tileable()) {
+        automata::serializeAutomaton(writer, image.tile);
+        writer.u64(image.tilesPerBlock);
+        writer.u64(image.tiledBlocks);
+    }
+
+    writer.u8(image.placed ? 1 : 0);
+    if (image.placed)
+        serializePlacement(writer, image.placement);
+
+    writer.u64(image.shardOfComponent.size());
+    for (uint32_t shard : image.shardOfComponent)
+        writer.u32(shard);
+
+    writer.str(image.sourceHash);
+
+    writer.u64(fnv1a64(writer.data().data(), writer.size()));
+    return writer.take();
+}
+
+DesignImage
+deserializeImage(std::string_view bytes)
+{
+    if (bytes.empty())
+        corrupt("empty file");
+    if (!looksLikeImage(bytes)) {
+        corrupt("bad magic (not a .apimg design image)");
+    }
+    constexpr size_t kTrailer = 8;
+    if (bytes.size() < sizeof(kImageMagic) + 4 + kTrailer)
+        corrupt("truncated header");
+
+    // Verify the checksum before decoding anything: a bit flip
+    // anywhere in the file is reported as corruption, not as whatever
+    // field-level error it happens to masquerade as.
+    const std::string_view body =
+        bytes.substr(0, bytes.size() - kTrailer);
+    BinaryReader trailer(bytes.substr(bytes.size() - kTrailer),
+                         kContext);
+    const uint64_t stored = trailer.u64();
+    const uint64_t actual = fnv1a64(body.data(), body.size());
+    if (stored != actual) {
+        corrupt(strprintf("checksum mismatch (stored %016llx, "
+                          "computed %016llx) — the image is corrupt "
+                          "or truncated",
+                          static_cast<unsigned long long>(stored),
+                          static_cast<unsigned long long>(actual)));
+    }
+
+    BinaryReader reader(body, kContext);
+    char magic[sizeof(kImageMagic)];
+    reader.raw(magic, sizeof(magic));
+    const uint32_t version = reader.u32();
+    if (version != kImageFormatVersion) {
+        corrupt(strprintf("format version %u is not supported (this "
+                          "toolchain reads version %u); rebuild the "
+                          "image with `rapidc build`",
+                          version, kImageFormatVersion));
+    }
+
+    DesignImage image;
+    image.design = automata::deserializeAutomaton(reader);
+
+    image.optimizerStats.fusedParallel = reader.u64();
+    image.optimizerStats.mergedPrefixes = reader.u64();
+    image.optimizerStats.removedDead = reader.u64();
+
+    image.tileInstances = reader.u64();
+    if (image.tileable()) {
+        image.tile = automata::deserializeAutomaton(reader);
+        image.tilesPerBlock = reader.u64();
+        image.tiledBlocks = reader.u64();
+    }
+
+    image.placed = reader.u8() != 0;
+    if (image.placed) {
+        image.placement = deserializePlacement(reader);
+        if (image.placement.blockOf.size() != image.design.size()) {
+            corrupt(strprintf(
+                "placement covers %zu elements but the design has %zu",
+                image.placement.blockOf.size(), image.design.size()));
+        }
+    }
+
+    const uint64_t components = reader.count(4);
+    image.shardOfComponent.reserve(components);
+    for (uint64_t i = 0; i < components; ++i)
+        image.shardOfComponent.push_back(reader.u32());
+    if (!image.shardOfComponent.empty() &&
+        image.shardOfComponent.size() !=
+            image.design.components().size()) {
+        corrupt(strprintf(
+            "shard map covers %zu components but the design has %zu",
+            image.shardOfComponent.size(),
+            image.design.components().size()));
+    }
+
+    image.sourceHash = reader.str();
+    reader.expectEnd();
+    return image;
+}
+
+void
+writeImageFile(const std::string &path, const DesignImage &image)
+{
+    const std::string bytes = serializeImage(image);
+    // Write-then-rename so readers (and a concurrent cache probe)
+    // never observe a half-written image.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw Error("cannot write image file: " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Error("cannot move image into place: " + path);
+    }
+}
+
+DesignImage
+loadImageFile(const std::string &path)
+{
+    obs::Span span("load_image");
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open image file: " + path);
+    std::string bytes((std::istreambuf_iterator<char>(file)), {});
+    try {
+        return deserializeImage(bytes);
+    } catch (const Error &error) {
+        throw Error(path + ": " + error.what());
+    }
+}
+
+} // namespace rapid::ap

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Versioned binary design images (.apimg).
+ *
+ * The paper's AP workflow is compile-once, run-many: placement and
+ * routing is the expensive offline step, while loading a precompiled
+ * design and streaming input is fast.  A DesignImage captures
+ * everything the offline pipeline produced —
+ *
+ *  - the executable homogeneous-NFA design (element graph, charsets,
+ *    counters, booleans, report codes);
+ *  - the optimizer's rewrite statistics;
+ *  - the tessellation tiling (tile automaton, instances, tiles per
+ *    block, total blocks) when the design is tileable;
+ *  - the placement: per-element block assignment, per-block usage,
+ *    and the Table-5 P&R metrics;
+ *  - the shard map derived from that placement (component -> shard,
+ *    under the auto per-half-core policy);
+ *
+ * so `rapidc run` with an image (or a warm compile cache) skips
+ * parse -> typecheck -> lower -> optimize -> tessellate -> place_route
+ * entirely and goes straight to configure -> stream.
+ *
+ * On-disk layout (all integers little-endian; docs/images.md has the
+ * field-by-field description):
+ *
+ *   [0..7]   magic "RAPIMG\r\n"
+ *   [8..11]  format version (u32)
+ *   payload  sections (design, optimizer, tessellation, placement,
+ *            shard map, provenance)
+ *   [-8..]   FNV-1a 64 checksum of every preceding byte
+ *
+ * Loading is strict: bad magic, unknown version, truncation, trailing
+ * bytes, a checksum mismatch, or any structurally invalid section
+ * raises rapid::Error with a diagnostic — never a partial design.
+ */
+#ifndef RAPID_AP_IMAGE_H
+#define RAPID_AP_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ap/placement.h"
+#include "automata/automaton.h"
+#include "automata/optimizer.h"
+
+namespace rapid::ap {
+
+/** .apimg format version; bump on any layout change. */
+constexpr uint32_t kImageFormatVersion = 1;
+
+/** Leading magic bytes of every .apimg file. */
+constexpr char kImageMagic[8] = {'R', 'A', 'P', 'I',
+                                 'M', 'G', '\r', '\n'};
+
+/** A fully compiled design, ready to configure and stream. */
+struct DesignImage {
+    /** The executable design (already optimized/replicated). */
+    automata::Automaton design;
+
+    /** Rewrites the optimizer applied while compiling `design`. */
+    automata::OptimizeStats optimizerStats;
+
+    /// @name Tessellation (§6); tileInstances == 0 when untiled.
+    /// @{
+    automata::Automaton tile;
+    uint64_t tileInstances = 0;
+    uint64_t tilesPerBlock = 0;
+    uint64_t tiledBlocks = 0;
+    /// @}
+
+    /** True when `placement` carries a real P&R result. */
+    bool placed = false;
+    PlacementResult placement;
+
+    /**
+     * Auto-policy shard map: component index (per
+     * Automaton::components() on `design`) -> shard.  Derived from
+     * `placement`; stored so sharded execution needs no re-placement.
+     */
+    std::vector<uint32_t> shardOfComponent;
+
+    /** Content hash of (source, args, options) — the cache key. */
+    std::string sourceHash;
+
+    bool tileable() const { return tileInstances > 0; }
+};
+
+/** Encode @p image into the .apimg byte stream. */
+std::string serializeImage(const DesignImage &image);
+
+/**
+ * Decode a .apimg byte stream.
+ * @throws rapid::Error on any malformed, truncated, corrupt, or
+ *         version-mismatched input.
+ */
+DesignImage deserializeImage(std::string_view bytes);
+
+/** Serialize @p image and write it to @p path (atomic rename). */
+void writeImageFile(const std::string &path, const DesignImage &image);
+
+/**
+ * Read and decode @p path; records a `load_image` pipeline span.
+ * @throws rapid::Error when the file is unreadable or corrupt.
+ */
+DesignImage loadImageFile(const std::string &path);
+
+/** Does @p bytes begin with the .apimg magic? */
+bool looksLikeImage(std::string_view bytes);
+
+} // namespace rapid::ap
+
+#endif // RAPID_AP_IMAGE_H

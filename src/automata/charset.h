@@ -160,6 +160,15 @@ class CharSet {
      */
     static CharSet parse(const std::string &text);
 
+    /** Number of 64-bit words in the bitmap (for serialization). */
+    static constexpr size_t kWords = 4;
+
+    /** Raw bitmap word @p i; bit b covers symbol i*64+b. */
+    uint64_t word(size_t i) const { return _words[i]; }
+
+    /** Overwrite bitmap word @p i (deserialization). */
+    void setWord(size_t i, uint64_t value) { _words[i] = value; }
+
   private:
     std::array<uint64_t, 4> _words;
 };

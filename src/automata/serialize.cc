@@ -1,0 +1,181 @@
+#include "automata/serialize.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::automata {
+
+namespace {
+
+/**
+ * Serialized size floor of one element: kind + start + report + mode +
+ * op (5 × u8), target (u32), two string length prefixes and the edge
+ * count (3 × u64), and the 256-bit charset bitmap.  Used to reject
+ * corrupt element counts before any allocation.
+ */
+constexpr size_t kMinElementBytes =
+    5 * 1 + 4 + 3 * 8 + CharSet::kWords * 8;
+
+/** Per-edge bytes: target u32 + port u8. */
+constexpr size_t kEdgeBytes = 4 + 1;
+
+uint8_t
+checkedEnum(BinaryReader &reader, uint8_t max, const char *what)
+{
+    uint8_t value = reader.u8();
+    if (value > max) {
+        throw Error(strprintf("design: invalid %s tag %u at offset %zu",
+                              what, value, reader.offset() - 1));
+    }
+    return value;
+}
+
+} // namespace
+
+void
+serializeAutomaton(BinaryWriter &writer, const Automaton &automaton)
+{
+    writer.u64(automaton.size());
+    for (const Element &element : automaton.elements()) {
+        writer.u8(static_cast<uint8_t>(element.kind));
+        writer.str(element.id);
+        writer.u8(element.report ? 1 : 0);
+        writer.str(element.reportCode);
+        writer.u8(static_cast<uint8_t>(element.start));
+        for (size_t i = 0; i < CharSet::kWords; ++i)
+            writer.u64(element.symbols.word(i));
+        writer.u32(element.target);
+        writer.u8(static_cast<uint8_t>(element.mode));
+        writer.u8(static_cast<uint8_t>(element.op));
+        writer.u64(element.outputs.size());
+        for (const Edge &edge : element.outputs) {
+            writer.u32(edge.to);
+            writer.u8(static_cast<uint8_t>(edge.port));
+        }
+    }
+}
+
+Automaton
+deserializeAutomaton(BinaryReader &reader, bool validate)
+{
+    const uint64_t total = reader.count(kMinElementBytes);
+    if (total > kNoElement) {
+        throw Error(strprintf(
+            "design: element count %llu exceeds the id space",
+            static_cast<unsigned long long>(total)));
+    }
+
+    Automaton automaton;
+    // Edges may point forward, so elements are materialized first and
+    // connected in a second pass.
+    std::vector<std::vector<Edge>> outputs(total);
+    for (uint64_t i = 0; i < total; ++i) {
+        auto kind = static_cast<ElementKind>(
+            checkedEnum(reader, static_cast<uint8_t>(ElementKind::Gate),
+                        "element kind"));
+        std::string id = reader.str();
+        if (id.empty() || automaton.findId(id) != kNoElement) {
+            throw Error(strprintf(
+                "design: element %llu has a%s id%s",
+                static_cast<unsigned long long>(i),
+                id.empty() ? "n empty" : " duplicate",
+                id.empty() ? "" : (" '" + id + "'").c_str()));
+        }
+        const bool report = checkedEnum(reader, 1, "report flag") != 0;
+        std::string report_code = reader.str();
+        auto start = static_cast<StartKind>(checkedEnum(
+            reader, static_cast<uint8_t>(StartKind::StartOfData),
+            "start kind"));
+        CharSet symbols;
+        for (size_t w = 0; w < CharSet::kWords; ++w)
+            symbols.setWord(w, reader.u64());
+        uint32_t target = reader.u32();
+        auto mode = static_cast<CounterMode>(checkedEnum(
+            reader, static_cast<uint8_t>(CounterMode::Roll),
+            "counter mode"));
+        auto op = static_cast<GateOp>(checkedEnum(
+            reader, static_cast<uint8_t>(GateOp::Nor), "gate op"));
+
+        ElementId added = kNoElement;
+        switch (kind) {
+          case ElementKind::Ste:
+            added = automaton.addSte(symbols, start, id);
+            break;
+          case ElementKind::Counter:
+            added = automaton.addCounter(target, mode, id);
+            break;
+          case ElementKind::Gate:
+            added = automaton.addGate(op, id);
+            break;
+        }
+        internalCheck(added == i, "deserialize: id/index drift");
+        if (report)
+            automaton.setReport(added, report_code);
+
+        const uint64_t edges = reader.count(kEdgeBytes);
+        outputs[i].reserve(edges);
+        for (uint64_t e = 0; e < edges; ++e) {
+            Edge edge;
+            edge.to = reader.u32();
+            edge.port = static_cast<Port>(checkedEnum(
+                reader, static_cast<uint8_t>(Port::Reset), "port"));
+            if (edge.to >= total) {
+                throw Error(strprintf(
+                    "design: edge %llu of element '%s' targets element "
+                    "%u of %llu",
+                    static_cast<unsigned long long>(e), id.c_str(),
+                    edge.to, static_cast<unsigned long long>(total)));
+            }
+            outputs[i].push_back(edge);
+        }
+    }
+
+    for (uint64_t i = 0; i < total; ++i) {
+        for (const Edge &edge : outputs[i]) {
+            const Element &target = automaton[edge.to];
+            const bool counter_port =
+                edge.port == Port::Count || edge.port == Port::Reset;
+            if (counter_port !=
+                (target.kind == ElementKind::Counter)) {
+                throw Error(strprintf(
+                    "design: edge %s -> %s uses port %u, which does "
+                    "not match the target's kind",
+                    automaton[static_cast<ElementId>(i)].id.c_str(),
+                    target.id.c_str(),
+                    static_cast<unsigned>(edge.port)));
+            }
+            automaton.connect(static_cast<ElementId>(i), edge.to,
+                              edge.port);
+        }
+    }
+
+    if (validate) {
+        try {
+            automaton.validate();
+        } catch (const Error &error) {
+            throw Error(std::string("design: loaded automaton fails "
+                                    "validation: ") +
+                        error.what());
+        }
+    }
+    return automaton;
+}
+
+std::string
+serializeAutomaton(const Automaton &automaton)
+{
+    BinaryWriter writer;
+    serializeAutomaton(writer, automaton);
+    return writer.take();
+}
+
+Automaton
+deserializeAutomaton(std::string_view bytes, bool validate)
+{
+    BinaryReader reader(bytes, "design");
+    Automaton automaton = deserializeAutomaton(reader, validate);
+    reader.expectEnd();
+    return automaton;
+}
+
+} // namespace rapid::automata

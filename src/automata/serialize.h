@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary serialization of Automaton designs.
+ *
+ * The element graph — kinds, ids, charset bitmaps, counter targets and
+ * modes, gate operations, report flags/codes, and every edge — round
+ * trips bit-exactly through serializeAutomaton()/deserializeAutomaton().
+ * This is the payload of .apimg design images (see ap/image.h): unlike
+ * the ANML text path, no charset re-rendering or id re-parsing is
+ * involved, so a loaded design is structurally *identical* to the one
+ * saved, not merely equivalent.
+ *
+ * Deserialization rebuilds the automaton through the ordinary builder
+ * API and finishes with validate(), so a corrupt byte stream yields a
+ * rapid::Error diagnostic, never a malformed in-memory design.
+ */
+#ifndef RAPID_AUTOMATA_SERIALIZE_H
+#define RAPID_AUTOMATA_SERIALIZE_H
+
+#include "automata/automaton.h"
+#include "support/binio.h"
+
+namespace rapid::automata {
+
+/** Append @p automaton to @p writer. */
+void serializeAutomaton(BinaryWriter &writer,
+                        const Automaton &automaton);
+
+/**
+ * Decode one automaton from @p reader.
+ *
+ * @param validate run Automaton::validate() on the result (on by
+ *        default; image loading relies on it to reject corrupt
+ *        designs before they reach a simulator).
+ * @throws rapid::Error on malformed bytes.
+ */
+Automaton deserializeAutomaton(BinaryReader &reader,
+                               bool validate = true);
+
+/** Convenience: serialize to a standalone byte string. */
+std::string serializeAutomaton(const Automaton &automaton);
+
+/** Convenience: decode a standalone byte string. */
+Automaton deserializeAutomaton(std::string_view bytes,
+                               bool validate = true);
+
+} // namespace rapid::automata
+
+#endif // RAPID_AUTOMATA_SERIALIZE_H

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "anml/anml.h"
+#include "ap/image.h"
 #include "ap/placement.h"
 #include "ap/sharding.h"
+#include "host/compile_cache.h"
 #include "ap/tessellation.h"
 #include "host/sharded.h"
 #include "automata/batch_simulator.h"
@@ -71,6 +73,7 @@ constexpr ForkNames kForkNames[] = {
     {kForkTile, 'e', "tile"},
     {kForkBatch, 'f', "batch"},
     {kForkSharded, 'g', "sharded"},
+    {kForkImage, 'h', "image"},
 };
 
 /** Sorted full (offset, element) stream — batch-fork comparison. */
@@ -101,7 +104,7 @@ parseOracleMask(const std::string &text)
         }
         if (!known) {
             throw Error(strprintf(
-                "unknown oracle fork '%c' (expected letters a-g)", c));
+                "unknown oracle fork '%c' (expected letters a-h)", c));
         }
     }
     if (mask == 0)
@@ -252,6 +255,39 @@ runOracle(const OracleCase &oracle_case)
             // resource outcome, not a semantic one.
         } catch (const Error &error) {
             fail(std::string("sharded fork crashed: ") + error.what());
+        }
+    }
+
+    // Fork (h): the compile-once, run-many path.  The full offline
+    // image build (tessellation, placement, shard map) is serialized
+    // to .apimg bytes and decoded back; the reloaded design must be
+    // bit-identical, so the full (offset, element-id) streams match
+    // exactly — the same contract `rapidc run --image` relies on.
+    if (mask & kForkImage) {
+        try {
+            ap::DesignImage image = host::buildImage(compiled);
+            ap::DesignImage reloaded =
+                ap::deserializeImage(ap::serializeImage(image));
+            Simulator sim(reloaded.design);
+            auto image_events =
+                sortedEventsOf(sim.run(oracle_case.input));
+            result.ranMask |= kForkImage;
+            if (reloaded.design.size() != compiled.automaton.size()) {
+                fail(strprintf("image round trip changed the design "
+                               "(%zu elements != %zu elements)",
+                               reloaded.design.size(),
+                               compiled.automaton.size()));
+            } else if (namedEventsOf(reloaded.design, image_events) !=
+                       namedEventsOf(compiled.automaton, raw_events)) {
+                fail(strprintf(
+                    "image round trip changed the report stream "
+                    "(%zu events != %zu events, offsets %s != %s)",
+                    image_events.size(), raw_events.size(),
+                    renderOffsets(offsetsOf(image_events)).c_str(),
+                    renderOffsets(result.offsets).c_str()));
+            }
+        } catch (const Error &error) {
+            fail(std::string("image fork crashed: ") + error.what());
         }
     }
 

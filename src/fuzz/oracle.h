@@ -4,7 +4,7 @@
  *
  * A RAPID program's only architecturally visible behaviour is its
  * report stream (offset + reporting element).  The oracle runs one
- * program + input through up to seven independent execution paths and
+ * program + input through up to eight independent execution paths and
  * asserts they agree:
  *
  *   (a) the reference interpreter (position-set semantics, no automata);
@@ -14,7 +14,10 @@
  *   (e) codegen -> tessellation tile -> replicate/place -> simulator;
  *   (f) codegen (unoptimized) -> bit-parallel BatchSimulator;
  *   (g) codegen (unoptimized) -> placement -> shard partition ->
- *       per-shard simulation -> deterministic merge.
+ *       per-shard simulation -> deterministic merge;
+ *   (h) codegen (unoptimized) -> full offline image build
+ *       (tessellation + placement + shard map) -> .apimg serialize ->
+ *       deserialize -> simulator.
  *
  * Forks (a)-(d) compare sorted distinct report offsets; (c) vs (d)
  * additionally compare full (offset, element-id) event streams, since
@@ -26,7 +29,11 @@
  * as (b) on the throughput engines, so they compare full sorted
  * (offset, element) event streams — the scalar simulator stays the
  * semantic reference.  Fork (g) additionally exercises the placement
- * partitioner and the k-way report merge.
+ * partitioner and the k-way report merge.  Fork (h) is the
+ * compile-once, run-many contract: a design that round-trips through
+ * the binary image format must be bit-identical, so its full
+ * (offset, element-id) stream is compared against the scalar
+ * reference.
  *
  * Forks that do not apply degrade gracefully: counter programs skip
  * the interpreter (it rejects counters by design), non-tileable
@@ -52,16 +59,17 @@ enum : unsigned {
     kForkTile = 1u << 4,        // (e)
     kForkBatch = 1u << 5,       // (f)
     kForkSharded = 1u << 6,     // (g)
-    kForkAll = 0x7fu,
+    kForkImage = 1u << 7,       // (h)
+    kForkAll = 0xffu,
 };
 
 /**
- * Parse a mask spec: fork letters ("abcdefg", "bd"), or "all".
+ * Parse a mask spec: fork letters ("abcdefgh", "bd"), or "all".
  * @throws rapid::Error on unknown letters or an empty mask.
  */
 unsigned parseOracleMask(const std::string &text);
 
-/** Render a mask as fork letters ("abcdefg"). */
+/** Render a mask as fork letters ("abcdefgh"). */
 std::string formatOracleMask(unsigned mask);
 
 /** One differential-oracle case. */

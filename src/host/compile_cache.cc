@@ -1,0 +1,140 @@
+#include "host/compile_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "ap/sharding.h"
+#include "ap/tessellation.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/logging.h"
+
+namespace rapid::host {
+
+std::string
+cacheKey(std::string_view source, std::string_view args_text,
+         const lang::CompileOptions &options)
+{
+    StableHash hash;
+    hash.update(static_cast<uint64_t>(ap::kImageFormatVersion));
+    hash.update(source);
+    hash.update(args_text);
+    // Only options that change the compiled design participate;
+    // telemetry and engine selection do not.
+    hash.update(static_cast<uint64_t>(
+        (options.optimize ? 1 : 0) |
+        (options.foldStartWhenever ? 2 : 0) |
+        (options.positionalCounters ? 4 : 0) |
+        (options.tileOnly ? 8 : 0) |
+        (options.counterCheckViaInjection ? 16 : 0)));
+    return hash.hex();
+}
+
+ap::DesignImage
+buildImage(const lang::CompiledProgram &compiled,
+           const std::string &source_hash)
+{
+    ap::DesignImage image;
+    image.design = compiled.automaton;
+    image.optimizerStats = compiled.optStats;
+    image.sourceHash = source_hash;
+
+    if (compiled.tileable()) {
+        image.tile = compiled.tile;
+        image.tileInstances = compiled.tileInstances;
+        try {
+            ap::Tessellator tessellator;
+            ap::TiledDesign tiled = tessellator.tessellate(
+                compiled.tile, compiled.tileInstances);
+            image.tilesPerBlock = tiled.tilesPerBlock;
+            image.tiledBlocks = tiled.totalBlocks;
+        } catch (const CapacityError &error) {
+            // One tile exceeds a block: the design is still runnable
+            // flat, so record the tile without a tiling.
+            logWarn("host", std::string("image: tessellation skipped "
+                                        "(") +
+                                error.what() + ")");
+        }
+    }
+
+    try {
+        ap::PlacementEngine placer;
+        image.placement = placer.place(image.design);
+        image.placed = true;
+        ap::Sharder sharder;
+        image.shardOfComponent =
+            sharder.partition(image.design, image.placement)
+                .shardOfComponent;
+    } catch (const Error &error) {
+        // CapacityError (board overflow) or CompileError (a component
+        // exceeds a half-core): the image still serves the scalar and
+        // batch engines.
+        logWarn("host",
+                std::string("image: placement skipped (") +
+                    error.what() + ")");
+    }
+    return image;
+}
+
+CompileCache::CompileCache(std::string dir) : _dir(std::move(dir))
+{
+    internalCheck(!_dir.empty(), "CompileCache: empty directory");
+}
+
+std::string
+CompileCache::dirFromEnv()
+{
+    const char *value = std::getenv("RAPID_CACHE");
+    return value == nullptr ? std::string() : std::string(value);
+}
+
+std::string
+CompileCache::pathFor(const std::string &key) const
+{
+    return _dir + "/" + key + ".apimg";
+}
+
+std::optional<ap::DesignImage>
+CompileCache::load(const std::string &key) const
+{
+    auto count = [](const char *name) {
+        if (obs::statsEnabled())
+            obs::MetricsRegistry::instance().counter(name).add(1);
+    };
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        count("pipeline.cache.miss");
+        return std::nullopt;
+    }
+    try {
+        ap::DesignImage image = ap::loadImageFile(path);
+        count("pipeline.cache.hit");
+        return image;
+    } catch (const Error &error) {
+        // Self-heal: a corrupt or stale entry is a miss; the caller
+        // recompiles and store() overwrites it.
+        logWarn("host", std::string("cache entry rejected: ") +
+                            error.what());
+        count("pipeline.cache.miss");
+        return std::nullopt;
+    }
+}
+
+void
+CompileCache::store(const std::string &key,
+                    const ap::DesignImage &image) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    if (ec) {
+        throw Error("cannot create cache directory " + _dir + ": " +
+                    ec.message());
+    }
+    ap::writeImageFile(pathFor(key), image);
+}
+
+} // namespace rapid::host

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Content-addressed compile cache and offline image building.
+ *
+ * The cache key is the stable hash of everything that determines the
+ * compiled design: the raw source bytes, the raw argument-annotation
+ * bytes, the compile options, and the .apimg format version.  Keying
+ * on *bytes* (not parse trees) means a warm probe needs no parsing at
+ * all — `rapidc run` with a hit goes straight from load_image to
+ * configure -> stream.
+ *
+ * Cache entries are complete .apimg design images (see ap/image.h)
+ * stored as `<dir>/<key>.apimg`.  A corrupt or version-mismatched
+ * entry is treated as a miss (with a warning) and overwritten by the
+ * rebuild — the cache self-heals, it never fails a run.  Stores are
+ * write-then-rename, so concurrent rapidc processes sharing a
+ * directory at worst both compile; neither observes a torn image.
+ */
+#ifndef RAPID_HOST_COMPILE_CACHE_H
+#define RAPID_HOST_COMPILE_CACHE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ap/image.h"
+#include "lang/codegen.h"
+
+namespace rapid::host {
+
+/**
+ * Derive the content-addressed cache key (32 hex digits) for one
+ * compile: raw @p source bytes, raw @p args_text annotation bytes,
+ * the semantically relevant @p options, and the image format version.
+ */
+std::string cacheKey(std::string_view source,
+                     std::string_view args_text,
+                     const lang::CompileOptions &options);
+
+/**
+ * Assemble a complete design image from a compiled program: runs
+ * tessellation (when tileable) and placement-and-routing, derives the
+ * auto-policy shard map, and records @p source_hash as provenance.
+ *
+ * Designs the device model cannot place (capacity, or a component
+ * exceeding a half-core) yield an image with `placed == false` —
+ * still loadable by the scalar and batch engines; the sharded engine
+ * re-places on demand.
+ */
+ap::DesignImage buildImage(const lang::CompiledProgram &compiled,
+                           const std::string &source_hash = "");
+
+/** A directory of content-addressed design images. */
+class CompileCache {
+  public:
+    /** @p dir is created lazily on the first store. */
+    explicit CompileCache(std::string dir);
+
+    /**
+     * The cache directory named by the RAPID_CACHE environment
+     * variable, or "" when unset (caching disabled).
+     */
+    static std::string dirFromEnv();
+
+    /**
+     * Probe for @p key.  Increments the `pipeline.cache.hit` /
+     * `pipeline.cache.miss` counters (when stats are enabled); a
+     * corrupt entry logs a warning and counts as a miss.
+     */
+    std::optional<ap::DesignImage> load(const std::string &key) const;
+
+    /** Store @p image under @p key (atomic write-then-rename). */
+    void store(const std::string &key,
+               const ap::DesignImage &image) const;
+
+    /** Absolute entry path for @p key. */
+    std::string pathFor(const std::string &key) const;
+
+    const std::string &dir() const { return _dir; }
+
+  private:
+    std::string _dir;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_COMPILE_CACHE_H

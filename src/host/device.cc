@@ -48,9 +48,60 @@ engineFromEnv(Engine fallback)
     return parseEngine(value);
 }
 
+namespace {
+
+/**
+ * Conformance aid: with RAPID_IMAGE_ROUNDTRIP=1 in the environment,
+ * every fresh-compile Device load first serializes its design to
+ * .apimg bytes and reloads it, so any consumer (the bundled examples,
+ * embedding hosts) exercises the image codec end-to-end.  A design
+ * that survives the round trip is bit-identical, so behaviour is
+ * unchanged — anything else is exactly the bug the check exists to
+ * surface.
+ */
+bool
+imageRoundTripEnabled()
+{
+    static const bool enabled = [] {
+        const char *value = std::getenv("RAPID_IMAGE_ROUNDTRIP");
+        return value != nullptr && *value != '\0' &&
+               std::string_view(value) != "0";
+    }();
+    return enabled;
+}
+
+} // namespace
+
 Device::Device(automata::Automaton design, Engine engine,
                unsigned shards)
     : _design(std::move(design)), _engine(engine)
+{
+    if (imageRoundTripEnabled()) {
+        ap::DesignImage image;
+        image.design = std::move(_design);
+        _design =
+            ap::deserializeImage(ap::serializeImage(image)).design;
+    }
+    configure(nullptr, shards);
+}
+
+Device::Device(const ap::TiledDesign &tiled, Engine engine,
+               unsigned shards)
+    : Device(ap::replicate(tiled.blockImage, tiled.totalBlocks),
+             engine, shards)
+{
+}
+
+Device::Device(const ap::DesignImage &image, Engine engine,
+               unsigned shards)
+    : _design(image.design), _engine(engine)
+{
+    configure(image.placed ? &image.placement : nullptr, shards);
+}
+
+void
+Device::configure(const ap::PlacementResult *placement,
+                  unsigned shards)
 {
     // "configure" covers engine construction: validation plus (for the
     // batch engines) compiling the design into match/successor tables —
@@ -59,25 +110,27 @@ Device::Device(automata::Automaton design, Engine engine,
     if (_engine == Engine::Batch) {
         _batch = std::make_unique<automata::BatchSimulator>(_design);
     } else if (_engine == Engine::Sharded) {
-        // The shard grouping only needs the block *assignment* —
-        // routing-cut refinement moves elements within components and
-        // cannot change which shard a component lands in, so skip it.
-        ap::PlacementOptions options;
-        options.refineEffort = 0;
-        ap::PlacementEngine placer({}, options);
         ap::Sharder sharder;
-        _sharded = std::make_unique<ShardedExecutor>(
-            sharder.partition(_design, placer.place(_design), shards));
+        if (placement != nullptr) {
+            // A precompiled image carries its placement; shard
+            // grouping reuses it, so no place_route happens on load.
+            _sharded = std::make_unique<ShardedExecutor>(
+                sharder.partition(_design, *placement, shards));
+        } else {
+            // The shard grouping only needs the block *assignment* —
+            // routing-cut refinement moves elements within components
+            // and cannot change which shard a component lands in, so
+            // skip it.
+            ap::PlacementOptions options;
+            options.refineEffort = 0;
+            ap::PlacementEngine placer({}, options);
+            _sharded = std::make_unique<ShardedExecutor>(
+                sharder.partition(_design, placer.place(_design),
+                                  shards));
+        }
     } else {
         _simulator = std::make_unique<automata::Simulator>(_design);
     }
-}
-
-Device::Device(const ap::TiledDesign &tiled, Engine engine,
-               unsigned shards)
-    : Device(ap::replicate(tiled.blockImage, tiled.totalBlocks),
-             engine, shards)
-{
 }
 
 std::vector<HostReport>

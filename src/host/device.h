@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ap/image.h"
 #include "ap/tessellation.h"
 #include "automata/automaton.h"
 #include "automata/batch_simulator.h"
@@ -99,6 +100,17 @@ class Device {
                     unsigned shards = 0);
 
     /**
+     * Load a precompiled design image (.apimg): the compile-once,
+     * run-many path.  No parsing, optimization, or tessellation
+     * happens here, and when the image carries a placement the
+     * sharded engine reuses it instead of re-placing — construction
+     * is pure configure.
+     */
+    explicit Device(const ap::DesignImage &image,
+                    Engine engine = Engine::Scalar,
+                    unsigned shards = 0);
+
+    /**
      * Stream @p input from power-on state; returns all reports in
      * canonical order (ascending offset, then element id) — identical
      * across engines.
@@ -148,6 +160,10 @@ class Device {
     const obs::ExecutionProfile &stats() const { return _profile; }
 
   private:
+    /** Build the selected engine (the "configure" phase). */
+    void configure(const ap::PlacementResult *placement,
+                   unsigned shards);
+
     /** Canonically order (offset, element) and attach identities. */
     std::vector<HostReport>
     enrich(std::vector<automata::ReportEvent> events) const;

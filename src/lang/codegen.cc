@@ -228,7 +228,7 @@ class CodeGen {
             if (_options.positionalCounters)
                 automata::expandPositional(_automaton);
             if (_options.optimize)
-                automata::optimize(_automaton);
+                _out.optStats = automata::optimize(_automaton);
             _automaton.validate();
             auto stats = _automaton.stats();
             logDebug("lang", strprintf(

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "automata/automaton.h"
+#include "automata/optimizer.h"
 #include "lang/ast.h"
 #include "lang/value.h"
 
@@ -90,6 +91,13 @@ struct SymbolInjection {
 /** The result of compiling a RAPID program. */
 struct CompiledProgram {
     automata::Automaton automaton;
+
+    /**
+     * Rewrites the optimizer applied to `automaton` (all zero when
+     * CompileOptions::optimize was off).  Recorded into .apimg design
+     * images so a loaded design carries its compile provenance.
+     */
+    automata::OptimizeStats optStats;
 
     /** Reserved-symbol injection plan (empty unless the option is on). */
     std::vector<SymbolInjection> injections;

@@ -1,0 +1,165 @@
+#include "support/binio.h"
+
+#include <cstring>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid {
+
+void
+BinaryWriter::u8(uint8_t value)
+{
+    _out.push_back(static_cast<char>(value));
+}
+
+void
+BinaryWriter::u32(uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        _out.push_back(static_cast<char>(value >> (8 * i)));
+}
+
+void
+BinaryWriter::u64(uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        _out.push_back(static_cast<char>(value >> (8 * i)));
+}
+
+void
+BinaryWriter::f64(double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+BinaryWriter::str(std::string_view text)
+{
+    u64(text.size());
+    _out.append(text.data(), text.size());
+}
+
+void
+BinaryWriter::bytes(const void *data, size_t n)
+{
+    _out.append(static_cast<const char *>(data), n);
+}
+
+BinaryReader::BinaryReader(std::string_view data, std::string context)
+    : _data(data), _context(std::move(context))
+{
+}
+
+void
+BinaryReader::fail(const std::string &what) const
+{
+    throw Error(_context + ": " + what);
+}
+
+void
+BinaryReader::need(size_t n) const
+{
+    if (n > remaining()) {
+        fail(strprintf("truncated (need %zu bytes at offset %zu, "
+                       "%zu available)",
+                       n, _offset, remaining()));
+    }
+}
+
+uint8_t
+BinaryReader::u8()
+{
+    need(1);
+    return static_cast<uint8_t>(_data[_offset++]);
+}
+
+uint32_t
+BinaryReader::u32()
+{
+    need(4);
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= static_cast<uint32_t>(
+                     static_cast<unsigned char>(_data[_offset + i]))
+                 << (8 * i);
+    }
+    _offset += 4;
+    return value;
+}
+
+uint64_t
+BinaryReader::u64()
+{
+    need(8);
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<uint64_t>(
+                     static_cast<unsigned char>(_data[_offset + i]))
+                 << (8 * i);
+    }
+    _offset += 8;
+    return value;
+}
+
+double
+BinaryReader::f64()
+{
+    uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::string
+BinaryReader::str()
+{
+    uint64_t length = u64();
+    if (length > remaining()) {
+        fail(strprintf("string length %llu exceeds the %zu remaining "
+                       "bytes at offset %zu",
+                       static_cast<unsigned long long>(length),
+                       remaining(), _offset));
+    }
+    std::string out(_data.substr(_offset, length));
+    _offset += length;
+    return out;
+}
+
+void
+BinaryReader::raw(void *out, size_t n)
+{
+    need(n);
+    std::memcpy(out, _data.data() + _offset, n);
+    _offset += n;
+}
+
+uint64_t
+BinaryReader::count(size_t min_bytes_each)
+{
+    uint64_t n = u64();
+    if (min_bytes_each == 0)
+        min_bytes_each = 1;
+    if (n > remaining() / min_bytes_each) {
+        fail(strprintf("element count %llu exceeds what the %zu "
+                       "remaining bytes could encode (>= %zu bytes "
+                       "each)",
+                       static_cast<unsigned long long>(n), remaining(),
+                       min_bytes_each));
+    }
+    return n;
+}
+
+void
+BinaryReader::expectEnd() const
+{
+    if (!atEnd()) {
+        fail(strprintf("%zu trailing byte(s) after the last field",
+                       remaining()));
+    }
+}
+
+} // namespace rapid

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Little-endian binary encoding for on-disk artifacts (.apimg).
+ *
+ * BinaryWriter appends fixed-width integers, IEEE-754 doubles, and
+ * length-prefixed byte strings to a growable buffer; BinaryReader
+ * decodes the same stream with *every* read bounds-checked.  A
+ * malformed buffer — truncated, bit-flipped, or with a length field
+ * claiming more bytes than exist — always produces a rapid::Error
+ * carrying the decode offset, never undefined behaviour or an
+ * allocation proportional to attacker-controlled counts.
+ *
+ * The encoding is deliberately boring: little-endian fixed-width
+ * integers, u64 length prefixes, no varints, no alignment.  Stability
+ * of the byte stream across platforms is what makes design images and
+ * the content-addressed compile cache portable.
+ */
+#ifndef RAPID_SUPPORT_BINIO_H
+#define RAPID_SUPPORT_BINIO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rapid {
+
+/** Append-only little-endian encoder. */
+class BinaryWriter {
+  public:
+    void u8(uint8_t value);
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    /** IEEE-754 bit pattern, little-endian. */
+    void f64(double value);
+    /** u64 byte length followed by the raw bytes. */
+    void str(std::string_view text);
+    /** Raw bytes, no length prefix. */
+    void bytes(const void *data, size_t n);
+
+    const std::string &data() const { return _out; }
+    size_t size() const { return _out.size(); }
+
+    /** Move the buffer out (invalidates the writer). */
+    std::string take() { return std::move(_out); }
+
+  private:
+    std::string _out;
+};
+
+/**
+ * Bounds-checked little-endian decoder over a borrowed buffer.
+ *
+ * The buffer must outlive the reader.  @p context prefixes every
+ * error message ("apimg: truncated ...").
+ */
+class BinaryReader {
+  public:
+    explicit BinaryReader(std::string_view data,
+                          std::string context = "binio");
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+
+    /**
+     * Length-prefixed byte string.  The length is validated against
+     * the remaining buffer *before* allocation, so a corrupt length
+     * field cannot trigger a multi-gigabyte allocation.
+     */
+    std::string str();
+
+    /** Copy @p n raw bytes into @p out. */
+    void raw(void *out, size_t n);
+
+    /**
+     * Decode a u64 element count for a sequence whose elements each
+     * occupy at least @p min_bytes_each in the stream.  Rejects counts
+     * that could not possibly fit the remaining bytes — the guard
+     * against "oversized element count" corruption.
+     */
+    uint64_t count(size_t min_bytes_each);
+
+    size_t offset() const { return _offset; }
+    size_t remaining() const { return _data.size() - _offset; }
+    bool atEnd() const { return _offset == _data.size(); }
+
+    /** @throws rapid::Error when trailing bytes remain. */
+    void expectEnd() const;
+
+    /** @throws rapid::Error "truncated" unless @p n bytes remain. */
+    void need(size_t n) const;
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+
+    std::string_view _data;
+    std::string _context;
+    size_t _offset = 0;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_BINIO_H

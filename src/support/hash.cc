@@ -1,0 +1,63 @@
+#include "support/hash.h"
+
+#include "support/strings.h"
+
+namespace rapid {
+
+namespace {
+
+constexpr uint64_t kPrime = 0x100000001b3ull;
+
+uint64_t
+fold(uint64_t state, const unsigned char *bytes, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        state ^= bytes[i];
+        state *= kPrime;
+    }
+    return state;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t n, uint64_t state)
+{
+    return fold(state, static_cast<const unsigned char *>(data), n);
+}
+
+void
+StableHash::mix(const void *data, size_t n)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    _lo = fold(_lo, bytes, n);
+    _hi = fold(_hi, bytes, n);
+}
+
+StableHash &
+StableHash::update(std::string_view field)
+{
+    update(static_cast<uint64_t>(field.size()));
+    mix(field.data(), field.size());
+    return *this;
+}
+
+StableHash &
+StableHash::update(uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    mix(bytes, sizeof(bytes));
+    return *this;
+}
+
+std::string
+StableHash::hex() const
+{
+    return strprintf("%016llx%016llx",
+                     static_cast<unsigned long long>(_lo),
+                     static_cast<unsigned long long>(_hi));
+}
+
+} // namespace rapid

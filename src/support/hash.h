@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Stable content hashing for cache keys and image checksums.
+ *
+ * The compile cache addresses design images by the hash of their
+ * inputs (source bytes, argument bytes, compile options, format
+ * version), so the hash must be *stable*: identical across runs,
+ * platforms, and compiler versions.  std::hash guarantees none of
+ * that; this module implements FNV-1a explicitly.
+ *
+ * Two widths are provided:
+ *
+ *  - fnv1a64(): the classic 64-bit FNV-1a, used as a cheap integrity
+ *    checksum inside .apimg files;
+ *  - StableHash: a 128-bit digest built from two independently seeded
+ *    FNV-1a lanes, rendered as 32 lowercase hex digits — the
+ *    content-addressed cache key.  Collision resistance is far below
+ *    cryptographic, but at cache-key cardinality (one entry per
+ *    distinct compile input) accidental collisions are negligible and
+ *    adversarial inputs only cost a stale cache entry.
+ */
+#ifndef RAPID_SUPPORT_HASH_H
+#define RAPID_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rapid {
+
+/** FNV-1a 64-bit offset basis. */
+constexpr uint64_t kFnv1a64Init = 0xcbf29ce484222325ull;
+
+/** Fold @p n bytes into @p state (FNV-1a, 64-bit). */
+uint64_t fnv1a64(const void *data, size_t n,
+                 uint64_t state = kFnv1a64Init);
+
+/** FNV-1a 64-bit hash of @p text. */
+inline uint64_t
+fnv1a64(std::string_view text)
+{
+    return fnv1a64(text.data(), text.size());
+}
+
+/**
+ * Incremental 128-bit stable hash (two FNV-1a lanes).
+ *
+ * Each update() is length-prefixed internally, so the digest of
+ * ("ab", "c") differs from ("a", "bc") — field boundaries are part of
+ * the hashed content, which keeps cache keys unambiguous.
+ */
+class StableHash {
+  public:
+    /** Fold one length-delimited field into the digest. */
+    StableHash &update(std::string_view field);
+
+    /** Fold an unsigned integer field (little-endian, fixed width). */
+    StableHash &update(uint64_t value);
+
+    /** 32 lowercase hex digits. */
+    std::string hex() const;
+
+  private:
+    void mix(const void *data, size_t n);
+
+    uint64_t _lo = kFnv1a64Init;
+    /** Second lane: FNV-1a over the same bytes, different basis. */
+    uint64_t _hi = 0x84222325cbf29ce4ull;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_HASH_H

@@ -11,12 +11,19 @@
  * Usage:
  *   rapidc compile prog.rapid [--args args.txt] [-o out.anml]
  *                   [--no-optimize] [--tile] [--stats]
+ *   rapidc build   prog.rapid [--args args.txt] [-o out.apimg]
+ *                                       # full offline compile (incl.
+ *                                       # tessellation + P&R) into a
+ *                                       # binary design image
  *   rapidc pnr     prog.rapid [--args args.txt]
  *   rapidc run     prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # treat input lines as records
  *                   [--engine=scalar|batch|sharded]  # execution engine
  *                   [--shards=N]        # sharded engine: shard count
  *                                       # (default: auto from placement)
+ *                   [--image=x.apimg]   # run a precompiled image
+ *                   [--cache-dir=DIR]   # content-addressed compile
+ *                                       # cache (or RAPID_CACHE env)
  *   rapidc interpret prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # reference interpreter
  *   rapidc witness prog.rapid [--args args.txt]
@@ -25,7 +32,14 @@
  * Flags and the program path may appear in any order after the
  * command.  `--positional` selects the §5.3 positional-encoding
  * counter lowering.  A .anml input file is loaded as a design directly
- * (VASim-style).
+ * (VASim-style); a .apimg file given to `run` is loaded as a
+ * precompiled image (equivalent to --image).
+ *
+ * Compile-once, run-many (docs/images.md): `rapidc build` performs
+ * the expensive offline pipeline once and serializes the result;
+ * `rapidc run --image` (or a warm `--cache-dir`/`RAPID_CACHE` cache)
+ * skips parse -> typecheck -> lower -> optimize -> tessellate ->
+ * place_route entirely and goes straight to configure -> stream.
  *
  * Telemetry (docs/observability.md): `--stats=file.json` writes the
  * metrics registry (per-phase wall times, simulator activation and
@@ -42,11 +56,13 @@
 #include <sstream>
 
 #include "anml/anml.h"
+#include "ap/image.h"
 #include "ap/placement.h"
 #include "automata/optimizer.h"
 #include "automata/witness.h"
 #include "ap/tessellation.h"
 #include "host/argfile.h"
+#include "host/compile_cache.h"
 #include "host/device.h"
 #include "host/transformer.h"
 #include "lang/codegen.h"
@@ -79,6 +95,10 @@ struct Options {
     std::string argsPath;
     std::string output;
     std::string inputPath;
+    /** Precompiled design image to run (--image=). */
+    std::string imagePath;
+    /** Compile-cache directory (--cache-dir=; RAPID_CACHE fallback). */
+    std::string cacheDir;
     /** Telemetry output paths (--stats= / --trace=). */
     std::string statsOut;
     std::string traceOut;
@@ -117,14 +137,16 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rapidc <compile|pnr|run|interpret|witness> "
+        "usage: rapidc <compile|build|pnr|run|interpret|witness> "
         "<prog.rapid>\n"
-        "              [--args file] [-o out.anml] [--no-optimize]\n"
+        "              [--args file] [-o out.anml|out.apimg] "
+        "[--no-optimize]\n"
         "              [--positional] [--tile] [--stats]\n"
         "              [--input file] [--frame] "
         "[--engine=scalar|batch|sharded]\n"
-        "              [--shards=N] [--stats=file.json] "
-        "[--trace[=file.json]]\n");
+        "              [--shards=N] [--image=x.apimg] "
+        "[--cache-dir=DIR]\n"
+        "              [--stats=file.json] [--trace[=file.json]]\n");
     std::exit(2);
 }
 
@@ -176,13 +198,28 @@ parseOptions(int argc, char **argv)
         else if (startsWith(arg, "--shards="))
             options.shards = parseShards(
                 arg.substr(std::string("--shards=").size()));
+        else if (arg == "--image")
+            options.imagePath = next();
+        else if (startsWith(arg, "--image="))
+            options.imagePath =
+                arg.substr(std::string("--image=").size());
+        else if (arg == "--cache-dir")
+            options.cacheDir = next();
+        else if (startsWith(arg, "--cache-dir="))
+            options.cacheDir =
+                arg.substr(std::string("--cache-dir=").size());
         else if (!startsWith(arg, "-") && options.program.empty())
             options.program = arg;
         else
             usage();
     }
-    if (options.program.empty())
+    if (options.cacheDir.empty())
+        options.cacheDir = host::CompileCache::dirFromEnv();
+    // `run --image=x.apimg` needs no program; everything else does.
+    if (options.program.empty() &&
+        !(options.command == "run" && !options.imagePath.empty())) {
         usage();
+    }
     return options;
 }
 
@@ -303,16 +340,109 @@ looksLikeAnml(const std::string &path, const std::string &text)
            startsWith(head, "<automata-network");
 }
 
+/** Does @p path end with @p suffix? */
+bool
+hasSuffix(const std::string &path, std::string_view suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** @p path with its extension replaced by (or given) @p ext. */
+std::string
+withExtension(const std::string &path, const std::string &ext)
+{
+    size_t slash = path.find_last_of('/');
+    size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + ext;
+    }
+    return path.substr(0, dot) + ext;
+}
+
+/** Stream --input through @p device and print canonical reports. */
+int
+streamReports(const Options &options, host::Device &device)
+{
+    std::string input = loadInput(options);
+    auto reports = device.run(input);
+    for (const host::HostReport &report : reports) {
+        std::printf("%llu\t%s\t%s\n",
+                    static_cast<unsigned long long>(report.offset),
+                    report.code.c_str(), report.element.c_str());
+    }
+    std::fprintf(stderr, "%zu report(s) over %zu symbols\n",
+                 reports.size(), input.size());
+    if (options.engine == host::Engine::Sharded) {
+        std::fprintf(stderr, "engine: sharded over %zu shard(s)\n",
+                     device.shardCount());
+    }
+    if (obs::statsEnabled())
+        g_profileJson = device.stats().toJson();
+    return 0;
+}
+
 int
 run(const Options &options)
 {
+    // Precompiled image (--image= or a positional .apimg): nothing to
+    // compile — load, configure, stream.
+    if (options.command == "run") {
+        std::string image_path = options.imagePath;
+        if (image_path.empty() && hasSuffix(options.program, ".apimg"))
+            image_path = options.program;
+        if (!image_path.empty()) {
+            ap::DesignImage image = ap::loadImageFile(image_path);
+            host::Device device(image, options.engine, options.shards);
+            return streamReports(options, device);
+        }
+    }
+
     std::string source = readFile(options.program);
+
+    // A .apimg handed to `run` without the extension: the magic bytes
+    // identify it; re-load through loadImageFile for the load_image
+    // span and the path-qualified diagnostics.
+    if (options.command == "run" && ap::looksLikeImage(source)) {
+        ap::DesignImage image = ap::loadImageFile(options.program);
+        host::Device device(image, options.engine, options.shards);
+        return streamReports(options, device);
+    }
+
+    lang::CompileOptions compile_options;
+    compile_options.optimize = options.optimize;
+    compile_options.positionalCounters = options.positional;
+
+    // The cache key hashes raw bytes (source, args file, options), so
+    // a warm probe involves no parsing at all — on a hit the phase
+    // tree is just load_image -> configure -> stream.
+    const bool anml_input = looksLikeAnml(options.program, source);
+    std::string key;
+    if (options.command == "build" ||
+        (options.command == "run" && !options.cacheDir.empty())) {
+        std::string args_text;
+        if (!options.argsPath.empty())
+            args_text = readFile(options.argsPath);
+        key = host::cacheKey(source, args_text, compile_options);
+    }
+
+    if (options.command == "run" && !options.cacheDir.empty()) {
+        host::CompileCache cache(options.cacheDir);
+        if (auto image = cache.load(key)) {
+            host::Device device(*image, options.engine,
+                                options.shards);
+            return streamReports(options, device);
+        }
+    }
+
     std::vector<lang::Value> args;
     if (!options.argsPath.empty())
         args = host::loadArgFile(options.argsPath);
 
     lang::CompiledProgram compiled;
-    if (looksLikeAnml(options.program, source)) {
+    if (anml_input) {
         // ANML input: run/pnr/witness operate on the design directly
         // (VASim-style usage); compile mode round-trips it.
         compiled.automaton = anml::parseAnml(source);
@@ -320,9 +450,6 @@ run(const Options &options)
             automata::optimize(compiled.automaton);
     } else {
         lang::Program program = lang::parseProgram(source);
-        lang::CompileOptions compile_options;
-        compile_options.optimize = options.optimize;
-        compile_options.positionalCounters = options.positional;
         compiled = lang::compileProgram(program, args, compile_options);
     }
 
@@ -340,6 +467,21 @@ run(const Options &options)
             std::fprintf(stderr, "wrote %s (%zu lines)\n",
                          options.output.c_str(), countLines(anml));
         }
+        if (options.stats)
+            printStats(compiled);
+        return 0;
+    }
+
+    if (options.command == "build") {
+        // The full offline pipeline — optimization, tessellation, and
+        // place-and-route — serialized into one binary design image.
+        ap::DesignImage image = host::buildImage(compiled, key);
+        std::string out = options.output.empty()
+                              ? withExtension(options.program, ".apimg")
+                              : options.output;
+        ap::writeImageFile(out, image);
+        std::fprintf(stderr, "wrote %s (%zu elements, key %s)\n",
+                     out.c_str(), image.design.size(), key.c_str());
         if (options.stats)
             printStats(compiled);
         return 0;
@@ -368,24 +510,19 @@ run(const Options &options)
     }
 
     if (options.command == "run") {
-        std::string input = loadInput(options);
+        if (!options.cacheDir.empty()) {
+            // Cache miss: pay the full offline build once, store the
+            // image, and run from it — so cold and warm runs take the
+            // identical configure -> stream path.
+            ap::DesignImage image = host::buildImage(compiled, key);
+            host::CompileCache(options.cacheDir).store(key, image);
+            host::Device device(image, options.engine,
+                                options.shards);
+            return streamReports(options, device);
+        }
         host::Device device(std::move(compiled.automaton),
                             options.engine, options.shards);
-        auto reports = device.run(input);
-        for (const host::HostReport &report : reports) {
-            std::printf("%llu\t%s\t%s\n",
-                        static_cast<unsigned long long>(report.offset),
-                        report.code.c_str(), report.element.c_str());
-        }
-        std::fprintf(stderr, "%zu report(s) over %zu symbols\n",
-                     reports.size(), input.size());
-        if (options.engine == host::Engine::Sharded) {
-            std::fprintf(stderr, "engine: sharded over %zu shard(s)\n",
-                         device.shardCount());
-        }
-        if (obs::statsEnabled())
-            g_profileJson = device.stats().toJson();
-        return 0;
+        return streamReports(options, device);
     }
 
     if (options.command == "witness") {

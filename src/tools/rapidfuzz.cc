@@ -11,7 +11,7 @@
  *
  * Usage:
  *   rapidfuzz [--seed N] [--iterations N] [--max-stmts N]
- *             [--oracle-mask abcdefg] [--inputs N] [--max-input-len N]
+ *             [--oracle-mask abcdefgh] [--inputs N] [--max-input-len N]
  *             [--seconds S] [--no-counters] [--no-tiles]
  *             [--no-shrink] [--repro-dir DIR] [--quiet]
  *   rapidfuzz --repro FILE       # replay one repro file
@@ -67,7 +67,7 @@ usage()
         stderr,
         "usage: rapidfuzz [--seed N] [--iterations N] "
         "[--max-stmts N]\n"
-        "                 [--oracle-mask abcdefg] [--inputs N] "
+        "                 [--oracle-mask abcdefgh] [--inputs N] "
         "[--max-input-len N]\n"
         "                 [--seconds S] [--no-counters] "
         "[--no-tiles] [--no-shrink]\n"

