@@ -5,12 +5,15 @@
  *
  * Measures MB/s for (1) the scalar reference Simulator, (2) the batch
  * engine on a single stream, (3) the batch engine fanning four
- * independent streams over its thread pool, and (4) the sharded
+ * independent streams over its thread pool, (4) the sharded
  * executor on a tessellated (tile-replicated) exact_dna design versus
  * the monolithic batch engine on the same design — per-shard designs
  * fit the batch engine's single-word (≤64 lane) fast path while the
- * monolith cannot, so sharding pays even on one core.  The numbers go
- * to BENCH_throughput.json in the working
+ * monolith cannot, so sharding pays even on one core — (5) the
+ * single-stream parallel engine at 1/2/4 worker threads (the
+ * scaling-vs-threads curve), and (6) the batch engine under each
+ * available SIMD kernel variant on the multi-word tessellated
+ * design.  The numbers go to BENCH_throughput.json in the working
  * directory.  Engine report streams are cross-checked before timing,
  * so the bench doubles as an integration test and exits non-zero on
  * any mismatch.
@@ -34,10 +37,12 @@
 #include "ap/sharding.h"
 #include "ap/tessellation.h"
 #include "automata/batch_simulator.h"
+#include "automata/match_kernels.h"
 #include "automata/simulator.h"
 #include "bench/bench_util.h"
 #include "host/argfile.h"
 #include "host/compile_cache.h"
+#include "host/parallel_stream.h"
 #include "host/sharded.h"
 #include "support/rng.h"
 #include "support/timer.h"
@@ -157,6 +162,58 @@ main()
     const double sharded_s =
         bestSeconds(reps, [&] { sharded.run(input); });
 
+    // Single-stream parallel engine: scaling-vs-threads curve on
+    // exact_dna.  Each executor is correctness-gated against the
+    // batch stream before timing.
+    const std::vector<unsigned> parallel_threads = {1, 2, 4};
+    std::vector<double> parallel_mbps;
+    for (unsigned threads : parallel_threads) {
+        host::ParallelStreamExecutor::Options options;
+        options.threads = threads;
+        host::ParallelStreamExecutor parallel(compiled.automaton,
+                                              options);
+        auto parallel_events = parallel.run(input);
+        std::sort(parallel_events.begin(), parallel_events.end());
+        if (parallel_events != batch_events) {
+            std::fprintf(stderr,
+                         "bench_throughput: parallel engine (%u "
+                         "threads) disagrees with batch (%zu vs %zu "
+                         "events)\n",
+                         threads, parallel_events.size(),
+                         batch_events.size());
+            return 1;
+        }
+        parallel_mbps.push_back(mbps(
+            bytes, bestSeconds(reps, [&] { parallel.run(input); })));
+    }
+    const double parallel_scaling =
+        parallel_mbps.front() > 0
+            ? parallel_mbps.back() / parallel_mbps.front()
+            : 0.0;
+
+    // SIMD kernel variants on the multi-word tessellated design (the
+    // 320-lane monolith, where the vector body actually runs).
+    std::vector<std::string> kernel_names;
+    std::vector<double> kernel_mbps;
+    for (const std::string &name : automata::kernels::available()) {
+        setenv("RAPID_KERNEL", name.c_str(), 1);
+        automata::BatchSimulator engine(tessellated);
+        auto kernel_events = engine.run(input);
+        std::sort(kernel_events.begin(), kernel_events.end());
+        if (kernel_events != tess_events) {
+            std::fprintf(stderr,
+                         "bench_throughput: kernel %s disagrees "
+                         "(%zu vs %zu events)\n",
+                         name.c_str(), kernel_events.size(),
+                         tess_events.size());
+            return 1;
+        }
+        kernel_names.push_back(name);
+        kernel_mbps.push_back(mbps(
+            bytes, bestSeconds(reps, [&] { engine.run(input); })));
+    }
+    unsetenv("RAPID_KERNEL");
+
     const double scalar_mbps = mbps(bytes, scalar_s);
     const double batch_mbps = mbps(bytes, batch_s);
     const double multi_mbps = mbps(bytes * streams, multi_s);
@@ -168,7 +225,7 @@ main()
         batch_s > 0 ? scalar_s / batch_s : 0.0;
     const double scaling =
         batch_mbps > 0 ? multi_mbps / batch_mbps : 0.0;
-    const unsigned hardware = std::thread::hardware_concurrency();
+    const unsigned hardware = bench::hardwareThreads();
 
     std::printf("Streaming throughput — exact_dna, %zu bytes\n",
                 bytes);
@@ -190,6 +247,25 @@ main()
                 tess_batch_mbps);
     std::printf("%-28s %10.1f MB/s  (%.2fx batch)\n",
                 "sharded engine", sharded_mbps, sharded_speedup);
+    std::printf("Parallel engine — exact_dna, one stream chunked\n");
+    bench::printRule(58);
+    for (size_t i = 0; i < parallel_threads.size(); ++i) {
+        char label[40];
+        std::snprintf(label, sizeof label, "parallel (%u threads)",
+                      parallel_threads[i]);
+        std::printf("%-28s %10.1f MB/s\n", label, parallel_mbps[i]);
+    }
+    std::printf("%-28s %10.2fx  (%u hw threads)\n",
+                "scaling 1 -> 4 threads", parallel_scaling, hardware);
+    std::printf("SIMD kernels — tessellated design (%zu lanes)\n",
+                tess_batch.lanes());
+    bench::printRule(58);
+    for (size_t i = 0; i < kernel_names.size(); ++i) {
+        char label[40];
+        std::snprintf(label, sizeof label, "batch kernel %s",
+                      kernel_names[i].c_str());
+        std::printf("%-28s %10.1f MB/s\n", label, kernel_mbps[i]);
+    }
 
     // Compile-once, run-many: the cold path pays the full offline
     // build (compile + tessellate + place&route + image serialize +
@@ -239,6 +315,17 @@ main()
     bench::recordMeasurement("sharded_mbps", sharded_mbps);
     bench::recordMeasurement("sharded_speedup_vs_batch",
                              sharded_speedup);
+    for (size_t i = 0; i < parallel_threads.size(); ++i) {
+        bench::recordMeasurement(
+            "parallel_mbps_t" + std::to_string(parallel_threads[i]),
+            parallel_mbps[i]);
+    }
+    bench::recordMeasurement("parallel_scaling_1_to_4",
+                             parallel_scaling);
+    for (size_t i = 0; i < kernel_names.size(); ++i) {
+        bench::recordMeasurement("kernel_mbps_" + kernel_names[i],
+                                 kernel_mbps[i]);
+    }
     bench::recordMeasurement("compile_cold_ms", cold_s * 1e3);
     bench::recordMeasurement("compile_warm_ms", warm_s * 1e3);
     bench::recordMeasurement("compile_cache_speedup", cache_speedup);
@@ -260,7 +347,22 @@ main()
          << ",\n"
          << "  \"sharded_mbps\": " << sharded_mbps << ",\n"
          << "  \"sharded_speedup_vs_batch\": " << sharded_speedup
-         << ",\n"
+         << ",\n";
+    json << "  \"parallel_threads_mbps\": {";
+    for (size_t i = 0; i < parallel_threads.size(); ++i) {
+        json << (i ? ", " : "") << "\"" << parallel_threads[i]
+             << "\": " << parallel_mbps[i];
+    }
+    json << "},\n"
+         << "  \"parallel_scaling_1_to_4\": " << parallel_scaling
+         << ",\n";
+    json << "  \"kernel_mbps\": {";
+    for (size_t i = 0; i < kernel_names.size(); ++i) {
+        json << (i ? ", " : "") << "\"" << kernel_names[i]
+             << "\": " << kernel_mbps[i];
+    }
+    json << "},\n"
+         << "  \"default_kernel\": \"" << batch.kernel() << "\",\n"
          << "  \"compile_cold_ms\": " << cold_s * 1e3 << ",\n"
          << "  \"compile_warm_ms\": " << warm_s * 1e3 << ",\n"
          << "  \"compile_cache_speedup\": " << cache_speedup << ",\n"

@@ -13,7 +13,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "lang/codegen.h"
 #include "lang/parser.h"
@@ -88,6 +93,26 @@ benchScale()
             return scale;
     }
     return 0.1;
+}
+
+/**
+ * Physical hardware thread count for bench reporting.
+ * std::thread::hardware_concurrency() reflects the process's CPU
+ * affinity mask (often 1 inside constrained containers), which
+ * misrepresents the machine the numbers were taken on — prefer the
+ * configured processor count when the platform exposes it.
+ */
+inline unsigned
+hardwareThreads()
+{
+    unsigned count = std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+    const long configured = sysconf(_SC_NPROCESSORS_CONF);
+    if (configured > 0 &&
+        static_cast<unsigned>(configured) > count)
+        count = static_cast<unsigned>(configured);
+#endif
+    return count != 0 ? count : 1;
 }
 
 inline void

@@ -29,6 +29,22 @@ workload() { # name frame-flag...
         --input "$ROOT/tests/conformance/inputs/$name.input" "$@" \
         2>/dev/null | filter > "$GOLDEN/workload_$name.golden"
     echo "workload_$name.golden: $(wc -l < "$GOLDEN/workload_$name.golden") line(s)"
+    # Cross-verify before committing: every other engine must already
+    # reproduce the fresh scalar golden byte for byte.  A diff here
+    # means the behaviour change is engine-specific — a bug, not a
+    # golden refresh.
+    local engine
+    for engine in batch sharded parallel "parallel --threads=3"; do
+        # shellcheck disable=SC2086 # engine may carry extra flags
+        "$RAPIDC" run --engine=$engine "$ROOT/workloads/$name.rapid" \
+            --args "$ROOT/workloads/$name.args" \
+            --input "$ROOT/tests/conformance/inputs/$name.input" "$@" \
+            2>/dev/null | filter \
+            | diff -u "$GOLDEN/workload_$name.golden" - || {
+            echo "error: --engine=$engine diverges from scalar on $name" >&2
+            exit 1
+        }
+    done
 }
 
 example() { # name

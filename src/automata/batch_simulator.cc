@@ -190,6 +190,28 @@ BatchSimulator::BatchSimulator(const Automaton &automaton)
             node.counterSlot = static_cast<uint32_t>(_numCounters++);
         _comb.push_back(node);
     }
+
+    // SIMD kernel selection: once per construction, honoring the
+    // RAPID_KERNEL override (see match_kernels.h).
+    _ops = &kernels::active();
+
+    // Rare-byte literal prefilter, STE-only designs: when the enable
+    // frontier has collapsed to the always-enabled set, a byte that
+    // matches no always-enabled lane activates nothing, reports
+    // nothing, and leaves the frontier unchanged — so runs of such
+    // cold bytes are skipped without stepping the automaton.  Gates
+    // can fire on silence (NOR) and counters carry sequential state,
+    // so any combinational network disables the filter.
+    if (_comb.empty()) {
+        for (unsigned symbol = 0; symbol < 256; ++symbol) {
+            uint64_t hot = 0;
+            for (size_t w = 0; w < _words; ++w)
+                hot |= _matchTable[symbol * _words + w] &
+                       _alwaysMask[w];
+            _hotByte[symbol] = hot != 0 ? 1 : 0;
+        }
+        _prefilter = true;
+    }
 }
 
 void
@@ -214,8 +236,7 @@ BatchSimulator::stepStream(StreamState &state, unsigned char symbol) const
     const uint64_t *enabled = state.enabled.data();
 
     // Phase 1: STE matching, one AND per 64 lanes.
-    for (size_t w = 0; w < _words; ++w)
-        active[w] = enabled[w] & row[w];
+    _ops->andRows(active, enabled, row, _words);
 
     const size_t cycle_start = state.reports.size();
 
@@ -345,8 +366,7 @@ BatchSimulator::stepStream(StreamState &state, unsigned char symbol) const
                     continue;
                 const uint64_t *row =
                     tables + (slot * 256 + value) * _words;
-                for (size_t t = 0; t < _words; ++t)
-                    next[t] |= row[t];
+                _ops->orInto(next, row, _words);
             }
         }
     } else {
@@ -380,7 +400,8 @@ BatchSimulator::stepStream(StreamState &state, unsigned char symbol) const
  * Register-resident hot loop for the common case: every lane fits in
  * one word and there is no combinational network.  Lanes are scanned
  * in ascending order, so within-cycle events are already element-id
- * ordered and no sort is needed.
+ * ordered and no sort is needed.  Resumable: consumes from whatever
+ * frontier/offset @p state carries.
  */
 void
 BatchSimulator::runSingleWordSteOnly(StreamState &state,
@@ -390,14 +411,28 @@ BatchSimulator::runSingleWordSteOnly(StreamState &state,
     const uint64_t *tables = _succByte.data();
     const uint64_t always = _alwaysMask[0];
     const uint64_t report_mask = _reportMask[0];
+    const uint8_t *hot = _hotByte.data();
     // Fixed, branch-free successor lookup: byte value 0 indexes an
     // all-zero row, so every populated slot is OR-ed unconditionally.
     const size_t slots = (_numStes + 7) / 8;
+    const size_t size = input.size();
     uint64_t enabled = state.enabled[0];
     uint64_t cycle = state.cycle;
-    for (const char c : input) {
+    for (size_t pos = 0; pos < size; ++pos) {
+        // Literal prefilter: an idle frontier (always-enabled lanes
+        // only) plus a cold byte is a guaranteed no-op cycle — scan
+        // forward to the next hot byte without touching the automaton.
+        if (enabled == always) {
+            while (pos < size &&
+                   !hot[static_cast<unsigned char>(input[pos])]) {
+                ++pos;
+                ++cycle;
+            }
+            if (pos >= size)
+                break;
+        }
         const uint64_t active =
-            enabled & match[static_cast<unsigned char>(c)];
+            enabled & match[static_cast<unsigned char>(input[pos])];
         uint64_t reporting = active & report_mask;
         while (reporting) {
             const uint32_t lane = static_cast<uint32_t>(
@@ -415,6 +450,115 @@ BatchSimulator::runSingleWordSteOnly(StreamState &state,
     }
     state.enabled[0] = enabled;
     state.cycle = cycle;
+}
+
+/**
+ * Kernel-dispatched hot loop for STE-only designs spanning several
+ * words (up to kByteTableMaxWords, so the byte tables exist).  The
+ * match AND and the successor-union ORs run through the selected SIMD
+ * kernel; the rare-byte prefilter applies exactly as in the
+ * single-word path.  Resumable like runSingleWordSteOnly.
+ */
+void
+BatchSimulator::runMultiWordSteOnly(StreamState &state,
+                                    std::string_view input) const
+{
+    const size_t words = _words;
+    const uint64_t *match = _matchTable.data();
+    const uint64_t *tables = _succByte.data();
+    const uint64_t *always = _alwaysMask.data();
+    const uint64_t *report_mask = _reportMask.data();
+    const uint8_t *hot = _hotByte.data();
+    const kernels::Ops &ops = *_ops;
+    uint64_t *enabled = state.enabled.data();
+    uint64_t *active = state.active.data();
+    uint64_t *next = state.next.data();
+    const size_t size = input.size();
+    uint64_t cycle = state.cycle;
+
+    // Idle test for the prefilter: true when no lane beyond the
+    // always-enabled set is live.  Maintained incrementally — the
+    // previous iteration's successor union was empty.
+    auto is_idle = [&] {
+        for (size_t w = 0; w < words; ++w) {
+            if (enabled[w] != always[w])
+                return false;
+        }
+        return true;
+    };
+    bool idle = is_idle();
+
+    for (size_t pos = 0; pos < size; ++pos) {
+        if (idle) {
+            while (pos < size &&
+                   !hot[static_cast<unsigned char>(input[pos])]) {
+                ++pos;
+                ++cycle;
+            }
+            if (pos >= size)
+                break;
+        }
+        const uint64_t *row =
+            match +
+            size_t(static_cast<unsigned char>(input[pos])) * words;
+        ops.andRows(active, enabled, row, words);
+
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t reporting = active[w] & report_mask[w];
+            while (reporting) {
+                const uint32_t lane =
+                    static_cast<uint32_t>(w * 64) +
+                    static_cast<uint32_t>(__builtin_ctzll(reporting));
+                state.reports.push_back(
+                    ReportEvent{cycle, _steElement[lane]});
+                reporting &= reporting - 1;
+            }
+        }
+
+        for (size_t w = 0; w < words; ++w)
+            next[w] = 0;
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t bits = active[w];
+            for (size_t slot = w * 8; bits; ++slot, bits >>= 8) {
+                const size_t value = bits & 0xff;
+                if (!value)
+                    continue;
+                ops.orInto(next, tables + (slot * 256 + value) * words,
+                           words);
+            }
+        }
+        uint64_t live = 0;
+        for (size_t w = 0; w < words; ++w) {
+            enabled[w] = next[w] | always[w];
+            live |= next[w];
+        }
+        // Empty successor union: the frontier is exactly the always
+        // set, so the prefilter may engage on the next symbol.
+        idle = live == 0;
+        ++cycle;
+    }
+    state.cycle = cycle;
+}
+
+/**
+ * Consume @p input through the fastest path this design admits:
+ * single-word register loop, kernel-dispatched multi-word loop, or
+ * the generic step loop (combinational networks, byte-table-less
+ * giants).  Resumes from @p state's current frontier and offset.
+ */
+void
+BatchSimulator::advanceState(StreamState &state,
+                             std::string_view input) const
+{
+    if (_comb.empty() && _byteTables) {
+        if (_words == 1)
+            runSingleWordSteOnly(state, input);
+        else
+            runMultiWordSteOnly(state, input);
+        return;
+    }
+    for (const char c : input)
+        stepStream(state, static_cast<unsigned char>(c));
 }
 
 void
@@ -450,12 +594,7 @@ BatchSimulator::runInto(StreamState &state, std::string_view input,
 {
     resetStream(state);
     if (!profile) {
-        if (_words == 1 && _comb.empty() && _byteTables) {
-            runSingleWordSteOnly(state, input);
-            return;
-        }
-        for (const char c : input)
-            stepStream(state, static_cast<unsigned char>(c));
+        advanceState(state, input);
         return;
     }
     // Profiled streams always take the instrumented step loop; the
@@ -475,6 +614,63 @@ BatchSimulator::run(std::string_view input) const
     StreamState state;
     runInto(state, input, nullptr);
     return std::move(state.reports);
+}
+
+BatchSimulator::Cursor
+BatchSimulator::startCursor() const
+{
+    Cursor cursor;
+    resetStream(cursor._state);
+    return cursor;
+}
+
+BatchSimulator::Cursor
+BatchSimulator::speculativeCursor(uint64_t offset) const
+{
+    Cursor cursor;
+    resetStream(cursor._state);
+    cursor._state.cycle = offset;
+    // All-states frontier: every lane enabled, partial last word
+    // masked so ghost lanes never light up.
+    for (size_t w = 0; w < _words; ++w)
+        cursor._state.enabled[w] = ~0ull;
+    if (_numStes % 64 != 0 && _words > 0) {
+        cursor._state.enabled[_words - 1] =
+            (1ull << (_numStes % 64)) - 1;
+    }
+    return cursor;
+}
+
+void
+BatchSimulator::advance(Cursor &cursor, std::string_view chunk) const
+{
+    advanceState(cursor._state, chunk);
+}
+
+void
+BatchSimulator::advanceOne(Cursor &cursor, unsigned char symbol) const
+{
+    stepStream(cursor._state, symbol);
+}
+
+BatchSimulator::Frontier
+BatchSimulator::captureFrontier(const Cursor &cursor) const
+{
+    Frontier frontier;
+    frontier.enabled = cursor._state.enabled;
+    frontier.combSignal = cursor._state.combSignal;
+    frontier.counters = cursor._state.counters;
+    frontier.reportCount = cursor._state.reports.size();
+    return frontier;
+}
+
+bool
+BatchSimulator::frontierMatches(const Cursor &cursor,
+                                const Frontier &frontier) const
+{
+    return cursor._state.enabled == frontier.enabled &&
+           cursor._state.combSignal == frontier.combSignal &&
+           cursor._state.counters == frontier.counters;
 }
 
 std::vector<ReportEvent>

@@ -21,11 +21,27 @@
  *    gates is flattened into topologically ordered evaluation records
  *    with CSR input lists.
  *
+ * The word-wide primitives (match-table AND, successor-union OR) run
+ * through the runtime-dispatched kernel layer in match_kernels.h —
+ * portable baseline, SSE2, or AVX2, selected per construction via
+ * cpuid or the RAPID_KERNEL environment variable.  STE-only designs
+ * additionally compile a rare-byte literal prefilter: when the
+ * frontier collapses to the always-enabled set, input bytes that
+ * cannot activate any always-enabled lane are skipped without touching
+ * the automaton at all (cold regions cost one table lookup per byte).
+ *
  * All per-stream state lives in a StreamState value, so one compiled
  * BatchSimulator can execute many independent input streams
  * concurrently: runBatch() fans N streams over a small thread pool
  * and returns N report vectors in submission order (deterministic —
  * stream i's result never depends on how work was scheduled).
+ *
+ * Chunked single-stream execution (host/parallel_stream.h) uses the
+ * resumable Cursor API: startCursor()/speculativeCursor() seed a
+ * stream state at an arbitrary offset, advance() consumes symbols
+ * through the fast paths, and captureFrontier()/frontierMatches()
+ * support the seam-replay reconciliation that makes speculative
+ * chunk execution exact.
  *
  * Semantics are identical to Simulator (same phase structure, same
  * counter reset priority and rising-edge reporting); the differential
@@ -37,11 +53,13 @@
 #ifndef RAPID_AUTOMATA_BATCH_SIMULATOR_H
 #define RAPID_AUTOMATA_BATCH_SIMULATOR_H
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "automata/automaton.h"
+#include "automata/match_kernels.h"
 #include "automata/simulator.h"
 #include "obs/profile.h"
 
@@ -50,6 +68,77 @@ namespace rapid::automata {
 /** Compiled bit-parallel engine; one instance serves many streams. */
 class BatchSimulator {
   public:
+    /** Per-counter sequential state (public for Frontier snapshots). */
+    struct CounterState {
+        uint32_t value = 0;
+        bool latched = false;
+        /** Output signal on the previous cycle (edge detection). */
+        bool prevOut = false;
+
+        friend bool
+        operator==(const CounterState &a, const CounterState &b)
+        {
+            return a.value == b.value && a.latched == b.latched &&
+                   a.prevOut == b.prevOut;
+        }
+    };
+
+    /** All mutable execution state for one input stream. */
+    struct StreamState {
+        std::vector<uint64_t> enabled;
+        std::vector<uint64_t> active;
+        std::vector<uint64_t> next;
+        std::vector<uint8_t> combSignal;
+        std::vector<CounterState> counters;
+        std::vector<ReportEvent> reports;
+        uint64_t cycle = 0;
+    };
+
+    /**
+     * Resumable per-stream execution handle for chunked execution.
+     * Obtain one from startCursor()/speculativeCursor(), feed it with
+     * advance()/advanceOne(), and drain accumulated reports (global
+     * offsets) with takeReports().  Cursors are value types: copying
+     * one forks the execution state.
+     */
+    class Cursor {
+      public:
+        /** Stream offset of the next symbol this cursor consumes. */
+        uint64_t offset() const { return _state.cycle; }
+
+        /** Reports accumulated since the last takeReports(). */
+        const std::vector<ReportEvent> &reports() const
+        {
+            return _state.reports;
+        }
+
+        /** Move the accumulated reports out, leaving none behind. */
+        std::vector<ReportEvent> takeReports()
+        {
+            std::vector<ReportEvent> out = std::move(_state.reports);
+            _state.reports.clear();
+            return out;
+        }
+
+      private:
+        friend class BatchSimulator;
+        StreamState _state;
+    };
+
+    /**
+     * Compact execution snapshot: the enable frontier plus all
+     * sequential state (counters, gate signals), but no report
+     * history — just the report count at capture time, so a seam
+     * replay can splice speculative report tails.
+     */
+    struct Frontier {
+        std::vector<uint64_t> enabled;
+        std::vector<uint8_t> combSignal;
+        std::vector<CounterState> counters;
+        /** cursor.reports().size() when the snapshot was taken. */
+        size_t reportCount = 0;
+    };
+
     /** @throws CompileError when the design fails validation. */
     explicit BatchSimulator(const Automaton &automaton);
 
@@ -95,11 +184,51 @@ class BatchSimulator {
              unsigned threads = 0,
              obs::ExecutionProfile *profile = nullptr) const;
 
+    /**
+     * Power-on cursor at offset 0: the exact state run() starts from
+     * (always-enabled plus start-of-data lanes, counters at zero).
+     */
+    Cursor startCursor() const;
+
+    /**
+     * All-states speculative cursor at @p offset: every STE lane
+     * enabled, counters and gate signals at zero.  For STE-only
+     * designs the enable-set transition is monotone, so this frontier
+     * over-approximates any reachable one and typically converges to
+     * the exact execution within a pattern length; reports emitted
+     * before convergence are speculative and must be reconciled by
+     * seam replay (host/parallel_stream.cc).
+     */
+    Cursor speculativeCursor(uint64_t offset) const;
+
+    /** Consume @p chunk through the fastest applicable path. */
+    void advance(Cursor &cursor, std::string_view chunk) const;
+
+    /** Consume exactly one symbol (the seam-replay step loop). */
+    void advanceOne(Cursor &cursor, unsigned char symbol) const;
+
+    /** Snapshot @p cursor's frontier + sequential state. */
+    Frontier captureFrontier(const Cursor &cursor) const;
+
+    /**
+     * Does @p cursor's execution state equal @p frontier?  True means
+     * the two executions are in identical states: every future symbol
+     * produces identical behaviour, so a replay may stop here.
+     */
+    bool frontierMatches(const Cursor &cursor,
+                         const Frontier &frontier) const;
+
     /** Number of 64-bit words per STE bitset row (for tests). */
     size_t words() const { return _words; }
 
     /** Number of STE bit lanes (for tests). */
     size_t lanes() const { return _numStes; }
+
+    /** Name of the SIMD kernel variant compiled in ("avx2", ...). */
+    const char *kernel() const { return _ops->name; }
+
+    /** Whether the rare-byte literal prefilter is active (for tests). */
+    bool prefilterEnabled() const { return _prefilter; }
 
   private:
     /** One flattened combinational node (gate or counter). */
@@ -128,30 +257,16 @@ class BatchSimulator {
         Port port = Port::Activate;
     };
 
-    struct CounterState {
-        uint32_t value = 0;
-        bool latched = false;
-        /** Output signal on the previous cycle (edge detection). */
-        bool prevOut = false;
-    };
-
-    /** All mutable execution state for one input stream. */
-    struct StreamState {
-        std::vector<uint64_t> enabled;
-        std::vector<uint64_t> active;
-        std::vector<uint64_t> next;
-        std::vector<uint8_t> combSignal;
-        std::vector<CounterState> counters;
-        std::vector<ReportEvent> reports;
-        uint64_t cycle = 0;
-    };
-
     void resetStream(StreamState &state) const;
     void stepStream(StreamState &state, unsigned char symbol) const;
+    /** Consume @p input through the fastest applicable path. */
+    void advanceState(StreamState &state, std::string_view input) const;
     void runInto(StreamState &state, std::string_view input,
                  obs::ExecutionProfile *profile) const;
     void runSingleWordSteOnly(StreamState &state,
                               std::string_view input) const;
+    void runMultiWordSteOnly(StreamState &state,
+                             std::string_view input) const;
     /** Fold one just-executed cycle's activity into @p profile. */
     void profileCycle(const StreamState &state, uint64_t reported,
                       obs::ExecutionProfile &profile) const;
@@ -192,6 +307,19 @@ class BatchSimulator {
     static constexpr size_t kByteTableMaxWords = 8;
     std::vector<uint64_t> _succByte;
     bool _byteTables = false;
+
+    /** Selected SIMD kernel variant (see match_kernels.h). */
+    const kernels::Ops *_ops = nullptr;
+
+    /**
+     * Rare-byte literal prefilter (STE-only designs): hot[c] is
+     * nonzero iff byte c can activate an always-enabled lane.  When
+     * the frontier equals the always-enabled set, cold bytes cannot
+     * activate anything, report anything, or change the frontier, so
+     * the scan loop skips them without stepping the automaton.
+     */
+    std::array<uint8_t, 256> _hotByte{};
+    bool _prefilter = false;
 
     /** Flattened combinational network in evaluation order. */
     std::vector<CombNode> _comb;

@@ -1,0 +1,194 @@
+#include "automata/match_kernels.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RAPID_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rapid::automata::kernels {
+
+namespace {
+
+void
+andRowsBaseline(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                size_t words)
+{
+    for (size_t i = 0; i < words; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+void
+orIntoBaseline(uint64_t *dst, const uint64_t *src, size_t words)
+{
+    for (size_t i = 0; i < words; ++i)
+        dst[i] |= src[i];
+}
+
+constexpr Ops kBaseline = {"baseline", andRowsBaseline, orIntoBaseline};
+
+#ifdef RAPID_KERNELS_X86
+
+// The rows BatchSimulator hands these kernels come from std::vector
+// storage with no alignment promise beyond alignof(uint64_t), so every
+// vector access is an unaligned load/store.
+
+__attribute__((target("sse2"))) void
+andRowsSse2(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+            size_t words)
+{
+    size_t i = 0;
+    for (; i + 2 <= words; i += 2) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_and_si128(va, vb));
+    }
+    for (; i < words; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("sse2"))) void
+orIntoSse2(uint64_t *dst, const uint64_t *src, size_t words)
+{
+    size_t i = 0;
+    for (; i + 2 <= words; i += 2) {
+        const __m128i vd =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i vs = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_or_si128(vd, vs));
+    }
+    for (; i < words; ++i)
+        dst[i] |= src[i];
+}
+
+constexpr Ops kSse2 = {"sse2", andRowsSse2, orIntoSse2};
+
+__attribute__((target("avx2"))) void
+andRowsAvx2(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+            size_t words)
+{
+    size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(va, vb));
+    }
+    for (; i < words; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2"))) void
+orIntoAvx2(uint64_t *dst, const uint64_t *src, size_t words)
+{
+    size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        const __m256i vd = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i vs = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(vd, vs));
+    }
+    for (; i < words; ++i)
+        dst[i] |= src[i];
+}
+
+constexpr Ops kAvx2 = {"avx2", andRowsAvx2, orIntoAvx2};
+
+#endif // RAPID_KERNELS_X86
+
+bool
+cpuSupports(const Ops &ops)
+{
+#ifdef RAPID_KERNELS_X86
+    if (ops.name == kSse2.name)
+        return __builtin_cpu_supports("sse2");
+    if (ops.name == kAvx2.name)
+        return __builtin_cpu_supports("avx2");
+#endif
+    return ops.name == kBaseline.name;
+}
+
+/** Every built variant, portable first, fastest last. */
+const Ops *
+allVariants(size_t &count)
+{
+#ifdef RAPID_KERNELS_X86
+    static const Ops variants[] = {kBaseline, kSse2, kAvx2};
+#else
+    static const Ops variants[] = {kBaseline};
+#endif
+    count = sizeof(variants) / sizeof(variants[0]);
+    return variants;
+}
+
+const Ops &
+bestSupported()
+{
+    size_t count = 0;
+    const Ops *variants = allVariants(count);
+    const Ops *best = &variants[0];
+    for (size_t i = 0; i < count; ++i) {
+        if (cpuSupports(variants[i]))
+            best = &variants[i];
+    }
+    return *best;
+}
+
+} // namespace
+
+const Ops *
+byName(const std::string &name)
+{
+    size_t count = 0;
+    const Ops *variants = allVariants(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (name == variants[i].name)
+            return cpuSupports(variants[i]) ? &variants[i] : nullptr;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+available()
+{
+    size_t count = 0;
+    const Ops *variants = allVariants(count);
+    std::vector<std::string> names;
+    for (size_t i = 0; i < count; ++i) {
+        if (cpuSupports(variants[i]))
+            names.push_back(variants[i].name);
+    }
+    return names;
+}
+
+const Ops &
+active()
+{
+    // Re-read the environment every call: selection happens once per
+    // engine construction, and the parity tests rely on toggling
+    // RAPID_KERNEL between constructions.
+    const char *forced = std::getenv("RAPID_KERNEL");
+    if (forced == nullptr || *forced == '\0')
+        return bestSupported();
+    const Ops *ops = byName(forced);
+    if (ops == nullptr) {
+        throw Error(std::string("RAPID_KERNEL='") + forced +
+                    "' is unknown or unsupported on this CPU "
+                    "(expected one of: baseline, sse2, avx2)");
+    }
+    return *ops;
+}
+
+} // namespace rapid::automata::kernels

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the batch engine's hot loop.
+ *
+ * The two word-wide primitives that dominate BatchSimulator's step —
+ * the symbol→bitvector match-table AND (`active = enabled & row`) and
+ * the successor-union OR-reduction (`next |= row` per populated byte
+ * slot) — operate on short rows of `uint64_t` (one bit lane per STE,
+ * up to kByteTableMaxWords words for byte-table designs).  This layer
+ * provides three implementations of those primitives:
+ *
+ *  - `baseline` — portable scalar loops, available everywhere;
+ *  - `sse2`    — 128-bit vector ops (x86-64 baseline ISA);
+ *  - `avx2`    — 256-bit vector ops, selected via cpuid.
+ *
+ * Selection happens once per BatchSimulator construction through
+ * active(): the best CPU-supported variant wins unless the
+ * RAPID_KERNEL environment variable ("baseline", "sse2", "avx2")
+ * forces one — the kernel-parity tests use the override to cross-check
+ * every variant's outputs on all 256 symbols.  Requesting a variant
+ * the CPU cannot run is an error (the tests probe with byName()
+ * first).
+ *
+ * All variants are bit-exact: for any (dst, a, b, words) the outputs
+ * are identical, enforced by tests/automata/match_kernels_test.cc.
+ */
+#ifndef RAPID_AUTOMATA_MATCH_KERNELS_H
+#define RAPID_AUTOMATA_MATCH_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapid::automata::kernels {
+
+/** One kernel implementation; plain function pointers, no state. */
+struct Ops {
+    const char *name;
+    /** dst[i] = a[i] & b[i] for i in [0, words). */
+    void (*andRows)(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                    size_t words);
+    /** dst[i] |= src[i] for i in [0, words). */
+    void (*orInto)(uint64_t *dst, const uint64_t *src, size_t words);
+};
+
+/**
+ * The kernel variant to use: RAPID_KERNEL when set (re-read on every
+ * call so tests can toggle it between engine constructions), else the
+ * best variant this CPU supports.
+ * @throws rapid::Error when RAPID_KERNEL names an unknown or
+ * CPU-unsupported variant.
+ */
+const Ops &active();
+
+/** Look up a variant by name; nullptr when unknown or unsupported. */
+const Ops *byName(const std::string &name);
+
+/** Names of every variant this CPU can run (always has "baseline"). */
+std::vector<std::string> available();
+
+} // namespace rapid::automata::kernels
+
+#endif // RAPID_AUTOMATA_MATCH_KERNELS_H

@@ -10,6 +10,7 @@
 #include "ap/sharding.h"
 #include "host/compile_cache.h"
 #include "ap/tessellation.h"
+#include "host/parallel_stream.h"
 #include "host/sharded.h"
 #include "automata/batch_simulator.h"
 #include "automata/optimizer.h"
@@ -74,6 +75,7 @@ constexpr ForkNames kForkNames[] = {
     {kForkBatch, 'f', "batch"},
     {kForkSharded, 'g', "sharded"},
     {kForkImage, 'h', "image"},
+    {kForkParallel, 'i', "parallel"},
 };
 
 /** Sorted full (offset, element) stream — batch-fork comparison. */
@@ -104,7 +106,7 @@ parseOracleMask(const std::string &text)
         }
         if (!known) {
             throw Error(strprintf(
-                "unknown oracle fork '%c' (expected letters a-h)", c));
+                "unknown oracle fork '%c' (expected letters a-i)", c));
         }
     }
     if (mask == 0)
@@ -255,6 +257,35 @@ runOracle(const OracleCase &oracle_case)
             // resource outcome, not a semantic one.
         } catch (const Error &error) {
             fail(std::string("sharded fork crashed: ") + error.what());
+        }
+    }
+
+    // Fork (i): the single-stream parallel engine.  A deliberately
+    // tiny chunk size forces even short fuzz inputs to split into
+    // many speculative chunks, so every case exercises all-states
+    // frontiers, seam replay, and (for counter programs) the
+    // no-convergence full-replay fallback.  The merged stream must
+    // equal the scalar stream exactly — same contract as fork (f).
+    if (mask & kForkParallel) {
+        try {
+            host::ParallelStreamExecutor::Options options;
+            options.threads = 2;
+            options.chunkSize = 7;
+            host::ParallelStreamExecutor executor(compiled.automaton,
+                                                  options);
+            auto parallel_events =
+                sortedEventsOf(executor.run(oracle_case.input));
+            result.ranMask |= kForkParallel;
+            if (parallel_events != sortedEventsOf(raw_events)) {
+                fail(strprintf(
+                    "parallel engine report stream differs from scalar "
+                    "(%zu events != %zu events, offsets %s != %s)",
+                    parallel_events.size(), raw_events.size(),
+                    renderOffsets(offsetsOf(parallel_events)).c_str(),
+                    renderOffsets(result.offsets).c_str()));
+            }
+        } catch (const Error &error) {
+            fail(std::string("parallel fork crashed: ") + error.what());
         }
     }
 

@@ -17,7 +17,10 @@
  *       per-shard simulation -> deterministic merge;
  *   (h) codegen (unoptimized) -> full offline image build
  *       (tessellation + placement + shard map) -> .apimg serialize ->
- *       deserialize -> simulator.
+ *       deserialize -> simulator;
+ *   (i) codegen (unoptimized) -> single-stream parallel engine
+ *       (speculative chunking + seam-replay reconciliation, small
+ *       chunks so every input crosses seams).
  *
  * Forks (a)-(d) compare sorted distinct report offsets; (c) vs (d)
  * additionally compare full (offset, element-id) event streams, since
@@ -33,7 +36,10 @@
  * compile-once, run-many contract: a design that round-trips through
  * the binary image format must be bit-identical, so its full
  * (offset, element-id) stream is compared against the scalar
- * reference.
+ * reference.  Fork (i) runs the same design as (b) through the
+ * chunked parallel-stream engine with a tiny chunk size, so even
+ * short fuzz inputs exercise speculative frontiers and seam replay;
+ * like (f) and (g) it compares full sorted (offset, element) streams.
  *
  * Forks that do not apply degrade gracefully: counter programs skip
  * the interpreter (it rejects counters by design), non-tileable
@@ -60,16 +66,17 @@ enum : unsigned {
     kForkBatch = 1u << 5,       // (f)
     kForkSharded = 1u << 6,     // (g)
     kForkImage = 1u << 7,       // (h)
-    kForkAll = 0xffu,
+    kForkParallel = 1u << 8,    // (i)
+    kForkAll = 0x1ffu,
 };
 
 /**
- * Parse a mask spec: fork letters ("abcdefgh", "bd"), or "all".
+ * Parse a mask spec: fork letters ("abcdefghi", "bd"), or "all".
  * @throws rapid::Error on unknown letters or an empty mask.
  */
 unsigned parseOracleMask(const std::string &text);
 
-/** Render a mask as fork letters ("abcdefgh"). */
+/** Render a mask as fork letters ("abcdefghi"). */
 std::string formatOracleMask(unsigned mask);
 
 /** One differential-oracle case. */

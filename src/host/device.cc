@@ -21,8 +21,10 @@ parseEngine(const std::string &name)
         return Engine::Batch;
     if (name == "sharded")
         return Engine::Sharded;
+    if (name == "parallel")
+        return Engine::Parallel;
     throw Error("unknown engine '" + name +
-                "' (expected scalar, batch, or sharded)");
+                "' (expected scalar, batch, sharded, or parallel)");
 }
 
 const char *
@@ -33,6 +35,8 @@ engineName(Engine engine)
         return "batch";
       case Engine::Sharded:
         return "sharded";
+      case Engine::Parallel:
+        return "parallel";
       case Engine::Scalar:
         break;
     }
@@ -73,7 +77,7 @@ imageRoundTripEnabled()
 } // namespace
 
 Device::Device(automata::Automaton design, Engine engine,
-               unsigned shards)
+               unsigned shards, unsigned threads)
     : _design(std::move(design)), _engine(engine)
 {
     if (imageRoundTripEnabled()) {
@@ -82,26 +86,27 @@ Device::Device(automata::Automaton design, Engine engine,
         _design =
             ap::deserializeImage(ap::serializeImage(image)).design;
     }
-    configure(nullptr, shards);
+    configure(nullptr, shards, threads);
 }
 
 Device::Device(const ap::TiledDesign &tiled, Engine engine,
-               unsigned shards)
+               unsigned shards, unsigned threads)
     : Device(ap::replicate(tiled.blockImage, tiled.totalBlocks),
-             engine, shards)
+             engine, shards, threads)
 {
 }
 
 Device::Device(const ap::DesignImage &image, Engine engine,
-               unsigned shards)
+               unsigned shards, unsigned threads)
     : _design(image.design), _engine(engine)
 {
-    configure(image.placed ? &image.placement : nullptr, shards);
+    configure(image.placed ? &image.placement : nullptr, shards,
+              threads);
 }
 
 void
 Device::configure(const ap::PlacementResult *placement,
-                  unsigned shards)
+                  unsigned shards, unsigned threads)
 {
     // "configure" covers engine construction: validation plus (for the
     // batch engines) compiling the design into match/successor tables —
@@ -109,6 +114,11 @@ Device::configure(const ap::PlacementResult *placement,
     obs::Span span("configure");
     if (_engine == Engine::Batch) {
         _batch = std::make_unique<automata::BatchSimulator>(_design);
+    } else if (_engine == Engine::Parallel) {
+        ParallelStreamExecutor::Options options;
+        options.threads = threads;
+        _parallel = std::make_unique<ParallelStreamExecutor>(_design,
+                                                             options);
     } else if (_engine == Engine::Sharded) {
         ap::Sharder sharder;
         if (placement != nullptr) {
@@ -189,6 +199,8 @@ Device::run(std::string_view input)
     if (!profilingActive()) {
         if (_engine == Engine::Batch)
             return enrich(_batch->run(input));
+        if (_engine == Engine::Parallel)
+            return enrich(_parallel->run(input));
         if (_engine == Engine::Sharded)
             return enrich(_sharded->run(input));
         return enrich(_simulator->run(input));
@@ -198,6 +210,8 @@ Device::run(std::string_view input)
     std::vector<HostReport> out;
     if (_engine == Engine::Batch) {
         out = enrich(_batch->run(input, delta));
+    } else if (_engine == Engine::Parallel) {
+        out = enrich(_parallel->run(input, &delta));
     } else if (_engine == Engine::Sharded) {
         out = enrich(_sharded->run(input, 0, &delta));
     } else {
@@ -233,6 +247,13 @@ Device::runBatch(const std::vector<std::string> &inputs,
         for (const std::string &input : inputs) {
             out.push_back(enrich(_sharded->run(
                 input, threads, profiling ? &delta : nullptr)));
+        }
+    } else if (_engine == Engine::Parallel) {
+        // Streams run one after another; each stream's chunks fan out
+        // over the worker pool.  Result i is exactly run(inputs[i]).
+        for (const std::string &input : inputs) {
+            out.push_back(enrich(
+                _parallel->run(input, profiling ? &delta : nullptr)));
         }
     } else {
         // One fresh profile per stream, merged — the same overlay-at-

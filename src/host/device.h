@@ -20,7 +20,11 @@
  *    partitioned into per-half-core (or explicitly sized) shards of
  *    whole connected components, and each shard runs on its own
  *    BatchSimulator over a worker pool, every shard seeing the full
- *    broadcast symbol stream (see host/sharded.h).
+ *    broadcast symbol stream (see host/sharded.h);
+ *  - Engine::Parallel — single-stream data parallelism: one input is
+ *    chunked across a worker pool of speculative BatchSimulator
+ *    cursors and made exact by seam-replay reconciliation (see
+ *    host/parallel_stream.h).
  *
  * All engines produce the same *canonical* report stream — sorted by
  * (offset, element id) — so `rapidc run` output is byte-identical
@@ -40,6 +44,7 @@
 #include "automata/automaton.h"
 #include "automata/batch_simulator.h"
 #include "automata/simulator.h"
+#include "host/parallel_stream.h"
 #include "host/sharded.h"
 #include "obs/profile.h"
 
@@ -60,9 +65,13 @@ enum class Engine {
     Scalar,
     Batch,
     Sharded,
+    Parallel,
 };
 
-/** Parse "scalar" / "batch" / "sharded"; @throws rapid::Error otherwise. */
+/**
+ * Parse "scalar" / "batch" / "sharded" / "parallel";
+ * @throws rapid::Error otherwise.
+ */
 Engine parseEngine(const std::string &name);
 
 /** Human-readable engine name. */
@@ -85,10 +94,13 @@ class Device {
      * @p shards applies to Engine::Sharded only: 0 derives the shard
      * count from placement (one shard per occupied half-core), N
      * forces min(N, connected components) balanced shards.
+     *
+     * @p threads applies to Engine::Parallel only: its worker count
+     * (0 resolves RAPID_THREADS, then hardware concurrency).
      */
     explicit Device(automata::Automaton design,
                     Engine engine = Engine::Scalar,
-                    unsigned shards = 0);
+                    unsigned shards = 0, unsigned threads = 0);
 
     /**
      * Load a tessellated design: the block image is replicated
@@ -97,7 +109,7 @@ class Device {
      */
     explicit Device(const ap::TiledDesign &tiled,
                     Engine engine = Engine::Scalar,
-                    unsigned shards = 0);
+                    unsigned shards = 0, unsigned threads = 0);
 
     /**
      * Load a precompiled design image (.apimg): the compile-once,
@@ -108,7 +120,7 @@ class Device {
      */
     explicit Device(const ap::DesignImage &image,
                     Engine engine = Engine::Scalar,
-                    unsigned shards = 0);
+                    unsigned shards = 0, unsigned threads = 0);
 
     /**
      * Stream @p input from power-on state; returns all reports in
@@ -162,7 +174,7 @@ class Device {
   private:
     /** Build the selected engine (the "configure" phase). */
     void configure(const ap::PlacementResult *placement,
-                   unsigned shards);
+                   unsigned shards, unsigned threads);
 
     /** Canonically order (offset, element) and attach identities. */
     std::vector<HostReport>
@@ -177,6 +189,7 @@ class Device {
     std::unique_ptr<automata::Simulator> _simulator;
     std::unique_ptr<automata::BatchSimulator> _batch;
     std::unique_ptr<ShardedExecutor> _sharded;
+    std::unique_ptr<ParallelStreamExecutor> _parallel;
     bool _forceProfiling = false;
     obs::ExecutionProfile _profile;
 };

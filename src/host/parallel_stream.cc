@@ -1,0 +1,227 @@
+#include "host/parallel_stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace rapid::host {
+
+using automata::BatchSimulator;
+using automata::ReportEvent;
+
+namespace {
+
+/** Chunks per worker for auto-sized chunks: small enough to balance
+ *  uneven chunk costs, large enough to amortize seam replays. */
+constexpr size_t kChunksPerWorker = 4;
+/** Auto-sized chunks never shrink below this: below it the seam
+ *  replay window rivals the chunk itself. */
+constexpr size_t kMinAutoChunk = 1u << 14;
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const char *env = std::getenv("RAPID_THREADS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end == nullptr || *end != '\0' || parsed == 0)
+            throw Error(std::string("RAPID_THREADS='") + env +
+                        "' is not a positive integer");
+        return static_cast<unsigned>(
+            std::min<unsigned long>(parsed, 1u << 10));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+} // namespace
+
+ParallelStreamExecutor::ParallelStreamExecutor(
+    const automata::Automaton &design, Options options)
+    : _design(design), _batch(design), _options(options),
+      _threads(resolveThreads(options.threads))
+{
+}
+
+size_t
+ParallelStreamExecutor::chunkSizeFor(size_t inputSize) const
+{
+    if (_options.chunkSize != 0)
+        return _options.chunkSize;
+    if (_threads <= 1)
+        return inputSize;
+    const size_t target =
+        (inputSize + _threads * kChunksPerWorker - 1) /
+        (_threads * kChunksPerWorker);
+    return std::max(target, kMinAutoChunk);
+}
+
+std::vector<ReportEvent>
+ParallelStreamExecutor::run(std::string_view input,
+                            obs::ExecutionProfile *profile,
+                            RunStats *stats) const
+{
+    // Profiled runs must observe the exact execution (a speculative
+    // chunk would pollute activation counts with states the real run
+    // never enters), so they take the instrumented batch path.
+    if (profile != nullptr) {
+        if (stats)
+            *stats = RunStats{.chunks = 1};
+        return _batch.run(input, *profile);
+    }
+
+    const size_t chunkSize = std::max<size_t>(chunkSizeFor(input.size()), 1);
+    const size_t chunks =
+        input.empty() ? 1 : (input.size() + chunkSize - 1) / chunkSize;
+
+    if (chunks <= 1) {
+        if (stats)
+            *stats = RunStats{.chunks = 1};
+        BatchSimulator::Cursor cursor = _batch.startCursor();
+        _batch.advance(cursor, input);
+        return cursor.takeReports();
+    }
+
+    const bool record = obs::statsEnabled();
+    Timer wall;
+
+    // Phase A: every chunk runs concurrently.  Chunk 0 starts from
+    // power-on state (its results are exact); later chunks start from
+    // the all-states speculative frontier and record entry snapshots
+    // for their first snapshotWindow positions so phase B can find the
+    // convergence point.
+    struct ChunkWork {
+        BatchSimulator::Cursor cursor;
+        std::vector<ReportEvent> reports;
+        std::vector<BatchSimulator::Frontier> snapshots;
+    };
+    std::vector<ChunkWork> work(chunks);
+
+    auto process = [&](size_t k) {
+        const size_t begin = k * chunkSize;
+        const std::string_view chunk =
+            input.substr(begin, std::min(chunkSize, input.size() - begin));
+        ChunkWork &w = work[k];
+        if (k == 0) {
+            w.cursor = _batch.startCursor();
+            _batch.advance(w.cursor, chunk);
+        } else {
+            w.cursor = _batch.speculativeCursor(begin);
+            const size_t window =
+                std::min(_options.snapshotWindow, chunk.size());
+            w.snapshots.reserve(window);
+            for (size_t i = 0; i < window; ++i) {
+                w.snapshots.push_back(_batch.captureFrontier(w.cursor));
+                _batch.advanceOne(
+                    w.cursor, static_cast<unsigned char>(chunk[i]));
+            }
+            _batch.advance(w.cursor, chunk.substr(window));
+        }
+        w.reports = w.cursor.takeReports();
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(std::max(_threads, 1u), chunks));
+    {
+        obs::Span span("parallel_chunks", "device");
+        if (workers <= 1) {
+            for (size_t k = 0; k < chunks; ++k)
+                process(k);
+        } else {
+            std::atomic<size_t> cursor{0};
+            auto worker = [&]() {
+                while (true) {
+                    const size_t k =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (k >= chunks)
+                        return;
+                    process(k);
+                }
+            };
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (unsigned t = 0; t < workers; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &thread : pool)
+                thread.join();
+        }
+    }
+
+    // Phase B: sequential seam replay.  `exact` carries the true
+    // execution state across seams; each speculative chunk is replayed
+    // from it until the replay state equals a recorded snapshot, at
+    // which point the speculative tail is exact and splices in as-is.
+    obs::Span reconcile_span("parallel_reconcile", "device");
+    RunStats local{.chunks = chunks};
+    std::vector<ReportEvent> out = std::move(work[0].reports);
+    BatchSimulator::Cursor exact = std::move(work[0].cursor);
+
+    for (size_t k = 1; k < chunks; ++k) {
+        ChunkWork &w = work[k];
+        const size_t begin = k * chunkSize;
+        const std::string_view chunk =
+            input.substr(begin, std::min(chunkSize, input.size() - begin));
+
+        bool converged = false;
+        size_t i = 0;
+        for (; i < w.snapshots.size(); ++i) {
+            if (_batch.frontierMatches(exact, w.snapshots[i])) {
+                converged = true;
+                break;
+            }
+            _batch.advanceOne(exact,
+                              static_cast<unsigned char>(chunk[i]));
+        }
+        local.replayedSymbols += i;
+
+        if (converged) {
+            ++local.convergedSeams;
+            std::vector<ReportEvent> replayed = exact.takeReports();
+            out.insert(out.end(), replayed.begin(), replayed.end());
+            out.insert(out.end(),
+                       w.reports.begin() + static_cast<ptrdiff_t>(
+                                               w.snapshots[i].reportCount),
+                       w.reports.end());
+            exact = std::move(w.cursor);
+        } else {
+            // No convergence inside the window (typically a counter
+            // whose value depends on the whole prefix): replay the
+            // remainder exactly.  Slower, never wrong.
+            _batch.advance(exact, chunk.substr(i));
+            local.replayedSymbols += chunk.size() - i;
+            std::vector<ReportEvent> replayed = exact.takeReports();
+            out.insert(out.end(), replayed.begin(), replayed.end());
+        }
+    }
+
+    if (record) {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.counter("sim.parallel.runs").add(1);
+        registry.counter("sim.parallel.chunks").add(chunks);
+        registry.counter("sim.parallel.converged_seams")
+            .add(local.convergedSeams);
+        registry.counter("sim.parallel.replayed_symbols")
+            .add(local.replayedSymbols);
+        registry.counter("sim.parallel.reports").add(out.size());
+        registry.gauge("sim.parallel.workers")
+            .set(static_cast<double>(workers));
+        registry.histogram("sim.parallel.run_ms")
+            .record(wall.seconds() * 1e3);
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace rapid::host

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Single-stream parallel execution engine with seam-replay
+ * reconciliation.
+ *
+ * The batch engine processes one stream on one core; runBatch() only
+ * scales across *independent* streams.  ParallelStreamExecutor makes
+ * one long stream scale across cores:
+ *
+ *  1. **Chunk.** The input splits into fixed-size chunks (auto-sized
+ *     from the worker count, or pinned via Options::chunkSize).
+ *  2. **Speculate.** A worker pool runs every chunk concurrently on
+ *     the shared compiled BatchSimulator.  Chunk 0 starts from true
+ *     power-on state; every later chunk starts from the *all-states
+ *     speculative frontier* (every STE lane enabled, sequential state
+ *     zeroed).  For STE-only designs the enable-set transition is
+ *     monotone, so the speculative frontier over-approximates any
+ *     reachable one and typically collapses to the exact execution
+ *     within a pattern length.  Each speculative chunk records entry
+ *     snapshots (frontier + counters + gate signals) for its first
+ *     Options::snapshotWindow positions, its speculative reports, and
+ *     its exit cursor.
+ *  3. **Reconcile.** A sequential pass walks the seams: chunk k is
+ *     replayed symbol-by-symbol from chunk k-1's *exact* exit
+ *     frontier until the replay state equals the recorded speculative
+ *     snapshot at the same position — from there the speculative
+ *     execution *is* the exact execution, so its remaining reports
+ *     are spliced in verbatim and its exit cursor becomes the next
+ *     seam's exact entry.  A chunk that never converges inside the
+ *     snapshot window (counters counting from stream start, pathological
+ *     gate networks) is replayed to its end — slower, never wrong.
+ *
+ * The merged stream is byte-identical to the scalar engine's
+ * canonical (offset, element) stream: reports appear in ascending
+ * chunk order, cycle order within chunks, element-id order within
+ * cycles — exactly the batch engine's run() order.  Enforced by the
+ * golden conformance suite, directed seam tests, and fork `i` of the
+ * differential fuzzing oracle.
+ *
+ * Profiled runs (non-null profile) take the exact, instrumented
+ * batch path instead of speculating, so execution profiles stay
+ * engine-identical with scalar/batch/sharded.
+ */
+#ifndef RAPID_HOST_PARALLEL_STREAM_H
+#define RAPID_HOST_PARALLEL_STREAM_H
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/batch_simulator.h"
+#include "obs/profile.h"
+
+namespace rapid::host {
+
+/** Tuning knobs for ParallelStreamExecutor (namespace scope so the
+ *  defaults are complete before the executor class uses them). */
+struct ParallelOptions {
+    /**
+     * Worker threads: 0 resolves RAPID_THREADS from the
+     * environment, then std::thread::hardware_concurrency().
+     */
+    unsigned threads = 0;
+    /**
+     * Chunk length in symbols; 0 sizes chunks automatically
+     * (several per worker, with a floor so tiny inputs stay
+     * sequential).  Tests pin small sizes to force seams.
+     */
+    size_t chunkSize = 0;
+    /**
+     * Entry snapshots recorded per speculative chunk: the replay
+     * convergence horizon.  Replays that do not converge within
+     * this many positions fall back to replaying the whole chunk.
+     */
+    size_t snapshotWindow = 512;
+};
+
+/** Chunks one input stream across a worker pool; exact results. */
+class ParallelStreamExecutor {
+  public:
+    using Options = ParallelOptions;
+
+    /** What one run did at its seams (for tests and telemetry). */
+    struct RunStats {
+        /** Chunks the input was split into (1 = no speculation). */
+        size_t chunks = 0;
+        /** Seams where replay converged inside the snapshot window. */
+        size_t convergedSeams = 0;
+        /** Symbols re-executed during reconciliation. */
+        size_t replayedSymbols = 0;
+    };
+
+    /**
+     * Compile @p design into a batch engine.  The design is borrowed
+     * and must outlive the executor.
+     * @throws CompileError when the design fails validation.
+     */
+    explicit ParallelStreamExecutor(const automata::Automaton &design,
+                                    Options options = Options());
+    explicit ParallelStreamExecutor(automata::Automaton &&,
+                                    Options = Options()) = delete;
+
+    /**
+     * Execute @p input from power-on state; the report stream equals
+     * run() on the batch engine event for event.  When @p profile is
+     * non-null the run is exact and instrumented (no speculation).
+     * @p stats, when non-null, receives seam accounting.
+     */
+    std::vector<automata::ReportEvent>
+    run(std::string_view input,
+        obs::ExecutionProfile *profile = nullptr,
+        RunStats *stats = nullptr) const;
+
+    /** Resolved worker count (after RAPID_THREADS / hardware). */
+    unsigned threads() const { return _threads; }
+
+    /** The chunk length run() will use for @p inputSize symbols. */
+    size_t chunkSizeFor(size_t inputSize) const;
+
+    /** The underlying compiled engine (kernel name, lane counts). */
+    const automata::BatchSimulator &engine() const { return _batch; }
+
+  private:
+    const automata::Automaton &_design;
+    automata::BatchSimulator _batch;
+    Options _options;
+    unsigned _threads = 1;
+};
+
+} // namespace rapid::host
+
+#endif // RAPID_HOST_PARALLEL_STREAM_H

@@ -18,9 +18,13 @@
  *   rapidc pnr     prog.rapid [--args args.txt]
  *   rapidc run     prog.rapid [--args args.txt] --input data.bin
  *                   [--frame]           # treat input lines as records
- *                   [--engine=scalar|batch|sharded]  # execution engine
+ *                   [--engine=scalar|batch|sharded|parallel]
+ *                                       # execution engine
  *                   [--shards=N]        # sharded engine: shard count
  *                                       # (default: auto from placement)
+ *                   [--threads=N]       # parallel engine: worker count
+ *                                       # (default: RAPID_THREADS env,
+ *                                       # then hardware concurrency)
  *                   [--image=x.apimg]   # run a precompiled image
  *                   [--cache-dir=DIR]   # content-addressed compile
  *                                       # cache (or RAPID_CACHE env)
@@ -112,6 +116,8 @@ struct Options {
     host::Engine engine = host::Engine::Scalar;
     /** Sharded engine: forced shard count (0 = auto from placement). */
     unsigned shards = 0;
+    /** Parallel engine: worker count (0 = RAPID_THREADS / hardware). */
+    unsigned threads = 0;
 };
 
 /** Device execution profile of the `run` command (JSON), if any. */
@@ -132,6 +138,21 @@ parseShards(const std::string &text)
     return static_cast<unsigned>(value);
 }
 
+/** Parse a --threads value; @throws rapid::Error on junk. */
+unsigned
+parseThreads(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        throw Error("--threads expects a non-negative integer, got '" +
+                    text + "'");
+    }
+    unsigned long value = std::stoul(text);
+    if (value > 1u << 10)
+        throw Error("--threads value out of range: " + text);
+    return static_cast<unsigned>(value);
+}
+
 [[noreturn]] void
 usage()
 {
@@ -143,8 +164,8 @@ usage()
         "[--no-optimize]\n"
         "              [--positional] [--tile] [--stats]\n"
         "              [--input file] [--frame] "
-        "[--engine=scalar|batch|sharded]\n"
-        "              [--shards=N] [--image=x.apimg] "
+        "[--engine=scalar|batch|sharded|parallel]\n"
+        "              [--shards=N] [--threads=N] [--image=x.apimg] "
         "[--cache-dir=DIR]\n"
         "              [--stats=file.json] [--trace[=file.json]]\n");
     std::exit(2);
@@ -198,6 +219,11 @@ parseOptions(int argc, char **argv)
         else if (startsWith(arg, "--shards="))
             options.shards = parseShards(
                 arg.substr(std::string("--shards=").size()));
+        else if (arg == "--threads")
+            options.threads = parseThreads(next());
+        else if (startsWith(arg, "--threads="))
+            options.threads = parseThreads(
+                arg.substr(std::string("--threads=").size()));
         else if (arg == "--image")
             options.imagePath = next();
         else if (startsWith(arg, "--image="))
@@ -395,7 +421,8 @@ run(const Options &options)
             image_path = options.program;
         if (!image_path.empty()) {
             ap::DesignImage image = ap::loadImageFile(image_path);
-            host::Device device(image, options.engine, options.shards);
+            host::Device device(image, options.engine, options.shards,
+                                options.threads);
             return streamReports(options, device);
         }
     }
@@ -407,7 +434,8 @@ run(const Options &options)
     // span and the path-qualified diagnostics.
     if (options.command == "run" && ap::looksLikeImage(source)) {
         ap::DesignImage image = ap::loadImageFile(options.program);
-        host::Device device(image, options.engine, options.shards);
+        host::Device device(image, options.engine, options.shards,
+                                options.threads);
         return streamReports(options, device);
     }
 
@@ -432,7 +460,7 @@ run(const Options &options)
         host::CompileCache cache(options.cacheDir);
         if (auto image = cache.load(key)) {
             host::Device device(*image, options.engine,
-                                options.shards);
+                                options.shards, options.threads);
             return streamReports(options, device);
         }
     }
@@ -517,11 +545,12 @@ run(const Options &options)
             ap::DesignImage image = host::buildImage(compiled, key);
             host::CompileCache(options.cacheDir).store(key, image);
             host::Device device(image, options.engine,
-                                options.shards);
+                                options.shards, options.threads);
             return streamReports(options, device);
         }
         host::Device device(std::move(compiled.automaton),
-                            options.engine, options.shards);
+                            options.engine, options.shards,
+                            options.threads);
         return streamReports(options, device);
     }
 

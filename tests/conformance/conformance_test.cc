@@ -2,8 +2,8 @@
  * @file
  * Golden end-to-end conformance suite (the `conformance` ctest
  * label): every bundled workload and example runs under the scalar,
- * batch, and sharded engines, and each engine's report stream must be
- * byte-identical to the checked-in golden.  The goldens pin the
+ * batch, sharded, and parallel engines, and each engine's report
+ * stream must be byte-identical to the checked-in golden.  The goldens pin the
  * canonical host-visible stream — (offset, code, element) in
  * ascending (offset, element) order — so any engine that diverges
  * from the scalar reference, or any compiler change that moves a
@@ -83,6 +83,8 @@ const std::vector<std::string> kEngineFlags = {
     "--engine=batch",
     "--engine=sharded",
     "--engine=sharded --shards=4",
+    "--engine=parallel",
+    "--engine=parallel --threads=3",
 };
 
 void
@@ -138,7 +140,7 @@ checkExample(const std::string &name)
 {
     const std::string expected = golden("example_" + name);
     ASSERT_FALSE(expected.empty()) << "empty golden for " << name;
-    for (const char *engine : {"scalar", "batch", "sharded"}) {
+    for (const char *engine : {"scalar", "batch", "sharded", "parallel"}) {
         std::string command = std::string("RAPID_ENGINE=") + engine +
                               " " RAPID_EXAMPLE_DIR "/" + name;
         EXPECT_EQ(captureStdout(command, name + "_" + engine),

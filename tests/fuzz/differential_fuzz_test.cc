@@ -213,16 +213,18 @@ TEST(DifferentialFuzz, ReproRoundTrip)
 TEST(DifferentialFuzz, OracleMaskParsing)
 {
     EXPECT_EQ(parseOracleMask("all"), kForkAll);
-    EXPECT_EQ(parseOracleMask("abcdefgh"), kForkAll);
+    EXPECT_EQ(parseOracleMask("abcdefghi"), kForkAll);
     EXPECT_EQ(parseOracleMask("bd"), kForkRaw | kForkAnml);
     EXPECT_EQ(parseOracleMask("bf"), kForkRaw | kForkBatch);
     EXPECT_EQ(parseOracleMask("bg"), kForkRaw | kForkSharded);
     EXPECT_EQ(parseOracleMask("bh"), kForkRaw | kForkImage);
-    EXPECT_EQ(formatOracleMask(kForkAll), "abcdefgh");
+    EXPECT_EQ(parseOracleMask("bi"), kForkRaw | kForkParallel);
+    EXPECT_EQ(formatOracleMask(kForkAll), "abcdefghi");
     EXPECT_EQ(formatOracleMask(kForkRaw | kForkTile), "be");
     EXPECT_EQ(formatOracleMask(kForkBatch), "f");
     EXPECT_EQ(formatOracleMask(kForkSharded), "g");
     EXPECT_EQ(formatOracleMask(kForkImage), "h");
+    EXPECT_EQ(formatOracleMask(kForkParallel), "i");
     EXPECT_THROW(parseOracleMask(""), Error);
     EXPECT_THROW(parseOracleMask("xyz"), Error);
 }
@@ -249,6 +251,7 @@ TEST(DifferentialFuzz, BatchForkRunsByDefault)
             << entry.name << ": " << outcome.detail;
         EXPECT_NE(outcome.ranMask & kForkBatch, 0u) << entry.name;
         EXPECT_NE(outcome.ranMask & kForkSharded, 0u) << entry.name;
+        EXPECT_NE(outcome.ranMask & kForkParallel, 0u) << entry.name;
     }
 
     const char *counter_source =
@@ -266,12 +269,14 @@ TEST(DifferentialFuzz, BatchForkRunsByDefault)
     OracleCase counters;
     counters.source = counter_source;
     counters.input = "aaaa";
-    counters.mask = kForkRaw | kForkBatch | kForkSharded;
+    counters.mask =
+        kForkRaw | kForkBatch | kForkSharded | kForkParallel;
     OracleResult outcome = runOracle(counters);
     ASSERT_TRUE(outcome.ran) << outcome.detail;
     EXPECT_FALSE(outcome.divergence) << outcome.detail;
     EXPECT_NE(outcome.ranMask & kForkBatch, 0u);
     EXPECT_NE(outcome.ranMask & kForkSharded, 0u);
+    EXPECT_NE(outcome.ranMask & kForkParallel, 0u);
 }
 
 /** An interpreter-visible divergence is detected, not masked. */

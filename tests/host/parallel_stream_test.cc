@@ -1,0 +1,271 @@
+/**
+ * @file
+ * ParallelStreamExecutor tests: directed seam-boundary cases (reports
+ * at and straddling chunk edges, degenerate chunk sizes, counters and
+ * whenever-windows whose state crosses seams) plus a randomized
+ * property sweep over chunk sizes x thread counts x workloads — every
+ * case must produce the byte-identical report stream the batch engine
+ * emits, which the golden conformance suite already pins against the
+ * scalar reference.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "automata/batch_simulator.h"
+#include "automata/simulator.h"
+#include "host/device.h"
+#include "host/parallel_stream.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "support/rng.h"
+
+namespace rapid::host {
+namespace {
+
+using automata::Automaton;
+using automata::BatchSimulator;
+using automata::ReportEvent;
+
+const char *kPatternProgram = R"(
+macro match(String s) {
+    foreach (char c : s) c == input();
+    report;
+}
+network (String[] ps) { some (String p : ps) match(p); }
+)";
+
+/** Sliding-window search: a whenever window is live at every offset,
+ *  so its state always spans chunk seams. */
+const char *kSlidingProgram = R"(
+network () {
+    whenever (ALL_INPUT == input()) {
+        foreach (char c : "rapid")
+            c == input();
+        report;
+    }
+}
+)";
+
+/** A counter accumulating over the whole stream: the speculative
+ *  all-states start can never guess its value, so seams must fall
+ *  back to full replay and still be exact. */
+const char *kCounterProgram = R"(
+network () {
+    {
+        Counter cnt;
+        whenever (ALL_INPUT == input()) {
+            'x' == input();
+            cnt.count();
+        }
+        whenever (cnt >= 3) {
+            'd' == input();
+            report;
+        }
+    }
+}
+)";
+
+Automaton
+compilePatterns(const std::vector<std::string> &patterns)
+{
+    lang::Program program = lang::parseProgram(kPatternProgram);
+    return lang::compileProgram(program,
+                                {lang::Value::strArray(patterns)})
+        .automaton;
+}
+
+Automaton
+compileSource(const char *source)
+{
+    lang::Program program = lang::parseProgram(source);
+    return lang::compileProgram(program, {}).automaton;
+}
+
+/** The batch engine's stream: the parallel engine's exact contract. */
+std::vector<ReportEvent>
+batchEvents(const Automaton &design, std::string_view input)
+{
+    return BatchSimulator(design).run(input);
+}
+
+/** Run with pinned chunking; verify the merged stream byte for byte. */
+ParallelStreamExecutor::RunStats
+expectParity(const Automaton &design, std::string_view input,
+             size_t chunkSize, unsigned threads)
+{
+    ParallelStreamExecutor::Options options;
+    options.threads = threads;
+    options.chunkSize = chunkSize;
+    ParallelStreamExecutor executor(design, options);
+    ParallelStreamExecutor::RunStats stats;
+    std::vector<ReportEvent> got =
+        executor.run(input, nullptr, &stats);
+    EXPECT_EQ(got, batchEvents(design, input))
+        << "chunkSize=" << chunkSize << " threads=" << threads
+        << " input=" << std::string(input);
+    return stats;
+}
+
+TEST(ParallelStream, ReportExactlyAtChunkBoundary)
+{
+    Automaton design = compilePatterns({"ab"});
+    // "ab" completes at offsets 3 and 7 with chunkSize 4: the report
+    // cycle is the last symbol of a chunk.
+    auto stats = expectParity(design, "xxabxxab", 4, 2);
+    EXPECT_EQ(stats.chunks, 2u);
+}
+
+TEST(ParallelStream, MatchStraddlesSeam)
+{
+    Automaton design = compilePatterns({"abcd"});
+    // The match occupies offsets 2..5; the seam at 4 cuts it in half,
+    // so the speculative chunk must inherit the exact mid-match
+    // frontier through seam replay.
+    auto stats = expectParity(design, "xxabcdxx", 4, 2);
+    EXPECT_EQ(stats.chunks, 2u);
+}
+
+TEST(ParallelStream, EveryOffsetIsASeamWithChunkSizeOne)
+{
+    Automaton design = compilePatterns({"abc", "bca"});
+    auto stats = expectParity(design, "abcabcaabca", 1, 3);
+    EXPECT_EQ(stats.chunks, 11u);
+}
+
+TEST(ParallelStream, ChunkLargerThanInputRunsSequentially)
+{
+    Automaton design = compilePatterns({"ab"});
+    auto stats = expectParity(design, "xxab", 1024, 4);
+    EXPECT_EQ(stats.chunks, 1u);
+    EXPECT_EQ(stats.convergedSeams, 0u);
+    EXPECT_EQ(stats.replayedSymbols, 0u);
+}
+
+TEST(ParallelStream, EmptyInputProducesNoReports)
+{
+    Automaton design = compilePatterns({"ab"});
+    ParallelStreamExecutor executor(design, {});
+    EXPECT_TRUE(executor.run("").empty());
+    auto stats = expectParity(design, "", 4, 2);
+    EXPECT_EQ(stats.chunks, 1u);
+}
+
+TEST(ParallelStream, SlidingWindowCrossesSeams)
+{
+    Automaton design = compileSource(kSlidingProgram);
+    // Matches end inside different chunks and span seams; the
+    // always-live whenever window keeps the frontier wide.
+    expectParity(design, "xxrapidyyrapidrapid", 5, 2);
+    expectParity(design, "rapidrapidrapid", 3, 4);
+}
+
+TEST(ParallelStream, CounterStateCrossesSeams)
+{
+    Automaton design = compileSource(kCounterProgram);
+    // The counter's value at a seam depends on every 'x' before it —
+    // unknowable from the all-states start, so replay must carry it.
+    const std::string input = "xdxdxxddxxd";
+    expectParity(design, input, 2, 2);
+    expectParity(design, input, 3, 3);
+    expectParity(design, input, 1, 2);
+}
+
+TEST(ParallelStream, SteOnlySpeculationConverges)
+{
+    Automaton design = compilePatterns({"abc"});
+    // Cold input: the exact frontier collapses to always-enabled,
+    // which the speculative frontier reaches after ~pattern-length
+    // symbols — every seam should converge without a full replay.
+    std::string input(4096, 'z');
+    input.replace(100, 3, "abc");
+    input.replace(2050, 3, "abc");
+    ParallelStreamExecutor::Options options;
+    options.threads = 4;
+    options.chunkSize = 512;
+    ParallelStreamExecutor executor(design, options);
+    ParallelStreamExecutor::RunStats stats;
+    std::vector<ReportEvent> got =
+        executor.run(input, nullptr, &stats);
+    EXPECT_EQ(got, batchEvents(design, input));
+    EXPECT_EQ(stats.chunks, 8u);
+    EXPECT_EQ(stats.convergedSeams, 7u);
+    // Convergence within the pattern length at each of the 7 seams.
+    EXPECT_LE(stats.replayedSymbols, 7u * 8u);
+}
+
+TEST(ParallelStream, DeviceEngineMatchesBatchDevice)
+{
+    auto parallel_design = compilePatterns({"ab", "ba"});
+    auto batch_design = compilePatterns({"ab", "ba"});
+    Device parallel(std::move(parallel_design), Engine::Parallel, 0,
+                    3);
+    Device batch(std::move(batch_design), Engine::Batch);
+    const std::string input = "abbaabbaab";
+    auto expect = batch.run(input);
+    auto got = parallel.run(input);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].offset, expect[i].offset);
+        EXPECT_EQ(got[i].element, expect[i].element);
+        EXPECT_EQ(got[i].code, expect[i].code);
+    }
+    auto batches = parallel.runBatch({"abab", "", "baba"});
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0].size(), parallel.run("abab").size());
+}
+
+TEST(ParallelStream, EngineParsingRoundTrips)
+{
+    EXPECT_EQ(parseEngine("parallel"), Engine::Parallel);
+    EXPECT_STREQ(engineName(Engine::Parallel), "parallel");
+}
+
+/**
+ * The property the whole engine rests on: for every chunk size x
+ * thread count x workload, the merged stream is byte-identical to
+ * the batch engine's.  Random inputs are biased toward the pattern
+ * alphabet so matches actually happen (and straddle seams).
+ */
+TEST(ParallelStreamProperty, RandomizedChunkThreadSweep)
+{
+    struct Workload {
+        const char *name;
+        Automaton design;
+        std::string alphabet;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"patterns",
+                         compilePatterns({"abc", "cab", "aa"}),
+                         "abcz"});
+    workloads.push_back(
+        {"sliding", compileSource(kSlidingProgram), "rapidz"});
+    workloads.push_back(
+        {"counter", compileSource(kCounterProgram), "xdz"});
+
+    const size_t kChunkSizes[] = {1, 2, 3, 5, 8, 16, 64};
+    const unsigned kThreads[] = {1, 2, 4};
+    Rng rng(20160402);
+
+    for (const Workload &workload : workloads) {
+        for (size_t chunk : kChunkSizes) {
+            for (unsigned threads : kThreads) {
+                std::string input;
+                const size_t len = 1 + rng.below(96);
+                for (size_t i = 0; i < len; ++i) {
+                    input.push_back(workload.alphabet[rng.below(
+                        workload.alphabet.size())]);
+                }
+                SCOPED_TRACE(std::string(workload.name) + " chunk=" +
+                             std::to_string(chunk) + " threads=" +
+                             std::to_string(threads));
+                expectParity(workload.design, input, chunk, threads);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace rapid::host
