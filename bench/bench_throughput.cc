@@ -292,6 +292,85 @@ main()
     const double cache_speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
     std::filesystem::remove_all(cache_dir);
 
+    // Whole-design graph reduction: compile every stock workload raw
+    // and optimized, and record how much the optimizer actually
+    // removed plus the block count the smaller design places into.
+    // scripts/check.sh gates on these rewrite counts staying nonzero.
+    struct OptimizerRow {
+        std::string workload;
+        size_t elementsBefore = 0;
+        size_t elementsAfter = 0;
+        size_t stesBefore = 0;
+        size_t stesAfter = 0;
+        uint64_t rewrites = 0;
+        automata::OptimizeStats stats;
+        size_t pnrBlocks = 0;
+    };
+    std::vector<OptimizerRow> optimizer_rows;
+    for (const char *workload :
+         {"exact_dna", "hamming", "motif_scan"}) {
+        const std::string wl_source =
+            readFile(root + "/workloads/" + workload + ".rapid");
+        const auto wl_args = host::loadArgFile(
+            root + "/workloads/" + workload + ".args");
+        lang::CompileOptions raw_options;
+        raw_options.optimize = false;
+        lang::CompiledProgram raw =
+            bench::compile(wl_source, wl_args, raw_options);
+        lang::CompiledProgram optimized =
+            bench::compile(wl_source, wl_args);
+        OptimizerRow row;
+        row.workload = workload;
+        row.elementsBefore = raw.automaton.stats().total();
+        row.elementsAfter = optimized.automaton.stats().total();
+        row.stesBefore = raw.automaton.stats().stes;
+        row.stesAfter = optimized.automaton.stats().stes;
+        row.stats = optimized.optStats;
+        row.rewrites = optimized.optStats.total();
+        row.pnrBlocks =
+            ap::PlacementEngine({}, placement)
+                .place(optimized.automaton)
+                .totalBlocks;
+        optimizer_rows.push_back(row);
+    }
+    {
+        // The tessellated design is where reduction compounds: 32
+        // replicated tile instances share all of their structure, so
+        // cross-instance welding collapses the copies.
+        automata::Automaton tiled =
+            ap::replicate(compiled.tile, instances);
+        OptimizerRow row;
+        row.workload = "exact_dna_tessellated";
+        row.elementsBefore = tiled.stats().total();
+        row.stesBefore = tiled.stats().stes;
+        row.stats = automata::optimize(tiled);
+        row.rewrites = row.stats.total();
+        row.elementsAfter = tiled.stats().total();
+        row.stesAfter = tiled.stats().stes;
+        row.pnrBlocks = ap::PlacementEngine({}, placement)
+                            .place(tiled)
+                            .totalBlocks;
+        optimizer_rows.push_back(row);
+    }
+
+    std::printf("Optimizer — whole-design reduction per workload\n");
+    bench::printRule(58);
+    for (const OptimizerRow &row : optimizer_rows) {
+        std::printf("%-18s %4zu -> %4zu elements (%zu -> %zu STEs), "
+                    "%llu rewrites, %zu block(s)\n",
+                    row.workload.c_str(), row.elementsBefore,
+                    row.elementsAfter, row.stesBefore, row.stesAfter,
+                    static_cast<unsigned long long>(row.rewrites),
+                    row.pnrBlocks);
+        bench::recordMeasurement(
+            "optimizer_rewrites_" + row.workload,
+            static_cast<double>(row.rewrites));
+        bench::recordMeasurement(
+            "optimizer_ste_delta_" + row.workload,
+            static_cast<double>(row.stesBefore) -
+                static_cast<double>(row.stesAfter));
+    }
+
     std::printf("Compile cache — exact_dna, cold build vs warm load\n");
     bench::printRule(58);
     std::printf("%-28s %10.3f ms\n", "cold build (compile+P&R+save)",
@@ -361,7 +440,28 @@ main()
         json << (i ? ", " : "") << "\"" << kernel_names[i]
              << "\": " << kernel_mbps[i];
     }
-    json << "},\n"
+    json << "},\n";
+    // One line per workload so shell gates can grep a single object.
+    json << "  \"optimizer\": {\n";
+    for (size_t i = 0; i < optimizer_rows.size(); ++i) {
+        const OptimizerRow &row = optimizer_rows[i];
+        json << "    \"" << row.workload << "\": {"
+             << "\"elements_before\": " << row.elementsBefore
+             << ", \"elements_after\": " << row.elementsAfter
+             << ", \"stes_before\": " << row.stesBefore
+             << ", \"stes_after\": " << row.stesAfter
+             << ", \"rewrites\": " << row.rewrites
+             << ", \"merged_prefixes\": " << row.stats.mergedPrefixes
+             << ", \"merged_suffixes\": " << row.stats.mergedSuffixes
+             << ", \"fused_parallel\": " << row.stats.fusedParallel
+             << ", \"absorbed_gates\": " << row.stats.absorbedGates
+             << ", \"removed_dead\": " << row.stats.removedDead
+             << ", \"welded_components\": "
+             << row.stats.weldedComponents
+             << ", \"pnr_blocks\": " << row.pnrBlocks << "}"
+             << (i + 1 < optimizer_rows.size() ? "," : "") << "\n";
+    }
+    json << "  },\n"
          << "  \"default_kernel\": \"" << batch.kernel() << "\",\n"
          << "  \"compile_cold_ms\": " << cold_s * 1e3 << ",\n"
          << "  \"compile_warm_ms\": " << warm_s * 1e3 << ",\n"

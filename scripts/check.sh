@@ -40,4 +40,29 @@ for b in build/bench/bench_*; do
     run_stage "$b"
 done
 
+# Optimizer regression gate: the graph-reduction pipeline shipped as a
+# no-op once (every optimize.* counter zero on every workload); fail
+# loudly if it regresses to that state.  The bench writes one JSON
+# object per workload on a single line — grep that line and check its
+# "rewrites" field.
+opt_gate() {
+    workload="$1"
+    line=$(grep "\"$workload\":" BENCH_throughput.json)
+    if [ -z "$line" ]; then
+        echo "check.sh: no optimizer record for $workload in" \
+             "BENCH_throughput.json" >&2
+        return 1
+    fi
+    case "$line" in
+    *'"rewrites": 0'*)
+        echo "check.sh: optimizer applied zero rewrites on" \
+             "$workload — the reduction pipeline is dead again" >&2
+        return 1
+        ;;
+    esac
+    return 0
+}
+run_stage opt_gate exact_dna_tessellated
+run_stage opt_gate motif_scan
+
 exit "$status"

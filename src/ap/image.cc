@@ -109,7 +109,11 @@ serializeImage(const DesignImage &image)
 
     writer.u64(image.optimizerStats.fusedParallel);
     writer.u64(image.optimizerStats.mergedPrefixes);
+    writer.u64(image.optimizerStats.mergedSuffixes);
+    writer.u64(image.optimizerStats.absorbedGates);
     writer.u64(image.optimizerStats.removedDead);
+    writer.u64(image.optimizerStats.weldedComponents);
+    writer.u64(image.optimizerStats.rounds);
 
     writer.u64(image.tileInstances);
     if (image.tileable()) {
@@ -177,7 +181,11 @@ deserializeImage(std::string_view bytes)
 
     image.optimizerStats.fusedParallel = reader.u64();
     image.optimizerStats.mergedPrefixes = reader.u64();
+    image.optimizerStats.mergedSuffixes = reader.u64();
+    image.optimizerStats.absorbedGates = reader.u64();
     image.optimizerStats.removedDead = reader.u64();
+    image.optimizerStats.weldedComponents = reader.u64();
+    image.optimizerStats.rounds = reader.u64();
 
     image.tileInstances = reader.u64();
     if (image.tileable()) {

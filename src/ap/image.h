@@ -48,8 +48,13 @@
 
 namespace rapid::ap {
 
-/** .apimg format version; bump on any layout change. */
-constexpr uint32_t kImageFormatVersion = 1;
+/**
+ * .apimg format version; bump on any layout change.
+ * v2: the optimizer section grew from 3 to 7 counters (suffix merges,
+ * OR absorptions, component welds, and fixpoint rounds joined the
+ * original fuse/prefix/dead trio).
+ */
+constexpr uint32_t kImageFormatVersion = 2;
 
 /** Leading magic bytes of every .apimg file. */
 constexpr char kImageMagic[8] = {'R', 'A', 'P', 'I',

@@ -119,7 +119,129 @@ bfsOrder(const Automaton &automaton,
     return order;
 }
 
+/** Exact per-element capacity bookkeeping used by refinement. */
+bool
+fitsBlock(const BlockState &block, const Element &element,
+          const DeviceConfig &config)
+{
+    switch (element.kind) {
+      case ElementKind::Ste:
+        return block.stes < config.stesPerBlock();
+      case ElementKind::Counter:
+        return block.counters < config.countersPerBlock;
+      case ElementKind::Gate:
+        return block.bools < config.boolsPerBlock;
+    }
+    return false;
+}
+
+void
+addToBlock(BlockState &block, const Element &element, int sign)
+{
+    switch (element.kind) {
+      case ElementKind::Ste:
+        block.stes += sign;
+        break;
+      case ElementKind::Counter:
+        block.counters += sign;
+        break;
+      case ElementKind::Gate:
+        block.bools += sign;
+        break;
+    }
+}
+
 } // namespace
+
+size_t
+refineBlockAssignment(const Automaton &automaton,
+                      const DeviceConfig &config,
+                      const PlacementOptions &options,
+                      std::vector<uint32_t> &blockOf, size_t blockCount)
+{
+    const size_t n = automaton.size();
+    if (n == 0 || blockCount < 2 || options.refineEffort <= 0)
+        return 0;
+    internalCheck(blockOf.size() == n,
+                  "refine: blockOf does not match design");
+
+    // Undirected adjacency for cut evaluation.
+    std::vector<std::vector<ElementId>> adjacent(n);
+    for (ElementId i = 0; i < n; ++i) {
+        for (const Edge &edge : automaton[i].outputs) {
+            if (edge.to == i)
+                continue;
+            adjacent[i].push_back(edge.to);
+            adjacent[edge.to].push_back(i);
+        }
+    }
+    // Exact per-block occupancy (independent of row rounding).
+    std::vector<BlockState> live(blockCount);
+    for (ElementId i = 0; i < n; ++i)
+        addToBlock(live[blockOf[i]], automaton[i], +1);
+    auto occupancy = [](const BlockState &block) {
+        return block.stes + block.counters + block.bools;
+    };
+
+    const size_t iterations = static_cast<size_t>(
+        options.refineEffort * static_cast<double>(n) *
+        std::log2(static_cast<double>(n) + 2.0));
+    Rng rng(options.seed);
+    size_t moves = 0;
+    std::vector<uint32_t> candidates;
+    for (size_t iter = 0; iter < iterations; ++iter) {
+        ElementId elem = static_cast<ElementId>(rng.below(n));
+        const auto &neighbors = adjacent[elem];
+        if (neighbors.empty())
+            continue;
+        const uint32_t from = blockOf[elem];
+        // Candidate destinations: every distinct block a neighbor
+        // occupies.  (A single random neighbor almost never leaves the
+        // element's own block — components pack together.)
+        candidates.clear();
+        for (ElementId peer : neighbors) {
+            uint32_t block = blockOf[peer];
+            if (block != from &&
+                std::find(candidates.begin(), candidates.end(),
+                          block) == candidates.end()) {
+                candidates.push_back(block);
+            }
+        }
+        if (candidates.empty())
+            continue;
+
+        const Element &element = automaton[elem];
+        int best_delta = 1;
+        uint32_t best_to = from;
+        for (uint32_t to : candidates) {
+            if (!fitsBlock(live[to], element, config))
+                continue;
+            int delta = 0;
+            for (ElementId other : adjacent[elem]) {
+                uint32_t ob = blockOf[other];
+                delta += (ob != to) - (ob != from);
+            }
+            if (delta < best_delta) {
+                best_delta = delta;
+                best_to = to;
+            }
+        }
+        if (best_to == from)
+            continue;
+        // Plateau moves must concentrate occupancy (into an equally or
+        // fuller block): each strictly increases Σ occupancy², so they
+        // drain stragglers without oscillating.
+        if (best_delta == 0 &&
+            occupancy(live[best_to]) < occupancy(live[from])) {
+            continue;
+        }
+        blockOf[elem] = best_to;
+        addToBlock(live[best_to], element, +1);
+        addToBlock(live[from], element, -1);
+        ++moves;
+    }
+    return moves;
+}
 
 PlacementResult
 PlacementEngine::place(const Automaton &automaton) const
@@ -242,67 +364,10 @@ PlacementEngine::place(const Automaton &automaton) const
     }
 
     // --- Refinement: hill-climb the routing cut. -----------------------
-    // Move an element to a random neighbor's block when that reduces
-    // the number of block-crossing edges and capacity allows.
     if (_options.refineEffort > 0 && blocks.size() > 1) {
-        // Undirected adjacency for cut evaluation.
-        std::vector<std::vector<ElementId>> adjacent(automaton.size());
-        for (ElementId i = 0; i < automaton.size(); ++i) {
-            for (const Edge &edge : automaton[i].outputs) {
-                if (edge.to == i)
-                    continue;
-                adjacent[i].push_back(edge.to);
-                adjacent[edge.to].push_back(i);
-            }
-        }
-        // Exact per-block occupancy (independent of row rounding).
-        std::vector<BlockState> live(blocks.size());
-        for (ElementId i = 0; i < automaton.size(); ++i)
-            add(live[result.blockOf[i]], automaton[i]);
-
-        const size_t n = automaton.size();
-        const size_t iterations = static_cast<size_t>(
-            _options.refineEffort * static_cast<double>(n) *
-            std::log2(static_cast<double>(n) + 2.0));
-        Rng rng(_options.seed);
-        for (size_t iter = 0; iter < iterations; ++iter) {
-            ElementId elem =
-                static_cast<ElementId>(rng.below(n));
-            const auto &neighbors = adjacent[elem];
-            if (neighbors.empty())
-                continue;
-            ElementId peer =
-                neighbors[rng.below(neighbors.size())];
-            uint32_t from = result.blockOf[elem];
-            uint32_t to = result.blockOf[peer];
-            if (from == to)
-                continue;
-            const Element &element = automaton[elem];
-            if (!fits(live[to], element))
-                continue;
-            int delta = 0;
-            for (ElementId other : adjacent[elem]) {
-                uint32_t ob = result.blockOf[other];
-                delta += (ob != to) - (ob != from);
-            }
-            if (delta >= 0)
-                continue;
-            // Accept the move.
-            result.blockOf[elem] = to;
-            add(live[to], element);
-            switch (element.kind) {
-              case ElementKind::Ste:
-                --live[from].stes;
-                break;
-              case ElementKind::Counter:
-                --live[from].counters;
-                break;
-              case ElementKind::Gate:
-                --live[from].bools;
-                break;
-            }
-            ++result.refineMoves;
-        }
+        result.refineMoves = refineBlockAssignment(
+            automaton, _config, _options, result.blockOf,
+            blocks.size());
     }
 
     // --- Metrics. -------------------------------------------------------

@@ -77,6 +77,28 @@ struct PlacementOptions {
     uint64_t seed = 0x5eed;
 };
 
+/**
+ * Hill-climb @p blockOf in place to reduce the routing cut.
+ *
+ * Each iteration picks a random element, evaluates *every* block its
+ * neighbors occupy as a destination (the old random-single-neighbor
+ * probe almost never found one: whole components pack into one block,
+ * so a random neighbor's block was nearly always the element's own),
+ * and applies the best cut delta that fits capacity.  Plateau moves
+ * (delta 0) are accepted only into an equally- or more-occupied block
+ * — each such move strictly concentrates occupancy, so plateaus drain
+ * blocks toward empty (fewer occupied blocks) and cannot ping-pong.
+ *
+ * @param blockOf    block index per element; modified in place.
+ * @param blockCount number of blocks indexed by @p blockOf.
+ * @return accepted move count.
+ */
+size_t refineBlockAssignment(const automata::Automaton &automaton,
+                             const DeviceConfig &config,
+                             const PlacementOptions &options,
+                             std::vector<uint32_t> &blockOf,
+                             size_t blockCount);
+
 /** Placement and routing engine for one device configuration. */
 class PlacementEngine {
   public:

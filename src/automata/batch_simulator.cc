@@ -191,9 +191,10 @@ BatchSimulator::BatchSimulator(const Automaton &automaton)
         _comb.push_back(node);
     }
 
-    // SIMD kernel selection: once per construction, honoring the
-    // RAPID_KERNEL override (see match_kernels.h).
-    _ops = &kernels::active();
+    // SIMD kernel selection: once per construction, dispatched on the
+    // design's row width and honoring the RAPID_KERNEL override (see
+    // match_kernels.h) — narrow rows gain nothing from 256-bit lanes.
+    _ops = &kernels::select(_words);
 
     // Rare-byte literal prefilter, STE-only designs: when the enable
     // frontier has collapsed to the always-enabled set, a byte that

@@ -191,4 +191,26 @@ active()
     return *ops;
 }
 
+const Ops &
+select(size_t words)
+{
+    const char *forced = std::getenv("RAPID_KERNEL");
+    if (forced != nullptr && *forced != '\0')
+        return active();
+    // A vector variant must run at least two main-loop iterations on
+    // every row to beat the scalar loop; below that the setup and tail
+    // handling dominate (measured: avx2 lost to baseline on 5-word
+    // rows).  avx2 steps 4 words, sse2 steps 2.
+    const Ops *choice = &kBaseline;
+#ifdef RAPID_KERNELS_X86
+    if (words >= 8 && cpuSupports(kAvx2))
+        choice = &kAvx2;
+    else if (words >= 2 && cpuSupports(kSse2))
+        choice = &kSse2;
+#else
+    (void)words;
+#endif
+    return *choice;
+}
+
 } // namespace rapid::automata::kernels

@@ -53,6 +53,17 @@ struct Ops {
  */
 const Ops &active();
 
+/**
+ * Width-aware variant selection: like active(), but when RAPID_KERNEL
+ * does not force a variant, the row width decides.  Wide vectors only
+ * pay off when their main loop runs: AVX2 steps 4 words per iteration
+ * and measures *slower* than SSE2/baseline on the narrow rows typical
+ * of small designs (the bench's 5-word rows ran avx2 at 16.1 MB/s vs
+ * 18.2 for sse2), so rows need ≥ 8 words for avx2, ≥ 2 for sse2, and
+ * fall back to baseline below that.
+ */
+const Ops &select(size_t words);
+
 /** Look up a variant by name; nullptr when unknown or unsupported. */
 const Ops *byName(const std::string &name);
 

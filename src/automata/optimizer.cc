@@ -1,8 +1,11 @@
 #include "automata/optimizer.h"
 
 #include <algorithm>
+#include <array>
+#include <queue>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,51 +16,110 @@ namespace rapid::automata {
 
 namespace {
 
-/** Sorted, canonical rendering of (element, port) pair lists. */
-std::string
-portListKey(std::vector<std::pair<ElementId, Port>> items)
-{
-    std::sort(items.begin(), items.end());
-    std::string key;
-    for (auto &[id, port] : items) {
-        key += std::to_string(id);
-        key.push_back('/');
-        key += std::to_string(static_cast<int>(port));
-        key.push_back(';');
-    }
-    return key;
-}
+/**
+ * Union-find over element ids tracking which element each id has been
+ * merged into.  Signatures are built against resolved roots, so a
+ * merge made early in a sweep is visible to every later signature —
+ * this is what lets whole duplicate chains collapse in one pass.
+ */
+struct Remap {
+    std::vector<ElementId> to;
 
-std::string
-edgeListKey(const std::vector<Edge> &edges)
-{
-    std::vector<std::pair<ElementId, Port>> items;
-    items.reserve(edges.size());
-    for (const Edge &edge : edges)
-        items.emplace_back(edge.to, edge.port);
-    return portListKey(std::move(items));
-}
+    explicit Remap(size_t n) : to(n)
+    {
+        for (ElementId i = 0; i < n; ++i)
+            to[i] = i;
+    }
+
+    ElementId
+    resolve(ElementId x)
+    {
+        while (to[x] != x) {
+            to[x] = to[to[x]];
+            x = to[x];
+        }
+        return x;
+    }
+
+    void
+    mergeInto(ElementId victim, ElementId keeper)
+    {
+        to[resolve(victim)] = resolve(keeper);
+    }
+};
 
 /**
- * Rebuild @p automaton keeping only elements with remap[i] == i and
- * redirecting edges through the remap.  Preserves element order and ids.
+ * Component union-find with live (post-merge) element counts,
+ * enforcing the cross-component weld budget.  Sizes shrink as merges
+ * land, so a weld blocked early in a round can succeed later once the
+ * parts have deduplicated — the fixpoint retries it.
  */
-Automaton
-rebuild(const Automaton &automaton, const std::vector<ElementId> &remap)
-{
-    // Resolve chains (a merged into b merged into c).
-    std::vector<ElementId> resolved(remap);
-    for (ElementId i = 0; i < resolved.size(); ++i) {
-        ElementId root = i;
-        while (resolved[root] != root)
-            root = resolved[root];
-        resolved[i] = root;
+struct Welder {
+    std::vector<ElementId> parent;
+    std::vector<size_t> size;
+    const OptimizeOptions &options;
+    size_t welds = 0;
+
+    Welder(const Automaton &automaton, const OptimizeOptions &opts)
+        : parent(automaton.size()), size(automaton.size(), 0),
+          options(opts)
+    {
+        for (const auto &component : automaton.components()) {
+            for (ElementId id : component)
+                parent[id] = component.front();
+            size[component.front()] = component.size();
+        }
     }
 
+    ElementId
+    find(ElementId x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    bool
+    canJoin(ElementId a, ElementId b)
+    {
+        ElementId ra = find(a), rb = find(b);
+        if (ra == rb)
+            return true;
+        if (options.acrossComponents)
+            return true;
+        if (options.weldBudget == 0)
+            return false;
+        return size[ra] + size[rb] <= options.weldBudget;
+    }
+
+    void
+    join(ElementId keeper, ElementId victim)
+    {
+        ElementId ra = find(keeper), rb = find(victim);
+        if (ra != rb) {
+            parent[rb] = ra;
+            size[ra] += size[rb];
+            ++welds;
+        }
+        --size[ra]; // the merge eliminated one element
+    }
+};
+
+/**
+ * Rebuild @p automaton keeping only remap roots that are not dropped,
+ * redirecting edge targets through the remap and discarding edges into
+ * dropped elements.  Preserves element order and ids.
+ */
+Automaton
+rebuild(const Automaton &automaton, Remap &remap,
+        const std::vector<char> &dropped)
+{
     std::vector<ElementId> new_index(automaton.size(), kNoElement);
     Automaton out;
     for (ElementId i = 0; i < automaton.size(); ++i) {
-        if (resolved[i] != i)
+        if (remap.resolve(i) != i || dropped[i])
             continue;
         const Element &element = automaton[i];
         ElementId fresh = kNoElement;
@@ -78,34 +140,467 @@ rebuild(const Automaton &automaton, const std::vector<ElementId> &remap)
         new_index[i] = fresh;
     }
     for (ElementId i = 0; i < automaton.size(); ++i) {
-        if (resolved[i] != i)
+        if (remap.resolve(i) != i || dropped[i])
             continue;
         for (const Edge &edge : automaton[i].outputs) {
-            ElementId target = new_index[resolved[edge.to]];
-            internalCheck(target != kNoElement, "rebuild: dangling edge");
-            out.connect(new_index[i], target, edge.port);
+            ElementId target = remap.resolve(edge.to);
+            if (dropped[target])
+                continue;
+            internalCheck(new_index[target] != kNoElement,
+                          "rebuild: dangling edge");
+            out.connect(new_index[i], new_index[target], edge.port);
         }
     }
     return out;
 }
 
-/**
- * Component id per element.  Rewrites must stay within one weakly-
- * connected component: merging identical start STEs of *separate*
- * automata (e.g. the per-instance window guards of a multi-pattern
- * design) would weld the instances into one placement component,
- * which the AP's per-automaton placement model forbids.
- */
-std::vector<size_t>
-componentIds(const Automaton &automaton)
+/** BFS depth from the start STEs; kNoDepth when unreachable forward. */
+constexpr uint32_t kNoDepth = UINT32_MAX;
+
+std::vector<uint32_t>
+forwardDepth(const Automaton &automaton)
 {
-    std::vector<size_t> ids(automaton.size(), 0);
-    auto components = automaton.components();
-    for (size_t c = 0; c < components.size(); ++c) {
-        for (ElementId id : components[c])
-            ids[id] = c;
+    std::vector<uint32_t> depth(automaton.size(), kNoDepth);
+    std::queue<ElementId> frontier;
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        const Element &element = automaton[i];
+        if (element.kind == ElementKind::Ste &&
+            element.start != StartKind::None) {
+            depth[i] = 0;
+            frontier.push(i);
+        }
     }
-    return ids;
+    while (!frontier.empty()) {
+        ElementId node = frontier.front();
+        frontier.pop();
+        for (const Edge &edge : automaton[node].outputs) {
+            if (depth[edge.to] == kNoDepth) {
+                depth[edge.to] = depth[node] + 1;
+                frontier.push(edge.to);
+            }
+        }
+    }
+    return depth;
+}
+
+/** Reverse-BFS distance to the nearest reporting element. */
+std::vector<uint32_t>
+reportDistance(
+    const Automaton &automaton,
+    const std::vector<std::vector<std::pair<ElementId, Port>>> &fan_in)
+{
+    std::vector<uint32_t> dist(automaton.size(), kNoDepth);
+    std::queue<ElementId> frontier;
+    for (ElementId i = 0; i < automaton.size(); ++i) {
+        if (automaton[i].report) {
+            dist[i] = 0;
+            frontier.push(i);
+        }
+    }
+    while (!frontier.empty()) {
+        ElementId node = frontier.front();
+        frontier.pop();
+        for (auto &[src, port] : fan_in[node]) {
+            (void)port;
+            if (dist[src] == kNoDepth) {
+                dist[src] = dist[node] + 1;
+                frontier.push(src);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Element ids sorted by (@p rank ascending, id) for stable sweeps. */
+std::vector<ElementId>
+orderByRank(size_t n, const std::vector<uint32_t> &rank)
+{
+    std::vector<ElementId> order(n);
+    for (ElementId i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](ElementId a, ElementId b) {
+                         return rank[a] < rank[b];
+                     });
+    return order;
+}
+
+/**
+ * Canonical key of a neighbour list, resolved through @p remap, with
+ * edges to @p self rendered as a SELF marker so self-looping twins
+ * still compare equal.  Sorted and deduplicated: resolution can fold
+ * several original neighbours into one root.
+ */
+std::string
+linkKey(ElementId self, std::vector<std::pair<ElementId, Port>> items,
+        Remap &remap)
+{
+    for (auto &item : items) {
+        ElementId root = remap.resolve(item.first);
+        item.first = root == self ? kNoElement : root;
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    std::string key;
+    for (auto &[id, port] : items) {
+        key += id == kNoElement ? std::string("S")
+                                : std::to_string(id);
+        key.push_back('/');
+        key += std::to_string(static_cast<int>(port));
+        key.push_back(';');
+    }
+    return key;
+}
+
+std::vector<std::pair<ElementId, Port>>
+edgePairs(const std::vector<Edge> &edges)
+{
+    std::vector<std::pair<ElementId, Port>> items;
+    items.reserve(edges.size());
+    for (const Edge &edge : edges)
+        items.emplace_back(edge.to, edge.port);
+    return items;
+}
+
+/** Does @p element feed an AND/NAND gate (operand identity matters)? */
+bool
+feedsConjunction(const Automaton &automaton, const Element &element)
+{
+    for (const Edge &edge : element.outputs) {
+        const Element &target = automaton[edge.to];
+        if (target.kind == ElementKind::Gate &&
+            (target.op == GateOp::And || target.op == GateOp::Nand)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Signature-bucket lookup honouring the weld budget. */
+ElementId
+findKeeper(std::unordered_map<std::string, std::vector<ElementId>> &map,
+           const std::string &signature, ElementId candidate,
+           Welder &welder)
+{
+    auto &bucket = map[signature];
+    for (ElementId keeper : bucket) {
+        if (welder.canJoin(keeper, candidate))
+            return keeper;
+    }
+    bucket.push_back(candidate);
+    return kNoElement;
+}
+
+/**
+ * Forward hash-cons sweep: merge STEs with equal character class,
+ * start kind, report configuration, and resolved predecessor set.
+ * Sweeping in depth order makes the merge of a parent visible to the
+ * signatures of its children, so duplicate chains collapse in one
+ * pass.  Reporting twins (equal flag and code) activate on identical
+ * cycles, so merging them preserves the report stream.
+ */
+size_t
+prefixSweep(Automaton &automaton, const OptimizeOptions &options,
+            OptimizeStats &stats)
+{
+    if (automaton.empty())
+        return 0;
+    auto fan_in = automaton.fanIn();
+    Welder welder(automaton, options);
+    Remap remap(automaton.size());
+    std::vector<char> dropped(automaton.size(), 0);
+    std::unordered_map<std::string, std::vector<ElementId>> keepers;
+    size_t merged = 0;
+
+    for (ElementId i : orderByRank(automaton.size(),
+                                   forwardDepth(automaton))) {
+        const Element &element = automaton[i];
+        if (element.kind != ElementKind::Ste)
+            continue;
+        // STEs with no fan-in and no start kind are dead; leave them
+        // for removeDeadPaths instead of merging into live elements.
+        if (fan_in[i].empty() && element.start == StartKind::None)
+            continue;
+        std::string signature = strprintf(
+            "%d|%d|%s|", static_cast<int>(element.start),
+            element.report ? 1 : 0, element.reportCode.c_str());
+        signature += element.symbols.str();
+        signature.push_back('|');
+        signature += linkKey(i, fan_in[i], remap);
+
+        ElementId keeper = findKeeper(keepers, signature, i, welder);
+        if (keeper == kNoElement)
+            continue;
+        // Union fan-out into the keeper; rebuild() redirects fan-in.
+        for (const Edge &edge : automaton[i].outputs)
+            automaton.connect(keeper, edge.to, edge.port);
+        welder.join(keeper, i);
+        remap.mergeInto(i, keeper);
+        ++merged;
+    }
+    if (merged)
+        automaton = rebuild(automaton, remap, dropped);
+    stats.mergedPrefixes += merged;
+    stats.weldedComponents += welder.welds;
+    return merged;
+}
+
+/**
+ * Mirrored backward sweep: merge non-reporting STEs with equal class,
+ * start kind, and resolved successor set (ports included), walking
+ * from the reporters outward so suffix chains collapse in one pass.
+ * The merged STE's activation is the union of its parts, which is
+ * exactly what every OR-semantics consumer (STE enable, OR/NOT/NOR
+ * operand, counter count/reset) observes — AND/NAND operands are the
+ * one consumer where the separate signals are load-bearing, so STEs
+ * feeding them are excluded.
+ */
+size_t
+suffixSweep(Automaton &automaton, const OptimizeOptions &options,
+            OptimizeStats &stats)
+{
+    if (automaton.empty())
+        return 0;
+    auto fan_in = automaton.fanIn();
+    Welder welder(automaton, options);
+    Remap remap(automaton.size());
+    std::vector<char> dropped(automaton.size(), 0);
+    std::unordered_map<std::string, std::vector<ElementId>> keepers;
+    size_t merged = 0;
+
+    for (ElementId i : orderByRank(automaton.size(),
+                                   reportDistance(automaton, fan_in))) {
+        const Element &element = automaton[i];
+        if (element.kind != ElementKind::Ste || element.report)
+            continue;
+        if (element.outputs.empty())
+            continue; // dead end; removeDeadPaths handles it
+        if (feedsConjunction(automaton, element))
+            continue;
+        std::string signature =
+            strprintf("%d|", static_cast<int>(element.start));
+        signature += element.symbols.str();
+        signature.push_back('|');
+        signature += linkKey(i, edgePairs(element.outputs), remap);
+
+        ElementId keeper = findKeeper(keepers, signature, i, welder);
+        if (keeper == kNoElement)
+            continue;
+        // Fan-in is redirected by rebuild(); the victim's outputs are
+        // duplicates of the keeper's and vanish with it.
+        welder.join(keeper, i);
+        remap.mergeInto(i, keeper);
+        ++merged;
+    }
+    if (merged)
+        automaton = rebuild(automaton, remap, dropped);
+    stats.mergedSuffixes += merged;
+    stats.weldedComponents += welder.welds;
+    return merged;
+}
+
+/**
+ * Fuse sibling STEs whose resolved fan-in AND fan-out are identical
+ * into one STE with the union character class (Fig. 7's OR special
+ * case).  Reporting elements never fuse (the union would fire the
+ * survivor's name on the sibling's symbols); self-looping STEs never
+ * fuse (the union loop would accept cross-sibling repetitions); and
+ * AND/NAND consumers exclude their operands as in the suffix sweep.
+ */
+size_t
+fuseSweep(Automaton &automaton, const OptimizeOptions &options,
+          OptimizeStats &stats)
+{
+    if (automaton.empty())
+        return 0;
+    auto fan_in = automaton.fanIn();
+    Welder welder(automaton, options);
+    Remap remap(automaton.size());
+    std::vector<char> dropped(automaton.size(), 0);
+    std::unordered_map<std::string, std::vector<ElementId>> keepers;
+    size_t fused = 0;
+
+    for (ElementId i : orderByRank(automaton.size(),
+                                   forwardDepth(automaton))) {
+        const Element &element = automaton[i];
+        if (element.kind != ElementKind::Ste || element.report)
+            continue;
+        if (fan_in[i].empty() && element.start == StartKind::None)
+            continue;
+        if (feedsConjunction(automaton, element))
+            continue;
+        bool self_loop = false;
+        for (const Edge &edge : element.outputs)
+            self_loop |= remap.resolve(edge.to) == i;
+        if (self_loop)
+            continue;
+        std::string signature =
+            strprintf("%d|", static_cast<int>(element.start));
+        signature += linkKey(i, fan_in[i], remap);
+        signature.push_back('#');
+        signature += linkKey(i, edgePairs(element.outputs), remap);
+
+        ElementId keeper = findKeeper(keepers, signature, i, welder);
+        if (keeper == kNoElement)
+            continue;
+        automaton[keeper].symbols |= element.symbols;
+        welder.join(keeper, i);
+        remap.mergeInto(i, keeper);
+        ++fused;
+    }
+    if (fused)
+        automaton = rebuild(automaton, remap, dropped);
+    stats.fusedParallel += fused;
+    stats.weldedComponents += welder.welds;
+    return fused;
+}
+
+/**
+ * Absorb OR gates over sibling STEs: when every operand of a
+ * non-reporting OR gate is a non-reporting STE and all operands share
+ * one start kind and one predecessor set (which contains neither the
+ * gate nor any operand), the gate computes "did any sibling match" —
+ * exactly one STE with the union character class.  The replacement
+ * drives the gate's outputs; operands whose only consumer was the
+ * gate are dropped with it.  STE signals reach combinational
+ * consumers in the same cycle a gate output would, so timing is
+ * preserved.
+ */
+size_t
+absorbSweep(Automaton &automaton, const OptimizeOptions &options,
+            OptimizeStats &stats)
+{
+    (void)options; // absorption is intrinsically intra-component
+    const size_t n = automaton.size();
+    if (n == 0)
+        return 0;
+    auto fan_in = automaton.fanIn();
+    std::vector<char> dropped(n, 0);
+    // Each rewrite adds edges the fan-in map above does not know
+    // (from and to the fresh STE).  Elements whose fan-in changed are
+    // marked touched; gates involving them are skipped this sweep and
+    // caught by the next fixpoint round.
+    std::vector<char> touched(n, 0);
+    size_t absorbed = 0;
+
+    for (ElementId g = 0; g < n; ++g) {
+        const Element &gate = automaton[g];
+        if (gate.kind != ElementKind::Gate || gate.op != GateOp::Or ||
+            gate.report || dropped[g] || touched[g]) {
+            continue;
+        }
+        const auto &operands = fan_in[g];
+        if (operands.size() < 2)
+            continue;
+
+        std::vector<ElementId> ops;
+        bool eligible = true;
+        for (auto &[src, port] : operands) {
+            (void)port;
+            const Element &operand = automaton[src];
+            if (operand.kind != ElementKind::Ste || operand.report ||
+                dropped[src] || touched[src]) {
+                eligible = false;
+                break;
+            }
+            ops.push_back(src);
+        }
+        if (!eligible)
+            continue;
+
+        // One shared start kind and one shared predecessor set, which
+        // must not include the gate or any operand (that would tie the
+        // rewrite's enable to an element it removes or replaces).
+        const StartKind start = automaton[ops.front()].start;
+        std::vector<std::pair<ElementId, Port>> preds =
+            fan_in[ops.front()];
+        std::sort(preds.begin(), preds.end());
+        for (ElementId op : ops) {
+            if (automaton[op].start != start) {
+                eligible = false;
+                break;
+            }
+            auto mine = fan_in[op];
+            std::sort(mine.begin(), mine.end());
+            if (mine != preds) {
+                eligible = false;
+                break;
+            }
+        }
+        if (!eligible || (preds.empty() && start == StartKind::None))
+            continue;
+        for (auto &[src, port] : preds) {
+            (void)port;
+            if (src == g ||
+                std::find(ops.begin(), ops.end(), src) != ops.end()) {
+                eligible = false;
+                break;
+            }
+        }
+        if (!eligible)
+            continue;
+
+        CharSet symbols;
+        for (ElementId op : ops)
+            symbols |= automaton[op].symbols;
+        const std::vector<Edge> gate_outputs = automaton[g].outputs;
+
+        ElementId replacement = automaton.addSte(symbols, start);
+        for (auto &[src, port] : preds)
+            automaton.connect(src, replacement, port);
+        for (const Edge &edge : gate_outputs) {
+            automaton.connect(replacement, edge.to, edge.port);
+            touched[edge.to] = 1;
+        }
+        dropped[g] = 1;
+        for (ElementId op : ops) {
+            bool only_gate = true;
+            for (const Edge &edge : automaton[op].outputs)
+                only_gate &= edge.to == g;
+            if (only_gate)
+                dropped[op] = 1;
+        }
+        ++absorbed;
+    }
+
+    if (absorbed) {
+        Remap remap(automaton.size());
+        dropped.resize(automaton.size(), 0);
+        automaton = rebuild(automaton, remap, dropped);
+    }
+    stats.absorbedGates += absorbed;
+    return absorbed;
+}
+
+/** Dead-path elimination; see the header for the soundness argument. */
+size_t
+deadSweep(Automaton &automaton, const OptimizeOptions &options,
+          OptimizeStats &stats)
+{
+    (void)options;
+    size_t removed = removeDeadPaths(automaton);
+    stats.removedDead += removed;
+    return removed;
+}
+
+/**
+ * Cost-model features (the graph-simplification heuristics): element
+ * count, fan-out degree, and charset popcount.  Gates and counters
+ * carry a flat width term — they occupy scarcer block resources.
+ */
+double
+designCost(const Automaton &automaton)
+{
+    double cost = 0.0;
+    for (const Element &element : automaton.elements()) {
+        cost += 1.0 +
+                static_cast<double>(element.outputs.size()) / 8.0;
+        cost += element.kind == ElementKind::Ste
+                    ? static_cast<double>(element.symbols.count()) /
+                          256.0
+                    : 0.25;
+    }
+    return cost;
 }
 
 } // namespace
@@ -113,85 +608,187 @@ componentIds(const Automaton &automaton)
 size_t
 fuseParallelStes(Automaton &automaton, const OptimizeOptions &options)
 {
-    auto fan_in = automaton.fanIn();
-    std::vector<size_t> component;
-    if (!options.acrossComponents)
-        component = componentIds(automaton);
-    std::unordered_map<std::string, ElementId> keeper_by_signature;
-    std::vector<ElementId> remap(automaton.size());
-    size_t fused = 0;
-
-    for (ElementId i = 0; i < automaton.size(); ++i)
-        remap[i] = i;
-
-    for (ElementId i = 0; i < automaton.size(); ++i) {
-        const Element &element = automaton[i];
-        if (element.kind != ElementKind::Ste)
-            continue;
-        std::string signature = strprintf(
-            "%zu|%d|%d|%s|", component.empty() ? 0 : component[i],
-            static_cast<int>(element.start),
-            element.report ? 1 : 0, element.reportCode.c_str());
-        signature += portListKey(fan_in[i]);
-        signature.push_back('#');
-        signature += edgeListKey(element.outputs);
-
-        auto [it, inserted] = keeper_by_signature.emplace(signature, i);
-        if (!inserted) {
-            automaton[it->second].symbols |= element.symbols;
-            remap[i] = it->second;
-            ++fused;
-        }
-    }
-
-    if (fused)
-        automaton = rebuild(automaton, remap);
-    return fused;
+    OptimizeStats stats;
+    return fuseSweep(automaton, options, stats);
 }
 
 size_t
 mergeCommonPrefixes(Automaton &automaton, const OptimizeOptions &options)
 {
+    OptimizeStats stats;
+    return prefixSweep(automaton, options, stats);
+}
+
+size_t
+mergeCommonSuffixes(Automaton &automaton, const OptimizeOptions &options)
+{
+    OptimizeStats stats;
+    return suffixSweep(automaton, options, stats);
+}
+
+size_t
+absorbOrGates(Automaton &automaton, const OptimizeOptions &options)
+{
+    OptimizeStats stats;
+    return absorbSweep(automaton, options, stats);
+}
+
+size_t
+removeDeadPaths(Automaton &automaton)
+{
+    const size_t n = automaton.size();
+    if (n == 0)
+        return 0;
     auto fan_in = automaton.fanIn();
-    std::vector<size_t> component;
-    if (!options.acrossComponents)
-        component = componentIds(automaton);
-    std::unordered_map<std::string, ElementId> keeper_by_signature;
-    std::vector<ElementId> remap(automaton.size());
-    size_t merged = 0;
 
-    for (ElementId i = 0; i < automaton.size(); ++i)
-        remap[i] = i;
-
-    for (ElementId i = 0; i < automaton.size(); ++i) {
+    // --- may-activate: can this element's output ever go high? ------
+    // Monotone fixpoint over the activation rules of simulator.cc.
+    // NOT/NAND/NOR can fire on *silent* inputs, so they are always
+    // may-active.
+    std::vector<char> may(n, 0);
+    auto evaluate = [&](ElementId i) -> bool {
         const Element &element = automaton[i];
-        if (element.kind != ElementKind::Ste)
+        switch (element.kind) {
+          case ElementKind::Ste: {
+            if (element.start != StartKind::None)
+                return true;
+            for (auto &[src, port] : fan_in[i]) {
+                (void)port;
+                if (may[src])
+                    return true;
+            }
+            return false;
+          }
+          case ElementKind::Counter: {
+            for (auto &[src, port] : fan_in[i]) {
+                if (port == Port::Count && may[src])
+                    return true;
+            }
+            return false;
+          }
+          case ElementKind::Gate: {
+            if (element.op != GateOp::And && element.op != GateOp::Or)
+                return true;
+            bool all = !fan_in[i].empty();
+            bool any = false;
+            for (auto &[src, port] : fan_in[i]) {
+                (void)port;
+                any |= may[src] != 0;
+                all &= may[src] != 0;
+            }
+            return element.op == GateOp::And ? all : any;
+          }
+        }
+        return false;
+    };
+    std::queue<ElementId> work;
+    for (ElementId i = 0; i < n; ++i)
+        work.push(i);
+    while (!work.empty()) {
+        ElementId i = work.front();
+        work.pop();
+        if (may[i] || !evaluate(i))
             continue;
-        // STEs with no fan-in and no start kind are dead; skip them so
-        // they do not get merged into live start elements.
-        if (fan_in[i].empty() && element.start == StartKind::None)
-            continue;
-        std::string signature = strprintf(
-            "%zu|%d|%d|%s|", component.empty() ? 0 : component[i],
-            static_cast<int>(element.start),
-            element.report ? 1 : 0, element.reportCode.c_str());
-        signature += element.symbols.str();
-        signature.push_back('|');
-        signature += portListKey(fan_in[i]);
+        may[i] = 1;
+        for (const Edge &edge : automaton[i].outputs)
+            work.push(edge.to);
+    }
 
-        auto [it, inserted] = keeper_by_signature.emplace(signature, i);
-        if (!inserted) {
-            // Union fan-out into the keeper.
-            for (const Edge &edge : element.outputs)
-                automaton.connect(it->second, edge.to, edge.port);
-            remap[i] = it->second;
-            ++merged;
+    // --- reach-report: can this element influence any reporter? -----
+    // Skipped (everything "reaches") for report-free designs: those
+    // have nothing observable to optimize toward, and erasing them
+    // wholesale would surprise ANML round-trip users.
+    bool has_reports = false;
+    for (ElementId i = 0; i < n; ++i)
+        has_reports |= automaton[i].report;
+    std::vector<char> reach(n, has_reports ? 0 : 1);
+    if (has_reports) {
+        std::queue<ElementId> frontier;
+        for (ElementId i = 0; i < n; ++i) {
+            if (automaton[i].report) {
+                reach[i] = 1;
+                frontier.push(i);
+            }
+        }
+        while (!frontier.empty()) {
+            ElementId node = frontier.front();
+            frontier.pop();
+            for (auto &[src, port] : fan_in[node]) {
+                (void)port;
+                if (!reach[src]) {
+                    reach[src] = 1;
+                    frontier.push(src);
+                }
+            }
         }
     }
 
-    if (merged)
-        automaton = rebuild(automaton, remap);
-    return merged;
+    // --- keep set + validity closure. -------------------------------
+    // A kept inverting gate keeps all its operands even when they are
+    // never-active (its output depends on their silence); a kept
+    // element whose validity inputs all died keeps them as constant-
+    // inactive stubs (a counter needs a count input, a gate needs
+    // operands).
+    std::vector<char> keep(n, 0);
+    std::queue<ElementId> closure;
+    auto retain = [&](ElementId i) {
+        if (!keep[i]) {
+            keep[i] = 1;
+            closure.push(i);
+        }
+    };
+    for (ElementId i = 0; i < n; ++i) {
+        if (may[i] && reach[i])
+            retain(i);
+    }
+    while (!closure.empty()) {
+        ElementId i = closure.front();
+        closure.pop();
+        const Element &element = automaton[i];
+        if (element.kind == ElementKind::Gate) {
+            bool inverting = element.op == GateOp::Not ||
+                             element.op == GateOp::Nand ||
+                             element.op == GateOp::Nor;
+            // A kept AND that can never fire stays constant-false only
+            // while its never-active operands remain.
+            bool dead_and = element.op == GateOp::And && !may[i];
+            bool any_kept = false;
+            for (auto &[src, port] : fan_in[i]) {
+                (void)port;
+                any_kept |= keep[src] != 0;
+            }
+            if (inverting || dead_and || !any_kept) {
+                for (auto &[src, port] : fan_in[i]) {
+                    (void)port;
+                    retain(src);
+                }
+            }
+        } else if (element.kind == ElementKind::Counter) {
+            bool counted = false;
+            for (auto &[src, port] : fan_in[i])
+                counted |= port == Port::Count && keep[src];
+            if (!counted) {
+                for (auto &[src, port] : fan_in[i]) {
+                    if (port == Port::Count)
+                        retain(src);
+                }
+            }
+        }
+    }
+
+    size_t removed = 0;
+    std::vector<char> dropped(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        if (!keep[i]) {
+            dropped[i] = 1;
+            ++removed;
+        }
+    }
+    if (removed) {
+        Remap remap(n);
+        automaton = rebuild(automaton, remap, dropped);
+    }
+    return removed;
 }
 
 OptimizeStats
@@ -199,32 +796,80 @@ optimize(Automaton &automaton, const OptimizeOptions &options)
 {
     obs::Span span("optimize");
     OptimizeStats stats;
-    // Prefix merging exposes new parallel-fusion opportunities and vice
-    // versa; iterate to a (bounded) fixed point.
+
+    struct Pass {
+        const char *name;
+        size_t (*run)(Automaton &, const OptimizeOptions &,
+                      OptimizeStats &);
+        /** Decaying rewrite credit; orders passes each round. */
+        double yield;
+    };
+    // Priors reflect typical productivity: prefix sharing dominates
+    // multi-pattern designs, suffix sharing mirrors it, fusion and
+    // absorption mop up siblings, dead elimination runs on whatever
+    // the merges exposed.
+    std::array<Pass, 5> passes = {{
+        {"prefix", prefixSweep, 4.0},
+        {"suffix", suffixSweep, 3.0},
+        {"fuse", fuseSweep, 2.0},
+        {"absorb", absorbSweep, 1.5},
+        {"dead", deadSweep, 1.0},
+    }};
+
+    // Depth-ordered sweeps collapse duplicate chains in a single
+    // pass, so the fixpoint only has to cover cross-pass cascades:
+    // log of the deepest chain plus slack, capped.
+    uint32_t max_depth = 0;
+    for (uint32_t d : forwardDepth(automaton)) {
+        if (d != kNoDepth)
+            max_depth = std::max(max_depth, d);
+    }
+    size_t bound = 4;
+    for (uint32_t d = max_depth + 2; d > 1; d /= 2)
+        ++bound;
+    bound = std::min<size_t>(bound, 16);
+
     {
         obs::Span fixpoint("optimize.fixpoint");
-        for (int round = 0; round < 16; ++round) {
+        double cost = designCost(automaton);
+        for (size_t round = 0; round < bound; ++round) {
+            ++stats.rounds;
+            std::stable_sort(passes.begin(), passes.end(),
+                             [](const Pass &a, const Pass &b) {
+                                 return a.yield > b.yield;
+                             });
             size_t before = stats.total();
-            stats.mergedPrefixes +=
-                mergeCommonPrefixes(automaton, options);
-            stats.fusedParallel +=
-                fuseParallelStes(automaton, options);
+            for (Pass &pass : passes) {
+                size_t got = pass.run(automaton, options, stats);
+                pass.yield = 0.5 * pass.yield +
+                             static_cast<double>(got);
+            }
             if (stats.total() == before)
                 break;
+            // Churn guard: rewrites that stopped reducing the cost
+            // features are not worth more rounds.
+            double now = designCost(automaton);
+            if (now >= cost)
+                break;
+            cost = now;
         }
     }
-    {
-        obs::Span dead("optimize.dead");
-        stats.removedDead += automaton.removeDeadElements();
-    }
+
     if (obs::statsEnabled()) {
         auto &registry = obs::MetricsRegistry::instance();
         registry.counter("optimize.fused_parallel")
             .add(stats.fusedParallel);
         registry.counter("optimize.merged_prefixes")
             .add(stats.mergedPrefixes);
+        registry.counter("optimize.merged_suffixes")
+            .add(stats.mergedSuffixes);
+        registry.counter("optimize.absorbed_gates")
+            .add(stats.absorbedGates);
         registry.counter("optimize.removed_dead")
             .add(stats.removedDead);
+        registry.counter("optimize.welded_components")
+            .add(stats.weldedComponents);
+        registry.counter("optimize.rounds").add(stats.rounds);
     }
     return stats;
 }

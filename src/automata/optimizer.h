@@ -7,13 +7,33 @@
  * rewrites designs to better match the hardware, and RAPID leans on such
  * rewrites to compete with hand-tuned ANML.
  *
- *  - fuseParallelStes: merge sibling STEs that are behaviourally a
- *    single STE with a wider character class (the Fig. 7 OR special
- *    case, applied globally).
- *  - mergeCommonPrefixes: trie-style sharing of identical chain heads,
- *    the dominant saving for multi-pattern designs.
- *  - removeDeadElements: drop elements unreachable from any start STE
- *    (exposed on Automaton, re-exported here for pipeline use).
+ * The pipeline is a bounded fixed point over five reduction passes,
+ * ordered each round by a small cost model (fan-in/out degree, charset
+ * popcount, depth — the heuristic features of the graph-simplification
+ * literature):
+ *
+ *  - mergeCommonPrefixes: forward hash-cons sweep — STEs with equal
+ *    character class, start kind, and *resolved* predecessor set merge,
+ *    iteratively, so whole duplicate chain heads collapse (trie-style
+ *    sharing, the dominant saving for multi-pattern designs).
+ *  - mergeCommonSuffixes: the mirrored backward sweep toward report
+ *    elements — equal class, start kind, and resolved successor set.
+ *  - fuseParallelStes: sibling STEs with identical resolved fan-in and
+ *    fan-out become a single STE with the union character class (the
+ *    Fig. 7 OR special case, applied globally).
+ *  - absorbOrGates: an OR gate whose operands are sibling STEs with a
+ *    common predecessor set is replaced by one union-class STE,
+ *    dropping the boolean element (and any operand the gate was the
+ *    only consumer of).
+ *  - removeDeadPaths: elements that can never activate, and elements
+ *    whose activity can never reach a reporting element, are deleted —
+ *    conservatively keeping constant-inactive operands of surviving
+ *    inverting gates (NOT/NAND/NOR fire on silence).
+ *
+ * All rewrites preserve the report stream: reporting elements are only
+ * ever merged with exact duplicates (equal class, code, and resolved
+ * predecessors — i.e. elements that activate on identical cycles), and
+ * no rewrite changes the cycles on which any surviving reporter fires.
  */
 #ifndef RAPID_AUTOMATA_OPTIMIZER_H
 #define RAPID_AUTOMATA_OPTIMIZER_H
@@ -28,32 +48,53 @@ namespace rapid::automata {
 struct OptimizeOptions {
     /**
      * Allow rewrites that merge STEs of *different* connected
-     * components (trie-style sharing across separate automata, as the
-     * AP SDK's global design rewriting does).  Off by default: merged
-     * components place as one unit, which defeats per-instance
-     * tessellation and can exceed the half-core limit for
-     * board-scale designs — the paper's ARM baseline "not able to
-     * support placement and routing" failure mode.
+     * components with no size bound (trie-style sharing across
+     * separate automata, as the AP SDK's global design rewriting
+     * does).  Welded components place as one unit, which can exceed
+     * the half-core limit for board-scale designs — the paper's ARM
+     * baseline "not able to support placement and routing" failure
+     * mode — so unbounded welding is opt-in.
      */
     bool acrossComponents = false;
+
+    /**
+     * Bounded cross-component welding: merge elements of different
+     * components only while the combined *live* component size stays
+     * within this many elements (default: one block's STE capacity,
+     * so a welded group still places into a single block).  The
+     * budget tracks post-merge sizes, so a weld blocked early can
+     * succeed on a later round once merging has shrunk the parts.
+     * 0 disables cross-component rewrites entirely (strict per-
+     * component isolation).  Ignored when acrossComponents is set.
+     */
+    size_t weldBudget = 256;
 };
 
 /** Per-pass and total rewrite counts from optimize(). */
 struct OptimizeStats {
     size_t fusedParallel = 0;
     size_t mergedPrefixes = 0;
+    size_t mergedSuffixes = 0;
+    size_t absorbedGates = 0;
     size_t removedDead = 0;
+    /** Cross-component merges accepted under the weld budget. */
+    size_t weldedComponents = 0;
+    /** Fixed-point rounds optimize() ran. */
+    size_t rounds = 0;
 
     size_t
     total() const
     {
-        return fusedParallel + mergedPrefixes + removedDead;
+        return fusedParallel + mergedPrefixes + mergedSuffixes +
+               absorbedGates + removedDead;
     }
 };
 
 /**
- * Merge STE siblings with identical fan-in, fan-out, start, and report
- * configuration by unioning their character classes.
+ * Merge sibling STEs with identical resolved fan-in and fan-out,
+ * start kind, and no reporting role by unioning their character
+ * classes.  Excludes self-looping STEs and STEs feeding AND/NAND
+ * gates (where distinct operand signals are load-bearing).
  *
  * @return number of STEs eliminated.
  */
@@ -61,14 +102,51 @@ size_t fuseParallelStes(Automaton &automaton,
                         const OptimizeOptions &options = {});
 
 /**
- * Merge STEs with identical character class, start kind, and fan-in
- * whose behaviour differs only in fan-out (classic prefix sharing).
- * Reporting STEs are only merged with identically-reporting ones.
+ * Merge STEs with identical character class, start kind, and
+ * *resolved* predecessor set — a forward hash-cons sweep in depth
+ * order, so duplicate chains collapse in one pass.  Reporting STEs
+ * merge only with exact duplicates (same flag and code); such twins
+ * activate on identical cycles, so the report stream is preserved.
  *
  * @return number of STEs eliminated.
  */
 size_t mergeCommonPrefixes(Automaton &automaton,
                            const OptimizeOptions &options = {});
+
+/**
+ * Mirror of mergeCommonPrefixes toward report elements: merge
+ * non-reporting STEs with identical character class, start kind, and
+ * resolved successor set (ports included), sweeping backward from the
+ * reporters.  Excludes STEs feeding AND/NAND gates.
+ *
+ * @return number of STEs eliminated.
+ */
+size_t mergeCommonSuffixes(Automaton &automaton,
+                           const OptimizeOptions &options = {});
+
+/**
+ * Replace OR gates over sibling STEs (identical resolved predecessor
+ * sets and start kinds) with a single union-class STE driving the
+ * gate's outputs.  Operands whose only output was the gate are
+ * dropped with it.
+ *
+ * @return number of gates absorbed.
+ */
+size_t absorbOrGates(Automaton &automaton,
+                     const OptimizeOptions &options = {});
+
+/**
+ * Delete elements that can never activate (no path of possible
+ * activations from a start STE) and elements whose activity cannot
+ * reach any reporting element.  Never-active operands of surviving
+ * NOT/NAND/NOR gates are kept: those gates output high on silent
+ * inputs, so removing the operand would change behaviour.  The
+ * cannot-reach-report direction is skipped for designs with no
+ * reporting elements at all.
+ *
+ * @return number of elements removed.
+ */
+size_t removeDeadPaths(Automaton &automaton);
 
 /** Run all passes to a fixed point (bounded); returns rewrite counts. */
 OptimizeStats optimize(Automaton &automaton,

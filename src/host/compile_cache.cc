@@ -30,6 +30,10 @@ cacheKey(std::string_view source, std::string_view args_text,
         (options.positionalCounters ? 4 : 0) |
         (options.tileOnly ? 8 : 0) |
         (options.counterCheckViaInjection ? 16 : 0)));
+    // Optimizer tuning changes the compiled design too.
+    hash.update(
+        static_cast<uint64_t>(options.optimizer.acrossComponents));
+    hash.update(static_cast<uint64_t>(options.optimizer.weldBudget));
     return hash.hex();
 }
 

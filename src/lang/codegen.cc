@@ -1,6 +1,7 @@
 #include "lang/codegen.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 
 #include "automata/optimizer.h"
@@ -24,6 +25,33 @@ using automata::Port;
 using automata::StartKind;
 
 namespace {
+
+/** Report codes of the design's reporting elements. */
+std::set<std::string>
+reportCodes(const Automaton &automaton)
+{
+    std::set<std::string> codes;
+    for (const auto &element : automaton.elements()) {
+        if (element.report)
+            codes.insert(element.reportCode);
+    }
+    return codes;
+}
+
+/**
+ * Emit-side guard on the optimizer: it may deduplicate reporters and
+ * prune ones that can never fire, but must never invent or rewrite a
+ * report code the program didn't emit.
+ */
+void
+checkReportCodesPreserved(const std::set<std::string> &before,
+                          const Automaton &automaton)
+{
+    for (const std::string &code : reportCodes(automaton)) {
+        internalCheck(before.count(code) != 0,
+                      "optimizer introduced report code");
+    }
+}
 
 /**
  * A normalized runtime ("automata") expression after compile-time
@@ -227,9 +255,17 @@ class CodeGen {
                 excludeReservedSymbols();
             if (_options.positionalCounters)
                 automata::expandPositional(_automaton);
-            if (_options.optimize)
-                _out.optStats = automata::optimize(_automaton);
+            // Validate the raw lowering first: the optimizer prunes
+            // dead structure and must never mask an invalid program
+            // (e.g. a counter that is checked but never counted).
             _automaton.validate();
+            if (_options.optimize) {
+                auto codes = reportCodes(_automaton);
+                _out.optStats =
+                    automata::optimize(_automaton, _options.optimizer);
+                checkReportCodesPreserved(codes, _automaton);
+                _automaton.validate();
+            }
             auto stats = _automaton.stats();
             logDebug("lang", strprintf(
                 "compiled network: %zu STEs, %zu counters, %zu gates, "
@@ -249,9 +285,14 @@ class CodeGen {
             tiler.finishCounters();
             if (_options.positionalCounters)
                 automata::expandPositional(tiler._automaton);
-            if (_options.optimize)
-                automata::optimize(tiler._automaton);
             tiler._automaton.validate();
+            if (_options.optimize) {
+                auto codes = reportCodes(tiler._automaton);
+                automata::optimize(tiler._automaton,
+                                   _options.optimizer);
+                checkReportCodesPreserved(codes, tiler._automaton);
+                tiler._automaton.validate();
+            }
             out.tile = std::move(tiler._automaton);
             out.tileInstances = tiler._tileInstances;
         }

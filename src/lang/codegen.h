@@ -39,6 +39,13 @@ struct CompileOptions {
     bool optimize = true;
 
     /**
+     * Optimizer configuration (weld budget, cross-component sharing);
+     * only consulted when optimize is set.  Design-affecting: part of
+     * the compile-cache key.
+     */
+    automata::OptimizeOptions optimizer;
+
+    /**
      * Fold a top-level `whenever` guard into the start kind of its
      * entry STEs (dense form) instead of materializing the Fig. 8d
      * star STE.  Behaviourally equivalent; on by default.

@@ -107,6 +107,8 @@ struct Options {
     std::string statsOut;
     std::string traceOut;
     bool optimize = true;
+    /** --opt-stats: print the optimizer's per-pass rewrite counts. */
+    bool optStats = false;
     bool positional = false;
     bool tile = false;
     bool stats = false;
@@ -162,7 +164,8 @@ usage()
         "<prog.rapid>\n"
         "              [--args file] [-o out.anml|out.apimg] "
         "[--no-optimize]\n"
-        "              [--positional] [--tile] [--stats]\n"
+        "              [--opt-stats] [--positional] [--tile] "
+        "[--stats]\n"
         "              [--input file] [--frame] "
         "[--engine=scalar|batch|sharded|parallel]\n"
         "              [--shards=N] [--threads=N] [--image=x.apimg] "
@@ -193,6 +196,8 @@ parseOptions(int argc, char **argv)
             options.inputPath = next();
         else if (arg == "--no-optimize")
             options.optimize = false;
+        else if (arg == "--opt-stats")
+            options.optStats = true;
         else if (arg == "--positional")
             options.positional = true;
         else if (arg == "--tile")
@@ -353,6 +358,25 @@ printStats(const lang::CompiledProgram &compiled)
     }
 }
 
+/** Print the optimizer's per-pass rewrite counts (--opt-stats). */
+void
+printOptStats(const automata::OptimizeStats &stats)
+{
+    std::fprintf(
+        stderr,
+        "optimizer: %llu rewrites in %llu round(s) — "
+        "prefixes %llu, suffixes %llu, fused %llu, "
+        "absorbed gates %llu, dead removed %llu, welds %llu\n",
+        static_cast<unsigned long long>(stats.total()),
+        static_cast<unsigned long long>(stats.rounds),
+        static_cast<unsigned long long>(stats.mergedPrefixes),
+        static_cast<unsigned long long>(stats.mergedSuffixes),
+        static_cast<unsigned long long>(stats.fusedParallel),
+        static_cast<unsigned long long>(stats.absorbedGates),
+        static_cast<unsigned long long>(stats.removedDead),
+        static_cast<unsigned long long>(stats.weldedComponents));
+}
+
 /** Is the program file an ANML design rather than RAPID source? */
 bool
 looksLikeAnml(const std::string &path, const std::string &text)
@@ -475,11 +499,13 @@ run(const Options &options)
         // (VASim-style usage); compile mode round-trips it.
         compiled.automaton = anml::parseAnml(source);
         if (options.optimize)
-            automata::optimize(compiled.automaton);
+            compiled.optStats = automata::optimize(compiled.automaton);
     } else {
         lang::Program program = lang::parseProgram(source);
         compiled = lang::compileProgram(program, args, compile_options);
     }
+    if (options.optStats)
+        printOptStats(compiled.optStats);
 
     if (options.command == "compile") {
         const automata::Automaton &design =

@@ -62,7 +62,11 @@ sampleImage()
     image.design = sampleDesign();
     image.optimizerStats.fusedParallel = 2;
     image.optimizerStats.mergedPrefixes = 1;
+    image.optimizerStats.mergedSuffixes = 3;
+    image.optimizerStats.absorbedGates = 5;
     image.optimizerStats.removedDead = 4;
+    image.optimizerStats.weldedComponents = 6;
+    image.optimizerStats.rounds = 7;
     PlacementEngine placer;
     image.placement = placer.place(image.design);
     image.placed = true;
@@ -101,6 +105,10 @@ TEST(Image, RoundTripIsBitExact)
     EXPECT_EQ(reloaded.shardOfComponent, image.shardOfComponent);
     EXPECT_EQ(reloaded.sourceHash, image.sourceHash);
     EXPECT_EQ(reloaded.optimizerStats.removedDead, 4u);
+    EXPECT_EQ(reloaded.optimizerStats.mergedSuffixes, 3u);
+    EXPECT_EQ(reloaded.optimizerStats.absorbedGates, 5u);
+    EXPECT_EQ(reloaded.optimizerStats.weldedComponents, 6u);
+    EXPECT_EQ(reloaded.optimizerStats.rounds, 7u);
 }
 
 TEST(Image, UnplacedUntiledImageRoundTrips)

@@ -175,6 +175,47 @@ TEST(Placement, CountersLimitedPerBlock)
     EXPECT_EQ(result.totalBlocks, 2u);
 }
 
+/** Edges whose endpoints land in different blocks. */
+size_t
+cutSize(const Automaton &design, const std::vector<uint32_t> &blockOf)
+{
+    size_t cut = 0;
+    for (ElementId from = 0; from < design.size(); ++from) {
+        for (const auto &edge : design[from].outputs) {
+            if (edge.to != from && blockOf[edge.to] != blockOf[from])
+                ++cut;
+        }
+    }
+    return cut;
+}
+
+/**
+ * Directed regression for the dead refinement loop: start from a
+ * deliberately terrible assignment (a chain scattered alternately
+ * across two blocks, so every edge crosses the cut) and require the
+ * hill-climb to both accept moves and strictly shrink the cut.  The
+ * old single-random-neighbor probe with delta<0-only acceptance sat
+ * at zero moves here and everywhere else.
+ */
+TEST(Placement, RefinementRepairsUnbalancedAssignment)
+{
+    Automaton design = chain(24);
+    std::vector<uint32_t> blockOf(design.size());
+    for (ElementId i = 0; i < design.size(); ++i)
+        blockOf[i] = i % 2;
+    const size_t before = cutSize(design, blockOf);
+    ASSERT_EQ(before, design.size() - 1);
+
+    PlacementOptions options;
+    options.refineEffort = 8;
+    size_t moves = refineBlockAssignment(design, DeviceConfig{},
+                                         options, blockOf, 2);
+    EXPECT_GT(moves, 0u);
+    EXPECT_LT(cutSize(design, blockOf), before);
+    for (uint32_t block : blockOf)
+        EXPECT_LT(block, 2u);
+}
+
 TEST(Placement, RefinementReducesOrKeepsCut)
 {
     auto bench = apps::makeMotomata();

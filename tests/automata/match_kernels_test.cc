@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -69,6 +71,86 @@ TEST(MatchKernels, ForcingSelectsVariant)
     for (const std::string &name : kernels::available()) {
         KernelEnv env(name.c_str());
         EXPECT_STREQ(kernels::active().name, name.c_str());
+    }
+}
+
+TEST(MatchKernels, SelectDispatchesOnRowWidth)
+{
+    KernelEnv env(nullptr); // no forcing: width decides
+    EXPECT_STREQ(kernels::select(1).name, "baseline");
+    auto names = kernels::available();
+    auto has = [&](const char *name) {
+        return std::find(names.begin(), names.end(), name) !=
+               names.end();
+    };
+    if (has("sse2")) {
+        EXPECT_STREQ(kernels::select(2).name, "sse2");
+        EXPECT_STREQ(kernels::select(5).name, "sse2");
+        EXPECT_STREQ(kernels::select(7).name, "sse2");
+    }
+    if (has("avx2"))
+        EXPECT_STREQ(kernels::select(8).name, "avx2");
+    else if (has("sse2"))
+        EXPECT_STREQ(kernels::select(8).name, "sse2");
+}
+
+TEST(MatchKernels, ForcingOverridesWidthDispatch)
+{
+    KernelEnv env("baseline");
+    EXPECT_STREQ(kernels::select(1).name, "baseline");
+    EXPECT_STREQ(kernels::select(8).name, "baseline");
+    EXPECT_STREQ(kernels::select(64).name, "baseline");
+}
+
+/**
+ * The dispatch-fix regression guard: on the row widths the throughput
+ * bench actually runs (1 word for exact_dna, ~5 for the tessellated
+ * design, 8+ for wide rule sets), the selected kernel must not lose
+ * to the portable baseline.  Timed as min-of-trials with a generous
+ * noise allowance — this catches "picked a measured loser" (the old
+ * avx2-on-5-word-rows regression was 12% slower), not micro-jitter.
+ */
+TEST(MatchKernels, SelectedKernelNotSlowerThanBaselineOnBenchWidths)
+{
+    KernelEnv env(nullptr);
+    const kernels::Ops *baseline = kernels::byName("baseline");
+    ASSERT_NE(baseline, nullptr);
+    Rng rng(11);
+
+    auto time_ops = [&](const kernels::Ops &ops, size_t words) {
+        std::vector<uint64_t> a(words), b(words), dst(words);
+        for (size_t i = 0; i < words; ++i) {
+            a[i] = rng.next();
+            b[i] = rng.next();
+        }
+        double best = 1e300;
+        for (int trial = 0; trial < 7; ++trial) {
+            auto start = std::chrono::steady_clock::now();
+            for (int rep = 0; rep < 20000; ++rep) {
+                ops.andRows(dst.data(), a.data(), b.data(), words);
+                ops.orInto(dst.data(), b.data(), words);
+            }
+            auto elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            best = std::min(best, elapsed);
+        }
+        // Keep dst observable so the loops aren't optimized away.
+        volatile uint64_t sink = dst[0];
+        (void)sink;
+        return best;
+    };
+
+    for (size_t words : {size_t{1}, size_t{5}, size_t{8}}) {
+        const kernels::Ops &selected = kernels::select(words);
+        if (std::string(selected.name) == "baseline")
+            continue; // trivially not slower
+        double base = time_ops(*baseline, words);
+        double sel = time_ops(selected, words);
+        EXPECT_LE(sel, base * 1.5)
+            << selected.name << " slower than baseline at words="
+            << words;
     }
 }
 

@@ -86,8 +86,9 @@ TEST(Optimizer, MergesCommonPrefixes)
 
 TEST(Optimizer, PrefixMergeRespectsComponents)
 {
-    // Identical start STEs in *separate* components must not merge:
-    // that would weld independently placeable automata together.
+    // With the weld budget off, identical start STEs in *separate*
+    // components must not merge: that would weld independently
+    // placeable automata together.
     Automaton design;
     ElementId a1 =
         design.addSte(CharSet::single('a'), StartKind::AllInput);
@@ -100,8 +101,56 @@ TEST(Optimizer, PrefixMergeRespectsComponents)
     design.setReport(b1);
     design.setReport(b2);
 
-    EXPECT_EQ(mergeCommonPrefixes(design), 0u);
+    OptimizeOptions isolated;
+    isolated.weldBudget = 0;
+    EXPECT_EQ(mergeCommonPrefixes(design, isolated), 0u);
     EXPECT_EQ(design.components().size(), 2u);
+}
+
+TEST(Optimizer, PrefixMergeWeldsWithinBudget)
+{
+    // The same two-pattern design under the default budget: the shared
+    // 'a' heads merge, welding the components into one trie.
+    Automaton design;
+    ElementId a1 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b1 = design.addSte(CharSet::single('b'));
+    ElementId a2 =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b2 = design.addSte(CharSet::single('c'));
+    design.connect(a1, b1);
+    design.connect(a2, b2);
+    design.setReport(b1, "b");
+    design.setReport(b2, "c");
+
+    EXPECT_EQ(mergeCommonPrefixes(design), 1u);
+    EXPECT_EQ(design.components().size(), 1u);
+    EXPECT_EQ(design.stats().stes, 3u);
+    EXPECT_EQ(simulate(design, "ab").size(), 1u);
+    EXPECT_EQ(simulate(design, "ac").size(), 1u);
+    EXPECT_TRUE(simulate(design, "bc").empty());
+}
+
+TEST(Optimizer, WeldBudgetBoundsComponentGrowth)
+{
+    // Four identical two-element chains under a budget of 4.  A single
+    // round can only weld pairs (2+2 ≤ 4, but a third chain would push
+    // the live size past the budget); merged pairs collapse back to 2
+    // live elements, so the fixpoint welds the rest on later rounds.
+    Automaton design;
+    for (int i = 0; i < 4; ++i) {
+        ElementId head =
+            design.addSte(CharSet::single('h'), StartKind::AllInput);
+        ElementId tail = design.addSte(CharSet::single('t'));
+        design.connect(head, tail);
+        design.setReport(tail, "hit");
+    }
+    OptimizeOptions bounded;
+    bounded.weldBudget = 4;
+    OptimizeStats stats = optimize(design, bounded);
+    EXPECT_GT(stats.weldedComponents, 0u);
+    EXPECT_EQ(design.stats().stes, 2u);
+    EXPECT_EQ(simulate(design, "ht").size(), 1u);
 }
 
 TEST(Optimizer, FuseRespectsComponents)
@@ -137,6 +186,143 @@ TEST(Optimizer, OptimizeReachesFixedPoint)
     EXPECT_EQ(simulate(design, "rxy").size(), 1u);
 }
 
+TEST(Optimizer, MergesCommonSuffixes)
+{
+    // "xz" and "yz" share the 'z' tail feeding one reporter.
+    Automaton design;
+    ElementId x =
+        design.addSte(CharSet::single('x'), StartKind::AllInput);
+    ElementId y =
+        design.addSte(CharSet::single('y'), StartKind::AllInput);
+    ElementId z1 = design.addSte(CharSet::single('z'));
+    ElementId z2 = design.addSte(CharSet::single('z'));
+    ElementId end = design.addSte(CharSet::single('e'));
+    design.connect(x, z1);
+    design.connect(y, z2);
+    design.connect(z1, end);
+    design.connect(z2, end);
+    design.setReport(end);
+
+    EXPECT_EQ(mergeCommonSuffixes(design), 1u);
+    EXPECT_EQ(design.stats().stes, 4u);
+    EXPECT_EQ(simulate(design, "xze").size(), 1u);
+    EXPECT_EQ(simulate(design, "yze").size(), 1u);
+    EXPECT_TRUE(simulate(design, "xye").empty());
+}
+
+TEST(Optimizer, SuffixChainCollapsesInOnePass)
+{
+    // Two copies of the chain ...-s-u-end merge tail-first in a single
+    // backward sweep: the 'u's merge because both feed `end`, then the
+    // 's's merge because both feed the now-shared 'u'.
+    Automaton design;
+    ElementId end = design.addSte(CharSet::single('e'));
+    design.setReport(end);
+    for (int i = 0; i < 2; ++i) {
+        ElementId head = design.addSte(
+            CharSet::single(i == 0 ? 'a' : 'b'), StartKind::AllInput);
+        ElementId s = design.addSte(CharSet::single('s'));
+        ElementId u = design.addSte(CharSet::single('u'));
+        design.connect(head, s);
+        design.connect(s, u);
+        design.connect(u, end);
+    }
+    EXPECT_EQ(mergeCommonSuffixes(design), 2u);
+    EXPECT_EQ(design.stats().stes, 5u); // a, b, s, u, e
+    EXPECT_EQ(simulate(design, "asue").size(), 1u);
+    EXPECT_EQ(simulate(design, "bsue").size(), 1u);
+}
+
+TEST(Optimizer, SuffixMergeSkipsReporters)
+{
+    // Reporting tails carry distinct identities (names reach the
+    // report stream); equal-looking reporters must not suffix-merge.
+    Automaton design;
+    ElementId x =
+        design.addSte(CharSet::single('x'), StartKind::AllInput);
+    ElementId y =
+        design.addSte(CharSet::single('y'), StartKind::AllInput);
+    ElementId z1 = design.addSte(CharSet::single('z'));
+    ElementId z2 = design.addSte(CharSet::single('z'));
+    design.connect(x, z1);
+    design.connect(y, z2);
+    design.setReport(z1, "same");
+    design.setReport(z2, "same");
+    EXPECT_EQ(mergeCommonSuffixes(design), 0u);
+}
+
+TEST(Optimizer, SuffixMergeSkipsAndOperands)
+{
+    // Two 'z' STEs with identical successors, but the successor is an
+    // AND gate: each operand's separate signal is load-bearing.
+    Automaton design;
+    ElementId x =
+        design.addSte(CharSet::single('x'), StartKind::AllInput);
+    ElementId z1 = design.addSte(CharSet::single('z'));
+    ElementId z2 = design.addSte(CharSet::single('z'));
+    ElementId gate = design.addGate(GateOp::And);
+    design.connect(x, z1);
+    design.connect(x, z2);
+    design.connect(z1, gate);
+    design.connect(z2, gate);
+    design.setReport(gate);
+    EXPECT_EQ(mergeCommonSuffixes(design), 0u);
+}
+
+TEST(Optimizer, AbsorbsOrOverSiblingStes)
+{
+    // start -> {a, b} -> OR -> end  becomes  start -> [ab] -> end.
+    Automaton design;
+    ElementId start =
+        design.addSte(CharSet::single('s'), StartKind::AllInput);
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId gate = design.addGate(GateOp::Or);
+    ElementId end = design.addSte(CharSet::single('e'));
+    design.connect(start, a);
+    design.connect(start, b);
+    design.connect(a, gate);
+    design.connect(b, gate);
+    design.connect(gate, end);
+    design.setReport(end);
+
+    EXPECT_EQ(absorbOrGates(design), 1u);
+    EXPECT_EQ(design.stats().gates, 0u);
+    EXPECT_EQ(design.stats().stes, 3u);
+    EXPECT_EQ(simulate(design, "sae").size(), 1u);
+    EXPECT_EQ(simulate(design, "sbe").size(), 1u);
+    EXPECT_TRUE(simulate(design, "sce").empty());
+}
+
+TEST(Optimizer, AbsorbKeepsOperandsWithOtherConsumers)
+{
+    // 'a' also drives a private reporter, so the OR rewrite must keep
+    // it alive while still dropping the gate and the only-for-the-gate
+    // operand 'b'.
+    Automaton design;
+    ElementId start =
+        design.addSte(CharSet::single('s'), StartKind::AllInput);
+    ElementId a = design.addSte(CharSet::single('a'));
+    ElementId b = design.addSte(CharSet::single('b'));
+    ElementId gate = design.addGate(GateOp::Or);
+    ElementId end = design.addSte(CharSet::single('e'));
+    ElementId extra = design.addSte(CharSet::single('x'));
+    design.connect(start, a);
+    design.connect(start, b);
+    design.connect(a, gate);
+    design.connect(b, gate);
+    design.connect(gate, end);
+    design.connect(a, extra);
+    design.setReport(end);
+    design.setReport(extra, "extra");
+
+    EXPECT_EQ(absorbOrGates(design), 1u);
+    EXPECT_EQ(design.stats().gates, 0u);
+    EXPECT_EQ(simulate(design, "sax").size(), 1u);
+    EXPECT_EQ(simulate(design, "sbe").size(), 1u);
+    EXPECT_TRUE(simulate(design, "sbx").empty());
+}
+
 TEST(Optimizer, RemovesDeadViaOptimize)
 {
     Automaton design;
@@ -147,6 +333,60 @@ TEST(Optimizer, RemovesDeadViaOptimize)
     OptimizeStats stats = optimize(design);
     EXPECT_EQ(stats.removedDead, 1u);
     EXPECT_EQ(design.size(), 1u);
+}
+
+TEST(Optimizer, RemovesSubgraphThatCannotReachReport)
+{
+    // A live chain hanging off the root that never reaches a reporter
+    // is deleted even though every element of it can activate.
+    Automaton design;
+    ElementId root =
+        design.addSte(CharSet::single('r'), StartKind::AllInput);
+    ElementId hit = design.addSte(CharSet::single('h'));
+    design.connect(root, hit);
+    design.setReport(hit);
+    ElementId stub1 = design.addSte(CharSet::single('s'));
+    ElementId stub2 = design.addSte(CharSet::single('t'));
+    design.connect(root, stub1);
+    design.connect(stub1, stub2);
+
+    EXPECT_EQ(removeDeadPaths(design), 2u);
+    EXPECT_EQ(design.size(), 2u);
+    EXPECT_EQ(simulate(design, "rh").size(), 1u);
+}
+
+TEST(Optimizer, DeadRemovalKeepsInvertingGateOperands)
+{
+    // NOT fires on silent inputs: its never-active operand is
+    // load-bearing and must survive, or the gate would change meaning.
+    Automaton design;
+    ElementId root =
+        design.addSte(CharSet::single('r'), StartKind::AllInput);
+    ElementId silent = design.addSte(CharSet::single('s')); // no inputs
+    ElementId gate = design.addGate(GateOp::Not);
+    design.connect(silent, gate);
+    design.connect(root, root); // keep the root live
+    design.setReport(gate);
+
+    std::string silent_name = design[silent].id;
+    auto before = simulate(design, "rrr").size();
+    EXPECT_GT(before, 0u); // NOT over a silent STE reports every cycle
+    removeDeadPaths(design);
+    EXPECT_NE(design.findId(silent_name), kNoElement);
+    EXPECT_EQ(simulate(design, "rrr").size(), before);
+}
+
+TEST(Optimizer, DeadRemovalSkipsReportFreeDesigns)
+{
+    // Without reporters the cannot-reach-report direction would erase
+    // everything; it must be skipped.
+    Automaton design;
+    ElementId a =
+        design.addSte(CharSet::single('a'), StartKind::AllInput);
+    ElementId b = design.addSte(CharSet::single('b'));
+    design.connect(a, b);
+    EXPECT_EQ(removeDeadPaths(design), 0u);
+    EXPECT_EQ(design.size(), 2u);
 }
 
 TEST(Optimizer, PreservesCounters)

@@ -25,6 +25,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -75,6 +76,28 @@ golden(const std::string &name)
     return normalize(readFile(std::string(RAPID_SOURCE_DIR) +
                               "/tests/conformance/golden/" + name +
                               ".golden"));
+}
+
+/**
+ * Unique (offset, code) facts of a report stream.  The optimizer may
+ * merge duplicate same-code reporters (fewer lines) and rename
+ * elements (different third column), so optimized-vs-raw parity is
+ * judged on these facts, not on raw bytes.
+ */
+std::set<std::string>
+offsetCodeSet(const std::string &text)
+{
+    std::set<std::string> facts;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t first = line.find('\t');
+        if (first == std::string::npos)
+            continue;
+        const size_t second = line.find('\t', first + 1);
+        facts.insert(line.substr(0, second));
+    }
+    return facts;
 }
 
 /** Engine flags exercised against every golden. */
@@ -133,6 +156,34 @@ checkWorkload(const std::string &name, bool frame)
                   expected)
             << name << " via image under " << flags;
     }
+
+    // Optimizer parity axis: the same workload compiled with
+    // --no-optimize must (a) agree byte-for-byte across all engines
+    // and (b) report the same (offset, code) facts as the optimized
+    // golden — graph reduction may drop duplicate reporters and
+    // rename elements, but never move, invent, or lose a report.
+    std::string raw_reference;
+    for (const std::string &flags : kEngineFlags) {
+        std::string command = std::string(RAPID_RAPIDC_PATH) +
+                              " run --no-optimize " + flags + " " +
+                              root + "/workloads/" + name +
+                              ".rapid --args " + root + "/workloads/" +
+                              name + ".args --input " + root +
+                              "/tests/conformance/inputs/" + name +
+                              ".input";
+        if (frame)
+            command += " --frame";
+        std::string got = captureStdout(
+            command, name + "_raw" + std::to_string(tag++));
+        if (raw_reference.empty())
+            raw_reference = got;
+        else
+            EXPECT_EQ(got, raw_reference)
+                << name << " --no-optimize under " << flags;
+    }
+    EXPECT_FALSE(raw_reference.empty()) << name;
+    EXPECT_EQ(offsetCodeSet(raw_reference), offsetCodeSet(expected))
+        << name << ": optimized and raw designs disagree on reports";
 }
 
 void

@@ -41,8 +41,12 @@ lang::CompiledProgram
 compile(const std::vector<std::string> &patterns)
 {
     lang::Program program = lang::parseProgram(kProgram);
-    return lang::compileProgram(program,
-                                {lang::Value::strArray(patterns)});
+    // Optimize off: these tests shard one component per pattern, and
+    // the optimizer's cross-component welding would merge them.
+    lang::CompileOptions raw;
+    raw.optimize = false;
+    return lang::compileProgram(
+        program, {lang::Value::strArray(patterns)}, raw);
 }
 
 ap::ShardPlan

@@ -99,8 +99,13 @@ TEST(StmtStructure, SomeExpandsPerElement)
             report;
         }
     })");
+    // Lowering-structure check: optimize off, or the identical window
+    // guards of the three branches weld into shared structure.
+    CompileOptions raw;
+    raw.optimize = false;
     Automaton design =
-        compileProgram(program, {Value::strArray({"ab", "cd", "ef"})})
+        compileProgram(program, {Value::strArray({"ab", "cd", "ef"})},
+                       raw)
             .automaton;
     // Three parallel branches, each with its own guard → 3 components.
     EXPECT_EQ(design.components().size(), 3u);
