@@ -411,6 +411,7 @@ main()
 
     std::ofstream json("BENCH_throughput.json");
     json << "{\n"
+         << "  \"meta\": " << bench::metaJson() << ",\n"
          << "  \"workload\": \"exact_dna\",\n"
          << "  \"input_bytes\": " << bytes << ",\n"
          << "  \"reports\": " << batch_events.size() << ",\n"

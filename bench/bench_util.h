@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 
 #include "lang/codegen.h"
 #include "lang/parser.h"
+#include "obs/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/strings.h"
@@ -54,6 +56,27 @@ inline std::string
 metricsJson()
 {
     return obs::MetricsRegistry::instance().toJson();
+}
+
+/**
+ * Provenance stamp for a BENCH_*.json "meta" section: source revision,
+ * host fingerprint, and UTC timestamp.  `rapid-bench-diff` keys its
+ * regression gate on meta.fingerprint.id — numbers from different
+ * machines (or differently constrained containers) warn instead of
+ * failing.
+ */
+inline std::string
+metaJson()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm parts{};
+    gmtime_r(&now, &parts);
+    char stamp[32];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &parts);
+    return strprintf("{\"git\": \"%s\", \"timestamp_utc\": \"%s\", "
+                     "\"fingerprint\": %s}",
+                     obs::gitDescribe().c_str(), stamp,
+                     obs::hostFingerprint().toJson().c_str());
 }
 
 /** Count non-empty source lines (the paper's LoC metric). */

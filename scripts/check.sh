@@ -24,6 +24,51 @@ run_stage() {
 run_stage ctest --test-dir build --output-on-failure
 # Telemetry end-to-end: rapidc --stats/--trace must emit valid JSON.
 run_stage ctest --test-dir build --output-on-failure -L obs_smoke
+# Observability plane: Prometheus exporter, metrics endpoint,
+# flight recorder, and the bench-diff watchdog.
+run_stage ctest --test-dir build --output-on-failure -L obs_export
+
+# Live-scrape smoke: hold a real `rapidc run --listen` open and curl
+# /metrics and /healthz off it, like a Prometheus instance would.
+# Needs curl; the ctest suite above covers the same surface in-process.
+live_scrape() {
+    port_file=$(mktemp)
+    input_file=$(mktemp)
+    python3 -c "print('ACGTTGCAACGT' * 50000, end='')" \
+        > "$input_file" 2>/dev/null ||
+        awk 'BEGIN { for (i = 0; i < 50000; i++) printf "ACGTTGCAACGT" }' \
+            > "$input_file"
+    RAPID_PORT_FILE="$port_file" RAPID_LISTEN_LINGER_MS=10000 \
+        RAPID_FLIGHTLOG=off \
+        build/src/tools/rapidc run workloads/exact_dna.rapid \
+        --args workloads/exact_dna.args --input "$input_file" \
+        --engine=batch --listen=0 > /dev/null 2>&1 &
+    rapidc_pid=$!
+    port=""
+    tries=0
+    while [ $tries -lt 100 ]; do
+        port=$(cat "$port_file" 2>/dev/null)
+        [ -n "$port" ] && break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    ok=0
+    if [ -n "$port" ] &&
+        [ "$(curl -fsS "http://127.0.0.1:$port/healthz")" = "ok" ] &&
+        curl -fsS "http://127.0.0.1:$port/metrics" |
+            grep -q '^rapid_sim_cycles_total '; then
+        ok=1
+    fi
+    kill "$rapidc_pid" 2>/dev/null
+    wait "$rapidc_pid" 2>/dev/null
+    rm -f "$port_file" "$input_file"
+    [ "$ok" = 1 ]
+}
+if command -v curl > /dev/null 2>&1; then
+    run_stage live_scrape
+else
+    echo "check.sh: curl not found; skipping live /metrics scrape"
+fi
 # Golden conformance: every engine reproduces the checked-in report
 # streams for all workloads and examples, including the .apimg image
 # path.

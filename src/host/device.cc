@@ -5,6 +5,7 @@
 
 #include "ap/placement.h"
 #include "ap/sharding.h"
+#include "automata/match_kernels.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -169,18 +170,82 @@ Device::profilingActive() const
     return _forceProfiling || obs::statsEnabled();
 }
 
+const char *
+Device::kernelName() const
+{
+    if (_engine == Engine::Scalar)
+        return "none"; // the interpreter has no vectorized hot loop
+    if (_batch)
+        return _batch->kernel();
+    // Sharded / parallel executors build BatchSimulators internally,
+    // all of which dispatch to the same active kernel tier.
+    return automata::kernels::active().name;
+}
+
+void
+Device::publishLive()
+{
+    if (!obs::statsEnabled())
+        return;
+    const obs::ExecutionProfile *live =
+        _live.load(std::memory_order_acquire);
+    if (live == nullptr)
+        return;
+    std::lock_guard<std::mutex> guard(_publishMutex);
+    if (_live.load(std::memory_order_acquire) != live)
+        return; // the run settled while we waited on the lock
+    // Unsynchronized reads of the engine's in-flight totals: a few
+    // increments of staleness is fine for a scrape.
+    const uint64_t cycles = live->cycles;
+    const uint64_t activations = live->activations;
+    const uint64_t reports = live->reports;
+    auto &registry = obs::MetricsRegistry::instance();
+    if (cycles > _publishedCycles) {
+        registry.counter("sim.cycles").add(cycles - _publishedCycles);
+        _publishedCycles = cycles;
+    }
+    if (activations > _publishedActivations) {
+        registry.counter("sim.activations")
+            .add(activations - _publishedActivations);
+        _publishedActivations = activations;
+    }
+    if (reports > _publishedReports) {
+        registry.counter("sim.reports")
+            .add(reports - _publishedReports);
+        _publishedReports = reports;
+    }
+}
+
 void
 Device::recordRun(const obs::ExecutionProfile &delta)
 {
+    // Detach the live pointer first: scrapes arriving from here on see
+    // the settled registry totals, not the dying stack profile.
+    _live.store(nullptr, std::memory_order_release);
+    std::lock_guard<std::mutex> guard(_publishMutex);
+    uint64_t published_cycles = _publishedCycles;
+    uint64_t published_activations = _publishedActivations;
+    uint64_t published_reports = _publishedReports;
+    _publishedCycles = 0;
+    _publishedActivations = 0;
+    _publishedReports = 0;
+
     _profile.merge(delta);
     if (!obs::statsEnabled())
         return;
     // Identical metric names for both engines — the parity tests and
-    // the --stats consumers rely on this.
+    // the --stats consumers rely on this.  Live scrapes may have
+    // published part of this run already; add only the remainder so
+    // end-of-run totals stay exact.
     auto &registry = obs::MetricsRegistry::instance();
-    registry.counter("sim.cycles").add(delta.cycles);
-    registry.counter("sim.activations").add(delta.activations);
-    registry.counter("sim.reports").add(delta.reports);
+    registry.counter("sim.cycles")
+        .add(delta.cycles - std::min(published_cycles, delta.cycles));
+    registry.counter("sim.activations")
+        .add(delta.activations -
+             std::min(published_activations, delta.activations));
+    registry.counter("sim.reports")
+        .add(delta.reports -
+             std::min(published_reports, delta.reports));
     registry.counter("sim.runs").add(1);
     // Bucket means approximate the active-per-cycle distribution
     // without a per-cycle histogram record.
@@ -207,6 +272,7 @@ Device::run(std::string_view input)
     }
 
     obs::ExecutionProfile delta;
+    _live.store(&delta, std::memory_order_release);
     std::vector<HostReport> out;
     if (_engine == Engine::Batch) {
         out = enrich(_batch->run(input, delta));
@@ -231,6 +297,8 @@ Device::runBatch(const std::vector<std::string> &inputs,
     obs::Span span("stream", "device");
     const bool profiling = profilingActive();
     obs::ExecutionProfile delta;
+    if (profiling)
+        _live.store(&delta, std::memory_order_release);
 
     std::vector<std::vector<HostReport>> out;
     out.reserve(inputs.size());

@@ -34,7 +34,9 @@
 #ifndef RAPID_HOST_DEVICE_H
 #define RAPID_HOST_DEVICE_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -171,6 +173,26 @@ class Device {
      */
     const obs::ExecutionProfile &stats() const { return _profile; }
 
+    /**
+     * SIMD match-kernel tier this device executes with ("avx2",
+     * "sse2", "baseline" for the batch engines; "none" for the scalar
+     * interpreter, which has no vectorized hot loop).
+     */
+    const char *kernelName() const;
+
+    /**
+     * Mirror the *in-flight* run's profile deltas into the metrics
+     * registry so a concurrent /metrics scrape sees live sim.*
+     * counters instead of zeros until the stream ends.  recordRun()
+     * subtracts whatever was published here, so end-of-run totals are
+     * exact; no-op when no profiled run is streaming or stats are off.
+     *
+     * Reads the engine's in-flight counters without synchronization —
+     * a scrape may observe a value a few increments stale, which is
+     * the accepted contract for monitoring reads.
+     */
+    void publishLive();
+
   private:
     /** Build the selected engine (the "configure" phase). */
     void configure(const ap::PlacementResult *placement,
@@ -192,6 +214,15 @@ class Device {
     std::unique_ptr<ParallelStreamExecutor> _parallel;
     bool _forceProfiling = false;
     obs::ExecutionProfile _profile;
+
+    /** The profile the current run() is filling (null when idle). */
+    std::atomic<const obs::ExecutionProfile *> _live{nullptr};
+    /** Serializes publishLive() vs recordRun() settlement. */
+    std::mutex _publishMutex;
+    /** Live deltas already mirrored into the registry this run. */
+    uint64_t _publishedCycles = 0;
+    uint64_t _publishedActivations = 0;
+    uint64_t _publishedReports = 0;
 };
 
 } // namespace rapid::host

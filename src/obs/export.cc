@@ -1,0 +1,399 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/fingerprint.h"
+#include "obs/metrics.h"
+#include "support/strings.h"
+
+namespace rapid::obs {
+
+namespace {
+
+/** Sample-value rendering; Prometheus accepts Go-style floats. */
+std::string
+promNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return strprintf("%.12g", value);
+}
+
+void
+appendFamily(std::string &out, const std::string &family,
+             const char *type, const char *help)
+{
+    out += "# HELP " + family + " " + help + "\n";
+    out += "# TYPE " + family + " " + type + "\n";
+}
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    auto first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) ||
+               c == '_' || c == ':';
+    };
+    auto rest = [&](char c) {
+        return first(c) ||
+               std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!first(name[0]))
+        return false;
+    for (char c : name.substr(1)) {
+        if (!rest(c))
+            return false;
+    }
+    return true;
+}
+
+bool
+validLabelName(std::string_view name)
+{
+    if (name.empty() || name[0] == ':')
+        return false;
+    for (char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+              c == '_')) {
+            return false;
+        }
+    }
+    return std::isdigit(static_cast<unsigned char>(name[0])) == 0;
+}
+
+/** State threaded through the per-line validator. */
+struct ValidatorState {
+    /** family name from the last # TYPE line, "" before any. */
+    std::string typedFamily;
+    std::string typedKind;
+    /** every family that already had a TYPE (duplicates illegal). */
+    std::vector<std::string> seenTypes;
+};
+
+/** Does @p sample belong to summary/histogram family @p family? */
+bool
+inFamily(std::string_view sample, std::string_view family,
+         std::string_view kind)
+{
+    if (sample == family)
+        return true;
+    if (kind == "summary" || kind == "histogram") {
+        if (sample.size() > family.size() &&
+            startsWith(sample, family)) {
+            std::string_view suffix = sample.substr(family.size());
+            if (suffix == "_sum" || suffix == "_count")
+                return true;
+            if (kind == "histogram" && suffix == "_bucket")
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseSampleLine(std::string_view line, ValidatorState &state,
+                std::string &message)
+{
+    // metric_name[{label="value",...}] value [timestamp]
+    size_t pos = 0;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_' || line[pos] == ':')) {
+        ++pos;
+    }
+    std::string_view name = line.substr(0, pos);
+    if (!validMetricName(name)) {
+        message = "invalid metric name";
+        return false;
+    }
+    if (!state.typedFamily.empty() &&
+        !inFamily(name, state.typedFamily, state.typedKind)) {
+        // A sample after a TYPE line must belong to that family until
+        // the next TYPE — interleaving families is malformed output.
+        message = "sample '" + std::string(name) +
+                  "' outside the most recent # TYPE family '" +
+                  state.typedFamily + "'";
+        return false;
+    }
+    if (state.typedFamily.empty()) {
+        message = "sample '" + std::string(name) +
+                  "' before any # TYPE line";
+        return false;
+    }
+
+    if (pos < line.size() && line[pos] == '{') {
+        ++pos;
+        bool first = true;
+        while (true) {
+            if (pos >= line.size()) {
+                message = "unterminated label set";
+                return false;
+            }
+            if (line[pos] == '}') {
+                ++pos;
+                break;
+            }
+            if (!first) {
+                if (line[pos] != ',') {
+                    message = "expected ',' between labels";
+                    return false;
+                }
+                ++pos;
+            }
+            first = false;
+            size_t name_start = pos;
+            while (pos < line.size() && line[pos] != '=')
+                ++pos;
+            if (pos >= line.size() ||
+                !validLabelName(
+                    line.substr(name_start, pos - name_start))) {
+                message = "invalid label name";
+                return false;
+            }
+            ++pos; // '='
+            if (pos >= line.size() || line[pos] != '"') {
+                message = "label value must be quoted";
+                return false;
+            }
+            ++pos;
+            while (pos < line.size() && line[pos] != '"') {
+                if (line[pos] == '\\') {
+                    ++pos;
+                    if (pos >= line.size() ||
+                        (line[pos] != '\\' && line[pos] != '"' &&
+                         line[pos] != 'n')) {
+                        message = "bad escape in label value";
+                        return false;
+                    }
+                }
+                ++pos;
+            }
+            if (pos >= line.size()) {
+                message = "unterminated label value";
+                return false;
+            }
+            ++pos; // closing '"'
+        }
+    }
+
+    if (pos >= line.size() || line[pos] != ' ') {
+        message = "expected space before sample value";
+        return false;
+    }
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    size_t value_start = pos;
+    while (pos < line.size() && line[pos] != ' ')
+        ++pos;
+    std::string value(line.substr(value_start, pos - value_start));
+    if (value.empty()) {
+        message = "missing sample value";
+        return false;
+    }
+    if (value != "NaN" && value != "+Inf" && value != "-Inf" &&
+        value != "Inf") {
+        char *end = nullptr;
+        std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            message = "malformed sample value '" + value + "'";
+            return false;
+        }
+    }
+    // Optional millisecond timestamp.
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos < line.size()) {
+        std::string_view stamp = line.substr(pos);
+        for (size_t i = 0; i < stamp.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(stamp[i])) &&
+                !(i == 0 && stamp[i] == '-')) {
+                message = "malformed timestamp";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+parseCommentLine(std::string_view line, ValidatorState &state,
+                 std::string &message)
+{
+    // "# HELP name text", "# TYPE name kind", or a plain comment.
+    if (!startsWith(line, "# ")) {
+        return true; // "#..." bare comment: ignored by parsers
+    }
+    std::string_view body = line.substr(2);
+    if (startsWith(body, "HELP ")) {
+        std::string_view rest = body.substr(5);
+        size_t space = rest.find(' ');
+        std::string_view name =
+            space == std::string_view::npos ? rest
+                                            : rest.substr(0, space);
+        if (!validMetricName(name)) {
+            message = "invalid metric name in # HELP";
+            return false;
+        }
+        return true;
+    }
+    if (startsWith(body, "TYPE ")) {
+        std::string_view rest = body.substr(5);
+        size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+            message = "# TYPE missing kind";
+            return false;
+        }
+        std::string name(rest.substr(0, space));
+        std::string kind(rest.substr(space + 1));
+        if (!validMetricName(name)) {
+            message = "invalid metric name in # TYPE";
+            return false;
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "summary" &&
+            kind != "histogram" && kind != "untyped") {
+            message = "unknown metric kind '" + kind + "'";
+            return false;
+        }
+        for (const std::string &seen : state.seenTypes) {
+            if (seen == name) {
+                message = "duplicate # TYPE for '" + name + "'";
+                return false;
+            }
+        }
+        state.seenTypes.push_back(name);
+        state.typedFamily = name;
+        state.typedKind = kind;
+        return true;
+    }
+    return true; // other comments are legal
+}
+
+} // namespace
+
+std::string
+promName(std::string_view dotted)
+{
+    std::string out = "rapid_";
+    for (char c : dotted) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += c;
+        else
+            out += '_';
+    }
+    return out;
+}
+
+std::string
+promLabelEscape(std::string_view value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+renderPrometheus()
+{
+    const RegistrySnapshot snap =
+        MetricsRegistry::instance().snapshot();
+    std::string out;
+    out.reserve(4096);
+
+    for (const auto &[name, value] : snap.counters) {
+        const std::string family = promName(name) + "_total";
+        appendFamily(out, family, "counter",
+                     ("registry counter " + name).c_str());
+        out += family + " " +
+               strprintf("%llu",
+                         static_cast<unsigned long long>(value)) +
+               "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string family = promName(name);
+        appendFamily(out, family, "gauge",
+                     ("registry gauge " + name).c_str());
+        out += family + " " + promNumber(value) + "\n";
+    }
+    for (const auto &[name, hist] : snap.histograms) {
+        const std::string family = promName(name);
+        appendFamily(out, family, "summary",
+                     ("registry histogram " + name +
+                      " (nearest-rank quantiles over log buckets)")
+                         .c_str());
+        out += family + "{quantile=\"0.5\"} " + promNumber(hist.p50) +
+               "\n";
+        out += family + "{quantile=\"0.95\"} " + promNumber(hist.p95) +
+               "\n";
+        out += family + "_sum " + promNumber(hist.sum) + "\n";
+        out += family + "_count " +
+               strprintf("%llu",
+                         static_cast<unsigned long long>(hist.count)) +
+               "\n";
+    }
+
+    const HostFingerprint &host = hostFingerprint();
+    appendFamily(out, "rapid_build_info", "gauge",
+                 "build and host provenance (constant 1)");
+    out += "rapid_build_info{version=\"" +
+           promLabelEscape(gitDescribe()) + "\",host=\"" +
+           promLabelEscape(host.id()) + "\",kernel_tier=\"" +
+           promLabelEscape(host.kernelTier) + "\",cores=\"" +
+           strprintf("%u", host.affinityCores) + "\"} 1\n";
+    return out;
+}
+
+bool
+validExposition(std::string_view text, std::string *error)
+{
+    auto fail = [&](size_t line_no, const std::string &message) {
+        if (error != nullptr) {
+            *error = strprintf("line %zu: %s",
+                               static_cast<size_t>(line_no),
+                               message.c_str());
+        }
+        return false;
+    };
+    if (!text.empty() && text.back() != '\n')
+        return fail(0, "exposition must end with a newline");
+
+    ValidatorState state;
+    size_t line_no = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        ++line_no;
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+
+        if (line.empty())
+            continue;
+        std::string message;
+        if (line[0] == '#') {
+            if (!parseCommentLine(line, state, message))
+                return fail(line_no, message);
+        } else {
+            if (!parseSampleLine(line, state, message))
+                return fail(line_no, message);
+        }
+    }
+    return true;
+}
+
+} // namespace rapid::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prometheus text-format (exposition format 0.0.4) rendering of the
+ * metrics registry.
+ *
+ * The dotted registry names map onto Prometheus conventions:
+ *
+ *  - counters:   `sim.cycles`      → `rapid_sim_cycles_total`
+ *  - gauges:     `pnr.blocks`      → `rapid_pnr_blocks`
+ *  - histograms: `phase.parse_ms`  → summary family
+ *        `rapid_phase_parse_ms{quantile="0.5"|"0.95"}`
+ *        `rapid_phase_parse_ms_sum` / `_count`
+ *
+ * plus one `rapid_build_info{version=...,host=...,kernel_tier=...} 1`
+ * gauge carrying build/host provenance.  Every family gets `# HELP`
+ * and `# TYPE` lines; renderings end with a newline as the format
+ * requires.
+ *
+ * validExposition() is the strict parser the tests round-trip scrapes
+ * through: line grammar, metric/label name charsets, quoted label
+ * escapes, numeric sample values, TYPE-before-sample ordering, and
+ * no duplicate TYPE per family.  It accepts exactly the subset of the
+ * format the exporter (or any well-behaved exporter) should emit.
+ */
+#ifndef RAPID_OBS_EXPORT_H
+#define RAPID_OBS_EXPORT_H
+
+#include <string>
+#include <string_view>
+
+namespace rapid::obs {
+
+/**
+ * Map a dotted registry name to a Prometheus metric name: `rapid_`
+ * prefix, invalid characters folded to '_'.  Suffixes (`_total`,
+ * `_sum`, ...) are the renderer's job, not this function's.
+ */
+std::string promName(std::string_view dotted);
+
+/** Escape a label value (backslash, double quote, newline). */
+std::string promLabelEscape(std::string_view value);
+
+/**
+ * The whole registry (counters, gauges, histogram summaries) plus the
+ * `rapid_build_info` provenance gauge, in exposition format 0.0.4.
+ */
+std::string renderPrometheus();
+
+/**
+ * Strictly validate exposition-format text.
+ * @return true when every line parses; otherwise false with a
+ * line-numbered message in @p error (when non-null).
+ */
+bool validExposition(std::string_view text,
+                     std::string *error = nullptr);
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_EXPORT_H

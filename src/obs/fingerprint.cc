@@ -1,0 +1,136 @@
+#include "obs/fingerprint.h"
+
+#include <thread>
+
+#include "support/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sched.h>
+#endif
+#if defined(__APPLE__) || defined(__linux__)
+#include <sys/utsname.h>
+#endif
+
+namespace rapid::obs {
+
+namespace {
+
+/** Best SIMD tier the CPU supports, in match_kernels.h naming. */
+std::string
+detectKernelTier()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2"))
+        return "avx2";
+    if (__builtin_cpu_supports("sse2"))
+        return "sse2";
+#endif
+    return "baseline";
+}
+
+std::string
+detectArch()
+{
+#if defined(__APPLE__) || defined(__linux__)
+    struct utsname names;
+    if (uname(&names) == 0)
+        return names.machine;
+#endif
+#if defined(__x86_64__)
+    return "x86_64";
+#elif defined(__aarch64__)
+    return "aarch64";
+#else
+    return "unknown";
+#endif
+}
+
+HostFingerprint
+computeFingerprint()
+{
+    HostFingerprint fp;
+    unsigned fallback = std::thread::hardware_concurrency();
+    if (fallback == 0)
+        fallback = 1;
+    fp.configuredCores = fallback;
+    fp.onlineCores = fallback;
+    fp.affinityCores = fallback;
+#if defined(__unix__) || defined(__APPLE__)
+    long configured = sysconf(_SC_NPROCESSORS_CONF);
+    if (configured > 0)
+        fp.configuredCores = static_cast<unsigned>(configured);
+    long online = sysconf(_SC_NPROCESSORS_ONLN);
+    if (online > 0)
+        fp.onlineCores = static_cast<unsigned>(online);
+#endif
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        fp.affinityCores = static_cast<unsigned>(CPU_COUNT(&set));
+        // Hex nibbles, least-significant cpu first, trailing zero
+        // nibbles trimmed — "f" means cpus 0-3.
+        std::string mask;
+        const int limit = 256;
+        for (int base = 0; base < limit; base += 4) {
+            int nibble = 0;
+            for (int bit = 0; bit < 4; ++bit) {
+                if (CPU_ISSET(base + bit, &set))
+                    nibble |= 1 << bit;
+            }
+            mask += "0123456789abcdef"[nibble];
+        }
+        while (mask.size() > 1 && mask.back() == '0')
+            mask.pop_back();
+        fp.affinityMask = mask;
+    }
+#endif
+    if (fp.affinityMask.empty())
+        fp.affinityMask = "unknown";
+    fp.kernelTier = detectKernelTier();
+    fp.arch = detectArch();
+    return fp;
+}
+
+} // namespace
+
+std::string
+HostFingerprint::id() const
+{
+    return strprintf("%uc%uo%ua-%s-%s", configuredCores, onlineCores,
+                     affinityCores, arch.c_str(), kernelTier.c_str());
+}
+
+std::string
+HostFingerprint::toJson() const
+{
+    return strprintf(
+        "{\"id\": \"%s\", \"configured_cores\": %u, "
+        "\"online_cores\": %u, \"affinity_cores\": %u, "
+        "\"affinity_mask\": \"%s\", \"kernel_tier\": \"%s\", "
+        "\"arch\": \"%s\"}",
+        id().c_str(), configuredCores, onlineCores, affinityCores,
+        affinityMask.c_str(), kernelTier.c_str(), arch.c_str());
+}
+
+const HostFingerprint &
+hostFingerprint()
+{
+    static const HostFingerprint fingerprint = computeFingerprint();
+    return fingerprint;
+}
+
+std::string
+gitDescribe()
+{
+#ifdef RAPID_GIT_DESCRIBE
+    return RAPID_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace rapid::obs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Machine facts for telemetry provenance.
+ *
+ * Bench artifacts, flight-recorder lines, and the Prometheus
+ * `rapid_build_info` metric all need to answer "what machine produced
+ * these numbers" — a 1-core container's throughput must never be
+ * diffed against a 32-core bare-metal run as if they were comparable
+ * (`rapid-bench-diff` keys its regression gate on this).  A
+ * HostFingerprint captures the facts that actually change the numbers:
+ *
+ *  - configured vs. online vs. affinity-visible core counts (the
+ *    container caveat from the PR 6 bench notes, machine-readable);
+ *  - the CPU affinity mask itself (hex, low cpu first);
+ *  - the SIMD kernel tier this CPU dispatches to ("avx2", "sse2",
+ *    "baseline" — the same names as automata/match_kernels.h);
+ *  - the architecture string.
+ *
+ * `id()` folds the comparison-relevant facts into one short key; two
+ * runs are throughput-comparable exactly when their ids match.
+ * gitDescribe() reports the source revision the binary was configured
+ * from (stamped at CMake configure time).
+ */
+#ifndef RAPID_OBS_FINGERPRINT_H
+#define RAPID_OBS_FINGERPRINT_H
+
+#include <string>
+
+namespace rapid::obs {
+
+struct HostFingerprint {
+    /** Processors configured on the machine (_SC_NPROCESSORS_CONF). */
+    unsigned configuredCores = 1;
+    /** Processors currently online (_SC_NPROCESSORS_ONLN). */
+    unsigned onlineCores = 1;
+    /** Processors visible through this process's affinity mask. */
+    unsigned affinityCores = 1;
+    /** Affinity mask as lowercase hex, least-significant cpu first. */
+    std::string affinityMask;
+    /** Best SIMD kernel tier this CPU supports. */
+    std::string kernelTier;
+    /** Architecture ("x86_64", "aarch64", ...). */
+    std::string arch;
+
+    /**
+     * Short comparison key: runs with equal ids were produced under
+     * comparable compute conditions (same core counts, same kernel
+     * tier, same architecture), e.g. "8c8o8a-x86_64-avx2".
+     */
+    std::string id() const;
+
+    /** One JSON object with every field plus the id. */
+    std::string toJson() const;
+};
+
+/** The calling process's fingerprint (computed once, then cached). */
+const HostFingerprint &hostFingerprint();
+
+/**
+ * `git describe --always --dirty` of the source tree this binary was
+ * configured from, or "unknown" outside a git checkout.
+ */
+std::string gitDescribe();
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_FINGERPRINT_H

@@ -1,0 +1,282 @@
+#include "obs/http.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace rapid::obs {
+
+namespace {
+
+std::string
+httpResponse(const char *status, const char *content_type,
+             const std::string &body)
+{
+    return strprintf("HTTP/1.1 %s\r\n"
+                     "Content-Type: %s\r\n"
+                     "Content-Length: %zu\r\n"
+                     "Connection: close\r\n"
+                     "\r\n",
+                     status, content_type, body.size()) +
+           body;
+}
+
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n <= 0)
+            return; // peer went away; scrape clients retry
+        sent += static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+MetricsServer::~MetricsServer()
+{
+    stop();
+}
+
+bool
+MetricsServer::start(uint16_t port, std::string *error)
+{
+    auto fail = [&](const std::string &message) {
+        if (error != nullptr)
+            *error = message;
+        if (_listenFd >= 0) {
+            ::close(_listenFd);
+            _listenFd = -1;
+        }
+        return false;
+    };
+    if (_running)
+        return fail("metrics server already running");
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail(strprintf("socket: %s", std::strerror(errno)));
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        return fail(strprintf("bind 127.0.0.1:%u: %s",
+                              static_cast<unsigned>(port),
+                              std::strerror(errno)));
+    }
+    if (::listen(_listenFd, 16) != 0)
+        return fail(strprintf("listen: %s", std::strerror(errno)));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        return fail(strprintf("getsockname: %s",
+                              std::strerror(errno)));
+    }
+    _port = ntohs(addr.sin_port);
+
+    if (const char *port_file = std::getenv("RAPID_PORT_FILE")) {
+        if (*port_file != '\0') {
+            std::ofstream out(port_file, std::ios::binary);
+            out << _port << "\n";
+            if (!out) {
+                logWarn("obs", std::string("cannot write port file ") +
+                                   port_file);
+            }
+        }
+    }
+
+    // Fatal signals must land on the main thread, whose staged
+    // telemetry buffers are mutated only at quiescent points — never
+    // on the listener (see obs/obs.h signal staging).
+    sigset_t block, previous;
+    sigemptyset(&block);
+    sigaddset(&block, SIGINT);
+    sigaddset(&block, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &block, &previous);
+    _running = true;
+    _thread = std::thread([this] { serveLoop(); });
+    pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+    return true;
+}
+
+void
+MetricsServer::stop()
+{
+    if (!_running)
+        return;
+    _running = false;
+    // Wake the blocking accept(); Linux returns EINVAL/ECONNABORTED
+    // after shutdown on a listening socket.
+    ::shutdown(_listenFd, SHUT_RDWR);
+    ::close(_listenFd);
+    _listenFd = -1;
+    if (_thread.joinable())
+        _thread.join();
+}
+
+std::string
+MetricsServer::url() const
+{
+    return strprintf("http://127.0.0.1:%u",
+                     static_cast<unsigned>(_port));
+}
+
+uint64_t
+MetricsServer::requestCount() const
+{
+    std::lock_guard<std::mutex> guard(_statMutex);
+    return _requests;
+}
+
+void
+MetricsServer::setCollector(std::function<void()> collector)
+{
+    std::lock_guard<std::mutex> guard(_hookMutex);
+    _collector = std::move(collector);
+}
+
+void
+MetricsServer::setProfileSource(std::function<std::string()> source)
+{
+    std::lock_guard<std::mutex> guard(_hookMutex);
+    _profileSource = std::move(source);
+}
+
+void
+MetricsServer::serveLoop()
+{
+    while (_running) {
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (!_running)
+                break;
+            if (errno == EINTR)
+                continue;
+            break; // listening socket is gone
+        }
+        // Bound slow clients: a scrape request is one short line.
+        timeval timeout{};
+        timeout.tv_sec = 5;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+MetricsServer::handleConnection(int fd)
+{
+    // Read until the end of the request head (or a sane cap); only
+    // the request line matters.
+    std::string request;
+    char buffer[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16384) {
+        ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        request.append(buffer, static_cast<size_t>(n));
+        if (request.find('\n') != std::string::npos &&
+            request.find("\r\n\r\n") == std::string::npos &&
+            request.find("\n\n") != std::string::npos) {
+            break; // tolerate bare-LF clients (curl never, nc maybe)
+        }
+    }
+    size_t eol = request.find('\n');
+    std::string request_line =
+        eol == std::string::npos ? request : request.substr(0, eol);
+    if (!request_line.empty() && request_line.back() == '\r')
+        request_line.pop_back();
+
+    {
+        std::lock_guard<std::mutex> guard(_statMutex);
+        ++_requests;
+    }
+    MetricsRegistry::instance().counter("obs.http.requests").add(1);
+    writeAll(fd, buildResponse(request_line));
+}
+
+std::string
+MetricsServer::buildResponse(const std::string &request_line)
+{
+    std::vector<std::string> parts = split(request_line, ' ');
+    if (parts.size() < 2) {
+        return httpResponse("400 Bad Request",
+                            "text/plain; charset=utf-8",
+                            "bad request\n");
+    }
+    const std::string &method = parts[0];
+    std::string path = parts[1];
+    if (size_t query = path.find('?'); query != std::string::npos)
+        path.resize(query);
+    if (method != "GET") {
+        return httpResponse("405 Method Not Allowed",
+                            "text/plain; charset=utf-8",
+                            "only GET is supported\n");
+    }
+
+    std::function<void()> collector;
+    std::function<std::string()> profile_source;
+    {
+        std::lock_guard<std::mutex> guard(_hookMutex);
+        collector = _collector;
+        profile_source = _profileSource;
+    }
+
+    if (path == "/metrics") {
+        if (collector)
+            collector();
+        return httpResponse(
+            "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            renderPrometheus());
+    }
+    if (path == "/healthz") {
+        return httpResponse("200 OK", "text/plain; charset=utf-8",
+                            "ok\n");
+    }
+    if (path == "/profilez") {
+        if (collector)
+            collector();
+        std::string body =
+            profile_source ? profile_source() : std::string("{}");
+        if (body.empty())
+            body = "{}";
+        return httpResponse("200 OK",
+                            "application/json; charset=utf-8",
+                            body + "\n");
+    }
+    return httpResponse(
+        "404 Not Found", "text/plain; charset=utf-8",
+        "routes: /metrics /healthz /profilez\n");
+}
+
+} // namespace rapid::obs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal blocking HTTP listener serving the observability plane.
+ *
+ * One background thread, one connection at a time, three routes:
+ *
+ *  - `GET /metrics`  — the registry in Prometheus text format
+ *                      (obs/export.h), after running the registered
+ *                      collector so in-flight runs publish live
+ *                      counters;
+ *  - `GET /healthz`  — 200 "ok" liveness probe;
+ *  - `GET /profilez` — the device execution-profile JSON (heatmap,
+ *                      activity series) from the registered source,
+ *                      `{}` when nothing is streaming.
+ *
+ * This is deliberately not a web server: requests are parsed just
+ * enough to route a GET line, responses always close the connection,
+ * and the accept loop is blocking — a scrape every few seconds from
+ * one Prometheus instance is the design load.  `rapidc run
+ * --listen=PORT` (RAPID_LISTEN) keeps a MetricsServer alive for the
+ * duration of a stream; the future `rapidd` daemon mounts the same
+ * three routes verbatim.
+ *
+ * The server binds 127.0.0.1 only (telemetry is not an ingress
+ * surface); port 0 picks an ephemeral port, readable via port() and
+ * optionally written to the file named by the RAPID_PORT_FILE
+ * environment variable so tests and scripts can find the scrape
+ * target.  SIGINT/SIGTERM are blocked on the listener thread so fatal
+ * signals always land on a thread whose staged-telemetry state is
+ * coherent (see obs/obs.h).
+ */
+#ifndef RAPID_OBS_HTTP_H
+#define RAPID_OBS_HTTP_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rapid::obs {
+
+class MetricsServer {
+  public:
+    MetricsServer() = default;
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start the accept
+     * thread.  Writes the bound port to $RAPID_PORT_FILE when set.
+     * @return false with a message in @p error on failure.
+     */
+    bool start(uint16_t port, std::string *error = nullptr);
+
+    /** Stop accepting and join the thread (idempotent). */
+    void stop();
+
+    bool running() const { return _running; }
+
+    /** The bound port (0 before start()). */
+    uint16_t port() const { return _port; }
+
+    /** "http://127.0.0.1:<port>" for log lines. */
+    std::string url() const;
+
+    /** Requests served since start (any route). */
+    uint64_t requestCount() const;
+
+    /**
+     * Hook run before each /metrics or /profilez render — e.g.
+     * host::Device::publishLive(), which flushes in-flight run deltas
+     * into the registry so scrapes see live sim.* counters.
+     */
+    void setCollector(std::function<void()> collector);
+
+    /** Body supplier for /profilez (JSON); default "{}". */
+    void setProfileSource(std::function<std::string()> source);
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+    std::string buildResponse(const std::string &request_line);
+
+    int _listenFd = -1;
+    uint16_t _port = 0;
+    std::thread _thread;
+    bool _running = false;
+
+    mutable std::mutex _hookMutex;
+    std::function<void()> _collector;
+    std::function<std::string()> _profileSource;
+
+    mutable std::mutex _statMutex;
+    uint64_t _requests = 0;
+};
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_HTTP_H

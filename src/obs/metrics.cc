@@ -52,38 +52,86 @@ Gauge::value() const
     return bitsDouble(_bits.load(std::memory_order_relaxed));
 }
 
+int
+Histogram::bucketIndex(double value)
+{
+    // Guard the log: callers route value <= 0 to the underflow
+    // bucket before ever computing an index.
+    const int index = static_cast<int>(
+        std::floor(std::log(value) / std::log(kGrowth)));
+    return std::clamp(index, -kMaxBucketIndex, kMaxBucketIndex);
+}
+
+double
+Histogram::bucketLowerBound(int index)
+{
+    return std::exp(static_cast<double>(index) * std::log(kGrowth));
+}
+
 void
 Histogram::record(double value)
 {
+    if (!std::isfinite(value))
+        return;
     std::lock_guard<std::mutex> guard(_mutex);
-    _samples.push_back(value);
+    if (_count == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++_count;
+    _sum += value;
+    if (value > 0)
+        ++_buckets[bucketIndex(value)];
+    else
+        ++_zeroOrNegative;
 }
 
 HistogramSnapshot
 Histogram::snapshot() const
 {
-    std::vector<double> samples;
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        samples = _samples;
-    }
+    std::lock_guard<std::mutex> guard(_mutex);
     HistogramSnapshot snap;
-    snap.count = samples.size();
-    if (samples.empty())
+    snap.count = _count;
+    if (_count == 0)
         return snap;
-    std::sort(samples.begin(), samples.end());
-    for (double sample : samples)
-        snap.sum += sample;
-    snap.min = samples.front();
-    snap.max = samples.back();
-    snap.mean = snap.sum / static_cast<double>(samples.size());
-    auto rank = [&](double q) {
-        const double pos = q * static_cast<double>(samples.size() - 1);
-        return samples[static_cast<size_t>(std::llround(pos))];
+    snap.sum = _sum;
+    snap.min = _min;
+    snap.max = _max;
+    snap.mean = _sum / static_cast<double>(_count);
+
+    // Nearest-rank quantile over the bucket counts.  The bucket's
+    // geometric midpoint is within sqrt(kGrowth) of any sample in it;
+    // clamping to the exact [min, max] keeps single-sample and
+    // extreme-rank quantiles exact.
+    auto quantile = [&](double q) {
+        const uint64_t rank = static_cast<uint64_t>(std::llround(
+            q * static_cast<double>(_count - 1)));
+        uint64_t seen = _zeroOrNegative;
+        if (rank < seen)
+            return std::clamp(std::min(_min, 0.0), _min, _max);
+        for (const auto &[index, bucket_count] : _buckets) {
+            seen += bucket_count;
+            if (rank < seen) {
+                const double mid =
+                    bucketLowerBound(index) * std::sqrt(kGrowth);
+                return std::clamp(mid, _min, _max);
+            }
+        }
+        return _max;
     };
-    snap.p50 = rank(0.50);
-    snap.p95 = rank(0.95);
+    snap.p50 = quantile(0.50);
+    snap.p95 = quantile(0.95);
     return snap;
+}
+
+size_t
+Histogram::bucketCount() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _buckets.size() + (_zeroOrNegative > 0 ? 1 : 0);
 }
 
 MetricsRegistry &
@@ -131,25 +179,31 @@ MetricsRegistry::empty() const
            _histograms.empty();
 }
 
+RegistrySnapshot
+MetricsRegistry::snapshot() const
+{
+    // Copy the maps' contents under the lock, render outside it
+    // (Histogram::snapshot() takes per-histogram locks of its own).
+    RegistrySnapshot snap;
+    std::lock_guard<std::mutex> guard(_mutex);
+    for (const auto &[name, counter] : _counters)
+        snap.counters.emplace_back(name, counter->value());
+    for (const auto &[name, gauge] : _gauges)
+        snap.gauges.emplace_back(name, gauge->value());
+    for (const auto &[name, histogram] : _histograms)
+        snap.histograms.emplace_back(name, histogram->snapshot());
+    return snap;
+}
+
 std::string
 MetricsRegistry::toJson(
     const std::vector<std::pair<std::string, std::string>> &extra)
     const
 {
-    // Copy the maps' contents under the lock, render outside it
-    // (snapshot() takes per-histogram locks of its own).
-    std::vector<std::pair<std::string, uint64_t>> counters;
-    std::vector<std::pair<std::string, double>> gauges;
-    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        for (const auto &[name, counter] : _counters)
-            counters.emplace_back(name, counter->value());
-        for (const auto &[name, gauge] : _gauges)
-            gauges.emplace_back(name, gauge->value());
-        for (const auto &[name, histogram] : _histograms)
-            histograms.emplace_back(name, histogram->snapshot());
-    }
+    const RegistrySnapshot snap = snapshot();
+    const auto &counters = snap.counters;
+    const auto &gauges = snap.gauges;
+    const auto &histograms = snap.histograms;
 
     std::string out = "{\n  \"counters\": {";
     bool first = true;

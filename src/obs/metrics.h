@@ -74,22 +74,57 @@ struct HistogramSnapshot {
 };
 
 /**
- * A sample distribution with exact quantiles.
+ * A sample distribution over log-spaced (HDR-style) buckets.
  *
- * All samples are retained (recorders are bounded: per-phase timings
- * and per-bucket simulator series, not per-cycle events), so quantiles
- * are exact: p(q) is the sorted sample at index
- * round(q * (count - 1)) — the nearest-rank rule the tests check
- * against a sorted reference.
+ * Values are counted into geometric buckets growing by kGrowth per
+ * step (bucket i covers [kGrowth^i, kGrowth^(i+1))), so memory is
+ * bounded by the dynamic range of the data — at most a few thousand
+ * buckets over the whole double range — no matter how many samples a
+ * week-long stream records.  Quantiles follow the nearest-rank rule
+ * (rank round(q * (count - 1))) over the bucket counts and return the
+ * geometric midpoint of the selected bucket clamped to [min, max],
+ * which bounds the relative quantile error by sqrt(kGrowth) - 1
+ * (< 1%).  count/sum/min/max/mean remain exact.
+ *
+ * Non-positive samples (timings never produce them, rate deltas can)
+ * share one underflow bucket whose representative is the exact
+ * minimum.
  */
 class Histogram {
   public:
+    /** Bucket width ratio; sqrt(1.02) - 1 ≈ 0.995% quantile error. */
+    static constexpr double kGrowth = 1.02;
+    /** Index clamp: 1.02^±2400 ≈ 10^±20 covers any sane measurement. */
+    static constexpr int kMaxBucketIndex = 2400;
+
+    /** Bucket index for @p value (> 0), clamped to ±kMaxBucketIndex. */
+    static int bucketIndex(double value);
+    /** Inclusive lower bound of bucket @p index (kGrowth^index). */
+    static double bucketLowerBound(int index);
+
     void record(double value);
     HistogramSnapshot snapshot() const;
 
+    /** Distinct occupied buckets (tests pin the memory bound). */
+    size_t bucketCount() const;
+
   private:
     mutable std::mutex _mutex;
-    std::vector<double> _samples;
+    /** Occupied positive-value buckets: index → sample count. */
+    std::map<int, uint64_t> _buckets;
+    /** Samples ≤ 0 (kept out of the log-spaced range). */
+    uint64_t _zeroOrNegative = 0;
+    uint64_t _count = 0;
+    double _sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Point-in-time copy of every metric, in name order per kind. */
+struct RegistrySnapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
 /**
@@ -109,6 +144,9 @@ class MetricsRegistry {
 
     /** Does any metric exist yet? */
     bool empty() const;
+
+    /** Copy every metric's current value (renderers work lock-free). */
+    RegistrySnapshot snapshot() const;
 
     /**
      * The whole registry as one JSON object:

@@ -1,7 +1,12 @@
 #include "obs/obs.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -121,6 +126,114 @@ flush()
     if (!tracePath().empty())
         ok = writeTrace(tracePath()) && ok;
     return ok;
+}
+
+namespace {
+
+/**
+ * One staged file the signal handler can write.  The strings are
+ * mutated only on the signal-receiving thread inside a busy=true
+ * window; the handler skips a slot whose busy flag is up (it can only
+ * be up when the signal interrupted the stager itself).
+ */
+struct StagedSlot {
+    std::atomic<bool> busy{false};
+    std::atomic<bool> populated{false};
+    bool append = false;
+    std::string path;
+    std::string content;
+};
+
+StagedSlot g_staged[3];
+
+StagedSlot &
+slotFor(StagedFile slot)
+{
+    return g_staged[static_cast<int>(slot)];
+}
+
+extern "C" void
+signalFlushHandler(int signo)
+{
+    for (StagedSlot &slot : g_staged) {
+        if (slot.busy.load(std::memory_order_acquire))
+            continue;
+        if (!slot.populated.load(std::memory_order_acquire))
+            continue;
+        int flags = O_WRONLY | O_CREAT |
+                    (slot.append ? O_APPEND : O_TRUNC);
+        int fd = ::open(slot.path.c_str(), flags, 0644);
+        if (fd < 0)
+            continue;
+        const char *data = slot.content.data();
+        size_t remaining = slot.content.size();
+        while (remaining > 0) {
+            ssize_t n = ::write(fd, data, remaining);
+            if (n <= 0)
+                break;
+            data += n;
+            remaining -= static_cast<size_t>(n);
+        }
+        ::close(fd);
+    }
+    ::_Exit(128 + signo);
+}
+
+} // namespace
+
+void
+installSignalFlush()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    struct sigaction action{};
+    action.sa_handler = signalFlushHandler;
+    sigemptyset(&action.sa_mask);
+    // Block the sibling signal while handling: the handler exits, so
+    // only one of the pair ever runs.
+    sigaddset(&action.sa_mask, SIGINT);
+    sigaddset(&action.sa_mask, SIGTERM);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void
+stageSignalFile(StagedFile which, const std::string &path,
+                const std::string &content, bool append)
+{
+    StagedSlot &slot = slotFor(which);
+    slot.busy.store(true, std::memory_order_release);
+    slot.path = path;
+    slot.content = content;
+    slot.append = append;
+    slot.populated.store(!path.empty(), std::memory_order_release);
+    slot.busy.store(false, std::memory_order_release);
+}
+
+void
+clearSignalFile(StagedFile which)
+{
+    StagedSlot &slot = slotFor(which);
+    slot.busy.store(true, std::memory_order_release);
+    slot.populated.store(false, std::memory_order_release);
+    slot.path.clear();
+    slot.content.clear();
+    slot.busy.store(false, std::memory_order_release);
+}
+
+void
+stageTelemetrySnapshot()
+{
+    if (!statsPath().empty()) {
+        stageSignalFile(StagedFile::Stats, statsPath(),
+                        MetricsRegistry::instance().toJson());
+    }
+    if (!tracePath().empty()) {
+        stageSignalFile(StagedFile::Trace, tracePath(),
+                        Tracer::instance().toChromeJson());
+    }
 }
 
 } // namespace rapid::obs

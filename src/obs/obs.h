@@ -82,6 +82,45 @@ bool writeTrace(const std::string &path);
  */
 bool flush();
 
+/*
+ * Signal-flush staging.
+ *
+ * A SIGINT/SIGTERM handler may only call async-signal-safe functions —
+ * no malloc, no ofstream, no registry locks — so the telemetry files
+ * cannot be rendered *inside* the handler.  Instead the main thread
+ * pre-renders each file at quiescent points (post-compile, pre-stream,
+ * post-stream) into a small set of staged slots; the handler just
+ * open()/write()s whichever slots are populated and _Exit()s with
+ * 128 + signo.  A per-slot busy flag makes a signal that lands mid-
+ * stage skip that slot rather than read a half-written buffer; worker
+ * threads (e.g. the metrics listener) keep SIGINT/SIGTERM blocked so
+ * the handler always runs on the staging thread.
+ */
+
+/** Staged-file slots the signal handler knows how to write. */
+enum class StagedFile { Stats = 0, Trace = 1, FlightLog = 2 };
+
+/** Install the SIGINT/SIGTERM flush handler (idempotent). */
+void installSignalFlush();
+
+/**
+ * Stage @p content for @p slot: on a fatal signal the handler writes
+ * it to @p path (O_APPEND when @p append, truncating otherwise).
+ * Call only from the thread that receives signals.
+ */
+void stageSignalFile(StagedFile slot, const std::string &path,
+                     const std::string &content, bool append = false);
+
+/** Drop a staged slot (e.g. after the normal-exit path wrote it). */
+void clearSignalFile(StagedFile slot);
+
+/**
+ * Pre-render the current stats and trace outputs into their staged
+ * slots (no-ops for unset paths).  Cheap enough to call at every
+ * quiescent point of a run.
+ */
+void stageTelemetrySnapshot();
+
 } // namespace rapid::obs
 
 #endif // RAPID_OBS_OBS_H

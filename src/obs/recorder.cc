@@ -1,0 +1,219 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+#include <sys/stat.h>
+
+#include "obs/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace rapid::obs {
+
+namespace {
+
+constexpr uint64_t kDefaultMaxBytes = 8ull << 20;
+/** Below this a single fat line could rotate forever. */
+constexpr uint64_t kMinMaxBytes = 4096;
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    return strprintf("%.12g", value);
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm parts{};
+    gmtime_r(&now, &parts);
+    char buffer[32];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                  &parts);
+    return buffer;
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::string path, uint64_t maxBytes)
+    : _path(std::move(path)),
+      _maxBytes(std::max(maxBytes, kMinMaxBytes))
+{
+}
+
+FlightRecorder::FlightRecorder()
+{
+    _maxBytes = kDefaultMaxBytes;
+    if (const char *cap = std::getenv("RAPID_FLIGHTLOG_MAX_BYTES")) {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(cap, &end, 10);
+        if (end != nullptr && *end == '\0' && parsed > 0)
+            _maxBytes = std::max<uint64_t>(parsed, kMinMaxBytes);
+    }
+
+    if (const char *override_path = std::getenv("RAPID_FLIGHTLOG")) {
+        if (*override_path == '\0' ||
+            std::string(override_path) == "off") {
+            return; // explicitly disabled
+        }
+        _path = override_path;
+        return;
+    }
+    const char *home = std::getenv("HOME");
+    if (home == nullptr || *home == '\0')
+        return; // nowhere sensible to write
+    std::string dir = std::string(home) + "/.rapid";
+    ::mkdir(dir.c_str(), 0755); // EEXIST is the common case
+    _path = dir + "/flightlog.jsonl";
+}
+
+std::string
+FlightRecorder::renderLine(const FlightRecord &record) const
+{
+    const RegistrySnapshot snap =
+        MetricsRegistry::instance().snapshot();
+
+    std::string out = "{";
+    out += "\"ts\":" + jsonQuote(utcTimestamp());
+    out += ",\"command\":" + jsonQuote(record.command);
+    out += ",\"program\":" + jsonQuote(record.program);
+    out += ",\"git\":" + jsonQuote(gitDescribe());
+    out += ",\"source_key\":" + jsonQuote(record.sourceKey);
+    out += ",\"engine\":" + jsonQuote(record.engine);
+    out += ",\"kernel\":" + jsonQuote(record.kernel);
+    out += strprintf(",\"threads\":%u", record.threads);
+    out += strprintf(",\"shards\":%u", record.shards);
+    out += strprintf(",\"exit_code\":%d", record.exitCode);
+    out += ",\"wall_ms\":" + jsonNumber(record.wallMs);
+    out += strprintf(
+        ",\"input_bytes\":%llu",
+        static_cast<unsigned long long>(record.inputBytes));
+    out += strprintf(",\"reports\":%llu",
+                     static_cast<unsigned long long>(record.reports));
+    out += std::string(",\"interrupted\":") +
+           (record.interrupted ? "true" : "false");
+    out += ",\"host\":" + hostFingerprint().toJson();
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += jsonQuote(name) +
+               strprintf(":%llu",
+                         static_cast<unsigned long long>(value));
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += jsonQuote(name) + ":" + jsonNumber(value);
+    }
+    out += "},\"phases\":{";
+    first = true;
+    for (const auto &[name, hist] : snap.histograms) {
+        if (!startsWith(name, "phase."))
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += jsonQuote(name) + ":" + jsonNumber(hist.sum);
+    }
+    out += "}}\n";
+    return out;
+}
+
+void
+FlightRecorder::rotateIfNeeded(size_t incoming)
+{
+    struct stat info{};
+    if (::stat(_path.c_str(), &info) != 0)
+        return; // nothing there yet
+    if (static_cast<uint64_t>(info.st_size) + incoming <= _maxBytes)
+        return;
+    const std::string rotated = _path + ".1";
+    if (std::rename(_path.c_str(), rotated.c_str()) != 0)
+        logWarn("obs", "flightlog rotation to " + rotated + " failed");
+}
+
+bool
+FlightRecorder::append(const FlightRecord &record)
+{
+    // Whatever happens next, the signal path must not double-log a
+    // line for an invocation that reached its normal exit.
+    clearSignalFile(StagedFile::FlightLog);
+    if (!enabled())
+        return false;
+    const std::string line = renderLine(record);
+    rotateIfNeeded(line.size());
+    std::ofstream out(_path,
+                      std::ios::binary | std::ios::app);
+    out << line;
+    out.flush();
+    if (!out) {
+        logWarn("obs", "cannot append flight record to " + _path);
+        return false;
+    }
+    return true;
+}
+
+void
+FlightRecorder::stage(FlightRecord record)
+{
+    if (!enabled())
+        return;
+    record.interrupted = true;
+    stageSignalFile(StagedFile::FlightLog, _path, renderLine(record),
+                    /*append=*/true);
+}
+
+} // namespace rapid::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Flight recorder: an append-only journal of every build and run.
+ *
+ * Each `rapidc build` / `rapidc run` appends exactly one structured
+ * JSON line to `~/.rapid/flightlog.jsonl` (override the path with
+ * RAPID_FLIGHTLOG=<path>, disable with RAPID_FLIGHTLOG=off) capturing
+ * everything needed to reconstruct "what ran, where, and how fast"
+ * after the fact: the source revision (git describe), the program's
+ * compile-cache key, the engine/thread/kernel configuration, the host
+ * fingerprint (obs/fingerprint.h), phase wall times, and an end-of-run
+ * snapshot of every registry counter and gauge.
+ *
+ * The log is size-capped (RAPID_FLIGHTLOG_MAX_BYTES, default 8 MiB):
+ * when an append would exceed the cap the current file is rotated to
+ * `<path>.1` (replacing any previous rotation) and a fresh file
+ * started, so the journal holds roughly the last two caps' worth of
+ * history and never grows unbounded.
+ *
+ * Interrupted runs still leave a line: rapidc stages a pre-rendered
+ * record (marked "interrupted": true) through the obs/obs.h signal-
+ * flush slots at each quiescent point; a normal-exit append() clears
+ * the staged line so exactly one line lands per invocation either way.
+ */
+#ifndef RAPID_OBS_RECORDER_H
+#define RAPID_OBS_RECORDER_H
+
+#include <cstdint>
+#include <string>
+
+namespace rapid::obs {
+
+/** Per-invocation facts the caller supplies (the recorder adds the
+ *  timestamp, host fingerprint, and metric snapshots itself). */
+struct FlightRecord {
+    /** "build" or "run". */
+    std::string command;
+    /** Source or image path the tool operated on. */
+    std::string program;
+    /** Compile-cache key of the design (host::cacheKey), "" unknown. */
+    std::string sourceKey;
+    /** Engine name for runs ("scalar", "batch", ...), "" for builds. */
+    std::string engine;
+    /** Active SIMD match-kernel tier. */
+    std::string kernel;
+    unsigned threads = 0;
+    unsigned shards = 0;
+    int exitCode = 0;
+    /** End-to-end wall time of the invocation. */
+    double wallMs = 0;
+    uint64_t inputBytes = 0;
+    uint64_t reports = 0;
+    /** True on lines staged for the fatal-signal path. */
+    bool interrupted = false;
+};
+
+class FlightRecorder {
+  public:
+    /** The process-wide recorder (path/cap resolved once from env). */
+    static FlightRecorder &instance();
+
+    /** A recorder writing @p path with cap @p maxBytes, bypassing the
+     *  environment — for tests exercising append/rotation directly. */
+    FlightRecorder(std::string path, uint64_t maxBytes);
+
+    /** False when no destination is configured (HOME unset or
+     *  RAPID_FLIGHTLOG=off/empty). */
+    bool enabled() const { return !_path.empty(); }
+
+    const std::string &path() const { return _path; }
+    uint64_t maxBytes() const { return _maxBytes; }
+
+    /**
+     * Render @p record as one newline-terminated JSON line, embedding
+     * the timestamp, git describe, host fingerprint, counter/gauge
+     * snapshot, and phase times from the metrics registry.
+     */
+    std::string renderLine(const FlightRecord &record) const;
+
+    /**
+     * Append one line for @p record, rotating first when the file
+     * would exceed maxBytes().  Clears any line staged for the signal
+     * path, so a completed invocation logs exactly once.
+     * @return false when disabled or the write failed.
+     */
+    bool append(const FlightRecord &record);
+
+    /**
+     * Pre-render @p record (forced interrupted=true) and stage it with
+     * the obs/obs.h signal-flush machinery so a SIGINT/SIGTERM still
+     * leaves a journal line.  No-op when disabled.
+     */
+    void stage(FlightRecord record);
+
+  private:
+    FlightRecorder();
+
+    /** Rotate `<path>` to `<path>.1` when an @p incoming-byte append
+     *  would exceed the cap. */
+    void rotateIfNeeded(size_t incoming);
+
+    std::string _path;
+    uint64_t _maxBytes = 0;
+};
+
+} // namespace rapid::obs
+
+#endif // RAPID_OBS_RECORDER_H

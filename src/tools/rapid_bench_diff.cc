@@ -1,0 +1,249 @@
+/**
+ * @file
+ * rapid-bench-diff — the perf-regression watchdog.
+ *
+ * Compares two BENCH_throughput.json artifacts (bench/) and fails
+ * when any throughput metric regressed beyond the allowed fraction:
+ *
+ *   rapid-bench-diff old.json new.json [--max-regress=0.20]
+ *                    [--strict-fingerprint]
+ *
+ * Metrics are joined on workload × engine × kernel keys — the
+ * top-level `workload` name qualifies every `*_mbps` number, and the
+ * `parallel_threads_mbps` / `kernel_mbps` sub-objects contribute one
+ * key per thread count / kernel tier.  Only throughput (`*_mbps`,
+ * higher-is-better) metrics gate; counts and compile times are
+ * context, not gates.
+ *
+ * Provenance matters more than arithmetic here: a 1-core container's
+ * numbers must never fail a 32-core baseline.  Each artifact carries
+ * `meta.fingerprint.id` (obs/fingerprint.h); when the two ids differ
+ * the tool prints the table, warns, and exits 0 — unless
+ * --strict-fingerprint turns the mismatch itself into a failure.
+ * Artifacts predating the meta section compare as fingerprint
+ * "unknown", i.e. warn-only.
+ *
+ * Exit codes: 0 ok (or fingerprint-mismatch warn), 1 regression
+ * beyond --max-regress, 2 usage / unreadable / malformed input.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace rapid;
+
+struct Artifact {
+    std::string path;
+    std::string workload = "unknown";
+    std::string git = "unknown";
+    std::string fingerprint = "unknown";
+    /** Flattened workload-qualified throughput metrics. */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+bool
+endsWith(const std::string &text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+Artifact
+loadArtifact(const std::string &path)
+{
+    Artifact artifact;
+    artifact.path = path;
+    json::Value root = json::parse(readFile(path));
+    if (!root.isObject())
+        throw Error(path + ": expected a JSON object");
+
+    if (const json::Value *workload = root.find("workload");
+        workload != nullptr && workload->isString()) {
+        artifact.workload = workload->string;
+    }
+    if (const json::Value *meta = root.find("meta");
+        meta != nullptr && meta->isObject()) {
+        if (const json::Value *git = meta->find("git");
+            git != nullptr && git->isString()) {
+            artifact.git = git->string;
+        }
+        if (const json::Value *fp = meta->find("fingerprint");
+            fp != nullptr && fp->isObject()) {
+            if (const json::Value *id = fp->find("id");
+                id != nullptr && id->isString()) {
+                artifact.fingerprint = id->string;
+            }
+        }
+    }
+
+    // Throughput keys: "<workload>.<metric>" for top-level numbers,
+    // "<workload>.<group>.<variant>" for the per-thread / per-kernel
+    // sub-objects — the workload × engine × kernel join key.
+    for (const auto &[name, value] : root.members) {
+        if (value.isNumber() && endsWith(name, "_mbps")) {
+            artifact.metrics.emplace_back(
+                artifact.workload + "." + name, value.number);
+        } else if (value.isObject() && endsWith(name, "_mbps")) {
+            for (const auto &[variant, entry] : value.members) {
+                if (entry.isNumber()) {
+                    artifact.metrics.emplace_back(
+                        artifact.workload + "." + name + "." + variant,
+                        entry.number);
+                }
+            }
+        }
+    }
+    return artifact;
+}
+
+const double *
+findMetric(const Artifact &artifact, const std::string &key)
+{
+    for (const auto &[name, value] : artifact.metrics) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rapid-bench-diff old.json new.json "
+                 "[--max-regress=FRACTION] [--strict-fingerprint]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string old_path;
+    std::string new_path;
+    double max_regress = 0.20;
+    bool strict_fingerprint = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--max-regress=")) {
+            const std::string text =
+                arg.substr(std::strlen("--max-regress="));
+            char *end = nullptr;
+            max_regress = std::strtod(text.c_str(), &end);
+            if (end == nullptr || *end != '\0' || max_regress < 0)
+                usage();
+        } else if (arg == "--strict-fingerprint") {
+            strict_fingerprint = true;
+        } else if (startsWith(arg, "-")) {
+            usage();
+        } else if (old_path.empty()) {
+            old_path = arg;
+        } else if (new_path.empty()) {
+            new_path = arg;
+        } else {
+            usage();
+        }
+    }
+    if (old_path.empty() || new_path.empty())
+        usage();
+
+    Artifact old_run;
+    Artifact new_run;
+    try {
+        old_run = loadArtifact(old_path);
+        new_run = loadArtifact(new_path);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "rapid-bench-diff: %s\n", error.what());
+        return 2;
+    }
+
+    std::printf("bench-diff: %s (git %s, host %s)\n"
+                "        vs %s (git %s, host %s)\n",
+                old_run.path.c_str(), old_run.git.c_str(),
+                old_run.fingerprint.c_str(), new_run.path.c_str(),
+                new_run.git.c_str(), new_run.fingerprint.c_str());
+
+    const bool comparable =
+        old_run.fingerprint == new_run.fingerprint &&
+        old_run.fingerprint != "unknown";
+
+    std::printf("%-44s %10s %10s %8s\n", "metric", "old", "new",
+                "delta");
+    std::vector<std::string> regressions;
+    size_t compared = 0;
+    for (const auto &[key, old_value] : old_run.metrics) {
+        const double *new_value = findMetric(new_run, key);
+        if (new_value == nullptr) {
+            std::printf("%-44s %10.1f %10s %8s\n", key.c_str(),
+                        old_value, "-", "gone");
+            continue;
+        }
+        ++compared;
+        const double delta =
+            old_value > 0 ? (*new_value - old_value) / old_value : 0;
+        const bool regressed =
+            old_value > 0 && *new_value < old_value * (1 - max_regress);
+        std::printf("%-44s %10.1f %10.1f %+7.1f%%%s\n", key.c_str(),
+                    old_value, *new_value, delta * 100,
+                    regressed ? "  << REGRESSION" : "");
+        if (regressed)
+            regressions.push_back(key);
+    }
+    for (const auto &[key, new_value] : new_run.metrics) {
+        if (findMetric(old_run, key) == nullptr) {
+            std::printf("%-44s %10s %10.1f %8s\n", key.c_str(), "-",
+                        new_value, "new");
+        }
+    }
+
+    if (compared == 0) {
+        std::fprintf(stderr, "rapid-bench-diff: no comparable metrics "
+                             "between the two artifacts\n");
+        return 2;
+    }
+
+    if (!comparable) {
+        std::fprintf(
+            stderr,
+            "rapid-bench-diff: host fingerprints differ (%s vs %s) — "
+            "throughput not comparable%s\n",
+            old_run.fingerprint.c_str(), new_run.fingerprint.c_str(),
+            strict_fingerprint ? "" : "; regressions not enforced");
+        return strict_fingerprint ? 1 : 0;
+    }
+    if (!regressions.empty()) {
+        std::fprintf(stderr,
+                     "rapid-bench-diff: %zu metric(s) regressed more "
+                     "than %.0f%%:\n",
+                     regressions.size(), max_regress * 100);
+        for (const std::string &key : regressions)
+            std::fprintf(stderr, "  %s\n", key.c_str());
+        return 1;
+    }
+    std::printf("bench-diff: %zu metric(s) within %.0f%% of baseline\n",
+                compared, max_regress * 100);
+    return 0;
+}

@@ -51,13 +51,22 @@
  * `--trace[=file.json]` records pipeline spans, writes Chrome
  * trace_event JSON when a file is given, and prints the phase-time
  * tree to stderr.  RAPID_STATS=<file> / RAPID_TRACE=<file> in the
- * environment are the flag-less fallback.
+ * environment are the flag-less fallback.  `run --listen=PORT`
+ * (RAPID_LISTEN) additionally serves /metrics, /healthz, and
+ * /profilez over HTTP on 127.0.0.1 for the stream's duration, with
+ * live sim.* counters; every build/run appends one line to the flight
+ * recorder (obs/recorder.h), and SIGINT/SIGTERM flush staged
+ * telemetry before exiting 128+signo.
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "anml/anml.h"
 #include "ap/image.h"
@@ -72,8 +81,10 @@
 #include "lang/codegen.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -120,10 +131,33 @@ struct Options {
     unsigned shards = 0;
     /** Parallel engine: worker count (0 = RAPID_THREADS / hardware). */
     unsigned threads = 0;
+    /** --listen=PORT (RAPID_LISTEN): serve /metrics for the run's
+     *  duration; -1 = off, 0 = ephemeral port. */
+    int listen = -1;
 };
 
 /** Device execution profile of the `run` command (JSON), if any. */
 std::string g_profileJson;
+
+/** Flight-recorder line under construction for this invocation. */
+obs::FlightRecord g_flight;
+/** Append g_flight at exit?  (Only `build` and `run` journal.) */
+bool g_flightWanted = false;
+
+/** Parse a --listen port; @throws rapid::Error on junk. */
+int
+parseListen(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        throw Error("--listen expects a port number, got '" + text +
+                    "'");
+    }
+    unsigned long value = std::stoul(text);
+    if (value > 65535)
+        throw Error("--listen port out of range: " + text);
+    return static_cast<int>(value);
+}
 
 /** Parse a --shards value; @throws rapid::Error on junk. */
 unsigned
@@ -170,7 +204,8 @@ usage()
         "[--engine=scalar|batch|sharded|parallel]\n"
         "              [--shards=N] [--threads=N] [--image=x.apimg] "
         "[--cache-dir=DIR]\n"
-        "              [--stats=file.json] [--trace[=file.json]]\n");
+        "              [--stats=file.json] [--trace[=file.json]] "
+        "[--listen=PORT]\n");
     std::exit(2);
 }
 
@@ -239,6 +274,11 @@ parseOptions(int argc, char **argv)
         else if (startsWith(arg, "--cache-dir="))
             options.cacheDir =
                 arg.substr(std::string("--cache-dir=").size());
+        else if (arg == "--listen")
+            options.listen = parseListen(next());
+        else if (startsWith(arg, "--listen="))
+            options.listen = parseListen(
+                arg.substr(std::string("--listen=").size()));
         else if (!startsWith(arg, "-") && options.program.empty())
             options.program = arg;
         else
@@ -246,6 +286,12 @@ parseOptions(int argc, char **argv)
     }
     if (options.cacheDir.empty())
         options.cacheDir = host::CompileCache::dirFromEnv();
+    if (options.listen < 0) {
+        if (const char *env = std::getenv("RAPID_LISTEN")) {
+            if (*env != '\0')
+                options.listen = parseListen(env);
+        }
+    }
     // `run --image=x.apimg` needs no program; everything else does.
     if (options.program.empty() &&
         !(options.command == "run" && !options.imagePath.empty())) {
@@ -416,7 +462,38 @@ withExtension(const std::string &path, const std::string &ext)
 int
 streamReports(const Options &options, host::Device &device)
 {
+    // --listen: serve /metrics, /healthz, /profilez for the run's
+    // duration.  Live scrapes need the registry mirroring that stats
+    // mode provides, so listening implies stats collection (without a
+    // --stats file nothing is written at exit).
+    obs::MetricsServer server;
+    if (options.listen >= 0) {
+        obs::setStatsEnabled(true);
+        server.setCollector([&device] { device.publishLive(); });
+        server.setProfileSource([&device] {
+            return device.stats().toJson();
+        });
+        std::string error;
+        if (!server.start(static_cast<uint16_t>(options.listen),
+                          &error)) {
+            throw Error("--listen: " + error);
+        }
+        std::fprintf(stderr, "serving metrics at %s/metrics\n",
+                     server.url().c_str());
+    }
+
+    g_flight.engine = host::engineName(device.engine());
+    g_flight.kernel = device.kernelName();
+    g_flight.threads = options.threads;
+
     std::string input = loadInput(options);
+    g_flight.inputBytes = input.size();
+    // Quiescent point: everything is configured, the stream is about
+    // to start — stage telemetry so a fatal signal mid-stream still
+    // leaves stats/trace files and a flight-recorder line.
+    obs::stageTelemetrySnapshot();
+    obs::FlightRecorder::instance().stage(g_flight);
+
     auto reports = device.run(input);
     for (const host::HostReport &report : reports) {
         std::printf("%llu\t%s\t%s\n",
@@ -429,14 +506,49 @@ streamReports(const Options &options, host::Device &device)
         std::fprintf(stderr, "engine: sharded over %zu shard(s)\n",
                      device.shardCount());
     }
+    g_flight.shards = static_cast<unsigned>(device.shardCount());
+    g_flight.reports = reports.size();
     if (obs::statsEnabled())
         g_profileJson = device.stats().toJson();
+
+    // Post-stream quiescent point: re-stage with the final counts so
+    // a signal during the linger window journals the whole run.
+    obs::stageTelemetrySnapshot();
+    obs::FlightRecorder::instance().stage(g_flight);
+
+    if (server.running()) {
+        // Keep the scrape endpoint up briefly after the stream ends so
+        // out-of-process collectors can take a final sample; tests use
+        // RAPID_LISTEN_LINGER_MS to hold the window open.
+        unsigned linger_ms = 0;
+        if (const char *env = std::getenv("RAPID_LISTEN_LINGER_MS")) {
+            char *end = nullptr;
+            unsigned long parsed = std::strtoul(env, &end, 10);
+            if (end != nullptr && *end == '\0')
+                linger_ms = static_cast<unsigned>(
+                    std::min(parsed, 600000ul));
+        }
+        if (linger_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(linger_ms));
+        }
+        server.stop();
+    }
     return 0;
 }
 
 int
 run(const Options &options)
 {
+    // `build` and `run` journal to the flight recorder (exit code and
+    // wall time land in main, after this returns).
+    if (options.command == "run" || options.command == "build") {
+        g_flightWanted = true;
+        g_flight.command = options.command;
+        g_flight.program = options.program.empty() ? options.imagePath
+                                                   : options.program;
+    }
+
     // Precompiled image (--image= or a positional .apimg): nothing to
     // compile — load, configure, stream.
     if (options.command == "run") {
@@ -445,6 +557,8 @@ run(const Options &options)
             image_path = options.program;
         if (!image_path.empty()) {
             ap::DesignImage image = ap::loadImageFile(image_path);
+            g_flight.program = image_path;
+            g_flight.sourceKey = image.sourceHash;
             host::Device device(image, options.engine, options.shards,
                                 options.threads);
             return streamReports(options, device);
@@ -458,6 +572,7 @@ run(const Options &options)
     // span and the path-qualified diagnostics.
     if (options.command == "run" && ap::looksLikeImage(source)) {
         ap::DesignImage image = ap::loadImageFile(options.program);
+        g_flight.sourceKey = image.sourceHash;
         host::Device device(image, options.engine, options.shards,
                                 options.threads);
         return streamReports(options, device);
@@ -478,6 +593,7 @@ run(const Options &options)
         if (!options.argsPath.empty())
             args_text = readFile(options.argsPath);
         key = host::cacheKey(source, args_text, compile_options);
+        g_flight.sourceKey = key;
     }
 
     if (options.command == "run" && !options.cacheDir.empty()) {
@@ -527,6 +643,9 @@ run(const Options &options)
     }
 
     if (options.command == "build") {
+        // Stage a journal line before the expensive offline pipeline:
+        // an interrupted build still leaves its trace.
+        obs::FlightRecorder::instance().stage(g_flight);
         // The full offline pipeline — optimization, tessellation, and
         // place-and-route — serialized into one binary design image.
         ap::DesignImage image = host::buildImage(compiled, key);
@@ -618,8 +737,12 @@ run(const Options &options)
 int
 main(int argc, char **argv)
 {
+    const auto started = std::chrono::steady_clock::now();
     Options options = parseOptions(argc, argv);
     setupTelemetry(options);
+    // SIGINT/SIGTERM flush whatever telemetry has been staged at the
+    // quiescent points below, then exit 128+signo.
+    obs::installSignalFlush();
     int code = 0;
     try {
         code = run(options);
@@ -631,5 +754,13 @@ main(int argc, char **argv)
         code = 1;
     }
     flushTelemetry();
+    if (g_flightWanted) {
+        g_flight.exitCode = code;
+        g_flight.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        obs::FlightRecorder::instance().append(g_flight);
+    }
     return code;
 }

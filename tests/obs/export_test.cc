@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Prometheus exporter and metrics endpoint tests.
+ *
+ * Three layers, innermost out:
+ *
+ *  - the text renderer: dotted registry names map to the documented
+ *    Prometheus names (`sim.cycles` → `rapid_sim_cycles_total`), and
+ *    the output round-trips through the strict exposition-format
+ *    validator (which the tests also exercise on malformed input);
+ *  - the in-process MetricsServer: /metrics, /healthz, /profilez over
+ *    a real socket, plus the scrape-while-streaming contract — a
+ *    concurrent scrape during live device runs sees growing sim.*
+ *    counters and the end-of-run registry totals exactly match the
+ *    device's accumulated profile (no double counting from live
+ *    publication);
+ *  - the real rapidc binary under `run --listen=0`: port discovery
+ *    via RAPID_PORT_FILE, a valid exposition mid-run, exit 143 with
+ *    exactly one interrupted flight-recorder line on SIGTERM, and
+ *    exactly one non-interrupted line on a normal exit.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "obs/export.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::obs {
+namespace {
+
+/** Minimal HTTP GET against 127.0.0.1:@p port; returns the body and
+ *  (optionally) the status line. */
+std::string
+httpGet(uint16_t port, const std::string &path,
+        std::string *status_line = nullptr)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+        response.append(buffer, static_cast<size_t>(n));
+    ::close(fd);
+    size_t head_end = response.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return "";
+    if (status_line != nullptr) {
+        size_t eol = response.find("\r\n");
+        *status_line = response.substr(0, eol);
+    }
+    return response.substr(head_end + 4);
+}
+
+class ExportTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        MetricsRegistry::instance().clear();
+        setStatsEnabled(false);
+    }
+    void TearDown() override
+    {
+        setStatsEnabled(false);
+        MetricsRegistry::instance().clear();
+    }
+};
+
+TEST_F(ExportTest, PromNameMapsDottedNames)
+{
+    EXPECT_EQ(promName("sim.cycles"), "rapid_sim_cycles");
+    EXPECT_EQ(promName("phase.parse_ms"), "rapid_phase_parse_ms");
+    EXPECT_EQ(promName("obs.http.requests"),
+              "rapid_obs_http_requests");
+}
+
+TEST_F(ExportTest, LabelEscaping)
+{
+    EXPECT_EQ(promLabelEscape("plain"), "plain");
+    EXPECT_EQ(promLabelEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(promLabelEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(promLabelEscape("a\nb"), "a\\nb");
+}
+
+TEST_F(ExportTest, RenderedExpositionIsValidAndComplete)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.cycles").add(123);
+    registry.gauge("pnr.blocks").set(4.5);
+    registry.histogram("phase.parse_ms").record(0.5);
+    registry.histogram("phase.parse_ms").record(1.5);
+
+    const std::string text = renderPrometheus();
+    std::string error;
+    EXPECT_TRUE(validExposition(text, &error)) << error << "\n" << text;
+
+    // The documented naming map: sim.cycles -> rapid_sim_cycles_total.
+    EXPECT_NE(text.find("# TYPE rapid_sim_cycles_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("rapid_sim_cycles_total 123\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE rapid_pnr_blocks gauge"),
+              std::string::npos);
+    // Histograms export as summaries with quantiles + _sum/_count.
+    EXPECT_NE(text.find("# TYPE rapid_phase_parse_ms summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("rapid_phase_parse_ms{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("rapid_phase_parse_ms{quantile=\"0.95\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("rapid_phase_parse_ms_sum 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("rapid_phase_parse_ms_count 2\n"),
+              std::string::npos);
+    // Build/host provenance rides along on every scrape.
+    EXPECT_NE(text.find("rapid_build_info{version="),
+              std::string::npos);
+}
+
+TEST_F(ExportTest, EmptyRegistryStillRendersValidExposition)
+{
+    const std::string text = renderPrometheus();
+    std::string error;
+    EXPECT_TRUE(validExposition(text, &error)) << error;
+    EXPECT_NE(text.find("rapid_build_info"), std::string::npos);
+}
+
+TEST_F(ExportTest, ValidatorRejectsMalformedExpositions)
+{
+    std::string error;
+    // Missing trailing newline.
+    EXPECT_FALSE(validExposition("# TYPE a counter\na 1", &error));
+    // Sample before any TYPE line.
+    EXPECT_FALSE(validExposition("a 1\n", &error));
+    // Sample outside the most recent family.
+    EXPECT_FALSE(validExposition(
+        "# TYPE a counter\nb 1\n", &error));
+    // Unknown metric kind.
+    EXPECT_FALSE(validExposition("# TYPE a thing\na 1\n", &error));
+    // Duplicate TYPE for the same family.
+    EXPECT_FALSE(validExposition(
+        "# TYPE a counter\na 1\n# TYPE a counter\na 2\n", &error));
+    // Bad escape in a label value.
+    EXPECT_FALSE(validExposition(
+        "# TYPE a counter\na{l=\"x\\q\"} 1\n", &error));
+    // Unterminated label set.
+    EXPECT_FALSE(validExposition(
+        "# TYPE a counter\na{l=\"x\" 1\n", &error));
+    // Malformed value.
+    EXPECT_FALSE(validExposition(
+        "# TYPE a counter\na one\n", &error));
+    // Metric name starting with a digit.
+    EXPECT_FALSE(validExposition("# TYPE 9a counter\n9a 1\n", &error));
+
+    // And the happy path for contrast, including summary suffixes.
+    EXPECT_TRUE(validExposition(
+        "# HELP s help text\n# TYPE s summary\n"
+        "s{quantile=\"0.5\"} 1.5\ns_sum 3\ns_count 2\n",
+        &error))
+        << error;
+}
+
+TEST_F(ExportTest, ServerServesHealthzMetricsAndProfilez)
+{
+    MetricsRegistry::instance().counter("sim.cycles").add(7);
+    MetricsServer server;
+    server.setProfileSource(
+        [] { return std::string("{\"cycles\": 7}"); });
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    ASSERT_NE(server.port(), 0);
+
+    std::string status;
+    EXPECT_EQ(httpGet(server.port(), "/healthz", &status), "ok\n");
+    EXPECT_NE(status.find("200"), std::string::npos);
+
+    const std::string metrics =
+        httpGet(server.port(), "/metrics", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    std::string validation_error;
+    EXPECT_TRUE(validExposition(metrics, &validation_error))
+        << validation_error;
+    EXPECT_NE(metrics.find("rapid_sim_cycles_total 7"),
+              std::string::npos);
+
+    const std::string profile =
+        httpGet(server.port(), "/profilez", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    EXPECT_TRUE(json::valid(profile));
+
+    httpGet(server.port(), "/nope", &status);
+    EXPECT_NE(status.find("404"), std::string::npos);
+
+    EXPECT_GE(server.requestCount(), 4u);
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST_F(ExportTest, CollectorRunsBeforeEachScrape)
+{
+    MetricsServer server;
+    std::atomic<int> collected{0};
+    server.setCollector([&collected] { ++collected; });
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    httpGet(server.port(), "/metrics");
+    httpGet(server.port(), "/metrics");
+    httpGet(server.port(), "/healthz"); // liveness must not collect
+    EXPECT_EQ(collected.load(), 2);
+    server.stop();
+}
+
+TEST_F(ExportTest, ScrapeWhileStreamingSeesLiveCounters)
+{
+    // A device streaming on one thread, a scraper hitting /metrics
+    // from another: scrapes must observe growing sim.* counters
+    // while runs are in flight, every response must be strictly
+    // valid, and after the stream ends the registry total must equal
+    // the device's accumulated profile exactly (live publication must
+    // not double-count).
+    lang::Program program = lang::parseProgram(R"(
+network () { { 'a' == input(); 'b' == input(); report; } }
+)");
+    auto compiled = lang::compileProgram(program, {});
+    host::Device device(std::move(compiled.automaton),
+                        host::Engine::Batch);
+    setStatsEnabled(true);
+
+    MetricsServer server;
+    server.setCollector([&device] { device.publishLive(); });
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+
+    Rng rng(42);
+    const std::string input = rng.string(1 << 20, "ab");
+    std::atomic<bool> stop{false};
+    std::thread streamer([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            device.run(input);
+    });
+
+    // Scrape until the counters move (first runs may still be
+    // warming up), validating every exposition along the way.
+    uint64_t last_cycles = 0;
+    bool saw_growth = false;
+    for (int i = 0; i < 500 && !saw_growth; ++i) {
+        const std::string text = httpGet(server.port(), "/metrics");
+        ASSERT_FALSE(text.empty());
+        std::string validation_error;
+        ASSERT_TRUE(validExposition(text, &validation_error))
+            << validation_error;
+        // Anchor to a line start — a bare find() would match the
+        // "# HELP rapid_sim_cycles_total ..." comment first.
+        size_t pos = text.find("\nrapid_sim_cycles_total ");
+        if (pos != std::string::npos) {
+            uint64_t cycles = std::strtoull(
+                text.c_str() + pos +
+                    std::strlen("\nrapid_sim_cycles_total "),
+                nullptr, 10);
+            if (cycles > last_cycles && last_cycles > 0)
+                saw_growth = true;
+            last_cycles = cycles;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true);
+    streamer.join();
+    EXPECT_TRUE(saw_growth) << "scrapes never saw counters move";
+
+    // Settled end state: registry total == accumulated profile,
+    // exactly — live publication reconciled, nothing counted twice.
+    device.publishLive();
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .counter("sim.cycles")
+                  .value(),
+              device.stats().cycles);
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .counter("sim.reports")
+                  .value(),
+              device.stats().reports);
+    server.stop();
+}
+
+/*
+ * Subprocess tests against the real rapidc binary.
+ */
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+struct RapidcRun {
+    pid_t pid = -1;
+    std::string portFile;
+    std::string flightLog;
+};
+
+/** Launch `rapidc run --listen=0` on exact_dna with @p linger_ms. */
+RapidcRun
+launchRapidc(const std::string &tag, unsigned linger_ms)
+{
+    RapidcRun run;
+    run.portFile = "export_test_port_" + tag;
+    run.flightLog = "export_test_flight_" + tag + ".jsonl";
+    std::remove(run.portFile.c_str());
+    std::remove(run.flightLog.c_str());
+
+    const std::string input_path = "export_test_input_" + tag + ".txt";
+    {
+        std::ofstream out(input_path, std::ios::binary);
+        for (int i = 0; i < 5000; ++i)
+            out << "ACGTTGCAACGT";
+    }
+
+    run.pid = fork();
+    if (run.pid == 0) {
+        setenv("RAPID_PORT_FILE", run.portFile.c_str(), 1);
+        setenv("RAPID_FLIGHTLOG", run.flightLog.c_str(), 1);
+        setenv("RAPID_LISTEN_LINGER_MS",
+               std::to_string(linger_ms).c_str(), 1);
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            dup2(devnull, 1);
+            dup2(devnull, 2);
+        }
+        const std::string root = RAPID_SOURCE_DIR;
+        const std::string program = root + "/workloads/exact_dna.rapid";
+        const std::string args = root + "/workloads/exact_dna.args";
+        execl(RAPID_RAPIDC_PATH, "rapidc", "run", program.c_str(),
+              "--args", args.c_str(), "--input", input_path.c_str(),
+              "--engine=batch", "--listen=0", nullptr);
+        _exit(127);
+    }
+    return run;
+}
+
+/** Poll @p path until it holds a port number (or ~5 s pass). */
+uint16_t
+awaitPort(const std::string &path)
+{
+    for (int i = 0; i < 500; ++i) {
+        std::string text = readFileOrEmpty(path);
+        if (!text.empty()) {
+            unsigned long port = std::strtoul(text.c_str(), nullptr, 10);
+            if (port > 0 && port <= 65535)
+                return static_cast<uint16_t>(port);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return 0;
+}
+
+std::vector<std::string>
+nonEmptyLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    for (const std::string &line : split(text, '\n')) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(RapidcListenTest, ServesMetricsAndJournalsOnSigterm)
+{
+    RapidcRun run = launchRapidc("sigterm", 30000);
+    ASSERT_GT(run.pid, 0);
+    uint16_t port = awaitPort(run.portFile);
+    ASSERT_NE(port, 0) << "rapidc never wrote its port file";
+
+    std::string status;
+    EXPECT_EQ(httpGet(port, "/healthz", &status), "ok\n");
+
+    // The stream is tiny, so by scrape time the run has settled into
+    // the linger window — counters must be populated and valid.
+    std::string metrics;
+    for (int i = 0; i < 300; ++i) {
+        metrics = httpGet(port, "/metrics");
+        if (metrics.find("rapid_sim_cycles_total") !=
+                std::string::npos &&
+            metrics.find("rapid_sim_cycles_total 0\n") ==
+                std::string::npos) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::string error;
+    EXPECT_TRUE(validExposition(metrics, &error)) << error;
+    EXPECT_NE(metrics.find("rapid_sim_cycles_total"),
+              std::string::npos);
+
+    const std::string profile = httpGet(port, "/profilez");
+    EXPECT_TRUE(json::valid(profile));
+
+    // SIGTERM during the linger window: staged-telemetry flush path.
+    ASSERT_EQ(kill(run.pid, SIGTERM), 0);
+    int wait_status = 0;
+    ASSERT_EQ(waitpid(run.pid, &wait_status, 0), run.pid);
+    ASSERT_TRUE(WIFEXITED(wait_status))
+        << "handler should _Exit, not die by signal";
+    EXPECT_EQ(WEXITSTATUS(wait_status), 128 + SIGTERM);
+
+    // Exactly one flight-recorder line, well-formed, interrupted.
+    auto lines = nonEmptyLines(readFileOrEmpty(run.flightLog));
+    ASSERT_EQ(lines.size(), 1u);
+    json::Value record = json::parse(lines[0]);
+    ASSERT_TRUE(record.isObject());
+    EXPECT_EQ(record.find("command")->string, "run");
+    EXPECT_EQ(record.find("engine")->string, "batch");
+    EXPECT_TRUE(record.find("interrupted")->boolean);
+    ASSERT_NE(record.find("host"), nullptr);
+    EXPECT_FALSE(record.find("host")->find("id")->string.empty());
+}
+
+TEST(RapidcListenTest, NormalExitJournalsExactlyOneLine)
+{
+    RapidcRun run = launchRapidc("normal", 0);
+    ASSERT_GT(run.pid, 0);
+    int wait_status = 0;
+    ASSERT_EQ(waitpid(run.pid, &wait_status, 0), run.pid);
+    ASSERT_TRUE(WIFEXITED(wait_status));
+    EXPECT_EQ(WEXITSTATUS(wait_status), 0);
+
+    auto lines = nonEmptyLines(readFileOrEmpty(run.flightLog));
+    ASSERT_EQ(lines.size(), 1u);
+    json::Value record = json::parse(lines[0]);
+    ASSERT_TRUE(record.isObject());
+    EXPECT_EQ(record.find("command")->string, "run");
+    EXPECT_FALSE(record.find("interrupted")->boolean);
+    EXPECT_EQ(record.find("exit_code")->number, 0.0);
+    const json::Value *counters = record.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("sim.cycles"), nullptr);
+}
+
+} // namespace
+} // namespace rapid::obs

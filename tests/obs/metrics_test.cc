@@ -1,8 +1,11 @@
 /**
  * @file
- * Metrics registry unit tests: concurrent counter correctness, exact
- * histogram quantiles against a sorted reference, and JSON output
- * well-formedness (checked with the in-repo parser, support/json.h).
+ * Metrics registry unit tests: concurrent counter correctness,
+ * log-bucketed histogram quantiles within the documented 1% relative
+ * error of a sorted reference, bucket-boundary pinning (the HDR-style
+ * bucketing scheme is part of the histogram's contract), and JSON
+ * output well-formedness (checked with the in-repo parser,
+ * support/json.h).
  */
 #include <gtest/gtest.h>
 
@@ -86,17 +89,104 @@ TEST_F(MetricsTest, HistogramQuantilesMatchSortedReference)
 
     HistogramSnapshot snap = histogram.snapshot();
     EXPECT_EQ(snap.count, samples.size());
+    // count/sum/min/max/mean stay exact; quantiles come from log
+    // buckets and carry the documented < 1% relative error.
     EXPECT_DOUBLE_EQ(snap.min,
                      *std::min_element(samples.begin(), samples.end()));
     EXPECT_DOUBLE_EQ(snap.max,
                      *std::max_element(samples.begin(), samples.end()));
-    EXPECT_DOUBLE_EQ(snap.p50, referenceQuantile(samples, 0.50));
-    EXPECT_DOUBLE_EQ(snap.p95, referenceQuantile(samples, 0.95));
+    const double p50_ref = referenceQuantile(samples, 0.50);
+    const double p95_ref = referenceQuantile(samples, 0.95);
+    EXPECT_NEAR(snap.p50, p50_ref, p50_ref * 0.01);
+    EXPECT_NEAR(snap.p95, p95_ref, p95_ref * 0.01);
 
     double sum = 0;
     for (double sample : samples)
         sum += sample;
     EXPECT_NEAR(snap.mean, sum / samples.size(), 1e-9);
+}
+
+TEST_F(MetricsTest, HistogramQuantileErrorBoundedAcrossScales)
+{
+    // The error bound must hold over many orders of magnitude, which
+    // is exactly what store-every-sample never had to prove.
+    Histogram &histogram =
+        MetricsRegistry::instance().histogram("test.scales");
+    std::vector<double> samples;
+    uint64_t state = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 5000; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Log-uniform over roughly [1e-6, 1e6].
+        const double exponent =
+            static_cast<double>(state % 12000) / 1000.0 - 6.0;
+        samples.push_back(std::pow(10.0, exponent));
+    }
+    for (double sample : samples)
+        histogram.record(sample);
+
+    HistogramSnapshot snap = histogram.snapshot();
+    for (auto [q, got] : {std::pair<double, double>{0.50, snap.p50},
+                          {0.95, snap.p95}}) {
+        const double ref = referenceQuantile(samples, q);
+        EXPECT_NEAR(got, ref, ref * 0.01)
+            << "quantile " << q << " off by more than 1%";
+    }
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesPinned)
+{
+    // The bucketing scheme is part of the histogram's contract —
+    // changing kGrowth or the index rule silently changes every
+    // recorded quantile, so pin the boundaries explicitly.
+    EXPECT_DOUBLE_EQ(Histogram::bucketLowerBound(0), 1.0);
+    EXPECT_EQ(Histogram::bucketIndex(1.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1.01), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1.02), 1);
+    // log(0.5)/log(1.02) = -35.003 -> floor = -36.
+    EXPECT_EQ(Histogram::bucketIndex(0.5), -36);
+    // Adjacent bucket bounds differ by exactly the growth factor.
+    EXPECT_NEAR(Histogram::bucketLowerBound(101) /
+                    Histogram::bucketLowerBound(100),
+                Histogram::kGrowth, 1e-12);
+    // Extreme magnitudes clamp instead of overflowing the index range.
+    EXPECT_EQ(Histogram::bucketIndex(1e300),
+              Histogram::kMaxBucketIndex);
+    EXPECT_EQ(Histogram::bucketIndex(1e-300),
+              -Histogram::kMaxBucketIndex);
+}
+
+TEST_F(MetricsTest, HistogramMemoryBounded)
+{
+    // A million samples over three decades must occupy only the
+    // buckets the dynamic range needs, not one slot per sample.
+    Histogram &histogram =
+        MetricsRegistry::instance().histogram("test.bounded");
+    uint64_t state = 1234567;
+    for (int i = 0; i < 1000000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        histogram.record(1.0 + static_cast<double>(state % 100000));
+    }
+    // Range [1, 100001): ~ log(1e5)/log(1.02) ≈ 582 buckets max.
+    EXPECT_LE(histogram.bucketCount(), 600u);
+    EXPECT_EQ(histogram.snapshot().count, 1000000u);
+}
+
+TEST_F(MetricsTest, HistogramZeroAndNegativeSamples)
+{
+    Histogram &histogram =
+        MetricsRegistry::instance().histogram("test.nonpositive");
+    histogram.record(0.0);
+    histogram.record(-5.0);
+    histogram.record(10.0);
+    HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_DOUBLE_EQ(snap.min, -5.0);
+    EXPECT_DOUBLE_EQ(snap.max, 10.0);
+    EXPECT_DOUBLE_EQ(snap.sum, 5.0);
+    // Rank 1 of 3 lands in the underflow bucket -> exact minimum side.
+    EXPECT_LE(snap.p50, 0.0);
 }
 
 TEST_F(MetricsTest, HistogramSingleSample)

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Multi-threaded tracing tests (satellite of the observability plane):
+ * spans recorded concurrently from many threads — both directed worker
+ * threads and the real sharded / parallel engines — must keep the
+ * process-wide buffer coherent: every event carries its recording
+ * thread's dense tid, per-tid completion times are monotonic (a thread
+ * records spans innermost-first, in end-time order), nested spans stay
+ * inside an enclosing span of smaller depth on the same tid, and the
+ * Chrome trace_event export remains valid JSON under concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ap/placement.h"
+#include "ap/sharding.h"
+#include "host/device.h"
+#include "host/sharded.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/thread.h"
+
+namespace rapid::obs {
+namespace {
+
+class TraceMtTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        Tracer::instance().clear();
+        MetricsRegistry::instance().clear();
+        setStatsEnabled(false);
+        setTracingEnabled(true);
+    }
+    void TearDown() override
+    {
+        setTracingEnabled(false);
+        setStatsEnabled(false);
+        Tracer::instance().clear();
+        MetricsRegistry::instance().clear();
+    }
+};
+
+/** Per-tid invariants over the whole span buffer: monotonic
+ *  completion order and depth containment. */
+void
+checkPerThreadCoherence(const std::vector<TraceEvent> &events)
+{
+    // Buffer order is global record order (one mutex); the per-tid
+    // subsequence must therefore be ordered by completion time.
+    std::map<uint32_t, uint64_t> last_end;
+    for (const TraceEvent &event : events) {
+        const uint64_t end = event.startUs + event.durationUs;
+        auto [it, fresh] = last_end.emplace(event.tid, end);
+        if (!fresh) {
+            EXPECT_LE(it->second, end)
+                << "tid " << event.tid
+                << " recorded spans out of completion order";
+            it->second = end;
+        }
+    }
+
+    // Every nested span is contained in a span of smaller depth on
+    // the same tid (its transitive parent records later, at scope
+    // exit, so scan the remainder of the buffer).
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &child = events[i];
+        if (child.depth == 0)
+            continue;
+        bool contained = false;
+        for (size_t j = i + 1; j < events.size() && !contained; ++j) {
+            const TraceEvent &parent = events[j];
+            contained = parent.tid == child.tid &&
+                        parent.depth < child.depth &&
+                        parent.startUs <= child.startUs &&
+                        parent.startUs + parent.durationUs >=
+                            child.startUs + child.durationUs;
+        }
+        EXPECT_TRUE(contained)
+            << child.name << " (depth " << child.depth << ", tid "
+            << child.tid << ") has no enclosing span";
+    }
+}
+
+void
+checkChromeJson(size_t expected_events)
+{
+    std::string text = Tracer::instance().toChromeJson();
+    std::string error;
+    ASSERT_TRUE(json::valid(text, &error)) << error;
+    json::Value doc = json::parse(text);
+    const json::Value *trace_events = doc.find("traceEvents");
+    ASSERT_NE(trace_events, nullptr);
+    ASSERT_TRUE(trace_events->isArray());
+    EXPECT_EQ(trace_events->array.size(), expected_events);
+    for (const json::Value &event : trace_events->array) {
+        EXPECT_EQ(event.find("ph")->string, "X");
+        ASSERT_NE(event.find("tid"), nullptr);
+        EXPECT_GE(event.find("tid")->number, 1.0);
+    }
+}
+
+TEST_F(TraceMtTest, ConcurrentSpansKeepPerThreadOrder)
+{
+    // Directed load: 4 threads, each recording 8 nested outer/inner
+    // pairs while the others do the same.
+    constexpr int kThreads = 4;
+    constexpr int kPairs = 8;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < kPairs; ++i) {
+                Span outer("mt_outer", "test");
+                Span inner("mt_inner", "test");
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(),
+              static_cast<size_t>(kThreads) * kPairs * 2);
+
+    // All four workers show up as distinct dense tids, and each
+    // recorded its full set of spans.
+    std::map<uint32_t, int> per_tid;
+    for (const TraceEvent &event : events)
+        ++per_tid[event.tid];
+    EXPECT_EQ(per_tid.size(), static_cast<size_t>(kThreads));
+    for (const auto &[tid, count] : per_tid)
+        EXPECT_EQ(count, kPairs * 2) << "tid " << tid;
+
+    checkPerThreadCoherence(events);
+    checkChromeJson(events.size());
+}
+
+TEST_F(TraceMtTest, ShardedEngineTracesFromWorkerThreads)
+{
+    // Four independent patterns → four connected components → four
+    // shards, executed with an explicit 4-thread pool that records
+    // "shard" spans on pool threads (distinct tids from the caller).
+    lang::Program program = lang::parseProgram(R"(
+network () {
+    { 'a' == input(); 'b' == input(); report; }
+    { 'c' == input(); 'd' == input(); report; }
+    { 'a' == input(); 'c' == input(); report; }
+    { 'b' == input(); 'd' == input(); report; }
+}
+)");
+    // Optimize off: cross-component welding would merge the four
+    // patterns into one shard.
+    lang::CompileOptions raw;
+    raw.optimize = false;
+    auto compiled = lang::compileProgram(program, {}, raw);
+
+    ap::PlacementOptions options;
+    options.refineEffort = 0;
+    ap::PlacementEngine placer({}, options);
+    ap::Sharder sharder;
+    host::ShardedExecutor executor(sharder.partition(
+        compiled.automaton, placer.place(compiled.automaton), 4));
+    ASSERT_EQ(executor.shardCount(), 4u);
+
+    const uint32_t caller_tid = currentThreadId();
+    Rng rng(7);
+    executor.run(rng.string(1 << 14, "abcd"), /*threads=*/4);
+
+    auto events = Tracer::instance().events();
+    ASSERT_FALSE(events.empty());
+
+    size_t shard_spans = 0;
+    std::set<uint32_t> shard_tids;
+    for (const TraceEvent &event : events) {
+        if (event.name == "shard") {
+            ++shard_spans;
+            shard_tids.insert(event.tid);
+        }
+    }
+    EXPECT_EQ(shard_spans, 4u) << "one span per shard";
+    // The pool threads are distinct from the calling thread.
+    EXPECT_EQ(shard_tids.count(caller_tid), 0u);
+
+    checkPerThreadCoherence(events);
+    checkChromeJson(events.size());
+}
+
+TEST_F(TraceMtTest, ParallelEngineTraceStaysCoherent)
+{
+    lang::Program program = lang::parseProgram(R"(
+network () { { 'a' == input(); 'b' == input(); report; } }
+)");
+    auto compiled = lang::compileProgram(program, {});
+    host::Device device(std::move(compiled.automaton),
+                        host::Engine::Parallel, /*shards=*/0,
+                        /*threads=*/4);
+
+    Rng rng(11);
+    device.run(rng.string(1 << 16, "ab"));
+
+    auto events = Tracer::instance().events();
+    ASSERT_FALSE(events.empty());
+    std::set<std::string> names;
+    for (const TraceEvent &event : events)
+        names.insert(event.name);
+    // The parallel engine's two phases both leave spans.
+    EXPECT_EQ(names.count("parallel_chunks"), 1u);
+    EXPECT_EQ(names.count("parallel_reconcile"), 1u);
+
+    checkPerThreadCoherence(events);
+    checkChromeJson(events.size());
+}
+
+} // namespace
+} // namespace rapid::obs

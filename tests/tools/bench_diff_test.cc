@@ -1,0 +1,159 @@
+/**
+ * @file
+ * rapid-bench-diff watchdog tests: the tool must pass an identity
+ * comparison, flag a synthetic 25% throughput drop with a nonzero
+ * exit, treat a host-fingerprint mismatch as warn-only (failure only
+ * under --strict-fingerprint), and report malformed or disjoint
+ * artifacts as usage errors — exercised end-to-end against the real
+ * binary over the JSON fixtures in tests/tools/.
+ *
+ * The binary path comes in via the RAPID_BENCH_DIFF_PATH compile
+ * definition, the fixtures via RAPID_SOURCE_DIR.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace rapid {
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(RAPID_SOURCE_DIR) + "/tests/tools/" + name;
+}
+
+/** Run rapid-bench-diff; returns its exit code and captures stdout +
+ *  stderr into @p output. */
+int
+runDiff(const std::string &arguments, std::string *output = nullptr)
+{
+    // Unique per test case: ctest runs these concurrently in one cwd.
+    const std::string out_path =
+        std::string("bench_diff_output_") +
+        ::testing::UnitTest::GetInstance()
+            ->current_test_info()
+            ->name() +
+        ".txt";
+    const std::string command = std::string(RAPID_BENCH_DIFF_PATH) +
+                                " " + arguments + " > " + out_path +
+                                " 2>&1";
+    int status = std::system(command.c_str());
+    if (output != nullptr) {
+        output->clear();
+        if (std::FILE *file = std::fopen(out_path.c_str(), "rb")) {
+            char buffer[4096];
+            size_t n;
+            while ((n = std::fread(buffer, 1, sizeof(buffer), file)) >
+                   0)
+                output->append(buffer, n);
+            std::fclose(file);
+        }
+    }
+    std::remove(out_path.c_str());
+    if (!WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+TEST(BenchDiff, IdentityComparisonPasses)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_new_identity.json"),
+                       &output);
+    EXPECT_EQ(code, 0) << output;
+    // Every joined workload × engine × kernel key shows up.
+    for (const char *key :
+         {"exact_dna.scalar_mbps", "exact_dna.batch_mbps",
+          "exact_dna.parallel_threads_mbps.4",
+          "exact_dna.kernel_mbps.avx2"}) {
+        EXPECT_NE(output.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(output.find("REGRESSION"), std::string::npos) << output;
+}
+
+TEST(BenchDiff, TwentyFivePercentDropFails)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_new_regressed.json"),
+                       &output);
+    EXPECT_EQ(code, 1) << output;
+    // Both synthetic drops (batch 640→480, parallel/4 2000→1480) are
+    // named; metrics within the allowance are not flagged.
+    EXPECT_NE(output.find("exact_dna.batch_mbps"), std::string::npos);
+    EXPECT_NE(output.find("exact_dna.parallel_threads_mbps.4"),
+              std::string::npos);
+    EXPECT_NE(output.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(output.find("regressed"), std::string::npos);
+}
+
+TEST(BenchDiff, LooserThresholdToleratesTheDrop)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_new_regressed.json") +
+                           " --max-regress=0.30",
+                       &output);
+    EXPECT_EQ(code, 0) << output;
+}
+
+TEST(BenchDiff, FingerprintMismatchWarnsButPasses)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_new_otherhost.json"),
+                       &output);
+    // The other-host numbers are far below baseline, but a different
+    // host's throughput is not a regression — warn-only.
+    EXPECT_EQ(code, 0) << output;
+    EXPECT_NE(output.find("fingerprints differ"), std::string::npos)
+        << output;
+}
+
+TEST(BenchDiff, StrictFingerprintTurnsMismatchIntoFailure)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_new_otherhost.json") +
+                           " --strict-fingerprint",
+                       &output);
+    EXPECT_EQ(code, 1) << output;
+    EXPECT_NE(output.find("fingerprints differ"), std::string::npos);
+}
+
+TEST(BenchDiff, MalformedArtifactIsAUsageError)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_malformed.json"),
+                       &output);
+    EXPECT_EQ(code, 2) << output;
+}
+
+TEST(BenchDiff, DisjointWorkloadsAreAUsageError)
+{
+    std::string output;
+    int code = runDiff(fixture("bench_old.json") + " " +
+                           fixture("bench_other_workload.json"),
+                       &output);
+    EXPECT_EQ(code, 2) << output;
+    EXPECT_NE(output.find("no comparable metrics"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingArgumentsAreAUsageError)
+{
+    EXPECT_EQ(runDiff(fixture("bench_old.json")), 2);
+    EXPECT_EQ(runDiff(fixture("bench_old.json") + " " +
+                      fixture("bench_new_identity.json") +
+                      " --max-regress=nope"),
+              2);
+}
+
+} // namespace
+} // namespace rapid
