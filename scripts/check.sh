@@ -69,6 +69,65 @@ if command -v curl > /dev/null 2>&1; then
 else
     echo "check.sh: curl not found; skipping live /metrics scrape"
 fi
+# Streaming match service: client parity, protocol robustness, soak,
+# hot reload, and the daemon lifecycle (tests/serve, label `serve`).
+run_stage ctest --test-dir build --output-on-failure -L serve
+
+# Daemon end-to-end: boot rapidd on a prebuilt image, stream one full
+# client session against the exact_dna golden, scrape /metrics off
+# the same port, then SIGTERM — clean shutdown is exit 143 (128+15)
+# plus exactly one flight-recorder line with command "serve".
+rapidd_stage() {
+    tmp=$(mktemp -d)
+    build/src/tools/rapidc build workloads/exact_dna.rapid \
+        --args workloads/exact_dna.args -o "$tmp/dna.apimg" \
+        > /dev/null 2>&1 || { rm -rf "$tmp"; return 1; }
+    RAPID_PORT_FILE="$tmp/port" RAPID_FLIGHTLOG="$tmp/flight.jsonl" \
+        build/src/tools/rapidd --image=dna="$tmp/dna.apimg" \
+        --listen=0 > /dev/null 2>&1 &
+    rapidd_pid=$!
+    port=""
+    tries=0
+    while [ $tries -lt 100 ]; do
+        port=$(cat "$tmp/port" 2>/dev/null)
+        [ -n "$port" ] && break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    ok=1
+    [ -n "$port" ] || ok=0
+    build/src/tools/rapidd client --port-file="$tmp/port" --name=dna \
+        --chunk=997 --input=tests/conformance/inputs/exact_dna.input \
+        2> /dev/null \
+        | diff -q tests/conformance/golden/workload_exact_dna.golden - \
+            > /dev/null || {
+        echo "check.sh: rapidd session diverges from the golden" >&2
+        ok=0
+    }
+    if command -v curl > /dev/null 2>&1; then
+        curl -fsS "http://127.0.0.1:$port/metrics" 2> /dev/null |
+            grep -q '^rapid_serve_sessions_opened_total ' || {
+            echo "check.sh: no serve.* counters on the shared port" >&2
+            ok=0
+        }
+    fi
+    kill -TERM "$rapidd_pid" 2> /dev/null
+    wait "$rapidd_pid"
+    code=$?
+    [ "$code" = 143 ] || {
+        echo "check.sh: rapidd exited $code on SIGTERM, want 143" >&2
+        ok=0
+    }
+    [ "$(grep -c '"command":"serve"' "$tmp/flight.jsonl" \
+        2> /dev/null)" = 1 ] || {
+        echo "check.sh: expected exactly one serve flight-log line" >&2
+        ok=0
+    }
+    rm -rf "$tmp"
+    [ "$ok" = 1 ]
+}
+run_stage rapidd_stage
+
 # Golden conformance: every engine reproduces the checked-in report
 # streams for all workloads and examples, including the .apimg image
 # path.

@@ -64,4 +64,46 @@ example motif_search
 example packet_inspection
 example fuzzy_dictionary
 
+# Serve cross-verify: replay every fresh workload golden through a
+# live rapidd session (odd chunk size, so FEED boundaries never align
+# with record boundaries).  A diff means the streaming service
+# diverges from the one-shot CLI — a bug, not a golden refresh.
+RAPIDD="$BUILD/src/tools/rapidd"
+if [ -x "$RAPIDD" ]; then
+    tmp=$(mktemp -d)
+    trap 'kill "${rapidd_pid:-}" 2>/dev/null; rm -rf "$tmp"' EXIT
+    for name in exact_dna hamming motif_scan; do
+        "$RAPIDC" build "$ROOT/workloads/$name.rapid" \
+            --args "$ROOT/workloads/$name.args" \
+            -o "$tmp/$name.apimg" > /dev/null 2>&1
+    done
+    RAPID_PORT_FILE="$tmp/port" RAPID_FLIGHTLOG=off "$RAPIDD" \
+        --image=exact_dna="$tmp/exact_dna.apimg" \
+        --image=hamming="$tmp/hamming.apimg" \
+        --image=motif_scan="$tmp/motif_scan.apimg" \
+        --listen=0 > /dev/null 2>&1 &
+    rapidd_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$tmp/port" ] && break
+        sleep 0.1
+    done
+    serve_check() { # name frame-flag...
+        local name="$1"; shift
+        "$RAPIDD" client --port-file="$tmp/port" --name="$name" \
+            --chunk=997 \
+            --input="$ROOT/tests/conformance/inputs/$name.input" \
+            "$@" 2>/dev/null | filter \
+            | diff -u "$GOLDEN/workload_$name.golden" - || {
+            echo "error: rapidd serve diverges from scalar on $name" >&2
+            exit 1
+        }
+    }
+    serve_check exact_dna
+    serve_check hamming --frame
+    serve_check motif_scan
+    echo "serve cross-verify: rapidd reproduces all workload goldens"
+else
+    echo "warning: $RAPIDD not built; skipping serve cross-verify" >&2
+fi
+
 echo "goldens written to $GOLDEN"

@@ -1,5 +1,6 @@
 #include "obs/http.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -7,6 +8,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -91,7 +93,7 @@ MetricsServer::start(uint16_t port, std::string *error)
                               static_cast<unsigned>(port),
                               std::strerror(errno)));
     }
-    if (::listen(_listenFd, 16) != 0)
+    if (::listen(_listenFd, 64) != 0)
         return fail(strprintf("listen: %s", std::strerror(errno)));
 
     socklen_t len = sizeof(addr);
@@ -115,7 +117,8 @@ MetricsServer::start(uint16_t port, std::string *error)
 
     // Fatal signals must land on the main thread, whose staged
     // telemetry buffers are mutated only at quiescent points — never
-    // on the listener (see obs/obs.h signal staging).
+    // on the listener or a connection handler (threads spawned from
+    // the listener inherit its mask; see obs/obs.h signal staging).
     sigset_t block, previous;
     sigemptyset(&block);
     sigaddset(&block, SIGINT);
@@ -140,6 +143,31 @@ MetricsServer::stop()
     _listenFd = -1;
     if (_thread.joinable())
         _thread.join();
+    // Fail every in-flight connection so its handler unwinds, then
+    // join.  Handlers never close their fd themselves, so the fd is
+    // valid to shut down here.
+    {
+        std::lock_guard<std::mutex> guard(_connMutex);
+        for (Connection &connection : _connections) {
+            if (connection.fd >= 0)
+                ::shutdown(connection.fd, SHUT_RDWR);
+        }
+    }
+    for (;;) {
+        Connection *victim = nullptr;
+        {
+            std::lock_guard<std::mutex> guard(_connMutex);
+            if (_connections.empty())
+                break;
+            victim = &_connections.front();
+        }
+        if (victim->thread.joinable())
+            victim->thread.join();
+        std::lock_guard<std::mutex> guard(_connMutex);
+        if (victim->fd >= 0)
+            ::close(victim->fd);
+        _connections.pop_front();
+    }
 }
 
 std::string
@@ -171,6 +199,32 @@ MetricsServer::setProfileSource(std::function<std::string()> source)
 }
 
 void
+MetricsServer::setStreamHandler(std::string magic,
+                                StreamHandler handler)
+{
+    std::lock_guard<std::mutex> guard(_hookMutex);
+    _streamMagic = std::move(magic);
+    _streamHandler = std::move(handler);
+}
+
+void
+MetricsServer::reapFinished()
+{
+    std::lock_guard<std::mutex> guard(_connMutex);
+    for (auto it = _connections.begin(); it != _connections.end();) {
+        if (!it->done) {
+            ++it;
+            continue;
+        }
+        if (it->thread.joinable())
+            it->thread.join();
+        if (it->fd >= 0)
+            ::close(it->fd);
+        it = _connections.erase(it);
+    }
+}
+
+void
 MetricsServer::serveLoop()
 {
     while (_running) {
@@ -182,34 +236,100 @@ MetricsServer::serveLoop()
                 continue;
             break; // listening socket is gone
         }
-        // Bound slow clients: a scrape request is one short line.
-        timeval timeout{};
-        timeout.tv_sec = 5;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                     sizeof(timeout));
-        handleConnection(fd);
-        ::close(fd);
+        // Both protocols on this port are request/response with small
+        // writes; Nagle + delayed ACK would add ~40 ms per exchange.
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        reapFinished();
+        Connection *connection = nullptr;
+        {
+            std::lock_guard<std::mutex> guard(_connMutex);
+            if (_connections.size() >= kMaxConnections) {
+                // Over the cap: refuse at the door.  Match-protocol
+                // admission control with real errors lives one layer
+                // up (serve::Server); this is the hard backstop.
+                ::close(fd);
+                continue;
+            }
+            _connections.emplace_back();
+            connection = &_connections.back();
+            connection->fd = fd;
+        }
+        connection->thread = std::thread(
+            [this, connection] { handleConnection(connection); });
     }
 }
 
 void
-MetricsServer::handleConnection(int fd)
+MetricsServer::handleConnection(Connection *connection)
+{
+    const int fd = connection->fd;
+    std::string magic;
+    StreamHandler stream_handler;
+    {
+        std::lock_guard<std::mutex> guard(_hookMutex);
+        magic = _streamMagic;
+        stream_handler = _streamHandler;
+    }
+
+    // Read enough to classify the protocol.  HTTP scrape requests are
+    // one short line; bound slow clients with a receive timeout that
+    // the stream handler may later widen.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+
+    // Read *exactly* enough bytes to classify, never more: a stream
+    // handler expects the socket positioned right after the magic.
+    std::string head;
+    const size_t classify = magic.empty() ? 1 : magic.size();
+    char buffer[8];
+    while (head.size() < classify) {
+        ssize_t n =
+            ::recv(fd, buffer,
+                   std::min(classify - head.size(), sizeof(buffer)), 0);
+        if (n <= 0)
+            break;
+        head.append(buffer, static_cast<size_t>(n));
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(_statMutex);
+        ++_requests;
+    }
+    MetricsRegistry::instance().counter("obs.http.requests").add(1);
+
+    if (stream_handler && head.size() >= magic.size() &&
+        head.compare(0, magic.size(), magic) == 0) {
+        // Match protocol: sessions are long-lived; drop the scrape
+        // timeout and hand the connection over.
+        timeval none{};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &none,
+                     sizeof(none));
+        stream_handler(fd, head);
+        // The session is over; send FIN now so the peer sees EOF
+        // immediately (the fd itself is reaped later).
+        ::shutdown(fd, SHUT_RDWR);
+    } else if (!head.empty()) {
+        handleHttp(fd, std::move(head));
+    }
+    connection->done = true;
+}
+
+void
+MetricsServer::handleHttp(int fd, std::string request)
 {
     // Read until the end of the request head (or a sane cap); only
     // the request line matters.
-    std::string request;
     char buffer[2048];
     while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find('\n') == std::string::npos &&
            request.size() < 16384) {
         ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
         if (n <= 0)
             break;
         request.append(buffer, static_cast<size_t>(n));
-        if (request.find('\n') != std::string::npos &&
-            request.find("\r\n\r\n") == std::string::npos &&
-            request.find("\n\n") != std::string::npos) {
-            break; // tolerate bare-LF clients (curl never, nc maybe)
-        }
     }
     size_t eol = request.find('\n');
     std::string request_line =
@@ -217,12 +337,10 @@ MetricsServer::handleConnection(int fd)
     if (!request_line.empty() && request_line.back() == '\r')
         request_line.pop_back();
 
-    {
-        std::lock_guard<std::mutex> guard(_statMutex);
-        ++_requests;
-    }
-    MetricsRegistry::instance().counter("obs.http.requests").add(1);
     writeAll(fd, buildResponse(request_line));
+    // Responses close the connection; shut down writes so the client
+    // sees EOF even while stop() is still to come.
+    ::shutdown(fd, SHUT_WR);
 }
 
 std::string

@@ -1,39 +1,51 @@
 /**
  * @file
- * Minimal blocking HTTP listener serving the observability plane.
+ * Loopback listener shared by the observability plane and the match
+ * service.
  *
- * One background thread, one connection at a time, three routes:
+ * Historically this was a one-connection-at-a-time HTTP scrape
+ * endpoint; it is now a small generic acceptor.  Every accepted
+ * connection runs on its own handler thread, and the first bytes of
+ * the connection select the protocol:
  *
- *  - `GET /metrics`  — the registry in Prometheus text format
- *                      (obs/export.h), after running the registered
- *                      collector so in-flight runs publish live
- *                      counters;
- *  - `GET /healthz`  — 200 "ok" liveness probe;
- *  - `GET /profilez` — the device execution-profile JSON (heatmap,
- *                      activity series) from the registered source,
- *                      `{}` when nothing is streaming.
+ *  - a registered *stream handler* owns the connection when the bytes
+ *    begin with its 4-byte magic (rapidd's framed match protocol,
+ *    "RPDM" — see serve/protocol.h);
+ *  - anything else is treated as HTTP and routed as before:
  *
- * This is deliberately not a web server: requests are parsed just
- * enough to route a GET line, responses always close the connection,
- * and the accept loop is blocking — a scrape every few seconds from
- * one Prometheus instance is the design load.  `rapidc run
- * --listen=PORT` (RAPID_LISTEN) keeps a MetricsServer alive for the
- * duration of a stream; the future `rapidd` daemon mounts the same
- * three routes verbatim.
+ *      `GET /metrics`  — the registry in Prometheus text format
+ *                        (obs/export.h), after running the registered
+ *                        collector so in-flight runs publish live
+ *                        counters;
+ *      `GET /healthz`  — 200 "ok" liveness probe;
+ *      `GET /profilez` — the device execution-profile JSON from the
+ *                        registered source, `{}` when nothing is
+ *                        streaming.
  *
- * The server binds 127.0.0.1 only (telemetry is not an ingress
- * surface); port 0 picks an ephemeral port, readable via port() and
- * optionally written to the file named by the RAPID_PORT_FILE
- * environment variable so tests and scripts can find the scrape
- * target.  SIGINT/SIGTERM are blocked on the listener thread so fatal
- * signals always land on a thread whose staged-telemetry state is
- * coherent (see obs/obs.h).
+ * Because handling is per-connection concurrent, a long-lived match
+ * session never blocks a scrape: /metrics and an active FEED stream
+ * are served on the same port at the same time (the export tests race
+ * exactly that).  Connections are capped (kMaxConnections); excess
+ * ones are closed at accept, which is the outermost layer of rapidd's
+ * admission control.
+ *
+ * This is still deliberately not a web server: HTTP requests are
+ * parsed just enough to route a GET line and responses always close
+ * the connection.  The server binds 127.0.0.1 only (neither telemetry
+ * nor the match protocol is an ingress surface); port 0 picks an
+ * ephemeral port, readable via port() and optionally written to the
+ * file named by the RAPID_PORT_FILE environment variable so tests and
+ * scripts can find the target.  SIGINT/SIGTERM are blocked on the
+ * listener and handler threads so fatal signals always land on a
+ * thread whose staged-telemetry state is coherent (see obs/obs.h).
  */
 #ifndef RAPID_OBS_HTTP_H
 #define RAPID_OBS_HTTP_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,6 +54,9 @@ namespace rapid::obs {
 
 class MetricsServer {
   public:
+    /** Connections beyond this are closed immediately at accept. */
+    static constexpr size_t kMaxConnections = 128;
+
     MetricsServer() = default;
     ~MetricsServer();
 
@@ -55,7 +70,11 @@ class MetricsServer {
      */
     bool start(uint16_t port, std::string *error = nullptr);
 
-    /** Stop accepting and join the thread (idempotent). */
+    /**
+     * Stop accepting, shut down every active connection, and join all
+     * handler threads (idempotent).  Stream handlers observe their
+     * socket failing and are expected to unwind promptly.
+     */
     void stop();
 
     bool running() const { return _running; }
@@ -66,7 +85,7 @@ class MetricsServer {
     /** "http://127.0.0.1:<port>" for log lines. */
     std::string url() const;
 
-    /** Requests served since start (any route). */
+    /** Requests served since start (any route or protocol). */
     uint64_t requestCount() const;
 
     /**
@@ -79,10 +98,32 @@ class MetricsServer {
     /** Body supplier for /profilez (JSON); default "{}". */
     void setProfileSource(std::function<std::string()> source);
 
+    /**
+     * Handler invoked on a connection's thread when the connection's
+     * first bytes equal @p magic (exactly 4 bytes).  @p preface is
+     * whatever was already read from the socket *including* the magic;
+     * the handler must consume it before reading more from the fd.
+     * The fd stays owned by the server — the handler must not close
+     * it, just return when the conversation is over.
+     */
+    using StreamHandler =
+        std::function<void(int fd, std::string_view preface)>;
+    void setStreamHandler(std::string magic, StreamHandler handler);
+
   private:
+    /** One accepted connection and the thread serving it. */
+    struct Connection {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     void serveLoop();
-    void handleConnection(int fd);
+    void handleConnection(Connection *connection);
+    void handleHttp(int fd, std::string request);
     std::string buildResponse(const std::string &request_line);
+    /** Join and drop finished handler threads (accept-loop thread). */
+    void reapFinished();
 
     int _listenFd = -1;
     uint16_t _port = 0;
@@ -92,6 +133,11 @@ class MetricsServer {
     mutable std::mutex _hookMutex;
     std::function<void()> _collector;
     std::function<std::string()> _profileSource;
+    std::string _streamMagic;
+    StreamHandler _streamHandler;
+
+    mutable std::mutex _connMutex;
+    std::list<Connection> _connections;
 
     mutable std::mutex _statMutex;
     uint64_t _requests = 0;

@@ -1,0 +1,186 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::serve {
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::connect(uint16_t port)
+{
+    disconnect();
+    _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_fd < 0)
+        throw Error(strprintf("socket: %s", std::strerror(errno)));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string message =
+            strprintf("connect 127.0.0.1:%u: %s",
+                      static_cast<unsigned>(port),
+                      std::strerror(errno));
+        disconnect();
+        throw Error(message);
+    }
+    // The protocol is strictly request/response with small frames;
+    // Nagle + delayed ACK turns every exchange into a ~40 ms stall.
+    int one = 1;
+    ::setsockopt(_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (!writeAll(_fd, std::string_view(kMagic, kMagicSize))) {
+        disconnect();
+        throw Error("connection lost while sending protocol magic");
+    }
+}
+
+void
+Client::disconnect()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+bool
+Client::sendRaw(std::string_view bytes)
+{
+    if (_fd < 0)
+        throw Error("client is not connected");
+    return writeAll(_fd, bytes);
+}
+
+Frame
+Client::expect(Op terminal, std::vector<ReportRecord> *reports)
+{
+    for (;;) {
+        Frame frame;
+        std::string why;
+        switch (readFrame(_fd, &frame, &why)) {
+          case ReadResult::Ok:
+            break;
+          case ReadResult::Eof:
+            throw Error("server closed the connection");
+          case ReadResult::Malformed:
+            throw Error("malformed server frame: " + why);
+          case ReadResult::IoError:
+            throw Error("connection to server lost");
+        }
+        const Op op = static_cast<Op>(frame.op);
+        if (op == Op::Error)
+            throw Error("server: " + decodeError(frame.payload));
+        if (op == Op::Reports && reports != nullptr) {
+            std::vector<ReportRecord> batch =
+                decodeReports(frame.payload);
+            reports->insert(reports->end(),
+                            std::make_move_iterator(batch.begin()),
+                            std::make_move_iterator(batch.end()));
+            continue;
+        }
+        if (op == terminal)
+            return frame;
+        throw Error("unexpected server frame " + opName(frame.op));
+    }
+}
+
+OpenedInfo
+Client::open(const OpenRequest &request)
+{
+    if (_fd < 0)
+        throw Error("client is not connected");
+    if (!writeFrame(_fd, Op::Open, encodeOpen(request)))
+        throw Error("connection to server lost");
+    return decodeOpened(expect(Op::Opened, nullptr).payload);
+}
+
+std::vector<ReportRecord>
+Client::feed(std::string_view chunk)
+{
+    if (_fd < 0)
+        throw Error("client is not connected");
+    std::vector<ReportRecord> reports;
+    // An empty chunk is still one FEED round trip (the soak test uses
+    // them as keep-alives); larger chunks split under the frame cap.
+    constexpr size_t kMaxChunk = kMaxFrame - 1;
+    size_t begin = 0;
+    do {
+        const std::string_view piece =
+            chunk.substr(begin, std::min(chunk.size() - begin,
+                                         kMaxChunk));
+        if (!writeFrame(_fd, Op::Feed, piece))
+            throw Error("connection to server lost");
+        expect(Op::Fed, &reports);
+        begin += piece.size();
+    } while (begin < chunk.size());
+    return reports;
+}
+
+std::vector<ReportRecord>
+Client::finish(ClosedInfo *info)
+{
+    if (_fd < 0)
+        throw Error("client is not connected");
+    if (!writeFrame(_fd, Op::Close, {}))
+        throw Error("connection to server lost");
+    std::vector<ReportRecord> reports;
+    Frame frame = expect(Op::Closed, &reports);
+    if (info != nullptr)
+        *info = decodeClosed(frame.payload);
+    return reports;
+}
+
+ReloadedInfo
+Client::reload(const std::string &name, const std::string &path)
+{
+    if (_fd < 0)
+        throw Error("client is not connected");
+    ReloadRequest request;
+    request.name = name;
+    request.path = path;
+    if (!writeFrame(_fd, Op::Reload, encodeReload(request)))
+        throw Error("connection to server lost");
+    return decodeReloaded(expect(Op::Reloaded, nullptr).payload);
+}
+
+std::vector<ReportRecord>
+Client::run(const OpenRequest &request, std::string_view input,
+            size_t chunk_size)
+{
+    if (chunk_size == 0)
+        chunk_size = 64 * 1024;
+    open(request);
+    std::vector<ReportRecord> reports;
+    for (size_t begin = 0; begin < input.size();
+         begin += chunk_size) {
+        std::vector<ReportRecord> batch =
+            feed(input.substr(begin, chunk_size));
+        reports.insert(reports.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+    }
+    std::vector<ReportRecord> tail = finish();
+    reports.insert(reports.end(),
+                   std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    return reports;
+}
+
+} // namespace rapid::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * In-tree client for the rapidd match service.
+ *
+ * A thin, blocking wrapper over the wire protocol (serve/protocol.h)
+ * that the parity harness, the soak tests, and `rapidd client` all
+ * share — so every consumer exercises the same framing code the
+ * conformance suite certifies.
+ *
+ * The client enforces the backpressure contract: feed() does not
+ * return until the server's FED ack arrives, collecting any REPORTS
+ * frames delivered before it.  A caller that streams chunk-by-chunk
+ * therefore can never run ahead of the engine.
+ *
+ * Every method throws rapid::Error on a transport failure or when the
+ * server answers with an ERROR frame (the server closes the
+ * connection after ERROR, so the session is over either way).
+ */
+#ifndef RAPID_SERVE_CLIENT_H
+#define RAPID_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace rapid::serve {
+
+class Client {
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to 127.0.0.1:@p port and send the protocol magic.
+     * @throws rapid::Error when the daemon is unreachable.
+     */
+    void connect(uint16_t port);
+
+    /** Drop the connection (idempotent; also run by the destructor). */
+    void disconnect();
+
+    bool connected() const { return _fd >= 0; }
+
+    /** OPEN a session. @return the session id and pinned epoch. */
+    OpenedInfo open(const OpenRequest &request);
+
+    /**
+     * FEED one chunk (split internally when it exceeds the frame
+     * cap) and wait for the ack.  @return the reports delivered while
+     * the chunk executed, in canonical order.
+     */
+    std::vector<ReportRecord> feed(std::string_view chunk);
+
+    /**
+     * CLOSE the stream.  @return the final reports (everything for
+     * the whole-stream engines); @p info receives the session totals.
+     */
+    std::vector<ReportRecord> finish(ClosedInfo *info = nullptr);
+
+    /** Admin RELOAD: rebind @p name to the image at @p path. */
+    ReloadedInfo reload(const std::string &name,
+                        const std::string &path);
+
+    /**
+     * Convenience: open + feed @p input in @p chunk_size pieces +
+     * finish, returning the full canonical report stream.
+     */
+    std::vector<ReportRecord> run(const OpenRequest &request,
+                                  std::string_view input,
+                                  size_t chunk_size = 64 * 1024);
+
+    /**
+     * Escape hatch for the robustness suite: write raw bytes on the
+     * wire, bypassing all framing.  @return false if the peer is gone.
+     */
+    bool sendRaw(std::string_view bytes);
+
+    /** The underlying socket (robustness tests). */
+    int fd() const { return _fd; }
+
+  private:
+    /**
+     * Read frames until @p terminal (collecting REPORTS into
+     * @p reports when non-null); throws on ERROR or transport loss.
+     */
+    Frame expect(Op terminal, std::vector<ReportRecord> *reports);
+
+    int _fd = -1;
+};
+
+} // namespace rapid::serve
+
+#endif // RAPID_SERVE_CLIENT_H

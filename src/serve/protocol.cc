@@ -1,0 +1,332 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/binio.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::serve {
+
+std::string
+opName(uint8_t op)
+{
+    switch (static_cast<Op>(op)) {
+      case Op::Open:
+        return "OPEN";
+      case Op::Feed:
+        return "FEED";
+      case Op::Close:
+        return "CLOSE";
+      case Op::Reload:
+        return "RELOAD";
+      case Op::Opened:
+        return "OPENED";
+      case Op::Reports:
+        return "REPORTS";
+      case Op::Fed:
+        return "FED";
+      case Op::Closed:
+        return "CLOSED";
+      case Op::Error:
+        return "ERROR";
+      case Op::Reloaded:
+        return "RELOADED";
+    }
+    return strprintf("op_%02x", op);
+}
+
+bool
+readExact(int fd, void *out, size_t n)
+{
+    char *cursor = static_cast<char *>(out);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd, cursor + got, n - got, 0);
+        if (r == 0)
+            return false;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got += static_cast<size_t>(r);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, std::string_view data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+ReadResult
+readFrame(int fd, Frame *frame, std::string *error)
+{
+    auto fail = [&](ReadResult result, const char *what) {
+        if (error != nullptr)
+            *error = what;
+        return result;
+    };
+
+    // The length prefix, byte by byte: a clean EOF before the first
+    // byte is a normal end of stream; EOF inside the prefix is a
+    // truncated frame.
+    unsigned char prefix[4];
+    ssize_t first;
+    do {
+        first = ::recv(fd, prefix, 1, 0);
+    } while (first < 0 && errno == EINTR);
+    if (first == 0)
+        return ReadResult::Eof;
+    if (first < 0)
+        return fail(ReadResult::IoError, "recv failed");
+    if (!readExact(fd, prefix + 1, 3))
+        return fail(ReadResult::Malformed,
+                    "truncated frame length prefix");
+    const uint32_t length = static_cast<uint32_t>(prefix[0]) |
+                            static_cast<uint32_t>(prefix[1]) << 8 |
+                            static_cast<uint32_t>(prefix[2]) << 16 |
+                            static_cast<uint32_t>(prefix[3]) << 24;
+    if (length == 0)
+        return fail(ReadResult::Malformed, "zero-length frame");
+    if (length > kMaxFrame) {
+        return fail(ReadResult::Malformed,
+                    "declared frame length exceeds limit");
+    }
+    if (!readExact(fd, &frame->op, 1))
+        return fail(ReadResult::Malformed, "truncated frame opcode");
+    frame->payload.resize(length - 1);
+    if (length > 1 && !readExact(fd, frame->payload.data(), length - 1))
+        return fail(ReadResult::Malformed, "truncated frame payload");
+    return ReadResult::Ok;
+}
+
+bool
+writeFrame(int fd, Op op, std::string_view payload)
+{
+    if (payload.size() + 1 > kMaxFrame)
+        throw Error("frame payload exceeds kMaxFrame");
+    const uint32_t length = static_cast<uint32_t>(payload.size()) + 1;
+    std::string wire;
+    wire.reserve(4 + length);
+    wire.push_back(static_cast<char>(length & 0xff));
+    wire.push_back(static_cast<char>((length >> 8) & 0xff));
+    wire.push_back(static_cast<char>((length >> 16) & 0xff));
+    wire.push_back(static_cast<char>((length >> 24) & 0xff));
+    wire.push_back(static_cast<char>(op));
+    wire.append(payload);
+    return writeAll(fd, wire);
+}
+
+std::string
+encodeOpen(const OpenRequest &request)
+{
+    BinaryWriter writer;
+    writer.u8(static_cast<uint8_t>(request.kind));
+    writer.str(request.target);
+    writer.str(request.argsText);
+    writer.str(request.engine);
+    writer.u32(request.shards);
+    writer.u32(request.threads);
+    return writer.take();
+}
+
+OpenRequest
+decodeOpen(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.open");
+    OpenRequest request;
+    const uint8_t kind = reader.u8();
+    if (kind > static_cast<uint8_t>(OpenKind::InlineSource))
+        throw Error("serve.open: unknown open kind");
+    request.kind = static_cast<OpenKind>(kind);
+    request.target = reader.str();
+    request.argsText = reader.str();
+    request.engine = reader.str();
+    request.shards = reader.u32();
+    request.threads = reader.u32();
+    reader.expectEnd();
+    return request;
+}
+
+std::string
+encodeOpened(const OpenedInfo &info)
+{
+    BinaryWriter writer;
+    writer.u64(info.sessionId);
+    writer.u64(info.epoch);
+    return writer.take();
+}
+
+OpenedInfo
+decodeOpened(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.opened");
+    OpenedInfo info;
+    info.sessionId = reader.u64();
+    info.epoch = reader.u64();
+    reader.expectEnd();
+    return info;
+}
+
+std::string
+encodeReports(const std::vector<ReportRecord> &reports)
+{
+    BinaryWriter writer;
+    writer.u64(reports.size());
+    for (const ReportRecord &report : reports) {
+        writer.u64(report.offset);
+        writer.str(report.code);
+        writer.str(report.element);
+    }
+    return writer.take();
+}
+
+std::vector<ReportRecord>
+decodeReports(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.reports");
+    // Each record is at least offset + two empty length prefixes.
+    const uint64_t count = reader.count(8 + 8 + 8);
+    std::vector<ReportRecord> reports;
+    reports.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        ReportRecord report;
+        report.offset = reader.u64();
+        report.code = reader.str();
+        report.element = reader.str();
+        reports.push_back(std::move(report));
+    }
+    reader.expectEnd();
+    return reports;
+}
+
+std::string
+encodeFed(const FedInfo &info)
+{
+    BinaryWriter writer;
+    writer.u64(info.consumedBytes);
+    return writer.take();
+}
+
+FedInfo
+decodeFed(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.fed");
+    FedInfo info;
+    info.consumedBytes = reader.u64();
+    reader.expectEnd();
+    return info;
+}
+
+std::string
+encodeClosed(const ClosedInfo &info)
+{
+    BinaryWriter writer;
+    writer.u64(info.totalBytes);
+    writer.u64(info.totalReports);
+    return writer.take();
+}
+
+ClosedInfo
+decodeClosed(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.closed");
+    ClosedInfo info;
+    info.totalBytes = reader.u64();
+    info.totalReports = reader.u64();
+    reader.expectEnd();
+    return info;
+}
+
+std::string
+encodeReload(const ReloadRequest &request)
+{
+    BinaryWriter writer;
+    writer.str(request.name);
+    writer.str(request.path);
+    return writer.take();
+}
+
+ReloadRequest
+decodeReload(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.reload");
+    ReloadRequest request;
+    request.name = reader.str();
+    request.path = reader.str();
+    reader.expectEnd();
+    return request;
+}
+
+std::string
+encodeReloaded(const ReloadedInfo &info)
+{
+    BinaryWriter writer;
+    writer.u64(info.epoch);
+    return writer.take();
+}
+
+ReloadedInfo
+decodeReloaded(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.reloaded");
+    ReloadedInfo info;
+    info.epoch = reader.u64();
+    reader.expectEnd();
+    return info;
+}
+
+std::string
+encodeError(std::string_view message)
+{
+    BinaryWriter writer;
+    writer.str(message);
+    return writer.take();
+}
+
+std::string
+decodeError(std::string_view payload)
+{
+    BinaryReader reader(payload, "serve.error");
+    std::string message = reader.str();
+    reader.expectEnd();
+    return message;
+}
+
+std::string
+reportsText(const std::vector<ReportRecord> &reports)
+{
+    std::string out;
+    for (const ReportRecord &report : reports) {
+        out += strprintf("%llu\t%s\t%s\n",
+                         static_cast<unsigned long long>(report.offset),
+                         report.code.c_str(), report.element.c_str());
+    }
+    return out;
+}
+
+} // namespace rapid::serve

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Wire protocol of the rapidd streaming match service.
+ *
+ * The deployment model is the paper's compile-once / stream-many
+ * workflow turned into a service: prebuilt .apimg design images are
+ * loaded into the daemon once, then clients stream data at rate and
+ * receive (offset, report-code) events back.  The protocol is a
+ * length-prefixed binary framing over one loopback TCP connection per
+ * session, multiplexed with the HTTP observability routes on the same
+ * acceptor (obs/http.h): a connection whose first four bytes are the
+ * magic "RPDM" speaks this protocol, anything else is scraped as HTTP.
+ *
+ * Framing (all integers little-endian, encoded via support/binio):
+ *
+ *     magic  := "RPDM"                      (once, client -> server)
+ *     frame  := u32 length | u8 opcode | payload[length - 1]
+ *
+ * `length` counts the opcode byte plus the payload and must be in
+ * [1, kMaxFrame]; anything else is a protocol error that ends the
+ * session (framing cannot be resynchronized after a bad prefix).
+ *
+ * Session lifecycle (client -> server requests, server -> client
+ * responses; one session per connection):
+ *
+ *     OPEN   -> OPENED | ERROR       name an image / path / source
+ *     FEED   -> REPORTS* FED | ERROR stream one chunk, reports flow
+ *                                    back before the ack
+ *     CLOSE  -> REPORTS* CLOSED      end of stream, final reports
+ *     RELOAD -> RELOADED | ERROR     admin: swap an image atomically
+ *
+ * The FED ack carries the total bytes consumed so far and is the flow
+ * control: a client that waits for it (serve::Client does) can never
+ * run ahead of the engine — that is the backpressure contract.
+ * Reports are delivered incrementally as soon as the engine knows
+ * them; engines that reconcile whole streams (sharded, parallel)
+ * deliver everything at CLOSE.  Either way the concatenation of all
+ * REPORTS frames is the canonical (offset, element)-sorted stream —
+ * byte-identical to `rapidc run`.
+ *
+ * ERROR is always followed by connection close; a session error never
+ * affects other sessions or the daemon itself (the robustness suite
+ * fuzzes exactly this boundary).
+ */
+#ifndef RAPID_SERVE_PROTOCOL_H
+#define RAPID_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapid::serve {
+
+/** Connection preamble selecting the match protocol on the shared
+ *  acceptor ("RaPiD Match"). */
+inline constexpr char kMagic[] = "RPDM";
+inline constexpr size_t kMagicSize = 4;
+
+/** Hard cap on one frame (opcode + payload).  FEED chunks larger
+ *  than this must be split by the client; a declared length beyond it
+ *  is malformed by definition, so a corrupt prefix can never drive a
+ *  giant allocation. */
+inline constexpr uint32_t kMaxFrame = 4u << 20;
+
+/** Frame opcodes.  Client requests have the high bit clear, server
+ *  responses have it set. */
+enum class Op : uint8_t {
+    Open = 0x01,
+    Feed = 0x02,
+    Close = 0x03,
+    Reload = 0x04,
+
+    Opened = 0x81,
+    Reports = 0x82,
+    Fed = 0x83,
+    Closed = 0x84,
+    Error = 0x85,
+    Reloaded = 0x86,
+};
+
+/** Human-readable opcode name (unknown values render as "op_XX"). */
+std::string opName(uint8_t op);
+
+/** One decoded frame. */
+struct Frame {
+    uint8_t op = 0;
+    std::string payload;
+};
+
+/** Outcome of readFrame(): distinguishes a clean end of stream from
+ *  a framing violation (the latter is unrecoverable). */
+enum class ReadResult {
+    Ok,
+    /** Peer closed cleanly between frames. */
+    Eof,
+    /** Truncated prefix/body, zero or oversized declared length. */
+    Malformed,
+    /** recv() failed (connection reset, server shutdown). */
+    IoError,
+};
+
+/**
+ * Read one frame from @p fd (blocking).  On Malformed, @p error says
+ * what was wrong with the bytes.
+ */
+ReadResult readFrame(int fd, Frame *frame, std::string *error);
+
+/**
+ * Write one frame to @p fd.  @return false when the peer is gone.
+ * @p payload must fit kMaxFrame - 1.
+ */
+bool writeFrame(int fd, Op op, std::string_view payload);
+
+/** Read exactly @p n bytes; false on EOF/error before @p n. */
+bool readExact(int fd, void *out, size_t n);
+
+/** Write all of @p data; false when the peer is gone. */
+bool writeAll(int fd, std::string_view data);
+
+/*
+ * Payload codecs.  All decode functions throw rapid::Error on
+ * malformed payloads (bounds-checked via support/binio); the server
+ * turns that into a per-session ERROR.
+ */
+
+/** What an OPEN names. */
+enum class OpenKind : uint8_t {
+    /** A design preloaded into (or previously loaded by) the daemon. */
+    Name = 0,
+    /** A .apimg path the daemon loads on demand. */
+    ImagePath = 1,
+    /** Inline RAPID source compiled on the daemon (compile cache). */
+    InlineSource = 2,
+};
+
+struct OpenRequest {
+    OpenKind kind = OpenKind::Name;
+    /** Image name, image path, or RAPID source per @p kind. */
+    std::string target;
+    /** Raw argument-annotation bytes (InlineSource only). */
+    std::string argsText;
+    /** Execution engine name ("scalar", "batch", ...); "" = batch. */
+    std::string engine;
+    uint32_t shards = 0;
+    uint32_t threads = 0;
+};
+
+std::string encodeOpen(const OpenRequest &request);
+OpenRequest decodeOpen(std::string_view payload);
+
+struct OpenedInfo {
+    uint64_t sessionId = 0;
+    /** Design epoch the session is pinned to (hot reload bumps it). */
+    uint64_t epoch = 0;
+};
+
+std::string encodeOpened(const OpenedInfo &info);
+OpenedInfo decodeOpened(std::string_view payload);
+
+/** One report event as delivered to clients. */
+struct ReportRecord {
+    uint64_t offset = 0;
+    std::string code;
+    std::string element;
+};
+
+std::string encodeReports(const std::vector<ReportRecord> &reports);
+std::vector<ReportRecord> decodeReports(std::string_view payload);
+
+struct FedInfo {
+    /** Total stream bytes consumed by the session so far. */
+    uint64_t consumedBytes = 0;
+};
+
+std::string encodeFed(const FedInfo &info);
+FedInfo decodeFed(std::string_view payload);
+
+struct ClosedInfo {
+    uint64_t totalBytes = 0;
+    uint64_t totalReports = 0;
+};
+
+std::string encodeClosed(const ClosedInfo &info);
+ClosedInfo decodeClosed(std::string_view payload);
+
+struct ReloadRequest {
+    /** Registry name to (re)bind. */
+    std::string name;
+    /** .apimg path to load. */
+    std::string path;
+};
+
+std::string encodeReload(const ReloadRequest &request);
+ReloadRequest decodeReload(std::string_view payload);
+
+struct ReloadedInfo {
+    uint64_t epoch = 0;
+};
+
+std::string encodeReloaded(const ReloadedInfo &info);
+ReloadedInfo decodeReloaded(std::string_view payload);
+
+/** ERROR payload: a bare UTF-8 message. */
+std::string encodeError(std::string_view message);
+std::string decodeError(std::string_view payload);
+
+/**
+ * Render @p reports exactly as `rapidc run` prints its report stream
+ * ("offset\tcode\telement\n" per event) — the byte-parity surface the
+ * conformance harness diffs against the CLI.
+ */
+std::string reportsText(const std::vector<ReportRecord> &reports);
+
+} // namespace rapid::serve
+
+#endif // RAPID_SERVE_PROTOCOL_H

@@ -1,0 +1,496 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "automata/batch_simulator.h"
+#include "automata/simulator.h"
+#include "host/argfile.h"
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "lang/codegen.h"
+#include "lang/parser.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace rapid::serve {
+
+namespace {
+
+/** Records per REPORTS frame: comfortably under kMaxFrame even with
+ *  long report codes, small enough to start flowing early. */
+constexpr size_t kReportsPerFrame = 4096;
+
+obs::MetricsRegistry &
+metrics()
+{
+    return obs::MetricsRegistry::instance();
+}
+
+/** Canonically order raw engine events and attach identities — the
+ *  incremental twin of host::Device::enrich(), chunk by chunk.  The
+ *  concatenation over chunks equals the whole-stream canonical order
+ *  because chunks cover whole cycles and offsets only grow. */
+std::vector<ReportRecord>
+enrichSorted(std::vector<automata::ReportEvent> events,
+             const automata::Automaton &design)
+{
+    std::stable_sort(events.begin(), events.end());
+    std::vector<ReportRecord> out;
+    out.reserve(events.size());
+    for (const automata::ReportEvent &event : events) {
+        ReportRecord record;
+        record.offset = event.offset;
+        record.element = design[event.element].id;
+        record.code = design[event.element].reportCode;
+        out.push_back(std::move(record));
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * One epoch of one named design.  Immutable once bound: a hot reload
+ * creates a *new* LoadedDesign and rebinds the name, so sessions
+ * pinning this one keep executing against unchanging tables.  The
+ * execution engines are built lazily and shared across sessions.
+ */
+struct Server::LoadedDesign {
+    std::string name;
+    uint64_t epoch = 0;
+    ap::DesignImage image;
+
+    /** A whole-stream engine and the lock serializing runs on it. */
+    struct DeviceSlot {
+        std::mutex mutex;
+        host::Device device;
+        DeviceSlot(const ap::DesignImage &image, host::Engine engine,
+                   unsigned shards, unsigned threads)
+            : device(image, engine, shards, threads)
+        {
+        }
+    };
+
+    /** The shared multi-stream engine: one compiled BatchSimulator
+     *  serves every batch session as an independent cursor lane. */
+    std::shared_ptr<automata::BatchSimulator> batchEngine()
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (!_batch) {
+            _batch = std::make_shared<automata::BatchSimulator>(
+                image.design);
+        }
+        return _batch;
+    }
+
+    /** Cached whole-stream Device per (engine, shards, threads). */
+    std::shared_ptr<DeviceSlot>
+    deviceSlot(host::Engine engine, unsigned shards, unsigned threads)
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        auto key = std::make_tuple(static_cast<int>(engine), shards,
+                                   threads);
+        auto it = _devices.find(key);
+        if (it != _devices.end())
+            return it->second;
+        auto slot = std::make_shared<DeviceSlot>(image, engine, shards,
+                                                 threads);
+        _devices.emplace(key, slot);
+        return slot;
+    }
+
+  private:
+    std::mutex _mutex;
+    std::shared_ptr<automata::BatchSimulator> _batch;
+    std::map<std::tuple<int, unsigned, unsigned>,
+             std::shared_ptr<DeviceSlot>>
+        _devices;
+};
+
+/**
+ * Per-session execution state.  The engine split mirrors the engines'
+ * native granularity: batch and scalar execute FEED chunks as they
+ * arrive (incremental report delivery); sharded and parallel
+ * reconcile whole streams, so the session buffers and runs at CLOSE.
+ */
+struct Server::SessionExec {
+    std::shared_ptr<LoadedDesign> design;
+    host::Engine engine = host::Engine::Batch;
+
+    // Engine::Batch — a lane on the shared multi-stream engine.
+    std::shared_ptr<automata::BatchSimulator> batch;
+    automata::BatchSimulator::Cursor cursor;
+
+    // Engine::Scalar — a private lock-step reference simulator.
+    std::unique_ptr<automata::Simulator> scalar;
+    size_t scalarDelivered = 0;
+
+    // Engine::Sharded / Engine::Parallel — buffer, run at CLOSE.
+    std::shared_ptr<LoadedDesign::DeviceSlot> slot;
+    std::string buffered;
+
+    uint64_t bytes = 0;
+    uint64_t reportsOut = 0;
+
+    std::vector<ReportRecord> feed(std::string_view chunk)
+    {
+        switch (engine) {
+          case host::Engine::Batch:
+            batch->advance(cursor, chunk);
+            return enrichSorted(cursor.takeReports(),
+                                design->image.design);
+          case host::Engine::Scalar: {
+            for (char c : chunk)
+                scalar->step(static_cast<unsigned char>(c));
+            const auto &all = scalar->reports();
+            std::vector<automata::ReportEvent> fresh(
+                all.begin() +
+                    static_cast<ptrdiff_t>(scalarDelivered),
+                all.end());
+            scalarDelivered = all.size();
+            return enrichSorted(std::move(fresh),
+                                design->image.design);
+          }
+          default:
+            buffered.append(chunk);
+            return {};
+        }
+    }
+
+    std::vector<ReportRecord> finish()
+    {
+        if (engine != host::Engine::Sharded &&
+            engine != host::Engine::Parallel)
+            return {};
+        std::lock_guard<std::mutex> guard(slot->mutex);
+        std::vector<host::HostReport> host_reports =
+            slot->device.run(buffered);
+        std::vector<ReportRecord> out;
+        out.reserve(host_reports.size());
+        for (host::HostReport &report : host_reports) {
+            ReportRecord record;
+            record.offset = report.offset;
+            record.code = std::move(report.code);
+            record.element = std::move(report.element);
+            out.push_back(std::move(record));
+        }
+        return out;
+    }
+};
+
+Server::Server(ServerOptions options) : _options(std::move(options)) {}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *error)
+{
+    _listener.setStreamHandler(
+        std::string(kMagic, kMagicSize),
+        [this](int fd, std::string_view preface) {
+            handleSession(fd, preface);
+        });
+    if (!_listener.start(_options.port, error))
+        return false;
+    logInfo("serve", strprintf("rapidd listening on %s (match + HTTP)",
+                               _listener.url().c_str()));
+    return true;
+}
+
+void
+Server::stop()
+{
+    _listener.stop();
+}
+
+std::shared_ptr<Server::LoadedDesign>
+Server::bindDesign(const std::string &name, ap::DesignImage image)
+{
+    auto design = std::make_shared<LoadedDesign>();
+    design->name = name;
+    design->image = std::move(image);
+    {
+        std::lock_guard<std::mutex> guard(_registryMutex);
+        design->epoch = _nextEpoch++;
+        _registry[name] = design;
+    }
+    metrics()
+        .gauge("serve.reload.epoch")
+        .set(static_cast<double>(design->epoch));
+    logInfo("serve",
+            strprintf("design '%s' bound at epoch %llu (%zu elements)",
+                      name.c_str(),
+                      static_cast<unsigned long long>(design->epoch),
+                      design->image.design.size()));
+    return design;
+}
+
+std::shared_ptr<Server::LoadedDesign>
+Server::findDesign(const std::string &name) const
+{
+    std::lock_guard<std::mutex> guard(_registryMutex);
+    auto it = _registry.find(name);
+    return it == _registry.end() ? nullptr : it->second;
+}
+
+uint64_t
+Server::loadImageFile(const std::string &name, const std::string &path)
+{
+    // Load fully before touching the registry: a bad path or corrupt
+    // image throws here and the previous binding keeps serving.
+    ap::DesignImage image = ap::loadImageFile(path);
+    return bindDesign(name, std::move(image))->epoch;
+}
+
+uint64_t
+Server::loadImage(const std::string &name, ap::DesignImage image)
+{
+    return bindDesign(name, std::move(image))->epoch;
+}
+
+uint64_t
+Server::epochOf(const std::string &name) const
+{
+    auto design = findDesign(name);
+    return design ? design->epoch : 0;
+}
+
+std::shared_ptr<Server::LoadedDesign>
+Server::resolveOpen(const OpenRequest &open)
+{
+    switch (open.kind) {
+      case OpenKind::Name: {
+        auto design = findDesign(open.target);
+        if (!design) {
+            throw Error(strprintf("unknown design '%s'",
+                                  open.target.c_str()));
+        }
+        return design;
+      }
+      case OpenKind::ImagePath: {
+        if (!_options.allowPathOpen)
+            throw Error("OPEN by image path is disabled");
+        // The path doubles as the registry name, so repeat opens hit
+        // the hot design; RELOAD refreshes a changed file.
+        if (auto design = findDesign(open.target))
+            return design;
+        ap::DesignImage image = ap::loadImageFile(open.target);
+        return bindDesign(open.target, std::move(image));
+      }
+      case OpenKind::InlineSource: {
+        if (!_options.allowInlineSource)
+            throw Error("OPEN with inline source is disabled");
+        const lang::CompileOptions compile_options;
+        const std::string key = host::cacheKey(
+            open.target, open.argsText, compile_options);
+        const std::string name = "src:" + key;
+        if (auto design = findDesign(name))
+            return design;
+        if (!_options.cacheDir.empty()) {
+            host::CompileCache cache(_options.cacheDir);
+            if (auto image = cache.load(key))
+                return bindDesign(name, std::move(*image));
+        }
+        lang::Program program = lang::parseProgram(open.target);
+        std::vector<lang::Value> args =
+            host::parseArgFile(open.argsText);
+        lang::CompiledProgram compiled =
+            lang::compileProgram(program, args, compile_options);
+        ap::DesignImage image = host::buildImage(compiled, key);
+        if (!_options.cacheDir.empty())
+            host::CompileCache(_options.cacheDir).store(key, image);
+        return bindDesign(name, std::move(image));
+      }
+    }
+    throw Error("unknown OPEN kind");
+}
+
+void
+Server::handleSession(int fd, std::string_view /*preface*/)
+{
+    std::unique_ptr<SessionExec> exec;
+    bool admitted = false;
+    bool closed = false;
+
+    auto sendError = [&](const std::string &message) {
+        metrics().counter("serve.sessions.errors").add(1);
+        writeFrame(fd, Op::Error, encodeError(message));
+    };
+
+    /** Stream @p records back, report-quota checked, frame-batched. */
+    auto deliver = [&](std::vector<ReportRecord> records) {
+        if (_options.sessionReportQuota != 0 &&
+            exec->reportsOut + records.size() >
+                _options.sessionReportQuota) {
+            metrics().counter("serve.quota.reports").add(1);
+            throw Error("session report quota exceeded");
+        }
+        for (size_t begin = 0; begin < records.size();
+             begin += kReportsPerFrame) {
+            const size_t end = std::min(records.size(),
+                                        begin + kReportsPerFrame);
+            std::vector<ReportRecord> slice(
+                records.begin() + static_cast<ptrdiff_t>(begin),
+                records.begin() + static_cast<ptrdiff_t>(end));
+            if (!writeFrame(fd, Op::Reports, encodeReports(slice)))
+                throw Error("client went away during report delivery");
+        }
+        exec->reportsOut += records.size();
+        metrics().counter("serve.reports_out").add(records.size());
+    };
+
+    for (;;) {
+        Frame frame;
+        std::string why;
+        const ReadResult result = readFrame(fd, &frame, &why);
+        if (result == ReadResult::Eof || result == ReadResult::IoError)
+            break;
+        if (result == ReadResult::Malformed) {
+            metrics().counter("serve.protocol_errors").add(1);
+            sendError("malformed frame: " + why);
+            break;
+        }
+        metrics().counter("serve.frames_in").add(1);
+
+        bool done = false;
+        try {
+            switch (static_cast<Op>(frame.op)) {
+              case Op::Open: {
+                if (exec)
+                    throw Error("session already open");
+                const OpenRequest open = decodeOpen(frame.payload);
+                // Admission control: claim a slot before any
+                // expensive resolution, release on over-cap.
+                if (++_activeSessions > _options.maxSessions) {
+                    --_activeSessions;
+                    metrics()
+                        .counter("serve.sessions.rejected")
+                        .add(1);
+                    throw Error(strprintf(
+                        "session limit reached (%u active)",
+                        _options.maxSessions));
+                }
+                admitted = true;
+                metrics()
+                    .gauge("serve.sessions.active")
+                    .set(static_cast<double>(_activeSessions));
+
+                auto design = resolveOpen(open);
+                auto session = std::make_unique<SessionExec>();
+                session->design = design;
+                session->engine =
+                    open.engine.empty()
+                        ? host::Engine::Batch
+                        : host::parseEngine(open.engine);
+                switch (session->engine) {
+                  case host::Engine::Batch:
+                    session->batch = design->batchEngine();
+                    session->cursor = session->batch->startCursor();
+                    break;
+                  case host::Engine::Scalar:
+                    session->scalar =
+                        std::make_unique<automata::Simulator>(
+                            design->image.design);
+                    session->scalar->reset();
+                    break;
+                  case host::Engine::Sharded:
+                  case host::Engine::Parallel:
+                    session->slot = design->deviceSlot(
+                        session->engine, open.shards, open.threads);
+                    break;
+                }
+                exec = std::move(session);
+
+                OpenedInfo info;
+                info.sessionId = _nextSession++;
+                info.epoch = design->epoch;
+                metrics().counter("serve.sessions.opened").add(1);
+                writeFrame(fd, Op::Opened, encodeOpened(info));
+                break;
+              }
+
+              case Op::Feed: {
+                if (!exec)
+                    throw Error("FEED before OPEN");
+                if (closed)
+                    throw Error("FEED after CLOSE");
+                const uint64_t total =
+                    exec->bytes + frame.payload.size();
+                if (_options.sessionByteQuota != 0 &&
+                    total > _options.sessionByteQuota) {
+                    metrics().counter("serve.quota.bytes").add(1);
+                    throw Error("session byte quota exceeded");
+                }
+                deliver(exec->feed(frame.payload));
+                exec->bytes = total;
+                metrics()
+                    .counter("serve.bytes_in")
+                    .add(frame.payload.size());
+                FedInfo info;
+                info.consumedBytes = exec->bytes;
+                writeFrame(fd, Op::Fed, encodeFed(info));
+                break;
+              }
+
+              case Op::Close: {
+                if (!exec)
+                    throw Error("CLOSE before OPEN");
+                if (closed)
+                    throw Error("duplicate CLOSE");
+                deliver(exec->finish());
+                closed = true;
+                ClosedInfo info;
+                info.totalBytes = exec->bytes;
+                info.totalReports = exec->reportsOut;
+                metrics().counter("serve.sessions.closed").add(1);
+                writeFrame(fd, Op::Closed, encodeClosed(info));
+                break;
+              }
+
+              case Op::Reload: {
+                if (!_options.allowReload)
+                    throw Error("RELOAD is disabled");
+                const ReloadRequest reload =
+                    decodeReload(frame.payload);
+                ReloadedInfo info;
+                try {
+                    info.epoch =
+                        loadImageFile(reload.name, reload.path);
+                } catch (const Error &) {
+                    metrics().counter("serve.reload.errors").add(1);
+                    throw;
+                }
+                metrics().counter("serve.reload.count").add(1);
+                writeFrame(fd, Op::Reloaded, encodeReloaded(info));
+                break;
+              }
+
+              default:
+                metrics().counter("serve.protocol_errors").add(1);
+                throw Error("unexpected opcode " +
+                            opName(frame.op));
+            }
+        } catch (const Error &error) {
+            sendError(error.what());
+            done = true;
+        }
+        if (done)
+            break;
+    }
+
+    if (admitted) {
+        --_activeSessions;
+        metrics()
+            .gauge("serve.sessions.active")
+            .set(static_cast<double>(_activeSessions));
+    }
+}
+
+} // namespace rapid::serve

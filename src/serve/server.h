@@ -1,0 +1,162 @@
+/**
+ * @file
+ * rapidd's long-lived match service.
+ *
+ * The server owns the shared loopback acceptor (obs/http.h) — so
+ * `/metrics`, `/healthz`, `/profilez`, and the framed match protocol
+ * (serve/protocol.h) all arrive on one port — plus a registry of
+ * loaded designs and the per-session execution state.
+ *
+ * Design registry and hot reload.  Every loaded .apimg (preloaded at
+ * startup, opened by path, or compiled from inline source through the
+ * content-addressed CompileCache) becomes a LoadedDesign with a
+ * monotonically increasing *epoch*.  Sessions pin the epoch they
+ * opened against via shared_ptr: a RELOAD atomically rebinds the name
+ * to a fresh LoadedDesign, so sessions opened before the reload finish
+ * on the old design while sessions opened after see the new one — the
+ * old epoch is destroyed when its last session closes.
+ *
+ * Execution.  One hot engine per design, built lazily per
+ * configuration and shared across sessions:
+ *
+ *  - batch (the default): one compiled BatchSimulator per design
+ *    epoch serves every session; each session is a multi-stream lane
+ *    (a resumable Cursor), so FEED chunks execute incrementally and
+ *    reports flow back with the FED ack;
+ *  - scalar: a per-session lock-step Simulator stepped byte by byte —
+ *    same incremental delivery, reference semantics;
+ *  - sharded / parallel: these engines reconcile whole streams, so
+ *    the session buffers its input (bounded by the byte quota) and
+ *    runs a cached host::Device at CLOSE, delivering all reports with
+ *    the CLOSED frame.
+ *
+ * Every engine produces the canonical (offset, element)-sorted report
+ * stream; the tests/serve parity harness proves the concatenated
+ * session stream byte-identical to `rapidc run` for every workload ×
+ * engine configuration.
+ *
+ * Admission control and backpressure.  Session count is capped
+ * (ServerOptions::maxSessions; OPEN beyond it gets a clean ERROR), and
+ * each session carries optional byte/report quotas.  The FED ack is
+ * only sent after a chunk fully executed, so a well-behaved client
+ * (serve::Client) can never outrun the engine.
+ *
+ * Observability.  All activity lands in obs::MetricsRegistry under
+ * `serve.*` (sessions, bytes, reports, quota trips, protocol errors,
+ * reload epochs) and is scrapable from the same port via /metrics —
+ * including *during* an active FEED, which the export tests race.
+ */
+#ifndef RAPID_SERVE_SERVER_H
+#define RAPID_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ap/image.h"
+#include "obs/http.h"
+#include "serve/protocol.h"
+
+namespace rapid::serve {
+
+struct ServerOptions {
+    /** Listen port (0 = ephemeral; read back via port()). */
+    uint16_t port = 0;
+
+    /** Compile-cache directory for inline-source OPENs ("" compiles
+     *  without caching). */
+    std::string cacheDir;
+
+    /** Concurrent-session cap; OPEN beyond it is rejected cleanly. */
+    unsigned maxSessions = 64;
+
+    /** Per-session input-byte quota (0 = unlimited). */
+    uint64_t sessionByteQuota = 0;
+
+    /** Per-session delivered-report quota (0 = unlimited). */
+    uint64_t sessionReportQuota = 0;
+
+    /** Permit OPEN by server-side .apimg path. */
+    bool allowPathOpen = true;
+
+    /** Permit OPEN with inline RAPID source. */
+    bool allowInlineSource = true;
+
+    /** Permit the RELOAD admin op. */
+    bool allowReload = true;
+};
+
+class Server {
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and start serving.  @return false with @p error set on
+     * failure (port in use, ...).
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Stop accepting, fail in-flight sessions, join all threads. */
+    void stop();
+
+    bool running() const { return _listener.running(); }
+    uint16_t port() const { return _listener.port(); }
+    std::string url() const { return _listener.url(); }
+
+    /**
+     * Load a .apimg file into the registry under @p name (also how
+     * startup --image flags arrive).  Replaces any existing binding —
+     * load twice is a hot reload.  @return the design's epoch.
+     * @throws rapid::Error when the file is unreadable or corrupt.
+     */
+    uint64_t loadImageFile(const std::string &name,
+                           const std::string &path);
+
+    /** Load an in-memory image (tests). @return the design's epoch. */
+    uint64_t loadImage(const std::string &name, ap::DesignImage image);
+
+    /** Current epoch of @p name, 0 when not loaded. */
+    uint64_t epochOf(const std::string &name) const;
+
+    /** Sessions currently between OPEN and connection teardown. */
+    size_t activeSessions() const { return _activeSessions; }
+
+    const ServerOptions &options() const { return _options; }
+
+  private:
+    struct LoadedDesign;
+    struct SessionExec;
+
+    void handleSession(int fd, std::string_view preface);
+
+    /** Resolve an OPEN to a design (loading/compiling as needed). */
+    std::shared_ptr<LoadedDesign> resolveOpen(const OpenRequest &open);
+
+    /** Bind @p image to @p name with a fresh epoch. */
+    std::shared_ptr<LoadedDesign>
+    bindDesign(const std::string &name, ap::DesignImage image);
+
+    std::shared_ptr<LoadedDesign>
+    findDesign(const std::string &name) const;
+
+    ServerOptions _options;
+    obs::MetricsServer _listener;
+
+    mutable std::mutex _registryMutex;
+    std::map<std::string, std::shared_ptr<LoadedDesign>> _registry;
+    uint64_t _nextEpoch = 1;
+
+    std::atomic<uint64_t> _nextSession{1};
+    std::atomic<size_t> _activeSessions{0};
+};
+
+} // namespace rapid::serve
+
+#endif // RAPID_SERVE_SERVER_H

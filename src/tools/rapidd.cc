@@ -1,0 +1,431 @@
+/**
+ * @file
+ * rapidd — the RAPID streaming match daemon (and its CLI client).
+ *
+ * The paper's deployment model is compile-once, run-many: placement
+ * and routing happen offline (`rapidc build`), then the compiled
+ * design is loaded once and input is streamed at rate.  rapidd is
+ * that second half as a long-lived service: it loads .apimg design
+ * images, keeps one hot engine per design, and multiplexes many
+ * concurrent client sessions over the framed match protocol
+ * (serve/protocol.h) — sharing one loopback port with the /metrics,
+ * /healthz, and /profilez observability routes.
+ *
+ * Usage:
+ *   rapidd [serve] [--image=[NAME=]x.apimg ...] [--listen=PORT]
+ *          [--cache-dir=DIR]        # compile cache for inline source
+ *          [--max-sessions=N]       # admission-control cap (def. 64)
+ *          [--byte-quota=N]         # per-session input-byte quota
+ *          [--report-quota=N]       # per-session report quota
+ *          [--no-reload] [--no-path-open] [--no-inline-source]
+ *   rapidd client (--port=P | --port-file=F)
+ *          (--name=X | --image=x.apimg | --source=prog.rapid
+ *           [--args=file])
+ *          --input=data.bin [--frame] [--chunk=N]
+ *          [--engine=scalar|batch|sharded|parallel]
+ *          [--shards=N] [--threads=N]
+ *   rapidd reload (--port=P | --port-file=F) --name=X
+ *          --image=new.apimg
+ *
+ * `serve` is the default command, so the quickstart is just
+ * `rapidd --image=x.apimg --listen=0`.  With --listen=0 the bound
+ * ephemeral port is printed to stderr and written to the file named
+ * by $RAPID_PORT_FILE, which is how scripts and tests find it.
+ *
+ * `client` runs one full session (OPEN / chunked FEED / CLOSE) and
+ * prints the canonical report stream exactly as `rapidc run` does —
+ * `offset\tcode\telement` per line — so the two are byte-diffable;
+ * the conformance suite's serve axis is exactly that diff.
+ *
+ * The daemon journals one flight-recorder line (command "serve") and
+ * exits 128+signo on SIGINT/SIGTERM via the staged-telemetry signal
+ * path — a supervisor observes exit 143 on clean SIGTERM shutdown.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "host/transformer.h"
+#include "obs/obs.h"
+#include "obs/recorder.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace rapid;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/** One --image flag: "name=path" or bare "path" (name derived). */
+struct ImageFlag {
+    std::string name;
+    std::string path;
+};
+
+struct Options {
+    std::string command = "serve";
+
+    // serve
+    std::vector<ImageFlag> images;
+    int listen = 0;
+    std::string cacheDir;
+    unsigned maxSessions = 64;
+    uint64_t byteQuota = 0;
+    uint64_t reportQuota = 0;
+    bool allowReload = true;
+    bool allowPathOpen = true;
+    bool allowInlineSource = true;
+
+    // client / reload
+    int port = -1;
+    std::string portFile;
+    std::string name;
+    std::string imagePath;
+    std::string sourcePath;
+    std::string argsPath;
+    std::string inputPath;
+    bool frame = false;
+    size_t chunk = 64 * 1024;
+    std::string engine;
+    unsigned shards = 0;
+    unsigned threads = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rapidd [serve] [--image=[NAME=]x.apimg ...] "
+        "[--listen=PORT]\n"
+        "              [--cache-dir=DIR] [--max-sessions=N] "
+        "[--byte-quota=N]\n"
+        "              [--report-quota=N] [--no-reload] "
+        "[--no-path-open]\n"
+        "              [--no-inline-source]\n"
+        "       rapidd client (--port=P | --port-file=F) "
+        "(--name=X | --image=x.apimg |\n"
+        "              --source=prog.rapid [--args=file]) "
+        "--input=data.bin [--frame]\n"
+        "              [--chunk=N] [--engine=E] [--shards=N] "
+        "[--threads=N]\n"
+        "       rapidd reload (--port=P | --port-file=F) --name=X "
+        "--image=new.apimg\n");
+    std::exit(2);
+}
+
+uint64_t
+parseCount(const std::string &flag, const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        throw Error(flag + " expects a non-negative integer, got '" +
+                    text + "'");
+    }
+    return std::stoull(text);
+}
+
+/** "dir/x.apimg" -> "x": the default registry name of an image. */
+std::string
+defaultImageName(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base.resize(dot);
+    return base.empty() ? path : base;
+}
+
+ImageFlag
+parseImageFlag(const std::string &value)
+{
+    ImageFlag flag;
+    // "name=path" when there is an '=' before any '/': a path like
+    // "dir=1/x.apimg" stays a bare path.
+    size_t eq = value.find('=');
+    size_t slash = value.find('/');
+    if (eq != std::string::npos &&
+        (slash == std::string::npos || eq < slash)) {
+        flag.name = value.substr(0, eq);
+        flag.path = value.substr(eq + 1);
+    } else {
+        flag.path = value;
+        flag.name = defaultImageName(value);
+    }
+    if (flag.name.empty() || flag.path.empty())
+        throw Error("--image expects [NAME=]PATH, got '" + value + "'");
+    return flag;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+        options.command = argv[i];
+        ++i;
+    }
+    if (options.command != "serve" && options.command != "client" &&
+        options.command != "reload") {
+        usage();
+    }
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) {
+            return arg.substr(std::strlen(flag));
+        };
+        if (startsWith(arg, "--image=")) {
+            if (options.command == "serve") {
+                options.images.push_back(
+                    parseImageFlag(value("--image=")));
+            } else {
+                options.imagePath = value("--image=");
+            }
+        } else if (startsWith(arg, "--listen=")) {
+            options.listen = static_cast<int>(
+                parseCount("--listen", value("--listen=")));
+            if (options.listen > 65535)
+                throw Error("--listen port out of range");
+        } else if (startsWith(arg, "--cache-dir=")) {
+            options.cacheDir = value("--cache-dir=");
+        } else if (startsWith(arg, "--max-sessions=")) {
+            options.maxSessions = static_cast<unsigned>(parseCount(
+                "--max-sessions", value("--max-sessions=")));
+        } else if (startsWith(arg, "--byte-quota=")) {
+            options.byteQuota =
+                parseCount("--byte-quota", value("--byte-quota="));
+        } else if (startsWith(arg, "--report-quota=")) {
+            options.reportQuota = parseCount("--report-quota",
+                                             value("--report-quota="));
+        } else if (arg == "--no-reload") {
+            options.allowReload = false;
+        } else if (arg == "--no-path-open") {
+            options.allowPathOpen = false;
+        } else if (arg == "--no-inline-source") {
+            options.allowInlineSource = false;
+        } else if (startsWith(arg, "--port=")) {
+            options.port = static_cast<int>(
+                parseCount("--port", value("--port=")));
+            if (options.port > 65535)
+                throw Error("--port out of range");
+        } else if (startsWith(arg, "--port-file=")) {
+            options.portFile = value("--port-file=");
+        } else if (startsWith(arg, "--name=")) {
+            options.name = value("--name=");
+        } else if (startsWith(arg, "--source=")) {
+            options.sourcePath = value("--source=");
+        } else if (startsWith(arg, "--args=")) {
+            options.argsPath = value("--args=");
+        } else if (startsWith(arg, "--input=")) {
+            options.inputPath = value("--input=");
+        } else if (arg == "--frame") {
+            options.frame = true;
+        } else if (startsWith(arg, "--chunk=")) {
+            options.chunk = static_cast<size_t>(
+                parseCount("--chunk", value("--chunk=")));
+            if (options.chunk == 0)
+                throw Error("--chunk must be positive");
+        } else if (startsWith(arg, "--engine=")) {
+            options.engine = value("--engine=");
+            host::parseEngine(options.engine); // validate early
+        } else if (startsWith(arg, "--shards=")) {
+            options.shards = static_cast<unsigned>(
+                parseCount("--shards", value("--shards=")));
+        } else if (startsWith(arg, "--threads=")) {
+            options.threads = static_cast<unsigned>(
+                parseCount("--threads", value("--threads=")));
+        } else {
+            usage();
+        }
+    }
+    if (options.cacheDir.empty())
+        options.cacheDir = host::CompileCache::dirFromEnv();
+    return options;
+}
+
+/** Resolve --port / --port-file to the daemon's port. */
+uint16_t
+resolvePort(const Options &options)
+{
+    if (options.port >= 0)
+        return static_cast<uint16_t>(options.port);
+    if (options.portFile.empty())
+        throw Error("--port or --port-file is required");
+    std::string text = readFile(options.portFile);
+    std::string trimmed(trim(text));
+    uint64_t port = parseCount("--port-file", trimmed);
+    if (port == 0 || port > 65535)
+        throw Error("port file holds no usable port: " + trimmed);
+    return static_cast<uint16_t>(port);
+}
+
+/** Load --input, optionally framing lines into records (--frame),
+ *  exactly as `rapidc run` does — parity depends on it. */
+std::string
+loadInput(const Options &options)
+{
+    if (options.inputPath.empty())
+        throw Error("--input is required for client mode");
+    std::string raw =
+        options.inputPath == "-"
+            ? std::string(std::istreambuf_iterator<char>(std::cin), {})
+            : readFile(options.inputPath);
+    if (!options.frame)
+        return raw;
+    host::InputTransformer transformer;
+    std::vector<std::string> records;
+    for (const std::string &line : split(raw, '\n')) {
+        if (!line.empty())
+            records.push_back(line);
+    }
+    return transformer.frame(records);
+}
+
+int
+runServe(const Options &options)
+{
+    serve::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(options.listen);
+    server_options.cacheDir = options.cacheDir;
+    server_options.maxSessions = options.maxSessions;
+    server_options.sessionByteQuota = options.byteQuota;
+    server_options.sessionReportQuota = options.reportQuota;
+    server_options.allowReload = options.allowReload;
+    server_options.allowPathOpen = options.allowPathOpen;
+    server_options.allowInlineSource = options.allowInlineSource;
+
+    serve::Server server(std::move(server_options));
+    for (const ImageFlag &image : options.images)
+        server.loadImageFile(image.name, image.path);
+
+    std::string error;
+    if (!server.start(&error))
+        throw Error("cannot start: " + error);
+    std::fprintf(stderr,
+                 "rapidd: serving on %s (match protocol + /metrics), "
+                 "%zu design(s) loaded\n",
+                 server.url().c_str(), options.images.size());
+
+    // Quiescent point: the daemon is up.  Stage telemetry and a
+    // flight-recorder line so SIGINT/SIGTERM journals the service run
+    // and exits 128+signo (a supervisor sees 143 on clean SIGTERM).
+    obs::FlightRecord flight;
+    flight.command = "serve";
+    flight.program = options.images.empty()
+                         ? server.url()
+                         : options.images.front().path;
+    obs::stageTelemetrySnapshot();
+    obs::FlightRecorder::instance().stage(flight);
+
+    // Signals do all the lifecycle work; the main thread just parks.
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+int
+runClient(const Options &options)
+{
+    serve::OpenRequest request;
+    if (!options.name.empty()) {
+        request.kind = serve::OpenKind::Name;
+        request.target = options.name;
+    } else if (!options.imagePath.empty()) {
+        request.kind = serve::OpenKind::ImagePath;
+        request.target = options.imagePath;
+    } else if (!options.sourcePath.empty()) {
+        request.kind = serve::OpenKind::InlineSource;
+        request.target = readFile(options.sourcePath);
+        if (!options.argsPath.empty())
+            request.argsText = readFile(options.argsPath);
+    } else {
+        throw Error(
+            "client mode needs --name, --image, or --source");
+    }
+    request.engine = options.engine;
+    request.shards = options.shards;
+    request.threads = options.threads;
+
+    std::string input = loadInput(options);
+
+    serve::Client client;
+    client.connect(resolvePort(options));
+    client.open(request);
+    std::vector<serve::ReportRecord> reports;
+    for (size_t begin = 0; begin < input.size();
+         begin += options.chunk) {
+        std::vector<serve::ReportRecord> batch = client.feed(
+            std::string_view(input).substr(begin, options.chunk));
+        reports.insert(reports.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+    }
+    serve::ClosedInfo closed;
+    std::vector<serve::ReportRecord> tail = client.finish(&closed);
+    reports.insert(reports.end(),
+                   std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+
+    std::string text = serve::reportsText(reports);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fprintf(stderr, "%zu report(s) over %llu symbols\n",
+                 reports.size(),
+                 static_cast<unsigned long long>(closed.totalBytes));
+    return 0;
+}
+
+int
+runReload(const Options &options)
+{
+    if (options.name.empty() || options.imagePath.empty())
+        throw Error("reload mode needs --name and --image");
+    serve::Client client;
+    client.connect(resolvePort(options));
+    serve::ReloadedInfo info =
+        client.reload(options.name, options.imagePath);
+    std::fprintf(stderr, "reloaded '%s' at epoch %llu\n",
+                 options.name.c_str(),
+                 static_cast<unsigned long long>(info.epoch));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = parseOptions(argc, argv);
+    obs::initFromEnv();
+    obs::installSignalFlush();
+    try {
+        if (options.command == "serve")
+            return runServe(options);
+        if (options.command == "client")
+            return runClient(options);
+        return runReload(options);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "rapidd: %s\n", error.what());
+        return 1;
+    }
+}

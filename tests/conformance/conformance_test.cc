@@ -23,11 +23,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace rapid {
@@ -206,6 +209,107 @@ checkExample(const std::string &name)
                   expected)
             << name << " under RAPID_ENGINE=" << engine
             << " with RAPID_IMAGE_ROUNDTRIP=1";
+    }
+}
+
+/**
+ * The serve axis: a live rapidd daemon replays every workload golden.
+ * One daemon hosts all three designs; the bundled `rapidd client`
+ * streams each conformance input through a session (odd chunk size,
+ * so FEED boundaries never align with record or pattern boundaries)
+ * and its stdout must reproduce the checked-in golden byte for byte —
+ * the streaming service and the one-shot CLI are interchangeable.
+ */
+class ServeDaemon {
+  public:
+    explicit ServeDaemon(const std::string &image_flags)
+    {
+        std::remove(portFile().c_str());
+        const std::string boot =
+            "RAPID_PORT_FILE=" + portFile() +
+            " RAPID_FLIGHTLOG=off " RAPID_RAPIDD_PATH " " +
+            image_flags +
+            " --listen=0 > /dev/null 2>&1 & echo $! > " + pidFile();
+        if (std::system(boot.c_str()) != 0)
+            return;
+        for (int i = 0; i < 200; ++i) {
+            std::ifstream in(portFile());
+            unsigned port = 0;
+            if (in >> port && port != 0) {
+                _up = true;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+        }
+    }
+
+    ~ServeDaemon()
+    {
+        std::system(("kill $(cat " + pidFile() +
+                     ") > /dev/null 2>&1; wait > /dev/null 2>&1")
+                        .c_str());
+        std::remove(portFile().c_str());
+        std::remove(pidFile().c_str());
+    }
+
+    bool up() const { return _up; }
+    static std::string portFile() { return "conformance_serve.port"; }
+    static std::string pidFile() { return "conformance_serve.pid"; }
+
+  private:
+    bool _up = false;
+};
+
+TEST(Conformance, ServeWorkloads)
+{
+    const std::string root = RAPID_SOURCE_DIR;
+    struct Entry {
+        const char *name;
+        bool frame;
+    };
+    const std::vector<Entry> entries = {{"exact_dna", false},
+                                        {"hamming", true},
+                                        {"motif_scan", false}};
+
+    std::string image_flags;
+    for (const Entry &entry : entries) {
+        const std::string image =
+            std::string("conformance_serve_") + entry.name + ".apimg";
+        const std::string build = std::string(RAPID_RAPIDC_PATH) +
+                                  " build " + root + "/workloads/" +
+                                  entry.name + ".rapid --args " +
+                                  root + "/workloads/" + entry.name +
+                                  ".args -o " + image +
+                                  " > /dev/null 2> /dev/null";
+        ASSERT_EQ(std::system(build.c_str()), 0) << build;
+        image_flags += std::string(" --image=") + entry.name + "=" +
+                       image;
+    }
+
+    ServeDaemon daemon(image_flags);
+    ASSERT_TRUE(daemon.up()) << "rapidd never wrote its port file";
+
+    size_t tag = 0;
+    for (const Entry &entry : entries) {
+        const std::string expected =
+            golden(std::string("workload_") + entry.name);
+        for (const std::string &flags : kEngineFlags) {
+            std::string command =
+                std::string(RAPID_RAPIDD_PATH) +
+                " client --port-file=" + ServeDaemon::portFile() +
+                " --name=" + entry.name + " " + flags +
+                " --chunk=997 --input=" + root +
+                "/tests/conformance/inputs/" + entry.name + ".input";
+            if (entry.frame)
+                command += " --frame";
+            EXPECT_EQ(captureStdout(command,
+                                    std::string("serve_") +
+                                        entry.name +
+                                        std::to_string(tag++)),
+                      expected)
+                << entry.name << " served under " << flags;
+        }
     }
 }
 

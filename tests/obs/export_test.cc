@@ -40,6 +40,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "host/compile_cache.h"
 #include "host/device.h"
 #include "lang/codegen.h"
 #include "lang/parser.h"
@@ -47,6 +48,8 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -319,6 +322,100 @@ network () { { 'a' == input(); 'b' == input(); report; } }
                   .counter("sim.reports")
                   .value(),
               device.stats().reports);
+    server.stop();
+}
+
+TEST_F(ExportTest, SharedListenerServesScrapesDuringFeed)
+{
+    // The serve::Server owns the same MetricsServer acceptor that
+    // /metrics rides on: one loopback port classifies each connection
+    // by preface and serves both.  Hold a match session open
+    // mid-FEED and scrape concurrently — every exposition must stay
+    // strictly valid, the serve.* instruments must be visible, and
+    // the session's report stream must come out exact.
+    lang::Program program = lang::parseProgram(R"(
+network () { { 'a' == input(); 'b' == input(); report; } }
+)");
+    auto compiled = lang::compileProgram(program, {});
+    ap::DesignImage image = host::buildImage(compiled);
+
+    serve::Server server;
+    server.loadImage("ab", image);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Rng rng(7);
+    const std::string input = rng.string(1 << 16, "ab");
+    const std::string expected = [&] {
+        host::Device reference(image, host::Engine::Scalar);
+        std::vector<serve::ReportRecord> records;
+        for (host::HostReport &report : reference.run(input)) {
+            serve::ReportRecord record;
+            record.offset = report.offset;
+            record.code = std::move(report.code);
+            record.element = std::move(report.element);
+            records.push_back(std::move(record));
+        }
+        return serve::reportsText(records);
+    }();
+
+    serve::OpenRequest request;
+    request.kind = serve::OpenKind::Name;
+    request.target = "ab";
+    request.engine = "batch";
+    serve::Client client;
+    client.connect(server.port());
+    client.open(request);
+
+    // Deterministic half: with the session provably mid-stream, a
+    // scrape on the SAME port must succeed and see the live session.
+    std::vector<serve::ReportRecord> reports =
+        client.feed(std::string_view(input).substr(0, input.size() / 2));
+    const std::string mid_feed = httpGet(server.port(), "/metrics");
+    std::string validation_error;
+    ASSERT_TRUE(validExposition(mid_feed, &validation_error))
+        << validation_error;
+    EXPECT_NE(mid_feed.find("\nrapid_serve_sessions_active 1"),
+              std::string::npos);
+    EXPECT_NE(mid_feed.find("rapid_serve_bytes_in_total"),
+              std::string::npos);
+
+    // Racing half: hammer /metrics while the rest of the stream is
+    // fed in small chunks through the same acceptor.
+    std::atomic<bool> done{false};
+    std::atomic<int> bad_scrapes{0};
+    std::thread scraper([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const std::string text = httpGet(server.port(), "/metrics");
+            std::string why;
+            if (text.empty() || !validExposition(text, &why))
+                ++bad_scrapes;
+        }
+    });
+    for (size_t begin = input.size() / 2; begin < input.size();
+         begin += 509) {
+        std::vector<serve::ReportRecord> batch = client.feed(
+            std::string_view(input).substr(begin, 509));
+        reports.insert(reports.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+    }
+    std::vector<serve::ReportRecord> tail = client.finish();
+    reports.insert(reports.end(),
+                   std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    done.store(true);
+    scraper.join();
+
+    EXPECT_EQ(bad_scrapes.load(), 0);
+    EXPECT_EQ(serve::reportsText(reports), expected);
+
+    // The shared listener saw both protocols; the byte counter
+    // reconciles to exactly one full stream.
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .counter("serve.bytes_in")
+                  .value(),
+              input.size());
     server.stop();
 }
 

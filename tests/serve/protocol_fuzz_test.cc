@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Protocol robustness tests for the rapidd framed wire protocol:
+ * malformed frames (truncated length prefix, oversized declared
+ * length, zero length, truncated payload, unknown opcodes), state
+ * machine abuse (FEED before OPEN, double CLOSE), and garbage
+ * prefaces must produce a clean per-session error — never take down
+ * the daemon or disturb other sessions.  Every abuse case finishes
+ * with a full known-good session against the same live server, and
+ * the serve.protocol_errors counter is reconciled.  Labelled `serve`
+ * so the sanitizer CI leg replays these under ASan/UBSan.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/serve_util.h"
+#include "support/error.h"
+
+namespace rapid {
+namespace {
+
+using namespace rapid::serve;
+using namespace rapid::serve_test;
+
+uint64_t
+protocolErrors()
+{
+    return obs::MetricsRegistry::instance()
+        .counter("serve.protocol_errors")
+        .value();
+}
+
+/** Raw loopback connection with a receive timeout — for bytes the
+ *  Client library would refuse to send. */
+int
+rawConnect(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    timeval timeout{};
+    timeout.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+    return fd;
+}
+
+void
+sendAll(int fd, std::string_view bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        sent += static_cast<size_t>(n);
+    }
+}
+
+std::string
+recvAll(int fd)
+{
+    std::string out;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+        out.append(buffer, static_cast<size_t>(n));
+    return out;
+}
+
+std::string
+le32(uint32_t value)
+{
+    std::string out(4, '\0');
+    out[0] = static_cast<char>(value & 0xFF);
+    out[1] = static_cast<char>((value >> 8) & 0xFF);
+    out[2] = static_cast<char>((value >> 16) & 0xFF);
+    out[3] = static_cast<char>((value >> 24) & 0xFF);
+    return out;
+}
+
+std::string
+magic()
+{
+    return std::string(kMagic, kMagicSize);
+}
+
+/**
+ * One live server for the whole suite: the point is that every abuse
+ * case below hits the SAME daemon instance and leaves it healthy.
+ */
+class ProtocolFuzzTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite()
+    {
+        server = std::make_unique<Server>();
+        server->loadImage("dna", workloadImage("exact_dna"));
+        std::string error;
+        ASSERT_TRUE(server->start(&error)) << error;
+    }
+
+    static void TearDownTestSuite()
+    {
+        server.reset();
+    }
+
+    /** A complete OPEN/FEED/CLOSE session must still succeed and
+     *  still match the scalar reference — the daemon is unharmed. */
+    void assertServerHealthy()
+    {
+        const Workload &workload = workloads()[0];
+        OpenRequest request;
+        request.kind = OpenKind::Name;
+        request.target = "dna";
+        Client client;
+        client.connect(server->port());
+        std::vector<ReportRecord> reports =
+            client.run(request, workloadInput(workload), 1024);
+        EXPECT_EQ(reportsText(reports),
+                  scalarReferenceText(workload));
+    }
+
+    /** Expect the next server frame on @p fd to be a clean ERROR. */
+    void expectErrorFrame(int fd)
+    {
+        Frame frame;
+        std::string why;
+        ASSERT_EQ(readFrame(fd, &frame, &why), ReadResult::Ok) << why;
+        EXPECT_EQ(static_cast<Op>(frame.op), Op::Error)
+            << "got " << opName(frame.op);
+        EXPECT_FALSE(decodeError(frame.payload).empty());
+    }
+
+    static std::unique_ptr<Server> server;
+};
+
+std::unique_ptr<Server> ProtocolFuzzTest::server;
+
+TEST_F(ProtocolFuzzTest, GarbageMagicFallsThroughToHttp)
+{
+    const int fd = rawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    sendAll(fd, "XXXX not a real protocol\r\n\r\n");
+    ::shutdown(fd, SHUT_WR);
+    const std::string response = recvAll(fd);
+    ::close(fd);
+    // Non-magic prefaces route to the HTTP handler, which answers
+    // (with an error status) instead of wedging the acceptor slot.
+    EXPECT_NE(response.find("HTTP/1.1"), std::string::npos);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, TruncatedLengthPrefix)
+{
+    const uint64_t before = protocolErrors();
+    const int fd = rawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    sendAll(fd, magic() + std::string("\x02\x00", 2));
+    ::shutdown(fd, SHUT_WR);
+    expectErrorFrame(fd);
+    ::close(fd);
+    EXPECT_GE(protocolErrors(), before + 1);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, OversizedDeclaredLength)
+{
+    const uint64_t before = protocolErrors();
+    const int fd = rawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    // 4 GiB declared: must be rejected from the prefix alone, not
+    // allocated or awaited.
+    sendAll(fd, magic() + le32(0xFFFFFFFFu) + std::string(1, '\x01'));
+    expectErrorFrame(fd);
+    ::close(fd);
+    EXPECT_GE(protocolErrors(), before + 1);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, ZeroDeclaredLength)
+{
+    const uint64_t before = protocolErrors();
+    const int fd = rawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    sendAll(fd, magic() + le32(0));
+    expectErrorFrame(fd);
+    ::close(fd);
+    EXPECT_GE(protocolErrors(), before + 1);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, TruncatedPayload)
+{
+    const uint64_t before = protocolErrors();
+    const int fd = rawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    // Declares 100 bytes, delivers an opcode plus 10.
+    sendAll(fd, magic() + le32(100) + std::string(1, '\x01') +
+                    std::string(10, 'x'));
+    ::shutdown(fd, SHUT_WR);
+    expectErrorFrame(fd);
+    ::close(fd);
+    EXPECT_GE(protocolErrors(), before + 1);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, UnknownOpcode)
+{
+    const uint64_t before = protocolErrors();
+    Client client;
+    client.connect(server->port());
+    ASSERT_TRUE(writeFrame(client.fd(), static_cast<Op>(0x7F), ""));
+    expectErrorFrame(client.fd());
+    EXPECT_GE(protocolErrors(), before + 1);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, MalformedOpenPayload)
+{
+    Client client;
+    client.connect(server->port());
+    // An OPEN whose payload stops mid-field.
+    ASSERT_TRUE(
+        writeFrame(client.fd(), Op::Open, std::string(1, '\x02')));
+    expectErrorFrame(client.fd());
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, FeedBeforeOpen)
+{
+    Client client;
+    client.connect(server->port());
+    EXPECT_THROW(client.feed("ACGT"), Error);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, DoubleClose)
+{
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "dna";
+    Client client;
+    client.connect(server->port());
+    client.open(request);
+    client.feed("ACGT");
+    client.finish();
+    EXPECT_THROW(client.finish(), Error);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, DoubleOpen)
+{
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "dna";
+    Client client;
+    client.connect(server->port());
+    client.open(request);
+    EXPECT_THROW(client.open(request), Error);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, UnknownDesignName)
+{
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "no_such_design";
+    Client client;
+    client.connect(server->port());
+    EXPECT_THROW(client.open(request), Error);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, BadImagePathOpen)
+{
+    OpenRequest request;
+    request.kind = OpenKind::ImagePath;
+    request.target = "no_such_image.apimg";
+    Client client;
+    client.connect(server->port());
+    EXPECT_THROW(client.open(request), Error);
+    assertServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, BadInlineSourceOpen)
+{
+    OpenRequest request;
+    request.kind = OpenKind::InlineSource;
+    request.target = "macro Broken(";
+    Client client;
+    client.connect(server->port());
+    EXPECT_THROW(client.open(request), Error);
+    assertServerHealthy();
+}
+
+/** A victim session mid-FEED must be untouched by a parallel
+ *  connection spraying malformed frames. */
+TEST_F(ProtocolFuzzTest, GarbageDoesNotDisturbOtherSessions)
+{
+    const Workload &workload = workloads()[0];
+    const std::string input = workloadInput(workload);
+
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "dna";
+    request.engine = "batch";
+    Client session;
+    session.connect(server->port());
+    session.open(request);
+    std::vector<ReportRecord> reports =
+        session.feed(input.substr(0, input.size() / 2));
+
+    // The attacker: truncated frames, oversized lengths, raw junk.
+    for (int i = 0; i < 8; ++i) {
+        const int fd = rawConnect(server->port());
+        ASSERT_GE(fd, 0);
+        switch (i % 4) {
+          case 0:
+            sendAll(fd, magic() + le32(0xFFFFFFFFu));
+            break;
+          case 1:
+            sendAll(fd, magic() + std::string("\x01", 1));
+            break;
+          case 2:
+            sendAll(fd, std::string(64, '\xFF'));
+            break;
+          default:
+            sendAll(fd, magic() + le32(3) + "\x7F" +
+                            std::string(2, '\0'));
+            break;
+        }
+        ::shutdown(fd, SHUT_WR);
+        recvAll(fd);
+        ::close(fd);
+    }
+
+    // The victim finishes and its stream is still exact.
+    std::vector<ReportRecord> rest =
+        session.feed(input.substr(input.size() / 2));
+    reports.insert(reports.end(),
+                   std::make_move_iterator(rest.begin()),
+                   std::make_move_iterator(rest.end()));
+    std::vector<ReportRecord> tail = session.finish();
+    reports.insert(reports.end(),
+                   std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    EXPECT_EQ(reportsText(reports), scalarReferenceText(workload));
+}
+
+} // namespace
+} // namespace rapid

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Client-parity, soak, hot-reload, and daemon-lifecycle tests for the
+ * rapidd streaming match service (the `serve` ctest label).
+ *
+ * Parity: the in-tree serve::Client drives an in-process serve::Server
+ * over real loopback sockets with randomized FEED chunk boundaries,
+ * and the concatenated report stream must be byte-identical to
+ * `rapidc run` for every conformance workload x engine configuration
+ * — the compile-once / stream-many service and the one-shot CLI are
+ * interchangeable observers of the same design.
+ *
+ * Soak: >= 32 interleaved sessions across engines and workloads, with
+ * randomized chunking, mid-stream client kills plus retries, and a
+ * server kill/restart under live sessions — every surviving session's
+ * stream still matches the scalar reference.
+ *
+ * Reload: sessions opened before a RELOAD finish on their pinned
+ * epoch, sessions opened after see the new design, failed reloads
+ * leave the old design serving, and the serve.reload.* counters
+ * reconcile exactly.
+ *
+ * Lifecycle: the real rapidd binary boots, writes $RAPID_PORT_FILE,
+ * serves a library-client session plus an HTTP scrape on the same
+ * port, and exits 143 on SIGTERM with exactly one flight-recorder
+ * line (command "serve").
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <thread>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ap/image.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/serve_util.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid {
+namespace {
+
+using namespace rapid::serve;
+using namespace rapid::serve_test;
+
+uint64_t
+counterValue(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+/** Feed @p input in Rng-sized chunks and return the full stream. */
+std::string
+streamSession(Client &client, const OpenRequest &request,
+              std::string_view input, Rng &rng)
+{
+    client.open(request);
+    std::vector<ReportRecord> reports;
+    size_t begin = 0;
+    while (begin < input.size()) {
+        const size_t size = static_cast<size_t>(rng.range(
+            1, std::min<int64_t>(4096,
+                                 static_cast<int64_t>(input.size() -
+                                                      begin))));
+        std::vector<ReportRecord> batch =
+            client.feed(input.substr(begin, size));
+        reports.insert(reports.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+        begin += size;
+    }
+    std::vector<ReportRecord> tail = client.finish();
+    reports.insert(reports.end(),
+                   std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    return reportsText(reports);
+}
+
+/** `rapidc run` stdout for @p workload under @p cli_flags. */
+std::string
+rapidcReference(const Workload &workload, const std::string &cli_flags)
+{
+    const std::string root = sourceRoot();
+    const std::string out =
+        std::string("serve_ref_") + workload.name + ".out";
+    std::string command = std::string(RAPID_RAPIDC_PATH) + " run " +
+                          cli_flags + " " + root + "/workloads/" +
+                          workload.name + ".rapid --args " + root +
+                          "/workloads/" + workload.name +
+                          ".args --input " + root +
+                          "/tests/conformance/inputs/" +
+                          workload.name + ".input";
+    if (workload.frame)
+        command += " --frame";
+    command += " > " + out + " 2> /dev/null";
+    EXPECT_EQ(std::system(command.c_str()), 0) << command;
+    return readFile(out);
+}
+
+void
+checkParity(const Workload &workload)
+{
+    Server server;
+    server.loadImage(workload.name, workloadImage(workload.name));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const std::string input = workloadInput(workload);
+    Rng rng(0xC0FFEE ^ std::hash<std::string>{}(workload.name));
+    for (const EngineConfig &config : engineConfigs()) {
+        SCOPED_TRACE(std::string(workload.name) + " under " +
+                     config.cliFlags);
+        const std::string expected =
+            rapidcReference(workload, config.cliFlags);
+        ASSERT_FALSE(expected.empty())
+            << "reference produced no reports";
+
+        OpenRequest request;
+        request.kind = OpenKind::Name;
+        request.target = workload.name;
+        request.engine = config.engine;
+        request.shards = config.shards;
+        request.threads = config.threads;
+
+        Client client;
+        client.connect(server.port());
+        EXPECT_EQ(streamSession(client, request, input, rng),
+                  expected);
+    }
+}
+
+TEST(ServeParity, ExactDna) { checkParity(workloads()[0]); }
+TEST(ServeParity, Hamming) { checkParity(workloads()[1]); }
+TEST(ServeParity, MotifScan) { checkParity(workloads()[2]); }
+
+/** OPEN by image path and by inline source match OPEN by name. */
+TEST(ServeParity, PathAndInlineSourceOpens)
+{
+    const Workload &workload = workloads()[0]; // exact_dna
+    const std::string image_path = "serve_open_path.apimg";
+    ap::writeImageFile(image_path, workloadImage(workload.name));
+
+    Server server;
+    server.loadImage(workload.name, workloadImage(workload.name));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const std::string input = workloadInput(workload);
+    Rng rng(2024);
+
+    OpenRequest by_name;
+    by_name.kind = OpenKind::Name;
+    by_name.target = workload.name;
+    Client client;
+    client.connect(server.port());
+    const std::string expected =
+        streamSession(client, by_name, input, rng);
+    EXPECT_EQ(expected, scalarReferenceText(workload));
+
+    OpenRequest by_path;
+    by_path.kind = OpenKind::ImagePath;
+    by_path.target = image_path;
+    Client path_client;
+    path_client.connect(server.port());
+    EXPECT_EQ(streamSession(path_client, by_path, input, rng),
+              expected);
+
+    OpenRequest by_source;
+    by_source.kind = OpenKind::InlineSource;
+    by_source.target = workloadSource(workload.name);
+    by_source.argsText = workloadArgsText(workload.name);
+    Client source_client;
+    source_client.connect(server.port());
+    EXPECT_EQ(streamSession(source_client, by_source, input, rng),
+              expected);
+}
+
+/** Quotas trip cleanly: over-quota sessions get a clean ERROR and
+ *  the daemon keeps serving within-quota ones. */
+TEST(ServeParity, QuotasAreEnforced)
+{
+    const Workload &workload = workloads()[0];
+    ServerOptions options;
+    options.sessionByteQuota = 64;
+    Server server(options);
+    server.loadImage(workload.name, workloadImage(workload.name));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = workload.name;
+
+    Client client;
+    client.connect(server.port());
+    client.open(request);
+    client.feed(std::string(64, 'A'));
+    EXPECT_THROW(client.feed("x"), Error);
+
+    // The quota is per-session, not per-daemon.
+    Client fresh;
+    fresh.connect(server.port());
+    fresh.open(request);
+    fresh.feed(std::string(32, 'A'));
+    ClosedInfo closed;
+    fresh.finish(&closed);
+    EXPECT_EQ(closed.totalBytes, 32u);
+}
+
+/** Session admission: the cap rejects the N+1st OPEN cleanly. */
+TEST(ServeParity, AdmissionControlCapsSessions)
+{
+    const Workload &workload = workloads()[0];
+    ServerOptions options;
+    options.maxSessions = 2;
+    Server server(options);
+    server.loadImage(workload.name, workloadImage(workload.name));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = workload.name;
+
+    const uint64_t rejected_before =
+        counterValue("serve.sessions.rejected");
+    Client first, second, third;
+    first.connect(server.port());
+    second.connect(server.port());
+    third.connect(server.port());
+    first.open(request);
+    second.open(request);
+    EXPECT_THROW(third.open(request), Error);
+    EXPECT_EQ(counterValue("serve.sessions.rejected"),
+              rejected_before + 1);
+
+    // Freeing a slot re-admits.
+    first.finish();
+    first.disconnect();
+    for (int i = 0; i < 100 && server.activeSessions() >= 2; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Client fourth;
+    fourth.connect(server.port());
+    EXPECT_NO_THROW(fourth.open(request));
+}
+
+/**
+ * The soak: 32 interleaved sessions over two workloads and all four
+ * engines with randomized chunking; every 4th client first kills its
+ * connection mid-stream, then retries with a clean session.  Every
+ * completed stream must equal the scalar reference.
+ */
+TEST(ServeSoak, InterleavedSessionsMatchScalarReference)
+{
+    Server server;
+    server.loadImage("exact_dna", workloadImage("exact_dna"));
+    server.loadImage("motif_scan", workloadImage("motif_scan"));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const Workload &dna = workloads()[0];
+    const Workload &motif = workloads()[2];
+    const char *kEngines[] = {"scalar", "batch", "sharded",
+                              "parallel"};
+
+    // Warm the static reference caches on this thread: the workers
+    // below only ever read them.
+    scalarReferenceText(dna);
+    scalarReferenceText(motif);
+
+    constexpr int kSessions = 32;
+    std::vector<std::string> failures(kSessions);
+    std::vector<std::thread> threads;
+    threads.reserve(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+        threads.emplace_back([&, i] {
+            const Workload &workload = (i % 2 == 0) ? dna : motif;
+            const std::string input = workloadInput(workload);
+            const std::string &expected =
+                scalarReferenceText(workload);
+            Rng rng(0x50AC + static_cast<uint64_t>(i));
+            try {
+                if (i % 4 == 0) {
+                    // Kill mid-stream: feed a prefix, vanish without
+                    // CLOSE.  The server must just tear the session
+                    // down; the retry below must be unaffected.
+                    Client victim;
+                    victim.connect(server.port());
+                    OpenRequest request;
+                    request.kind = OpenKind::Name;
+                    request.target = workload.name;
+                    request.engine = kEngines[i % 4];
+                    victim.open(request);
+                    victim.feed(input.substr(
+                        0, std::max<size_t>(1, input.size() / 3)));
+                    victim.disconnect();
+                }
+                OpenRequest request;
+                request.kind = OpenKind::Name;
+                request.target = workload.name;
+                request.engine = kEngines[i % 4];
+                Client client;
+                client.connect(server.port());
+                const std::string got =
+                    streamSession(client, request, input, rng);
+                if (got != expected) {
+                    failures[i] = strprintf(
+                        "session %d (%s, %s): stream diverged "
+                        "(%zu vs %zu bytes)",
+                        i, workload.name, kEngines[i % 4],
+                        got.size(), expected.size());
+                }
+            } catch (const std::exception &error) {
+                failures[i] = strprintf("session %d (%s, %s): %s", i,
+                                        workload.name,
+                                        kEngines[i % 4],
+                                        error.what());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (const std::string &failure : failures)
+        EXPECT_EQ(failure, "");
+
+    // All sessions torn down: the active gauge settles back to zero.
+    for (int i = 0; i < 500 && server.activeSessions() != 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server.activeSessions(), 0u);
+}
+
+/** Kill the daemon under live sessions, restart, and re-run: clients
+ *  see clean failures, the restarted service produces exact streams. */
+TEST(ServeSoak, ServerKillRestartMidStream)
+{
+    const Workload &workload = workloads()[0];
+    const std::string input = workloadInput(workload);
+    const std::string &expected = scalarReferenceText(workload);
+
+    auto server = std::make_unique<Server>();
+    server->loadImage(workload.name, workloadImage(workload.name));
+    std::string error;
+    ASSERT_TRUE(server->start(&error)) << error;
+
+    // Park several sessions mid-stream.
+    constexpr int kClients = 8;
+    std::vector<Client> clients(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients[static_cast<size_t>(i)].connect(server->port());
+        OpenRequest request;
+        request.kind = OpenKind::Name;
+        request.target = workload.name;
+        request.engine = (i % 2 == 0) ? "batch" : "scalar";
+        clients[static_cast<size_t>(i)].open(request);
+        clients[static_cast<size_t>(i)].feed(
+            input.substr(0, input.size() / 2));
+    }
+
+    // Kill.  In-flight clients observe a transport error (never a
+    // hang, never a torn frame that parses as success).
+    server->stop();
+    for (Client &client : clients)
+        EXPECT_THROW(client.feed(input), Error);
+
+    // Restart on a fresh port and re-run every stream to completion.
+    server = std::make_unique<Server>();
+    server->loadImage(workload.name, workloadImage(workload.name));
+    ASSERT_TRUE(server->start(&error)) << error;
+    Rng rng(777);
+    for (int i = 0; i < kClients; ++i) {
+        OpenRequest request;
+        request.kind = OpenKind::Name;
+        request.target = workload.name;
+        request.engine = (i % 2 == 0) ? "batch" : "scalar";
+        Client client;
+        client.connect(server->port());
+        EXPECT_EQ(streamSession(client, request, input, rng),
+                  expected);
+    }
+}
+
+/**
+ * Directed hot reload: a session opened before RELOAD completes on
+ * the old design; one opened after sees the new design and epoch;
+ * a failed reload changes nothing; serve.reload.* reconcile exactly.
+ */
+TEST(ServeReload, EpochPinningAndCounters)
+{
+    const Workload &dna = workloads()[0];
+    const Workload &motif = workloads()[2];
+    const std::string input = workloadInput(dna);
+    const std::string motif_input = workloadInput(motif);
+
+    const std::string image_b = "serve_reload_b.apimg";
+    ap::writeImageFile(image_b, workloadImage(motif.name));
+
+    Server server;
+    server.loadImage("w", workloadImage(dna.name));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const uint64_t epoch_a = server.epochOf("w");
+    ASSERT_NE(epoch_a, 0u);
+
+    const uint64_t reloads_before = counterValue("serve.reload.count");
+    const uint64_t reload_errors_before =
+        counterValue("serve.reload.errors");
+
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "w";
+    request.engine = "batch";
+
+    // Session pinned to epoch A, mid-stream.
+    Client pinned;
+    pinned.connect(server.port());
+    OpenedInfo pinned_info = pinned.open(request);
+    EXPECT_EQ(pinned_info.epoch, epoch_a);
+    std::vector<ReportRecord> pinned_reports =
+        pinned.feed(input.substr(0, input.size() / 2));
+
+    // Hot reload: rebind "w" to the motif_scan design.
+    Client admin;
+    admin.connect(server.port());
+    ReloadedInfo reloaded = admin.reload("w", image_b);
+    EXPECT_GT(reloaded.epoch, epoch_a);
+    EXPECT_EQ(server.epochOf("w"), reloaded.epoch);
+    EXPECT_EQ(counterValue("serve.reload.count"), reloads_before + 1);
+
+    // The pinned session finishes on the OLD design.
+    std::vector<ReportRecord> rest =
+        pinned.feed(input.substr(input.size() / 2));
+    pinned_reports.insert(pinned_reports.end(),
+                          std::make_move_iterator(rest.begin()),
+                          std::make_move_iterator(rest.end()));
+    std::vector<ReportRecord> tail = pinned.finish();
+    pinned_reports.insert(pinned_reports.end(),
+                          std::make_move_iterator(tail.begin()),
+                          std::make_move_iterator(tail.end()));
+    EXPECT_EQ(reportsText(pinned_reports), scalarReferenceText(dna));
+
+    // A session opened after the reload sees the NEW design (fed the
+    // new design's own input: the old one matches nothing in it).
+    Client fresh;
+    fresh.connect(server.port());
+    OpenedInfo fresh_info = fresh.open(request);
+    EXPECT_EQ(fresh_info.epoch, reloaded.epoch);
+    std::vector<ReportRecord> fresh_reports = fresh.feed(motif_input);
+    std::vector<ReportRecord> fresh_tail = fresh.finish();
+    fresh_reports.insert(fresh_reports.end(),
+                         std::make_move_iterator(fresh_tail.begin()),
+                         std::make_move_iterator(fresh_tail.end()));
+    EXPECT_EQ(reportsText(fresh_reports),
+              scalarReferenceText(motif));
+
+    // A failed reload must leave the bound design untouched.
+    Client failing;
+    failing.connect(server.port());
+    EXPECT_THROW(failing.reload("w", "no_such_file.apimg"), Error);
+    EXPECT_EQ(server.epochOf("w"), reloaded.epoch);
+    EXPECT_EQ(counterValue("serve.reload.errors"),
+              reload_errors_before + 1);
+    EXPECT_EQ(counterValue("serve.reload.count"), reloads_before + 1);
+
+    // And the design still serves.
+    Client check;
+    check.connect(server.port());
+    Rng rng(31337);
+    EXPECT_EQ(streamSession(check, request, motif_input, rng),
+              scalarReferenceText(motif));
+}
+
+/**
+ * The real daemon: boots, writes the port file, serves a session and
+ * an HTTP scrape on one port, exits 143 on SIGTERM, and journals
+ * exactly one flight-recorder line with command "serve".
+ */
+TEST(ServeDaemon, BootServeSigterm)
+{
+    const Workload &workload = workloads()[0];
+    const std::string image_path = "serve_daemon_dna.apimg";
+    const std::string port_file = "serve_daemon_port";
+    const std::string flight_log = "serve_daemon_flight.jsonl";
+    ap::writeImageFile(image_path, workloadImage(workload.name));
+    std::remove(port_file.c_str());
+    std::remove(flight_log.c_str());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        setenv("RAPID_PORT_FILE", port_file.c_str(), 1);
+        setenv("RAPID_FLIGHTLOG", flight_log.c_str(), 1);
+        const std::string image_flag = "--image=dna=" + image_path;
+        execl(RAPID_RAPIDD_PATH, "rapidd", image_flag.c_str(),
+              "--listen=0", static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    // Port discovery.
+    uint16_t port = 0;
+    for (int i = 0; i < 500 && port == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::ifstream in(port_file);
+        unsigned value = 0;
+        if (in >> value && value != 0)
+            port = static_cast<uint16_t>(value);
+    }
+    ASSERT_NE(port, 0) << "daemon never wrote " << port_file;
+
+    // One full session against the live daemon.
+    OpenRequest request;
+    request.kind = OpenKind::Name;
+    request.target = "dna";
+    Client client;
+    client.connect(port);
+    Rng rng(99);
+    EXPECT_EQ(streamSession(client, request,
+                            workloadInput(workload), rng),
+              scalarReferenceText(workload));
+
+    // Same port, HTTP route: the serve.* counters are visible.
+    const std::string scrape = httpGet(port, "/metrics");
+    EXPECT_NE(scrape.find("rapid_serve_sessions_opened_total"),
+              std::string::npos);
+    EXPECT_EQ(httpGet(port, "/healthz"), "ok\n");
+
+    // Clean SIGTERM shutdown: exit 128+15, one flight-log line.
+    ASSERT_EQ(kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 143);
+
+    const std::string journal = readFile(flight_log);
+    EXPECT_NE(journal.find("\"command\":\"serve\""),
+              std::string::npos);
+    EXPECT_EQ(std::count(journal.begin(), journal.end(), '\n'), 1);
+}
+
+} // namespace
+} // namespace rapid

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shared plumbing for the rapidd service test suites (the `serve`
+ * ctest label): workload image building, framed input loading, and
+ * scalar-reference report streams.
+ *
+ * Paths arrive via compile definitions from tests/CMakeLists.txt:
+ * RAPID_RAPIDC_PATH, RAPID_RAPIDD_PATH, RAPID_SOURCE_DIR.
+ */
+#ifndef RAPID_TESTS_SERVE_UTIL_H
+#define RAPID_TESTS_SERVE_UTIL_H
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ap/image.h"
+#include "host/argfile.h"
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "host/transformer.h"
+#include "lang/codegen.h"
+#include "serve/protocol.h"
+
+namespace rapid::serve_test {
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw Error("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+inline std::string
+sourceRoot()
+{
+    return RAPID_SOURCE_DIR;
+}
+
+/** The conformance workloads the parity harness replays. */
+struct Workload {
+    const char *name;
+    /** Mirror `rapidc run --frame`: input lines become records. */
+    bool frame;
+};
+
+inline const std::vector<Workload> &
+workloads()
+{
+    static const std::vector<Workload> list = {
+        {"exact_dna", false},
+        {"hamming", true},
+        {"motif_scan", false},
+    };
+    return list;
+}
+
+/** Engine configurations certified by the conformance suite. */
+struct EngineConfig {
+    const char *engine;
+    unsigned shards;
+    unsigned threads;
+    const char *cliFlags;
+};
+
+inline const std::vector<EngineConfig> &
+engineConfigs()
+{
+    static const std::vector<EngineConfig> list = {
+        {"scalar", 0, 0, "--engine=scalar"},
+        {"batch", 0, 0, "--engine=batch"},
+        {"sharded", 0, 0, "--engine=sharded"},
+        {"sharded", 4, 0, "--engine=sharded --shards=4"},
+        {"parallel", 0, 0, "--engine=parallel"},
+        {"parallel", 0, 3, "--engine=parallel --threads=3"},
+    };
+    return list;
+}
+
+inline std::string
+workloadSource(const std::string &name)
+{
+    return readFile(sourceRoot() + "/workloads/" + name + ".rapid");
+}
+
+inline std::string
+workloadArgsText(const std::string &name)
+{
+    return readFile(sourceRoot() + "/workloads/" + name + ".args");
+}
+
+/**
+ * Compile a bundled workload into a design image with the same
+ * default options `rapidc run` uses — so serve-side streams are
+ * comparable to that CLI byte for byte.  Built once per process.
+ */
+inline const ap::DesignImage &
+workloadImage(const std::string &name)
+{
+    static std::map<std::string, ap::DesignImage> cache;
+    auto it = cache.find(name);
+    if (it != cache.end())
+        return it->second;
+    lang::CompiledProgram compiled = lang::compileSource(
+        workloadSource(name),
+        host::parseArgFile(workloadArgsText(name)),
+        lang::CompileOptions{});
+    return cache.emplace(name, host::buildImage(compiled))
+        .first->second;
+}
+
+/** The workload's conformance input, framed exactly like `rapidc run
+ *  --frame` when the workload wants records. */
+inline std::string
+workloadInput(const Workload &workload)
+{
+    std::string raw =
+        readFile(sourceRoot() + "/tests/conformance/inputs/" +
+                 workload.name + ".input");
+    if (!workload.frame)
+        return raw;
+    host::InputTransformer transformer;
+    std::vector<std::string> records;
+    std::istringstream in(raw);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            records.push_back(line);
+    }
+    return transformer.frame(records);
+}
+
+/**
+ * The scalar reference stream for @p workload, rendered exactly as
+ * `rapidc run` prints it — the cross-check oracle for the soak and
+ * restart tests.
+ */
+inline const std::string &
+scalarReferenceText(const Workload &workload)
+{
+    static std::map<std::string, std::string> cache;
+    auto it = cache.find(workload.name);
+    if (it != cache.end())
+        return it->second;
+    host::Device device(workloadImage(workload.name),
+                        host::Engine::Scalar);
+    std::vector<serve::ReportRecord> records;
+    for (host::HostReport &report :
+         device.run(workloadInput(workload))) {
+        serve::ReportRecord record;
+        record.offset = report.offset;
+        record.code = std::move(report.code);
+        record.element = std::move(report.element);
+        records.push_back(std::move(record));
+    }
+    return cache
+        .emplace(workload.name, serve::reportsText(records))
+        .first->second;
+}
+
+/** Minimal HTTP GET against 127.0.0.1:@p port — proves the match
+ *  protocol and the exporter share one acceptor. */
+inline std::string
+httpGet(uint16_t port, const std::string &path)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+        response.append(buffer, static_cast<size_t>(n));
+    ::close(fd);
+    const size_t head_end = response.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return "";
+    return response.substr(head_end + 4);
+}
+
+} // namespace rapid::serve_test
+
+#endif // RAPID_TESTS_SERVE_UTIL_H
