@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Large-scale rule-set benchmark: the compile-time and throughput
+ * trajectory of `rapidc compile-rules` across corpus tiers.
+ *
+ * For each tier (100 / 1k / 5k synthetic mixed-style rules, seeded so
+ * every run sees byte-identical corpora) the bench measures:
+ *
+ *   - rule-set compile time (parse + per-rule codegen + whole-design
+ *     optimizer) and the element count before/after reduction;
+ *   - the full offline image build (tessellation + placement + shard
+ *     map) and the block count the design places into;
+ *   - streaming MB/s through the compiled image on the scalar, batch,
+ *     and sharded engines (host::Device, the exact `rapidc run`
+ *     path), correctness-gated first: the engines must agree
+ *     byte-for-byte AND every planted rule witness must be attributed
+ *     to its rule at the right offset;
+ *   - on the largest tier, the content-addressed cache: cold
+ *     compile+build+store vs warm load — the compile-once/run-many
+ *     saving at rule-set scale.
+ *
+ * The numbers go to BENCH_rules.json with the same meta/fingerprint
+ * section as BENCH_throughput.json, so `rapid-bench-diff` gates the
+ * per-tier `*_mbps` trajectory in nightly CI.  Tier depth scales with
+ * RAPID_BENCH_SCALE: >= 1.0 runs all three tiers, >= 0.1 stops at 1k,
+ * below that (the `bench_smoke` / PR-matrix setting) only the 100-rule
+ * tier runs.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "rules/gen.h"
+#include "rules/ruleset.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace rapid;
+
+/** Best-of-N wall time for one run of @p body. */
+template <typename Fn>
+double
+bestSeconds(int repetitions, Fn &&body)
+{
+    double best = 1e9;
+    for (int i = 0; i < repetitions; ++i) {
+        Timer timer;
+        body();
+        best = std::min(best, timer.seconds());
+    }
+    return best;
+}
+
+double
+mbps(size_t bytes, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds
+                       : 0.0;
+}
+
+struct TierResult {
+    size_t rules = 0;
+    double compileMs = 0.0;
+    double buildMs = 0.0;
+    size_t elementsRaw = 0;
+    size_t elements = 0;
+    size_t blocks = 0;
+    bool placed = false;
+    size_t shards = 0;
+    size_t reports = 0;
+    double scalarMbps = 0.0;
+    double batchMbps = 0.0;
+    double shardedMbps = 0.0;
+};
+
+/** Device streams are already canonically ordered; compare as tuples. */
+std::vector<std::tuple<uint64_t, std::string, std::string>>
+canonical(const std::vector<host::HostReport> &reports)
+{
+    std::vector<std::tuple<uint64_t, std::string, std::string>> out;
+    out.reserve(reports.size());
+    for (const host::HostReport &report : reports)
+        out.emplace_back(report.offset, report.element, report.code);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::initTelemetry();
+    const double scale = bench::benchScale();
+    std::vector<size_t> tiers = {100};
+    if (scale >= 0.1)
+        tiers.push_back(1000);
+    if (scale >= 1.0)
+        tiers.push_back(5000);
+
+    const size_t input_bytes = std::max<size_t>(
+        1 << 16, static_cast<size_t>(1e6 * scale));
+    const int reps = 2;
+    const uint64_t seed = 7;
+
+    std::vector<TierResult> results;
+    std::string top_text; // largest tier's rule file, for the cache leg
+    for (size_t tier : tiers) {
+        rules::GenRulesOptions gen_options;
+        gen_options.seed = seed;
+        gen_options.count = tier;
+        gen_options.style = rules::RuleStyle::Mixed;
+        rules::RuleSet set = rules::generateRules(gen_options);
+        const std::string text =
+            rules::renderRuleFile(set, gen_options);
+        top_text = text;
+
+        TierResult row;
+        row.rules = tier;
+
+        rules::RuleCompileStats stats;
+        automata::Automaton design;
+        Timer compile_timer;
+        {
+            rules::RuleSet parsed = rules::parseRuleFile(text);
+            design = rules::compileRules(parsed, {}, &stats);
+        }
+        row.compileMs = compile_timer.seconds() * 1e3;
+        row.elementsRaw = stats.elementsRaw;
+        row.elements = stats.elements;
+
+        lang::CompiledProgram compiled;
+        compiled.automaton = design; // keep a copy for the image
+        compiled.optStats = stats.optimizer;
+        Timer build_timer;
+        ap::DesignImage image = host::buildImage(
+            compiled, rules::rulesCacheKey(text, {}));
+        row.buildMs = build_timer.seconds() * 1e3;
+        row.placed = image.placed;
+        row.blocks = image.placed ? image.placement.totalBlocks : 0;
+        for (uint32_t shard : image.shardOfComponent)
+            row.shards = std::max<size_t>(row.shards, shard + 1u);
+
+        std::vector<rules::PlantedMatch> expected;
+        const std::string input = rules::plantedInput(
+            set, seed ^ 0xb5, input_bytes, std::min<size_t>(tier, 100),
+            &expected);
+
+        host::Device scalar(image, host::Engine::Scalar);
+        host::Device batch(image, host::Engine::Batch);
+
+        // Correctness gates before any timing: engine parity and
+        // per-rule attribution of every planted witness.
+        auto scalar_reports = canonical(scalar.run(input));
+        auto batch_reports = canonical(batch.run(input));
+        if (scalar_reports != batch_reports) {
+            std::fprintf(stderr,
+                         "bench_rules: tier %zu: scalar and batch "
+                         "engines disagree (%zu vs %zu reports)\n",
+                         tier, scalar_reports.size(),
+                         batch_reports.size());
+            return 1;
+        }
+        for (const rules::PlantedMatch &plant : expected) {
+            const bool found = std::any_of(
+                scalar_reports.begin(), scalar_reports.end(),
+                [&](const auto &report) {
+                    return std::get<0>(report) == plant.endOffset &&
+                           std::get<2>(report) == plant.rule;
+                });
+            if (!found) {
+                std::fprintf(stderr,
+                             "bench_rules: tier %zu: planted match "
+                             "for rule %s at offset %llu was not "
+                             "attributed\n",
+                             tier, plant.rule.c_str(),
+                             static_cast<unsigned long long>(
+                                 plant.endOffset));
+                return 1;
+            }
+        }
+        row.reports = scalar_reports.size();
+
+        row.scalarMbps = mbps(
+            input.size(),
+            bestSeconds(reps, [&] { scalar.run(input); }));
+        row.batchMbps = mbps(
+            input.size(), bestSeconds(reps, [&] { batch.run(input); }));
+        if (image.placed) {
+            host::Device sharded(image, host::Engine::Sharded);
+            if (canonical(sharded.run(input)) != scalar_reports) {
+                std::fprintf(stderr,
+                             "bench_rules: tier %zu: sharded engine "
+                             "disagrees with scalar\n",
+                             tier);
+                return 1;
+            }
+            row.shardedMbps = mbps(
+                input.size(),
+                bestSeconds(reps, [&] { sharded.run(input); }));
+        }
+        results.push_back(row);
+    }
+
+    // Compile-once, run-many at rule-set scale: cold full pipeline +
+    // store vs warm content-addressed load of the largest tier.
+    const std::string cache_dir = "bench_rules_cache";
+    std::filesystem::remove_all(cache_dir);
+    host::CompileCache cache(cache_dir);
+    const std::string key = rules::rulesCacheKey(top_text, {});
+    Timer cold_timer;
+    {
+        rules::RuleCompileStats stats;
+        rules::RuleSet parsed = rules::parseRuleFile(top_text);
+        lang::CompiledProgram compiled;
+        compiled.automaton = rules::compileRules(parsed, {}, &stats);
+        compiled.optStats = stats.optimizer;
+        cache.store(key, host::buildImage(compiled, key));
+    }
+    const double cold_s = cold_timer.seconds();
+    const double warm_s = bestSeconds(3, [&] {
+        if (!cache.load(key).has_value()) {
+            std::fprintf(stderr, "bench_rules: cache probe "
+                                 "unexpectedly missed\n");
+            std::exit(1);
+        }
+    });
+    const double cache_speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+    std::filesystem::remove_all(cache_dir);
+
+    std::printf("Rule-set compiler — mixed corpus, seed %llu, "
+                "%zu-byte streams\n",
+                static_cast<unsigned long long>(seed), input_bytes);
+    bench::printRule(74);
+    std::printf("%8s %10s %10s %16s %7s %8s %8s %8s\n", "rules",
+                "compile", "build", "elements", "blocks", "scalar",
+                "batch", "sharded");
+    for (const TierResult &row : results) {
+        char blocks[16];
+        if (row.placed)
+            std::snprintf(blocks, sizeof blocks, "%zu", row.blocks);
+        else
+            std::snprintf(blocks, sizeof blocks, "unplaced");
+        std::printf("%8zu %8.1fms %8.1fms %7zu -> %6zu %7s %8.2f "
+                    "%8.2f %8.2f\n",
+                    row.rules, row.compileMs, row.buildMs,
+                    row.elementsRaw, row.elements, blocks,
+                    row.scalarMbps, row.batchMbps, row.shardedMbps);
+    }
+    std::printf("cache: cold %.1f ms, warm %.2f ms (%.0fx)\n",
+                cold_s * 1e3, warm_s * 1e3, cache_speedup);
+
+    for (const TierResult &row : results) {
+        const std::string tier = std::to_string(row.rules);
+        bench::recordMeasurement("rules_compile_ms_" + tier,
+                                 row.compileMs);
+        bench::recordMeasurement("rules_build_ms_" + tier,
+                                 row.buildMs);
+        bench::recordMeasurement("rules_blocks_" + tier,
+                                 static_cast<double>(row.blocks));
+        bench::recordMeasurement("rules_scalar_mbps_" + tier,
+                                 row.scalarMbps);
+        bench::recordMeasurement("rules_batch_mbps_" + tier,
+                                 row.batchMbps);
+    }
+    bench::recordMeasurement("rules_cache_speedup", cache_speedup);
+
+    // The `*_mbps` sub-objects gate (one key per tier) through
+    // rapid-bench-diff; everything else is context.
+    std::ofstream json("BENCH_rules.json");
+    json << "{\n"
+         << "  \"meta\": " << bench::metaJson() << ",\n"
+         << "  \"workload\": \"rules\",\n"
+         << "  \"style\": \"mixed\",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"input_bytes\": " << input_bytes << ",\n";
+    auto perTier = [&](const char *name, auto getter) {
+        json << "  \"" << name << "\": {";
+        for (size_t i = 0; i < results.size(); ++i) {
+            json << (i ? ", " : "") << "\"" << results[i].rules
+                 << "\": " << getter(results[i]);
+        }
+        json << "},\n";
+    };
+    perTier("scalar_tier_mbps",
+            [](const TierResult &r) { return r.scalarMbps; });
+    perTier("batch_tier_mbps",
+            [](const TierResult &r) { return r.batchMbps; });
+    perTier("sharded_tier_mbps",
+            [](const TierResult &r) { return r.shardedMbps; });
+    perTier("compile_ms",
+            [](const TierResult &r) { return r.compileMs; });
+    perTier("build_ms", [](const TierResult &r) { return r.buildMs; });
+    perTier("elements_raw",
+            [](const TierResult &r) { return r.elementsRaw; });
+    perTier("elements",
+            [](const TierResult &r) { return r.elements; });
+    perTier("blocks", [](const TierResult &r) { return r.blocks; });
+    perTier("shards", [](const TierResult &r) { return r.shards; });
+    perTier("reports", [](const TierResult &r) { return r.reports; });
+    json << "  \"compile_cold_ms\": " << cold_s * 1e3 << ",\n"
+         << "  \"compile_warm_ms\": " << warm_s * 1e3 << ",\n"
+         << "  \"compile_cache_speedup\": " << cache_speedup << ",\n"
+         << "  \"metrics\": " << bench::metricsJson() << "\n"
+         << "}\n";
+    if (!json) {
+        std::fprintf(stderr,
+                     "bench_rules: cannot write BENCH_rules.json\n");
+        return 1;
+    }
+    std::printf("wrote BENCH_rules.json\n");
+    return 0;
+}

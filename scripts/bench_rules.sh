@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Build and run the large-scale rule-set bench (compile time, blocks,
+# and per-engine MB/s across 100/1k/5k-rule tiers).
+# Usage: scripts/bench_rules.sh [scale]
+#   scale   RAPID_BENCH_SCALE value; defaults to the smoke scale (only
+#           the 100-rule tier).  Use 1.0 for the full tier trajectory —
+#           the checked-in BENCH_rules.json baseline is recorded at 1.0.
+#
+# Exits with the bench binary's status on failure; on success prints
+# the absolute path of the JSON artifact (gated in nightly CI by
+# rapid-bench-diff against the checked-in baseline).
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.005}"
+# Reuse whatever generator the build directory was configured with.
+cmake -B build
+cmake --build build --target bench_rules
+echo "== bench_rules (RAPID_BENCH_SCALE=$SCALE)"
+cd build
+if ! RAPID_BENCH_SCALE="$SCALE" ./bench/bench_rules; then
+    status=$?
+    echo "bench_rules failed (exit $status)" >&2
+    exit $status
+fi
+echo "== BENCH_rules.json"
+cat BENCH_rules.json
+echo "results: $(pwd)/BENCH_rules.json"

@@ -128,6 +128,53 @@ rapidd_stage() {
 }
 run_stage rapidd_stage
 
+# Rule-set compiler: parser/report-code contract, per-rule
+# attribution, cache behavior on rule images, and the bounded regex
+# differential oracle (tests/rules + fuzz_regex_test, label `rules`).
+run_stage ctest --test-dir build --output-on-failure -L rules
+
+# Rule-set CLI end-to-end: generate a seeded corpus with planted
+# witnesses, compile it through `rapidc compile-rules`, replay the
+# stream on every engine, and check byte parity plus ground-truth
+# attribution from the generator's TSV.
+rules_cli_stage() {
+    tmp=$(mktemp -d)
+    build/src/tools/rapid-gen-rules --style=mixed --count=200 \
+        --seed=7 -o "$tmp/rules.txt" --input-bytes=65536 --plants=50 \
+        --input-out="$tmp/input.bin" \
+        --expected-out="$tmp/expected.tsv" ||
+        { rm -rf "$tmp"; return 1; }
+    build/src/tools/rapidc compile-rules "$tmp/rules.txt" \
+        -o "$tmp/rules.apimg" > /dev/null ||
+        { rm -rf "$tmp"; return 1; }
+    ok=1
+    build/src/tools/rapidc run --image="$tmp/rules.apimg" \
+        --input "$tmp/input.bin" --engine=scalar \
+        > "$tmp/scalar.out" 2> /dev/null || ok=0
+    for engine in batch sharded parallel; do
+        build/src/tools/rapidc run --image="$tmp/rules.apimg" \
+            --input "$tmp/input.bin" --engine="$engine" 2> /dev/null |
+            diff -q "$tmp/scalar.out" - > /dev/null || {
+            echo "check.sh: $engine diverges on the rule image" >&2
+            ok=0
+        }
+    done
+    awk -F'\t' 'NR == FNR { want[$1 "\t" $2] = 1; next }
+                ($1 "\t" $2) in want { delete want[$1 "\t" $2] }
+                END {
+                    bad = 0
+                    for (k in want) { print "unattributed: " k; bad = 1 }
+                    exit bad
+                }' "$tmp/expected.tsv" "$tmp/scalar.out" || {
+        echo "check.sh: planted rule matches missing from the" \
+             "report stream" >&2
+        ok=0
+    }
+    rm -rf "$tmp"
+    [ "$ok" = 1 ]
+}
+run_stage rules_cli_stage
+
 # Golden conformance: every engine reproduces the checked-in report
 # streams for all workloads and examples, including the .apimg image
 # path.

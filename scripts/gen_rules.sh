@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Emit the standard synthetic rule-set corpora (docs/rules.md) into a
+# directory: every style at the 100/1k/5k-rule tiers, seeded so the
+# files are byte-identical on every machine.
+# Usage: scripts/gen_rules.sh [outdir] [seed]
+set -e
+cd "$(dirname "$0")/.."
+OUT="${1:-rules_corpora}"
+SEED="${2:-7}"
+cmake -B build
+cmake --build build --target rapid-gen-rules
+GEN=build/src/tools/rapid-gen-rules
+mkdir -p "$OUT"
+for style in snort clamav dict pii mixed; do
+    for count in 100 1000 5000; do
+        "$GEN" --style="$style" --count="$count" --seed="$SEED" \
+            -o "$OUT/${style}_${count}.rules"
+    done
+done
+echo "corpora in $OUT:"
+ls -l "$OUT"

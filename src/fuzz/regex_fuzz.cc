@@ -1,0 +1,344 @@
+#include "fuzz/regex_fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "automata/batch_simulator.h"
+#include "automata/optimizer.h"
+#include "automata/simulator.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace rapid::fuzz {
+
+namespace {
+
+/**
+ * Positions reachable after matching @p node starting at each position
+ * in @p from (sorted, distinct).  The set-based semantics make
+ * greediness irrelevant, exactly like the NFA paths under test.
+ */
+std::set<size_t>
+stepNode(const re::RegexNode &node, std::string_view input,
+         const std::set<size_t> &from)
+{
+    std::set<size_t> out;
+    switch (node.op) {
+      case re::RegexOp::Empty:
+        return from;
+      case re::RegexOp::Symbols:
+        for (size_t pos : from) {
+            if (pos < input.size() &&
+                node.symbols.test(
+                    static_cast<unsigned char>(input[pos]))) {
+                out.insert(pos + 1);
+            }
+        }
+        return out;
+      case re::RegexOp::Concat: {
+        std::set<size_t> current = from;
+        for (const auto &child : node.children)
+            current = stepNode(*child, input, current);
+        return current;
+      }
+      case re::RegexOp::Alt:
+        for (const auto &child : node.children) {
+            std::set<size_t> branch = stepNode(*child, input, from);
+            out.insert(branch.begin(), branch.end());
+        }
+        return out;
+      case re::RegexOp::Repeat: {
+        const re::RegexNode &child = *node.children.front();
+        std::set<size_t> current = from;
+        for (int i = 0; i < node.min; ++i)
+            current = stepNode(child, input, current);
+        out = current;
+        // Expand past the minimum to a fixed point (or the bound);
+        // the seen-set terminates nullable children.
+        int count = node.min;
+        while ((node.max < 0 || count < node.max) && !current.empty()) {
+            std::set<size_t> next = stepNode(child, input, current);
+            std::set<size_t> fresh;
+            for (size_t pos : next) {
+                if (out.insert(pos).second)
+                    fresh.insert(pos);
+            }
+            if (node.max < 0) {
+                // Unbounded: only genuinely new positions can make
+                // further progress.
+                current = std::move(fresh);
+            } else {
+                current = std::move(next);
+                ++count;
+            }
+        }
+        return out;
+      }
+    }
+    throw InternalError("unhandled regex op in tree matcher");
+}
+
+std::vector<uint64_t>
+sortedDistinctOffsets(const std::vector<automata::ReportEvent> &events)
+{
+    std::vector<uint64_t> offsets;
+    offsets.reserve(events.size());
+    for (const automata::ReportEvent &event : events)
+        offsets.push_back(event.offset);
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    return offsets;
+}
+
+std::string
+renderOffsets(const std::vector<uint64_t> &offsets)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < offsets.size() && i < 16; ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(offsets[i]);
+    }
+    if (offsets.size() > 16)
+        out += ",...";
+    return out + "]";
+}
+
+/** Grammar-directed pattern synthesis with a node budget. */
+std::string
+genNode(Rng &rng, int depth, int *budget)
+{
+    if (*budget <= 0 || depth <= 0) {
+        // Leaf: a plain literal symbol.
+        return std::string(1, rng.pick("abcdxyz01 _"));
+    }
+    --*budget;
+    switch (rng.below(10)) {
+      case 0: // '.'
+        return ".";
+      case 1: // escape class
+        return std::string("\\") + rng.pick("dwsDWS");
+      case 2: { // character class, possibly negated, with ranges
+        std::string body;
+        if (rng.chance(0.2))
+            body += "^";
+        const size_t terms = 1 + rng.below(3);
+        for (size_t i = 0; i < terms; ++i) {
+            if (rng.chance(0.4)) {
+                char lo = static_cast<char>('a' + rng.below(20));
+                char hi =
+                    static_cast<char>(lo + 1 + rng.below(6));
+                body += lo;
+                body += '-';
+                body += hi;
+            } else if (rng.chance(0.2)) {
+                body += "\\";
+                body += rng.pick("dws");
+            } else {
+                body += rng.pick("abcdxyz0189_ ");
+            }
+        }
+        return "[" + body + "]";
+      }
+      case 3: { // alternation (possibly nested via recursion)
+        const size_t branches = 2 + rng.below(2);
+        std::string out = "(";
+        for (size_t i = 0; i < branches; ++i) {
+            if (i > 0)
+                out += "|";
+            out += genNode(rng, depth - 1, budget);
+            if (rng.chance(0.5))
+                out += genNode(rng, depth - 1, budget);
+        }
+        return out + ")";
+      }
+      case 4: { // bounded repetition on a subexpression
+        std::string base = genNode(rng, depth - 1, budget);
+        if (base.size() > 1 || rng.chance(0.3))
+            base = "(" + base + ")";
+        const int m = static_cast<int>(rng.below(3));
+        switch (rng.below(3)) {
+          case 0:
+            return base + strprintf("{%d}", m + 1);
+          case 1:
+            return base + strprintf("{%d,}", m);
+          default:
+            return base +
+                   strprintf("{%d,%d}", m,
+                             m + 1 + static_cast<int>(rng.below(3)));
+        }
+      }
+      case 5: { // star/plus/question
+        std::string base = genNode(rng, depth - 1, budget);
+        if (base.size() > 1)
+            base = "(" + base + ")";
+        return base + rng.pick("*+?");
+      }
+      case 6: { // concatenation
+        std::string out;
+        const size_t parts = 2 + rng.below(2);
+        for (size_t i = 0; i < parts; ++i)
+            out += genNode(rng, depth - 1, budget);
+        return out;
+      }
+      case 7: // escaped literal (incl. \xHH raw bytes)
+        switch (rng.below(4)) {
+          case 0:
+            return strprintf("\\x%02x",
+                             static_cast<unsigned>(rng.below(256)));
+          case 1:
+            return std::string("\\") + rng.pick("nrt0");
+          default:
+            return std::string("\\") + rng.pick(".|()[]{}*+?\\");
+        }
+      default: // plain literal run
+        return rng.string(1 + rng.below(3), "abcdxyz01 _");
+    }
+}
+
+/** Collect a sample symbol from every Symbols node of the tree. */
+void
+collectSymbols(const re::RegexNode &node, std::string *out)
+{
+    if (node.op == re::RegexOp::Symbols) {
+        unsigned count = 0;
+        for (unsigned c = 0; c < 256 && count < 2; ++c) {
+            if (node.symbols.test(static_cast<unsigned char>(c))) {
+                out->push_back(static_cast<char>(c));
+                ++count;
+            }
+        }
+    }
+    for (const auto &child : node.children)
+        collectSymbols(*child, out);
+}
+
+} // namespace
+
+std::vector<uint64_t>
+treeMatchEnds(const re::RegexNode &root, std::string_view input,
+              bool sliding_window)
+{
+    std::set<uint64_t> ends;
+    const size_t starts = sliding_window ? input.size() : 1;
+    for (size_t start = 0; start < std::max<size_t>(starts, 1);
+         ++start) {
+        std::set<size_t> reached =
+            stepNode(root, input, std::set<size_t>{start});
+        for (size_t end : reached) {
+            if (end > start)
+                ends.insert(static_cast<uint64_t>(end - 1));
+        }
+    }
+    return {ends.begin(), ends.end()};
+}
+
+std::string
+generateRegexPattern(Rng &rng)
+{
+    int budget = 3 + static_cast<int>(rng.below(10));
+    std::string out;
+    const size_t parts = 1 + rng.below(3);
+    for (size_t i = 0; i < parts; ++i)
+        out += genNode(rng, 3, &budget);
+    return out;
+}
+
+std::string
+generateRegexInput(Rng &rng, const re::RegexNode &root,
+                   size_t max_symbols)
+{
+    std::string alphabet;
+    collectSymbols(root, &alphabet);
+    if (alphabet.empty())
+        alphabet = "ab";
+    // A pinch of out-of-language noise keeps mismatches exercised.
+    alphabet += "zQ#";
+    return rng.string(rng.below(max_symbols + 1), alphabet);
+}
+
+RegexFuzzResult
+runRegexFuzz(const RegexFuzzOptions &options)
+{
+    RegexFuzzResult result;
+    const auto started = std::chrono::steady_clock::now();
+
+    for (uint64_t i = 0; i < options.iterations; ++i) {
+        if (options.secondsBudget > 0.0) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            if (elapsed >= options.secondsBudget)
+                break;
+        }
+        // Per-case derived seed, replayable in isolation.
+        Rng rng(options.seed * 0x9E3779B97F4A7C15ull + i);
+        const std::string pattern = generateRegexPattern(rng);
+        ++result.cases;
+
+        std::unique_ptr<re::RegexNode> tree;
+        automata::Automaton design;
+        try {
+            tree = re::parseRegex(pattern);
+            design = re::compileRegex(pattern, true, "m");
+        } catch (const CompileError &) {
+            // Empty-matchable or (generator-defect) malformed.
+            ++result.rejected;
+            continue;
+        }
+        automata::Automaton optimized = design;
+        automata::optimize(optimized);
+        automata::Simulator simulator(design);
+        automata::Simulator opt_simulator(optimized);
+        automata::BatchSimulator batch(design);
+
+        for (int j = 0; j < options.inputsPerCase; ++j) {
+            const std::string input =
+                generateRegexInput(rng, *tree, options.maxInputSymbols);
+            ++result.inputsRun;
+
+            struct ForkRun {
+                const char *name;
+                std::vector<uint64_t> offsets;
+            };
+            ForkRun forks[] = {
+                {"tree", treeMatchEnds(*tree, input, true)},
+                {"nfa", re::referenceMatchEnds(pattern, input, true)},
+                {"scalar", sortedDistinctOffsets(simulator.run(input))},
+                {"batch", sortedDistinctOffsets(batch.run(input))},
+                {"optimized",
+                 sortedDistinctOffsets(opt_simulator.run(input))},
+            };
+            result.reportsSeen += forks[0].offsets.size();
+            for (const ForkRun &fork : forks) {
+                if (fork.offsets == forks[0].offsets)
+                    continue;
+                result.divergence = true;
+                result.pattern = pattern;
+                result.input = input;
+                result.detail = strprintf(
+                    "case %llu: /%s/ on \"%s\": %s=%s but %s=%s",
+                    static_cast<unsigned long long>(i),
+                    pattern.c_str(), escapeString(input).c_str(),
+                    forks[0].name,
+                    renderOffsets(forks[0].offsets).c_str(), fork.name,
+                    renderOffsets(fork.offsets).c_str());
+                if (options.log != nullptr)
+                    *options.log << "rapidfuzz: " << result.detail
+                                 << "\n";
+                return result;
+            }
+        }
+        if (options.log != nullptr && (i + 1) % 500 == 0) {
+            *options.log << "rapidfuzz: --re " << (i + 1) << "/"
+                         << options.iterations << " cases, "
+                         << result.reportsSeen << " reports\n";
+        }
+    }
+    return result;
+}
+
+} // namespace rapid::fuzz

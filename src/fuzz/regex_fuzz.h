@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Differential fuzzing for the rapid::re regex path.
+ *
+ * The rule-set compiler (rules/ruleset.h) leans on rapid::re for every
+ * `/regex/` rule, so the regex front end gets its own oracle, mirroring
+ * the RAPID-program oracle in fuzz/oracle.h.  Each case generates a
+ * random pattern over the *supported* grammar — classes, ranges,
+ * escape classes, '.', alternation (nested), and bounded repetition —
+ * plus match-biased random inputs, and cross-checks four independent
+ * execution paths:
+ *
+ *   (t) a set-based matcher evaluated directly on the syntax tree
+ *       (this module; shares nothing with the NFA pipeline);
+ *   (n) re::referenceMatchEnds — the classic-NFA reference;
+ *   (c) re::compileRegex -> homogeneous automaton -> scalar Simulator;
+ *   (b) the same automaton on the bit-parallel BatchSimulator;
+ *   (o) the automaton after automata::optimize() -> scalar Simulator
+ *       (the path every compiled rule set takes).
+ *
+ * All five must produce the same sorted distinct end offsets (the
+ * 0-based index of each match's final symbol).  Patterns that can
+ * match the empty string are rejected by compileRegex (the AP cannot
+ * report them) and counted, not compared.
+ */
+#ifndef RAPID_FUZZ_REGEX_FUZZ_H
+#define RAPID_FUZZ_REGEX_FUZZ_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "re/regex.h"
+#include "support/rng.h"
+
+namespace rapid::fuzz {
+
+/**
+ * Independent reference: end offsets of every match of @p root in
+ * @p input, computed set-wise on the syntax tree (no NFA, no
+ * automaton).  When @p sliding_window, matches may start anywhere.
+ */
+std::vector<uint64_t> treeMatchEnds(const re::RegexNode &root,
+                                    std::string_view input,
+                                    bool sliding_window = true);
+
+/** Generate one random pattern over the supported grammar. */
+std::string generateRegexPattern(Rng &rng);
+
+/**
+ * A random input biased toward @p pattern's own symbols, so matches
+ * (and near-miss prefixes) actually occur.
+ */
+std::string generateRegexInput(Rng &rng, const re::RegexNode &root,
+                               size_t max_symbols);
+
+struct RegexFuzzOptions {
+    uint64_t seed = 1;
+    uint64_t iterations = 2000;
+    /** Random input streams tried per generated pattern. */
+    int inputsPerCase = 4;
+    size_t maxInputSymbols = 40;
+    /** Stop after this many seconds (0 = run all iterations). */
+    double secondsBudget = 0.0;
+    /** Progress / divergence log (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+struct RegexFuzzResult {
+    uint64_t cases = 0;
+    uint64_t inputsRun = 0;
+    /** Patterns compileRegex rejected (empty-matchable, by design). */
+    uint64_t rejected = 0;
+    /** Total end offsets observed (signal tracking). */
+    uint64_t reportsSeen = 0;
+    bool divergence = false;
+    /// @name First divergence, when one was found.
+    /// @{
+    std::string pattern;
+    std::string input;
+    std::string detail;
+    /// @}
+};
+
+/** Run the loop; stops at the first divergence. */
+RegexFuzzResult runRegexFuzz(const RegexFuzzOptions &options);
+
+} // namespace rapid::fuzz
+
+#endif // RAPID_FUZZ_REGEX_FUZZ_H

@@ -262,6 +262,13 @@ class RegexParser {
                 unsigned char hi;
                 if (peek() == '\\') {
                     ++_pos;
+                    if (atEnd())
+                        fail("dangling escape in class");
+                    // `[a-\d]` is not a range to 'd': reject rather
+                    // than silently misparsing (PCRE errors here too).
+                    if (!classEscape(peek()).empty())
+                        fail("character-class escape cannot bound "
+                             "a range");
                     hi = parseEscapeChar();
                 } else {
                     hi = static_cast<unsigned char>(peek());

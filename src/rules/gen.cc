@@ -1,0 +1,333 @@
+#include "rules/gen.h"
+
+#include <cctype>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace rapid::rules {
+
+namespace {
+
+const char kLower[] = "abcdefghijklmnopqrstuvwxyz";
+const char kAlnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+std::string
+word(Rng &rng, size_t min_len, size_t max_len,
+     const std::string &alphabet = kLower)
+{
+    return rng.string(
+        static_cast<size_t>(rng.range(static_cast<int64_t>(min_len),
+                                      static_cast<int64_t>(max_len))),
+        alphabet);
+}
+
+/** A ClamAV-style raw byte string (rendered as \xHH escapes). */
+std::string
+hexBytes(Rng &rng, size_t count)
+{
+    std::string out;
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(static_cast<char>(rng.below(256)));
+    return out;
+}
+
+/** Escape raw bytes into the regex subset (literal semantics). */
+std::string
+regexQuote(const std::string &bytes)
+{
+    std::string out;
+    for (char c : bytes)
+        out += strprintf("\\x%02x", static_cast<unsigned char>(c));
+    return out;
+}
+
+Rule
+literalRule(std::string pattern)
+{
+    Rule rule;
+    rule.isRegex = false;
+    rule.pattern = std::move(pattern);
+    return rule;
+}
+
+Rule
+regexRule(std::string pattern)
+{
+    Rule rule;
+    rule.isRegex = true;
+    rule.pattern = std::move(pattern);
+    return rule;
+}
+
+/** Snort-ish: HTTP-flavored tokens and pcre-style patterns. */
+Rule
+genSnort(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0: // method + path token
+        return regexRule("(GET|POST|HEAD) /" + word(rng, 3, 8) +
+                         "/[a-z0-9_]{" +
+                         std::to_string(rng.range(2, 4)) + "," +
+                         std::to_string(rng.range(6, 12)) + "}\\." +
+                         word(rng, 2, 4));
+      case 1: // case-insensitive-ish keyword via nested classes
+      {
+        std::string token = word(rng, 4, 8);
+        std::string out;
+        for (char c : token) {
+            out.push_back('[');
+            out.push_back(c);
+            out.push_back(
+                static_cast<char>(std::toupper(
+                    static_cast<unsigned char>(c))));
+            out.push_back(']');
+        }
+        return regexRule(out + "[ =:]" + "[a-zA-Z0-9]{1," +
+                         std::to_string(rng.range(4, 9)) + "}");
+      }
+      case 2: // NOP-sled-ish bounded repetition
+        return regexRule(
+            strprintf("\\x%02x{%d,%d}",
+                      static_cast<unsigned>(rng.below(256)),
+                      static_cast<int>(rng.range(3, 6)),
+                      static_cast<int>(rng.range(8, 24))));
+      case 3: // alternation of protocol tokens
+        return regexRule("(" + word(rng, 3, 6) + "|" +
+                         word(rng, 3, 6) + "|" + word(rng, 3, 6) +
+                         ")-" + word(rng, 3, 6));
+      default: // plain content literal, sometimes with raw bytes
+      {
+        std::string content = word(rng, 5, 14, kAlnum);
+        if (rng.chance(0.3))
+            content += "\r\n" + word(rng, 3, 8);
+        return literalRule(content);
+      }
+    }
+}
+
+/** ClamAV-ish: hex byte signatures, sometimes with a {m,n} gap. */
+Rule
+genClamav(Rng &rng)
+{
+    const size_t len =
+        static_cast<size_t>(rng.range(8, 24));
+    if (rng.chance(0.35)) {
+        // Two fragments separated by a bounded wildcard gap.
+        const size_t head = len / 2;
+        return regexRule(
+            regexQuote(hexBytes(rng, head)) +
+            strprintf(".{%d,%d}", static_cast<int>(rng.range(1, 4)),
+                      static_cast<int>(rng.range(5, 12))) +
+            regexQuote(hexBytes(rng, len - head)));
+    }
+    return literalRule(hexBytes(rng, len));
+}
+
+/** Dictionary words: lowercase literals, occasionally hyphenated. */
+Rule
+genDict(Rng &rng)
+{
+    std::string entry = word(rng, 4, 12);
+    if (rng.chance(0.15))
+        entry += "-" + word(rng, 3, 8);
+    return literalRule(entry);
+}
+
+/** PII-scan shapes: SSN/card/phone/email plus keyed secrets. */
+Rule
+genPii(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0: // SSN-like
+        return regexRule("\\d{3}-\\d{2}-\\d{4}");
+      case 1: // 16-digit card with separators
+        return regexRule("\\d{4}[ -]\\d{4}[ -]\\d{4}[ -]\\d{4}");
+      case 2: // phone-ish with a random area-code prefix
+        return regexRule(
+            strprintf("\\(%d\\d{2}\\) ?\\d{3}-\\d{4}",
+                      static_cast<int>(rng.range(2, 9))));
+      case 3: // email at a synthetic domain
+        return regexRule("[a-z0-9_.]{3,16}@" + word(rng, 3, 8) +
+                         "\\.(com|net|org)");
+      default: // keyed secret: "<key> = <value>"
+        return regexRule(word(rng, 4, 10) + "_(key|token|secret)" +
+                         " ?[:=] ?[A-Za-z0-9]{8,24}");
+    }
+}
+
+Rule
+genOne(Rng &rng, RuleStyle style, size_t index)
+{
+    switch (style) {
+      case RuleStyle::Snort:
+        return genSnort(rng);
+      case RuleStyle::Clamav:
+        return genClamav(rng);
+      case RuleStyle::Dict:
+        return genDict(rng);
+      case RuleStyle::Pii:
+        return genPii(rng);
+      case RuleStyle::Mixed:
+        switch (index % 4) {
+          case 0:
+            return genSnort(rng);
+          case 1:
+            return genClamav(rng);
+          case 2:
+            return genDict(rng);
+          default:
+            return genPii(rng);
+        }
+    }
+    throw InternalError("unhandled rule style");
+}
+
+/** Escape literal bytes back into rule-file syntax. */
+std::string
+escapeLiteral(const std::string &bytes)
+{
+    std::string out;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        unsigned char c = static_cast<unsigned char>(bytes[i]);
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '/' && i == 0) {
+            out += "\\/"; // would otherwise parse as /regex/
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c == '\r') {
+            out += "\\r";
+        } else if (c == '\0') {
+            out += "\\0";
+        } else if (!std::isprint(c) || ((i == 0 || i + 1 == bytes.size()) && c == ' ')) {
+            // Non-printables always; spaces only where trim() bites.
+            out += strprintf("\\x%02x", c);
+        } else {
+            out.push_back(static_cast<char>(c));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RuleStyle
+parseRuleStyle(const std::string &name)
+{
+    if (name == "snort")
+        return RuleStyle::Snort;
+    if (name == "clamav")
+        return RuleStyle::Clamav;
+    if (name == "dict")
+        return RuleStyle::Dict;
+    if (name == "pii")
+        return RuleStyle::Pii;
+    if (name == "mixed")
+        return RuleStyle::Mixed;
+    throw Error("unknown rule style '" + name +
+                "' (expected snort|clamav|dict|pii|mixed)");
+}
+
+const char *
+ruleStyleName(RuleStyle style)
+{
+    switch (style) {
+      case RuleStyle::Snort:
+        return "snort";
+      case RuleStyle::Clamav:
+        return "clamav";
+      case RuleStyle::Dict:
+        return "dict";
+      case RuleStyle::Pii:
+        return "pii";
+      case RuleStyle::Mixed:
+        return "mixed";
+    }
+    return "unknown";
+}
+
+RuleSet
+generateRules(const GenRulesOptions &options)
+{
+    RuleSet set;
+    set.rules.reserve(options.count);
+    for (size_t i = 0; i < options.count; ++i) {
+        // Per-rule derived seed: rule i is stable regardless of how
+        // many rules precede it, so growing a tier only appends.
+        Rng rng(options.seed * 0x9E3779B97F4A7C15ull + i);
+        Rule rule = genOne(rng, options.style, i);
+        rule.name = std::string(ruleStyleName(options.style)) + "_" +
+                    std::to_string(i);
+        rule.line = i + 1;
+        set.rules.push_back(std::move(rule));
+    }
+    return set;
+}
+
+std::string
+renderRuleFile(const RuleSet &set, const GenRulesOptions &options)
+{
+    std::string out = strprintf(
+        "# synthetic %s rule set: %zu rules, seed %llu\n"
+        "# generated by rapid-gen-rules; regenerate with\n"
+        "#   rapid-gen-rules --style=%s --count=%zu --seed=%llu\n",
+        ruleStyleName(options.style), set.size(),
+        static_cast<unsigned long long>(options.seed),
+        ruleStyleName(options.style), set.size(),
+        static_cast<unsigned long long>(options.seed));
+    for (const Rule &rule : set.rules) {
+        out += rule.name;
+        out += '=';
+        if (rule.isRegex) {
+            out += '/';
+            out += rule.pattern;
+            out += '/';
+        } else {
+            out += escapeLiteral(rule.pattern);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+plantedInput(const RuleSet &set, uint64_t seed, size_t bytes,
+             size_t plants, std::vector<PlantedMatch> *expected)
+{
+    internalCheck(!set.empty(), "plantedInput: empty rule set");
+    Rng rng(seed);
+    // Filler that cannot complete most signatures: uppercase-heavy
+    // with separators (witnesses may still collide — the expectation
+    // list is a subset assertion, extra matches are fine).
+    const std::string filler_alphabet = "QWXZJKVYQWXZ #.";
+    std::string out;
+    out.reserve(bytes + 64);
+    const size_t stride = bytes / (plants + 1);
+    size_t planted = 0;
+    for (size_t i = 0; i < plants; ++i) {
+        out += rng.string(std::max<size_t>(stride, 1),
+                          filler_alphabet);
+        const Rule &rule = set.rules[i % set.size()];
+        std::string witness;
+        try {
+            witness = ruleWitness(rule);
+        } catch (const CompileError &) {
+            continue; // nothing plantable for this rule
+        }
+        out += witness;
+        if (expected != nullptr)
+            expected->push_back({rule.name, out.size() - 1});
+        ++planted;
+    }
+    if (out.size() < bytes)
+        out += rng.string(bytes - out.size(), filler_alphabet);
+    internalCheck(plants == 0 || planted > 0,
+                  "plantedInput: no rule produced a witness");
+    return out;
+}
+
+} // namespace rapid::rules

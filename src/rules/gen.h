@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Seeded synthetic rule-set corpora.
+ *
+ * Real large rule sets (Snort network signatures, ClamAV malware
+ * signatures, PII scanners, plain dictionaries) are licensed and
+ * unwieldy; this generator emits *reproducible* synthetic sets in the
+ * same shapes, at 100/1k/5k-rule tiers, so benches and tests can
+ * stress the compiler at scale from nothing but a seed.  The same
+ * generator core backs the `rapid-gen-rules` CLI, bench_rules, and
+ * the `rules`-labelled ctest suites — everyone sees byte-identical
+ * corpora for a given (seed, style, count).
+ */
+#ifndef RAPID_RULES_GEN_H
+#define RAPID_RULES_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rules/ruleset.h"
+
+namespace rapid::rules {
+
+/** Corpus flavor. */
+enum class RuleStyle {
+    /** Network-signature mix: literal tokens + pcre-ish regexes. */
+    Snort,
+    /** Malware-signature style: hex byte strings, some with gaps. */
+    Clamav,
+    /** Plain lowercase dictionary words (all literals). */
+    Dict,
+    /** PII-scan regexes: SSN/card/email/phone shapes + keyed fields. */
+    Pii,
+    /** A blend of all four, round-robin. */
+    Mixed,
+};
+
+/** Parse "snort"/"clamav"/"dict"/"pii"/"mixed"; @throws rapid::Error. */
+RuleStyle parseRuleStyle(const std::string &name);
+
+/** Lowercase style name. */
+const char *ruleStyleName(RuleStyle style);
+
+struct GenRulesOptions {
+    uint64_t seed = 1;
+    size_t count = 100;
+    RuleStyle style = RuleStyle::Mixed;
+};
+
+/** Generate a deterministic synthetic rule set. */
+RuleSet generateRules(const GenRulesOptions &options);
+
+/**
+ * Render @p set back to rule-file syntax (with a provenance header),
+ * such that parseRuleFile() round-trips it exactly.
+ */
+std::string renderRuleFile(const RuleSet &set,
+                           const GenRulesOptions &options);
+
+/** One planted, attributable match in a synthetic stream. */
+struct PlantedMatch {
+    /** Rule name == report code expected. */
+    std::string rule;
+    /** Offset of the match's final symbol (the report offset). */
+    uint64_t endOffset = 0;
+};
+
+/**
+ * A synthetic input stream of ~@p bytes with @p plants rule witnesses
+ * embedded at known offsets (round-robin over the set's rules, evenly
+ * spread).  @p expected receives one record per plant; the compiled
+ * design is guaranteed to report each (endOffset, rule) pair.  Rules
+ * whose witness cannot be synthesized are skipped.
+ */
+std::string plantedInput(const RuleSet &set, uint64_t seed,
+                         size_t bytes, size_t plants,
+                         std::vector<PlantedMatch> *expected);
+
+} // namespace rapid::rules
+
+#endif // RAPID_RULES_GEN_H

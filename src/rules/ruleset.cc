@@ -1,0 +1,313 @@
+#include "rules/ruleset.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "ap/image.h"
+#include "obs/trace.h"
+#include "re/regex.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace rapid::rules {
+
+using automata::Automaton;
+using automata::CharSet;
+using automata::ElementId;
+using automata::StartKind;
+
+namespace {
+
+[[noreturn]] void
+failLine(size_t line, const std::string &message)
+{
+    throw CompileError("rules:" + std::to_string(line) + ": " + message);
+}
+
+bool
+validName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    unsigned char first = static_cast<unsigned char>(name.front());
+    if (!std::isalpha(first) && first != '_')
+        return false;
+    for (char c : name) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (!std::isalnum(u) && u != '_' && u != '.' && u != '-')
+            return false;
+    }
+    return true;
+}
+
+int
+hexDigit(char c, size_t line)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    failLine(line, "bad hex digit in \\x escape");
+}
+
+/** Unescape a literal pattern (\n \t \r \0 \\ \/ \= \xHH). */
+std::string
+unescapeLiteral(std::string_view text, size_t line)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (++i >= text.size())
+            failLine(line, "dangling escape in literal");
+        switch (text[i]) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case '0':
+            out.push_back('\0');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case '=':
+            out.push_back('=');
+            break;
+          case 'x': {
+            if (i + 2 >= text.size())
+                failLine(line, "truncated \\x escape in literal");
+            int hi = hexDigit(text[i + 1], line);
+            int lo = hexDigit(text[i + 2], line);
+            i += 2;
+            out.push_back(static_cast<char>(hi * 16 + lo));
+            break;
+          }
+          default:
+            failLine(line, std::string("unknown literal escape \\") +
+                               text[i]);
+        }
+    }
+    return out;
+}
+
+/**
+ * Split an optional `name=` prefix off @p body.  Only a prefix that
+ * is a valid rule name counts; anything else (including an escaped
+ * `\=`) leaves the whole line as the pattern.
+ */
+std::string_view
+takeName(std::string_view &body)
+{
+    size_t eq = body.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return {};
+    if (body[eq - 1] == '\\')
+        return {}; // escaped '=': the line is all pattern
+    std::string_view name = body.substr(0, eq);
+    if (!validName(name))
+        return {};
+    body.remove_prefix(eq + 1);
+    return name;
+}
+
+/** Append a literal chain to @p automaton, reporting as @p name. */
+void
+appendLiteral(Automaton &automaton, const std::string &bytes,
+              const std::string &name)
+{
+    ElementId prev = automata::kNoElement;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        ElementId ste = automaton.addSte(
+            CharSet::single(static_cast<unsigned char>(bytes[i])),
+            i == 0 ? StartKind::AllInput : StartKind::None,
+            name + "/" + std::to_string(i));
+        if (prev != automata::kNoElement)
+            automaton.connect(prev, ste);
+        prev = ste;
+    }
+    automaton.setReport(prev, name);
+}
+
+/** Witness synthesis over a regex syntax tree (minimal expansion). */
+std::string
+treeWitness(const re::RegexNode &node)
+{
+    switch (node.op) {
+      case re::RegexOp::Empty:
+        return "";
+      case re::RegexOp::Symbols:
+        for (unsigned c = 0; c < 256; ++c) {
+            if (node.symbols.test(static_cast<unsigned char>(c)))
+                return std::string(1, static_cast<char>(c));
+        }
+        throw CompileError("regex class matches no symbol");
+      case re::RegexOp::Concat: {
+        std::string out;
+        for (const auto &child : node.children)
+            out += treeWitness(*child);
+        return out;
+      }
+      case re::RegexOp::Alt: {
+        // Prefer a non-empty branch so the witness is reportable.
+        std::string first;
+        bool have_first = false;
+        for (const auto &child : node.children) {
+            std::string w = treeWitness(*child);
+            if (!w.empty())
+                return w;
+            if (!have_first) {
+                first = std::move(w);
+                have_first = true;
+            }
+        }
+        return first;
+      }
+      case re::RegexOp::Repeat: {
+        std::string unit = treeWitness(*node.children.front());
+        std::string out;
+        for (int i = 0; i < node.min; ++i)
+            out += unit;
+        return out;
+      }
+    }
+    throw InternalError("unhandled regex op in witness synthesis");
+}
+
+} // namespace
+
+RuleSet
+parseRuleFile(std::string_view text)
+{
+    RuleSet set;
+    std::unordered_set<std::string> names;
+    size_t line_no = 0;
+    size_t ordinal = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        std::string_view body = trim(raw);
+        if (body.empty() || body.front() == '#')
+            continue;
+
+        Rule rule;
+        rule.line = line_no;
+        std::string_view name = takeName(body);
+        rule.name = name.empty() ? "r" + std::to_string(ordinal)
+                                 : std::string(name);
+        body = trim(body);
+        if (body.empty())
+            failLine(line_no, "empty pattern");
+
+        if (body.front() == '/') {
+            if (body.size() < 3 || body.back() != '/' ||
+                body[body.size() - 2] == '\\') {
+                failLine(line_no, "unterminated /regex/ pattern");
+            }
+            rule.isRegex = true;
+            rule.pattern =
+                std::string(body.substr(1, body.size() - 2));
+        } else {
+            rule.pattern = unescapeLiteral(body, line_no);
+            if (rule.pattern.empty())
+                failLine(line_no, "empty pattern");
+        }
+
+        if (!names.insert(rule.name).second)
+            failLine(line_no, "duplicate rule name '" + rule.name + "'");
+        set.rules.push_back(std::move(rule));
+        ++ordinal;
+    }
+    return set;
+}
+
+automata::Automaton
+compileRules(const RuleSet &set, const RuleCompileOptions &options,
+             RuleCompileStats *stats)
+{
+    obs::Span span("compile_rules");
+    if (set.empty())
+        throw CompileError("rules: no rules to compile");
+
+    RuleCompileStats local;
+    local.rules = set.size();
+
+    Automaton automaton;
+    for (const Rule &rule : set.rules) {
+        if (rule.isRegex) {
+            ++local.regexes;
+            try {
+                Automaton one = re::compileRegex(
+                    rule.pattern, /*sliding_window=*/true, rule.name);
+                automaton.merge(one, rule.name + "/");
+            } catch (const CompileError &error) {
+                failLine(rule.line, error.what());
+            }
+        } else {
+            ++local.literals;
+            appendLiteral(automaton, rule.pattern, rule.name);
+        }
+    }
+    automaton.validate();
+    local.elementsRaw = automaton.size();
+
+    if (options.optimize) {
+        obs::Span opt_span("optimize");
+        local.optimizer =
+            automata::optimize(automaton, options.optimizer);
+    }
+    local.elements = automaton.size();
+    automaton.validate();
+
+    if (stats != nullptr)
+        *stats = local;
+    return automaton;
+}
+
+std::string
+ruleWitness(const Rule &rule)
+{
+    std::string witness;
+    if (rule.isRegex) {
+        witness = treeWitness(*re::parseRegex(rule.pattern));
+    } else {
+        witness = rule.pattern;
+    }
+    if (witness.empty()) {
+        throw CompileError("rule '" + rule.name +
+                           "' matches only the empty string");
+    }
+    return witness;
+}
+
+std::string
+rulesCacheKey(std::string_view rules_text,
+              const RuleCompileOptions &options)
+{
+    StableHash hash;
+    // Domain separation from RAPID-source cache keys.
+    hash.update(std::string_view("rapidc compile-rules v1"));
+    hash.update(static_cast<uint64_t>(ap::kImageFormatVersion));
+    hash.update(rules_text);
+    hash.update(static_cast<uint64_t>(options.optimize ? 1 : 0));
+    hash.update(
+        static_cast<uint64_t>(options.optimizer.acrossComponents));
+    hash.update(static_cast<uint64_t>(options.optimizer.weldBudget));
+    return hash.hex();
+}
+
+} // namespace rapid::rules

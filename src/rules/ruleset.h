@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Large-scale rule sets: the multi-pattern front door.
+ *
+ * The paper's compile-once/run-many workflow only pays off on designs
+ * big enough to stress placement, sharding, and the image cache.  A
+ * *rule set* is the workload that gets there: thousands of concurrent
+ * patterns — literal dictionary entries plus the rapid::re regex
+ * subset — compiled into ONE multi-report design where every rule
+ * reports under its own stable report code.  `rapidc compile-rules`
+ * drives this module through the whole offline pipeline (optimizer,
+ * tessellation, placement, shard map, .apimg image), and the per-rule
+ * report codes flow unchanged through every engine and the rapidd
+ * streaming service, so a match is always attributable to the rule
+ * that fired.
+ *
+ * Rule-file format (docs/rules.md):
+ *
+ *   - one rule per line; blank lines and `#` comment lines ignored;
+ *   - `name=pattern` names the rule; the name becomes its report code;
+ *   - unnamed rules get the code `r<ordinal>` where <ordinal> counts
+ *     rules (not lines) from 0 — appending rules never renames
+ *     earlier ones (the report-code stability contract);
+ *   - a pattern of the form `/regex/` is compiled through rapid::re
+ *     (sliding-window, unanchored); anything else is a literal byte
+ *     string with the escapes \n \t \r \0 \\ \/ \= \xHH.
+ */
+#ifndef RAPID_RULES_RULESET_H
+#define RAPID_RULES_RULESET_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/optimizer.h"
+
+namespace rapid::rules {
+
+/** One pattern of a rule set. */
+struct Rule {
+    /** Report code (explicit `name=` or the stable `r<ordinal>`). */
+    std::string name;
+    /** Regex (`/.../`) vs literal byte string. */
+    bool isRegex = false;
+    /** Regex source or unescaped literal bytes. */
+    std::string pattern;
+    /** 1-based source line, for diagnostics. */
+    size_t line = 0;
+};
+
+/** A parsed rule file. */
+struct RuleSet {
+    std::vector<Rule> rules;
+
+    size_t size() const { return rules.size(); }
+    bool empty() const { return rules.empty(); }
+};
+
+/** Rule-set compilation knobs. */
+struct RuleCompileOptions {
+    /** Run the whole-design graph-reduction optimizer. */
+    bool optimize = true;
+    /** Optimizer tuning (weld budget, cross-component sharing). */
+    automata::OptimizeOptions optimizer;
+};
+
+/** What compileRules() did, for summaries and bench records. */
+struct RuleCompileStats {
+    size_t rules = 0;
+    size_t literals = 0;
+    size_t regexes = 0;
+    /** Elements before / after optimization. */
+    size_t elementsRaw = 0;
+    size_t elements = 0;
+    automata::OptimizeStats optimizer;
+};
+
+/**
+ * Parse a rule file.
+ *
+ * @throws rapid::CompileError with a line-qualified message on
+ * malformed lines, bad escapes, duplicate names, unterminated
+ * regexes, or empty patterns.  Regex *syntax* errors surface later,
+ * from compileRules(), also line-qualified.
+ */
+RuleSet parseRuleFile(std::string_view text);
+
+/**
+ * Compile every rule into one multi-report design.
+ *
+ * Each literal becomes a chain of STEs (sliding-window start on the
+ * first) and each regex compiles through rapid::re; every rule's
+ * reporting elements carry the rule's name as their report code, and
+ * element ids are prefixed `<name>/` so the merged design stays
+ * collision-free.  The result validates before it is returned.
+ *
+ * @throws rapid::CompileError (line-qualified) when a rule fails to
+ * compile — including regexes that can match the empty string, which
+ * the AP cannot report.
+ */
+automata::Automaton compileRules(const RuleSet &set,
+                                 const RuleCompileOptions &options = {},
+                                 RuleCompileStats *stats = nullptr);
+
+/**
+ * A short input guaranteed to end with a match of @p rule (repeats at
+ * their minimum count, the smallest symbol of each class, the first
+ * viable alternation branch).  Used to plant attributable matches in
+ * synthetic streams.
+ *
+ * @throws rapid::CompileError when the rule cannot match any
+ * non-empty string.
+ */
+std::string ruleWitness(const Rule &rule);
+
+/**
+ * Content-addressed cache key for a rule-set compile: raw rule-file
+ * bytes + design-affecting options + the .apimg format version,
+ * domain-separated from RAPID-source keys.
+ */
+std::string rulesCacheKey(std::string_view rules_text,
+                          const RuleCompileOptions &options);
+
+} // namespace rapid::rules
+
+#endif // RAPID_RULES_RULESET_H

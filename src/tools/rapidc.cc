@@ -32,6 +32,11 @@
  *                   [--frame]           # reference interpreter
  *   rapidc witness prog.rapid [--args args.txt]
  *                                       # covering test inputs (§8)
+ *   rapidc compile-rules rules.txt [-o out.apimg|out.anml]
+ *                   [--no-optimize] [--opt-stats] [--stats]
+ *                   [--cache-dir=DIR]   # thousands of patterns (one
+ *                                       # per line; docs/rules.md) into
+ *                                       # ONE multi-report design image
  *
  * Flags and the program path may appear in any order after the
  * command.  `--positional` selects the §5.3 positional-encoding
@@ -86,6 +91,8 @@
 #include "obs/obs.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "ap/resources.h"
+#include "rules/ruleset.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -194,8 +201,9 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rapidc <compile|build|pnr|run|interpret|witness> "
-        "<prog.rapid>\n"
+        "usage: rapidc "
+        "<compile|build|pnr|run|interpret|witness|compile-rules> "
+        "<prog.rapid|rules.txt>\n"
         "              [--args file] [-o out.anml|out.apimg] "
         "[--no-optimize]\n"
         "              [--opt-stats] [--positional] [--tile] "
@@ -537,17 +545,131 @@ streamReports(const Options &options, host::Device &device)
     return 0;
 }
 
+/**
+ * `compile-rules`: a whole rule *set* — thousands of literal and
+ * /regex/ patterns, one per line (docs/rules.md) — compiled into ONE
+ * multi-report design image.  Every rule reports under its own stable
+ * code, so any engine (and rapidd) can attribute each match to the
+ * rule that fired.  Shares the offline pipeline and content-addressed
+ * cache with `build`, under a rules-specific cache-key domain.
+ */
+int
+compileRulesCommand(const Options &options)
+{
+    std::string text = readFile(options.program);
+    rules::RuleCompileOptions rule_options;
+    rule_options.optimize = options.optimize;
+    const std::string key = rules::rulesCacheKey(text, rule_options);
+    g_flight.sourceKey = key;
+
+    std::string out = options.output.empty()
+                          ? withExtension(options.program, ".apimg")
+                          : options.output;
+    const bool anml_out = hasSuffix(out, ".anml");
+
+    // Warm cache: the image is already built — just (re)emit it, with
+    // no parsing at all (the key hashes raw rule-file bytes).
+    if (!anml_out && !options.cacheDir.empty()) {
+        host::CompileCache cache(options.cacheDir);
+        if (auto image = cache.load(key)) {
+            ap::writeImageFile(out, *image);
+            std::fprintf(stderr,
+                         "cache hit: wrote %s (%zu elements, key %s)\n",
+                         out.c_str(), image->design.size(),
+                         key.c_str());
+            return 0;
+        }
+    }
+
+    rules::RuleSet set = rules::parseRuleFile(text);
+    rules::RuleCompileStats rule_stats;
+    // Stage a journal line before the expensive compile: an
+    // interrupted rule-set build still leaves its trace.
+    obs::FlightRecorder::instance().stage(g_flight);
+    automata::Automaton design =
+        rules::compileRules(set, rule_options, &rule_stats);
+    std::fprintf(
+        stderr,
+        "compiled %zu rule(s) (%zu literal, %zu regex): "
+        "%zu -> %zu elements\n",
+        rule_stats.rules, rule_stats.literals, rule_stats.regexes,
+        rule_stats.elementsRaw, rule_stats.elements);
+    if (options.optStats)
+        printOptStats(rule_stats.optimizer);
+    if (options.stats) {
+        auto stats = design.stats();
+        std::printf("elements: %zu (STEs %zu, counters %zu, "
+                    "gates %zu), edges %zu, reporting %zu\n",
+                    stats.total(), stats.stes, stats.counters,
+                    stats.gates, stats.edges, stats.reporting);
+        std::printf("components: %zu\n", design.components().size());
+    }
+
+    if (anml_out) {
+        std::string anml = anml::emitAnml(design);
+        std::ofstream file(out, std::ios::binary);
+        if (!file)
+            throw Error("cannot write " + out);
+        file << anml;
+        std::fprintf(stderr, "wrote %s (%zu lines)\n", out.c_str(),
+                     countLines(anml));
+        return 0;
+    }
+
+    lang::CompiledProgram compiled;
+    compiled.automaton = std::move(design);
+    compiled.optStats = rule_stats.optimizer;
+    ap::DesignImage image = host::buildImage(compiled, key);
+    if (!options.cacheDir.empty())
+        host::CompileCache(options.cacheDir).store(key, image);
+    ap::writeImageFile(out, image);
+
+    if (image.placed) {
+        size_t shards = 0;
+        for (uint32_t shard : image.shardOfComponent)
+            shards = std::max<size_t>(shards, shard + 1u);
+        std::fprintf(
+            stderr,
+            "wrote %s (%zu elements, %zu block(s), %zu shard(s), "
+            "key %s)\n",
+            out.c_str(), image.design.size(),
+            image.placement.totalBlocks, shards, key.c_str());
+    } else {
+        // Capacity diagnostic: say *why* placement failed and what
+        // still works, instead of silently emitting a degraded image.
+        ap::DeviceConfig board;
+        auto stats = image.design.stats();
+        std::fprintf(
+            stderr,
+            "warning: %s is UNPLACED — design needs %zu STEs / %zu "
+            "counters / %zu gates against a board with %zu STEs / "
+            "%zu counters / %zu booleans (or one component exceeds a "
+            "half-core).  The scalar and batch engines can still run "
+            "it; split the rule set or re-run with optimization to "
+            "place it.\n",
+            out.c_str(), stats.stes, stats.counters, stats.gates,
+            board.stesPerBoard(), board.countersPerBoard(),
+            board.boolsPerBoard());
+    }
+    return 0;
+}
+
 int
 run(const Options &options)
 {
-    // `build` and `run` journal to the flight recorder (exit code and
-    // wall time land in main, after this returns).
-    if (options.command == "run" || options.command == "build") {
+    // `build`, `compile-rules`, and `run` journal to the flight
+    // recorder (exit code and wall time land in main, after this
+    // returns).
+    if (options.command == "run" || options.command == "build" ||
+        options.command == "compile-rules") {
         g_flightWanted = true;
         g_flight.command = options.command;
         g_flight.program = options.program.empty() ? options.imagePath
                                                    : options.program;
     }
+
+    if (options.command == "compile-rules")
+        return compileRulesCommand(options);
 
     // Precompiled image (--image= or a positional .apimg): nothing to
     // compile — load, configure, stream.

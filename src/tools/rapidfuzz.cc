@@ -15,6 +15,12 @@
  *             [--seconds S] [--no-counters] [--no-tiles]
  *             [--no-shrink] [--repro-dir DIR] [--quiet]
  *   rapidfuzz --repro FILE       # replay one repro file
+ *   rapidfuzz --re [--seed N] [--iterations N] [--inputs N]
+ *             [--max-input-len N] [--seconds S] [--quiet]
+ *                                # regex-path differential fuzzing
+ *                                # (fuzz/regex_fuzz.h): tree matcher
+ *                                # vs NFA vs scalar vs batch vs
+ *                                # optimized automaton
  *
  * Exit status: 0 when every case agreed, 1 on divergence, 2 on usage
  * errors.  Runs are deterministic in --seed: the same seed replays
@@ -29,6 +35,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/regex_fuzz.h"
 #include "fuzz/repro.h"
 #include "fuzz/shrink.h"
 #include "host/argfile.h"
@@ -56,6 +63,8 @@ struct Options {
     bool tiles = true;
     bool shrink = true;
     bool quiet = false;
+    /** --re: fuzz the regex path instead of RAPID programs. */
+    bool regex = false;
     std::string reproDir = ".";
     std::string reproFile;
 };
@@ -73,6 +82,7 @@ usage()
         "[--no-tiles] [--no-shrink]\n"
         "                 [--repro-dir DIR] [--quiet]\n"
         "       rapidfuzz --repro FILE\n"
+        "       rapidfuzz --re [--seed N] [--iterations N] ...\n"
         "\n"
         "oracle forks: a=interpreter b=raw c=optimized d=anml "
         "e=tile f=batch\n");
@@ -114,6 +124,8 @@ parseOptions(int argc, char **argv)
             options.shrink = false;
         else if (arg == "--quiet")
             options.quiet = true;
+        else if (arg == "--re")
+            options.regex = true;
         else if (arg == "--repro-dir")
             options.reproDir = next();
         else if (arg == "--repro")
@@ -159,6 +171,36 @@ replayRepro(const Options &options)
     std::printf("%s: %s\n", options.reproFile.c_str(),
                 outcome.detail.c_str());
     return outcome.divergence ? 1 : 0;
+}
+
+int
+regexFuzzLoop(const Options &options)
+{
+    fuzz::RegexFuzzOptions re_options;
+    re_options.seed = options.seed;
+    re_options.iterations = options.iterations;
+    re_options.inputsPerCase = options.inputs;
+    re_options.maxInputSymbols = options.maxInputLen;
+    re_options.secondsBudget = options.seconds;
+    if (!options.quiet)
+        re_options.log = &std::cerr;
+
+    fuzz::RegexFuzzResult result = fuzz::runRegexFuzz(re_options);
+
+    std::printf(
+        "rapidfuzz: --re seed %llu: %llu patterns, %llu inputs, "
+        "%llu reports, %llu rejected\n",
+        static_cast<unsigned long long>(options.seed),
+        static_cast<unsigned long long>(result.cases),
+        static_cast<unsigned long long>(result.inputsRun),
+        static_cast<unsigned long long>(result.reportsSeen),
+        static_cast<unsigned long long>(result.rejected));
+    if (!result.divergence) {
+        std::printf("rapidfuzz: no divergence\n");
+        return 0;
+    }
+    std::printf("rapidfuzz: DIVERGENCE: %s\n", result.detail.c_str());
+    return 1;
 }
 
 int
@@ -232,6 +274,8 @@ main(int argc, char **argv)
         Options options = parseOptions(argc, argv);
         if (!options.reproFile.empty())
             return replayRepro(options);
+        if (options.regex)
+            return regexFuzzLoop(options);
         return fuzzLoop(options);
     } catch (const Error &error) {
         std::fprintf(stderr, "rapidfuzz: %s\n", error.what());

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bounded deterministic sweep of the five-fork regex differential
+ * oracle (`rapidfuzz --re`): syntax-tree matcher vs NFA reference vs
+ * scalar / batch / optimized simulation.  The CI-sized budget here
+ * complements the larger seeds the nightly fuzz job burns; the
+ * `rules` label runs it alongside the rule-set suites because the
+ * rule generator leans on exactly this regex operator set.
+ */
+#include <gtest/gtest.h>
+
+#include "fuzz/regex_fuzz.h"
+#include "re/regex.h"
+
+namespace {
+
+using namespace rapid;
+
+TEST(RegexFuzz, BoundedSweepFindsNoDivergence)
+{
+    fuzz::RegexFuzzOptions options;
+    options.seed = 1;
+    options.iterations = 400;
+    fuzz::RegexFuzzResult result = fuzz::runRegexFuzz(options);
+    EXPECT_FALSE(result.divergence)
+        << "pattern: " << result.pattern << "\ninput: "
+        << result.input << "\n" << result.detail;
+    EXPECT_EQ(result.cases, options.iterations);
+    // The grammar occasionally emits empty-matchable patterns; they
+    // must be rejected by compileRegex, never silently accepted.
+    EXPECT_LT(result.rejected, result.cases / 2);
+    EXPECT_GT(result.reportsSeen, 0u);
+}
+
+TEST(RegexFuzz, SecondsBudgetStopsEarly)
+{
+    fuzz::RegexFuzzOptions options;
+    options.seed = 2;
+    options.iterations = 1000000; // budget, not count, must bound this
+    options.secondsBudget = 0.2;
+    fuzz::RegexFuzzResult result = fuzz::runRegexFuzz(options);
+    EXPECT_FALSE(result.divergence) << result.detail;
+    EXPECT_LT(result.cases, options.iterations);
+}
+
+/** The tree matcher agrees with the NFA reference on a couple of
+ *  directed corner patterns the generator rarely emits verbatim. */
+TEST(RegexFuzz, DirectedCornerPatterns)
+{
+    const struct {
+        const char *pattern;
+        const char *input;
+    } cases[] = {
+        {"a{2,}b|c?d", "xaaabcdx"},
+        {"[^a-c]{1,3}z", "qqzaz"},
+        {"(ab|a)b*", "aabbb"},
+        {"\\d+(\\.\\d+)?", "pi=3.14159"},
+    };
+    for (const auto &c : cases) {
+        auto tree = re::parseRegex(c.pattern);
+        ASSERT_NE(tree, nullptr) << c.pattern;
+        EXPECT_EQ(fuzz::treeMatchEnds(*tree, c.input),
+                  re::referenceMatchEnds(c.pattern, c.input, true))
+            << c.pattern << " on " << c.input;
+    }
+}
+
+} // namespace

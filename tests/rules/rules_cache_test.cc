@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Compile-cache behavior on rule-set images (the `rules` ctest
+ * label): key sensitivity to a single rule edit, warm-hit round-trip
+ * fidelity on a multi-megabyte .apimg, and the self-heal contract —
+ * a corrupted cache entry is a warned miss that the next store
+ * repairs, never a crash or a stale design.
+ */
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "rules/gen.h"
+#include "rules/ruleset.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace rapid;
+
+/** A 1000-rule image is several MB on disk — the interesting size. */
+constexpr size_t kTier = 1000;
+
+struct Corpus {
+    std::string text;
+    ap::DesignImage image;
+    std::string key;
+};
+
+const Corpus &
+corpus()
+{
+    static const Corpus instance = [] {
+        rules::GenRulesOptions options;
+        options.seed = 7;
+        options.count = kTier;
+        options.style = rules::RuleStyle::Mixed;
+        rules::RuleSet set = rules::generateRules(options);
+        Corpus built;
+        built.text = rules::renderRuleFile(set, options);
+        rules::RuleCompileStats stats;
+        lang::CompiledProgram compiled;
+        compiled.automaton = rules::compileRules(set, {}, &stats);
+        compiled.optStats = stats.optimizer;
+        built.key = rules::rulesCacheKey(built.text, {});
+        built.image = host::buildImage(compiled, built.key);
+        return built;
+    }();
+    return instance;
+}
+
+class RulesCache : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        // Parallel ctest runs each case as its own process; a shared
+        // directory would race, so key it by test name.
+        _dir = std::string("rules_cache_") +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(_dir);
+    }
+    void TearDown() override { std::filesystem::remove_all(_dir); }
+
+    std::string _dir;
+};
+
+/** Editing one rule — or toggling the optimizer — changes the key;
+ *  re-keying the identical text does not. */
+TEST_F(RulesCache, KeySensitivity)
+{
+    const std::string &text = corpus().text;
+    EXPECT_EQ(rules::rulesCacheKey(text, {}), corpus().key);
+
+    // Flip a single byte inside some rule pattern.
+    std::string edited = text;
+    const size_t pos = edited.rfind("=");
+    ASSERT_NE(pos, std::string::npos);
+    edited[pos + 1] = edited[pos + 1] == 'z' ? 'y' : 'z';
+    EXPECT_NE(rules::rulesCacheKey(edited, {}), corpus().key);
+
+    rules::RuleCompileOptions no_opt;
+    no_opt.optimize = false;
+    EXPECT_NE(rules::rulesCacheKey(text, no_opt), corpus().key);
+}
+
+/** A warm hit returns the stored multi-megabyte image intact — same
+ *  design, placement, and shard map — and is fast enough to matter. */
+TEST_F(RulesCache, WarmHitRoundTrip)
+{
+    host::CompileCache cache(_dir);
+    EXPECT_FALSE(cache.load(corpus().key).has_value());
+    cache.store(corpus().key, corpus().image);
+
+    // The entry really is rule-set sized.
+    const std::string entry =
+        _dir + "/" + corpus().key + ".apimg";
+    ASSERT_TRUE(std::filesystem::exists(entry));
+    EXPECT_GT(std::filesystem::file_size(entry), 1u << 20);
+
+    auto warm = cache.load(corpus().key);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_EQ(warm->design.size(), corpus().image.design.size());
+    EXPECT_EQ(warm->placed, corpus().image.placed);
+    EXPECT_EQ(warm->shardOfComponent,
+              corpus().image.shardOfComponent);
+    EXPECT_EQ(warm->sourceHash, corpus().image.sourceHash);
+
+    // And the loaded image is runnable: the scalar engine accepts it.
+    host::Device device(*warm, host::Engine::Scalar);
+    EXPECT_NO_THROW(device.run("probe stream"));
+}
+
+/** Corrupting the stored entry (truncation and bit-flip) demotes it
+ *  to a miss — never a crash — and a re-store heals the entry. */
+TEST_F(RulesCache, CorruptEntrySelfHeals)
+{
+    host::CompileCache cache(_dir);
+    cache.store(corpus().key, corpus().image);
+    const std::string entry =
+        _dir + "/" + corpus().key + ".apimg";
+    const auto full_size = std::filesystem::file_size(entry);
+
+    // Truncate to half: load must miss, not throw.
+    std::filesystem::resize_file(entry, full_size / 2);
+    EXPECT_FALSE(cache.load(corpus().key).has_value());
+
+    // Re-store heals the entry.
+    cache.store(corpus().key, corpus().image);
+    EXPECT_EQ(std::filesystem::file_size(entry), full_size);
+    ASSERT_TRUE(cache.load(corpus().key).has_value());
+
+    // Flip bytes in the middle of the payload: miss again.
+    {
+        std::fstream file(entry, std::ios::in | std::ios::out |
+                                     std::ios::binary);
+        file.seekp(static_cast<std::streamoff>(full_size / 2));
+        const char garbage[] = "\xde\xad\xbe\xef corrupted";
+        file.write(garbage, sizeof garbage);
+    }
+    EXPECT_FALSE(cache.load(corpus().key).has_value());
+
+    cache.store(corpus().key, corpus().image);
+    auto healed = cache.load(corpus().key);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(healed->design.size(), corpus().image.design.size());
+}
+
+} // namespace

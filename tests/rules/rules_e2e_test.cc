@@ -1,0 +1,258 @@
+/**
+ * @file
+ * End-to-end per-rule attribution at rule-set scale (the `rules`
+ * ctest label): a generated corpus is compiled through the real
+ * `rapidc compile-rules` binary into one multi-report .apimg, then a
+ * planted-match stream is replayed through `rapidc run` on every
+ * engine configuration AND through a live rapidd session per
+ * configuration.  Every leg must produce the byte-identical canonical
+ * report stream, and every planted rule id must be attributed at its
+ * exact end offset.
+ *
+ * The corpus tier comes from RAPID_RULES_TIER (default 1000; the PR
+ * build-test matrix pins 100 to keep sanitizer runs quick, nightly
+ * runs the default).
+ */
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "ap/image.h"
+#include "rules/gen.h"
+#include "rules/ruleset.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace rapid;
+
+size_t
+rulesTier()
+{
+    const char *env = std::getenv("RAPID_RULES_TIER");
+    if (env && *env) {
+        const long value = std::atol(env);
+        if (value > 0)
+            return static_cast<size_t>(value);
+    }
+    return 1000;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw rapid::Error("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::binary);
+    file << content;
+    ASSERT_TRUE(file.good()) << path;
+}
+
+struct EngineConfig {
+    const char *engine;
+    unsigned shards;
+    unsigned threads;
+    const char *cliFlags;
+};
+
+const std::vector<EngineConfig> &
+engineConfigs()
+{
+    static const std::vector<EngineConfig> list = {
+        {"scalar", 0, 0, "--engine=scalar"},
+        {"batch", 0, 0, "--engine=batch"},
+        {"sharded", 0, 0, "--engine=sharded"},
+        {"sharded", 4, 0, "--engine=sharded --shards=4"},
+        {"parallel", 0, 0, "--engine=parallel"},
+        {"parallel", 0, 3, "--engine=parallel --threads=3"},
+    };
+    return list;
+}
+
+/** Shared corpus + compiled image, built once per process.  Parallel
+ *  ctest runs each case as its own process, so scratch paths are
+ *  keyed by pid to keep concurrent setups from clobbering each
+ *  other. */
+class RulesE2e : public ::testing::Test {
+  public:
+    static void SetUpTestSuite()
+    {
+        dir() = "rules_e2e_" + std::to_string(::getpid());
+        std::filesystem::create_directories(dir());
+
+        const size_t tier = rulesTier();
+        rules::GenRulesOptions options;
+        options.seed = 7;
+        options.count = tier;
+        options.style = rules::RuleStyle::Mixed;
+        set() = rules::generateRules(options);
+        writeFile(path("rules"),
+                  rules::renderRuleFile(set(), options));
+        input() = rules::plantedInput(set(), 23, 128 * 1024,
+                                      std::min<size_t>(tier, 200),
+                                      &expected());
+        writeFile(path("input"), input());
+
+        const std::string command =
+            std::string(RAPID_RAPIDC_PATH) + " compile-rules " +
+            path("rules") + " -o " + path("apimg") + " > " +
+            path("compile.log") + " 2>&1";
+        ASSERT_EQ(std::system(command.c_str()), 0)
+            << readFile(path("compile.log"));
+    }
+
+    static void TearDownTestSuite()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir(), ec);
+    }
+
+    static std::string &dir()
+    {
+        static std::string instance;
+        return instance;
+    }
+    static std::string path(const std::string &leaf)
+    {
+        return dir() + "/rules_e2e." + leaf;
+    }
+
+    static rules::RuleSet &set()
+    {
+        static rules::RuleSet instance;
+        return instance;
+    }
+    static std::string &input()
+    {
+        static std::string instance;
+        return instance;
+    }
+    static std::vector<rules::PlantedMatch> &expected()
+    {
+        static std::vector<rules::PlantedMatch> instance;
+        return instance;
+    }
+};
+
+/** `rapidc run --image` stdout for one engine configuration. */
+std::string
+rapidcRun(const EngineConfig &config)
+{
+    const std::string out = RulesE2e::path(
+        std::string(config.engine) + "." +
+        std::to_string(config.shards) + "." +
+        std::to_string(config.threads) + ".out");
+    const std::string command =
+        std::string(RAPID_RAPIDC_PATH) + " run --image=" +
+        RulesE2e::path("apimg") + " --input " +
+        RulesE2e::path("input") + " " + config.cliFlags + " > " +
+        out + " 2> /dev/null";
+    EXPECT_EQ(std::system(command.c_str()), 0) << command;
+    return readFile(out);
+}
+
+/**
+ * All engine configurations of `rapidc run` produce byte-identical
+ * report streams, and every planted witness is attributed to its rule
+ * at the recorded offset.
+ */
+TEST_F(RulesE2e, RapidcRunAttributionAcrossEngines)
+{
+    ASSERT_FALSE(expected().empty());
+    const std::string reference = rapidcRun(engineConfigs()[0]);
+    ASSERT_FALSE(reference.empty()) << "no reports from scalar run";
+
+    for (size_t i = 1; i < engineConfigs().size(); ++i) {
+        SCOPED_TRACE(engineConfigs()[i].cliFlags);
+        EXPECT_EQ(rapidcRun(engineConfigs()[i]), reference);
+    }
+
+    // Each stdout line is `offset\tcode\telement`.
+    std::set<std::pair<uint64_t, std::string>> seen;
+    std::istringstream lines(reference);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const std::vector<std::string> fields = split(line, '\t');
+        ASSERT_GE(fields.size(), 2u) << line;
+        seen.emplace(std::stoull(fields[0]), fields[1]);
+    }
+    for (const rules::PlantedMatch &plant : expected()) {
+        EXPECT_TRUE(seen.count({plant.endOffset, plant.rule}))
+            << plant.rule << " @ " << plant.endOffset;
+    }
+}
+
+/**
+ * A live rapidd session per engine configuration delivers the same
+ * canonical stream as `rapidc run` — per-rule attribution survives
+ * the daemon path (chunked FEED, whole-stream engines at CLOSE).
+ */
+TEST_F(RulesE2e, RapiddSessionParity)
+{
+    serve::Server server;
+    server.loadImage("rules",
+                     ap::loadImageFile(RulesE2e::path("apimg")));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const std::string reference = rapidcRun(engineConfigs()[0]);
+    Rng rng(0x5EEDF00Dull);
+    for (const EngineConfig &config : engineConfigs()) {
+        SCOPED_TRACE(config.cliFlags);
+        serve::OpenRequest request;
+        request.kind = serve::OpenKind::Name;
+        request.target = "rules";
+        request.engine = config.engine;
+        request.shards = config.shards;
+        request.threads = config.threads;
+
+        serve::Client client;
+        client.connect(server.port());
+        client.open(request);
+        std::vector<serve::ReportRecord> reports;
+        size_t begin = 0;
+        const std::string &stream = input();
+        while (begin < stream.size()) {
+            const size_t size = static_cast<size_t>(rng.range(
+                1, std::min<int64_t>(
+                       8192,
+                       static_cast<int64_t>(stream.size() - begin))));
+            std::vector<serve::ReportRecord> batch = client.feed(
+                std::string_view(stream).substr(begin, size));
+            reports.insert(reports.end(),
+                           std::make_move_iterator(batch.begin()),
+                           std::make_move_iterator(batch.end()));
+            begin += size;
+        }
+        std::vector<serve::ReportRecord> tail = client.finish();
+        reports.insert(reports.end(),
+                       std::make_move_iterator(tail.begin()),
+                       std::make_move_iterator(tail.end()));
+        EXPECT_EQ(serve::reportsText(reports), reference);
+    }
+}
+
+} // namespace

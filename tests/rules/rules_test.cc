@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit suite for the rule-set compiler (src/rules/): the rule-file
+ * parser's format contract, the report-code stability guarantee that
+ * downstream SIEM configs depend on, witness generation, the seeded
+ * corpus generator, and in-process per-rule attribution across every
+ * host engine at the 100-rule tier.  Registered under the `rules`
+ * ctest label (docs/rules.md).
+ */
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/simulator.h"
+#include "host/compile_cache.h"
+#include "host/device.h"
+#include "re/regex.h"
+#include "rules/gen.h"
+#include "rules/ruleset.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace rapid;
+
+// ---------------------------------------------------------------- parser
+
+TEST(RuleParser, CommentsBlanksAndNames)
+{
+    rules::RuleSet set = rules::parseRuleFile(
+        "# header comment\n"
+        "\n"
+        "alpha=hello\n"
+        "  # indented comment\n"
+        "beta=/ab+c/\n"
+        "plainliteral\n");
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.rules[0].name, "alpha");
+    EXPECT_FALSE(set.rules[0].isRegex);
+    EXPECT_EQ(set.rules[0].pattern, "hello");
+    EXPECT_EQ(set.rules[1].name, "beta");
+    EXPECT_TRUE(set.rules[1].isRegex);
+    EXPECT_EQ(set.rules[1].pattern, "ab+c");
+    // Unnamed rules get ordinal names counted over *rules*, not
+    // lines, so appending rules never renames earlier ones.
+    EXPECT_EQ(set.rules[2].name, "r2");
+    EXPECT_FALSE(set.rules[2].isRegex);
+}
+
+TEST(RuleParser, OrdinalsCountRulesNotLines)
+{
+    rules::RuleSet set = rules::parseRuleFile(
+        "# three lines of prelude\n"
+        "#\n"
+        "\n"
+        "first\n"
+        "named=x\n"
+        "second\n");
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.rules[0].name, "r0");
+    EXPECT_EQ(set.rules[2].name, "r2");
+}
+
+TEST(RuleParser, LiteralEscapes)
+{
+    rules::RuleSet set = rules::parseRuleFile(
+        "esc=a\\tb\\nc\\x41\\\\d\\=e\n"
+        "slash=\\/not/regex\n");
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.rules[0].pattern, "a\tb\ncA\\d=e");
+    EXPECT_FALSE(set.rules[1].isRegex);
+    EXPECT_EQ(set.rules[1].pattern, "/not/regex");
+}
+
+TEST(RuleParser, Failures)
+{
+    EXPECT_THROW(rules::parseRuleFile("dup=a\ndup=b\n"), CompileError);
+    EXPECT_THROW(rules::parseRuleFile("open=/abc\n"), CompileError);
+    EXPECT_THROW(rules::parseRuleFile("empty=\n"), CompileError);
+    EXPECT_THROW(rules::parseRuleFile("bad=\\q\n"), CompileError);
+}
+
+// ------------------------------------------- report-code stability
+
+/** Appending rules must not change earlier rules' report codes. */
+TEST(RuleCompile, ReportCodesStableUnderAppend)
+{
+    const std::string base = "alpha=cat\nbravo=/do+g/\nplain\n";
+    rules::RuleSet small = rules::parseRuleFile(base);
+    rules::RuleSet big =
+        rules::parseRuleFile(base + "extra=bird\ntail\n");
+    ASSERT_EQ(small.size(), 3u);
+    ASSERT_EQ(big.size(), 5u);
+    for (size_t i = 0; i < small.size(); ++i) {
+        EXPECT_EQ(small.rules[i].name, big.rules[i].name);
+        EXPECT_EQ(small.rules[i].pattern, big.rules[i].pattern);
+    }
+    EXPECT_EQ(big.rules[4].name, "r4");
+
+    // And the compiled designs report under exactly those names.
+    automata::Automaton design = rules::compileRules(big);
+    std::set<std::string> codes;
+    design.validate();
+    automata::Simulator sim(design);
+    auto events = sim.run("cat doog bird plain tail");
+    for (const automata::ReportEvent &event : events)
+        codes.insert(design[event.element].reportCode);
+    EXPECT_TRUE(codes.count("alpha"));
+    EXPECT_TRUE(codes.count("bravo"));
+    EXPECT_TRUE(codes.count("extra"));
+}
+
+TEST(RuleCompile, CacheKeySensitivity)
+{
+    const std::string a = "alpha=cat\nbravo=dog\n";
+    const std::string b = "alpha=cat\nbravo=doh\n"; // one byte edit
+    EXPECT_NE(rules::rulesCacheKey(a, {}), rules::rulesCacheKey(b, {}));
+    rules::RuleCompileOptions no_opt;
+    no_opt.optimize = false;
+    EXPECT_NE(rules::rulesCacheKey(a, {}), rules::rulesCacheKey(a, no_opt));
+    EXPECT_EQ(rules::rulesCacheKey(a, {}), rules::rulesCacheKey(a, {}));
+}
+
+// ------------------------------------------------------- witnesses
+
+TEST(RuleWitness, LiteralAndRegex)
+{
+    rules::Rule literal{"lit", false, "needle", 1};
+    EXPECT_EQ(rules::ruleWitness(literal), "needle");
+
+    rules::Rule regex{"re", true, "ab{2,3}c|zz", 1};
+    const std::string witness = rules::ruleWitness(regex);
+    auto ends = re::referenceMatchEnds(regex.pattern, witness, true);
+    EXPECT_NE(std::find(ends.begin(), ends.end(), witness.size() - 1),
+              ends.end());
+}
+
+// ------------------------------------------------------- generator
+
+TEST(RuleGen, DeterministicAndPrefixStable)
+{
+    rules::GenRulesOptions options;
+    options.seed = 42;
+    options.count = 60;
+    options.style = rules::RuleStyle::Mixed;
+    rules::RuleSet a = rules::generateRules(options);
+    rules::RuleSet b = rules::generateRules(options);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.rules[i].name, b.rules[i].name);
+        EXPECT_EQ(a.rules[i].pattern, b.rules[i].pattern);
+    }
+    // Tier growth is append-only: rule i is derived from (seed, i),
+    // so a 60-rule set is a prefix of the 100-rule set.
+    options.count = 100;
+    rules::RuleSet big = rules::generateRules(options);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.rules[i].name, big.rules[i].name);
+        EXPECT_EQ(a.rules[i].pattern, big.rules[i].pattern);
+    }
+}
+
+TEST(RuleGen, RenderParsesBackIdentically)
+{
+    for (rules::RuleStyle style :
+         {rules::RuleStyle::Snort, rules::RuleStyle::Clamav,
+          rules::RuleStyle::Dict, rules::RuleStyle::Pii,
+          rules::RuleStyle::Mixed}) {
+        rules::GenRulesOptions options;
+        options.seed = 7;
+        options.count = 50;
+        options.style = style;
+        rules::RuleSet set = rules::generateRules(options);
+        rules::RuleSet parsed =
+            rules::parseRuleFile(rules::renderRuleFile(set, options));
+        ASSERT_EQ(parsed.size(), set.size())
+            << rules::ruleStyleName(style);
+        for (size_t i = 0; i < set.size(); ++i) {
+            EXPECT_EQ(parsed.rules[i].name, set.rules[i].name);
+            EXPECT_EQ(parsed.rules[i].isRegex, set.rules[i].isRegex);
+            EXPECT_EQ(parsed.rules[i].pattern, set.rules[i].pattern);
+        }
+    }
+}
+
+// --------------------------------------- regex audit regressions
+
+/** A character-class escape must not silently bound a range
+ *  ([a-\d] once parsed as the range a-d). */
+TEST(RegexAudit, ClassEscapeCannotBoundRange)
+{
+    EXPECT_THROW(re::parseRegex("[a-\\d]"), CompileError);
+    EXPECT_THROW(re::parseRegex("[a-\\"), CompileError);
+    // Plain escaped characters remain valid range bounds.
+    EXPECT_FALSE(
+        re::referenceMatchEnds("[\\x61-\\x63]", "b", true).empty());
+    EXPECT_TRUE(
+        re::referenceMatchEnds("[\\x61-\\x63]", "d", true).empty());
+}
+
+// ----------------------------- in-process per-rule attribution
+
+std::vector<std::tuple<uint64_t, std::string, std::string>>
+canonical(const std::vector<host::HostReport> &reports)
+{
+    std::vector<std::tuple<uint64_t, std::string, std::string>> out;
+    out.reserve(reports.size());
+    for (const host::HostReport &report : reports)
+        out.emplace_back(report.offset, report.element, report.code);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** 100-rule mixed corpus: every engine agrees and every planted
+ *  witness reports under its rule's code at the exact offset. */
+TEST(RuleAttribution, HundredRuleTierAllEngines)
+{
+    rules::GenRulesOptions options;
+    options.seed = 7;
+    options.count = 100;
+    options.style = rules::RuleStyle::Mixed;
+    rules::RuleSet set = rules::generateRules(options);
+
+    rules::RuleCompileStats stats;
+    lang::CompiledProgram compiled;
+    compiled.automaton = rules::compileRules(set, {}, &stats);
+    compiled.optStats = stats.optimizer;
+    ap::DesignImage image = host::buildImage(compiled);
+    ASSERT_TRUE(image.placed);
+
+    std::vector<rules::PlantedMatch> expected;
+    const std::string input =
+        rules::plantedInput(set, 11, 32768, 60, &expected);
+    ASSERT_FALSE(expected.empty());
+
+    host::Device scalar(image, host::Engine::Scalar);
+    auto reference = canonical(scalar.run(input));
+    for (const rules::PlantedMatch &plant : expected) {
+        const bool found = std::any_of(
+            reference.begin(), reference.end(),
+            [&](const auto &report) {
+                return std::get<0>(report) == plant.endOffset &&
+                       std::get<2>(report) == plant.rule;
+            });
+        EXPECT_TRUE(found) << plant.rule << " @ " << plant.endOffset;
+    }
+
+    for (host::Engine engine :
+         {host::Engine::Batch, host::Engine::Sharded,
+          host::Engine::Parallel}) {
+        host::Device device(image, engine);
+        EXPECT_EQ(canonical(device.run(input)), reference)
+            << "engine " << static_cast<int>(engine);
+    }
+}
+
+} // namespace
